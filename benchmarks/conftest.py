@@ -1,0 +1,47 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark file regenerates one table or figure of the paper and
+prints the corresponding rows (run with ``pytest benchmarks/
+--benchmark-only -s`` to see them).  Topologies are inferred once per
+session and cached, like libmctop's description files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.hardware import get_machine
+
+#: benchmark-grade inference: fewer repetitions than the library default
+#: (the medians are already stable; see the Section 3.5 bench for the
+#: full-cost measurement)
+BENCH_INFERENCE = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+class TopologyCache:
+    def __init__(self):
+        self._machines = {}
+        self._topologies = {}
+
+    def machine(self, name: str):
+        if name not in self._machines:
+            self._machines[name] = get_machine(name)
+        return self._machines[name]
+
+    def topology(self, name: str):
+        if name not in self._topologies:
+            self._topologies[name] = infer_topology(
+                self.machine(name), seed=1, config=BENCH_INFERENCE
+            )
+        return self._topologies[name]
+
+
+@pytest.fixture(scope="session")
+def topo_cache():
+    return TopologyCache()
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""Ablation: the educated backoff quantum vs hand-tuned constants.
+
+The paper's claim is not just "backoff helps" but that the *right*
+quantum — the maximum coherence latency between the involved threads —
+is what MCTOP contributes, portably.  This bench compares the educated
+quantum against fixed quanta that are too small (misses the window) and
+too large (idle periods), across two very different platforms.
+Threads are spread with RR_CORE so handovers actually cross sockets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.apps.locks import (
+    ALGORITHMS,
+    LockExperimentConfig,
+    educated_backoff,
+    fixed_backoff,
+)
+from repro.place import Placement, Policy
+from repro.sim import Acquire, Compute, Engine, Release
+
+_CFG = LockExperimentConfig(iterations=80)
+
+
+def _throughput(machine, mctop, policy, n_threads) -> float:
+    placement = Placement(mctop, Policy.RR_CORE, n_threads=n_threads)
+    lock = ALGORITHMS["TICKET"](backoff=policy, seed=0)
+    engine = Engine(machine)
+
+    def worker():
+        for _ in range(_CFG.iterations):
+            yield Acquire(lock)
+            yield Compute(_CFG.cs_cycles)
+            yield Release(lock)
+            yield Compute(_CFG.pause_cycles)
+
+    for ctx in placement.ordering:
+        engine.spawn(ctx, worker())
+    stats = engine.run()
+    return n_threads * _CFG.iterations / stats.seconds
+
+
+@pytest.mark.benchmark(group="ablation backoff")
+@pytest.mark.parametrize("platform", ["ivy", "sparc"])
+def test_quantum_choice(benchmark, topo_cache, platform):
+    machine = topo_cache.machine(platform)
+    mctop = topo_cache.topology(platform)
+    n_threads = min(32, machine.spec.n_contexts)
+    ctxs = Placement(mctop, Policy.RR_CORE, n_threads=n_threads).ordering
+    educated = educated_backoff(mctop, ctxs)
+    quanta = {
+        "tiny (8 cy)": fixed_backoff(8),
+        "small (quantum/8)": fixed_backoff(educated.quantum / 8),
+        f"mctop ({educated.quantum:.0f} cy)": educated,
+        "huge (quantum x8)": fixed_backoff(educated.quantum * 8),
+    }
+
+    def run():
+        return {
+            name: _throughput(machine, mctop, policy, n_threads)
+            for name, policy in quanta.items()
+        }
+
+    results = once(benchmark, run)
+    print(f"\n--- Ablation: TICKET backoff quantum on {platform} "
+          f"({n_threads} threads) ---")
+    for name, thr in results.items():
+        print(f"  {name:<22} {thr / 1e6:8.3f} M crit.sections/s")
+    benchmark.extra_info["throughputs"] = {
+        k: round(v) for k, v in results.items()
+    }
+
+    mctop_key = next(k for k in results if k.startswith("mctop"))
+    # The educated quantum beats the extremes.
+    assert results[mctop_key] > results["tiny (8 cy)"]
+    assert results[mctop_key] > results["huge (quantum x8)"]

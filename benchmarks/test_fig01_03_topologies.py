@@ -1,0 +1,78 @@
+"""Figures 1-3: automatically generated MCTOP topology graphs.
+
+Figure 1 is the 8-socket AMD Opteron (intra-socket view + cross-socket
+view with the MCM/direct/2-hop latency classes), Figure 2 the 8-socket
+Intel Westmere, Figure 3 one socket of the Oracle SPARC T4-4.  Each
+benchmark infers the topology and emits the Graphviz DOT sources.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.core.viz import cross_socket_dot, intra_socket_dot
+
+
+def _regenerate(topo_cache, name):
+    mctop = topo_cache.topology(name)
+    return mctop, intra_socket_dot(mctop), cross_socket_dot(mctop)
+
+
+@pytest.mark.benchmark(group="fig1-3 topology graphs")
+def test_fig1_opteron_topology(benchmark, topo_cache):
+    mctop, intra, cross = once(
+        benchmark, lambda: _regenerate(topo_cache, "opteron")
+    )
+    print("\n--- Figure 1a (Opteron, intra-socket) ---")
+    print(intra)
+    print("--- Figure 1b (Opteron, cross-socket) ---")
+    print(cross)
+    # Paper: intra 117 cycles; cross classes 197 / 217 / 300 (2 hops).
+    assert "117 cycles" in intra or "116 cycles" in intra or "118 cycles" in intra
+    cross_lats = sorted({l.latency for l in mctop.links.values()})
+    assert len(cross_lats) == 3
+    assert abs(cross_lats[0] - 197) <= 4
+    assert abs(cross_lats[1] - 217) <= 4
+    assert abs(cross_lats[2] - 300) <= 4
+    assert "2 hops" in cross
+    benchmark.extra_info["cross_latency_classes"] = cross_lats
+
+
+@pytest.mark.benchmark(group="fig1-3 topology graphs")
+def test_fig2_westmere_topology(benchmark, topo_cache):
+    mctop, intra, cross = once(
+        benchmark, lambda: _regenerate(topo_cache, "westmere")
+    )
+    print("\n--- Figure 2a (Westmere, intra-socket) ---")
+    print(intra)
+    print("--- Figure 2b (Westmere, cross-socket) ---")
+    print(cross)
+    # Paper: SMT 28, intra 116, cross 341, lvl-4 458 (2 hops).
+    assert abs(mctop.smt_latency() - 28) <= 2
+    direct = {l.latency for l in mctop.links.values() if l.n_hops == 1}
+    routed = {l.latency for l in mctop.links.values() if l.n_hops == 2}
+    assert all(abs(v - 341) <= 5 for v in direct)
+    assert all(abs(v - 458) <= 5 for v in routed)
+    assert "2 hops" in cross
+    # Local memory figures: 369 cy / 13.1 GB/s (Figure 2a).
+    s0 = mctop.socket_ids()[0]
+    assert mctop.local_mem_latency(s0) == pytest.approx(369, abs=8)
+    assert mctop.local_bandwidth(s0) == pytest.approx(13.1, rel=0.05)
+
+
+@pytest.mark.benchmark(group="fig1-3 topology graphs")
+def test_fig3_sparc_topology(benchmark, topo_cache):
+    mctop, intra, cross = once(
+        benchmark, lambda: _regenerate(topo_cache, "sparc")
+    )
+    print("\n--- Figure 3 (SPARC T4-4 socket) ---")
+    print(intra)
+    # Paper: 8 cores x 8 contexts per socket; intra 207 cycles; local
+    # node 479 cy / 28.2 GB/s.
+    assert mctop.smt_per_core == 8
+    assert len(mctop.socket_get_cores(mctop.socket_ids()[0])) == 8
+    s0 = mctop.socket_ids()[0]
+    assert mctop.groups[s0].latency == pytest.approx(207, abs=8)
+    assert mctop.local_mem_latency(s0) == pytest.approx(479, abs=10)
+    assert mctop.local_bandwidth(s0) == pytest.approx(28.2, rel=0.05)

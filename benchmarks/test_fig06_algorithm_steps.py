@@ -1,0 +1,73 @@
+"""Figure 6: the four steps of MCTOP-ALG on Ivy.
+
+Regenerates each intermediate artifact of the algorithm on the 40-context
+Ivy platform: (1) the raw latency table / heatmap, (2a) the CDF with its
+4 clusters, (2b) the normalized table, (3) the component reduction
+40 -> 20 -> 2, (4) the final topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import once
+from repro.core.algorithm import (
+    LatencyTableConfig,
+    build_components,
+    collect_latency_table,
+    find_clusters,
+    normalize_table,
+)
+from repro.core.algorithm.clustering import cluster_summary
+from repro.core.viz import cdf_dump, latency_heatmap
+from repro.hardware import MeasurementContext, get_machine
+
+
+@pytest.mark.benchmark(group="fig6 algorithm steps")
+def test_fig6_mctop_alg_steps_on_ivy(benchmark):
+    machine = get_machine("ivy")
+
+    def run():
+        probe = MeasurementContext(machine, seed=1)
+        table = collect_latency_table(
+            probe, LatencyTableConfig(repetitions=31)
+        )
+        clusters = find_clusters(table.table)
+        normalized, _ = normalize_table(table.table, clusters)
+        hierarchy = build_components(
+            normalized, [c.median for c in clusters]
+        )
+        return table, clusters, normalized, hierarchy
+
+    table, clusters, normalized, hierarchy = once(benchmark, run)
+
+    print("\n--- Figure 6 (1): latency table heatmap (40x40) ---")
+    print(latency_heatmap(table.table))
+    print("\n--- Figure 6 (2a): CDF of latency values ---")
+    print(cdf_dump(table.table))
+    print(cluster_summary(clusters))
+    print("\n--- Figure 6 (3): component reduction ---")
+    for lvl in hierarchy.levels:
+        print(
+            f"  level {lvl.level}: {len(lvl.components)} components, "
+            f"latency {lvl.latency:.0f}"
+        )
+
+    # Paper: 4 clusters (0 / 28 / ~112 / ~308).
+    assert len(clusters) == 4
+    medians = [c.median for c in clusters]
+    assert medians[0] == 0
+    assert abs(medians[1] - 28) <= 2
+    assert abs(medians[2] - 112) <= 6
+    assert abs(medians[3] - 308) <= 6
+
+    # Reduction 40 contexts -> 20 cores -> 2 sockets (-> machine).
+    sizes = [len(l.components) for l in hierarchy.levels]
+    assert sizes[:3] == [40, 20, 2]
+
+    # The raw table is symmetric with an (approximately) zero diagonal,
+    # and context 0/20 are SMT siblings as in the paper's heatmap.
+    assert np.allclose(table.table, table.table.T)
+    assert abs(table.table[0, 20] - 28) < 6
+    benchmark.extra_info["cluster_medians"] = medians

@@ -1,0 +1,39 @@
+"""Figure 7: the MCTOP-PLACE report for CON_HWC with 30 threads on Ivy.
+
+The paper's example output: 15 cores, sockets 20000/20001 with 20/10
+contexts and 10/5 cores, ~110 W package power (200 W with DRAM), and a
+308-cycle max latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.place import Placement, Policy
+
+
+@pytest.mark.benchmark(group="fig7 placement report")
+def test_fig7_con_hwc_30_threads_on_ivy(benchmark, topo_cache):
+    mctop = topo_cache.topology("ivy")
+
+    placement = once(
+        benchmark,
+        lambda: Placement(mctop, Policy.CON_HWC, n_threads=30),
+    )
+    report = placement.print_stats()
+    print("\n--- Figure 7 (mctop_place_print on Ivy) ---")
+    print(report)
+
+    assert len(placement.cores_used()) == 15
+    counts = sorted(placement.contexts_per_socket().values(), reverse=True)
+    assert counts == [20, 10]
+    cores = sorted(placement.cores_per_socket().values(), reverse=True)
+    assert cores == [10, 5]
+    no_dram = sum(placement.max_power(with_dram=False).values())
+    with_dram = sum(placement.max_power(with_dram=True).values())
+    assert no_dram == pytest.approx(110.1, abs=4.0)
+    assert with_dram == pytest.approx(200.6, abs=8.0)
+    assert placement.max_latency() == pytest.approx(308, abs=6)
+    benchmark.extra_info["power_no_dram"] = no_dram
+    benchmark.extra_info["power_with_dram"] = with_dram

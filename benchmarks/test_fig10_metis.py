@@ -1,0 +1,74 @@
+"""Figure 10: Metis with MCTOP-PLACE vs default Metis, 4 workloads.
+
+Each cell compares the paper's per-workload policy (K-Means
+CON_CORE_HWC, Mean CON_HWC, Word Count RR, Matrix Mult CON_CORE)
+against Metis's default sequential pinning, both at their best thread
+count.  Headline: 17% faster on average, 14% less energy on the Intel
+machines, and MCTOP-Metis never uses more threads than the default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.hardware import PAPER_PLATFORMS
+from repro.apps.mapreduce import run_figure10
+
+
+@pytest.mark.benchmark(group="fig10 metis")
+@pytest.mark.parametrize("platform", PAPER_PLATFORMS)
+def test_fig10_metis_relative_time(benchmark, topo_cache, platform):
+    machine = topo_cache.machine(platform)
+    mctop = topo_cache.topology(platform)
+
+    result = once(benchmark, lambda: run_figure10(machine, mctop))
+    print(f"\n--- Figure 10 ({platform}) ---")
+    print(result.table())
+    avg = result.average_relative_time()
+    print(f"average relative time: {avg:.2f}")
+    benchmark.extra_info["avg_relative_time"] = round(avg, 3)
+
+    # MCTOP placement never loses meaningfully and never needs more
+    # threads than the default to match it (when a cell does use more,
+    # it must at least not be slower — the model can produce legitimate
+    # ties at different thread counts that the paper's testbeds never
+    # hit exactly).
+    # "Matching" is judged at the same 1% granularity the thread-count
+    # selection itself uses — ties between thread counts are real in a
+    # deterministic model.
+    for cell in result.cells:
+        assert cell.relative_time <= 1.06
+        assert (cell.mctop_threads <= cell.default_threads
+                or cell.relative_time <= 1.01)
+    # Energy is reported exactly on the machines with RAPL.
+    has_rapl = machine.spec.power is not None
+    assert all(
+        (cell.relative_energy is not None) == has_rapl
+        for cell in result.cells
+    )
+
+
+@pytest.mark.benchmark(group="fig10 metis")
+def test_fig10_aggregate(benchmark, topo_cache):
+    """Paper: 17% faster on average; the misconfigured-OS Opteron gains
+    the most (its default version allocates on the wrong nodes)."""
+
+    def run():
+        averages = {}
+        for platform in PAPER_PLATFORMS:
+            res = run_figure10(
+                topo_cache.machine(platform), topo_cache.topology(platform)
+            )
+            averages[platform] = res.average_relative_time()
+        return averages
+
+    averages = once(benchmark, run)
+    print("\n--- Section 7.3 aggregate (paper avg: 0.83) ---")
+    for platform, avg in averages.items():
+        print(f"  {platform:<10} {avg:.2f}")
+    overall = sum(averages.values()) / len(averages)
+    print(f"  overall    {overall:.2f}")
+    benchmark.extra_info["overall"] = round(overall, 3)
+    assert overall < 1.0
+    assert averages["opteron"] == min(averages.values())

@@ -1,0 +1,49 @@
+"""Figure 11: energy-oriented vs performance-oriented placement on Ivy.
+
+The POWER policy deliberately trades performance for energy: the paper
+reports, for K-Means, 1.186x the time at 0.774x the energy (1.089x the
+energy efficiency).  Our Mean workload shows the same trade; K-Means in
+the model scales too well for fewer cores to save energy, which
+EXPERIMENTS.md records as a known deviation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.apps.mapreduce import KMEANS, MEAN, run_figure11
+
+
+@pytest.mark.benchmark(group="fig11 energy tradeoff")
+def test_fig11_power_policy_tradeoff(benchmark, topo_cache):
+    machine = topo_cache.machine("ivy")
+    mctop = topo_cache.topology("ivy")
+
+    rows = once(
+        benchmark, lambda: run_figure11(machine, mctop, (KMEANS, MEAN))
+    )
+    print("\n--- Figure 11 (Ivy): POWER vs performance placement ---")
+    print(f"{'workload':<12} {'rel time':>8} {'rel energy':>10} "
+          f"{'rel energy-eff':>14}")
+    for row in rows:
+        print(
+            f"{row.workload:<12} {row.relative_time:>8.3f} "
+            f"{row.relative_energy:>10.3f} "
+            f"{row.relative_energy_efficiency:>14.3f}"
+        )
+
+    by_name = {r.workload: r for r in rows}
+    # The POWER placement never costs energy...
+    for row in rows:
+        assert row.relative_energy <= 1.001
+    # ...and on the streaming workload it buys efficiency with time,
+    # like the paper's K-Means row (1.186 / 0.774 / 1.089).
+    mean_row = by_name["mean"]
+    assert mean_row.relative_time > 1.0
+    assert mean_row.relative_energy < 0.95
+    assert mean_row.relative_energy_efficiency > 1.0
+    benchmark.extra_info["mean"] = {
+        "rel_time": round(mean_row.relative_time, 3),
+        "rel_energy": round(mean_row.relative_energy, 3),
+    }

@@ -1,0 +1,65 @@
+"""Figure 12: MCTOP_MP vs vanilla OpenMP on Green-Marl graph workloads.
+
+Four platforms (the available Green-Marl does not support SPARC), six
+workloads (Communities, Hop Distance, PageRank, Potential Friends,
+Random Degree Sampling, Combination) on the paper's 100M-node /
+800M-edge scale.  Headline: 22% faster on average, up to ~9% slower in
+a few cells (the automatic policy-selection overhead), the Combination
+workload impossible to match with static OpenMP places.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.hardware import OPENMP_PLATFORMS
+from repro.apps.openmp import GraphScale, run_figure12
+
+_SCALE = GraphScale.paper()
+
+
+@pytest.mark.benchmark(group="fig12 openmp")
+@pytest.mark.parametrize("platform", OPENMP_PLATFORMS)
+def test_fig12_graph_workloads(benchmark, topo_cache, platform):
+    machine = topo_cache.machine(platform)
+    mctop = topo_cache.topology(platform)
+
+    result = once(
+        benchmark, lambda: run_figure12(machine, mctop, scale=_SCALE)
+    )
+    print(f"\n--- Figure 12 ({platform}, 100M nodes / 800M edges) ---")
+    print(result.table())
+    avg = result.average_relative_time()
+    print(f"average relative time: {avg:.2f}")
+    benchmark.extra_info["avg_relative_time"] = round(avg, 3)
+
+    assert avg < 1.0  # MCTOP_MP wins on average on every platform
+    rel = {c.workload: c.relative_time for c in result.cells}
+    # No pathological losses: the worst cell stays within the paper's
+    # "up to 9% slower" ballpark (we allow a little extra slack).
+    assert max(rel.values()) < 1.15
+    assert "combination" in rel
+
+
+@pytest.mark.benchmark(group="fig12 openmp")
+def test_fig12_aggregate(benchmark, topo_cache):
+    """Paper: 22% average improvement across platforms and workloads."""
+
+    def run():
+        cells = []
+        for platform in OPENMP_PLATFORMS:
+            res = run_figure12(
+                topo_cache.machine(platform),
+                topo_cache.topology(platform),
+                scale=_SCALE,
+            )
+            cells.extend(c.relative_time for c in res.cells)
+        return sum(cells) / len(cells), min(cells), max(cells)
+
+    avg, best, worst = once(benchmark, run)
+    print("\n--- Section 7.4 aggregate (paper avg: 0.78) ---")
+    print(f"  average {avg:.2f}, best cell {best:.2f}, worst cell {worst:.2f}")
+    benchmark.extra_info["avg"] = round(avg, 3)
+    assert avg < 0.95
+    assert best < 0.6  # big machines gain a lot (paper: down to 0.16)

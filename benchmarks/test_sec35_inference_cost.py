@@ -1,0 +1,48 @@
+"""Section 3.5, "Performance": the cost of MCTOP-ALG itself.
+
+The paper: ~3 seconds on the smallest platform (Ivy, 40 contexts), 96
+seconds on Westmere (160 contexts, with DVFS).  Our simulated probe has
+different absolute costs, but the quadratic growth with the context
+count — the actual systems claim — must hold, and we report both the
+wall-clock time and the number of samples taken.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import (
+    InferenceConfig,
+    InferenceReport,
+    LatencyTableConfig,
+    infer_topology,
+)
+from repro.hardware import get_machine
+
+#: library-default repetitions for this bench (the cost benchmark is
+#: the one place where the measurement effort is the subject)
+_CFG = InferenceConfig(table=LatencyTableConfig(repetitions=75))
+
+
+@pytest.mark.benchmark(group="sec3.5 inference cost")
+@pytest.mark.parametrize("platform", ["ivy", "haswell", "westmere"])
+def test_inference_cost(benchmark, platform):
+    machine = get_machine(platform)
+    report = InferenceReport()
+
+    def run():
+        return infer_topology(
+            machine, seed=2, config=_CFG, report=report
+        )
+
+    mctop = benchmark.pedantic(run, rounds=1, iterations=1)
+    n = machine.spec.n_contexts
+    print(
+        f"\n{platform}: {n} contexts, {report.samples_taken} samples, "
+        f"{report.retried_pairs} retried pairs"
+    )
+    benchmark.extra_info["contexts"] = n
+    benchmark.extra_info["samples"] = report.samples_taken
+    # Sample count grows with the number of context pairs.
+    assert report.samples_taken >= n * (n - 1) // 2 * 75
+    assert mctop.n_contexts == n

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Educated lock backoffs (the Section 7.1 experiment, one platform).
+
+Compares TAS / TTAS / TICKET spinlocks with and without the
+MCTOP-educated backoff (quantum = max coherence latency among the
+competing threads) across a thread sweep, printing the relative
+throughput like Figure 8's curves.
+
+Run with::
+
+    python examples/lock_backoff.py [machine]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import get_machine
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.apps.locks import (
+    LockExperimentConfig,
+    educated_backoff,
+    run_figure8,
+)
+from repro.place import Placement, Policy
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "ivy"
+    machine = get_machine(name)
+    mctop = infer_topology(
+        machine,
+        seed=1,
+        config=InferenceConfig(table=LatencyTableConfig(repetitions=31)),
+    )
+
+    # What quantum does the policy produce here?
+    all_ctxs = Placement(mctop, Policy.SEQUENTIAL).ordering
+    policy = educated_backoff(mctop, all_ctxs)
+    print(f"{name}: educated backoff quantum = {policy.quantum:.0f} cycles "
+          f"(the max coherence latency between any two threads)\n")
+
+    counts = [c for c in (2, 8, 16, 32, 64, 128, machine.spec.n_contexts)
+              if c <= machine.spec.n_contexts]
+    result = run_figure8(
+        machine, mctop,
+        thread_counts=sorted(set(counts)),
+        cfg=LockExperimentConfig(iterations=80),
+    )
+    print(result.table())
+    print()
+    for algo in ("TAS", "TTAS", "TICKET"):
+        gain = result.average_gain(algo)
+        print(f"{algo:<7} average gain with MCTOP backoff: {gain * 100:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: infer a topology, query it, place threads.
+
+Runs MCTOP-ALG against the simulated 2-socket Ivy Bridge, prints the
+inferred topology and a few of the portable queries every policy in the
+paper is built from, then computes a thread placement.
+
+Run with::
+
+    python examples/quickstart.py [machine]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import get_machine
+from repro.core.algorithm import (
+    InferenceConfig,
+    InferenceReport,
+    LatencyTableConfig,
+    infer_topology,
+)
+from repro.core.serialize import save_mctop
+from repro.place import Placement, Policy
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "ivy"
+    machine = get_machine(name)
+    print(f"machine      : {machine.describe()}")
+
+    # --- Step 1: run MCTOP-ALG (latency table -> clusters -> topology).
+    print("\nrunning MCTOP-ALG (latency measurements only)...")
+    report = InferenceReport()
+    mctop = infer_topology(
+        machine,
+        seed=1,
+        config=InferenceConfig(table=LatencyTableConfig(repetitions=41)),
+        report=report,
+    )
+    print(mctop.summary())
+    print(f"samples taken: {report.samples_taken}")
+    print(report.os_comparison.report())
+
+    # --- Step 2: the portable queries of Section 2.
+    ctx = mctop.context_ids()[0]
+    print(f"\nmctop_get_local_node({ctx})  = {mctop.get_local_node(ctx)}")
+    s0 = mctop.socket_ids()[0]
+    print(f"mctop_socket_get_cores({s0}) has "
+          f"{len(mctop.socket_get_cores(s0))} cores")
+    print(f"mctop_get_latency(0, 1)      = {mctop.get_latency(0, 1)} cycles")
+    if mctop.n_sockets > 1:
+        a, b = mctop.min_latency_socket_pair()
+        print(f"best-connected socket pair   = ({a}, {b}), "
+              f"{mctop.socket_latency(a, b)} cycles")
+    print(f"backoff quantum (max latency)= "
+          f"{mctop.max_latency(mctop.context_ids())} cycles")
+
+    # --- Step 3: place threads with a high-level policy.
+    n = max(2, mctop.n_contexts // 2)
+    placement = Placement(mctop, Policy.CON_CORE_HWC, n_threads=n)
+    print(f"\n{placement.print_stats()}")
+
+    # --- Step 4: store the description file for later runs.
+    path = save_mctop(mctop, f"{name}.mct")
+    print(f"\ndescription file written to {path} "
+          f"(reload with repro.load_mctop)")
+
+
+if __name__ == "__main__":
+    main()

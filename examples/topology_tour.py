@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Topology tour: infer every paper platform and export its graphs.
+
+Reproduces the workflow behind Figures 1-3: run MCTOP-ALG on each of
+the five evaluation machines, print a summary plus the latency levels,
+and write the Graphviz DOT files (render them with ``dot -Tpng`` if
+graphviz is installed — the library itself only emits text).
+
+Run with::
+
+    python examples/topology_tour.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import PAPER_PLATFORMS, get_machine
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.core.viz import cross_socket_dot, intra_socket_dot, topology_ascii
+
+#: the small platforms are instant; westmere/sparc take ~half a minute
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "topology-graphs")
+    out_dir.mkdir(exist_ok=True)
+
+    for name in PAPER_PLATFORMS:
+        machine = get_machine(name)
+        print(f"=== {machine.describe()}")
+        mctop = infer_topology(machine, seed=1, config=FAST)
+        for level, latency in mctop.latency_levels():
+            role = mctop.levels[level].role
+            print(f"    level {level}: {latency:>4} cycles ({role})")
+        print(topology_ascii(mctop).split("\n", 1)[0])
+
+        intra = out_dir / f"{name}-intra.dot"
+        cross = out_dir / f"{name}-cross.dot"
+        intra.write_text(intra_socket_dot(mctop))
+        cross.write_text(cross_socket_dot(mctop))
+        print(f"    wrote {intra} and {cross}\n")
+
+
+if __name__ == "__main__":
+    main()

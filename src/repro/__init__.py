@@ -1,0 +1,74 @@
+"""repro — a faithful reproduction of MCTOP (EuroSys 2017).
+
+"Abstracting Multi-Core Topologies with MCTOP", Chatzopoulos, Guerraoui,
+Harris, Trigonakis.
+
+The package provides:
+
+* :mod:`repro.hardware` — simulated multi-core machines (the five
+  evaluation platforms of the paper plus synthetic ones) with a MESI
+  coherence simulator, DVFS, rdtsc and noise models;
+* :mod:`repro.core` — the MCTOP topology abstraction, the MCTOP-ALG
+  inference algorithm, enrichment plugins, serialization and
+  visualization;
+* :mod:`repro.place` — the MCTOP-PLACE thread-placement library and its
+  12 policies;
+* :mod:`repro.sim` — a discrete-event execution engine for running
+  placement-sensitive workloads on simulated machines;
+* :mod:`repro.apps` — the paper's four application studies (lock
+  backoffs, topology-aware mergesort, Metis MapReduce, OpenMP).
+
+Quickstart
+----------
+>>> from repro import get_machine, infer_topology
+>>> mctop = infer_topology(get_machine("ivy"), seed=1)
+>>> mctop.n_sockets, mctop.n_cores, mctop.has_smt
+(2, 20, True)
+"""
+
+from repro.errors import (
+    ClusteringError,
+    InferenceError,
+    MachineModelError,
+    MctopError,
+    MeasurementError,
+    PlacementError,
+    SerializationError,
+    SimulationError,
+    ValidationError,
+)
+from repro.hardware import PAPER_PLATFORMS, get_machine, get_spec, machine_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusteringError",
+    "InferenceError",
+    "MachineModelError",
+    "MctopError",
+    "MeasurementError",
+    "PAPER_PLATFORMS",
+    "PlacementError",
+    "SerializationError",
+    "SimulationError",
+    "ValidationError",
+    "__version__",
+    "get_machine",
+    "get_spec",
+    "infer_topology",
+    "load_mctop",
+    "machine_names",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` fast and avoid import cycles.
+    if name == "infer_topology":
+        from repro.core.algorithm.inference import infer_topology
+
+        return infer_topology
+    if name == "load_mctop":
+        from repro.core.serialize import load_mctop
+
+        return load_mctop
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,7 @@
+"""The paper's four application studies (Section 7).
+
+* :mod:`repro.apps.locks` — educated lock backoffs (Figure 8);
+* :mod:`repro.apps.sort` — topology-aware mergesort (Figure 9);
+* :mod:`repro.apps.mapreduce` — Metis with MCTOP-PLACE (Figures 10-11);
+* :mod:`repro.apps.openmp` — the MCTOP_MP OpenMP extension (Figure 12).
+"""

@@ -1,0 +1,43 @@
+"""Lock algorithms with MCTOP-educated backoffs (Section 7.1)."""
+
+from repro.apps.locks.algorithms import (
+    ALGORITHMS,
+    SpinLock,
+    TasLock,
+    TicketLock,
+    TtasLock,
+)
+from repro.apps.locks.backoff import (
+    BackoffPolicy,
+    educated_backoff,
+    fixed_backoff,
+    pause_baseline,
+)
+from repro.apps.locks.bench import (
+    Figure8Result,
+    Figure8Row,
+    LockExperimentConfig,
+    LockRunResult,
+    run_figure8,
+    run_lock_experiment,
+    thread_sweep,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BackoffPolicy",
+    "Figure8Result",
+    "Figure8Row",
+    "LockExperimentConfig",
+    "LockRunResult",
+    "SpinLock",
+    "TasLock",
+    "TicketLock",
+    "TtasLock",
+    "educated_backoff",
+    "fixed_backoff",
+    "pause_baseline",
+    "run_figure8",
+    "run_lock_experiment",
+    "thread_sweep",
+]

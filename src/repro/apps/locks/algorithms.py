@@ -1,0 +1,191 @@
+"""Spinlock algorithms: TAS, TTAS and TICKET (Section 7.1).
+
+Each lock plugs into the simulation engine through the ``Acquire`` /
+``Release`` commands and models the *handover* cost of the algorithm —
+the time between a release and the next owner entering its critical
+section.  The handover models capture the coherence behaviour the paper
+exploits:
+
+* all algorithms pay the coherence latency ``L`` between releaser and
+  next owner (the lock word must travel between their caches);
+* **without backoff**, spinning waiters keep re-requesting the line, so
+  the handover also pays an invalidation storm that grows with the
+  number of waiters — worst for TICKET, where every waiter spins on the
+  single ``now_serving`` word, milder for TTAS (local spinning, storm
+  only at the release instant) and TAS;
+* **with backoff**, waiters sleep between probes: the storm term is
+  suppressed (entirely for TICKET's proportional backoff — a waiter
+  knows its queue position and wakes close to its turn) at the price of
+  an expected half-quantum of wake-up delay.
+
+TAS and TTAS hand the lock to a *random* waiter (whoever's CAS wins);
+TICKET is FIFO.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.apps.locks.backoff import BackoffPolicy, pause_baseline
+from repro.sim.engine import Engine, SimThread
+
+
+class SpinLock:
+    """Base class: queueing semantics + the per-algorithm cost model."""
+
+    #: invalidation-storm cost per waiter, in units of L (no backoff)
+    storm_per_waiter: float = 0.04
+    #: waiters beyond this stop adding storm (the line is saturated)
+    storm_cap: int = 48
+    #: fraction of the storm that survives *with* backoff
+    storm_residual: float = 0.2
+    #: expected fraction of the quantum spent oversleeping a handover
+    oversleep: float = 0.20
+    #: uncontended poll overshoot of the spinning baseline, in units of L
+    base_overshoot: float = 0.20
+
+    def __init__(self, backoff: BackoffPolicy | None = None, seed: int = 0):
+        self.backoff = backoff or pause_baseline()
+        self._rng = np.random.default_rng(seed)
+        self._owner: SimThread | None = None
+        self._waiters: list[SimThread] = []
+        self._last_release_ctx: int | None = None
+        self.acquisitions = 0
+
+    # --------------------------------------------------------- sim hooks
+    def _request(self, engine: Engine, thread: SimThread) -> None:
+        if self._owner is None:
+            self._grant(engine, thread, handover_from=self._last_release_ctx)
+        else:
+            self._waiters.append(thread)
+            engine.block(thread)
+
+    def _release(self, engine: Engine, thread: SimThread) -> None:
+        if self._owner is not thread:
+            raise SimulationError(
+                f"{thread.name} released a lock it does not hold"
+            )
+        self._owner = None
+        self._last_release_ctx = thread.ctx
+        # The releasing store itself is quick; the releaser continues.
+        engine.wake(thread, engine.now)
+        if self._waiters:
+            nxt = self._pick_next()
+            self._grant(engine, nxt, handover_from=thread.ctx,
+                        waiters_at_release=len(self._waiters) + 1)
+
+    # ------------------------------------------------------- cost model
+    def _grant(self, engine: Engine, thread: SimThread,
+               handover_from: int | None,
+               waiters_at_release: int = 1) -> None:
+        self._owner = thread
+        self.acquisitions += 1
+        delay = self._handover_delay(
+            engine, thread, handover_from, waiters_at_release
+        )
+        engine.wake(thread, engine.now + delay)
+
+    def _handover_delay(self, engine: Engine, thread: SimThread,
+                        from_ctx: int | None, waiters: int) -> float:
+        if from_ctx is None:
+            # First acquisition ever: fetch the line from memory.
+            socket = engine.machine.socket_of(thread.ctx)
+            return float(engine.machine.mem_latency(
+                socket, engine.machine.local_node_of_socket(socket)
+            ))
+        lat = float(engine.machine.comm_latency(thread.ctx, from_ctx))
+        if lat == 0.0:  # same context re-acquiring
+            lat = float(engine.machine.spec.caches[0].latency)
+        storm_waiters = min(waiters - 1, self.storm_cap)
+        storm = lat * self.storm_per_waiter * storm_waiters
+        if not self.backoff.enabled:
+            # Spinning baseline: full storm plus the poll overshoot of
+            # the winner's last probe round-trip.
+            return lat * (1.0 + self.base_overshoot) + storm
+        quantum = self.backoff.quantum
+        oversleep = quantum * self.oversleep * (
+            0.9 + 0.2 * self._rng.random()
+        )
+        # Backed-off waiters still probe between sleeps.  How much of
+        # the storm survives depends on the poll frequency: a quantum
+        # much smaller than the coherence latency polls almost as often
+        # as spinning (suppression -> 1), while a generous quantum
+        # approaches the algorithm's floor (``storm_residual``).  This
+        # is why the *size* of the quantum — MCTOP's max-latency value —
+        # matters, not just having one.  For TTAS the floor itself is
+        # high, which is why its gains vanish under heavy contention.
+        suppression = lat / (lat + 4.0 * quantum)
+        residual_frac = (
+            self.storm_residual + (1.0 - self.storm_residual) * suppression
+        )
+        residual = min(
+            lat * self.storm_per_waiter * residual_frac * (waiters - 1),
+            storm,
+        )
+        return lat + residual + oversleep
+
+    def _pick_next(self) -> SimThread:
+        raise NotImplementedError
+
+
+class TasLock(SpinLock):
+    """test-and-set: every probe is a write (RFO), heavy line bouncing.
+
+    The winner of the next acquisition is whichever waiter's atomic
+    lands first — effectively random.
+    """
+
+    name = "TAS"
+    storm_per_waiter = 0.060
+    storm_residual = 0.18
+    oversleep = 0.20
+
+    def _pick_next(self) -> SimThread:
+        idx = int(self._rng.integers(len(self._waiters)))
+        return self._waiters.pop(idx)
+
+
+class TtasLock(SpinLock):
+    """test-and-test-and-set: waiters spin on local (shared) copies and
+    only attempt the atomic when the lock looks free.  Lighter traffic
+    while held, but the release still triggers a CAS stampede — and
+    that stampede happens with or without backoff, which is why the
+    paper sees TTAS backoff gains vanish under high contention.
+    """
+
+    name = "TTAS"
+    storm_per_waiter = 0.20
+    storm_cap = 14  # local spinning bounds the stampede
+    storm_residual = 0.40
+    oversleep = 0.20
+
+    def _pick_next(self) -> SimThread:
+        idx = int(self._rng.integers(len(self._waiters)))
+        return self._waiters.pop(idx)
+
+
+class TicketLock(SpinLock):
+    """FIFO ticket lock: all waiters spin on one ``now_serving`` word.
+
+    Without backoff every handover invalidates *every* waiter's copy —
+    the worst storm of the three.  With the MCTOP proportional backoff
+    each waiter sleeps ``position x quantum``, polls approximately once
+    per handover, and the storm disappears — hence the paper's largest
+    gains (39% on average).
+    """
+
+    name = "TICKET"
+    storm_per_waiter = 0.11
+    storm_residual = 0.0
+    oversleep = 0.15  # position-proportional sleep wakes close to the turn
+
+    def _pick_next(self) -> SimThread:
+        return self._waiters.pop(0)
+
+
+ALGORITHMS: dict[str, type[SpinLock]] = {
+    "TAS": TasLock,
+    "TTAS": TtasLock,
+    "TICKET": TicketLock,
+}

@@ -1,0 +1,44 @@
+"""Backoff policies for spinlocks (Section 5, "Educated Backoffs").
+
+The paper's insight: coherence "messages" travel exactly as fast as the
+coherence protocol, so the natural backoff quantum is the maximum
+communication latency between any two threads of the execution — a
+number MCTOP provides portably on every machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mctop import Mctop
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """A backoff scheme with its quantum in cycles.
+
+    ``quantum == 0`` means no backoff (the ``pause``-instruction
+    baseline of the paper's Figure 8).
+    """
+
+    name: str
+    quantum: float
+
+    @property
+    def enabled(self) -> bool:
+        return self.quantum > 0
+
+
+def pause_baseline() -> BackoffPolicy:
+    """Busy-wait with the architectural pause instruction only."""
+    return BackoffPolicy("pause", 0.0)
+
+
+def educated_backoff(mctop: Mctop, ctxs: list[int]) -> BackoffPolicy:
+    """The MCTOP policy: quantum = max latency among the thread set."""
+    return BackoffPolicy("mctop", float(mctop.max_latency(ctxs)))
+
+
+def fixed_backoff(cycles: float) -> BackoffPolicy:
+    """A hand-tuned constant quantum (for the ablation study)."""
+    return BackoffPolicy(f"fixed-{cycles:.0f}", float(cycles))

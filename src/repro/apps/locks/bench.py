@@ -1,0 +1,157 @@
+"""The lock-contention experiment of Figure 8.
+
+Multiple threads compete for one lock, spend 1000 cycles in the
+critical section, release, and pause briefly before retrying (avoiding
+long runs, as in the paper).  The harness reports throughput (critical
+sections per second) for each algorithm with and without the
+MCTOP-educated backoff, across a sweep of thread counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mctop import Mctop
+from repro.hardware.machine import Machine
+from repro.apps.locks.algorithms import ALGORITHMS, SpinLock
+from repro.apps.locks.backoff import BackoffPolicy, educated_backoff, pause_baseline
+from repro.place import Placement, Policy
+from repro.sim import Acquire, Compute, Engine, Release
+
+
+@dataclass(frozen=True)
+class LockExperimentConfig:
+    cs_cycles: float = 1000.0  # critical-section work (the paper's value)
+    pause_cycles: float = 200.0  # think time between iterations
+    iterations: int = 120  # critical sections per thread
+    placement_policy: Policy = Policy.SEQUENTIAL  # OS-like spread
+
+
+@dataclass
+class LockRunResult:
+    algorithm: str
+    backoff: str
+    n_threads: int
+    throughput: float  # critical sections / second
+    total_acquisitions: int = 0
+    cycles: float = 0.0
+
+
+def _worker(lock: SpinLock, cfg: LockExperimentConfig):
+    for _ in range(cfg.iterations):
+        yield Acquire(lock)
+        yield Compute(cfg.cs_cycles)
+        yield Release(lock)
+        yield Compute(cfg.pause_cycles)
+
+
+def run_lock_experiment(
+    machine: Machine,
+    mctop: Mctop,
+    algorithm: str,
+    n_threads: int,
+    use_backoff: bool,
+    cfg: LockExperimentConfig | None = None,
+    seed: int = 0,
+) -> LockRunResult:
+    """One cell of Figure 8: an (algorithm, backoff, threads) triple."""
+    cfg = cfg or LockExperimentConfig()
+    placement = Placement(mctop, cfg.placement_policy, n_threads=n_threads)
+    ctxs = placement.ordering
+
+    policy: BackoffPolicy = (
+        educated_backoff(mctop, ctxs) if use_backoff else pause_baseline()
+    )
+    lock = ALGORITHMS[algorithm](backoff=policy, seed=seed)
+
+    engine = Engine(machine)
+    for ctx in ctxs:
+        engine.spawn(ctx, _worker(lock, cfg))
+    stats = engine.run()
+    total = n_threads * cfg.iterations
+    return LockRunResult(
+        algorithm=algorithm,
+        backoff=policy.name,
+        n_threads=n_threads,
+        throughput=total / stats.seconds,
+        total_acquisitions=lock.acquisitions,
+        cycles=stats.cycles,
+    )
+
+
+@dataclass
+class Figure8Row:
+    """Relative throughput of one (platform, algorithm, threads) cell."""
+
+    platform: str
+    algorithm: str
+    n_threads: int
+    baseline_throughput: float
+    backoff_throughput: float
+
+    @property
+    def relative(self) -> float:
+        return self.backoff_throughput / self.baseline_throughput
+
+
+@dataclass
+class Figure8Result:
+    rows: list[Figure8Row] = field(default_factory=list)
+
+    def average_gain(self, algorithm: str) -> float:
+        rel = [r.relative for r in self.rows if r.algorithm == algorithm]
+        return sum(rel) / len(rel) - 1.0 if rel else 0.0
+
+    def table(self) -> str:
+        lines = [
+            f"{'platform':<10} {'algo':<7} {'threads':>7} "
+            f"{'base MCS/s':>11} {'mctop MCS/s':>11} {'relative':>9}"
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.platform:<10} {r.algorithm:<7} {r.n_threads:>7} "
+                f"{r.baseline_throughput / 1e6:>11.3f} "
+                f"{r.backoff_throughput / 1e6:>11.3f} "
+                f"{r.relative:>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+def thread_sweep(machine: Machine) -> list[int]:
+    """Thread counts for a platform, like the x axes of Figure 8."""
+    n = machine.spec.n_contexts
+    points = [2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 160, 192, 256]
+    return [p for p in points if p <= n]
+
+
+def run_figure8(
+    machine: Machine,
+    mctop: Mctop,
+    algorithms: tuple[str, ...] = ("TAS", "TTAS", "TICKET"),
+    thread_counts: list[int] | None = None,
+    cfg: LockExperimentConfig | None = None,
+    seed: int = 0,
+) -> Figure8Result:
+    """The full Figure 8 sweep for one platform."""
+    counts = thread_counts if thread_counts is not None else thread_sweep(machine)
+    result = Figure8Result()
+    for algorithm in algorithms:
+        for n in counts:
+            base = run_lock_experiment(
+                machine, mctop, algorithm, n, use_backoff=False,
+                cfg=cfg, seed=seed,
+            )
+            with_bo = run_lock_experiment(
+                machine, mctop, algorithm, n, use_backoff=True,
+                cfg=cfg, seed=seed,
+            )
+            result.rows.append(
+                Figure8Row(
+                    platform=machine.spec.name,
+                    algorithm=algorithm,
+                    n_threads=n,
+                    baseline_throughput=base.throughput,
+                    backoff_throughput=with_bo.throughput,
+                )
+            )
+    return result

@@ -1,0 +1,197 @@
+"""The four Metis workloads of Figure 10.
+
+Each workload has two faces:
+
+* a *functional* job (real map/reduce functions plus a data generator)
+  used for correctness tests and the examples;
+* a :class:`WorkloadProfile` describing its resource demands, which the
+  Figure 10 performance model replays on the simulated machine.
+
+The profiles encode what the paper observes: K-Means and Matrix
+Multiply are compute-bound (SMT sharing hurts, unique cores win); Mean
+streams its input (bandwidth-bound, but the input lives on one node, so
+spreading buys little and costs synchronization); Word Count hammers
+the allocator and synchronizes constantly (placement-latency bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.mapreduce.engine import MapReduceJob
+from repro.place import Policy
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Resource profile replayed by the Figure 10 cost model."""
+
+    name: str
+    paper_policy: Policy  # the policy Figure 10 runs it with
+    input_mb: float
+    map_compute_per_byte: float  # cycles / input byte
+    shuffle_fraction: float  # intermediate bytes / input bytes
+    reduce_compute_per_byte: float  # cycles / intermediate byte
+    sync_rounds: int  # barrier + master round-trips during map
+    alloc_acquires_per_thread: int  # global-allocator lock acquisitions
+    prefers_unique_cores: bool  # true for flop-heavy kernels
+    #: bytes written to the worker's local node per input byte (the
+    #: allocation traffic of building intermediate structures)
+    alloc_bytes_fraction: float = 0.1
+    #: extra compute factor when an SMT sibling shares the core's
+    #: caches (beyond the engine's pipeline-sharing slowdown)
+    smt_cache_thrash: float = 1.0
+
+
+# ----------------------------------------------------------- Word Count
+def word_count_job() -> MapReduceJob:
+    def map_fn(line: str):
+        for word in line.split():
+            yield word.lower(), 1
+
+    def reduce_fn(word, counts):
+        return sum(counts)
+
+    return MapReduceJob(map_fn, reduce_fn, name="word-count")
+
+
+def word_count_data(n_lines: int = 200, seed: int = 0) -> list[str]:
+    rng = np.random.default_rng(seed)
+    vocabulary = ["the", "quick", "brown", "fox", "jumps", "over", "lazy",
+                  "dog", "lorem", "ipsum", "dolor", "sit", "amet"]
+    return [
+        " ".join(rng.choice(vocabulary, size=rng.integers(3, 12)))
+        for _ in range(n_lines)
+    ]
+
+
+WORD_COUNT = WorkloadProfile(
+    name="word-count",
+    paper_policy=Policy.RR_HWC,
+    input_mb=1024.0,
+    map_compute_per_byte=2.0,
+    shuffle_fraction=0.5,
+    reduce_compute_per_byte=2.0,
+    sync_rounds=220,  # heavy synchronization (paper, Section 7.3)
+    alloc_acquires_per_thread=320,  # heavy memory allocation
+    prefers_unique_cores=False,
+    alloc_bytes_fraction=3.5,  # intermediate tables dwarf the input
+    smt_cache_thrash=1.1,
+)
+
+
+# -------------------------------------------------------------- K-Means
+def kmeans_job(centroids: np.ndarray) -> MapReduceJob:
+    def map_fn(point: np.ndarray):
+        distances = np.linalg.norm(centroids - point, axis=1)
+        yield int(np.argmin(distances)), point
+
+    def reduce_fn(cluster, points):
+        return np.mean(points, axis=0)
+
+    return MapReduceJob(map_fn, reduce_fn, name="k-means")
+
+
+def kmeans_data(n_points: int = 300, dims: int = 3, k: int = 4,
+                seed: int = 0) -> tuple[list[np.ndarray], np.ndarray]:
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 10, size=(k, dims))
+    points = [
+        centers[rng.integers(k)] + rng.normal(0, 1, dims)
+        for _ in range(n_points)
+    ]
+    return points, rng.normal(0, 10, size=(k, dims))
+
+
+KMEANS = WorkloadProfile(
+    name="k-means",
+    paper_policy=Policy.CON_CORE_HWC,
+    input_mb=768.0,
+    map_compute_per_byte=14.0,  # distance computation per point
+    shuffle_fraction=0.08,
+    reduce_compute_per_byte=3.0,
+    sync_rounds=80,  # per-iteration barriers
+    alloc_acquires_per_thread=8,
+    prefers_unique_cores=True,
+    alloc_bytes_fraction=0.6,  # cluster-assignment writes
+    smt_cache_thrash=1.15,  # the distance kernel mostly fits the caches
+)
+
+
+# ----------------------------------------------------------------- Mean
+def mean_job() -> MapReduceJob:
+    def map_fn(chunk: np.ndarray):
+        yield "sum", float(np.sum(chunk))
+        yield "count", int(chunk.size)
+
+    def reduce_fn(key, values):
+        return sum(values)
+
+    return MapReduceJob(map_fn, reduce_fn, name="mean")
+
+
+def mean_data(n_chunks: int = 64, chunk: int = 256, seed: int = 0) -> list:
+    rng = np.random.default_rng(seed)
+    return [rng.normal(50, 10, chunk) for _ in range(n_chunks)]
+
+
+MEAN = WorkloadProfile(
+    name="mean",
+    paper_policy=Policy.CON_HWC,
+    input_mb=2048.0,
+    map_compute_per_byte=0.8,  # a single add per element: pure streaming
+    shuffle_fraction=0.001,
+    reduce_compute_per_byte=1.0,
+    sync_rounds=18,
+    alloc_acquires_per_thread=4,
+    prefers_unique_cores=False,
+    alloc_bytes_fraction=0.02,
+    smt_cache_thrash=1.0,  # streaming: nothing cache-resident to thrash
+)
+
+
+# -------------------------------------------------------- Matrix Multiply
+def matrix_mult_job(a: np.ndarray, b: np.ndarray) -> MapReduceJob:
+    def map_fn(row_index: int):
+        yield row_index, a[row_index] @ b
+
+    def reduce_fn(row_index, rows):
+        return rows[0]
+
+    return MapReduceJob(map_fn, reduce_fn, name="matrix-mult")
+
+
+def matrix_mult_data(n: int = 24, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    b = rng.normal(size=(n, n))
+    return list(range(n)), a, b
+
+
+MATRIX_MULT = WorkloadProfile(
+    name="matrix-mult",
+    paper_policy=Policy.CON_CORE,
+    input_mb=512.0,
+    map_compute_per_byte=26.0,  # O(n) flops per input byte
+    shuffle_fraction=0.25,
+    reduce_compute_per_byte=0.5,
+    sync_rounds=12,
+    alloc_acquires_per_thread=6,
+    prefers_unique_cores=True,
+    alloc_bytes_fraction=0.25,
+    smt_cache_thrash=1.3,  # row blocks are evicted by the sibling
+)
+
+
+ALL_PROFILES: tuple[WorkloadProfile, ...] = (
+    KMEANS, MEAN, WORD_COUNT, MATRIX_MULT
+)
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    for p in ALL_PROFILES:
+        if p.name == name:
+            return p
+    raise KeyError(name)

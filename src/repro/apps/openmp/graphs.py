@@ -1,0 +1,74 @@
+"""Synthetic graphs in CSR form.
+
+Green-Marl's evaluation graphs (100M nodes, 800M edges) obviously do
+not fit a functional Python run; the kernels operate on scaled-down
+graphs with the same degree structure, and the Figure 12 cost model
+works from node/edge *counts* only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CsrGraph:
+    """Compressed-sparse-row adjacency."""
+
+    offsets: np.ndarray  # int64, len n_nodes + 1
+    targets: np.ndarray  # int32, len n_edges
+
+    @property
+    def n_nodes(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def n_edges(self) -> int:
+        return self.targets.size
+
+    def neighbors(self, node: int) -> np.ndarray:
+        return self.targets[self.offsets[node]:self.offsets[node + 1]]
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+
+def uniform_graph(n_nodes: int, avg_degree: int, seed: int = 0) -> CsrGraph:
+    """Erdos-Renyi-style graph with a fixed average degree."""
+    rng = np.random.default_rng(seed)
+    degrees = rng.poisson(avg_degree, n_nodes).astype(np.int64)
+    offsets = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    targets = rng.integers(0, n_nodes, offsets[-1], dtype=np.int32)
+    return CsrGraph(offsets=offsets, targets=targets)
+
+
+def powerlaw_graph(n_nodes: int, avg_degree: int, alpha: float = 2.2,
+                   seed: int = 0) -> CsrGraph:
+    """Scale-free-ish graph (Zipf degrees, capped), like web/social data."""
+    rng = np.random.default_rng(seed)
+    raw = rng.zipf(alpha, n_nodes)
+    degrees = np.minimum(raw, n_nodes - 1).astype(np.int64)
+    scale = max(avg_degree / max(degrees.mean(), 1e-9), 1e-9)
+    degrees = np.maximum((degrees * scale).astype(np.int64), 1)
+    offsets = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    # Preferential attachment flavour: targets biased toward low ids.
+    u = rng.random(offsets[-1])
+    targets = (n_nodes * u**2).astype(np.int32)
+    return CsrGraph(offsets=offsets, targets=targets)
+
+
+@dataclass(frozen=True)
+class GraphScale:
+    """Node/edge counts for the cost model (no materialization)."""
+
+    n_nodes: int
+    n_edges: int
+
+    @staticmethod
+    def paper() -> "GraphScale":
+        """The paper's Green-Marl datasets: 100M nodes, 800M edges."""
+        return GraphScale(n_nodes=100_000_000, n_edges=800_000_000)

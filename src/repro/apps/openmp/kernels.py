@@ -1,0 +1,172 @@
+"""Green-Marl-style graph kernels.
+
+Each kernel exists twice: a *functional* implementation over a real
+:class:`~repro.apps.openmp.graphs.CsrGraph` (tested for correctness)
+and a :class:`KernelProfile` that the Figure 12 cost model replays on
+the simulated machine.  The six workloads are the ones Figure 12
+evaluates: Communities, Hop Distance, PageRank, Potential Friends,
+Random Degree Sampling and the two-kernel Combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.openmp.graphs import CsrGraph
+from repro.place import Policy
+
+
+# ------------------------------------------------------------ functional
+def pagerank(graph: CsrGraph, iterations: int = 10, damping: float = 0.85) -> np.ndarray:
+    """Power-iteration PageRank."""
+    n = graph.n_nodes
+    rank = np.full(n, 1.0 / n)
+    out_degree = np.maximum(graph.degrees(), 1)
+    src = np.repeat(np.arange(n), graph.degrees())
+    for _ in range(iterations):
+        contrib = rank / out_degree
+        incoming = np.zeros(n)
+        np.add.at(incoming, graph.targets, contrib[src])
+        rank = (1 - damping) / n + damping * incoming
+    return rank
+
+
+def hop_distance(graph: CsrGraph, source: int = 0) -> np.ndarray:
+    """BFS levels from a source (-1 for unreachable nodes)."""
+    dist = np.full(graph.n_nodes, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        level += 1
+        nxt = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if dist[v] < 0:
+                    dist[v] = level
+                    nxt.append(int(v))
+        frontier = nxt
+    return dist
+
+
+def communities(graph: CsrGraph, max_iters: int = 50) -> np.ndarray:
+    """Synchronous min-label propagation until stable."""
+    labels = np.arange(graph.n_nodes, dtype=np.int64)
+    for _ in range(max_iters):
+        new = labels.copy()
+        for u in range(graph.n_nodes):
+            nbrs = graph.neighbors(u)
+            if nbrs.size:
+                new[u] = min(labels[u], labels[nbrs].min())
+        if (new == labels).all():
+            break
+        labels = new
+    return labels
+
+
+def potential_friends(graph: CsrGraph, max_candidates: int = 5) -> dict[int, list[int]]:
+    """Friends-of-friends that are not already friends (2-hop minus 1-hop)."""
+    out: dict[int, list[int]] = {}
+    for u in range(graph.n_nodes):
+        direct = set(graph.neighbors(u).tolist())
+        candidates: set[int] = set()
+        for v in graph.neighbors(u):
+            candidates.update(graph.neighbors(int(v)).tolist())
+        candidates -= direct | {u}
+        out[u] = sorted(candidates)[:max_candidates]
+    return out
+
+
+def random_degree_sampling(graph: CsrGraph, n_samples: int, seed: int = 0) -> np.ndarray:
+    """Sample nodes with probability proportional to their degree."""
+    rng = np.random.default_rng(seed)
+    degrees = graph.degrees().astype(float)
+    total = degrees.sum()
+    if total == 0:
+        return rng.integers(0, graph.n_nodes, n_samples)
+    return rng.choice(graph.n_nodes, size=n_samples, p=degrees / total)
+
+
+def combination(graph: CsrGraph, iterations: int = 5) -> tuple[np.ndarray, dict]:
+    """The paper's Combination: PageRank, then Potential Friends."""
+    return pagerank(graph, iterations), potential_friends(graph)
+
+
+# ------------------------------------------------------------- profiles
+@dataclass(frozen=True)
+class KernelProfile:
+    """One parallel region's resource demands, per superstep.
+
+    ``random_access_per_edge`` dependent loads chase neighbour data
+    (NUMA-latency bound); ``stream_bytes_per_edge`` flow sequentially
+    (bandwidth bound); ``compute_per_edge`` cycles run in-core.
+    """
+
+    name: str
+    paper_policy: Policy
+    supersteps: int
+    random_access_per_edge: float
+    stream_bytes_per_edge: float
+    compute_per_edge: float
+    smt_cache_thrash: float = 1.0
+
+
+COMMUNITIES = KernelProfile(
+    name="communities",
+    paper_policy=Policy.CON_CORE_HWC,
+    supersteps=24,
+    random_access_per_edge=0.55,
+    stream_bytes_per_edge=10.0,
+    compute_per_edge=3.0,
+)
+
+HOP_DISTANCE = KernelProfile(
+    name="hop-distance",
+    paper_policy=Policy.CON_CORE_HWC,
+    supersteps=40,  # one per BFS level: many small steps
+    random_access_per_edge=0.25,
+    stream_bytes_per_edge=3.0,
+    compute_per_edge=1.2,
+)
+
+PAGERANK = KernelProfile(
+    name="pagerank",
+    paper_policy=Policy.BALANCE_CORE_HWC,  # the paper's "BALANCE"
+    supersteps=10,
+    random_access_per_edge=0.30,
+    stream_bytes_per_edge=16.0,  # rank + contribution arrays
+    compute_per_edge=2.0,
+)
+
+POTENTIAL_FRIENDS = KernelProfile(
+    name="potential-friends",
+    paper_policy=Policy.CON_CORE_HWC,
+    supersteps=6,
+    random_access_per_edge=0.9,  # 2-hop expansion is pointer chasing
+    stream_bytes_per_edge=6.0,
+    compute_per_edge=5.0,
+    smt_cache_thrash=1.2,
+)
+
+RANDOM_DEGREE_SAMPLING = KernelProfile(
+    name="rand-degree-sampling",
+    paper_policy=Policy.CON_CORE_HWC,
+    supersteps=4,
+    random_access_per_edge=0.7,
+    stream_bytes_per_edge=4.0,
+    compute_per_edge=1.0,
+)
+
+#: Combination = PageRank followed by Potential Friends; MCTOP_MP can
+#: switch policy between the two regions, plain OpenMP cannot.
+COMBINATION_PARTS = (PAGERANK, POTENTIAL_FRIENDS)
+
+ALL_KERNELS: tuple[KernelProfile, ...] = (
+    COMMUNITIES,
+    HOP_DISTANCE,
+    PAGERANK,
+    POTENTIAL_FRIENDS,
+    RANDOM_DEGREE_SAMPLING,
+)

@@ -1,0 +1,35 @@
+"""Topology-aware parallel mergesort (Section 7.2)."""
+
+from repro.apps.sort.bench import (
+    Figure9Result,
+    SortBreakdown,
+    SortCostConfig,
+    run_figure9,
+    simulate_sort_run,
+)
+from repro.apps.sort.merge import (
+    SIMD_WIDTH,
+    bitonic_merge8,
+    merge_scalar,
+    merge_simd,
+)
+from repro.apps.sort.mergesort import gnu_parallel_sort, mctop_sort, mctop_sort_sse
+from repro.apps.sort.tree import MergeStep, ReductionTree, build_reduction_tree
+
+__all__ = [
+    "Figure9Result",
+    "MergeStep",
+    "ReductionTree",
+    "SIMD_WIDTH",
+    "SortBreakdown",
+    "SortCostConfig",
+    "bitonic_merge8",
+    "build_reduction_tree",
+    "gnu_parallel_sort",
+    "mctop_sort",
+    "mctop_sort_sse",
+    "merge_scalar",
+    "merge_simd",
+    "run_figure9",
+    "simulate_sort_run",
+]

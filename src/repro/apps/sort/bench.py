@@ -1,0 +1,279 @@
+"""The Figure 9 experiment: sorting 1 GB of integers.
+
+The functional algorithms in ``mergesort.py`` prove correctness on real
+arrays; sorting 268M integers in pure Python is not meaningful to
+*time*, so the experiment replays each algorithm's execution plan —
+which thread computes what, and which memory channels its data crosses
+— on the discrete-event engine.  The breakdown matches the paper's
+stacked bars: a sequential (chunk-sort) part and a merging part.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.mctop import Mctop
+from repro.hardware.machine import Machine
+from repro.apps.sort.tree import build_reduction_tree
+from repro.place import Placement, Policy
+from repro.sim import Barrier, BarrierWait, Compute, Engine, MemStream
+
+
+@dataclass(frozen=True)
+class SortCostConfig:
+    n_elements: int = 268_435_456  # 1 GB of 4-byte integers
+    element_bytes: int = 4
+    sort_cycles_per_element_level: float = 9.0  # sequential quicksort
+    merge_scalar_cycles: float = 12.0
+    merge_simd_cycles: float = 4.5
+    simd_data_share: float = 3.0  # SIMD threads take 3x the data
+    #: extra per-element merge cost of the topology-agnostic baseline:
+    #: gnu merges through one socket's LLC and memory controller, while
+    #: mctop_sort spreads runs across every socket's LLC (Section 7.2)
+    agnostic_cache_penalty: float = 1.5
+
+
+@dataclass
+class SortBreakdown:
+    """One bar of Figure 9."""
+
+    platform: str
+    variant: str  # "gnu" | "mctop" | "mctop_sse"
+    n_threads: int
+    sequential_seconds: float
+    merge_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.sequential_seconds + self.merge_seconds
+
+
+@dataclass(frozen=True)
+class _Phase:
+    compute: float = 0.0
+    streams: tuple[tuple[int, float], ...] = ()  # (node, bytes)
+
+
+def _merge_cost(cfg: SortCostConfig, simd: bool) -> float:
+    return cfg.merge_simd_cycles if simd else cfg.merge_scalar_cycles
+
+
+def _build_plans(
+    mctop: Mctop,
+    variant: str,
+    n_threads: int,
+    cfg: SortCostConfig,
+) -> tuple[list[int], list[list[_Phase]]]:
+    """Per-thread phase lists (all threads have the same phase count)."""
+    if variant == "gnu":
+        # gnu_parallel does not pin; the OS scheduler load-balances
+        # threads across cores and sockets (without any topology goal).
+        placement = Placement(mctop, Policy.BALANCE_CORE, n_threads=n_threads)
+    else:
+        placement = Placement(mctop, Policy.RR_CORE, n_threads=n_threads)
+    ctxs = placement.ordering
+    data_node = mctop.node_of_socket(mctop.socket_ids()[0])
+    sockets = [mctop.socket_of_context(c) for c in ctxs]
+    local_nodes = [mctop.get_local_node(c) for c in ctxs]
+    ebytes = cfg.element_bytes
+    n = cfg.n_elements
+
+    # Data shares: SIMD threads (first context of each core) take 3x.
+    if variant == "mctop_sse" and mctop.has_smt:
+        weights = [
+            cfg.simd_data_share
+            if mctop.contexts[c].smt_index == 0
+            else 1.0
+            for c in ctxs
+        ]
+        simd_flags = [mctop.contexts[c].smt_index == 0 for c in ctxs]
+    else:
+        weights = [1.0] * n_threads
+        simd_flags = [variant == "mctop_sse"] * n_threads
+    wsum = sum(weights)
+    merge_share = [n * w / wsum for w in weights]
+    chunk = n / n_threads  # sequential part is identical across variants
+
+    plans: list[list[_Phase]] = [[] for _ in range(n_threads)]
+
+    # ---- Phase 1: sequential chunk sort (plus data distribution).
+    sort_cycles = cfg.sort_cycles_per_element_level * chunk * math.log2(max(chunk, 2))
+    for i in range(n_threads):
+        if variant == "gnu":
+            streams = ((data_node, 2 * chunk * ebytes),)
+        else:
+            # Fetch from the source node once, work locally after.
+            streams = (
+                (data_node, chunk * ebytes),
+                (local_nodes[i], chunk * ebytes),
+            )
+        plans[i].append(_Phase(compute=sort_cycles, streams=streams))
+
+    # ---- Phase 2: merge rounds.
+    per_socket: dict[int, int] = {}
+    for s in sockets:
+        per_socket[s] = per_socket.get(s, 0) + 1
+
+    if variant == "gnu":
+        # Topology-agnostic pairwise merging: every round touches all
+        # data.  Half the traffic hits the source array on node 0, half
+        # the first-touched intermediates near the threads — but with
+        # no bandwidth-aware pairing and no LLC partitioning.
+        rounds = math.ceil(math.log2(max(n_threads, 2)))
+        for i in range(n_threads):
+            cost = _merge_cost(cfg, simd_flags[i]) * cfg.agnostic_cache_penalty
+            for _ in range(rounds):
+                plans[i].append(
+                    _Phase(
+                        compute=cost * merge_share[i],
+                        streams=(
+                            (data_node, 0.5 * merge_share[i] * ebytes),
+                            (local_nodes[i], 1.5 * merge_share[i] * ebytes),
+                        ),
+                    )
+                )
+        return ctxs, plans
+
+    # mctop variants: merge inside each socket first (local traffic)...
+    intra_rounds = math.ceil(math.log2(max(max(per_socket.values()), 2)))
+    for i in range(n_threads):
+        cost = _merge_cost(cfg, simd_flags[i])
+        for _ in range(intra_rounds):
+            plans[i].append(
+                _Phase(
+                    compute=cost * merge_share[i],
+                    streams=((local_nodes[i], 2 * merge_share[i] * ebytes),),
+                )
+            )
+
+    # ...then across sockets along the bandwidth-maximizing tree.  All
+    # threads keep cooperating on the merge work every round (the
+    # Section 5 reduction-tree policy); what the tree decides is where
+    # the *data* flows — sending sockets ship their halves over the
+    # chosen (maximum-bandwidth) links.
+    tree = build_reduction_tree(mctop)
+    alive_sockets = len(per_socket)
+    for round_steps in tree.rounds:
+        srcs = {st.src for st in round_steps}
+        ship_threads = {
+            s: max(sum(1 for x in sockets if x == s), 1) for s in srcs
+        }
+        # Each surviving socket holds n / alive elements; a source
+        # socket ships exactly its holding to its destination.
+        holding_bytes = n / max(alive_sockets, 1) * ebytes
+        for i in range(n_threads):
+            s = sockets[i]
+            cost = _merge_cost(cfg, simd_flags[i])
+            streams: tuple[tuple[int, float], ...]
+            if s in srcs:
+                step = next(st for st in round_steps if st.src == s)
+                dst_node = mctop.node_of_socket(step.dst)
+                streams = ((dst_node, holding_bytes / ship_threads[s]),)
+            else:
+                streams = ((local_nodes[i], 2 * merge_share[i] * ebytes),)
+            plans[i].append(
+                _Phase(compute=cost * merge_share[i], streams=streams)
+            )
+        alive_sockets -= len(round_steps)
+    return ctxs, plans
+
+
+def simulate_sort_run(
+    machine: Machine,
+    mctop: Mctop,
+    variant: str,
+    n_threads: int,
+    cfg: SortCostConfig | None = None,
+) -> SortBreakdown:
+    """Replay one Figure 9 bar on the discrete-event engine."""
+    if variant not in ("gnu", "mctop", "mctop_sse"):
+        raise ValueError(f"unknown sort variant {variant!r}")
+    cfg = cfg or SortCostConfig()
+    ctxs, plans = _build_plans(mctop, variant, n_threads, cfg)
+    engine = Engine(machine)
+    barrier = Barrier(n_threads)
+    phase_times: list[float] = []
+
+    def worker(i: int, plan: list[_Phase]):
+        for phase_no, phase in enumerate(plan):
+            for node, nbytes in phase.streams:
+                yield MemStream(node, nbytes)
+            if phase.compute:
+                yield Compute(phase.compute)
+            yield BarrierWait(barrier)
+            if i == 0:
+                phase_times.append(engine.now)
+
+    for i, (ctx, plan) in enumerate(zip(ctxs, plans)):
+        engine.spawn(ctx, worker(i, plan))
+    stats = engine.run()
+    to_seconds = 1.0 / (machine.spec.freq_max_ghz * 1e9)
+    sequential = phase_times[0] * to_seconds
+    return SortBreakdown(
+        platform=machine.spec.name,
+        variant=variant,
+        n_threads=n_threads,
+        sequential_seconds=sequential,
+        merge_seconds=stats.seconds - sequential,
+    )
+
+
+@dataclass
+class Figure9Result:
+    bars: list[SortBreakdown] = field(default_factory=list)
+
+    def get(self, variant: str, n_threads: int) -> SortBreakdown:
+        for b in self.bars:
+            if b.variant == variant and b.n_threads == n_threads:
+                return b
+        raise KeyError((variant, n_threads))
+
+    def speedup(self, n_threads: int, variant: str = "mctop") -> float:
+        return (
+            self.get("gnu", n_threads).total_seconds
+            / self.get(variant, n_threads).total_seconds
+        )
+
+    def merge_speedup(self, n_threads: int, variant: str = "mctop") -> float:
+        return (
+            self.get("gnu", n_threads).merge_seconds
+            / self.get(variant, n_threads).merge_seconds
+        )
+
+    def table(self) -> str:
+        lines = [
+            f"{'platform':<10} {'threads':>7} {'variant':<10} "
+            f"{'sequential':>11} {'merging':>9} {'total':>8}"
+        ]
+        for b in self.bars:
+            lines.append(
+                f"{b.platform:<10} {b.n_threads:>7} {b.variant:<10} "
+                f"{b.sequential_seconds:>10.2f}s {b.merge_seconds:>8.2f}s "
+                f"{b.total_seconds:>7.2f}s"
+            )
+        return "\n".join(lines)
+
+
+def run_figure9(
+    machine: Machine,
+    mctop: Mctop,
+    cfg: SortCostConfig | None = None,
+    include_sse: bool = True,
+) -> Figure9Result:
+    """Both Figure 9 groups: 16 threads and the full machine.
+
+    SSE bars are produced only for platforms with SIMD (the paper skips
+    them on SPARC).
+    """
+    variants = ["gnu", "mctop"]
+    if include_sse and machine.spec.name != "sparc":
+        variants.append("mctop_sse")
+    result = Figure9Result()
+    groups = sorted({min(16, machine.spec.n_contexts), machine.spec.n_contexts})
+    for n_threads in groups:
+        for variant in variants:
+            result.bars.append(
+                simulate_sort_run(machine, mctop, variant, n_threads, cfg)
+            )
+    return result

@@ -1,0 +1,95 @@
+"""Functional parallel mergesort implementations.
+
+Three algorithms, mirroring Figure 9's contenders:
+
+* :func:`gnu_parallel_sort` — the topology-agnostic baseline: split
+  into chunks, sort each, merge pairwise in index order (what
+  ``__gnu_parallel::sort``'s final merge amounts to);
+* :func:`mctop_sort` — same first step, but the merge follows the
+  topology-aware reduction tree (chunks are grouped by socket, merged
+  within sockets first, then across sockets along the tree);
+* :func:`mctop_sort_sse` — ``mctop_sort`` with the SIMD bitonic merge
+  kernel.
+
+These run on real arrays and are checked for correctness; the *timing*
+of the 1 GB experiment comes from the cost model in ``bench.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mctop import Mctop
+from repro.apps.sort.merge import merge_scalar, merge_simd
+from repro.apps.sort.tree import build_reduction_tree
+from repro.place import Placement, Policy
+
+
+def _split_chunks(data: np.ndarray, n_chunks: int) -> list[np.ndarray]:
+    return [np.sort(c) for c in np.array_split(data, n_chunks)]
+
+
+def _merge_list(chunks: list[np.ndarray], merge) -> np.ndarray:
+    """Pairwise merge until a single run remains."""
+    runs = list(chunks)
+    while len(runs) > 1:
+        nxt = []
+        for i in range(0, len(runs) - 1, 2):
+            nxt.append(merge(runs[i], runs[i + 1]))
+        if len(runs) % 2:
+            nxt.append(runs[-1])
+        runs = nxt
+    return runs[0] if runs else np.array([])
+
+
+def gnu_parallel_sort(data: np.ndarray, n_threads: int) -> np.ndarray:
+    """The topology-agnostic baseline."""
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    return _merge_list(_split_chunks(data, n_threads), merge_scalar)
+
+
+def mctop_sort(
+    data: np.ndarray,
+    mctop: Mctop,
+    n_threads: int,
+    use_simd: bool = False,
+) -> np.ndarray:
+    """Topology-aware mergesort (Section 7.2).
+
+    Chunks are assigned to threads placed with the RR policy (spreading
+    across sockets to use every LLC); each socket's chunks are merged
+    locally, then socket results are merged along the bandwidth-
+    maximizing reduction tree, finishing on the tree's target socket.
+    """
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    merge = merge_simd if use_simd else merge_scalar
+    # Like any parallel sort, cap the team at the hardware's capacity.
+    n_threads = min(n_threads, mctop.n_contexts)
+    placement = Placement(mctop, Policy.RR_CORE, n_threads=n_threads)
+    chunks = _split_chunks(data, n_threads)
+
+    # Group the sorted chunks by the socket of their owning thread.
+    by_socket: dict[int, list[np.ndarray]] = {}
+    for ctx, chunk in zip(placement.ordering, chunks):
+        by_socket.setdefault(mctop.socket_of_context(ctx), []).append(chunk)
+
+    # Intra-socket reduction: all threads of a socket cooperate.
+    socket_runs = {s: _merge_list(c, merge) for s, c in by_socket.items()}
+
+    # Cross-socket reduction along the bandwidth tree.
+    tree = build_reduction_tree(mctop)
+    for round_steps in tree.rounds:
+        for step in round_steps:
+            if step.src in socket_runs and step.dst in socket_runs:
+                socket_runs[step.dst] = merge(
+                    socket_runs.pop(step.src), socket_runs[step.dst]
+                )
+    remaining = list(socket_runs.values())
+    return _merge_list(remaining, merge)
+
+
+def mctop_sort_sse(data: np.ndarray, mctop: Mctop, n_threads: int) -> np.ndarray:
+    """``mctop_sort`` with the SIMD bitonic merge kernel."""
+    return mctop_sort(data, mctop, n_threads, use_simd=True)

@@ -1,0 +1,226 @@
+"""Command-line interface: ``mctop`` (or ``python -m repro``).
+
+Mirrors the workflow of the real libmctop tool: run the inference once
+(``infer``), store a description file, then ``show``/``dot``/``place``
+against either a stored topology or a catalog machine.
+
+Examples
+--------
+::
+
+    mctop list
+    mctop infer ivy --seed 1 --out ivy.mct
+    mctop show ivy.mct
+    mctop dot opteron --view cross
+    mctop place ivy.mct --policy CON_HWC --threads 30
+    mctop validate opteron
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import MctopError
+
+
+def _load_topology(target: str, seed: int, repetitions: int):
+    """A topology from a .mct file or by inferring a catalog machine."""
+    from repro.core.algorithm import (
+        InferenceConfig,
+        LatencyTableConfig,
+        infer_topology,
+    )
+    from repro.core.serialize import load_mctop
+    from repro.hardware import get_machine, machine_names
+
+    if Path(target).suffix == ".mct" or Path(target).is_file():
+        return load_mctop(target)
+    if target in machine_names():
+        config = InferenceConfig(
+            table=LatencyTableConfig(repetitions=repetitions)
+        )
+        return infer_topology(get_machine(target), seed=seed, config=config)
+    raise MctopError(
+        f"{target!r} is neither a description file nor a catalog machine "
+        f"(known machines: {', '.join(machine_names())})"
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.hardware import get_machine, machine_names
+
+    for name in machine_names():
+        print(get_machine(name).describe())
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.core.algorithm import (
+        InferenceConfig,
+        InferenceReport,
+        LatencyTableConfig,
+        infer_topology,
+    )
+    from repro.core.serialize import save_mctop
+    from repro.hardware import get_machine
+
+    report = InferenceReport()
+    config = InferenceConfig(
+        table=LatencyTableConfig(repetitions=args.repetitions)
+    )
+    mctop = infer_topology(
+        get_machine(args.machine), seed=args.seed, config=config,
+        report=report,
+    )
+    print(mctop.summary())
+    print(f"samples taken : {report.samples_taken}")
+    if report.os_comparison is not None:
+        print(report.os_comparison.report())
+    if args.out:
+        path = save_mctop(mctop, args.out)
+        print(f"description written to {path}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    mctop = _load_topology(args.target, args.seed, args.repetitions)
+    print(mctop.summary())
+    if args.ascii:
+        from repro.core.viz import topology_ascii
+
+        print(topology_ascii(mctop))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.core.viz import cross_socket_dot, intra_socket_dot
+
+    mctop = _load_topology(args.target, args.seed, args.repetitions)
+    if args.view in ("intra", "both"):
+        print(intra_socket_dot(mctop))
+    if args.view in ("cross", "both"):
+        print(cross_socket_dot(mctop))
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    from repro.place import Placement
+
+    mctop = _load_topology(args.target, args.seed, args.repetitions)
+    placement = Placement(
+        mctop, args.policy, n_threads=args.threads, n_sockets=args.sockets
+    )
+    print(placement.print_stats())
+    return 0
+
+
+def _cmd_revalidate(args: argparse.Namespace) -> int:
+    """Check a stored description against the live machine (cheaply)."""
+    from repro.core.algorithm.changes import detect_changes
+    from repro.core.serialize import load_mctop
+    from repro.hardware import MeasurementContext, get_machine
+
+    mctop = load_mctop(args.description)
+    probe = MeasurementContext(get_machine(args.machine), seed=args.seed)
+    report = detect_changes(mctop, probe)
+    print(report.summary())
+    return 0 if report.topology_still_valid else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.algorithm import (
+        InferenceConfig,
+        InferenceReport,
+        LatencyTableConfig,
+        infer_topology,
+    )
+    from repro.hardware import get_machine
+
+    report = InferenceReport()
+    config = InferenceConfig(
+        table=LatencyTableConfig(repetitions=args.repetitions)
+    )
+    infer_topology(
+        get_machine(args.machine), seed=args.seed, config=config,
+        report=report,
+    )
+    print(report.os_comparison.report())
+    return 0 if report.os_comparison.all_match else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mctop",
+        description="MCTOP: infer, inspect and use multi-core topologies",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--repetitions", type=int, default=75,
+                       help="latency samples per context pair")
+
+    p_list = sub.add_parser("list", help="list catalog machines")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_infer = sub.add_parser("infer", help="run MCTOP-ALG on a machine")
+    p_infer.add_argument("machine")
+    p_infer.add_argument("--out", help="write a .mct description file")
+    common(p_infer)
+    p_infer.set_defaults(func=_cmd_infer)
+
+    p_show = sub.add_parser("show", help="summarize a topology")
+    p_show.add_argument("target", help=".mct file or machine name")
+    p_show.add_argument("--ascii", action="store_true",
+                        help="also print the ASCII topology tree")
+    common(p_show)
+    p_show.set_defaults(func=_cmd_show)
+
+    p_dot = sub.add_parser("dot", help="emit Graphviz DOT (Figures 1-3)")
+    p_dot.add_argument("target")
+    p_dot.add_argument("--view", choices=("intra", "cross", "both"),
+                       default="both")
+    common(p_dot)
+    p_dot.set_defaults(func=_cmd_dot)
+
+    p_place = sub.add_parser("place", help="compute a thread placement")
+    p_place.add_argument("target")
+    p_place.add_argument("--policy", default="CON_HWC")
+    p_place.add_argument("--threads", type=int, default=None)
+    p_place.add_argument("--sockets", type=int, default=None)
+    common(p_place)
+    p_place.set_defaults(func=_cmd_place)
+
+    p_val = sub.add_parser("validate",
+                           help="compare MCTOP against the OS topology")
+    p_val.add_argument("machine")
+    common(p_val)
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_reval = sub.add_parser(
+        "revalidate",
+        help="cheaply check a stored .mct against the live machine "
+             "(detects SMT/BIOS/context changes without a full re-run)",
+    )
+    p_reval.add_argument("description", help=".mct file")
+    p_reval.add_argument("machine", help="catalog machine to probe")
+    common(p_reval)
+    p_reval.set_defaults(func=_cmd_revalidate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except MctopError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The MCTOP abstraction: structures, inference, plugins, serialization."""
+
+from repro.core.mctop import Mctop, Provenance
+from repro.core.structures import (
+    CacheInfo,
+    HwContext,
+    HwcGroup,
+    InterconnectLink,
+    LatencyCluster,
+    MemoryNode,
+    PowerInfo,
+    SocketData,
+    TopologyLevel,
+    component_id,
+    level_of_id,
+)
+
+__all__ = [
+    "CacheInfo",
+    "HwContext",
+    "HwcGroup",
+    "InterconnectLink",
+    "LatencyCluster",
+    "MemoryNode",
+    "Mctop",
+    "PowerInfo",
+    "Provenance",
+    "SocketData",
+    "TopologyLevel",
+    "component_id",
+    "level_of_id",
+]

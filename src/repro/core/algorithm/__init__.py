@@ -1,0 +1,65 @@
+"""MCTOP-ALG: topology inference from latency measurements (Section 3)."""
+
+from repro.core.algorithm.clustering import (
+    ClusteringConfig,
+    assign_cluster,
+    cluster_summary,
+    compute_cdf,
+    find_clusters,
+    normalize_table,
+)
+from repro.core.algorithm.components import (
+    Component,
+    ComponentHierarchy,
+    HierarchyLevel,
+    build_components,
+)
+from repro.core.algorithm.inference import (
+    InferenceConfig,
+    InferenceReport,
+    infer_topology,
+    try_infer_topology,
+)
+from repro.core.algorithm.lat_table import (
+    LatencyTableConfig,
+    LatencyTableResult,
+    collect_latency_table,
+)
+from repro.core.algorithm.topology import (
+    TopologyConfig,
+    build_topology,
+    detect_smt,
+    find_socket_level,
+)
+from repro.core.algorithm.validation import (
+    OsComparison,
+    compare_with_os,
+    validate_structure,
+)
+
+__all__ = [
+    "ClusteringConfig",
+    "Component",
+    "ComponentHierarchy",
+    "HierarchyLevel",
+    "InferenceConfig",
+    "InferenceReport",
+    "LatencyTableConfig",
+    "LatencyTableResult",
+    "OsComparison",
+    "TopologyConfig",
+    "assign_cluster",
+    "build_components",
+    "build_topology",
+    "cluster_summary",
+    "collect_latency_table",
+    "compare_with_os",
+    "compute_cdf",
+    "detect_smt",
+    "find_clusters",
+    "find_socket_level",
+    "infer_topology",
+    "normalize_table",
+    "try_infer_topology",
+    "validate_structure",
+]

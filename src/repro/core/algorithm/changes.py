@@ -1,0 +1,125 @@
+"""Detecting dynamic topology changes (a stated libmctop limitation).
+
+Section 3.5: *"libmctop does not currently support the detection of
+dynamic changes of the topology ... MCTOP-ALG must be re-executed"*.
+This module implements the obvious extension: a cheap *revalidation*
+pass that re-samples a few strategically chosen context pairs and
+checks them against the stored topology, telling the user whether a
+re-run is needed — without paying for a full N x N inference.
+
+Checked invariants (each violated by a realistic change):
+
+* context count — a hardware context was disabled via the OS;
+* SMT sibling latency — SMT was toggled in the BIOS;
+* one intra-socket and one cross-socket pair per socket — socket-level
+  reconfiguration or a description file from a different machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.mctop import Mctop
+from repro.core.structures import LatencyCluster
+from repro.core.algorithm.clustering import assign_cluster
+from repro.hardware.probes import MeasurementContext
+
+
+@dataclass
+class ChangeReport:
+    """Outcome of a revalidation pass."""
+
+    context_count_ok: bool = True
+    mismatched_pairs: list[tuple[int, int, float, float]] = field(
+        default_factory=list
+    )  # (a, b, expected, measured)
+    pairs_checked: int = 0
+
+    @property
+    def topology_still_valid(self) -> bool:
+        return self.context_count_ok and not self.mismatched_pairs
+
+    def summary(self) -> str:
+        if self.topology_still_valid:
+            return (
+                f"topology still valid ({self.pairs_checked} pairs checked)"
+            )
+        lines = ["topology CHANGED — re-run MCTOP-ALG:"]
+        if not self.context_count_ok:
+            lines.append("  - the number of hardware contexts differs")
+        for a, b, expected, measured in self.mismatched_pairs[:8]:
+            lines.append(
+                f"  - pair ({a}, {b}): expected ~{expected:.0f} cycles, "
+                f"measured {measured:.0f}"
+            )
+        return "\n".join(lines)
+
+
+def _probe_pairs(mctop: Mctop) -> list[tuple[int, int]]:
+    """A small pair set that pins down the topology's shape."""
+    pairs: list[tuple[int, int]] = []
+    for sid in mctop.socket_ids():
+        ctxs = mctop.socket_get_contexts(sid)
+        if mctop.has_smt:
+            core = mctop.core_of_context(ctxs[0])
+            siblings = mctop.core_get_contexts(core)
+            pairs.append((siblings[0], siblings[1]))
+        # Two different cores of the same socket.
+        other_core = next(
+            (c for c in ctxs
+             if mctop.core_of_context(c) != mctop.core_of_context(ctxs[0])),
+            None,
+        )
+        if other_core is not None:
+            pairs.append((ctxs[0], other_core))
+    sockets = mctop.socket_ids()
+    for a, b in zip(sockets, sockets[1:]):
+        pairs.append(
+            (mctop.socket_get_contexts(a)[0], mctop.socket_get_contexts(b)[0])
+        )
+    return pairs
+
+
+def detect_changes(
+    mctop: Mctop,
+    probe: MeasurementContext,
+    repetitions: int = 21,
+    tolerance_clusters: tuple[LatencyCluster, ...] | None = None,
+) -> ChangeReport:
+    """Revalidate a stored topology against the live machine.
+
+    A measured pair is fine when it lands in the *same latency cluster*
+    the stored topology predicts; anything else (including a pair that
+    suddenly matches a different cluster — e.g. a "sibling" that now
+    behaves like a different core) is reported.
+    """
+    report = ChangeReport()
+    if probe.n_hw_contexts() != mctop.n_contexts:
+        report.context_count_ok = False
+        return report
+
+    clusters = tolerance_clusters or mctop.clusters
+    overhead = probe.estimate_tsc_overhead()
+    for a, b in _probe_pairs(mctop):
+        probe.warm_up(a, loop_iters=20_000)
+        probe.warm_up(b, loop_iters=20_000)
+        line = probe.fresh_line()
+        samples = [
+            probe.sample_pair_latency(a, b, line) - overhead
+            for _ in range(repetitions)
+        ]
+        measured = float(np.median(samples))
+        expected = float(mctop.get_latency(a, b))
+        report.pairs_checked += 1
+        expected_cluster = assign_cluster(expected, clusters)
+        measured_cluster = assign_cluster(measured, clusters)
+        # Accept values inside the expected cluster's [lo, hi] band,
+        # padded a little for measurement noise.
+        band = clusters[expected_cluster]
+        pad = max(6.0, 0.08 * band.median)
+        in_band = band.lo - pad <= measured <= band.hi + pad
+        if measured_cluster != expected_cluster and not in_band:
+            report.mismatched_pairs.append((a, b, expected, measured))
+    return report

@@ -1,0 +1,139 @@
+"""Step 2 of MCTOP-ALG: latency clustering and table normalization.
+
+The measured latency table contains a small number of underlying
+relations (same context, SMT siblings, same socket, each cross-socket
+distance) smeared by per-pair variation.  MCTOP-ALG recovers them from
+the cumulative distribution function of the values: each plateau of the
+CDF is a cluster, represented by a (min, median, max) triplet
+(Figure 6, step 2a), and the table is normalized by replacing every
+value with its cluster's median (step 2b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.core.structures import LatencyCluster
+
+
+@dataclass(frozen=True)
+class ClusteringConfig:
+    """Gap-detection knobs.
+
+    A new cluster starts where consecutive sorted values are separated
+    by more than ``max(abs_gap, rel_gap * value)``.  The defaults keep
+    the paper's platforms comfortably apart (the closest real clusters
+    are Opteron's 197 vs 217 cross-socket levels, >= 14 cycles apart
+    after jitter) while riding over realistic per-pair spread (Ivy's
+    intra-socket 88..140 range is dense, so its internal gaps stay small).
+    """
+
+    abs_gap: float = 10.0
+    rel_gap: float = 0.06
+    max_clusters: int = 24  # sanity bound; more means hopeless noise
+    min_cluster_fraction: float = 0.0005  # tiny clusters signal spurious data
+
+
+def compute_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of the latency values (Figure 6, step 2a).
+
+    Returns (sorted values, cumulative fraction <= value).
+    """
+    flat = np.sort(np.asarray(values, dtype=float).ravel())
+    if flat.size == 0:
+        raise ClusteringError("cannot build a CDF from no values")
+    cdf = np.arange(1, flat.size + 1) / flat.size
+    return flat, cdf
+
+
+def find_clusters(
+    values: np.ndarray,
+    cfg: ClusteringConfig | None = None,
+) -> tuple[LatencyCluster, ...]:
+    """Detect the latency clusters of a table.
+
+    ``values`` is typically the full N x N table (the zero diagonal
+    forms the first cluster, matching the paper's "4 clusters" for Ivy).
+    """
+    cfg = cfg or ClusteringConfig()
+    flat, _ = compute_cdf(values)
+    boundaries = [0]
+    for i in range(1, flat.size):
+        gap = flat[i] - flat[i - 1]
+        if gap > max(cfg.abs_gap, cfg.rel_gap * flat[i - 1]):
+            boundaries.append(i)
+    boundaries.append(flat.size)
+
+    clusters: list[LatencyCluster] = []
+    for lo_i, hi_i in zip(boundaries, boundaries[1:]):
+        chunk = flat[lo_i:hi_i]
+        clusters.append(
+            LatencyCluster(
+                lo=float(chunk[0]),
+                median=float(np.median(chunk)),
+                hi=float(chunk[-1]),
+            )
+        )
+
+    if len(clusters) > cfg.max_clusters:
+        raise ClusteringError(
+            f"found {len(clusters)} latency clusters (> {cfg.max_clusters}); "
+            "measurements are too noisy — rerun solo (Section 3.6)"
+        )
+    # A cluster backed by a vanishing number of samples is almost surely
+    # a handful of spurious measurements that survived the median.
+    min_count = max(1, int(cfg.min_cluster_fraction * flat.size))
+    for cluster, (lo_i, hi_i) in zip(clusters, zip(boundaries, boundaries[1:])):
+        if hi_i - lo_i < min_count:
+            raise ClusteringError(
+                f"cluster around {cluster.median:.0f} cycles holds only "
+                f"{hi_i - lo_i} values — spurious measurements detected"
+            )
+    return tuple(clusters)
+
+
+def assign_cluster(value: float, clusters: tuple[LatencyCluster, ...]) -> int:
+    """Index of the cluster a value belongs to (nearest median if outside
+    every [lo, hi] range, which can happen for values measured later,
+    e.g. by plugins)."""
+    for i, c in enumerate(clusters):
+        if c.contains(value):
+            return i
+    return int(
+        np.argmin([abs(value - c.median) for c in clusters])
+    )
+
+
+def normalize_table(
+    table: np.ndarray,
+    clusters: tuple[LatencyCluster, ...],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Replace every value by its cluster median (Figure 6, step 2b).
+
+    Returns ``(normalized, cluster_index)`` tables.  The diagonal is
+    forced to 0 / cluster 0.
+    """
+    n = table.shape[0]
+    normalized = np.empty_like(table)
+    index = np.empty((n, n), dtype=int)
+    medians = np.array([c.median for c in clusters])
+    for i in range(n):
+        for j in range(n):
+            k = assign_cluster(table[i, j], clusters)
+            index[i, j] = k
+            normalized[i, j] = medians[k]
+    np.fill_diagonal(normalized, 0.0)
+    np.fill_diagonal(index, 0)
+    return normalized, index
+
+
+def cluster_summary(clusters: tuple[LatencyCluster, ...]) -> str:
+    """Human-readable cluster triplets (what libmctop prints)."""
+    rows = [
+        f"  cluster {i}: min {c.lo:7.1f}  median {c.median:7.1f}  max {c.hi:7.1f}"
+        for i, c in enumerate(clusters)
+    ]
+    return "\n".join([f"{len(clusters)} latency clusters:"] + rows)

@@ -1,0 +1,228 @@
+"""Step 3 of MCTOP-ALG: component creation (Section 3.3).
+
+A component ``C_l`` of level ``l > 0`` is a set of level ``l-1``
+components such that any two of them communicate with the latency of
+level ``l`` *and* have identical normalized latencies towards every
+other component.  Starting from singleton contexts (level 0), the
+algorithm repeatedly groups components and reduces the latency table,
+level by level (Figure 6, step 3).
+
+Grouping stops at the first latency level whose relation does not
+partition the components uniformly.  On hierarchical machines this
+happens exactly at the cross-socket levels (on the paper's Opteron,
+socket 0 is 197 cycles from socket 1 but 217/300 cycles from the
+others, so the "identical rows" condition fails) — those levels become
+interconnect levels, handled by the topology-creation step.  If it
+happens *below* the socket level the measurements were inconsistent and
+inference fails (Section 3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InferenceError
+
+
+@dataclass
+class Component:
+    """One component of the hierarchy (level 0 components are contexts)."""
+
+    level: int
+    index: int  # per-level index
+    children: tuple[int, ...]  # per-level indices of level-1 members
+    contexts: tuple[int, ...]  # flattened hardware-context ids
+
+
+@dataclass
+class HierarchyLevel:
+    """All components of one level plus the reduced latency table."""
+
+    level: int
+    latency: float  # 0.0 for level 0
+    components: list[Component]
+    reduced: np.ndarray  # component-to-component normalized latencies
+
+
+@dataclass
+class ComponentHierarchy:
+    """Output of component creation.
+
+    ``levels[0]`` holds the singleton contexts; the last level holds the
+    largest groups that could be formed uniformly (the sockets, on every
+    real machine).  ``unresolved_latencies`` are the cluster medians that
+    did not form hierarchy levels — the cross-socket latency classes.
+    """
+
+    levels: list[HierarchyLevel]
+    unresolved_latencies: list[float]
+
+    @property
+    def top(self) -> HierarchyLevel:
+        return self.levels[-1]
+
+    def level_with_context_count(self, count: int) -> HierarchyLevel | None:
+        """The level whose components each hold ``count`` contexts."""
+        for lvl in self.levels:
+            sizes = {len(c.contexts) for c in lvl.components}
+            if sizes == {count}:
+                return lvl
+        return None
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, a: int) -> int:
+        while self.parent[a] != a:
+            self.parent[a] = self.parent[self.parent[a]]
+            a = self.parent[a]
+        return a
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+    def groups(self) -> list[list[int]]:
+        byroot: dict[int, list[int]] = {}
+        for i in range(len(self.parent)):
+            byroot.setdefault(self.find(i), []).append(i)
+        return sorted(byroot.values(), key=lambda g: g[0])
+
+
+def _try_group(reduced: np.ndarray, latency: float) -> list[list[int]] | None:
+    """Group components communicating at ``latency``; None if non-uniform.
+
+    Validity requires:  every component is in a group of >= 2; groups are
+    complete (every in-group pair communicates at ``latency``); all
+    groups have the same cardinality; and all members of a group have
+    identical rows towards the outside.
+    """
+    n = reduced.shape[0]
+    if n < 2:
+        return None
+    uf = _UnionFind(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if reduced[i, j] == latency:
+                uf.union(i, j)
+    groups = uf.groups()
+    if len(groups) == n or len(groups) < 1:
+        return None  # nothing grouped at this latency
+    sizes = {len(g) for g in groups}
+    if len(sizes) != 1 or sizes == {1}:
+        return None
+    for g in groups:
+        gset = set(g)
+        for a_i, a in enumerate(g):
+            for b in g[a_i + 1:]:
+                if reduced[a, b] != latency:
+                    return None  # not a complete subgraph
+            row = [reduced[a, o] for o in range(n) if o not in gset]
+            if a == g[0]:
+                first_row = row
+            elif row != first_row:
+                return None  # members disagree about the outside world
+    return groups
+
+
+def build_components(normalized: np.ndarray,
+                     cluster_medians: list[float]) -> ComponentHierarchy:
+    """Run the classification-and-reduction loop of Section 3.3."""
+    n = normalized.shape[0]
+    level0 = HierarchyLevel(
+        level=0,
+        latency=0.0,
+        components=[Component(0, i, (), (i,)) for i in range(n)],
+        reduced=normalized.copy(),
+    )
+    levels = [level0]
+    ascending = sorted(m for m in cluster_medians if m > 0)
+    unresolved: list[float] = []
+    stopped = False
+
+    for latency in ascending:
+        current = levels[-1]
+        if stopped or len(current.components) == 1:
+            unresolved.append(latency)
+            continue
+        groups = _try_group(current.reduced, latency)
+        if groups is None:
+            # First non-uniform level: everything above is cross-socket
+            # connectivity, not hierarchy.
+            stopped = True
+            unresolved.append(latency)
+            continue
+        comps: list[Component] = []
+        for idx, g in enumerate(groups):
+            ctxs = tuple(
+                sorted(
+                    ctx
+                    for member in g
+                    for ctx in current.components[member].contexts
+                )
+            )
+            comps.append(Component(current.level + 1, idx, tuple(g), ctxs))
+        reduced = _reduce_table(current.reduced, groups, latency)
+        levels.append(
+            HierarchyLevel(
+                level=current.level + 1,
+                latency=latency,
+                components=comps,
+                reduced=reduced,
+            )
+        )
+    _validate_hierarchy(levels, n)
+    return ComponentHierarchy(levels=levels, unresolved_latencies=unresolved)
+
+
+def _reduce_table(reduced: np.ndarray, groups: list[list[int]],
+                  latency: float) -> np.ndarray:
+    """Collapse grouped components into single rows/columns.
+
+    The inter-group value is well-defined because ``_try_group`` checked
+    row identity; we still verify it as a defence-in-depth invariant.
+    """
+    k = len(groups)
+    out = np.zeros((k, k))
+    for i in range(k):
+        for j in range(i + 1, k):
+            values = {
+                reduced[a, b]
+                for a in groups[i]
+                for b in groups[j]
+            }
+            if len(values) != 1:
+                raise InferenceError(
+                    f"groups {i} and {j} have ambiguous latencies {values} — "
+                    "spurious measurements were clustered incorrectly"
+                )
+            out[i, j] = out[j, i] = values.pop()
+    return out
+
+
+def _validate_hierarchy(levels: list[HierarchyLevel], n_contexts: int) -> None:
+    """The Section 3.6 invariants, checked on every build."""
+    for lvl in levels[1:]:
+        sizes = {len(c.children) for c in lvl.components}
+        if len(sizes) != 1:
+            raise InferenceError(
+                f"level {lvl.level} components have unequal sizes {sizes}"
+            )
+        seen: set[int] = set()
+        for comp in lvl.components:
+            overlap = seen & set(comp.contexts)
+            if overlap:
+                raise InferenceError(
+                    f"contexts {sorted(overlap)} appear in two level-{lvl.level} "
+                    "components"
+                )
+            seen.update(comp.contexts)
+        if seen != set(range(n_contexts)):
+            raise InferenceError(
+                f"level {lvl.level} does not cover every hardware context"
+            )

@@ -1,0 +1,147 @@
+"""End-to-end MCTOP-ALG orchestration.
+
+``infer_topology`` runs the four steps of Section 3 — latency table,
+clustering + normalization, component creation, topology creation —
+followed by the Section 4 enrichment plugins and the Section 3.6
+validation, and returns a fully annotated :class:`~repro.core.mctop.Mctop`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MctopError
+from repro.core.algorithm.clustering import (
+    ClusteringConfig,
+    find_clusters,
+    normalize_table,
+)
+from repro.core.algorithm.components import build_components
+from repro.core.algorithm.lat_table import LatencyTableConfig, collect_latency_table
+from repro.core.algorithm.topology import TopologyConfig, build_topology
+from repro.core.algorithm.validation import (
+    OsComparison,
+    compare_with_os,
+    validate_structure,
+)
+from repro.core.mctop import Mctop, Provenance
+from repro.hardware.machine import Machine
+from repro.hardware.noise import NoiseProfile
+from repro.hardware.probes import MeasurementContext
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """All knobs of one inference run."""
+
+    table: LatencyTableConfig = field(default_factory=LatencyTableConfig)
+    clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    plugins: tuple[str, ...] = ("memory-latency", "memory-bandwidth",
+                                "cache", "power")
+    validate: bool = True
+
+
+@dataclass
+class InferenceReport:
+    """Everything a run produced besides the topology itself."""
+
+    os_comparison: OsComparison | None = None
+    samples_taken: int = 0
+    retried_pairs: int = 0
+    tsc_overhead: float = 0.0
+
+
+def _as_probe(
+    target: Machine | MeasurementContext,
+    seed: int,
+    noise: NoiseProfile | None,
+    solo: bool,
+) -> MeasurementContext:
+    if isinstance(target, MeasurementContext):
+        return target
+    return MeasurementContext(target, noise=noise, seed=seed, solo=solo)
+
+
+def infer_topology(
+    target: Machine | MeasurementContext,
+    seed: int = 0,
+    config: InferenceConfig | None = None,
+    noise: NoiseProfile | None = None,
+    solo: bool = True,
+    name: str | None = None,
+    report: InferenceReport | None = None,
+) -> Mctop:
+    """Run MCTOP-ALG against a machine (or an existing probe context).
+
+    Parameters mirror libmctop's command line: the seed makes the run
+    reproducible, ``noise`` selects the measurement environment and
+    ``solo=False`` simulates other applications running concurrently
+    (which the paper warns against).
+
+    Raises :class:`~repro.errors.MctopError` subclasses when the
+    measurements cannot be turned into a consistent topology, matching
+    libmctop's "print an error and ask the user to retry" behaviour.
+    """
+    config = config or InferenceConfig()
+    probe = _as_probe(target, seed, noise, solo)
+    topo_name = name or probe.machine.spec.name
+
+    # Step 1: the N x N latency table.
+    table_result = collect_latency_table(probe, config.table)
+
+    # Step 2: clustering and normalization.
+    clusters = find_clusters(table_result.table, config.clustering)
+    normalized, _ = normalize_table(table_result.table, clusters)
+
+    # Step 3: component creation.
+    hierarchy = build_components(
+        normalized, [c.median for c in clusters]
+    )
+
+    # Step 4: topology creation (incl. SMT detection, local nodes).
+    provenance = Provenance(
+        machine=probe.machine.spec.name,
+        seed=seed,
+        samples_taken=table_result.samples_taken,
+        repetitions=table_result.repetitions,
+    )
+    mctop = build_topology(
+        probe,
+        hierarchy,
+        clusters,
+        normalized,
+        name=topo_name,
+        provenance=provenance,
+        cfg=config.topology,
+    )
+
+    # Section 4: enrichment plugins.
+    from repro.core.plugins import run_plugins
+
+    run_plugins(mctop, probe, config.plugins)
+
+    # Section 3.6: validation.
+    if config.validate:
+        validate_structure(mctop)
+        comparison = compare_with_os(mctop, probe.os)
+        if report is not None:
+            report.os_comparison = comparison
+    if report is not None:
+        report.samples_taken = table_result.samples_taken
+        report.retried_pairs = table_result.retried_pairs
+        report.tsc_overhead = table_result.tsc_overhead
+    return mctop
+
+
+def try_infer_topology(*args, **kwargs) -> Mctop | None:
+    """``infer_topology`` that returns None instead of raising.
+
+    Convenience for retry loops: the paper's tool asks the user to
+    simply re-run on failure, so callers often want
+    ``while (m := try_infer_topology(machine, seed=s)) is None: s += 1``.
+    """
+    try:
+        return infer_topology(*args, **kwargs)
+    except MctopError:
+        return None

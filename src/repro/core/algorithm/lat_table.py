@@ -1,0 +1,127 @@
+"""Step 1 of MCTOP-ALG: collecting the context-to-context latency table.
+
+Two simulated threads move from hardware context to hardware context and
+fill the N x N table with lock-step CAS measurements (Figure 5).  All of
+the paper's stabilization machinery is implemented:
+
+* the rdtsc read overhead is estimated once and subtracted from every
+  sample;
+* both cores are warmed up until back-to-back spin loops stop getting
+  faster (defeating DVFS);
+* every pair is sampled ``repetitions`` times; the median is kept and,
+  when the standard deviation exceeds ``stdev_threshold`` x median, the
+  pair is re-measured with a relaxed threshold (up to
+  ``max_stdev_threshold``), after which a :class:`MeasurementError` is
+  raised;
+* only the upper triangle is measured — the topology is symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.hardware.probes import MeasurementContext
+
+
+@dataclass(frozen=True)
+class LatencyTableConfig:
+    """Knobs of the measurement phase (paper defaults in brackets)."""
+
+    repetitions: int = 75  # [2000] samples per pair; the simulated
+    # probe needs far fewer for a stable median, and benches can raise it
+    stdev_threshold: float = 0.07  # [7%] of the median
+    max_stdev_threshold: float = 0.14  # [14%]
+    stdev_floor: float = 3.0  # cycles; absolute tolerance for tiny medians
+    spurious_deviation: float = 0.25  # of the median: beyond it, a sample
+    # is a spurious measurement and is discarded before the stdev check
+    max_discard_fraction: float = 0.2  # more discards than this => retry
+    warm_up: bool = True
+    warmup_loop_iters: int = 50_000
+
+
+@dataclass
+class LatencyTableResult:
+    """The measured table plus collection statistics."""
+
+    table: np.ndarray  # N x N medians, cycles; diagonal is 0
+    repetitions: int
+    samples_taken: int
+    retried_pairs: int
+    tsc_overhead: float
+    per_pair_stdev: np.ndarray = field(repr=False, default=None)
+
+
+def _measure_pair(
+    probe: MeasurementContext,
+    x: int,
+    y: int,
+    overhead: float,
+    cfg: LatencyTableConfig,
+) -> tuple[float, float, int]:
+    """Median latency for one context pair; returns (median, stdev, retries)."""
+    threshold = cfg.stdev_threshold
+    retries = 0
+    while True:
+        line = probe.fresh_line()
+        samples = np.empty(cfg.repetitions)
+        for i in range(cfg.repetitions):
+            samples[i] = probe.sample_pair_latency(x, y, line) - overhead
+        median = float(np.median(samples))
+        # Discard spurious measurements (interrupt-style spikes) the way
+        # libmctop does before judging stability (Section 3.5).
+        limit_dev = max(cfg.spurious_deviation * abs(median), 12.0)
+        kept = samples[np.abs(samples - median) <= limit_dev]
+        stdev = float(np.std(kept))
+        discarded = cfg.repetitions - kept.size
+        limit = max(threshold * abs(median), cfg.stdev_floor)
+        if stdev <= limit and discarded <= cfg.max_discard_fraction * cfg.repetitions:
+            return median, stdev, retries
+        retries += 1
+        threshold *= 2.0
+        if threshold > cfg.max_stdev_threshold:
+            raise MeasurementError(
+                f"pair ({x}, {y}) never stabilized: stdev {stdev:.1f} vs "
+                f"median {median:.1f} after {retries} retries — rerun "
+                "libmctop solo on the machine, possibly with different "
+                "settings (Section 3.5)"
+            )
+
+
+def collect_latency_table(
+    probe: MeasurementContext,
+    cfg: LatencyTableConfig | None = None,
+) -> LatencyTableResult:
+    """Fill the N x N latency table (Figure 6, step 1)."""
+    cfg = cfg or LatencyTableConfig()
+    n = probe.n_hw_contexts()
+    table = np.zeros((n, n))
+    stdevs = np.zeros((n, n))
+    overhead = probe.estimate_tsc_overhead()
+    start_samples = probe.samples_taken
+    retried = 0
+
+    warmed: set[int] = set()
+    for x in range(n):
+        if cfg.warm_up and x not in warmed:
+            probe.warm_up(x, cfg.warmup_loop_iters)
+            warmed.add(x)
+        for y in range(x + 1, n):
+            if cfg.warm_up and y not in warmed:
+                probe.warm_up(y, cfg.warmup_loop_iters)
+                warmed.add(y)
+            median, stdev, retries = _measure_pair(probe, x, y, overhead, cfg)
+            retried += 1 if retries else 0
+            table[x, y] = table[y, x] = max(median, 0.0)
+            stdevs[x, y] = stdevs[y, x] = stdev
+
+    return LatencyTableResult(
+        table=table,
+        repetitions=cfg.repetitions,
+        samples_taken=probe.samples_taken - start_samples,
+        retried_pairs=retried,
+        tsc_overhead=overhead,
+        per_pair_stdev=stdevs,
+    )

@@ -1,0 +1,338 @@
+"""Step 4 of MCTOP-ALG: topology creation (Section 3.4).
+
+Assigns roles to the components produced by step 3:
+
+* SMT is detected with the spin-loop probe (a calibrated loop slows
+  down when its SMT sibling is busy); with SMT the first non-zero
+  latency level is the physical cores;
+* the socket level is the level whose components hold exactly
+  ``n_contexts / n_nodes`` hardware contexts;
+* every latency relation above the sockets becomes cross-socket
+  connectivity (interconnect links), including multi-hop classes;
+* each socket's local memory node is found by *measurement* (the node
+  with minimum latency from that socket), which is how MCTOP-ALG gets
+  the mapping right even when the OS has it wrong (footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.core.algorithm.components import ComponentHierarchy, HierarchyLevel
+from repro.core.mctop import Mctop, Provenance
+from repro.core.structures import (
+    HwContext,
+    HwcGroup,
+    InterconnectLink,
+    LatencyCluster,
+    MemoryNode,
+    SocketData,
+    TopologyLevel,
+    component_id,
+)
+from repro.hardware.probes import MeasurementContext
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    smt_spin_iters: int = 100_000
+    smt_slowdown_threshold: float = 1.25
+    smt_probe_reps: int = 5
+    mem_probe_reps: int = 7
+    two_hop_latency_factor: float = 1.25  # highest cross class is routed
+    # if >= factor x the next one and the rest keeps the graph connected
+
+
+def detect_smt(
+    probe: MeasurementContext,
+    normalized: np.ndarray,
+    cfg: TopologyConfig | None = None,
+) -> bool:
+    """The paper's SMT probe: spin solo, then spin with the closest
+    context busy; a slowdown means the two share a core."""
+    cfg = cfg or TopologyConfig()
+    n = normalized.shape[0]
+    if n < 2:
+        return False
+    off = normalized + np.where(np.eye(n, dtype=bool), np.inf, 0.0)
+    x, y = np.unravel_index(np.argmin(off), off.shape)
+    probe.warm_up(int(x))
+    probe.warm_up(int(y))
+    solo = float(
+        np.median([probe.timed_spin(int(x), cfg.smt_spin_iters)
+                   for _ in range(cfg.smt_probe_reps)])
+    )
+    paired = float(
+        np.median([probe.paired_spin(int(x), int(y), cfg.smt_spin_iters)
+                   for _ in range(cfg.smt_probe_reps)])
+    )
+    return paired > solo * cfg.smt_slowdown_threshold
+
+
+def find_socket_level(hierarchy: ComponentHierarchy,
+                      n_contexts: int, n_nodes: int) -> HierarchyLevel:
+    """Section 3.4's rule: sockets hold ``n_contexts / n_nodes`` contexts."""
+    if n_contexts % n_nodes:
+        raise InferenceError(
+            f"{n_contexts} contexts over {n_nodes} nodes is not uniform"
+        )
+    per_socket = n_contexts // n_nodes
+    level = hierarchy.level_with_context_count(per_socket)
+    if level is None:
+        raise InferenceError(
+            f"no component level holds exactly {per_socket} contexts; "
+            "clustering produced an inconsistent hierarchy — retry the "
+            "measurements (Section 3.6)"
+        )
+    return level
+
+
+def _classify_cross_hops(
+    socket_lat: np.ndarray, cfg: TopologyConfig
+) -> np.ndarray:
+    """Hop count per socket pair (1 = direct, 2 = routed).
+
+    The highest latency class is considered routed when it is clearly
+    slower than the next class and the lower-class edges alone connect
+    the socket graph ("lvl 4 (2 hops)" in Figures 1b/2b).
+    """
+    k = socket_lat.shape[0]
+    hops = np.ones((k, k), dtype=int)
+    np.fill_diagonal(hops, 0)
+    classes = sorted({socket_lat[i, j] for i in range(k) for j in range(i + 1, k)})
+    if len(classes) < 2:
+        return hops
+    top = classes[-1]
+    if top < cfg.two_hop_latency_factor * classes[-2]:
+        return hops
+    # Direct edges = everything below the top class; check connectivity.
+    adj = [[j for j in range(k) if j != i and socket_lat[i, j] < top]
+           for i in range(k)]
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        nxt = [v for u in frontier for v in adj[u] if v not in seen]
+        seen.update(nxt)
+        frontier = nxt
+    if len(seen) != k:
+        return hops  # removing the top class disconnects: it is direct
+    for i in range(k):
+        for j in range(k):
+            if i != j and socket_lat[i, j] == top:
+                hops[i, j] = 2
+    return hops
+
+
+def _local_node_measurements(
+    probe: MeasurementContext,
+    socket_contexts: list[tuple[int, ...]],
+    cfg: TopologyConfig,
+) -> tuple[list[dict[int, float]], list[int]]:
+    """Measure per-socket memory latency to every node; return the
+    latency maps and each socket's (argmin) local node."""
+    n_nodes = probe.n_nodes()
+    latencies: list[dict[int, float]] = []
+    local: list[int] = []
+    for ctxs in socket_contexts:
+        rep = ctxs[0]
+        lat_map = {
+            node: float(
+                np.median([probe.mem_latency_sample(rep, node)
+                           for _ in range(cfg.mem_probe_reps)])
+            )
+            for node in range(n_nodes)
+        }
+        latencies.append(lat_map)
+        local.append(min(lat_map, key=lat_map.get))
+    return latencies, local
+
+
+def build_topology(
+    probe: MeasurementContext,
+    hierarchy: ComponentHierarchy,
+    clusters: tuple[LatencyCluster, ...],
+    normalized: np.ndarray,
+    name: str,
+    provenance: Provenance | None = None,
+    cfg: TopologyConfig | None = None,
+) -> Mctop:
+    """Assemble the final MCTOP from the component hierarchy."""
+    cfg = cfg or TopologyConfig()
+    n_contexts = normalized.shape[0]
+    n_nodes = probe.n_nodes()
+
+    has_smt = detect_smt(probe, normalized, cfg)
+    socket_level = find_socket_level(hierarchy, n_contexts, n_nodes)
+    if has_smt and socket_level.level < 1:
+        raise InferenceError("SMT detected but the socket level is level 0")
+
+    socket_level_idx = socket_level.level
+    smt_per_core = 1
+    if has_smt:
+        if socket_level_idx < 1:
+            raise InferenceError("inconsistent SMT/socket levels")
+        core_level = hierarchy.levels[1]
+        smt_per_core = len(core_level.components[0].contexts)
+
+    # ----------------------------------------------------------- groups
+    groups: dict[int, HwcGroup] = {}
+    level_infos: list[TopologyLevel] = [
+        TopologyLevel(0, 0, tuple(range(n_contexts)), role="context")
+    ]
+    # Map (level, per-level index) -> group id for parent wiring.
+    gid = {}
+    for lvl in hierarchy.levels[1:socket_level_idx + 1]:
+        ids = []
+        for comp in lvl.components:
+            cid = component_id(lvl.level, comp.index)
+            gid[(lvl.level, comp.index)] = cid
+            children: tuple[int, ...]
+            if lvl.level == 1:
+                children = tuple(
+                    hierarchy.levels[0].components[c].contexts[0]
+                    for c in comp.children
+                )
+            else:
+                children = tuple(
+                    gid[(lvl.level - 1, c)] for c in comp.children
+                )
+            groups[cid] = HwcGroup(
+                id=cid,
+                level=lvl.level,
+                latency=int(round(lvl.latency)),
+                children=children,
+                contexts=comp.contexts,
+            )
+            ids.append(cid)
+        if lvl.level == socket_level_idx:
+            role = "socket"
+        elif lvl.level == 1 and has_smt:
+            role = "core"
+        else:
+            role = "group"
+        level_infos.append(
+            TopologyLevel(lvl.level, int(round(lvl.latency)), tuple(ids), role)
+        )
+
+    socket_ids = [
+        gid[(socket_level_idx, c.index)] for c in socket_level.components
+    ]
+    # Wire parent pointers and socket ids top-down from each socket.
+    for s_idx, comp in enumerate(socket_level.components):
+        sid = socket_ids[s_idx]
+        stack = [sid]
+        while stack:
+            g = groups[stack.pop()]
+            g.socket_id = sid
+            for child in g.children:
+                if child in groups:
+                    groups[child].parent_id = g.id
+                    stack.append(child)
+
+    # --------------------------------------------------------- contexts
+    ctx_core: dict[int, int] = {}
+    ctx_smt: dict[int, int] = {}
+    if has_smt:
+        for comp in hierarchy.levels[1].components:
+            cid = gid[(1, comp.index)]
+            for smt_idx, ctx in enumerate(sorted(comp.contexts)):
+                ctx_core[ctx] = cid
+                ctx_smt[ctx] = smt_idx
+    else:
+        for ctx in range(n_contexts):
+            ctx_core[ctx] = ctx
+            ctx_smt[ctx] = 0
+
+    ctx_socket: dict[int, int] = {}
+    for s_idx, comp in enumerate(socket_level.components):
+        for ctx in comp.contexts:
+            ctx_socket[ctx] = socket_ids[s_idx]
+
+    contexts: dict[int, HwContext] = {}
+    for ctx in range(n_contexts):
+        row = normalized[ctx].copy()
+        row[ctx] = np.inf
+        contexts[ctx] = HwContext(
+            id=ctx,
+            core_id=ctx_core[ctx],
+            socket_id=ctx_socket[ctx],
+            smt_index=ctx_smt[ctx],
+            next_ctx=int(np.argmin(row)),
+        )
+
+    # ----------------------------------------------- memory & local node
+    socket_ctx_tuples = [c.contexts for c in socket_level.components]
+    lat_maps, local_nodes = _local_node_measurements(
+        probe, socket_ctx_tuples, cfg
+    )
+    if len(set(local_nodes)) != len(local_nodes) and n_nodes == len(socket_ids):
+        raise InferenceError(
+            f"two sockets claim the same local node ({local_nodes}); "
+            "memory measurements were inconsistent"
+        )
+    sockets: dict[int, SocketData] = {}
+    nodes: dict[int, MemoryNode] = {
+        node: MemoryNode(id=node) for node in range(n_nodes)
+    }
+    for s_idx, sid in enumerate(socket_ids):
+        sockets[sid] = SocketData(
+            id=sid,
+            local_node=local_nodes[s_idx],
+            mem_latencies=dict(lat_maps[s_idx]),
+        )
+        nodes[local_nodes[s_idx]].local_socket_id = sid
+        for ctx in socket_ctx_tuples[s_idx]:
+            contexts[ctx].local_node = local_nodes[s_idx]
+
+    # ------------------------------------------------------ cross levels
+    links: dict[tuple[int, int], InterconnectLink] = {}
+    k = len(socket_ids)
+    if k > 1:
+        socket_lat = socket_level.reduced
+        hops = _classify_cross_hops(socket_lat, cfg)
+        for i in range(k):
+            for j in range(i + 1, k):
+                a, b = sorted((socket_ids[i], socket_ids[j]))
+                links[(a, b)] = InterconnectLink(
+                    socket_a=a,
+                    socket_b=b,
+                    latency=int(round(socket_lat[i, j])),
+                    n_hops=int(hops[i, j]),
+                )
+        cross_classes = sorted(
+            {socket_lat[i, j] for i in range(k) for j in range(i + 1, k)}
+        )
+        next_level = socket_level_idx + 1
+        for cls in cross_classes:
+            members = tuple(
+                sorted(
+                    {
+                        socket_ids[i]
+                        for i in range(k)
+                        for j in range(k)
+                        if i != j and socket_lat[i, j] == cls
+                    }
+                )
+            )
+            level_infos.append(
+                TopologyLevel(next_level, int(round(cls)), members, role="cross")
+            )
+            next_level += 1
+
+    return Mctop(
+        name=name,
+        contexts=contexts,
+        groups=groups,
+        sockets=sockets,
+        nodes=nodes,
+        links=links,
+        levels=tuple(level_infos),
+        clusters=clusters,
+        lat_table=normalized,
+        has_smt=has_smt,
+        smt_per_core=smt_per_core,
+        provenance=provenance,
+    )

@@ -1,0 +1,157 @@
+"""MCTOP-ALG output validation (Section 3.6).
+
+Two mechanisms, as in the paper:
+
+* structural validation — symmetry/uniformity invariants of the
+  inferred topology (these are also enforced during component creation;
+  here they can be re-run on any topology, e.g. one loaded from disk);
+* comparison against the OS topology — if both views agree the result
+  is certainly correct; when they disagree, the report says *which*
+  measurements to re-run so the user can decide who is right (on the
+  paper's Opteron it is the OS that is wrong).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.core.mctop import Mctop
+from repro.hardware.os_view import OsTopology
+
+
+def validate_structure(mctop: Mctop) -> None:
+    """Raise :class:`ValidationError` on any structural inconsistency."""
+    per_socket = [
+        len(mctop.socket_get_contexts(s)) for s in mctop.socket_ids()
+    ]
+    if len(set(per_socket)) > 1:
+        raise ValidationError(f"sockets hold unequal context counts {per_socket}")
+
+    core_sizes = {
+        len(mctop.core_get_contexts(c)) for c in mctop.core_ids()
+    }
+    if len(core_sizes) > 1:
+        raise ValidationError(f"cores hold unequal context counts {core_sizes}")
+    if mctop.has_smt and core_sizes == {1}:
+        raise ValidationError("SMT reported but every core has one context")
+    if not mctop.has_smt and core_sizes != {1}:
+        raise ValidationError("no SMT reported but cores have multiple contexts")
+
+    seen: set[int] = set()
+    for s in mctop.socket_ids():
+        ctxs = set(mctop.socket_get_contexts(s))
+        if seen & ctxs:
+            raise ValidationError("a context belongs to two sockets")
+        seen |= ctxs
+    if seen != set(mctop.context_ids()):
+        raise ValidationError("sockets do not cover every context")
+
+    n_sockets = mctop.n_sockets
+    expect_links = n_sockets * (n_sockets - 1) // 2
+    if len(mctop.links) != expect_links:
+        raise ValidationError(
+            f"{len(mctop.links)} interconnect entries, expected {expect_links}"
+        )
+    for (a, b), link in mctop.links.items():
+        if link.latency <= mctop.groups[a].latency:
+            raise ValidationError(
+                f"cross-socket latency {link.latency} not above intra-socket"
+            )
+
+    # Latency levels must be strictly increasing.
+    lats = [lv.latency for lv in mctop.levels]
+    if lats != sorted(lats) or len(set(lats)) != len(lats):
+        raise ValidationError(f"latency levels not strictly increasing: {lats}")
+
+
+@dataclass
+class OsComparison:
+    """Result of comparing MCTOP with the OS view (Section 3.6)."""
+
+    cores_match: bool
+    sockets_match: bool
+    nodes_match: bool
+    mismatched_node_contexts: tuple[int, ...] = ()
+    suggestions: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def all_match(self) -> bool:
+        return self.cores_match and self.sockets_match and self.nodes_match
+
+    def report(self) -> str:
+        if self.all_match:
+            return (
+                "MCTOP matches the OS topology — the inferred topology is "
+                "certainly correct."
+            )
+        lines = ["MCTOP and the OS topology disagree:"]
+        if not self.cores_match:
+            lines.append("  - core (SMT sibling) grouping differs")
+        if not self.sockets_match:
+            lines.append("  - socket membership differs")
+        if not self.nodes_match:
+            lines.append(
+                f"  - local-node mapping differs for "
+                f"{len(self.mismatched_node_contexts)} contexts"
+            )
+        lines.append("Suggested re-runs:")
+        lines.extend(f"  * {s}" for s in self.suggestions)
+        return "\n".join(lines)
+
+
+def _partition(pairs: dict[int, int]) -> set[frozenset[int]]:
+    """Group keys by value, as an unlabeled partition."""
+    groups: dict[int, set[int]] = {}
+    for k, v in pairs.items():
+        groups.setdefault(v, set()).add(k)
+    return {frozenset(g) for g in groups.values()}
+
+
+def compare_with_os(mctop: Mctop, os_top: OsTopology) -> OsComparison:
+    """Compare the inferred topology against what the OS reports.
+
+    Core and socket groupings are compared as unlabeled partitions
+    (ids are arbitrary); the node mapping is compared directly, because
+    node ids are shared between both views (memory is allocated by node
+    id) — this is exactly the check that catches the Opteron's
+    misconfigured OS.
+    """
+    mc_cores = _partition({c: mctop.core_of_context(c) for c in mctop.context_ids()})
+    os_cores = _partition({c: os_top.core_of[c] for c in mctop.context_ids()})
+    cores_match = mc_cores == os_cores
+
+    mc_sockets = _partition(
+        {c: mctop.socket_of_context(c) for c in mctop.context_ids()}
+    )
+    os_sockets = _partition({c: os_top.socket_of[c] for c in mctop.context_ids()})
+    sockets_match = mc_sockets == os_sockets
+
+    mismatched = tuple(
+        c
+        for c in mctop.context_ids()
+        if mctop.get_local_node(c) != os_top.node_of[c]
+    )
+    nodes_match = not mismatched
+
+    suggestions: list[str] = []
+    if not cores_match:
+        suggestions.append(
+            "re-run the context-to-context latency table with more repetitions"
+        )
+    if not sockets_match:
+        suggestions.append(
+            "re-run latency clustering with a larger gap threshold"
+        )
+    if not nodes_match:
+        suggestions.append(
+            "re-run the per-socket memory-latency measurements; if they are "
+            "stable, the OS core-to-node mapping is misconfigured"
+        )
+    return OsComparison(
+        cores_match=cores_match,
+        sockets_match=sockets_match,
+        nodes_match=nodes_match,
+        mismatched_node_contexts=mismatched,
+        suggestions=tuple(suggestions),
+    )

@@ -1,0 +1,62 @@
+"""Enrichment plugins (Section 4).
+
+The basic topology contains communication latencies only; these plugins
+add memory latencies, memory bandwidths, cache information and power
+measurements.  Users can register their own plugins with
+:func:`register_plugin` — extensibility is one of MCTOP's design goals.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MctopError
+from repro.core.plugins.base import Plugin
+from repro.core.plugins.cache import CachePlugin
+from repro.core.plugins.mem_bandwidth import MemBandwidthPlugin
+from repro.core.plugins.mem_latency import MemLatencyPlugin
+from repro.core.plugins.power import PowerPlugin
+
+_REGISTRY: dict[str, type[Plugin]] = {}
+
+
+def register_plugin(cls: type[Plugin]) -> type[Plugin]:
+    """Register a plugin class under its ``name`` attribute."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_plugins() -> tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+for _cls in (MemLatencyPlugin, MemBandwidthPlugin, CachePlugin, PowerPlugin):
+    register_plugin(_cls)
+
+
+def run_plugins(mctop, probe, names: tuple[str, ...]) -> None:
+    """Run the named plugins in order, skipping unsupported ones.
+
+    A plugin whose prerequisites the machine lacks (e.g. RAPL on AMD or
+    SPARC) is skipped silently, like libmctop does; an unknown plugin
+    name is an error.
+    """
+    for name in names:
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            raise MctopError(
+                f"unknown plugin {name!r}; available: {available_plugins()}"
+            )
+        plugin = cls()
+        if plugin.supported(probe):
+            plugin.run(mctop, probe)
+
+
+__all__ = [
+    "CachePlugin",
+    "MemBandwidthPlugin",
+    "MemLatencyPlugin",
+    "Plugin",
+    "PowerPlugin",
+    "available_plugins",
+    "register_plugin",
+    "run_plugins",
+]

@@ -1,0 +1,27 @@
+"""Plugin interface for enriching MCTOP topologies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.mctop import Mctop
+from repro.hardware.probes import MeasurementContext
+
+
+class Plugin(ABC):
+    """One enrichment measurement pass.
+
+    Plugins run after the basic topology is inferred and may annotate
+    any structure of the :class:`Mctop` they receive.
+    """
+
+    #: registry key, e.g. ``"memory-latency"``
+    name: str = ""
+
+    def supported(self, probe: MeasurementContext) -> bool:
+        """Whether this machine supports the plugin's measurements."""
+        return True
+
+    @abstractmethod
+    def run(self, mctop: Mctop, probe: MeasurementContext) -> None:
+        """Measure and annotate ``mctop`` in place."""

@@ -1,0 +1,76 @@
+"""Cache latency and size plugin (Section 4).
+
+Walks a dependent-load working set of growing size and watches the
+per-access latency curve: each plateau is a cache level, each step a
+capacity boundary.  The latency technique is the same pointer chase as
+the memory-latency plugin; the size estimate is "the largest working
+set before the latency jumps".  The plugin also records the cache sizes
+the operating system reports, as libmctop does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mctop import Mctop
+from repro.core.plugins.base import Plugin
+from repro.core.structures import CacheInfo
+from repro.hardware.probes import MeasurementContext
+
+#: latency must grow by this factor to count as a new cache level
+_JUMP_FACTOR = 1.5
+
+
+def _sweep_sizes(max_bytes: int) -> list[int]:
+    """Geometric sweep from 4 KiB to 4x the largest expected cache."""
+    sizes = []
+    size = 4 * 1024
+    while size <= max_bytes * 4:
+        sizes.append(size)
+        sizes.append(int(size * 1.5))
+        size *= 2
+    return sorted(set(sizes))
+
+
+class CachePlugin(Plugin):
+    name = "cache"
+
+    def __init__(self, repetitions: int = 5):
+        self.repetitions = repetitions
+
+    def run(self, mctop: Mctop, probe: MeasurementContext) -> None:
+        ctx = mctop.context_ids()[0]
+        llc_bytes = probe.machine.spec.caches[-1].size_bytes
+        sizes = _sweep_sizes(llc_bytes)
+        curve = [
+            (
+                ws,
+                float(
+                    np.median([
+                        probe.cache_latency_sample(ctx, ws)
+                        for _ in range(self.repetitions)
+                    ])
+                ),
+            )
+            for ws in sizes
+        ]
+
+        levels: list[tuple[int, float]] = []  # (largest ws, plateau latency)
+        plateau_lat = curve[0][1]
+        plateau_ws = curve[0][0]
+        for ws, lat in curve[1:]:
+            if lat > plateau_lat * _JUMP_FACTOR:
+                levels.append((plateau_ws, plateau_lat))
+                plateau_lat = lat
+            plateau_ws = ws
+        # The final plateau is main memory, not a cache level: drop it.
+
+        info = CacheInfo()
+        info.levels = tuple(range(1, len(levels) + 1))
+        for i, (ws, lat) in enumerate(levels, start=1):
+            info.latencies[i] = lat
+            info.sizes_kib[i] = ws // 1024
+        # What the OS reports (sysfs cache indices in real libmctop).
+        for spec in probe.machine.spec.caches:
+            info.os_sizes_kib[spec.level] = spec.size_kib
+        mctop.cache_info = info

@@ -1,0 +1,58 @@
+"""Memory-bandwidth plugin (Section 4).
+
+Allocates a large chunk of memory on each node and streams it
+sequentially — first from a single thread (the latency-bound figure),
+then from every core of a socket at once (the saturated figure the
+MCTOP graphs display next to each node).  The cross-socket results also
+give each interconnect link its bandwidth annotation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mctop import Mctop
+from repro.core.plugins.base import Plugin
+from repro.hardware.probes import MeasurementContext
+
+
+class MemBandwidthPlugin(Plugin):
+    name = "memory-bandwidth"
+
+    def __init__(self, repetitions: int = 5):
+        self.repetitions = repetitions
+
+    def run(self, mctop: Mctop, probe: MeasurementContext) -> None:
+        for sid in mctop.socket_ids():
+            all_ctxs = mctop.socket_get_contexts(sid)
+            one_ctx = [all_ctxs[0]]
+            saturated: dict[int, float] = {}
+            single: dict[int, float] = {}
+            for node in mctop.node_ids():
+                saturated[node] = float(
+                    np.median([
+                        probe.mem_bandwidth_sample(all_ctxs, node)
+                        for _ in range(self.repetitions)
+                    ])
+                )
+                single[node] = float(
+                    np.median([
+                        probe.mem_bandwidth_sample(one_ctx, node)
+                        for _ in range(self.repetitions)
+                    ])
+                )
+            mctop.sockets[sid].mem_bandwidths = saturated
+            mctop.sockets[sid].mem_bandwidths_single = single
+
+        # Annotate the interconnect: the bandwidth of a link is what one
+        # socket can stream from the other's local node.
+        for (a, b), link in mctop.links.items():
+            node_b = mctop.node_of_socket(b)
+            node_a = mctop.node_of_socket(a)
+            candidates = []
+            if node_b is not None:
+                candidates.append(mctop.mem_bandwidth(a, node_b))
+            if node_a is not None:
+                candidates.append(mctop.mem_bandwidth(b, node_a))
+            if candidates:
+                link.bandwidth = float(max(candidates))

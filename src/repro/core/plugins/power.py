@@ -1,0 +1,51 @@
+"""Power plugin (Section 4, Intel RAPL only).
+
+Reads the package/DRAM power at the paper's calibration points — idle,
+fully loaded, one hardware context, the second context of one core —
+while a memory-intensive workload runs (the bandwidth microbenchmark),
+and fits the per-socket linear model the placement policies use.
+"""
+
+from __future__ import annotations
+
+from repro.core.mctop import Mctop
+from repro.core.plugins.base import Plugin
+from repro.core.structures import PowerInfo
+from repro.hardware.probes import MeasurementContext
+
+
+class PowerPlugin(Plugin):
+    name = "power"
+
+    def supported(self, probe: MeasurementContext) -> bool:
+        return probe.has_power_interface()
+
+    def run(self, mctop: Mctop, probe: MeasurementContext) -> None:
+        n_sockets = mctop.n_sockets
+        all_ctxs = mctop.context_ids()
+        core0 = mctop.core_get_contexts(mctop.core_ids()[0])
+
+        idle = probe.power_sample([])
+        full = probe.power_sample(all_ctxs, with_dram=True)
+        one = probe.power_sample(core0[:1])
+        second_delta = 0.0
+        if len(core0) > 1:
+            second_delta = probe.power_sample(core0[:2]) - probe.power_sample(core0[:1])
+
+        # Fit the per-socket linear model from the calibration points.
+        per_socket_idle = idle / n_sockets
+        per_core_first = one - idle
+        per_context_extra = second_delta
+        full_no_dram = probe.power_sample(all_ctxs, with_dram=False)
+        dram_per_socket = max((full - full_no_dram) / n_sockets, 0.0)
+
+        mctop.power_info = PowerInfo(
+            idle=idle,
+            full=full,
+            first_context=one,
+            second_context_delta=second_delta,
+            per_socket_idle=per_socket_idle,
+            per_core_first=per_core_first,
+            per_context_extra=per_context_extra,
+            dram_active_per_socket=dram_per_socket,
+        )

@@ -1,0 +1,151 @@
+"""The MCTOP structures (Table 1 of the paper).
+
+MCTOP represents a processor as a hierarchy of components linked both
+vertically (context -> core group -> ... -> socket) and horizontally
+(proximity successor chains), each annotated with the low-level
+measurements libmctop collected.
+
+Component ids follow libmctop's convention, visible in the paper's
+Figure 7 where the sockets of Ivy are "20000 20001": a component of
+level ``l`` gets id ``l * 10000 + index``.  Hardware contexts are level
+0 and keep their OS ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ID_LEVEL_STRIDE = 10_000
+
+
+def component_id(level: int, index: int) -> int:
+    """Build a component id from its level and per-level index."""
+    if level == 0:
+        return index
+    return level * ID_LEVEL_STRIDE + index
+
+
+def level_of_id(comp_id: int) -> int:
+    """Extract the level encoded in a component id."""
+    return comp_id // ID_LEVEL_STRIDE
+
+
+@dataclass
+class HwContext:
+    """The lowest scheduling unit of the processor.
+
+    With SMT this is a hardware context; without, it is an actual core
+    (the paper's ``hw_context`` row in Table 1).
+    """
+
+    id: int
+    core_id: int  # id of the hwc_group representing its physical core
+    socket_id: int
+    smt_index: int = 0
+    local_node: int | None = None
+    next_ctx: int | None = None  # proximity successor (horizontal link)
+
+
+@dataclass
+class HwcGroup:
+    """A group of hw_contexts or hwc_groups (e.g. a core, an L2 cluster).
+
+    ``children`` are the ids of the level-below components; ``contexts``
+    is the flattened set of hardware-context ids for convenience.
+    """
+
+    id: int
+    level: int
+    latency: int  # intra-group communication latency (cycles)
+    children: tuple[int, ...]
+    contexts: tuple[int, ...]
+    parent_id: int | None = None
+    socket_id: int | None = None
+
+
+@dataclass
+class MemoryNode:
+    """A memory node: capacity plus its local socket."""
+
+    id: int
+    local_socket_id: int | None = None
+    capacity_gb: float | None = None
+
+
+@dataclass
+class SocketData:
+    """Per-socket annotations attached to the socket-level hwc_group."""
+
+    id: int  # the socket hwc_group id
+    local_node: int | None = None
+    mem_latencies: dict[int, float] = field(default_factory=dict)  # node -> cycles
+    mem_bandwidths: dict[int, float] = field(default_factory=dict)  # node -> GB/s
+    mem_bandwidths_single: dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class InterconnectLink:
+    """The interconnection between two sockets (Table 1's interconnect)."""
+
+    socket_a: int  # socket hwc_group ids, a < b
+    socket_b: int
+    latency: int  # cycles between contexts across this link
+    n_hops: int  # 1 = direct, >1 = routed ("lvl 4" in the figures)
+    bandwidth: float | None = None  # GB/s, memory over this path
+
+    def other(self, socket_id: int) -> int:
+        if socket_id == self.socket_a:
+            return self.socket_b
+        if socket_id == self.socket_b:
+            return self.socket_a
+        raise ValueError(f"socket {socket_id} not on this link")
+
+
+@dataclass(frozen=True)
+class LatencyCluster:
+    """One cluster of latency values (min, median, max triplet)."""
+
+    lo: float
+    median: float
+    hi: float
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    @property
+    def spread(self) -> float:
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class TopologyLevel:
+    """One latency level of the topology (cluster + its components)."""
+
+    level: int
+    latency: int
+    component_ids: tuple[int, ...]
+    role: str = "group"  # "context" | "core" | "group" | "socket" | "cross"
+
+
+@dataclass
+class CacheInfo:
+    """Measured cache hierarchy (cache plugin, Section 4)."""
+
+    levels: tuple[int, ...] = ()
+    latencies: dict[int, float] = field(default_factory=dict)  # level -> cycles
+    sizes_kib: dict[int, int] = field(default_factory=dict)  # level -> KiB
+    os_sizes_kib: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class PowerInfo:
+    """Measured power calibration points (power plugin, Section 4)."""
+
+    idle: float = 0.0
+    full: float = 0.0
+    first_context: float = 0.0
+    second_context_delta: float = 0.0
+    per_socket_idle: float = 0.0
+    per_core_first: float = 0.0
+    per_context_extra: float = 0.0
+    dram_active_per_socket: float = 0.0

@@ -1,0 +1,130 @@
+"""Visualization of MCTOP topologies.
+
+Reproduces the paper's two Graphviz views (Figures 1-3):
+
+* the intra-socket graph — one socket's contexts grouped by core, plus
+  every memory node with its latency and bandwidth from that socket;
+* the cross-socket graph — sockets as nodes, annotated interconnect
+  links, and a "lvl N (2 hops)" note for routed socket pairs.
+
+Only DOT *text* is produced (rendering needs the graphviz binary, which
+is out of scope); the test suite checks the structure of the output.
+The module also renders the step-1/step-2 views of Figure 6: an ASCII
+latency heatmap and the CDF dump of the latency values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mctop import Mctop
+
+
+def _fmt_ctx(ctx: int) -> str:
+    return f"{ctx:03d}"
+
+
+def intra_socket_dot(mctop: Mctop, socket_id: int | None = None) -> str:
+    """DOT source for the intra-socket view (e.g. Figure 1a / 2a)."""
+    sid = socket_id if socket_id is not None else mctop.socket_ids()[0]
+    intra_lat = mctop.groups[sid].latency
+    lines = [
+        "graph mctop_intra {",
+        "  rankdir=TB;",
+        f'  label="Socket {sid} - {intra_lat} cycles";',
+        "  node [shape=box];",
+    ]
+    for core in mctop.socket_get_cores(sid):
+        ctxs = (
+            mctop.core_get_contexts(core)
+            if mctop.has_smt
+            else [core]
+        )
+        label = " ".join(_fmt_ctx(c) for c in ctxs)
+        smt_note = ""
+        if mctop.has_smt and len(ctxs) > 1:
+            smt_note = f" | {mctop.get_latency(ctxs[0], ctxs[1])}"
+        lines.append(
+            f'  core_{core} [shape=record, label="{label}{smt_note}"];'
+        )
+    sdata = mctop.sockets[sid]
+    for node, lat in sorted(sdata.mem_latencies.items()):
+        bw = sdata.mem_bandwidths.get(node)
+        bw_txt = f"\\n{bw:.1f} GB/s" if bw is not None else ""
+        local = node == sdata.local_node
+        style = ", style=filled, fillcolor=gray" if local else ""
+        lines.append(
+            f'  node_{node} [label="Node {node}\\n{lat:.0f} cy{bw_txt}"{style}];'
+        )
+        first_core = mctop.socket_get_cores(sid)[0]
+        lines.append(f"  core_{first_core} -- node_{node} [style=dotted];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def cross_socket_dot(mctop: Mctop) -> str:
+    """DOT source for the cross-socket view (e.g. Figure 1b / 2b)."""
+    lines = [
+        "graph mctop_cross {",
+        "  layout=circo;",
+        "  node [shape=circle];",
+    ]
+    for idx, sid in enumerate(mctop.socket_ids()):
+        lines.append(f'  s{sid} [label="{idx}"];')
+    routed: list[str] = []
+    for (a, b), link in sorted(mctop.links.items()):
+        bw = f"\\n{link.bandwidth:.1f} GB/s" if link.bandwidth else ""
+        if link.n_hops == 1:
+            lines.append(
+                f'  s{a} -- s{b} [label="{link.latency} cy{bw}"];'
+            )
+        else:
+            routed.append(f"{link.latency}")
+    if routed:
+        level = len({lv.latency for lv in mctop.levels}) - 1
+        lines.append(
+            f'  legend [shape=note, label="lvl {level} (2 hops)\\n'
+            f'{routed[0]} cy"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def latency_heatmap(table: np.ndarray, buckets: str = " .:-=+*#%@") -> str:
+    """ASCII heatmap of a latency table (Figure 6, step 1)."""
+    t = np.asarray(table, dtype=float)
+    hi = t.max() or 1.0
+    rows = []
+    for row in t:
+        chars = [buckets[min(int(v / hi * (len(buckets) - 1)), len(buckets) - 1)]
+                 for v in row]
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def cdf_dump(table: np.ndarray, points: int = 20) -> str:
+    """Text rendering of the latency CDF (Figure 6, step 2a)."""
+    from repro.core.algorithm.clustering import compute_cdf
+
+    values, cdf = compute_cdf(table)
+    idxs = np.linspace(0, values.size - 1, points).astype(int)
+    lines = ["latency   CDF"]
+    for i in idxs:
+        bar = "#" * int(cdf[i] * 40)
+        lines.append(f"{values[i]:7.0f}  {cdf[i]:5.3f} {bar}")
+    return "\n".join(lines)
+
+
+def topology_ascii(mctop: Mctop) -> str:
+    """Compact ASCII tree of the whole topology."""
+    lines = [f"{mctop.name} ({mctop.n_contexts} contexts)"]
+    for sid in mctop.socket_ids():
+        node = mctop.node_of_socket(sid)
+        lines.append(f"+- socket {sid} (local node {node})")
+        for core in mctop.socket_get_cores(sid):
+            ctxs = mctop.core_get_contexts(core) if mctop.has_smt else [core]
+            lines.append(
+                "|  +- core "
+                + " ".join(_fmt_ctx(c) for c in ctxs)
+            )
+    return "\n".join(lines)

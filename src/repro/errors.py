@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro (MCTOP) library.
+
+Every error raised by the library derives from :class:`MctopError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the individual failure modes the paper
+describes (e.g. unsuccessful clustering of latency values, Section 3.6).
+"""
+
+from __future__ import annotations
+
+
+class MctopError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MachineModelError(MctopError):
+    """An inconsistency in a simulated machine specification."""
+
+
+class MeasurementError(MctopError):
+    """A measurement could not be completed or stabilized.
+
+    Mirrors libmctop's behaviour of giving up when the standard deviation
+    of repeated samples stays above the (relaxed) threshold.
+    """
+
+
+class ClusteringError(MctopError):
+    """Latency values could not be clustered into coherent groups.
+
+    The paper (Section 3.6, "Unsuccessful Clustering of Latency Values")
+    reports an error and asks the user to retry in this situation.
+    """
+
+
+class InferenceError(MctopError):
+    """MCTOP-ALG could not infer a consistent topology.
+
+    Raised when the component-uniformity invariants of Section 3.6 are
+    violated (a level's components do not all contain the same number of
+    sub-components, or a component would belong to two parents).
+    """
+
+
+class ValidationError(MctopError):
+    """An inferred topology failed a structural validation check."""
+
+
+class SerializationError(MctopError):
+    """An MCTOP description file could not be parsed or written."""
+
+
+class PlacementError(MctopError):
+    """A thread-placement request could not be satisfied.
+
+    For example asking for more threads than the processor has hardware
+    contexts, or requesting the POWER policy on a machine without power
+    measurements.
+    """
+
+
+class SimulationError(MctopError):
+    """The discrete-event engine detected an inconsistent program."""

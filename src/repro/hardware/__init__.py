@@ -1,0 +1,51 @@
+"""Simulated multi-core hardware substrate.
+
+The paper measures five physical NUMA machines; this package replaces
+them with deterministic models plus realistic measurement noise, so
+that MCTOP-ALG can be exercised end-to-end (see DESIGN.md, Section 2).
+"""
+
+from repro.hardware.caches import CacheHierarchy, CacheLevelSpec
+from repro.hardware.catalog import (
+    OPENMP_PLATFORMS,
+    PAPER_PLATFORMS,
+    get_machine,
+    get_spec,
+    machine_names,
+)
+from repro.hardware.coherence import CoherenceSimulator, Mesi, Transaction
+from repro.hardware.dvfs import DvfsState
+from repro.hardware.interconnect import Interconnect, LinkSpec
+from repro.hardware.machine import Machine, MachineSpec, MemoryProfile, PowerProfile
+from repro.hardware.noise import NoiseProfile, NoiseSource
+from repro.hardware.os_view import OsTopology, read_os_topology
+from repro.hardware.power import PowerModel
+from repro.hardware.probes import MeasurementContext
+from repro.hardware.timers import VirtualTsc
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevelSpec",
+    "CoherenceSimulator",
+    "DvfsState",
+    "Interconnect",
+    "LinkSpec",
+    "Machine",
+    "MachineSpec",
+    "MeasurementContext",
+    "MemoryProfile",
+    "Mesi",
+    "NoiseProfile",
+    "NoiseSource",
+    "OsTopology",
+    "OPENMP_PLATFORMS",
+    "PAPER_PLATFORMS",
+    "PowerModel",
+    "PowerProfile",
+    "Transaction",
+    "VirtualTsc",
+    "get_machine",
+    "get_spec",
+    "machine_names",
+    "read_os_topology",
+]

@@ -1,0 +1,337 @@
+"""Catalog of simulated machines.
+
+The five evaluation platforms of the paper (Section 2.1) plus a few
+synthetic machines used by the test suite.  Latency and bandwidth
+figures are taken from the paper's figures where given (Figures 1-3, 6,
+7 and Observation 2) and from vendor datasheets otherwise.
+
+===========  =======  ==============  ====  ====================
+machine      sockets  cores x SMT     ctxs  latencies (smt/core/x)
+===========  =======  ==============  ====  ====================
+ivy          2        10 x 2          40    28 / 112 / 308
+westmere     8        10 x 2          160   28 / 116 / 341 (458)
+haswell      4        12 x 2          96    28 / 110 / 270
+opteron      8        6 x 1           48    -  / 117 / 197|217 (300)
+sparc        4        8 x 8           256   101 / 207 / 440
+===========  =======  ==============  ====  ====================
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineModelError
+from repro.hardware.caches import CacheLevelSpec
+from repro.hardware.interconnect import LinkSpec
+from repro.hardware.machine import Machine, MachineSpec, MemoryProfile, PowerProfile
+
+
+def _full_mesh(n: int, latency: int, bandwidth: float) -> dict[tuple[int, int], LinkSpec]:
+    return {
+        (a, b): LinkSpec(latency, bandwidth)
+        for a in range(n)
+        for b in range(a + 1, n)
+    }
+
+
+def _ivy() -> MachineSpec:
+    """2-socket, 20-core Intel Xeon E5-2680 v2 (Ivy Bridge)."""
+    return MachineSpec(
+        name="ivy",
+        n_sockets=2,
+        cores_per_socket=10,
+        smt_per_core=2,
+        freq_min_ghz=1.2,
+        freq_max_ghz=2.8,
+        caches=(
+            CacheLevelSpec(1, 32, 4, shared_by="core"),
+            CacheLevelSpec(2, 256, 12, shared_by="core"),
+            CacheLevelSpec(3, 25 * 1024, 42, shared_by="socket"),
+        ),
+        smt_latency=28,
+        core_latency=112,
+        links={(0, 1): LinkSpec(308, 16.0)},
+        memory=MemoryProfile(
+            local_latency=280,
+            local_bandwidth=38.0,
+            hop_latency=(140,),
+            hop_bandwidth_factor=(0.42,),
+        ),
+        power=PowerProfile(
+            idle_socket=20.1,
+            first_context=3.5,
+            extra_context=1.16,
+            dram_active=45.2,
+        ),
+        intra_jitter=12,
+        cross_jitter=10,
+    )
+
+
+def _westmere() -> MachineSpec:
+    """8-socket, 80-core Intel Xeon E7-8867L (Westmere).
+
+    Not fully connected: each socket reaches its "antipode" (socket id
+    XOR 4) over two hops — the "lvl 4 (2 hops) 458 cy" of Figure 2b.
+    """
+    links: dict[tuple[int, int], LinkSpec] = {}
+    for a in range(8):
+        for b in range(a + 1, 8):
+            if b == a ^ 4:
+                continue  # two-hop pair
+            links[(a, b)] = LinkSpec(341, 10.7)
+    return MachineSpec(
+        name="westmere",
+        n_sockets=8,
+        cores_per_socket=10,
+        smt_per_core=2,
+        freq_min_ghz=1.1,
+        freq_max_ghz=2.1,
+        caches=(
+            CacheLevelSpec(1, 32, 4, shared_by="core"),
+            CacheLevelSpec(2, 256, 13, shared_by="core"),
+            CacheLevelSpec(3, 30 * 1024, 46, shared_by="socket"),
+        ),
+        smt_latency=28,
+        core_latency=116,
+        links=links,
+        multi_hop_latency={2: 458},
+        memory=MemoryProfile(
+            local_latency=369,
+            local_bandwidth=13.1,
+            hop_latency=(130, 231),
+            hop_bandwidth_factor=(0.75, 0.35),
+        ),
+        power=None,  # pre-RAPL generation: no power interface
+
+        intra_jitter=12,
+        cross_jitter=8,
+    )
+
+
+def _haswell() -> MachineSpec:
+    """4-socket, 48-core Intel Xeon E7-4830 v3 (Haswell), full QPI mesh."""
+    return MachineSpec(
+        name="haswell",
+        n_sockets=4,
+        cores_per_socket=12,
+        smt_per_core=2,
+        freq_min_ghz=1.2,
+        freq_max_ghz=2.7,
+        caches=(
+            CacheLevelSpec(1, 32, 4, shared_by="core"),
+            CacheLevelSpec(2, 256, 12, shared_by="core"),
+            CacheLevelSpec(3, 30 * 1024, 44, shared_by="socket"),
+        ),
+        smt_latency=28,
+        core_latency=110,
+        links=_full_mesh(4, 270, 12.8),
+        memory=MemoryProfile(
+            local_latency=310,
+            local_bandwidth=28.0,
+            hop_latency=(150,),
+            hop_bandwidth_factor=(0.45,),
+        ),
+        power=PowerProfile(
+            idle_socket=26.0,
+            first_context=3.8,
+            extra_context=1.2,
+            dram_active=42.0,
+        ),
+        intra_jitter=12,
+        cross_jitter=8,
+    )
+
+
+def _opteron() -> MachineSpec:
+    """8-die (4 MCM), 48-core AMD Opteron 6172 (Magny-Cours).
+
+    Each die has four HyperTransport ports: one to its MCM sibling
+    (fast, 197 cycles) and three to the other dies of the same parity
+    (217 cycles).  Opposite-parity non-sibling dies are two hops apart
+    (300 cycles) — Figure 1b's "level 4".  The OS on this machine has a
+    *wrong* core-to-node mapping (Section 1, footnote 1), modelled by
+    ``os_node_permutation``.
+    """
+    links: dict[tuple[int, int], LinkSpec] = {}
+    for m in range(4):
+        links[(2 * m, 2 * m + 1)] = LinkSpec(197, 5.3)
+    for parity in (0, 1):
+        dies = [d for d in range(8) if d % 2 == parity]
+        for i, a in enumerate(dies):
+            for b in dies[i + 1:]:
+                links[(a, b)] = LinkSpec(217, 3.0)
+    return MachineSpec(
+        name="opteron",
+        n_sockets=8,
+        cores_per_socket=6,
+        smt_per_core=1,
+        freq_min_ghz=2.1,
+        freq_max_ghz=2.1,
+        caches=(
+            CacheLevelSpec(1, 64, 3, shared_by="core"),
+            CacheLevelSpec(2, 512, 15, shared_by="core"),
+            CacheLevelSpec(3, 5 * 1024, 40, shared_by="socket"),
+        ),
+        smt_latency=0 + 14,  # unused (no SMT); kept below core latency
+        core_latency=117,
+        links=links,
+        multi_hop_latency={2: 300},
+        memory=MemoryProfile(
+            local_latency=143,
+            local_bandwidth=10.9,
+            # 1-hop memory bandwidth is bound by the HT link itself
+            # (5.3 GB/s over the MCM link, 3.0 over the others, as in
+            # Figure 1b), so the DRAM-side factor is kept above it.
+            hop_latency=(110, 201),
+            hop_bandwidth_factor=(0.55, 0.18),
+        ),
+        power=None,  # RAPL is Intel-only
+        intra_jitter=6,
+        cross_jitter=3,
+        os_node_permutation=(3, 1, 2, 0, 4, 6, 5, 7),
+    )
+
+
+def _sparc() -> MachineSpec:
+    """4-socket, 32-core Oracle SPARC T4-4, 8 SMT contexts per core."""
+    return MachineSpec(
+        name="sparc",
+        n_sockets=4,
+        cores_per_socket=8,
+        smt_per_core=8,
+        freq_min_ghz=3.0,
+        freq_max_ghz=3.0,
+        caches=(
+            CacheLevelSpec(1, 16, 3, shared_by="core"),
+            CacheLevelSpec(2, 256, 14, shared_by="core"),
+            CacheLevelSpec(3, 4 * 1024, 38, shared_by="socket"),
+        ),
+        smt_latency=101,
+        core_latency=207,
+        links=_full_mesh(4, 440, 16.0),
+        memory=MemoryProfile(
+            local_latency=479,
+            local_bandwidth=28.2,
+            hop_latency=(205,),
+            hop_bandwidth_factor=(0.54,),
+        ),
+        power=None,
+        numbering="smt_consecutive",
+        smt_jitter=3,
+        intra_jitter=10,
+        cross_jitter=8,
+        smt_slowdown=1.45,  # fine-grain multithreading shares gently
+    )
+
+
+def _testbox() -> MachineSpec:
+    """Small 2-socket machine for fast unit tests (8 contexts)."""
+    return MachineSpec(
+        name="testbox",
+        n_sockets=2,
+        cores_per_socket=2,
+        smt_per_core=2,
+        freq_min_ghz=1.0,
+        freq_max_ghz=2.0,
+        caches=(
+            CacheLevelSpec(1, 32, 4, shared_by="core"),
+            CacheLevelSpec(2, 256, 12, shared_by="core"),
+            CacheLevelSpec(3, 8 * 1024, 40, shared_by="socket"),
+        ),
+        smt_latency=26,
+        core_latency=100,
+        links={(0, 1): LinkSpec(300, 12.0)},
+        memory=MemoryProfile(250, 20.0, hop_latency=(120,), hop_bandwidth_factor=(0.5,)),
+        power=PowerProfile(10.0, 2.0, 0.7, 20.0),
+        intra_jitter=6,
+        cross_jitter=5,
+    )
+
+
+def _clusterix() -> MachineSpec:
+    """Synthetic machine with an intermediate cache-cluster level.
+
+    Two sockets of six cores; triples of cores share an L2 cluster with
+    a lower inter-core latency (60 cycles) than cross-cluster cores (120
+    cycles).  Exercises the multi-level hwc_group path of MCTOP-ALG.
+    """
+    return MachineSpec(
+        name="clusterix",
+        n_sockets=2,
+        cores_per_socket=6,
+        smt_per_core=2,
+        freq_min_ghz=2.0,
+        freq_max_ghz=2.0,
+        caches=(
+            CacheLevelSpec(1, 32, 4, shared_by="core"),
+            CacheLevelSpec(2, 1024, 18, shared_by="cluster"),
+            CacheLevelSpec(3, 16 * 1024, 42, shared_by="socket"),
+        ),
+        smt_latency=24,
+        core_latency=120,
+        core_cluster_size=3,
+        core_cluster_latency=60,
+        links={(0, 1): LinkSpec(320, 10.0)},
+        memory=MemoryProfile(280, 18.0),
+        intra_jitter=4,
+        smt_jitter=1,
+        cross_jitter=4,
+    )
+
+
+def _unisock() -> MachineSpec:
+    """Single-socket, non-SMT edge case (4 contexts)."""
+    return MachineSpec(
+        name="unisock",
+        n_sockets=1,
+        cores_per_socket=4,
+        smt_per_core=1,
+        freq_min_ghz=2.0,
+        freq_max_ghz=3.0,
+        caches=(
+            CacheLevelSpec(1, 32, 4, shared_by="core"),
+            CacheLevelSpec(2, 256, 12, shared_by="core"),
+            CacheLevelSpec(3, 8 * 1024, 38, shared_by="socket"),
+        ),
+        smt_latency=20,
+        core_latency=90,
+        links={},
+        memory=MemoryProfile(240, 25.0),
+        intra_jitter=5,
+    )
+
+
+_FACTORIES = {
+    "ivy": _ivy,
+    "westmere": _westmere,
+    "haswell": _haswell,
+    "opteron": _opteron,
+    "sparc": _sparc,
+    "testbox": _testbox,
+    "clusterix": _clusterix,
+    "unisock": _unisock,
+}
+
+#: The five evaluation platforms of the paper, in its presentation order.
+PAPER_PLATFORMS = ("ivy", "opteron", "haswell", "westmere", "sparc")
+
+#: Platforms Figure 12 evaluates (Green-Marl does not support SPARC).
+OPENMP_PLATFORMS = ("ivy", "opteron", "haswell", "westmere")
+
+
+def machine_names() -> tuple[str, ...]:
+    """All machines known to the catalog (paper platforms + synthetic)."""
+    return tuple(_FACTORIES)
+
+
+def get_spec(name: str) -> MachineSpec:
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise MachineModelError(
+            f"unknown machine {name!r}; known: {', '.join(_FACTORIES)}"
+        ) from None
+
+
+def get_machine(name: str) -> Machine:
+    """Instantiate a catalog machine by name."""
+    return Machine(get_spec(name))

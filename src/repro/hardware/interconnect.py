@@ -1,0 +1,125 @@
+"""Socket-to-socket interconnect graph.
+
+Models the QPI/HyperTransport style point-to-point links between the
+sockets of a multi-socket machine, including machines that are *not*
+fully connected: the paper's 8-socket Opteron and Westmere both have
+socket pairs that communicate over two hops ("lvl 4" in Figures 1b/2b).
+
+Multi-hop latencies on real hardware are not the sum of the link
+latencies (the set-up cost of the first hop dominates), so a spec may
+pin the latency for a given hop count explicitly via
+``multi_hop_latency``; otherwise a sub-additive estimate is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineModelError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One direct socket-to-socket link."""
+
+    latency: int  # cycles, context on one end to context on the other
+    bandwidth: float  # GB/s over the link
+
+
+class Interconnect:
+    """Shortest-path routing over the socket graph."""
+
+    def __init__(
+        self,
+        n_sockets: int,
+        links: dict[tuple[int, int], LinkSpec],
+        multi_hop_latency: dict[int, int] | None = None,
+    ):
+        self.n_sockets = n_sockets
+        self._links: dict[tuple[int, int], LinkSpec] = {}
+        for (a, b), link in links.items():
+            self._links[(min(a, b), max(a, b))] = link
+        self._multi_hop = dict(multi_hop_latency or {})
+        self._hops = self._all_pairs_hops()
+        for a in range(n_sockets):
+            for b in range(a + 1, n_sockets):
+                if self._hops[a][b] < 0:
+                    raise MachineModelError(
+                        f"sockets {a} and {b} are not connected"
+                    )
+
+    def _all_pairs_hops(self) -> list[list[int]]:
+        n = self.n_sockets
+        adj: list[list[int]] = [[] for _ in range(n)]
+        for (a, b) in self._links:
+            adj[a].append(b)
+            adj[b].append(a)
+        hops = [[-1] * n for _ in range(n)]
+        for src in range(n):
+            hops[src][src] = 0
+            frontier = [src]
+            d = 0
+            while frontier:
+                d += 1
+                nxt = []
+                for u in frontier:
+                    for v in adj[u]:
+                        if hops[src][v] < 0:
+                            hops[src][v] = d
+                            nxt.append(v)
+                frontier = nxt
+        return hops
+
+    # ------------------------------------------------------------ queries
+    def link(self, a: int, b: int) -> LinkSpec | None:
+        """The direct link between two sockets, or None."""
+        return self._links.get((min(a, b), max(a, b)))
+
+    def hops(self, a: int, b: int) -> int:
+        return self._hops[a][b]
+
+    def latency(self, a: int, b: int) -> int:
+        """End-to-end communication latency between two sockets."""
+        if a == b:
+            raise MachineModelError("same-socket latency is not a link property")
+        direct = self.link(a, b)
+        if direct is not None:
+            return direct.latency
+        h = self.hops(a, b)
+        pinned = self._multi_hop.get(h)
+        if pinned is not None:
+            return pinned
+        # Sub-additive estimate: first hop at full cost, later hops at 45%.
+        worst = max(l.latency for l in self._links.values())
+        return int(worst * (1 + 0.45 * (h - 1)))
+
+    def link_bandwidth(self, a: int, b: int) -> float | None:
+        """Bandwidth of the (possibly multi-hop) path between sockets."""
+        if a == b:
+            return None
+        direct = self.link(a, b)
+        if direct is not None:
+            return direct.bandwidth
+        # A multi-hop stream is bottlenecked by the narrowest link and
+        # pays a forwarding penalty on the intermediate socket.
+        narrowest = min(l.bandwidth for l in self._links.values())
+        return narrowest * 0.8
+
+    def neighbors(self, a: int) -> list[int]:
+        out = []
+        for (x, y) in self._links:
+            if x == a:
+                out.append(y)
+            elif y == a:
+                out.append(x)
+        return sorted(out)
+
+    def all_links(self) -> dict[tuple[int, int], LinkSpec]:
+        return dict(self._links)
+
+    def max_hops(self) -> int:
+        return max(
+            self._hops[a][b]
+            for a in range(self.n_sockets)
+            for b in range(self.n_sockets)
+        )

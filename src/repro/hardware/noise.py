@@ -1,0 +1,60 @@
+"""Measurement-noise models.
+
+Even in a solo run, latency samples on real hardware carry two kinds of
+noise (Section 3.5): small Gaussian jitter from the memory system, and
+rare large spikes caused by interrupts or background OS threads landing
+on the measured core.  MCTOP-ALG's repetition + median + stdev-filter
+machinery exists to defeat exactly these, so the simulated probe must
+produce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NoiseProfile:
+    """Tunable description of the measurement environment."""
+
+    jitter_sigma: float = 1.5  # cycles, Gaussian per-sample jitter
+    spurious_prob: float = 0.004  # chance of an interrupt-style spike
+    spurious_scale: float = 180.0  # mean magnitude of a spike, cycles
+    enabled: bool = True
+
+    @staticmethod
+    def quiet() -> "NoiseProfile":
+        """A perfectly quiet machine (useful for ground-truth tests)."""
+        return NoiseProfile(enabled=False)
+
+    @staticmethod
+    def noisy(level: float = 1.0) -> "NoiseProfile":
+        """Scale the default noise up or down (ablation studies)."""
+        return NoiseProfile(
+            jitter_sigma=1.5 * level,
+            spurious_prob=min(0.5, 0.004 * level),
+            spurious_scale=180.0 * level,
+        )
+
+
+class NoiseSource:
+    """Draws per-sample disturbances from a profile."""
+
+    def __init__(self, profile: NoiseProfile, rng: np.random.Generator):
+        self.profile = profile
+        self._rng = rng
+
+    def sample(self) -> float:
+        """Additive cycles of noise for one latency sample (>= 0 biased).
+
+        Jitter is symmetric; spikes are strictly positive (an interrupt
+        never makes a measurement *faster*).
+        """
+        if not self.profile.enabled:
+            return 0.0
+        noise = self._rng.normal(0.0, self.profile.jitter_sigma)
+        if self._rng.random() < self.profile.spurious_prob:
+            noise += self._rng.exponential(self.profile.spurious_scale)
+        return noise

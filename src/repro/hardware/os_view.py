@@ -1,0 +1,55 @@
+"""The operating system's view of the topology.
+
+MCTOP-ALG deliberately uses almost nothing from the OS — only the
+number of hardware contexts, the number of memory nodes, and the
+ability to pin threads (Section 3).  Everything else the OS *claims*
+about the topology is used solely for the sanity check of Section 3.6
+("Comparing MCTOP to the OS Topology").
+
+Crucially, the OS view can be *wrong*: on the paper's Opteron the OS
+had an incorrect core-to-memory-node mapping (footnote 1) while
+MCTOP-ALG inferred the correct one.  ``os_node_permutation`` in the
+machine spec reproduces that misconfiguration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.machine import Machine
+
+
+@dataclass(frozen=True)
+class OsTopology:
+    """What /sys (or the Solaris equivalent) would report."""
+
+    n_contexts: int
+    n_nodes: int
+    socket_of: tuple[int, ...]  # per context
+    core_of: tuple[int, ...]  # per context, global core id
+    node_of: tuple[int, ...]  # per context — possibly misconfigured
+
+    def contexts_of_node(self, node: int) -> list[int]:
+        return [c for c, n in enumerate(self.node_of) if n == node]
+
+
+def read_os_topology(machine: Machine) -> OsTopology:
+    """Build the OS view of a machine, applying any misconfiguration."""
+    spec = machine.spec
+    perm = spec.os_node_permutation
+    socket_of = []
+    core_of = []
+    node_of = []
+    for ctx in range(spec.n_contexts):
+        s = machine.socket_of(ctx)
+        socket_of.append(s)
+        core_of.append(machine.core_of(ctx))
+        true_node = machine.local_node_of_socket(s)
+        node_of.append(perm[true_node] if perm is not None else true_node)
+    return OsTopology(
+        n_contexts=spec.n_contexts,
+        n_nodes=spec.n_nodes,
+        socket_of=tuple(socket_of),
+        core_of=tuple(core_of),
+        node_of=tuple(node_of),
+    )

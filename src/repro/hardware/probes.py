@@ -1,0 +1,219 @@
+"""The measurement interface between MCTOP-ALG and the (simulated) hardware.
+
+The paper stresses that MCTOP-ALG needs only three things from the OS:
+the number of hardware contexts, the number of memory nodes, and the
+ability to pin threads (Section 3).  Everything else is *measured*.
+:class:`MeasurementContext` is exactly that boundary: the inference
+algorithm and the enrichment plugins may only talk to the hardware
+through this class, which layers DVFS behaviour, rdtsc overhead and
+measurement noise on top of the deterministic coherence simulator.
+
+Tests that want ground truth use the underlying :class:`Machine`
+directly; the algorithm never does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.coherence import CoherenceSimulator
+from repro.hardware.dvfs import DvfsState
+from repro.hardware.machine import Machine
+from repro.hardware.noise import NoiseProfile, NoiseSource
+from repro.hardware.os_view import OsTopology, read_os_topology
+from repro.hardware.timers import VirtualTsc
+
+#: cycles of extra overhead per (1 - 1/ramp) of DVFS coldness on the
+#: measuring / remote core — cold cores visibly distort samples.
+_DVFS_PENALTY_LOCAL = 90.0
+_DVFS_PENALTY_REMOTE = 45.0
+
+#: cycles of busy work one probe sample accounts on each involved core.
+_SAMPLE_BUSY_CYCLES = 900.0
+
+
+class MeasurementContext:
+    """A solo measurement run on one machine.
+
+    Parameters
+    ----------
+    machine:
+        The simulated processor.
+    noise:
+        Noise environment; defaults to the realistic profile.
+    seed:
+        Seed for every stochastic component, making runs reproducible.
+    solo:
+        The paper requires a solo execution for the inference run.  With
+        ``solo=False`` we model background OS activity by inflating the
+        spurious-spike probability — used by failure-injection tests.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        noise: NoiseProfile | None = None,
+        seed: int = 0,
+        solo: bool = True,
+    ):
+        self.machine = machine
+        profile = noise if noise is not None else NoiseProfile()
+        if not solo and profile.enabled:
+            profile = NoiseProfile(
+                jitter_sigma=profile.jitter_sigma * 3,
+                spurious_prob=min(0.5, profile.spurious_prob * 40),
+                spurious_scale=profile.spurious_scale,
+            )
+        self._rng = np.random.default_rng(seed)
+        self.noise = NoiseSource(profile, self._rng)
+        self.coherence = CoherenceSimulator(machine)
+        self.dvfs = DvfsState(machine.spec)
+        self.tsc = VirtualTsc(rng=self._rng)
+        self.os: OsTopology = read_os_topology(machine)
+        self._next_line = 0
+        self.samples_taken = 0
+
+    # ----------------------------------------------------- OS facilities
+    def n_hw_contexts(self) -> int:
+        return self.os.n_contexts
+
+    def n_nodes(self) -> int:
+        return self.os.n_nodes
+
+    # ------------------------------------------------------- calibration
+    def estimate_tsc_overhead(self, reps: int = 128) -> float:
+        return self.tsc.estimate_overhead(reps)
+
+    def fresh_line(self) -> int:
+        """Allocate a cache line nobody has touched yet."""
+        self._next_line += 1
+        return self._next_line
+
+    # -------------------------------------------------------- spin loops
+    def timed_spin(self, ctx: int, iterations: int,
+                   sibling_busy: bool = False) -> float:
+        """Run and time a calibrated spin loop on ``ctx``.
+
+        The building block for both the DVFS warm-up loop and SMT
+        detection (Section 3.5).  Timing reflects the core's current
+        DVFS state; running the loop warms the core up.
+        """
+        core = self.machine.core_of(ctx)
+        true = self.machine.spin_loop_cycles(iterations, sibling_busy)
+        measured = true * self.dvfs.factor(core)
+        measured += self.tsc.measurement_overhead()
+        measured += self.noise.sample()
+        self.dvfs.run_busy(core, true)
+        return max(measured, 0.0)
+
+    def warm_up(self, ctx: int, loop_iters: int = 50_000,
+                tolerance: float = 0.005, max_rounds: int = 64) -> int:
+        """Spin on a context until back-to-back loops stop speeding up.
+
+        Returns the number of rounds used.  This is libmctop's
+        "reducing the effects of DVFS" procedure.
+        """
+        prev = self.timed_spin(ctx, loop_iters)
+        for round_no in range(1, max_rounds):
+            cur = self.timed_spin(ctx, loop_iters)
+            if cur >= prev * (1.0 - tolerance):
+                return round_no + 1
+            prev = cur
+        return max_rounds
+
+    def paired_spin(self, x: int, y: int, iterations: int) -> float:
+        """Time a spin loop on ``x`` while ``y`` spins concurrently.
+
+        The SMT-detection probe (Section 3.5): if the two contexts share
+        a core, SMT resource sharing slows the loop down.  The caller
+        does not know whether they share a core — that is what it is
+        trying to find out.
+        """
+        same_core = self.machine.core_of(x) == self.machine.core_of(y)
+        self.dvfs.run_busy(self.machine.core_of(y), iterations * 0.5)
+        return self.timed_spin(x, iterations, sibling_busy=same_core)
+
+    # -------------------------------------------------- pair measurement
+    def sample_pair_latency(self, x: int, y: int, line_id: int) -> float:
+        """One raw Figure-5 sample: ``y`` owns the line, ``x``'s CAS is timed.
+
+        The returned value still contains the rdtsc read overhead; the
+        measurement layer subtracts its own *estimate* of that overhead,
+        exactly as the paper's pseudo-code does.
+        """
+        true = self.coherence.probe_pair_rfo(requester=x, owner=y, line_id=line_id)
+        cx = self.machine.core_of(x)
+        cy = self.machine.core_of(y)
+        cold_x = self.dvfs.factor(cx) - 1.0
+        cold_y = self.dvfs.factor(cy) - 1.0
+        measured = (
+            true
+            + cold_x * _DVFS_PENALTY_LOCAL
+            + cold_y * _DVFS_PENALTY_REMOTE
+            + self.tsc.measurement_overhead()
+            + self.noise.sample()
+        )
+        self.dvfs.run_busy(cx, _SAMPLE_BUSY_CYCLES)
+        self.dvfs.run_busy(cy, _SAMPLE_BUSY_CYCLES)
+        self.samples_taken += 1
+        return max(measured, 0.0)
+
+    # ------------------------------------------------------------ memory
+    def mem_latency_sample(self, ctx: int, node: int) -> float:
+        """Per-access latency of a random pointer chase in ``node``."""
+        true = self.machine.mem_latency(self.machine.socket_of(ctx), node)
+        return max(true + self.noise.sample(), 0.0)
+
+    def mem_bandwidth_sample(self, ctxs: list[int], node: int) -> float:
+        """GB/s achieved by ``ctxs`` streaming from ``node`` together.
+
+        Threads of one socket share that socket's path to the node;
+        contexts of the same core do not add bandwidth beyond the core.
+        """
+        per_socket: dict[int, set[int]] = {}
+        for ctx in ctxs:
+            per_socket.setdefault(self.machine.socket_of(ctx), set()).add(
+                self.machine.core_of(ctx)
+            )
+        total = 0.0
+        for socket, cores in per_socket.items():
+            cap = self.machine.mem_bandwidth(socket, node)
+            single = self.machine.mem_bandwidth_single(socket, node)
+            total += min(len(cores) * single, cap)
+        rel_noise = 1.0 + self.noise.sample() / 2000.0
+        return max(total * rel_noise, 0.0)
+
+    # ------------------------------------------------------------- power
+    def has_power_interface(self) -> bool:
+        """True when the machine exposes RAPL-style counters (Intel)."""
+        return self.machine.spec.power is not None
+
+    def power_sample(self, active_ctxs: list[int], with_dram: bool = False) -> float:
+        """Package power (Watts) with the given contexts running a
+        memory-intensive workload — what the power plugin reads."""
+        from repro.errors import MeasurementError
+        from repro.hardware.power import PowerModel
+
+        if not self.has_power_interface():
+            raise MeasurementError(
+                f"{self.machine.spec.name} has no power interface"
+            )
+        model = PowerModel(self.machine)
+        sockets = range(self.machine.spec.n_sockets)
+        true = sum(model.estimate(active_ctxs, with_dram, sockets=sockets).values())
+        return max(true * (1.0 + self.noise.sample() / 3000.0), 0.0)
+
+    def cache_latency_sample(self, ctx: int, working_set_bytes: int) -> float:
+        """Dependent-load latency for a working set of the given size."""
+        from repro.hardware.caches import CacheHierarchy
+
+        spec = self.machine.spec
+        hierarchy = CacheHierarchy(
+            spec.caches,
+            self.machine.mem_latency(
+                self.machine.socket_of(ctx),
+                self.machine.local_node_of_socket(self.machine.socket_of(ctx)),
+            ),
+        )
+        true = hierarchy.latency_for_working_set(working_set_bytes)
+        return max(true + self.noise.sample() * 0.3, 0.5)

@@ -1,0 +1,15 @@
+"""MCTOP-PLACE: portable thread placement (Section 6 of the paper)."""
+
+from repro.place.placement import PinnedThread, Placement
+from repro.place.policies import ALL_POLICIES, Policy, compute_order, socket_chain
+from repro.place.pool import PlacementPool
+
+__all__ = [
+    "ALL_POLICIES",
+    "PinnedThread",
+    "Placement",
+    "PlacementPool",
+    "Policy",
+    "compute_order",
+    "socket_chain",
+]

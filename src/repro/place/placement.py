@@ -1,0 +1,208 @@
+"""MCTOP-PLACE: thread placement objects (Section 6).
+
+A :class:`Placement` maps threads to hardware contexts according to a
+policy and exports the derived information of Figure 7: cores used,
+contexts and cores per socket, bandwidth proportions, maximum power
+estimates, the maximum pairwise latency (the backoff quantum) and the
+minimum bandwidth of the used sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlacementError
+from repro.core.mctop import Mctop
+from repro.place.policies import Policy, compute_order
+
+
+@dataclass(frozen=True)
+class PinnedThread:
+    """What a thread learns when it is pinned (Section 6)."""
+
+    ctx: int
+    socket_id: int
+    core_id: int
+    local_node: int | None
+    ctx_index_in_socket: int
+    core_index_in_socket: int
+
+
+class Placement:
+    """One thread-to-context mapping under a single policy."""
+
+    def __init__(
+        self,
+        mctop: Mctop,
+        policy: Policy | str,
+        n_threads: int | None = None,
+        n_sockets: int | None = None,
+    ):
+        self.mctop = mctop
+        self.policy = Policy(policy) if isinstance(policy, str) else policy
+        self.ordering = compute_order(mctop, self.policy, n_threads, n_sockets)
+        self.n_threads = len(self.ordering)
+        self._free = list(reversed(self.ordering))  # pop() from the front
+        self._pinned: dict[int, PinnedThread] = {}
+
+    # ------------------------------------------------------------ pinning
+    @property
+    def pins_threads(self) -> bool:
+        return self.policy.pins_threads
+
+    def pin(self) -> PinnedThread:
+        """Pin the calling thread to the next available context."""
+        if not self._free:
+            raise PlacementError(
+                f"all {self.n_threads} contexts of this placement are in use"
+            )
+        ctx = self._free.pop()
+        info = self._thread_info(ctx)
+        self._pinned[ctx] = info
+        return info
+
+    def unpin(self, ctx: int) -> None:
+        """Return a context to the placement."""
+        if ctx not in self._pinned:
+            raise PlacementError(f"context {ctx} is not pinned")
+        del self._pinned[ctx]
+        self._free.append(ctx)
+
+    def pinned_contexts(self) -> list[int]:
+        return sorted(self._pinned)
+
+    def _thread_info(self, ctx: int) -> PinnedThread:
+        m = self.mctop
+        socket = m.socket_of_context(ctx)
+        core = m.core_of_context(ctx)
+        sock_ctxs = m.socket_get_contexts(socket)
+        sock_cores = m.socket_get_cores(socket)
+        return PinnedThread(
+            ctx=ctx,
+            socket_id=socket,
+            core_id=core,
+            local_node=m.get_local_node(ctx),
+            ctx_index_in_socket=sock_ctxs.index(ctx),
+            core_index_in_socket=sock_cores.index(core),
+        )
+
+    # ------------------------------------------------------- derived info
+    def sockets_used(self) -> list[int]:
+        seen: list[int] = []
+        for ctx in self.ordering:
+            s = self.mctop.socket_of_context(ctx)
+            if s not in seen:
+                seen.append(s)
+        return seen
+
+    def cores_used(self) -> list[int]:
+        return sorted({self.mctop.core_of_context(c) for c in self.ordering})
+
+    def contexts_per_socket(self) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for ctx in self.ordering:
+            s = self.mctop.socket_of_context(ctx)
+            out[s] = out.get(s, 0) + 1
+        return out
+
+    def cores_per_socket(self) -> dict[int, int]:
+        out: dict[int, set[int]] = {}
+        for ctx in self.ordering:
+            s = self.mctop.socket_of_context(ctx)
+            out.setdefault(s, set()).add(self.mctop.core_of_context(ctx))
+        return {s: len(cores) for s, cores in out.items()}
+
+    def bandwidth_proportions(self) -> dict[int, float]:
+        """Fraction of the workload's threads per socket (Figure 7)."""
+        counts = self.contexts_per_socket()
+        total = sum(counts.values())
+        return {s: n / total for s, n in counts.items()}
+
+    def max_latency(self) -> int:
+        """The educated-backoff quantum of this thread set."""
+        return self.mctop.max_latency(self.ordering)
+
+    def min_bandwidth(self) -> float | None:
+        """Worst local memory bandwidth among the used sockets, scaled
+        by how much of the socket this placement occupies."""
+        if not self.mctop.has_memory_measurements():
+            return None
+        values = []
+        for s, n_ctx in self.contexts_per_socket().items():
+            share = n_ctx / len(self.mctop.socket_get_contexts(s))
+            values.append(self.mctop.local_bandwidth(s) * min(share * 2, 1.0))
+        return min(values) if values else None
+
+    def max_power(self, with_dram: bool) -> dict[int, float] | None:
+        """Estimated per-socket maximum power (Intel only)."""
+        info = self.mctop.power_info
+        if info is None:
+            return None
+        out: dict[int, float] = {}
+        per_socket: dict[int, list[int]] = {}
+        for ctx in self.ordering:
+            per_socket.setdefault(
+                self.mctop.socket_of_context(ctx), []
+            ).append(ctx)
+        for s, ctxs in per_socket.items():
+            cores = {self.mctop.core_of_context(c) for c in ctxs}
+            watts = info.per_socket_idle
+            watts += len(cores) * info.per_core_first
+            watts += (len(ctxs) - len(cores)) * info.per_context_extra
+            if with_dram:
+                watts += info.dram_active_per_socket
+            out[s] = watts
+        return out
+
+    def estimated_power(self, with_dram: bool = True) -> float | None:
+        per_socket = self.max_power(with_dram)
+        if per_socket is None:
+            return None
+        return sum(per_socket.values())
+
+    # ------------------------------------------------------------- output
+    def print_stats(self) -> str:
+        """The Figure 7 report."""
+        sockets = self.sockets_used()
+        cps = self.cores_per_socket()
+        ctxps = self.contexts_per_socket()
+        props = self.bandwidth_proportions()
+        lines = [
+            f"## MCTOP Placement : MCTOP_PLACE_{self.policy.value}",
+            f"#  # Cores         : {len(self.cores_used())}",
+            f"#  HW contexts ({self.n_threads:3d}) : "
+            + " ".join(str(c) for c in self.ordering[:16])
+            + (" ..." if self.n_threads > 16 else ""),
+            f"#  Sockets ({len(sockets)})      : "
+            + " ".join(str(s) for s in sockets),
+            "#  # HW ctx / socket : "
+            + " ".join(str(ctxps[s]) for s in sockets),
+            "#  # Cores / socket  : "
+            + " ".join(str(cps[s]) for s in sockets),
+            "#  BW proportions    : "
+            + " ".join(f"{props[s]:.3f}" for s in sockets),
+        ]
+        no_dram = self.max_power(with_dram=False)
+        with_dram = self.max_power(with_dram=True)
+        if no_dram is not None:
+            lines.append(
+                "#  Max pow no DRAM   : "
+                + " ".join(f"{no_dram[s]:.1f}" for s in sockets)
+                + f" = {sum(no_dram.values()):.1f} Watt"
+            )
+            lines.append(
+                "#  Max pow with DRAM : "
+                + " ".join(f"{with_dram[s]:.1f}" for s in sockets)
+                + f" = {sum(with_dram.values()):.1f} Watt"
+            )
+        lines.append(f"#  Max latency       : {self.max_latency()} cycles")
+        min_bw = self.min_bandwidth()
+        if min_bw is not None:
+            lines.append(f"#  Min bandwidth     : {min_bw:.2f} GB/s")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Placement({self.policy.value}, {self.n_threads} threads, "
+            f"{len(self.sockets_used())} sockets)"
+        )

@@ -1,0 +1,15 @@
+"""Centralized scheduling on top of MCTOP (the paper's Future Work)."""
+
+from repro.sched.scheduler import (
+    AppRequest,
+    Assignment,
+    MctopScheduler,
+    WorkloadClass,
+)
+
+__all__ = [
+    "AppRequest",
+    "Assignment",
+    "MctopScheduler",
+    "WorkloadClass",
+]

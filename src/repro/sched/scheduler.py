@@ -1,0 +1,250 @@
+"""A centralized MCTOP-based scheduler (the paper's Future Work).
+
+Section 9 sketches what a scheduler built on MCTOP must do: pick the
+placement policy *for* the application (instead of asking the user),
+handle applications that co-execute on one machine, and keep track of
+the *effective* topology — "if an application is already executing, the
+effective memory bandwidth for another application is less than the
+total bandwidth reported by MCTOP".
+
+This module implements that sketch:
+
+* applications declare a workload class (``compute`` / ``bandwidth`` /
+  ``latency``) and a thread count;
+* the scheduler assigns disjoint hardware contexts, choosing the
+  placement shape per class — compacting latency-bound apps onto the
+  emptiest socket, spreading bandwidth-bound apps over the sockets with
+  the most *remaining* bandwidth, giving compute-bound apps unique
+  cores before SMT siblings;
+* per-socket bandwidth reservations and per-core occupancy make up the
+  effective-topology bookkeeping, queryable at any time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import PlacementError
+from repro.core.mctop import Mctop
+
+
+class WorkloadClass(Enum):
+    COMPUTE = "compute"  # flop-bound: unique cores first, SMT last
+    BANDWIDTH = "bandwidth"  # stream-bound: spread over free bandwidth
+    LATENCY = "latency"  # sync-bound: compact on one socket
+
+
+@dataclass(frozen=True)
+class AppRequest:
+    """What an arriving application asks for."""
+
+    name: str
+    n_threads: int
+    workload: WorkloadClass
+    bandwidth_demand: float = 0.0  # GB/s it will try to pull
+
+
+@dataclass
+class Assignment:
+    """The scheduler's answer."""
+
+    app_id: int
+    name: str
+    ctxs: tuple[int, ...]
+    sockets: tuple[int, ...]
+    rationale: str
+
+    def __len__(self) -> int:
+        return len(self.ctxs)
+
+
+@dataclass
+class _SocketState:
+    contexts_free: list[int] = field(default_factory=list)
+    bandwidth_reserved: float = 0.0
+
+
+class MctopScheduler:
+    """Tracks the effective topology and places co-executing apps."""
+
+    def __init__(self, mctop: Mctop):
+        self.mctop = mctop
+        self._sockets: dict[int, _SocketState] = {}
+        for sid in mctop.socket_ids():
+            self._sockets[sid] = _SocketState(
+                contexts_free=list(mctop.socket_get_contexts(sid))
+            )
+        self._apps: dict[int, Assignment] = {}
+        self._bandwidth_by_app: dict[int, dict[int, float]] = {}
+        self._ids = itertools.count(1)
+
+    # --------------------------------------------------- effective view
+    def free_contexts(self, socket_id: int | None = None) -> list[int]:
+        if socket_id is not None:
+            return list(self._sockets[socket_id].contexts_free)
+        return [c for s in self._sockets.values() for c in s.contexts_free]
+
+    def effective_bandwidth(self, socket_id: int) -> float:
+        """Local bandwidth still available on a socket (the Future-Work
+        quantity: total minus what running applications consume)."""
+        total = self.mctop.local_bandwidth(socket_id)
+        return max(total - self._sockets[socket_id].bandwidth_reserved, 0.0)
+
+    def running_apps(self) -> list[Assignment]:
+        return list(self._apps.values())
+
+    def utilization(self) -> float:
+        total = self.mctop.n_contexts
+        free = len(self.free_contexts())
+        return (total - free) / total
+
+    # ---------------------------------------------------------- placing
+    def schedule(self, request: AppRequest) -> Assignment:
+        """Place an application; raises when it cannot fit."""
+        if request.n_threads < 1:
+            raise PlacementError("an application needs at least one thread")
+        if request.n_threads > len(self.free_contexts()):
+            raise PlacementError(
+                f"{request.name}: {request.n_threads} threads requested, "
+                f"{len(self.free_contexts())} contexts free"
+            )
+        if request.workload is WorkloadClass.LATENCY:
+            ctxs, rationale = self._place_compact(request)
+        elif request.workload is WorkloadClass.BANDWIDTH:
+            ctxs, rationale = self._place_spread(request)
+        else:
+            ctxs, rationale = self._place_unique_cores(request)
+
+        app_id = next(self._ids)
+        sockets = tuple(
+            sorted({self.mctop.socket_of_context(c) for c in ctxs})
+        )
+        assignment = Assignment(
+            app_id=app_id,
+            name=request.name,
+            ctxs=tuple(ctxs),
+            sockets=sockets,
+            rationale=rationale,
+        )
+        self._commit(assignment, request)
+        return assignment
+
+    def finish(self, app_id: int) -> None:
+        """Release an application's contexts and bandwidth."""
+        assignment = self._apps.pop(app_id, None)
+        if assignment is None:
+            raise PlacementError(f"unknown app id {app_id}")
+        for ctx in assignment.ctxs:
+            sid = self.mctop.socket_of_context(ctx)
+            self._sockets[sid].contexts_free.append(ctx)
+            self._sockets[sid].contexts_free.sort()
+        for sid, gbps in self._bandwidth_by_app.pop(app_id, {}).items():
+            self._sockets[sid].bandwidth_reserved -= gbps
+
+    def _commit(self, assignment: Assignment, request: AppRequest) -> None:
+        per_socket_bw: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        for ctx in assignment.ctxs:
+            sid = self.mctop.socket_of_context(ctx)
+            self._sockets[sid].contexts_free.remove(ctx)
+            counts[sid] = counts.get(sid, 0) + 1
+        if request.bandwidth_demand > 0:
+            share = request.bandwidth_demand / len(assignment.ctxs)
+            for sid, n in counts.items():
+                gbps = share * n
+                self._sockets[sid].bandwidth_reserved += gbps
+                per_socket_bw[sid] = gbps
+        self._apps[assignment.app_id] = assignment
+        self._bandwidth_by_app[assignment.app_id] = per_socket_bw
+
+    # ------------------------------------------------- placement shapes
+    def _socket_core_order(self, sid: int) -> list[int]:
+        """Free contexts of a socket: unique cores first, then siblings."""
+        free = set(self._sockets[sid].contexts_free)
+        out: list[int] = []
+        later: list[int] = []
+        for core in self.mctop.socket_get_cores(sid):
+            ctxs = (
+                self.mctop.core_get_contexts(core)
+                if self.mctop.has_smt
+                else [core]
+            )
+            avail = [c for c in ctxs if c in free]
+            if avail:
+                out.append(avail[0])
+                later.extend(avail[1:])
+        return out + later
+
+    def _place_compact(self, request: AppRequest) -> tuple[list[int], str]:
+        """Latency-bound: the emptiest sockets, filled one at a time."""
+        order = sorted(
+            self._sockets,
+            key=lambda s: (-len(self._sockets[s].contexts_free), s),
+        )
+        ctxs: list[int] = []
+        for sid in order:
+            take = self._socket_core_order(sid)
+            ctxs.extend(take[: request.n_threads - len(ctxs)])
+            if len(ctxs) == request.n_threads:
+                break
+        return ctxs, (
+            "latency-bound: compact on the emptiest socket(s) to minimize "
+            "the max communication latency"
+        )
+
+    def _place_spread(self, request: AppRequest) -> tuple[list[int], str]:
+        """Bandwidth-bound: round robin over remaining bandwidth."""
+        order = sorted(
+            (s for s in self._sockets if self._sockets[s].contexts_free),
+            key=lambda s: (-self.effective_bandwidth(s), s),
+        )
+        pools = {s: self._socket_core_order(s) for s in order}
+        ctxs: list[int] = []
+        while len(ctxs) < request.n_threads:
+            progressed = False
+            for sid in order:
+                if pools[sid] and len(ctxs) < request.n_threads:
+                    ctxs.append(pools[sid].pop(0))
+                    progressed = True
+            if not progressed:  # pragma: no cover - guarded by capacity check
+                break
+        return ctxs, (
+            "bandwidth-bound: spread over the sockets with the most "
+            "effective (unreserved) memory bandwidth"
+        )
+
+    def _place_unique_cores(self, request: AppRequest) -> tuple[list[int], str]:
+        """Compute-bound: free *cores* everywhere before any SMT sibling."""
+        firsts: list[int] = []
+        siblings: list[int] = []
+        for sid in sorted(self._sockets):
+            order = self._socket_core_order(sid)
+            n_cores = len(
+                {self.mctop.core_of_context(c) for c in order}
+            )
+            firsts.extend(order[:n_cores])
+            siblings.extend(order[n_cores:])
+        ctxs = (firsts + siblings)[: request.n_threads]
+        return ctxs, (
+            "compute-bound: one context per free physical core before "
+            "any SMT sharing"
+        )
+
+    # ------------------------------------------------------------ report
+    def report(self) -> str:
+        lines = ["MCTOP scheduler state:"]
+        for sid in sorted(self._sockets):
+            state = self._sockets[sid]
+            lines.append(
+                f"  socket {sid}: {len(state.contexts_free)} contexts free, "
+                f"{self.effective_bandwidth(sid):.1f} GB/s effective "
+                f"bandwidth"
+            )
+        for app in self._apps.values():
+            lines.append(
+                f"  app {app.app_id} '{app.name}': {len(app.ctxs)} threads "
+                f"on sockets {list(app.sockets)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Discrete-event execution engine for placement-sensitive workloads."""
+
+from repro.sim.commands import (
+    Acquire,
+    BarrierWait,
+    Communicate,
+    Compute,
+    MemChase,
+    MemStream,
+    Release,
+    Sleep,
+)
+from repro.sim.engine import Engine, RunStats, SimThread
+from repro.sim.sync import Barrier, Flag
+
+__all__ = [
+    "Acquire",
+    "Barrier",
+    "BarrierWait",
+    "Communicate",
+    "Compute",
+    "Engine",
+    "Flag",
+    "MemChase",
+    "MemStream",
+    "Release",
+    "RunStats",
+    "SimThread",
+    "Sleep",
+]

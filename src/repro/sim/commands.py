@@ -1,0 +1,88 @@
+"""Commands a simulated thread can yield to the engine.
+
+A simulated program is a Python generator: it yields command objects
+and receives control back when the engine has accounted for them.  The
+vocabulary mirrors what placement-sensitive code actually does on a
+NUMA machine: compute, stream memory, chase pointers, communicate over
+the coherence fabric, synchronize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Busy CPU work; slowed down by active SMT siblings and DVFS."""
+
+    cycles: float
+
+
+@dataclass(frozen=True)
+class MemStream:
+    """Sequential (bandwidth-bound) access of ``n_bytes`` on a node.
+
+    Concurrent streams to the same (socket, node) channel share its
+    bandwidth fairly; the share is evaluated when the stream is issued,
+    which is exact for the barrier-phased workloads of this package.
+    """
+
+    node: int
+    n_bytes: float
+
+
+@dataclass(frozen=True)
+class MemChase:
+    """Dependent (latency-bound) accesses: ``accesses`` serial misses."""
+
+    node: int
+    accesses: float
+
+
+@dataclass(frozen=True)
+class Communicate:
+    """One coherence round-trip with another hardware context."""
+
+    peer_ctx: int
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Idle wait (no busy work, no SMT pressure on the sibling)."""
+
+    cycles: float
+
+
+@dataclass(frozen=True)
+class BarrierWait:
+    """Block until every participant of the barrier arrives."""
+
+    barrier: Any  # sim.sync.Barrier
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Acquire a lock (blocking; delay model lives in the lock)."""
+
+    lock: Any  # apps.locks algorithm object
+
+
+@dataclass(frozen=True)
+class Release:
+    """Release a lock previously acquired."""
+
+    lock: Any
+
+
+Command = (
+    Compute
+    | MemStream
+    | MemChase
+    | Communicate
+    | Sleep
+    | BarrierWait
+    | Acquire
+    | Release
+)

@@ -1,0 +1,335 @@
+"""Discrete-event execution engine over a simulated machine.
+
+Threads are Python generators pinned to hardware contexts; they yield
+:mod:`repro.sim.commands` and the engine advances virtual time (in
+cycles at the machine's maximum frequency), pricing every command from
+the machine model:
+
+* ``Compute`` pays SMT interference when siblings compute concurrently;
+* ``MemStream`` shares each (socket, node) channel's bandwidth among
+  its concurrent streams;
+* ``MemChase`` pays the NUMA latency of every dependent access;
+* ``Communicate`` pays the coherence latency between two contexts;
+* locks and barriers delegate to their objects (see
+  :mod:`repro.apps.locks` and :mod:`repro.sim.sync`).
+
+When the machine has a power profile the engine also integrates energy:
+package power is a function of which contexts are active, sampled at
+every scheduling event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.errors import SimulationError
+from repro.hardware.machine import Machine
+from repro.sim.commands import (
+    Acquire,
+    BarrierWait,
+    Communicate,
+    Compute,
+    MemChase,
+    MemStream,
+    Release,
+    Sleep,
+)
+
+Program = Generator[Any, None, Any]
+
+
+@dataclass
+class SimThread:
+    """One simulated thread pinned to a hardware context."""
+
+    tid: int
+    ctx: int
+    program: Program
+    name: str = ""
+    finished: bool = False
+    result: Any = None
+    busy_cycles: float = 0.0
+    blocked: bool = False
+    computing: bool = False
+
+    def __hash__(self) -> int:
+        return self.tid
+
+
+@dataclass
+class RunStats:
+    """What a finished simulation reports."""
+
+    cycles: float
+    seconds: float
+    energy_joules: float | None
+    per_thread_busy: dict[int, float] = field(default_factory=dict)
+    results: dict[int, Any] = field(default_factory=dict)
+
+
+class Engine:
+    """The event loop: a heap of (time, action) callbacks."""
+
+    def __init__(self, machine: Machine, track_energy: bool = False):
+        self.machine = machine
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.threads: list[SimThread] = []
+        self._channels: dict[tuple[int, int], _Channel] = {}
+        self._energy: float | None = None
+        self._power_model = None
+        if track_energy:
+            from repro.hardware.power import PowerModel
+
+            self._power_model = PowerModel(machine)
+            self._energy = 0.0
+            self._last_energy_time = 0.0
+
+    # ----------------------------------------------------------- spawning
+    def spawn(self, ctx: int, program: Program, name: str = "") -> SimThread:
+        self.machine._check_ctx(ctx)
+        thread = SimThread(tid=len(self.threads), ctx=ctx, program=program,
+                           name=name or f"t{len(self.threads)}")
+        self.threads.append(thread)
+        self._at(self.now, lambda: self._step(thread))
+        return thread
+
+    def _at(self, when: float, action: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, action))
+
+    # ------------------------------------------------------------ pricing
+    def _computing_siblings(self, thread: SimThread) -> int:
+        core = self.machine.core_of(thread.ctx)
+        return sum(
+            1
+            for t in self.threads
+            if t is not thread
+            and not t.finished
+            and t.computing
+            and self.machine.core_of(t.ctx) == core
+        )
+
+    def smt_factor(self, thread: SimThread) -> float:
+        """Compute-slowdown from SMT siblings currently computing."""
+        siblings = self._computing_siblings(thread)
+        slow = self.machine.spec.smt_slowdown
+        return 1.0 + siblings * (slow - 1.0)
+
+    def _node_streams(self, node: int) -> int:
+        """Streams currently targeting a node, across all sockets."""
+        return sum(
+            len(ch.streams)
+            for (s, n), ch in self._channels.items()
+            if n == node
+        )
+
+    def _stream_rate(self, key: tuple[int, int], sharers: int) -> float:
+        """Per-stream bytes/cycle on a channel with ``sharers`` streams.
+
+        Three limits apply: what a single thread can pull, the channel's
+        path capacity (local controller or interconnect link), and the
+        node's DRAM itself — sockets streaming from the same node share
+        its DRAM bandwidth, they do not add to it.
+        """
+        socket, node = key
+        cap = self.machine.mem_bandwidth(socket, node)
+        single = self.machine.mem_bandwidth_single(socket, node)
+        home = self.machine.socket_of_node(node)
+        node_cap = self.machine.mem_bandwidth(home, node)
+        node_streams = max(self._node_streams(node), sharers, 1)
+        per_thread = min(single, cap / max(sharers, 1), node_cap / node_streams)
+        return max(per_thread / self.machine.spec.freq_max_ghz, 1e-12)
+
+    def _advance_channel(self, key: tuple[int, int], ch: "_Channel") -> None:
+        """Progress every active stream of a channel up to ``now``."""
+        dt = self.now - ch.last_update
+        if dt > 0 and ch.streams:
+            rate = self._stream_rate(key, len(ch.streams))
+            for state in ch.streams.values():
+                state[0] = max(state[0] - rate * dt, 0.0)
+        ch.last_update = self.now
+
+    def _rebalance_channel(self, key: tuple[int, int], ch: "_Channel") -> None:
+        """Reschedule the channel's next completion after a change.
+
+        Only the *earliest* finisher gets an event (one heap push per
+        membership change instead of one per stream); when it fires,
+        every stream that has drained by then completes together.
+        """
+        ch.epoch += 1
+        epoch = ch.epoch
+        if not ch.streams:
+            return
+        rate = self._stream_rate(key, len(ch.streams))
+        next_done = min(state[0] for state in ch.streams.values()) / rate
+        # Never schedule below the current time's float resolution: a
+        # nearly-drained stream would otherwise fire at `now` forever.
+        import math
+
+        next_done = max(next_done, math.ulp(self.now))
+        self._at(
+            self.now + next_done,
+            lambda e=epoch: self._channel_event(key, e),
+        )
+
+    def _advance_node_channels(self, node: int) -> None:
+        for (s, n), ch in self._channels.items():
+            if n == node:
+                self._advance_channel((s, n), ch)
+
+    def _rebalance_node_channels(self, node: int) -> None:
+        # A membership change on one channel shifts the DRAM share of
+        # every other channel reading the same node.
+        for (s, n), ch in self._channels.items():
+            if n == node:
+                self._rebalance_channel((s, n), ch)
+
+    def _channel_event(self, key: tuple[int, int], epoch: int) -> None:
+        ch = self._channels[key]
+        if epoch != ch.epoch:
+            return  # stale event
+        self._advance_node_channels(key[1])
+        # "Finished" is judged in time, not bytes: anything that would
+        # drain within a micro-cycle is done (bytes-level thresholds
+        # dead-lock against float resolution at large timestamps).
+        rate = self._stream_rate(key, len(ch.streams) or 1)
+        threshold = max(rate * 1e-3, 1e-6)
+        finished = [
+            (thread, state)
+            for thread, state in ch.streams.items()
+            if state[0] <= threshold
+        ]
+        for thread, state in finished:
+            del ch.streams[thread]
+            thread.busy_cycles += self.now - state[1]
+        self._rebalance_node_channels(key[1])
+        for thread, _ in finished:
+            self._step(thread)
+
+    # ---------------------------------------------------------- main loop
+    def run(self, max_cycles: float = float("inf")) -> RunStats:
+        """Run every thread to completion (or fail at ``max_cycles``)."""
+        while self._heap:
+            at, _, action = heapq.heappop(self._heap)
+            if at > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles — deadlock or "
+                    "runaway program?"
+                )
+            self._account_energy(at)
+            self.now = at
+            action()
+        stuck = [t.name for t in self.threads if not t.finished]
+        if stuck:
+            raise SimulationError(
+                f"threads {stuck} never finished (lock/barrier deadlock?)"
+            )
+        spec = self.machine.spec
+        seconds = self.now / (spec.freq_max_ghz * 1e9)
+        return RunStats(
+            cycles=self.now,
+            seconds=seconds,
+            energy_joules=self._energy,
+            per_thread_busy={t.tid: t.busy_cycles for t in self.threads},
+            results={t.tid: t.result for t in self.threads},
+        )
+
+    def _step(self, thread: SimThread) -> None:
+        thread.blocked = False
+        thread.computing = False
+        try:
+            command = next(thread.program)
+        except StopIteration as stop:
+            thread.finished = True
+            thread.result = stop.value
+            return
+        self._dispatch(thread, command)
+
+    def _dispatch(self, thread: SimThread, command: Any) -> None:
+        if isinstance(command, Compute):
+            duration = command.cycles * self.smt_factor(thread)
+            thread.computing = True
+            thread.busy_cycles += duration
+            self._at(self.now + duration, lambda: self._step(thread))
+        elif isinstance(command, MemStream):
+            socket = self.machine.socket_of(thread.ctx)
+            key = (socket, command.node)
+            ch = self._channels.setdefault(key, _Channel())
+            self._advance_node_channels(command.node)
+            ch.streams[thread] = [float(command.n_bytes), self.now]
+            self._rebalance_node_channels(command.node)
+        elif isinstance(command, MemChase):
+            socket = self.machine.socket_of(thread.ctx)
+            duration = command.accesses * self.machine.mem_latency(
+                socket, command.node
+            )
+            thread.busy_cycles += duration
+            self._at(self.now + duration, lambda: self._step(thread))
+        elif isinstance(command, Communicate):
+            duration = float(
+                self.machine.comm_latency(thread.ctx, command.peer_ctx)
+            )
+            thread.busy_cycles += duration
+            self._at(self.now + duration, lambda: self._step(thread))
+        elif isinstance(command, Sleep):
+            self._at(self.now + command.cycles, lambda: self._step(thread))
+        elif isinstance(command, BarrierWait):
+            command.barrier._arrive(self, thread)
+        elif isinstance(command, Acquire):
+            command.lock._request(self, thread)
+        elif isinstance(command, Release):
+            command.lock._release(self, thread)
+        else:
+            raise SimulationError(f"unknown command {command!r}")
+
+    # --------------------------------------------------------- wake/block
+    def wake(self, thread: SimThread, at: float) -> None:
+        """Used by locks and barriers to resume a blocked thread."""
+        if at < self.now:
+            raise SimulationError("cannot wake a thread in the past")
+        thread.blocked = False
+        self._at(at, lambda: self._step(thread))
+
+    def block(self, thread: SimThread) -> None:
+        thread.blocked = True
+
+    # ------------------------------------------------------------- energy
+    def _account_energy(self, at: float) -> None:
+        if self._power_model is None:
+            return
+        dt_cycles = at - self._last_energy_time
+        if dt_cycles <= 0:
+            return
+        active = [
+            t.ctx for t in self.threads if not t.finished and not t.blocked
+        ]
+        watts = sum(
+            self._power_model.estimate(
+                active,
+                with_dram=True,
+                sockets=range(self.machine.spec.n_sockets),
+            ).values()
+        )
+        seconds = dt_cycles / (self.machine.spec.freq_max_ghz * 1e9)
+        self._energy += watts * seconds
+        self._last_energy_time = at
+
+
+class _Channel:
+    """Fair-shared memory channel: one per (socket, node) pair.
+
+    ``streams`` maps each active thread to ``[remaining_bytes,
+    start_time]``; completions are rescheduled (with an epoch tag to
+    cancel stale events) whenever a stream joins or leaves.
+    """
+
+    __slots__ = ("streams", "last_update", "epoch")
+
+    def __init__(self) -> None:
+        self.streams: dict[SimThread, list[float]] = {}
+        self.last_update = 0.0
+        self.epoch = 0

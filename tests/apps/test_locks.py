@@ -1,0 +1,181 @@
+"""Tests for the lock algorithms and the Figure 8 experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.errors import SimulationError
+from repro.hardware import get_machine
+from repro.apps.locks import (
+    ALGORITHMS,
+    LockExperimentConfig,
+    TasLock,
+    TicketLock,
+    educated_backoff,
+    fixed_backoff,
+    pause_baseline,
+    run_figure8,
+    run_lock_experiment,
+    thread_sweep,
+)
+from repro.sim import Acquire, Compute, Engine, Release
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+@pytest.fixture(scope="module")
+def tb_mctop():
+    return infer_topology(get_machine("testbox"), seed=1, config=FAST)
+
+
+@pytest.fixture(scope="module")
+def ivy_mctop():
+    return infer_topology(get_machine("ivy"), seed=1, config=FAST)
+
+
+def _locked_workers(machine, lock, n, iters=20, cs=500):
+    engine = Engine(machine)
+    counter = {"value": 0, "max_in_cs": 0, "in_cs": 0}
+
+    def worker():
+        for _ in range(iters):
+            yield Acquire(lock)
+            counter["in_cs"] += 1
+            counter["max_in_cs"] = max(counter["max_in_cs"], counter["in_cs"])
+            yield Compute(cs)
+            counter["value"] += 1
+            counter["in_cs"] -= 1
+            yield Release(lock)
+
+    for ctx in range(n):
+        engine.spawn(ctx, worker())
+    stats = engine.run()
+    return counter, stats, lock
+
+
+class TestMutualExclusion:
+    @pytest.mark.parametrize("name", list(ALGORITHMS))
+    def test_critical_sections_are_exclusive(self, testbox, name):
+        lock = ALGORITHMS[name](seed=3)
+        counter, _, _ = _locked_workers(testbox, lock, n=6)
+        assert counter["max_in_cs"] == 1
+        assert counter["value"] == 6 * 20
+        assert lock.acquisitions == 6 * 20
+
+    def test_double_release_rejected(self, testbox):
+        lock = TasLock()
+        engine = Engine(testbox)
+
+        def bad():
+            yield Acquire(lock)
+            yield Release(lock)
+            yield Release(lock)
+
+        engine.spawn(0, bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_ticket_is_fifo(self, testbox):
+        lock = TicketLock()
+        order = []
+        engine = Engine(testbox)
+
+        def worker(tag):
+            yield Compute(tag * 10 + 1)  # stagger arrival
+            yield Acquire(lock)
+            order.append(tag)
+            yield Compute(5000)
+            yield Release(lock)
+
+        for tag in range(4):
+            engine.spawn(tag, worker(tag))
+        engine.run()
+        assert order == [0, 1, 2, 3]
+
+
+class TestHandoverModel:
+    def test_backoff_shortens_contended_handover(self, testbox, tb_mctop):
+        cfg = LockExperimentConfig(iterations=60)
+        base = run_lock_experiment(
+            testbox, tb_mctop, "TICKET", 8, use_backoff=False, cfg=cfg
+        )
+        backoff = run_lock_experiment(
+            testbox, tb_mctop, "TICKET", 8, use_backoff=True, cfg=cfg
+        )
+        assert backoff.throughput > base.throughput
+
+    def test_quantum_is_max_latency(self, tb_mctop):
+        ctxs = tb_mctop.context_ids()
+        policy = educated_backoff(tb_mctop, ctxs)
+        assert policy.quantum == tb_mctop.max_latency(ctxs)
+        assert policy.enabled
+
+    def test_pause_baseline_has_no_quantum(self):
+        assert not pause_baseline().enabled
+
+    def test_fixed_backoff(self):
+        policy = fixed_backoff(500)
+        assert policy.enabled and policy.quantum == 500
+
+    def test_first_acquisition_pays_memory(self, testbox):
+        lock = TasLock()
+        engine = Engine(testbox)
+
+        def solo():
+            yield Acquire(lock)
+            yield Release(lock)
+
+        engine.spawn(0, solo())
+        stats = engine.run()
+        assert stats.cycles >= testbox.mem_latency(0, 0)
+
+
+class TestFigure8Harness:
+    def test_rows_cover_sweep(self, testbox, tb_mctop):
+        cfg = LockExperimentConfig(iterations=30)
+        res = run_figure8(testbox, tb_mctop, thread_counts=[2, 4, 8], cfg=cfg)
+        assert len(res.rows) == 3 * 3  # 3 algorithms x 3 thread counts
+        assert {r.algorithm for r in res.rows} == {"TAS", "TTAS", "TICKET"}
+
+    def test_paper_shape_on_ivy(self, ivy_mctop):
+        """The headline claims: every algorithm gains on average, TICKET
+        gains the most, and TICKET's gain grows with contention."""
+        machine = get_machine("ivy")
+        cfg = LockExperimentConfig(iterations=60)
+        res = run_figure8(
+            machine, ivy_mctop, thread_counts=[2, 16, 40], cfg=cfg
+        )
+        gains = {a: res.average_gain(a) for a in ("TAS", "TTAS", "TICKET")}
+        assert gains["TICKET"] > gains["TAS"] > 0
+        assert gains["TTAS"] > -0.02
+        ticket = [r.relative for r in res.rows if r.algorithm == "TICKET"]
+        assert ticket[-1] > ticket[0]
+
+    def test_ttas_gains_vanish_at_high_contention(self, ivy_mctop):
+        machine = get_machine("ivy")
+        cfg = LockExperimentConfig(iterations=60)
+        res = run_figure8(
+            machine, ivy_mctop, algorithms=("TTAS",),
+            thread_counts=[16, 40], cfg=cfg,
+        )
+        mid, high = [r.relative for r in res.rows]
+        assert mid > high  # the gain decays as contention rises
+
+    def test_thread_sweep_bounded_by_machine(self, testbox):
+        sweep = thread_sweep(testbox)
+        assert max(sweep) <= testbox.spec.n_contexts
+        assert sweep[0] == 2
+
+    def test_table_output(self, testbox, tb_mctop):
+        cfg = LockExperimentConfig(iterations=20)
+        res = run_figure8(testbox, tb_mctop, thread_counts=[2], cfg=cfg)
+        table = res.table()
+        assert "platform" in table and "relative" in table
+        assert "testbox" in table
+
+    def test_deterministic(self, testbox, tb_mctop):
+        cfg = LockExperimentConfig(iterations=20)
+        a = run_lock_experiment(testbox, tb_mctop, "TAS", 4, True, cfg, seed=7)
+        b = run_lock_experiment(testbox, tb_mctop, "TAS", 4, True, cfg, seed=7)
+        assert a.throughput == b.throughput

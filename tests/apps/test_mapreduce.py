@@ -1,0 +1,199 @@
+"""Tests for the Metis MapReduce engine and the Figure 10/11 model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.hardware import get_machine
+from repro.apps.mapreduce import (
+    ALL_PROFILES,
+    KMEANS,
+    MEAN,
+    WORD_COUNT,
+    MetisEngine,
+    best_run,
+    kmeans_data,
+    kmeans_job,
+    matrix_mult_data,
+    matrix_mult_job,
+    mean_data,
+    mean_job,
+    profile_by_name,
+    run_figure10,
+    run_figure11,
+    simulate_metis_run,
+    thread_grid,
+    word_count_data,
+    word_count_job,
+)
+from repro.place import Policy
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+TINY = WORD_COUNT.__class__(
+    name="tiny",
+    paper_policy=Policy.RR_HWC,
+    input_mb=8.0,
+    map_compute_per_byte=2.0,
+    shuffle_fraction=0.3,
+    reduce_compute_per_byte=1.0,
+    sync_rounds=6,
+    alloc_acquires_per_thread=4,
+    prefers_unique_cores=False,
+    alloc_bytes_fraction=0.5,
+)
+
+
+@pytest.fixture(scope="module")
+def tb_mctop():
+    return infer_topology(get_machine("testbox"), seed=1, config=FAST)
+
+
+@pytest.fixture(scope="module")
+def op_mctop():
+    return infer_topology(get_machine("opteron"), seed=1, config=FAST)
+
+
+class TestFunctionalEngine:
+    def test_word_count(self, tb_mctop):
+        engine = MetisEngine(tb_mctop, Policy.RR_HWC, n_workers=4)
+        lines = ["the fox the dog", "the fox"]
+        result = engine.run(word_count_job(), lines)
+        assert result == {"the": 3, "fox": 2, "dog": 1}
+
+    def test_word_count_placement_invariant(self, tb_mctop):
+        """The result is identical under every placement policy."""
+        lines = word_count_data(n_lines=60, seed=3)
+        results = []
+        for policy in (Policy.SEQUENTIAL, Policy.RR_CORE, Policy.CON_HWC):
+            engine = MetisEngine(tb_mctop, policy, n_workers=5)
+            results.append(engine.run(word_count_job(), lines))
+        assert results[0] == results[1] == results[2]
+
+    def test_kmeans(self, tb_mctop):
+        points, centroids = kmeans_data(n_points=120, seed=1)
+        engine = MetisEngine(tb_mctop, Policy.CON_CORE_HWC, n_workers=6)
+        result = engine.run(kmeans_job(centroids), points)
+        assert set(result) <= set(range(len(centroids)))
+        for centroid in result.values():
+            assert centroid.shape == points[0].shape
+
+    def test_mean(self, tb_mctop):
+        chunks = mean_data(n_chunks=16, chunk=64, seed=2)
+        engine = MetisEngine(tb_mctop, Policy.CON_HWC, n_workers=3)
+        result = engine.run(mean_job(), chunks)
+        total = np.concatenate(chunks)
+        assert result["sum"] == pytest.approx(float(np.sum(total)))
+        assert result["count"] == total.size
+
+    def test_matrix_mult(self, tb_mctop):
+        rows, a, b = matrix_mult_data(n=12, seed=4)
+        engine = MetisEngine(tb_mctop, Policy.CON_CORE, n_workers=4)
+        result = engine.run(matrix_mult_job(a, b), rows)
+        product = np.vstack([result[i] for i in range(12)])
+        assert np.allclose(product, a @ b)
+
+    def test_worker_count_capped(self, tb_mctop):
+        engine = MetisEngine(tb_mctop, Policy.SEQUENTIAL)
+        assert engine.n_workers == tb_mctop.n_contexts
+
+
+class TestProfiles:
+    def test_four_profiles(self):
+        assert len(ALL_PROFILES) == 4
+        names = {p.name for p in ALL_PROFILES}
+        assert names == {"k-means", "mean", "word-count", "matrix-mult"}
+
+    def test_paper_policies(self):
+        assert profile_by_name("k-means").paper_policy is Policy.CON_CORE_HWC
+        assert profile_by_name("mean").paper_policy is Policy.CON_HWC
+        assert profile_by_name("matrix-mult").paper_policy is Policy.CON_CORE
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            profile_by_name("sha-mining")
+
+
+class TestCostModel:
+    def test_run_produces_time_and_energy(self, tb_mctop):
+        tb = get_machine("testbox")
+        run = simulate_metis_run(
+            tb, tb_mctop, TINY, Policy.RR_HWC, 4, track_energy=True
+        )
+        assert run.seconds > 0
+        assert run.energy_joules > 0
+
+    def test_more_threads_usually_faster(self, tb_mctop):
+        tb = get_machine("testbox")
+        slow = simulate_metis_run(tb, tb_mctop, TINY, Policy.RR_HWC, 2)
+        fast = simulate_metis_run(tb, tb_mctop, TINY, Policy.RR_HWC, 8)
+        assert fast.seconds < slow.seconds
+
+    def test_thread_grid(self, tb_mctop):
+        grid = thread_grid(tb_mctop, prefers_unique_cores=True)
+        assert tb_mctop.n_contexts in grid
+        assert all(g <= tb_mctop.n_contexts for g in grid)
+
+    def test_best_run_objectives(self, tb_mctop):
+        tb = get_machine("testbox")
+        by_time = best_run(tb, tb_mctop, TINY, Policy.CON_HWC, True, "time")
+        by_energy = best_run(
+            tb, tb_mctop, TINY, Policy.CON_HWC, True, "energy"
+        )
+        assert by_energy.energy_joules <= by_time.energy_joules
+
+    def test_deterministic(self, tb_mctop):
+        tb = get_machine("testbox")
+        a = simulate_metis_run(tb, tb_mctop, TINY, Policy.CON_HWC, 4)
+        b = simulate_metis_run(tb, tb_mctop, TINY, Policy.CON_HWC, 4)
+        assert a.seconds == b.seconds
+
+
+class TestFigure10:
+    def test_opteron_gains(self, op_mctop):
+        """The misconfigured-OS machine shows the paper's pattern:
+        MCTOP placement beats default Metis, most on Word Count."""
+        machine = get_machine("opteron")
+        res = run_figure10(machine, op_mctop)
+        rel = {c.workload: c.relative_time for c in res.cells}
+        assert rel["word-count"] < 0.85
+        assert all(v <= 1.02 for v in rel.values())
+        assert res.average_relative_time() < 0.95
+
+    def test_mctop_never_uses_more_threads(self, op_mctop):
+        machine = get_machine("opteron")
+        res = run_figure10(machine, op_mctop)
+        for cell in res.cells:
+            assert cell.mctop_threads <= cell.default_threads
+
+    def test_energy_only_on_intel(self, op_mctop, tb_mctop):
+        op_res = run_figure10(get_machine("opteron"), op_mctop, (TINY,))
+        assert op_res.cells[0].relative_energy is None
+        tb_res = run_figure10(get_machine("testbox"), tb_mctop, (TINY,))
+        assert tb_res.cells[0].relative_energy is not None
+
+    def test_table_output(self, tb_mctop):
+        res = run_figure10(get_machine("testbox"), tb_mctop, (TINY,))
+        text = res.table()
+        assert "rel time" in text and "tiny" in text
+
+
+class TestFigure11:
+    def test_power_trades_time_for_energy_on_mean(self):
+        """The Figure 11 trade: the POWER placement is slower but uses
+        less energy and is more energy-efficient."""
+        machine = get_machine("ivy")
+        mctop = infer_topology(machine, seed=1, config=FAST)
+        rows = run_figure11(machine, mctop, (MEAN,))
+        row = rows[0]
+        assert row.relative_time > 1.0
+        assert row.relative_energy < 1.0
+        assert row.relative_energy_efficiency > 1.0
+
+    def test_power_never_worse_energy(self):
+        machine = get_machine("ivy")
+        mctop = infer_topology(machine, seed=1, config=FAST)
+        rows = run_figure11(machine, mctop, (KMEANS, MEAN))
+        for row in rows:
+            assert row.relative_energy <= 1.001

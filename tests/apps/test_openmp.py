@@ -1,0 +1,255 @@
+"""Tests for the mini OpenMP runtime, graph kernels and Figure 12."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.errors import PlacementError
+from repro.hardware import get_machine
+from repro.apps.openmp import (
+    ALL_KERNELS,
+    GraphScale,
+    HOP_DISTANCE,
+    OpenMpRuntime,
+    PAGERANK,
+    candidate_grid,
+    communities,
+    hop_distance,
+    pagerank,
+    potential_friends,
+    powerlaw_graph,
+    random_degree_sampling,
+    run_figure12,
+    run_mctop_mp,
+    run_vanilla,
+    uniform_graph,
+)
+from repro.place import Policy
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+SCALE = GraphScale(2_000_000, 16_000_000)
+
+
+@pytest.fixture(scope="module")
+def tb_mctop():
+    return infer_topology(get_machine("testbox"), seed=1, config=FAST)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_graph(n_nodes=200, avg_degree=6, seed=1)
+
+
+class TestGraphs:
+    def test_uniform_structure(self, graph):
+        assert graph.n_nodes == 200
+        assert graph.offsets[0] == 0
+        assert graph.offsets[-1] == graph.n_edges
+        assert (graph.targets < graph.n_nodes).all()
+
+    def test_powerlaw_skewed(self):
+        g = powerlaw_graph(n_nodes=500, avg_degree=8, seed=2)
+        degrees = g.degrees()
+        assert degrees.max() > degrees.mean() * 3  # heavy tail
+
+    def test_neighbors_slice(self, graph):
+        nbrs = graph.neighbors(0)
+        assert nbrs.size == graph.degrees()[0]
+
+
+class TestKernels:
+    def test_pagerank_is_distribution(self, graph):
+        rank = pagerank(graph, iterations=15)
+        assert rank.shape == (graph.n_nodes,)
+        assert rank.sum() == pytest.approx(1.0, abs=0.05)
+        assert (rank > 0).all()
+
+    def test_pagerank_favours_high_in_degree(self):
+        # Star graph: everyone points to node 0.
+        n = 20
+        offsets = np.arange(n + 1, dtype=np.int64)
+        targets = np.zeros(n, dtype=np.int32)
+        from repro.apps.openmp.graphs import CsrGraph
+
+        star = CsrGraph(offsets=offsets, targets=targets)
+        rank = pagerank(star, iterations=20)
+        assert rank[0] == rank.max()
+
+    def test_hop_distance_bfs(self):
+        from repro.apps.openmp.graphs import CsrGraph
+
+        # Path graph 0 - 1 - 2 - 3.
+        offsets = np.array([0, 1, 3, 5, 6], dtype=np.int64)
+        targets = np.array([1, 0, 2, 1, 3, 2], dtype=np.int32)
+        path = CsrGraph(offsets=offsets, targets=targets)
+        dist = hop_distance(path, source=0)
+        assert list(dist) == [0, 1, 2, 3]
+
+    def test_hop_distance_unreachable(self):
+        from repro.apps.openmp.graphs import CsrGraph
+
+        offsets = np.array([0, 0, 0], dtype=np.int64)
+        lonely = CsrGraph(offsets=offsets, targets=np.array([], dtype=np.int32))
+        dist = hop_distance(lonely, source=0)
+        assert list(dist) == [0, -1]
+
+    def test_communities_connected_components(self):
+        from repro.apps.openmp.graphs import CsrGraph
+
+        # Two disjoint edges: {0,1} and {2,3}.
+        offsets = np.array([0, 1, 2, 3, 4], dtype=np.int64)
+        targets = np.array([1, 0, 3, 2], dtype=np.int32)
+        g = CsrGraph(offsets=offsets, targets=targets)
+        labels = communities(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_potential_friends_excludes_direct(self):
+        from repro.apps.openmp.graphs import CsrGraph
+
+        # Triangle 0-1-2 plus pendant 3 attached to 2.
+        offsets = np.array([0, 2, 4, 7, 8], dtype=np.int64)
+        targets = np.array([1, 2, 0, 2, 0, 1, 3, 2], dtype=np.int32)
+        g = CsrGraph(offsets=offsets, targets=targets)
+        suggestions = potential_friends(g)
+        assert suggestions[0] == [3]  # friend-of-friend via 2
+        assert 1 not in suggestions[0]  # already a friend
+
+    def test_random_degree_sampling_biased(self):
+        g = powerlaw_graph(n_nodes=300, avg_degree=6, seed=3)
+        samples = random_degree_sampling(g, 3000, seed=4)
+        degrees = g.degrees()
+        sampled_mean_degree = degrees[samples].mean()
+        assert sampled_mean_degree > degrees.mean()
+
+    def test_sampling_deterministic(self, graph):
+        a = random_degree_sampling(graph, 100, seed=9)
+        b = random_degree_sampling(graph, 100, seed=9)
+        assert (a == b).all()
+
+
+class TestRuntime:
+    def test_vanilla_has_no_binding(self):
+        rt = OpenMpRuntime()
+        assert not rt.supports_binding
+        with pytest.raises(PlacementError):
+            rt.omp_set_binding_policy(Policy.CON_HWC)
+
+    def test_vanilla_team_unpinned(self):
+        rt = OpenMpRuntime(default_threads=4)
+        team = rt.current_team(100)
+        assert len(team) == 4
+        assert all(m.ctx is None for m in team)
+
+    def test_binding_pins_team(self, tb_mctop):
+        rt = OpenMpRuntime(tb_mctop)
+        rt.omp_set_binding_policy(Policy.CON_HWC, n_threads=4)
+        team = rt.current_team(100)
+        assert [m.ctx for m in team] == rt._binding.ordering[:4]
+
+    def test_policy_switch_between_regions(self, tb_mctop):
+        """The paper's key capability: change policy at runtime."""
+        rt = OpenMpRuntime(tb_mctop)
+        rt.omp_set_binding_policy(Policy.CON_HWC, n_threads=4)
+        team1 = rt.current_team(10)
+        rt.omp_set_binding_policy(Policy.RR_CORE, n_threads=4)
+        team2 = rt.current_team(10)
+        assert rt.omp_get_binding_policy() is Policy.RR_CORE
+        assert [m.ctx for m in team1] != [m.ctx for m in team2]
+
+    def test_parallel_for_runs_every_iteration(self, tb_mctop):
+        rt = OpenMpRuntime(tb_mctop)
+        rt.omp_set_binding_policy(Policy.SEQUENTIAL, n_threads=3)
+        hits = []
+        rt.parallel_for(17, hits.append)
+        assert sorted(hits) == list(range(17))
+        assert rt.regions_run == 1
+
+    def test_static_chunks_cover_range(self, tb_mctop):
+        rt = OpenMpRuntime(tb_mctop)
+        rt.omp_set_binding_policy(Policy.CON_HWC, n_threads=3)
+        team = rt.current_team(10)
+        covered = [i for m in team for i in m.chunk]
+        assert covered == list(range(10))
+        sizes = [len(m.chunk) for m in team]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestRuntimeDrivenKernel:
+    def test_pagerank_via_parallel_for(self, tb_mctop, graph):
+        """A kernel written against the runtime API produces the same
+        result as the direct implementation."""
+        import numpy as np
+
+        rt = OpenMpRuntime(tb_mctop)
+        rt.omp_set_binding_policy(Policy.BALANCE_CORE_HWC, n_threads=4)
+        n = graph.n_nodes
+        rank = np.full(n, 1.0 / n)
+        out_degree = np.maximum(graph.degrees(), 1)
+        src = np.repeat(np.arange(n), graph.degrees())
+        for _ in range(10):
+            contrib = rank / out_degree
+            incoming = np.zeros(n)
+
+            def body(i):
+                for e in range(graph.offsets[i], graph.offsets[i + 1]):
+                    incoming[graph.targets[e]] += contrib[i]
+
+            rt.parallel_for(n, body)
+            rank = 0.15 / n + 0.85 * incoming
+        direct = pagerank(graph, iterations=10)
+        assert np.allclose(rank, direct)
+        assert rt.regions_run == 10
+
+
+class TestFigure12Model:
+    def test_vanilla_slower_than_mctop_mostly(self, tb_mctop):
+        tb = get_machine("testbox")
+        vanilla = run_vanilla(tb, tb_mctop, PAGERANK, SCALE)
+        placed = run_mctop_mp(tb, tb_mctop, PAGERANK, SCALE)
+        assert placed.seconds < vanilla * 1.2
+        assert placed.chosen is not None
+        assert placed.sampling_seconds > 0
+
+    def test_candidate_grid_contents(self, tb_mctop):
+        grid = candidate_grid(tb_mctop)
+        assert (Policy.CON_HWC, tb_mctop.n_contexts) in grid
+        assert len(grid) == 8
+
+    def test_figure12_full_run(self, tb_mctop):
+        tb = get_machine("testbox")
+        res = run_figure12(tb, tb_mctop, scale=SCALE)
+        workloads = {c.workload for c in res.cells}
+        assert len(res.cells) == 6  # 5 kernels + combination
+        assert "combination" in workloads
+        assert 0.2 < res.average_relative_time() < 1.2
+        assert "rel time" in res.table()
+
+    def test_bigger_machines_gain_more(self):
+        """The paper: gains grow with machine size (more remote nodes
+        for vanilla's uniform data)."""
+        small_m = get_machine("ivy")
+        small_t = infer_topology(small_m, seed=1, config=FAST)
+        big_m = get_machine("opteron")
+        big_t = infer_topology(big_m, seed=1, config=FAST)
+        small = run_figure12(small_m, small_t, scale=SCALE,
+                             kernels=(PAGERANK,), include_combination=False)
+        big = run_figure12(big_m, big_t, scale=SCALE,
+                           kernels=(PAGERANK,), include_combination=False)
+        assert big.cells[0].relative_time < small.cells[0].relative_time
+
+    def test_unknown_layout_rejected(self, tb_mctop):
+        from repro.apps.openmp import simulate_region
+
+        with pytest.raises(ValueError):
+            simulate_region(
+                get_machine("testbox"), tb_mctop, HOP_DISTANCE,
+                None, "sideways", SCALE,
+            )
+
+    def test_all_kernels_have_distinct_profiles(self):
+        names = {k.name for k in ALL_KERNELS}
+        assert len(names) == len(ALL_KERNELS) == 5

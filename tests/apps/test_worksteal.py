@@ -1,0 +1,105 @@
+"""Tests for topology-aware work stealing (Section 5 policy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.errors import SimulationError
+from repro.hardware import get_machine
+from repro.apps.worksteal import (
+    WorkStealingScheduler,
+    compare_strategies,
+)
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return get_machine("testbox")
+
+
+@pytest.fixture(scope="module")
+def tb_mctop(tb):
+    return infer_topology(tb, seed=1, config=FAST)
+
+
+@pytest.fixture(scope="module")
+def op_pair():
+    machine = get_machine("opteron")
+    return machine, infer_topology(machine, seed=1, config=FAST)
+
+
+class TestScheduler:
+    def test_all_items_execute(self, tb, tb_mctop):
+        s = WorkStealingScheduler(tb, tb_mctop, n_workers=4)
+        s.load_imbalanced(50, 10_000)
+        stats = s.run()
+        assert stats.items_executed == 50
+        assert stats.seconds > 0
+
+    def test_stealing_happens_under_imbalance(self, tb, tb_mctop):
+        s = WorkStealingScheduler(tb, tb_mctop, n_workers=6)
+        s.load_imbalanced(60, 20_000, hot_workers=1)
+        stats = s.run()
+        assert stats.steals > 0
+
+    def test_stealing_beats_no_stealing(self, tb, tb_mctop):
+        """With everything on one queue, 1 worker is ~n times slower."""
+        solo = WorkStealingScheduler(tb, tb_mctop, n_workers=1)
+        solo.load_imbalanced(40, 50_000)
+        many = WorkStealingScheduler(tb, tb_mctop, n_workers=8)
+        many.load_imbalanced(40, 50_000)
+        t_solo = solo.run().seconds
+        t_many = many.run().seconds
+        assert t_many < t_solo / 2
+
+    def test_victim_order_is_proximity(self, tb, tb_mctop):
+        from repro.place import Policy
+
+        s = WorkStealingScheduler(tb, tb_mctop, n_workers=8,
+                                  placement_policy=Policy.SEQUENTIAL)
+        first_victims = s._victims[0]
+        lats = [
+            tb_mctop.get_latency(s.ctxs[0], s.ctxs[j]) for j in first_victims
+        ]
+        assert lats == sorted(lats)
+
+    def test_unknown_strategy(self, tb, tb_mctop):
+        with pytest.raises(SimulationError):
+            WorkStealingScheduler(tb, tb_mctop, 4, strategy="psychic")
+
+    def test_deterministic(self, tb, tb_mctop):
+        def run():
+            s = WorkStealingScheduler(tb, tb_mctop, 4, seed=5)
+            s.load_imbalanced(30, 10_000)
+            return s.run().seconds
+
+        assert run() == run()
+
+
+class TestStrategyComparison:
+    def test_mctop_strategy_avoids_remote_steals(self, op_pair):
+        """The Section 5 policy: steal from the closest first.  On the
+        8-socket Opteron that keeps every steal inside the socket,
+        while random stealing crosses the interconnect."""
+        machine, mctop = op_pair
+        results = compare_strategies(machine, mctop, n_workers=24,
+                                     n_items=200)
+        assert results["mctop"].remote_socket_steals == 0
+        assert results["random"].remote_socket_steals > 0
+
+    def test_mctop_strategy_probes_less(self, op_pair):
+        machine, mctop = op_pair
+        results = compare_strategies(machine, mctop, n_workers=24,
+                                     n_items=200)
+        assert (
+            results["mctop"].failed_steals < results["random"].failed_steals
+        )
+
+    def test_mctop_not_slower(self, op_pair):
+        machine, mctop = op_pair
+        results = compare_strategies(machine, mctop, n_workers=24,
+                                     n_items=200)
+        assert results["mctop"].seconds <= results["random"].seconds * 1.05

@@ -1,0 +1,32 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import MeasurementContext, get_machine
+
+
+@pytest.fixture(scope="session")
+def ivy():
+    return get_machine("ivy")
+
+
+@pytest.fixture(scope="session")
+def opteron():
+    return get_machine("opteron")
+
+
+@pytest.fixture(scope="session")
+def sparc():
+    return get_machine("sparc")
+
+
+@pytest.fixture(scope="session")
+def testbox():
+    return get_machine("testbox")
+
+
+@pytest.fixture()
+def testbox_probe(testbox):
+    return MeasurementContext(testbox, seed=11)

@@ -1,0 +1,80 @@
+"""Tests for dynamic-change detection (the Section 3.5 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.core.algorithm.changes import detect_changes
+from repro.hardware import MeasurementContext, get_machine, get_spec
+from repro.hardware.machine import Machine
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+@pytest.fixture(scope="module")
+def tb_mctop():
+    return infer_topology(get_machine("testbox"), seed=1, config=FAST)
+
+
+class TestUnchangedMachine:
+    def test_same_machine_validates(self, tb_mctop):
+        probe = MeasurementContext(get_machine("testbox"), seed=9)
+        report = detect_changes(tb_mctop, probe)
+        assert report.topology_still_valid
+        assert report.pairs_checked >= 4
+        assert "still valid" in report.summary()
+
+    def test_different_seed_still_validates(self, tb_mctop):
+        """Noise alone must not trigger false positives."""
+        for seed in range(5):
+            probe = MeasurementContext(get_machine("testbox"), seed=seed)
+            report = detect_changes(tb_mctop, probe)
+            assert report.topology_still_valid, report.summary()
+
+
+class TestChangedMachine:
+    def test_context_disabled(self, tb_mctop):
+        """A context disabled via the OS changes the context count."""
+        spec = get_spec("testbox")
+        smaller = type(spec)(**{**spec.__dict__, "cores_per_socket": 1})
+        probe = MeasurementContext(Machine(smaller), seed=1)
+        report = detect_changes(tb_mctop, probe)
+        assert not report.topology_still_valid
+        assert not report.context_count_ok
+        assert "re-run" in report.summary()
+
+    def test_smt_disabled_in_bios(self, tb_mctop):
+        """SMT off: same context count cannot be preserved on testbox,
+        so emulate by doubling cores and dropping SMT — sibling pairs
+        now behave like distinct cores (100 cycles, not ~26)."""
+        spec = get_spec("testbox")
+        no_smt = type(spec)(
+            **{
+                **spec.__dict__,
+                "smt_per_core": 1,
+                "cores_per_socket": 4,  # same total context count
+            }
+        )
+        probe = MeasurementContext(Machine(no_smt), seed=1)
+        report = detect_changes(tb_mctop, probe)
+        assert not report.topology_still_valid
+        assert report.mismatched_pairs
+        # The mismatch is on what used to be an SMT pair.
+        a, b, expected, measured = report.mismatched_pairs[0]
+        assert expected < 40
+        assert measured > 60
+
+    def test_interconnect_change(self, tb_mctop):
+        """A different cross-socket latency (e.g. a description file
+        from another machine) is flagged."""
+        spec = get_spec("testbox")
+        from repro.hardware.interconnect import LinkSpec
+
+        faster = type(spec)(
+            **{**spec.__dict__, "links": {(0, 1): LinkSpec(170, 12.0)}}
+        )
+        probe = MeasurementContext(Machine(faster), seed=1)
+        report = detect_changes(tb_mctop, probe)
+        assert not report.topology_still_valid
+        assert any(e > 250 for (_, _, e, _) in report.mismatched_pairs)

@@ -1,0 +1,177 @@
+"""Tests for step 2 of MCTOP-ALG: CDF clustering and normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClusteringError
+from repro.core.algorithm.clustering import (
+    ClusteringConfig,
+    assign_cluster,
+    cluster_summary,
+    compute_cdf,
+    find_clusters,
+    normalize_table,
+)
+
+
+def _table_from_values(values):
+    """Symmetric table with a zero diagonal from a pool of values."""
+    n = int(np.ceil((1 + np.sqrt(1 + 8 * len(values))) / 2))
+    t = np.zeros((n, n))
+    k = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            v = values[k % len(values)]
+            t[i, j] = t[j, i] = v
+            k += 1
+    return t
+
+
+class TestCdf:
+    def test_monotone(self):
+        values = np.array([3.0, 1.0, 2.0, 2.0])
+        xs, cdf = compute_cdf(values)
+        assert list(xs) == [1.0, 2.0, 2.0, 3.0]
+        assert cdf[-1] == 1.0
+        assert all(a <= b for a, b in zip(cdf, cdf[1:]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            compute_cdf(np.array([]))
+
+
+class TestFindClusters:
+    def test_ivy_like_four_clusters(self):
+        """0 / 28 / ~112 / ~308 — the paper's "4 clusters" for Ivy."""
+        rng = np.random.default_rng(0)
+        t = np.zeros((40, 40))
+        for i in range(40):
+            for j in range(i + 1, 40):
+                if (i % 20) == (j % 20):
+                    v = 28 + rng.integers(-2, 3)
+                elif (i % 20) // 10 == (j % 20) // 10:
+                    v = 112 + rng.integers(-10, 11)
+                else:
+                    v = 308 + rng.integers(-8, 9)
+                t[i, j] = t[j, i] = v
+        clusters = find_clusters(t)
+        assert len(clusters) == 4
+        medians = [c.median for c in clusters]
+        assert medians[0] == 0
+        assert abs(medians[1] - 28) < 4
+        assert abs(medians[2] - 112) < 8
+        assert abs(medians[3] - 308) < 8
+
+    def test_close_levels_stay_apart(self):
+        """Opteron's 197 vs 217 cross levels must not merge."""
+        t = _table_from_values([197, 198, 196, 217, 218, 216, 300, 301])
+        clusters = find_clusters(t)
+        medians = sorted(c.median for c in clusters)
+        assert len(clusters) == 4  # 0, 197, 217, 300
+        assert any(abs(m - 197) < 4 for m in medians)
+        assert any(abs(m - 217) < 4 for m in medians)
+
+    def test_triplet_fields(self):
+        t = _table_from_values([100, 104, 96])
+        clusters = find_clusters(t)
+        c = clusters[-1]
+        assert c.lo == 96 and c.hi == 104
+        assert c.lo <= c.median <= c.hi
+        assert c.spread == 8
+
+    def test_too_many_clusters_rejected(self):
+        values = [100 + 40 * k for k in range(30)]
+        t = _table_from_values(values)
+        with pytest.raises(ClusteringError):
+            find_clusters(t, ClusteringConfig(max_clusters=10))
+
+    def test_tiny_cluster_rejected(self):
+        """A handful of spurious values forming their own cluster."""
+        rng = np.random.default_rng(1)
+        t = np.zeros((60, 60))
+        for i in range(60):
+            for j in range(i + 1, 60):
+                t[i, j] = t[j, i] = 100 + rng.integers(-5, 6)
+        t[0, 1] = t[1, 0] = 900  # lone spurious survivor
+        with pytest.raises(ClusteringError):
+            find_clusters(t, ClusteringConfig(min_cluster_fraction=0.001))
+
+    def test_single_cluster_machine(self):
+        t = _table_from_values([90, 92, 94])
+        clusters = find_clusters(t)
+        assert len(clusters) == 2  # zero + the 90s
+
+    def test_summary_mentions_all(self):
+        t = _table_from_values([50, 300])
+        text = cluster_summary(find_clusters(t))
+        assert "3 latency clusters" in text
+        assert "median" in text
+
+
+class TestAssignAndNormalize:
+    def test_assign_inside_range(self):
+        t = _table_from_values([100, 105, 300])
+        clusters = find_clusters(t)
+        assert clusters[assign_cluster(102, clusters)].median == pytest.approx(
+            102.5
+        )
+
+    def test_assign_outside_uses_nearest(self):
+        t = _table_from_values([100, 300])
+        clusters = find_clusters(t)
+        assert clusters[assign_cluster(160, clusters)].median == 100
+        assert clusters[assign_cluster(250, clusters)].median == 300
+
+    def test_normalize_collapses_values(self):
+        t = _table_from_values([100, 104, 96, 300, 304])
+        clusters = find_clusters(t)
+        norm, idx = normalize_table(t, clusters)
+        uniq = set(np.unique(norm))
+        assert uniq <= {0.0, 100.0, 302.0}
+        assert (np.diag(norm) == 0).all()
+        assert (np.diag(idx) == 0).all()
+
+    def test_normalized_symmetric(self):
+        t = _table_from_values([100, 104, 96, 300, 304, 296])
+        clusters = find_clusters(t)
+        norm, _ = normalize_table(t, clusters)
+        assert np.array_equal(norm, norm.T)
+
+
+class TestClusteringProperties:
+    @given(
+        st.lists(
+            st.sampled_from([30, 31, 32, 150, 152, 154, 400, 402]),
+            min_size=6,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_clusters_partition_value_range(self, values):
+        """Every value lands in exactly one cluster; medians are sorted."""
+        t = _table_from_values(values)
+        clusters = find_clusters(t)
+        medians = [c.median for c in clusters]
+        assert medians == sorted(medians)
+        for v in values:
+            idx = assign_cluster(v, clusters)
+            assert clusters[idx].contains(v)
+        # Clusters do not overlap.
+        for a, b in zip(clusters, clusters[1:]):
+            assert a.hi < b.lo
+
+    @given(st.integers(1, 1_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_normalization_idempotent(self, seed):
+        rng = np.random.default_rng(seed)
+        base = rng.choice([40, 200, 500], size=45)
+        jitter = rng.integers(-3, 4, size=45)
+        t = _table_from_values(list(base + jitter))
+        clusters = find_clusters(t)
+        norm1, _ = normalize_table(t, clusters)
+        norm2, _ = normalize_table(norm1, clusters)
+        assert np.array_equal(norm1, norm2)

@@ -1,0 +1,185 @@
+"""Tests for step 3 of MCTOP-ALG: component creation and reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InferenceError
+from repro.core.algorithm.components import build_components
+
+
+def synthetic_table(n_sockets, cores_per_socket, smt, smt_lat=28,
+                    intra_lat=112, cross_lat=308):
+    """Perfectly clean hierarchical table, Intel-style numbering."""
+    n_cores = n_sockets * cores_per_socket
+    n = n_cores * smt
+    t = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            ci, cj = i % n_cores, j % n_cores
+            if ci == cj:
+                t[i, j] = smt_lat
+            elif ci // cores_per_socket == cj // cores_per_socket:
+                t[i, j] = intra_lat
+            else:
+                t[i, j] = cross_lat
+    return t
+
+
+class TestHierarchicalGrouping:
+    def test_ivy_shape(self):
+        t = synthetic_table(2, 10, 2)
+        h = build_components(t, [0, 28, 112, 308])
+        assert len(h.levels) == 4  # contexts, cores, sockets, machine
+        assert [len(l.components) for l in h.levels] == [40, 20, 2, 1]
+        assert h.levels[1].latency == 28
+        assert h.levels[2].latency == 112
+        assert not h.unresolved_latencies
+
+    def test_no_smt(self):
+        t = synthetic_table(4, 6, 1, intra_lat=117, cross_lat=300)
+        h = build_components(t, [0, 117, 300])
+        assert [len(l.components) for l in h.levels] == [24, 4, 1]
+
+    def test_component_contexts_disjoint_and_sorted(self):
+        t = synthetic_table(2, 4, 2)
+        h = build_components(t, [0, 28, 112, 308])
+        for lvl in h.levels:
+            all_ctxs = [c for comp in lvl.components for c in comp.contexts]
+            assert sorted(all_ctxs) == list(range(16))
+            for comp in lvl.components:
+                assert list(comp.contexts) == sorted(comp.contexts)
+
+    def test_reduced_table_shrinks(self):
+        t = synthetic_table(2, 4, 2)
+        h = build_components(t, [0, 28, 112, 308])
+        shapes = [l.reduced.shape[0] for l in h.levels]
+        assert shapes == [16, 8, 2, 1]
+
+    def test_level_with_context_count(self):
+        t = synthetic_table(2, 10, 2)
+        h = build_components(t, [0, 28, 112, 308])
+        assert h.level_with_context_count(20).latency == 112
+        assert h.level_with_context_count(2).latency == 28
+        assert h.level_with_context_count(7) is None
+
+
+class TestNonUniformCross:
+    def _opteron_like(self):
+        """8 sockets, 1 core each; MCM pairs at 197, parity cliques at
+        217, cross-parity non-siblings at 300."""
+        t = np.zeros((8, 8))
+        for i in range(8):
+            for j in range(8):
+                if i == j:
+                    continue
+                if i // 2 == j // 2:
+                    t[i, j] = 197
+                elif i % 2 == j % 2:
+                    t[i, j] = 217
+                else:
+                    t[i, j] = 300
+        return t
+
+    def test_grouping_stops_at_graph_levels(self):
+        t = self._opteron_like()
+        h = build_components(t, [0, 197, 217, 300])
+        # Every "socket" is a single context here; grouping the MCM
+        # pairs fails row-identity, so everything above stays unresolved.
+        assert len(h.levels) == 1
+        assert h.unresolved_latencies == [197, 217, 300]
+
+    def test_opteron_with_cores(self):
+        """Full Opteron shape: cores group into sockets, then stop."""
+        n_sockets, cps = 8, 6
+        n = n_sockets * cps
+        t = np.zeros((n, n))
+        cross = self._opteron_like()
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                si, sj = i // cps, j // cps
+                t[i, j] = 117 if si == sj else cross[si, sj]
+        h = build_components(t, [0, 117, 197, 217, 300])
+        assert [len(l.components) for l in h.levels] == [48, 8]
+        assert h.levels[1].latency == 117
+        assert h.unresolved_latencies == [197, 217, 300]
+        # The reduced socket matrix preserves the cross structure.
+        assert np.array_equal(h.top.reduced, cross)
+
+
+class TestInvalidHierarchies:
+    def test_unequal_groups_do_not_group(self):
+        """3 contexts at one latency + 2 at the same level elsewhere."""
+        t = np.zeros((5, 5))
+        group_a = [0, 1, 2]
+        group_b = [3, 4]
+        for i in range(5):
+            for j in range(5):
+                if i == j:
+                    continue
+                same = (i in group_a) == (j in group_a)
+                t[i, j] = 50 if same else 300
+        h = build_components(t, [0, 50, 300])
+        # Unequal sizes: grouping at 50 must be refused.
+        assert len(h.levels) == 1
+        assert 50 in h.unresolved_latencies
+
+    def test_incomplete_group_rejected(self):
+        """A 'triangle with a missing edge' cannot form a component."""
+        t = np.zeros((4, 4))
+        # 0-1 and 1-2 at 50, but 0-2 at 300: not a complete subgraph.
+        t[0, 1] = t[1, 0] = 50
+        t[1, 2] = t[2, 1] = 50
+        t[0, 2] = t[2, 0] = 300
+        t[0, 3] = t[3, 0] = t[1, 3] = t[3, 1] = t[2, 3] = t[3, 2] = 300
+        h = build_components(t, [0, 50, 300])
+        assert len(h.levels) == 1
+
+    def test_ambiguous_reduction_raises(self):
+        """Two groups whose members disagree at reduction time."""
+        # Construct a table where grouping succeeds per-row but the
+        # inter-group values are inconsistent — requires bypassing
+        # _try_group's row check, so call _reduce_table directly.
+        from repro.core.algorithm.components import _reduce_table
+
+        reduced = np.array(
+            [
+                [0.0, 50.0, 300.0, 310.0],
+                [50.0, 0.0, 310.0, 300.0],
+                [300.0, 310.0, 0.0, 50.0],
+                [310.0, 300.0, 50.0, 0.0],
+            ]
+        )
+        with pytest.raises(InferenceError):
+            _reduce_table(reduced, [[0, 1], [2, 3]], 50.0)
+
+
+class TestComponentProperties:
+    @given(
+        n_sockets=st.integers(1, 4),
+        cores=st.integers(1, 6),
+        smt=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_clean_tables_always_build(self, n_sockets, cores, smt):
+        """Any clean hierarchical machine yields a full hierarchy."""
+        if n_sockets * cores * smt < 2:
+            return
+        t = synthetic_table(n_sockets, cores, smt)
+        medians = sorted({v for v in np.unique(t)})
+        h = build_components(t, list(medians))
+        # Top level covers the whole machine.
+        assert len(h.top.components[0].contexts) == t.shape[0] or (
+            len(h.top.components) == 1
+        )
+        # Level sizes divide evenly all the way up.
+        for lower, upper in zip(h.levels, h.levels[1:]):
+            assert len(lower.components) % len(upper.components) == 0
+        assert not h.unresolved_latencies

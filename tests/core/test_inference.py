@@ -1,0 +1,215 @@
+"""End-to-end tests for MCTOP-ALG: inferred topology vs ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import (
+    InferenceConfig,
+    InferenceReport,
+    LatencyTableConfig,
+    infer_topology,
+    try_infer_topology,
+)
+from repro.errors import MctopError
+from repro.hardware import MeasurementContext, NoiseProfile, get_machine
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+def fast_infer(name, seed=1, **kwargs):
+    report = InferenceReport()
+    mctop = infer_topology(
+        get_machine(name), seed=seed, config=FAST, report=report, **kwargs
+    )
+    return mctop, report
+
+
+class TestSmallMachines:
+    def test_testbox_structure(self):
+        mctop, report = fast_infer("testbox")
+        assert mctop.n_sockets == 2
+        assert mctop.n_cores == 4
+        assert mctop.n_contexts == 8
+        assert mctop.has_smt and mctop.smt_per_core == 2
+        assert report.os_comparison.all_match
+
+    def test_unisock_single_socket_no_smt(self):
+        mctop, report = fast_infer("unisock")
+        assert mctop.n_sockets == 1
+        assert not mctop.has_smt
+        assert mctop.n_cores == 4
+        assert not mctop.links
+        assert report.os_comparison.all_match
+
+    def test_clusterix_intermediate_level(self):
+        """The synthetic L2-cluster machine has 5 hierarchy levels."""
+        mctop, _ = fast_infer("clusterix")
+        roles = [lv.role for lv in mctop.levels]
+        assert roles == ["context", "core", "group", "socket", "cross"]
+        # The intermediate group holds 3 cores = 6 contexts.
+        group_level = [lv for lv in mctop.levels if lv.role == "group"][0]
+        any_group = mctop.groups[group_level.component_ids[0]]
+        assert len(any_group.contexts) == 6
+
+    def test_correct_context_mapping(self, testbox):
+        mctop, _ = fast_infer("testbox")
+        for ctx in range(testbox.spec.n_contexts):
+            inferred_mates = set(
+                mctop.core_get_contexts(mctop.core_of_context(ctx))
+            )
+            true_mates = set(
+                testbox.contexts_of_core(testbox.core_of(ctx))
+            )
+            assert inferred_mates == true_mates
+
+    def test_correct_socket_mapping(self, testbox):
+        mctop, _ = fast_infer("testbox")
+        for s in mctop.socket_ids():
+            ctxs = set(mctop.socket_get_contexts(s))
+            true_sockets = {testbox.socket_of(c) for c in ctxs}
+            assert len(true_sockets) == 1
+
+    def test_local_nodes_correct(self, testbox):
+        mctop, _ = fast_infer("testbox")
+        for ctx in range(testbox.spec.n_contexts):
+            assert mctop.get_local_node(ctx) == testbox.local_node_of_socket(
+                testbox.socket_of(ctx)
+            )
+
+
+class TestIvy:
+    @pytest.fixture(scope="class")
+    def ivy_mctop(self):
+        mctop, report = fast_infer("ivy")
+        return mctop, report
+
+    def test_paper_figures(self, ivy_mctop):
+        mctop, report = ivy_mctop
+        assert mctop.n_sockets == 2
+        assert mctop.n_cores == 20
+        assert mctop.n_contexts == 40
+        assert mctop.smt_per_core == 2
+        assert report.os_comparison.all_match
+
+    def test_latency_levels_match_paper(self, ivy_mctop):
+        mctop, _ = ivy_mctop
+        lats = dict(
+            (lv.role, lv.latency) for lv in mctop.levels
+        )
+        assert abs(lats["core"] - 28) <= 2
+        assert abs(lats["socket"] - 112) <= 6
+        assert abs(lats["cross"] - 308) <= 6
+
+    def test_smt_siblings(self, ivy_mctop):
+        """Context 0 and 20 share core 0 on Ivy (Figure 6)."""
+        mctop, _ = ivy_mctop
+        assert mctop.core_of_context(0) == mctop.core_of_context(20)
+        assert mctop.core_of_context(0) != mctop.core_of_context(1)
+
+    def test_enrichment_present(self, ivy_mctop):
+        mctop, _ = ivy_mctop
+        assert mctop.has_memory_measurements()
+        assert mctop.cache_info is not None
+        assert mctop.power_info is not None  # Intel: RAPL available
+        assert mctop.local_bandwidth(mctop.socket_ids()[0]) > 0
+
+
+class TestOpteron:
+    """The misconfigured-OS machine (footnote 1)."""
+
+    @pytest.fixture(scope="class")
+    def opteron_mctop(self):
+        return fast_infer("opteron")
+
+    def test_three_cross_levels(self, opteron_mctop):
+        mctop, _ = opteron_mctop
+        cross = [lv.latency for lv in mctop.levels if lv.role == "cross"]
+        assert len(cross) == 3
+        assert abs(cross[0] - 197) <= 4
+        assert abs(cross[1] - 217) <= 4
+        assert abs(cross[2] - 300) <= 4
+
+    def test_two_hop_links_identified(self, opteron_mctop):
+        mctop, _ = opteron_mctop
+        hops = {}
+        for link in mctop.links.values():
+            hops.setdefault(link.n_hops, 0)
+            hops[link.n_hops] += 1
+        # 4 MCM links + 12 parity links direct; 12 two-hop pairs.
+        assert hops[1] == 16
+        assert hops[2] == 12
+
+    def test_os_node_mapping_detected_as_wrong(self, opteron_mctop):
+        """MCTOP-ALG infers the correct mapping; the OS view disagrees."""
+        mctop, report = opteron_mctop
+        comp = report.os_comparison
+        assert comp.cores_match
+        assert comp.sockets_match
+        assert not comp.nodes_match
+        assert comp.mismatched_node_contexts
+        assert "misconfigured" in comp.report()
+
+    def test_inferred_mapping_is_the_true_one(self, opteron_mctop, opteron):
+        mctop, _ = opteron_mctop
+        for ctx in range(opteron.spec.n_contexts):
+            assert mctop.get_local_node(ctx) == opteron.local_node_of_socket(
+                opteron.socket_of(ctx)
+            )
+        assert mctop.power_info is None  # AMD: no RAPL
+
+
+class TestRobustness:
+    def test_reproducible(self):
+        a, _ = fast_infer("testbox", seed=9)
+        b, _ = fast_infer("testbox", seed=9)
+        assert (a.lat_table == b.lat_table).all()
+        assert a.socket_ids() == b.socket_ids()
+
+    def test_different_seeds_same_topology(self):
+        a, _ = fast_infer("testbox", seed=1)
+        b, _ = fast_infer("testbox", seed=2)
+        # Raw tables differ but the normalized structure is identical.
+        assert a.n_sockets == b.n_sockets
+        assert a.core_ids() == b.core_ids()
+
+    def test_non_solo_run_can_fail(self):
+        """Running next to other applications can break inference —
+        which is exactly why the paper requires a solo run."""
+        failures = 0
+        for seed in range(6):
+            result = try_infer_topology(
+                get_machine("testbox"), seed=seed, config=FAST, solo=False
+            )
+            failures += result is None
+        assert failures > 0
+
+    def test_try_infer_returns_none_not_raises(self):
+        probe = MeasurementContext(
+            get_machine("testbox"),
+            noise=NoiseProfile(jitter_sigma=80.0, spurious_prob=0.3),
+            seed=1,
+        )
+        assert try_infer_topology(probe, config=FAST) is None
+
+    def test_extreme_noise_raises_mctop_error(self):
+        probe = MeasurementContext(
+            get_machine("testbox"),
+            noise=NoiseProfile(jitter_sigma=80.0, spurious_prob=0.3),
+            seed=1,
+        )
+        with pytest.raises(MctopError):
+            infer_topology(probe, config=FAST)
+
+    def test_custom_name(self):
+        mctop = infer_topology(
+            get_machine("testbox"), seed=1, config=FAST, name="mybox"
+        )
+        assert mctop.name == "mybox"
+
+    def test_provenance_recorded(self):
+        mctop, report = fast_infer("testbox", seed=4)
+        assert mctop.provenance.machine == "testbox"
+        assert mctop.provenance.seed == 4
+        assert mctop.provenance.samples_taken == report.samples_taken
+        assert mctop.provenance.inferred

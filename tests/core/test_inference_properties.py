@@ -1,0 +1,115 @@
+"""Property-based tests: MCTOP-ALG on randomly generated machines.
+
+The strongest claim we can test is the paper's core one: for *any*
+well-separated hierarchical machine, inference from noisy latency
+measurements recovers exactly the ground-truth topology.  Hypothesis
+generates the machines; the oracle is the machine spec itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import (
+    InferenceConfig,
+    LatencyTableConfig,
+    infer_topology,
+)
+from repro.core.serialize import mctop_from_dict, mctop_to_dict
+from repro.hardware.caches import CacheLevelSpec
+from repro.hardware.interconnect import LinkSpec
+from repro.hardware.machine import Machine, MachineSpec, MemoryProfile
+
+FAST = InferenceConfig(
+    table=LatencyTableConfig(repetitions=31), plugins=("memory-latency",
+                                                       "memory-bandwidth")
+)
+
+
+@st.composite
+def machine_specs(draw):
+    """Random but physically plausible machines (<= 24 contexts)."""
+    n_sockets = draw(st.integers(1, 3))
+    cores = draw(st.integers(2, 4))
+    smt = draw(st.integers(1, 2))
+    numbering = draw(st.sampled_from(["smt_blocked", "smt_consecutive"]))
+    smt_lat = draw(st.integers(20, 40))
+    intra_lat = draw(st.integers(90, 140))
+    cross_lat = draw(st.integers(250, 400))
+    links = {
+        (a, b): LinkSpec(cross_lat, 10.0)
+        for a in range(n_sockets)
+        for b in range(a + 1, n_sockets)
+    }
+    return MachineSpec(
+        name="random",
+        n_sockets=n_sockets,
+        cores_per_socket=cores,
+        smt_per_core=smt,
+        freq_min_ghz=1.0,
+        freq_max_ghz=2.0,
+        caches=(
+            CacheLevelSpec(1, 32, 4),
+            CacheLevelSpec(2, 256, 12),
+            CacheLevelSpec(3, 8 * 1024, 40, shared_by="socket"),
+        ),
+        smt_latency=smt_lat,
+        core_latency=intra_lat,
+        links=links,
+        memory=MemoryProfile(260, 18.0),
+        intra_jitter=5,
+        smt_jitter=1,
+        cross_jitter=5,
+    )
+
+
+class TestInferenceRecoversGroundTruth:
+    @given(spec=machine_specs(), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_structure_recovered(self, spec, seed):
+        machine = Machine(spec)
+        mctop = infer_topology(machine, seed=seed, config=FAST)
+
+        assert mctop.n_contexts == spec.n_contexts
+        assert mctop.n_sockets == spec.n_sockets
+        assert mctop.n_cores == spec.n_cores
+        assert mctop.has_smt == spec.has_smt
+
+        # Core groupings match the ground truth exactly.
+        for ctx in range(spec.n_contexts):
+            inferred = set(mctop.core_get_contexts(mctop.core_of_context(ctx)))
+            truth = set(machine.contexts_of_core(machine.core_of(ctx)))
+            assert inferred == truth
+
+        # Socket partitions match (as unlabeled partitions).
+        inferred_sockets = {
+            frozenset(mctop.socket_get_contexts(s)) for s in mctop.socket_ids()
+        }
+        truth_sockets = {
+            frozenset(machine.contexts_of_socket(s))
+            for s in range(spec.n_sockets)
+        }
+        assert inferred_sockets == truth_sockets
+
+    @given(spec=machine_specs(), seed=st.integers(0, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_serialization_roundtrip_any_machine(self, spec, seed):
+        mctop = infer_topology(Machine(spec), seed=seed, config=FAST)
+        loaded = mctop_from_dict(mctop_to_dict(mctop))
+        assert loaded.n_contexts == mctop.n_contexts
+        assert loaded.socket_ids() == mctop.socket_ids()
+        for ctx in mctop.context_ids():
+            assert loaded.get_local_node(ctx) == mctop.get_local_node(ctx)
+            assert loaded.core_of_context(ctx) == mctop.core_of_context(ctx)
+
+    @given(spec=machine_specs())
+    @settings(max_examples=10, deadline=None)
+    def test_local_nodes_recovered(self, spec):
+        machine = Machine(spec)
+        mctop = infer_topology(machine, seed=1, config=FAST)
+        for ctx in range(spec.n_contexts):
+            assert mctop.get_local_node(ctx) == machine.local_node_of_socket(
+                machine.socket_of(ctx)
+            )

@@ -1,0 +1,119 @@
+"""Tests for step 1 of MCTOP-ALG: the latency-table collection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.core.algorithm.lat_table import (
+    LatencyTableConfig,
+    collect_latency_table,
+)
+from repro.hardware import MeasurementContext, NoiseProfile, get_machine
+
+
+@pytest.fixture()
+def quiet_probe(testbox):
+    return MeasurementContext(testbox, noise=NoiseProfile.quiet(), seed=1)
+
+
+class TestCollection:
+    def test_table_shape_and_symmetry(self, testbox_probe):
+        result = collect_latency_table(
+            testbox_probe, LatencyTableConfig(repetitions=31)
+        )
+        n = testbox_probe.n_hw_contexts()
+        assert result.table.shape == (n, n)
+        assert np.array_equal(result.table, result.table.T)
+        assert (np.diag(result.table) == 0).all()
+
+    def test_medians_near_ground_truth(self, testbox):
+        probe = MeasurementContext(testbox, seed=2)
+        result = collect_latency_table(probe, LatencyTableConfig(repetitions=41))
+        for a in range(testbox.spec.n_contexts):
+            for b in range(a + 1, testbox.spec.n_contexts):
+                true = testbox.comm_latency(a, b)
+                assert abs(result.table[a, b] - true) < 8, (a, b)
+
+    def test_quiet_machine_is_nearly_exact(self, quiet_probe, testbox):
+        result = collect_latency_table(
+            quiet_probe, LatencyTableConfig(repetitions=9)
+        )
+        for a in range(8):
+            for b in range(a + 1, 8):
+                # The TSC read cost has its own jitter (independent of
+                # the noise profile), leaving ~2 cycles of residual.
+                assert result.table[a, b] == pytest.approx(
+                    testbox.comm_latency(a, b), abs=3.0
+                )
+
+    def test_sample_accounting(self, testbox_probe):
+        cfg = LatencyTableConfig(repetitions=11)
+        result = collect_latency_table(testbox_probe, cfg)
+        n = testbox_probe.n_hw_contexts()
+        n_pairs = n * (n - 1) // 2
+        assert result.samples_taken >= n_pairs * cfg.repetitions
+        assert result.repetitions == 11
+
+    def test_tsc_overhead_estimated(self, testbox_probe):
+        result = collect_latency_table(
+            testbox_probe, LatencyTableConfig(repetitions=11)
+        )
+        assert 20 < result.tsc_overhead < 28  # true overhead is 24
+
+    def test_without_warmup_tables_are_distorted(self, testbox):
+        """Skipping DVFS warm-up inflates the measured latencies."""
+        cold_probe = MeasurementContext(
+            testbox, noise=NoiseProfile.quiet(), seed=3
+        )
+        cfg = LatencyTableConfig(repetitions=5, warm_up=False, stdev_floor=1e9)
+        cold = collect_latency_table(cold_probe, cfg)
+        true = testbox.comm_latency(0, 1)
+        # The very first measured pair is taken on cold cores.
+        assert cold.table[0, 1] > true + 15
+
+
+class TestStability:
+    def test_impossible_threshold_raises(self, testbox):
+        probe = MeasurementContext(
+            testbox, noise=NoiseProfile(jitter_sigma=30.0), seed=4
+        )
+        cfg = LatencyTableConfig(
+            repetitions=15,
+            stdev_threshold=0.01,
+            max_stdev_threshold=0.02,
+            stdev_floor=0.1,
+        )
+        with pytest.raises(MeasurementError):
+            collect_latency_table(probe, cfg)
+
+    def test_spiky_environment_retries_but_succeeds(self, testbox):
+        probe = MeasurementContext(
+            testbox,
+            noise=NoiseProfile(jitter_sigma=1.5, spurious_prob=0.08,
+                               spurious_scale=200.0),
+            seed=5,
+        )
+        result = collect_latency_table(
+            probe, LatencyTableConfig(repetitions=41)
+        )
+        # Heavy spike rate forces some retries yet medians stay sane.
+        assert abs(result.table[0, 1] - testbox.comm_latency(0, 1)) < 10
+
+    def test_stdev_recorded(self, testbox_probe):
+        result = collect_latency_table(
+            testbox_probe, LatencyTableConfig(repetitions=21)
+        )
+        assert result.per_pair_stdev.shape == result.table.shape
+        off_diag = result.per_pair_stdev[~np.eye(8, dtype=bool)]
+        assert (off_diag >= 0).all()
+
+
+def test_figure5_protocol_subtracts_overhead(testbox):
+    """The measured median reflects the overhead subtraction: without
+    it, every value would be ~24 cycles high."""
+    probe = MeasurementContext(testbox, noise=NoiseProfile.quiet(), seed=6)
+    result = collect_latency_table(probe, LatencyTableConfig(repetitions=9))
+    true = testbox.comm_latency(3, 7)
+    assert abs(result.table[3, 7] - true) < 3  # not true + 24

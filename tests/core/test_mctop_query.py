@@ -1,0 +1,173 @@
+"""Tests for the Mctop query engine (the libmctop programming interface)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.errors import ValidationError
+from repro.hardware import get_machine
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return infer_topology(get_machine("testbox"), seed=1, config=FAST)
+
+
+@pytest.fixture(scope="module")
+def op():
+    return infer_topology(get_machine("opteron"), seed=1, config=FAST)
+
+
+class TestBasicQueries:
+    def test_counts(self, tb):
+        assert tb.n_contexts == 8
+        assert tb.n_cores == 4
+        assert tb.n_sockets == 2
+        assert tb.n_nodes == 2
+
+    def test_socket_ids_use_level_prefix(self, tb):
+        """Socket ids follow the libmctop 20000-style convention."""
+        for sid in tb.socket_ids():
+            assert sid >= 10_000
+
+    def test_get_local_node(self, tb):
+        for ctx in tb.context_ids():
+            node = tb.get_local_node(ctx)
+            assert node in tb.node_ids()
+            assert tb.socket_of_node(node) == tb.socket_of_context(ctx)
+
+    def test_socket_get_cores(self, tb):
+        cores = tb.socket_get_cores(tb.socket_ids()[0])
+        assert len(cores) == 2
+        for c in cores:
+            assert len(tb.core_get_contexts(c)) == 2
+
+    def test_unknown_ids_raise(self, tb):
+        with pytest.raises(ValidationError):
+            tb.socket_get_contexts(999_999)
+        with pytest.raises(ValidationError):
+            tb.core_get_contexts(-5)
+        with pytest.raises(ValidationError):
+            tb.get_latency(0, 987_654)
+
+
+class TestLatencyQueries:
+    def test_latency_context_pairs(self, tb):
+        s0 = tb.socket_get_contexts(tb.socket_ids()[0])
+        s1 = tb.socket_get_contexts(tb.socket_ids()[1])
+        smt_pair = tb.core_get_contexts(tb.core_of_context(s0[0]))
+        smt = tb.get_latency(*smt_pair)
+        intra = tb.get_latency(s0[0], [c for c in s0 if tb.core_of_context(c) != tb.core_of_context(s0[0])][0])
+        cross = tb.get_latency(s0[0], s1[0])
+        assert smt < intra < cross
+
+    def test_latency_same_component(self, tb):
+        assert tb.get_latency(3, 3) == 0
+        sid = tb.socket_ids()[0]
+        assert tb.get_latency(sid, sid) == tb.groups[sid].latency
+
+    def test_latency_between_groups(self, tb):
+        s0, s1 = tb.socket_ids()
+        assert tb.get_latency(s0, s1) == tb.socket_latency(s0, s1)
+
+    def test_latency_context_vs_own_core(self, tb):
+        ctx = 0
+        core = tb.core_of_context(ctx)
+        assert tb.get_latency(ctx, core) == tb.groups[core].latency
+
+    def test_max_latency_backoff_quantum(self, tb):
+        all_ctx = tb.context_ids()
+        quantum = tb.max_latency(all_ctx)
+        s0 = tb.socket_get_contexts(tb.socket_ids()[0])
+        assert quantum > tb.max_latency(s0)
+        assert tb.max_latency([0]) == 0
+        assert tb.max_latency([]) == 0
+
+    def test_smt_latency(self, tb):
+        assert tb.smt_latency() is not None
+        assert tb.smt_latency() < tb.groups[tb.socket_ids()[0]].latency
+
+
+class TestPolicyHelpers:
+    def test_sockets_by_local_bandwidth(self, tb):
+        order = tb.sockets_by_local_bandwidth()
+        bws = [tb.local_bandwidth(s) for s in order]
+        assert bws == sorted(bws, reverse=True)
+        assert set(order) == set(tb.socket_ids())
+
+    def test_closest_sockets_opteron(self, op):
+        """On Opteron the MCM sibling is always the closest socket."""
+        for sid in op.socket_ids():
+            closest = op.closest_sockets(sid)[0]
+            assert op.socket_latency(sid, closest) == min(
+                op.socket_latency(sid, o)
+                for o in op.socket_ids()
+                if o != sid
+            )
+            assert abs(op.socket_latency(sid, closest) - 197) <= 4
+
+    def test_min_latency_socket_pair(self, op):
+        a, b = op.min_latency_socket_pair()
+        assert abs(op.socket_latency(a, b) - 197) <= 4
+
+    def test_max_bandwidth_socket_pair(self, op):
+        a, b = op.max_bandwidth_socket_pair()
+        link = op.links[(min(a, b), max(a, b))]
+        assert link.bandwidth == max(
+            l.bandwidth for l in op.links.values() if l.bandwidth
+        )
+
+    def test_min_latency_pair_needs_two_sockets(self):
+        uni = infer_topology(get_machine("unisock"), seed=1, config=FAST)
+        with pytest.raises(ValidationError):
+            uni.min_latency_socket_pair()
+
+    def test_proximity_order(self, tb):
+        order = tb.proximity_order(0)
+        assert order[0] == 0
+        assert set(order) == set(tb.context_ids())
+        # The immediate successor is the SMT sibling.
+        assert tb.core_of_context(order[1]) == tb.core_of_context(0)
+
+    def test_next_ctx_horizontal_link(self, tb):
+        for ctx in tb.context_ids():
+            succ = tb.contexts[ctx].next_ctx
+            assert succ is not None and succ != ctx
+            # The successor is a minimum-latency neighbour.
+            lat = tb.get_latency(ctx, succ)
+            assert lat == min(
+                tb.get_latency(ctx, o) for o in tb.context_ids() if o != ctx
+            )
+
+    def test_llc_share_policy(self, tb):
+        """'Max threads with >= X MB of LLC each' (Section 1 example)."""
+        ctxs = tb.contexts_with_llc_share(2.0)
+        per_socket = {}
+        for c in ctxs:
+            per_socket.setdefault(tb.socket_of_context(c), []).append(c)
+        # testbox LLC is 8 MiB -> 4 threads per socket at 2 MB each.
+        assert all(len(v) <= 4 for v in per_socket.values())
+        assert len(ctxs) > 0
+
+    def test_memory_queries(self, tb):
+        s0 = tb.socket_ids()[0]
+        n0 = tb.node_of_socket(s0)
+        assert tb.mem_latency(s0, n0) == tb.local_mem_latency(s0)
+        assert tb.mem_bandwidth(s0, n0) == tb.local_bandwidth(s0)
+        assert tb.mem_bandwidth_single(s0, n0) < tb.mem_bandwidth(s0, n0)
+
+
+class TestSummary:
+    def test_summary_contents(self, tb):
+        text = tb.summary()
+        assert "testbox" in text
+        assert "sockets" in text
+        assert "latency levels" in text
+
+    def test_levels_ascending(self, tb, op):
+        for m in (tb, op):
+            lats = [lv.latency for lv in m.levels]
+            assert lats == sorted(lats)

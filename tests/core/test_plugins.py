@@ -1,0 +1,133 @@
+"""Tests for the Section 4 enrichment plugins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.core.plugins import available_plugins, register_plugin, run_plugins
+from repro.core.plugins.base import Plugin
+from repro.errors import MctopError
+from repro.hardware import MeasurementContext, get_machine
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+@pytest.fixture(scope="module")
+def tb_mctop():
+    return infer_topology(get_machine("testbox"), seed=1, config=FAST)
+
+
+class TestMemoryPlugins:
+    def test_latencies_cover_all_nodes(self, tb_mctop):
+        for s in tb_mctop.socket_ids():
+            assert set(tb_mctop.sockets[s].mem_latencies) == set(
+                tb_mctop.node_ids()
+            )
+
+    def test_latency_values_near_truth(self, tb_mctop, testbox):
+        for s_idx, sid in enumerate(tb_mctop.socket_ids()):
+            for node in tb_mctop.node_ids():
+                measured = tb_mctop.mem_latency(sid, node)
+                # Socket ids are discovery-ordered; map via contexts.
+                ctx = tb_mctop.socket_get_contexts(sid)[0]
+                true = testbox.mem_latency(testbox.socket_of(ctx), node)
+                assert abs(measured - true) < 25
+
+    def test_bandwidth_local_beats_remote(self, tb_mctop):
+        for s in tb_mctop.socket_ids():
+            local = tb_mctop.node_of_socket(s)
+            for node in tb_mctop.node_ids():
+                if node != local:
+                    assert tb_mctop.mem_bandwidth(s, node) < (
+                        tb_mctop.mem_bandwidth(s, local)
+                    )
+
+    def test_links_annotated_with_bandwidth(self, tb_mctop):
+        for link in tb_mctop.links.values():
+            assert link.bandwidth is not None and link.bandwidth > 0
+
+
+class TestCachePlugin:
+    def test_levels_detected(self, tb_mctop, testbox):
+        info = tb_mctop.cache_info
+        assert info is not None
+        assert len(info.levels) == len(testbox.spec.caches)
+
+    def test_sizes_within_factor_two(self, tb_mctop, testbox):
+        """The sweep is geometric, so sizes are right within ~2x."""
+        info = tb_mctop.cache_info
+        for spec in testbox.spec.caches:
+            est = info.sizes_kib[spec.level]
+            assert spec.size_kib / 2 <= est <= spec.size_kib * 2
+
+    def test_latencies_ascend(self, tb_mctop):
+        info = tb_mctop.cache_info
+        lats = [info.latencies[l] for l in sorted(info.latencies)]
+        assert lats == sorted(lats)
+
+    def test_os_sizes_recorded(self, tb_mctop, testbox):
+        info = tb_mctop.cache_info
+        for spec in testbox.spec.caches:
+            assert info.os_sizes_kib[spec.level] == spec.size_kib
+
+
+class TestPowerPlugin:
+    def test_testbox_power_measured(self, tb_mctop, testbox):
+        info = tb_mctop.power_info
+        assert info is not None
+        profile = testbox.spec.power
+        n = testbox.spec.n_sockets
+        assert info.idle == pytest.approx(n * profile.idle_socket, rel=0.02)
+        assert info.per_core_first == pytest.approx(
+            profile.first_context, rel=0.05
+        )
+        assert info.per_context_extra == pytest.approx(
+            profile.extra_context, rel=0.08
+        )
+        assert info.full > info.idle
+
+    def test_skipped_on_unsupported_machine(self):
+        mctop = infer_topology(get_machine("sparc" if False else "opteron"),
+                               seed=1, config=FAST)
+        assert mctop.power_info is None
+
+
+class TestPluginFramework:
+    def test_available_plugins(self):
+        names = available_plugins()
+        for expected in ("memory-latency", "memory-bandwidth", "cache", "power"):
+            assert expected in names
+
+    def test_unknown_plugin_rejected(self, tb_mctop):
+        probe = MeasurementContext(get_machine("testbox"), seed=2)
+        with pytest.raises(MctopError):
+            run_plugins(tb_mctop, probe, ("definitely-not-a-plugin",))
+
+    def test_custom_plugin_registration(self, tb_mctop):
+        calls = []
+
+        @register_plugin
+        class MarkerPlugin(Plugin):
+            name = "test-marker"
+
+            def run(self, mctop, probe):
+                calls.append(mctop.name)
+
+        probe = MeasurementContext(get_machine("testbox"), seed=2)
+        run_plugins(tb_mctop, probe, ("test-marker",))
+        assert calls == [tb_mctop.name]
+
+    def test_unsupported_plugin_skipped_silently(self, tb_mctop):
+        @register_plugin
+        class NopePlugin(Plugin):
+            name = "test-nope"
+
+            def supported(self, probe):
+                return False
+
+            def run(self, mctop, probe):  # pragma: no cover
+                raise AssertionError("must not run")
+
+        probe = MeasurementContext(get_machine("testbox"), seed=2)
+        run_plugins(tb_mctop, probe, ("test-nope",))

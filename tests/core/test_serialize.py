@@ -1,0 +1,113 @@
+"""Tests for MCTOP description files (save/load roundtrip)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.core.serialize import (
+    load_mctop,
+    mctop_from_dict,
+    mctop_to_dict,
+    save_mctop,
+)
+from repro.errors import SerializationError
+from repro.hardware import get_machine
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+@pytest.fixture(scope="module")
+def tb_mctop():
+    return infer_topology(get_machine("testbox"), seed=1, config=FAST)
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_everything(self, tb_mctop, tmp_path):
+        path = save_mctop(tb_mctop, tmp_path / "testbox.mct")
+        loaded = load_mctop(path)
+
+        assert loaded.name == tb_mctop.name
+        assert loaded.n_contexts == tb_mctop.n_contexts
+        assert loaded.socket_ids() == tb_mctop.socket_ids()
+        assert loaded.core_ids() == tb_mctop.core_ids()
+        assert loaded.has_smt == tb_mctop.has_smt
+        assert np.array_equal(loaded.lat_table, tb_mctop.lat_table)
+        for ctx in tb_mctop.context_ids():
+            assert loaded.get_local_node(ctx) == tb_mctop.get_local_node(ctx)
+        for (a, b), link in tb_mctop.links.items():
+            other = loaded.links[(a, b)]
+            assert other.latency == link.latency
+            assert other.n_hops == link.n_hops
+        for s in tb_mctop.socket_ids():
+            assert loaded.local_bandwidth(s) == tb_mctop.local_bandwidth(s)
+
+    def test_loaded_marks_not_inferred(self, tb_mctop, tmp_path):
+        path = save_mctop(tb_mctop, tmp_path / "t.mct")
+        loaded = load_mctop(path)
+        assert not loaded.provenance.inferred
+        assert tb_mctop.provenance.inferred
+
+    def test_enrichment_roundtrip(self, tb_mctop, tmp_path):
+        path = save_mctop(tb_mctop, tmp_path / "t.mct")
+        loaded = load_mctop(path)
+        assert loaded.cache_info is not None
+        assert loaded.cache_info.sizes_kib == tb_mctop.cache_info.sizes_kib
+        assert loaded.power_info is not None
+        assert loaded.power_info.idle == pytest.approx(tb_mctop.power_info.idle)
+
+    def test_queries_work_after_load(self, tb_mctop, tmp_path):
+        path = save_mctop(tb_mctop, tmp_path / "t.mct")
+        loaded = load_mctop(path)
+        assert loaded.max_latency(loaded.context_ids()) == tb_mctop.max_latency(
+            tb_mctop.context_ids()
+        )
+        assert loaded.sockets_by_local_bandwidth() == (
+            tb_mctop.sockets_by_local_bandwidth()
+        )
+
+    def test_file_is_readable_json(self, tb_mctop, tmp_path):
+        path = save_mctop(tb_mctop, tmp_path / "t.mct")
+        data = json.loads(path.read_text())
+        assert data["format"] == "mctop-description"
+        assert data["version"] == 1
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_mctop(tmp_path / "nope.mct")
+
+    def test_garbage_file(self, tmp_path):
+        p = tmp_path / "bad.mct"
+        p.write_text("not json {{{")
+        with pytest.raises(SerializationError):
+            load_mctop(p)
+
+    def test_wrong_format_marker(self, tb_mctop):
+        data = mctop_to_dict(tb_mctop)
+        data["format"] = "something-else"
+        with pytest.raises(SerializationError):
+            mctop_from_dict(data)
+
+    def test_future_version_rejected(self, tb_mctop):
+        data = mctop_to_dict(tb_mctop)
+        data["version"] = 99
+        with pytest.raises(SerializationError):
+            mctop_from_dict(data)
+
+    def test_truncated_document(self, tb_mctop):
+        data = mctop_to_dict(tb_mctop)
+        del data["contexts"]
+        with pytest.raises(SerializationError):
+            mctop_from_dict(data)
+
+    def test_unknown_keys_ignored(self, tb_mctop):
+        """Forward compatibility: extra top-level keys are fine."""
+        data = mctop_to_dict(tb_mctop)
+        data["some_future_field"] = {"x": 1}
+        loaded = mctop_from_dict(data)
+        assert loaded.n_contexts == tb_mctop.n_contexts

@@ -1,0 +1,98 @@
+"""Unit tests for the Table 1 structures and the id scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.core.structures import (
+    HwcGroup,
+    InterconnectLink,
+    LatencyCluster,
+    TopologyLevel,
+    component_id,
+    level_of_id,
+)
+
+
+class TestComponentIds:
+    def test_context_ids_pass_through(self):
+        assert component_id(0, 7) == 7
+        assert level_of_id(7) == 0
+
+    def test_socket_ids_match_figure7(self):
+        """Figure 7 shows Ivy's sockets as 20000 and 20001: socket
+        level 2, indices 0 and 1."""
+        assert component_id(2, 0) == 20000
+        assert component_id(2, 1) == 20001
+        assert level_of_id(20001) == 2
+
+    def test_roundtrip(self):
+        for level in range(5):
+            for index in range(10):
+                cid = component_id(level, index)
+                assert level_of_id(cid) == level
+
+
+class TestLatencyCluster:
+    def test_contains(self):
+        c = LatencyCluster(lo=100, median=112, hi=140)
+        assert c.contains(100) and c.contains(140) and c.contains(112)
+        assert not c.contains(99) and not c.contains(141)
+
+    def test_spread(self):
+        assert LatencyCluster(100, 112, 140).spread == 40
+
+
+class TestInterconnectLink:
+    def test_other_end(self):
+        link = InterconnectLink(20000, 20001, latency=300, n_hops=1)
+        assert link.other(20000) == 20001
+        assert link.other(20001) == 20000
+
+    def test_other_rejects_foreign_socket(self):
+        link = InterconnectLink(20000, 20001, latency=300, n_hops=1)
+        with pytest.raises(ValueError):
+            link.other(20002)
+
+
+class TestHwcGroup:
+    def test_fields(self):
+        g = HwcGroup(id=10000, level=1, latency=28, children=(0, 20),
+                     contexts=(0, 20))
+        assert g.parent_id is None
+        assert g.socket_id is None
+        assert len(g.contexts) == 2
+
+
+class TestTopologyLevel:
+    def test_roles(self):
+        lv = TopologyLevel(1, 28, (10000, 10001), role="core")
+        assert lv.role == "core"
+        assert lv.latency == 28
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_mctop_error(self):
+        subclasses = [
+            errors.MachineModelError,
+            errors.MeasurementError,
+            errors.ClusteringError,
+            errors.InferenceError,
+            errors.ValidationError,
+            errors.SerializationError,
+            errors.PlacementError,
+            errors.SimulationError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.MctopError)
+            assert issubclass(cls, Exception)
+
+    def test_single_except_catches_everything(self):
+        caught = []
+        for cls in (errors.ClusteringError, errors.PlacementError):
+            try:
+                raise cls("boom")
+            except errors.MctopError as exc:
+                caught.append(type(exc))
+        assert caught == [errors.ClusteringError, errors.PlacementError]

@@ -1,0 +1,152 @@
+"""Tests for visualization output and Section 3.6 validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import (
+    InferenceConfig,
+    LatencyTableConfig,
+    compare_with_os,
+    infer_topology,
+    validate_structure,
+)
+from repro.core.viz import (
+    cdf_dump,
+    cross_socket_dot,
+    intra_socket_dot,
+    latency_heatmap,
+    topology_ascii,
+)
+from repro.errors import ValidationError
+from repro.hardware import get_machine, read_os_topology
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+@pytest.fixture(scope="module")
+def tb_mctop():
+    return infer_topology(get_machine("testbox"), seed=1, config=FAST)
+
+
+@pytest.fixture(scope="module")
+def op_mctop():
+    return infer_topology(get_machine("opteron"), seed=1, config=FAST)
+
+
+class TestDotExport:
+    def test_intra_socket_dot(self, tb_mctop):
+        dot = intra_socket_dot(tb_mctop)
+        assert dot.startswith("graph mctop_intra {")
+        assert dot.rstrip().endswith("}")
+        assert "Socket" in dot and "cycles" in dot
+        # Both memory nodes appear with latencies and bandwidths.
+        assert "Node 0" in dot and "Node 1" in dot
+        assert "GB/s" in dot
+        # The local node is highlighted like the paper's gray box.
+        assert "fillcolor=gray" in dot
+
+    def test_cross_socket_dot_direct_links(self, tb_mctop):
+        dot = cross_socket_dot(tb_mctop)
+        assert "graph mctop_cross" in dot
+        assert "cy" in dot
+        assert "lvl" not in dot  # no routed pairs on a 2-socket machine
+
+    def test_cross_socket_dot_two_hops(self, op_mctop):
+        """Opteron shows the 'lvl N (2 hops)' legend (Figure 1b)."""
+        dot = cross_socket_dot(op_mctop)
+        assert "2 hops" in dot
+        assert dot.count("--") >= 16  # the direct links
+
+    def test_intra_dot_smt_annotation(self, tb_mctop):
+        dot = intra_socket_dot(tb_mctop)
+        smt_lat = tb_mctop.smt_latency()
+        assert f"| {smt_lat}" in dot
+
+
+class TestTextViews:
+    def test_heatmap_dimensions(self, tb_mctop):
+        art = latency_heatmap(tb_mctop.lat_table)
+        rows = art.splitlines()
+        assert len(rows) == tb_mctop.n_contexts
+        assert all(len(r) == tb_mctop.n_contexts for r in rows)
+        # Diagonal is the lowest bucket.
+        assert rows[0][0] == " "
+
+    def test_cdf_dump(self, tb_mctop):
+        text = cdf_dump(tb_mctop.lat_table)
+        assert "CDF" in text
+        assert "1.000" in text  # reaches 1.0
+
+    def test_topology_ascii(self, tb_mctop):
+        text = topology_ascii(tb_mctop)
+        assert text.count("socket") == 2
+        assert text.count("core") == 4
+
+
+class TestStructuralValidation:
+    def test_valid_topology_passes(self, tb_mctop, op_mctop):
+        validate_structure(tb_mctop)
+        validate_structure(op_mctop)
+
+    def test_tampered_socket_rejected(self, tb_mctop, tmp_path):
+        from repro.core.serialize import load_mctop, save_mctop
+
+        path = save_mctop(tb_mctop, tmp_path / "t.mct")
+        broken = load_mctop(path)
+        # Move one context to the other socket: unequal socket sizes.
+        s0, s1 = broken.socket_ids()
+        victim = broken.socket_get_contexts(s0)[0]
+        broken.contexts[victim].socket_id = s1
+        broken.groups[s0].contexts = tuple(
+            c for c in broken.groups[s0].contexts if c != victim
+        )
+        broken.groups[s1].contexts = tuple(
+            sorted(broken.groups[s1].contexts + (victim,))
+        )
+        with pytest.raises(ValidationError):
+            validate_structure(broken)
+
+    def test_tampered_levels_rejected(self, tb_mctop, tmp_path):
+        from repro.core.serialize import load_mctop, save_mctop
+        from repro.core.structures import TopologyLevel
+
+        path = save_mctop(tb_mctop, tmp_path / "t.mct")
+        broken = load_mctop(path)
+        broken.levels = tuple(reversed(broken.levels))
+        with pytest.raises(ValidationError):
+            validate_structure(broken)
+
+    def test_smt_flag_consistency(self, tb_mctop, tmp_path):
+        from repro.core.serialize import load_mctop, save_mctop
+
+        path = save_mctop(tb_mctop, tmp_path / "t.mct")
+        broken = load_mctop(path)
+        broken.has_smt = False  # claims no SMT but cores have 2 contexts
+        with pytest.raises(ValidationError):
+            validate_structure(broken)
+
+
+class TestOsComparison:
+    def test_match_report(self, tb_mctop):
+        os_top = read_os_topology(get_machine("testbox"))
+        comp = compare_with_os(tb_mctop, os_top)
+        assert comp.all_match
+        assert "certainly correct" in comp.report()
+
+    def test_mismatch_report_suggests_reruns(self, op_mctop):
+        os_top = read_os_topology(get_machine("opteron"))
+        comp = compare_with_os(op_mctop, os_top)
+        assert not comp.all_match
+        assert not comp.nodes_match
+        assert comp.cores_match and comp.sockets_match
+        text = comp.report()
+        assert "Suggested re-runs" in text
+        assert "memory-latency" in text
+
+    def test_partition_comparison_ignores_labels(self, tb_mctop):
+        """Socket ids differ between views (20000 vs 0) but partitions
+        still compare equal."""
+        os_top = read_os_topology(get_machine("testbox"))
+        assert compare_with_os(tb_mctop, os_top).sockets_match

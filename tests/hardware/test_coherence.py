@@ -1,0 +1,134 @@
+"""Tests for the MESI coherence simulator (Figure 4 behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import CoherenceSimulator, Mesi, get_machine
+
+
+@pytest.fixture()
+def sim(testbox):
+    return CoherenceSimulator(testbox)
+
+
+class TestStateMachine:
+    def test_first_rfo_from_memory(self, sim):
+        t = sim.rfo(0, line_id=1)
+        assert sim.state_of(1, 0) is Mesi.MODIFIED
+        assert t.latency == sim.machine.mem_latency(0, 0)
+        assert any("memory-fetch" in s for s in t.trace())
+
+    def test_rfo_invalidates_owner(self, sim, testbox):
+        sim.rfo(0, 1)
+        other = testbox.contexts_of_socket(1)[0]
+        t = sim.rfo(other, 1)
+        assert sim.state_of(1, other) is Mesi.MODIFIED
+        assert sim.state_of(1, 0) is Mesi.INVALID
+        assert t.latency == testbox.comm_latency(other, 0)
+
+    def test_rfo_hit_when_owner(self, sim):
+        sim.rfo(0, 1)
+        t = sim.rfo(0, 1)
+        assert t.latency == sim.machine.spec.caches[0].latency
+        assert t.trace() == ["1-hit"]
+
+    def test_smt_siblings_share_private_cache(self, sim, testbox):
+        sibling = testbox.context_id(0, 1)
+        sim.rfo(0, 1)
+        # The sibling shares the core's caches: it sees MODIFIED and hits.
+        assert sim.state_of(1, sibling) is Mesi.MODIFIED
+        t = sim.rfo(sibling, 1)
+        assert t.trace() == ["1-hit"]
+
+    def test_read_after_modify_degrades_to_shared(self, sim):
+        sim.rfo(0, 1)
+        reader = sim.machine.contexts_of_socket(1)[0]
+        t = sim.read(reader, 1)
+        assert sim.state_of(1, 0) is Mesi.SHARED
+        assert sim.state_of(1, reader) is Mesi.SHARED
+        assert t.latency == sim.machine.comm_latency(reader, 0)
+
+    def test_first_read_is_exclusive(self, sim):
+        sim.read(0, 7)
+        assert sim.state_of(7, 0) is Mesi.EXCLUSIVE
+
+    def test_exclusive_upgrades_silently(self, sim):
+        sim.read(0, 7)
+        t = sim.rfo(0, 7)
+        assert t.latency == sim.machine.spec.caches[0].latency
+        assert sim.state_of(7, 0) is Mesi.MODIFIED
+
+    def test_rfo_on_shared_line_invalidates_all(self, sim, testbox):
+        sim.rfo(0, 1)
+        readers = [testbox.context_id(1, 0), testbox.contexts_of_socket(1)[0]]
+        for r in readers:
+            sim.read(r, 1)
+        writer = testbox.contexts_of_socket(1)[2]
+        t = sim.rfo(writer, 1)
+        for r in readers + [0]:
+            if testbox.core_of(r) != testbox.core_of(writer):
+                assert sim.state_of(1, r) is Mesi.INVALID
+        assert sim.state_of(1, writer) is Mesi.MODIFIED
+        # Shared invalidation carries the broadcast penalty.
+        far = max(testbox.comm_latency(writer, r) for r in readers + [0])
+        assert t.latency == far + CoherenceSimulator.SHARED_INVALIDATION_PENALTY
+
+    def test_read_hit_after_read(self, sim):
+        sim.read(0, 9)
+        t = sim.read(0, 9)
+        assert t.trace() == ["1-hit"]
+
+    def test_drop_evicts(self, sim):
+        sim.rfo(0, 1)
+        sim.drop(1)
+        assert sim.state_of(1, 0) is Mesi.INVALID
+
+    def test_home_node_is_first_toucher(self, sim, testbox):
+        ctx = testbox.contexts_of_socket(1)[0]
+        sim.rfo(ctx, 42)
+        assert sim.home_node(42) == testbox.local_node_of_socket(1)
+        assert sim.home_node(999) is None
+
+
+class TestProbeTransaction:
+    """The Figure 5 probe must observe the ground-truth latency."""
+
+    @pytest.mark.parametrize("name", ["ivy", "opteron", "sparc"])
+    def test_probe_matches_ground_truth(self, name):
+        m = get_machine(name)
+        sim = CoherenceSimulator(m)
+        pairs = [
+            (m.context_id(0, 0), m.context_id(1, 0)),  # intra-socket
+            (m.contexts_of_socket(0)[0], m.contexts_of_socket(1)[0]),
+        ]
+        if m.spec.has_smt:
+            pairs.append((m.context_id(0, 0), m.context_id(0, 1)))
+        for line, (x, y) in enumerate(pairs, start=100):
+            lat = sim.probe_pair_rfo(requester=x, owner=y, line_id=line)
+            assert lat == m.comm_latency(x, y)
+
+    def test_probe_rejects_same_context(self, sim):
+        with pytest.raises(SimulationError):
+            sim.probe_pair_rfo(3, 3, 1)
+
+    def test_probe_is_repeatable(self, sim):
+        """Determinism: the same probe gives the same latency every time."""
+        values = {sim.probe_pair_rfo(0, 5, 8) for _ in range(5)}
+        assert len(values) == 1
+
+
+class TestTransactionTraces:
+    def test_figure4_shape(self, sim, testbox):
+        """Cross-socket RFO walks: miss, miss, lookup, invalidate, grant."""
+        owner = testbox.contexts_of_socket(1)[0]
+        sim.rfo(owner, 3)
+        t = sim.rfo(0, 3)
+        trace = t.trace()
+        assert trace[0] == "1-RFO"
+        assert "miss-L1" in trace[1]
+        assert any("invalidate" in s for s in trace)
+        assert trace[-1].endswith("granted")
+        # Step costs must add up to the transaction latency.
+        assert sum(s.cycles for s in t.steps) == pytest.approx(t.latency)

@@ -1,0 +1,90 @@
+"""Tests for the interconnect graph: routing, hops, bandwidth."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineModelError
+from repro.hardware import Interconnect, LinkSpec
+
+
+def ring(n, latency=300, bw=10.0):
+    return {
+        (i, (i + 1) % n) if i < (i + 1) % n else ((i + 1) % n, i): LinkSpec(latency, bw)
+        for i in range(n)
+    }
+
+
+class TestRouting:
+    def test_direct_link(self):
+        ic = Interconnect(2, {(0, 1): LinkSpec(300, 12.0)})
+        assert ic.hops(0, 1) == 1
+        assert ic.latency(0, 1) == 300
+        assert ic.link_bandwidth(0, 1) == 12.0
+
+    def test_ring_hops(self):
+        ic = Interconnect(6, ring(6))
+        assert ic.hops(0, 1) == 1
+        assert ic.hops(0, 2) == 2
+        assert ic.hops(0, 3) == 3
+
+    def test_pinned_multi_hop_latency(self):
+        ic = Interconnect(4, ring(4), multi_hop_latency={2: 450})
+        assert ic.latency(0, 2) == 450
+
+    def test_estimated_multi_hop_is_subadditive(self):
+        ic = Interconnect(6, ring(6, latency=300))
+        two_hop = ic.latency(0, 2)
+        assert 300 < two_hop < 600
+
+    def test_multi_hop_bandwidth_penalized(self):
+        ic = Interconnect(4, ring(4, bw=10.0))
+        assert ic.link_bandwidth(0, 2) < 10.0
+
+    def test_same_socket_rejected(self):
+        ic = Interconnect(2, {(0, 1): LinkSpec(300, 12.0)})
+        with pytest.raises(MachineModelError):
+            ic.latency(1, 1)
+        assert ic.link_bandwidth(0, 0) is None
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(MachineModelError):
+            Interconnect(3, {(0, 1): LinkSpec(300, 10.0)})
+
+    def test_neighbors(self):
+        ic = Interconnect(4, ring(4))
+        assert ic.neighbors(0) == [1, 3]
+
+    def test_max_hops(self):
+        ic = Interconnect(6, ring(6))
+        assert ic.max_hops() == 3
+
+    def test_all_links_copy(self):
+        links = ring(4)
+        ic = Interconnect(4, links)
+        copy = ic.all_links()
+        copy.clear()
+        assert ic.all_links()  # internal state untouched
+
+
+class TestRoutingProperties:
+    @given(n=st.integers(3, 10), seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_hops_symmetric_and_triangle(self, n, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        # Random connected graph: a ring plus random chords.
+        links = ring(n)
+        for _ in range(n):
+            a, b = sorted(rng.choice(n, 2, replace=False))
+            links[(int(a), int(b))] = LinkSpec(300, 10.0)
+        ic = Interconnect(n, links)
+        for a in range(n):
+            assert ic.hops(a, a) == 0
+            for b in range(n):
+                assert ic.hops(a, b) == ic.hops(b, a)
+                for c in range(n):
+                    assert ic.hops(a, c) <= ic.hops(a, b) + ic.hops(b, c)

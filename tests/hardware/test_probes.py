@@ -1,0 +1,236 @@
+"""Tests for DVFS, timers, noise and the measurement context."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    DvfsState,
+    MeasurementContext,
+    NoiseProfile,
+    NoiseSource,
+    VirtualTsc,
+    get_machine,
+)
+
+
+class TestDvfs:
+    def test_cold_core_runs_at_min(self, testbox):
+        dvfs = DvfsState(testbox.spec)
+        assert dvfs.frequency(0) == pytest.approx(testbox.spec.freq_min_ghz)
+        assert dvfs.factor(0) == pytest.approx(2.0)
+
+    def test_busy_ramps_to_max(self, testbox):
+        dvfs = DvfsState(testbox.spec)
+        dvfs.run_busy(0, 10_000_000)
+        assert dvfs.is_max(0)
+        assert dvfs.factor(0) == pytest.approx(1.0, abs=0.01)
+
+    def test_idle_decays(self, testbox):
+        dvfs = DvfsState(testbox.spec)
+        dvfs.run_busy(0, 10_000_000)
+        for _ in range(20):
+            dvfs.go_idle(0)
+        assert not dvfs.is_max(0)
+
+    def test_cores_independent(self, testbox):
+        dvfs = DvfsState(testbox.spec)
+        dvfs.run_busy(0, 10_000_000)
+        assert dvfs.factor(1) > dvfs.factor(0)
+
+    def test_fixed_frequency_machine(self, opteron):
+        dvfs = DvfsState(opteron.spec)
+        assert dvfs.fixed_frequency()
+        assert dvfs.factor(0) == pytest.approx(1.0)
+
+
+class TestVirtualTsc:
+    def test_read_cost_near_overhead(self):
+        tsc = VirtualTsc(overhead=24.0, jitter=1.0, rng=np.random.default_rng(1))
+        costs = [tsc.read_cost() for _ in range(500)]
+        assert abs(np.mean(costs) - 24.0) < 0.5
+
+    def test_estimate_close_but_noisy(self):
+        tsc = VirtualTsc(overhead=24.0, jitter=1.5, rng=np.random.default_rng(2))
+        est = tsc.estimate_overhead()
+        assert abs(est - 24.0) < 3.0
+
+    def test_zero_jitter_exact(self):
+        tsc = VirtualTsc(overhead=10.0, jitter=0.0)
+        assert tsc.read_cost() == 10.0
+        assert tsc.estimate_overhead() == 10.0
+
+
+class TestNoise:
+    def test_quiet_profile_is_silent(self):
+        src = NoiseSource(NoiseProfile.quiet(), np.random.default_rng(0))
+        assert all(src.sample() == 0.0 for _ in range(100))
+
+    def test_spikes_are_positive_and_rare(self):
+        profile = NoiseProfile(jitter_sigma=0.0, spurious_prob=0.05,
+                               spurious_scale=100.0)
+        src = NoiseSource(profile, np.random.default_rng(3))
+        samples = [src.sample() for _ in range(4000)]
+        spikes = [s for s in samples if s > 10]
+        assert 0.02 < len(spikes) / len(samples) < 0.09
+        assert min(samples) >= 0.0
+
+    def test_noisy_scaling(self):
+        low = NoiseProfile.noisy(0.5)
+        high = NoiseProfile.noisy(4.0)
+        assert high.jitter_sigma > low.jitter_sigma
+        assert high.spurious_prob > low.spurious_prob
+
+
+class TestMeasurementContext:
+    def test_os_facilities(self, testbox_probe, testbox):
+        assert testbox_probe.n_hw_contexts() == testbox.spec.n_contexts
+        assert testbox_probe.n_nodes() == testbox.spec.n_nodes
+
+    def test_warm_up_converges(self, testbox_probe):
+        rounds = testbox_probe.warm_up(0)
+        assert rounds < 64
+        assert testbox_probe.dvfs.factor(testbox_probe.machine.core_of(0)) < 1.05
+
+    def test_samples_near_truth_after_warmup(self, testbox):
+        probe = MeasurementContext(testbox, seed=5)
+        x, y = 0, testbox.contexts_of_socket(1)[0]
+        probe.warm_up(x)
+        probe.warm_up(y)
+        overhead = probe.estimate_tsc_overhead()
+        line = probe.fresh_line()
+        samples = [
+            probe.sample_pair_latency(x, y, line) - overhead for _ in range(101)
+        ]
+        true = testbox.comm_latency(x, y)
+        assert abs(float(np.median(samples)) - true) < 6.0
+
+    def test_cold_cores_inflate_samples(self, testbox):
+        cold = MeasurementContext(testbox, seed=6, noise=NoiseProfile.quiet())
+        line = cold.fresh_line()
+        cold_sample = cold.sample_pair_latency(0, 4, line)
+
+        warm = MeasurementContext(testbox, seed=6, noise=NoiseProfile.quiet())
+        warm.warm_up(0)
+        warm.warm_up(4)
+        line2 = warm.fresh_line()
+        warm_sample = warm.sample_pair_latency(0, 4, line2)
+        assert cold_sample > warm_sample + 20
+
+    def test_not_solo_is_noisier(self, testbox):
+        solo = MeasurementContext(testbox, seed=7, solo=True)
+        busy = MeasurementContext(testbox, seed=7, solo=False)
+        assert busy.noise.profile.spurious_prob > solo.noise.profile.spurious_prob
+
+    def test_smt_detection_signal(self, testbox):
+        """Spin loops slow down with a busy sibling — the SMT probe."""
+        probe = MeasurementContext(testbox, seed=8)
+        probe.warm_up(0)
+        solo = probe.timed_spin(0, 100_000, sibling_busy=False)
+        shared = probe.timed_spin(0, 100_000, sibling_busy=True)
+        assert shared > solo * 1.3
+
+    def test_mem_latency_sample(self, testbox_probe, testbox):
+        local = testbox_probe.mem_latency_sample(0, 0)
+        remote = testbox_probe.mem_latency_sample(0, 1)
+        assert abs(local - testbox.mem_latency(0, 0)) < 30
+        assert remote > local
+
+    def test_mem_bandwidth_saturates(self, testbox, testbox_probe):
+        one = testbox_probe.mem_bandwidth_sample([0], 0)
+        socket0 = testbox.contexts_of_socket(0)
+        many = testbox_probe.mem_bandwidth_sample(socket0, 0)
+        assert many >= one
+        assert many <= testbox.mem_bandwidth(0, 0) * 1.05
+
+    def test_smt_siblings_add_no_bandwidth(self, testbox, testbox_probe):
+        core0 = testbox.contexts_of_core(0)
+        one = testbox_probe.mem_bandwidth_sample(core0[:1], 0)
+        both = testbox_probe.mem_bandwidth_sample(core0, 0)
+        assert both == pytest.approx(one, rel=0.02)
+
+    def test_cache_latency_curve(self, testbox_probe, testbox):
+        caches = testbox.spec.caches
+        l1 = testbox_probe.cache_latency_sample(0, caches[0].size_bytes // 2)
+        llc = testbox_probe.cache_latency_sample(0, caches[-1].size_bytes - 1024)
+        mem = testbox_probe.cache_latency_sample(0, caches[-1].size_bytes * 8)
+        assert l1 < llc < mem
+
+    def test_fresh_lines_unique(self, testbox_probe):
+        lines = {testbox_probe.fresh_line() for _ in range(50)}
+        assert len(lines) == 50
+
+    def test_reproducible_with_seed(self, testbox):
+        def run(seed):
+            p = MeasurementContext(testbox, seed=seed)
+            line = p.fresh_line()
+            return [p.sample_pair_latency(0, 5, line) for _ in range(10)]
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+
+class TestOsView:
+    def test_opteron_os_mapping_is_wrong(self, opteron):
+        """Footnote 1: the OS reports an incorrect core-to-node mapping."""
+        from repro.hardware import read_os_topology
+
+        os_top = read_os_topology(opteron)
+        mismatches = sum(
+            1
+            for ctx in range(opteron.spec.n_contexts)
+            if os_top.node_of[ctx]
+            != opteron.local_node_of_socket(opteron.socket_of(ctx))
+        )
+        assert mismatches > 0
+
+    def test_testbox_os_mapping_is_correct(self, testbox):
+        from repro.hardware import read_os_topology
+
+        os_top = read_os_topology(testbox)
+        for ctx in range(testbox.spec.n_contexts):
+            assert os_top.node_of[ctx] == testbox.local_node_of_socket(
+                testbox.socket_of(ctx)
+            )
+            assert os_top.socket_of[ctx] == testbox.socket_of(ctx)
+
+    def test_contexts_of_node(self, testbox):
+        from repro.hardware import read_os_topology
+
+        os_top = read_os_topology(testbox)
+        assert os_top.contexts_of_node(0) == testbox.contexts_of_socket(0)
+
+
+class TestPowerModel:
+    def test_figure7_calibration(self, ivy):
+        """Figure 7 on Ivy: 20 ctx -> 66.7 W, 10 ctx -> 43.4 W."""
+        from repro.hardware import PowerModel
+
+        pm = PowerModel(ivy)
+        s0 = ivy.contexts_of_socket(0)  # all 20 contexts
+        s1 = [c for core in range(10, 15) for c in ivy.contexts_of_core(core)]
+        est = pm.estimate(s0 + s1)
+        assert est[0] == pytest.approx(66.7, abs=0.5)
+        assert est[1] == pytest.approx(43.4, abs=0.5)
+        with_dram = pm.estimate(s0 + s1, with_dram=True)
+        assert sum(with_dram.values()) == pytest.approx(200.6, abs=2.0)
+
+    def test_second_context_cheaper(self, ivy):
+        from repro.hardware import PowerModel
+
+        pm = PowerModel(ivy)
+        assert pm.second_context_delta() < pm.profile.first_context
+
+    def test_non_intel_has_no_power(self, opteron):
+        from repro.errors import MachineModelError
+        from repro.hardware import PowerModel
+
+        with pytest.raises(MachineModelError):
+            PowerModel(opteron)
+
+    def test_idle_below_full(self, ivy):
+        from repro.hardware import PowerModel
+
+        pm = PowerModel(ivy)
+        assert pm.idle_power() < pm.full_power()

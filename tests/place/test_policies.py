@@ -1,0 +1,211 @@
+"""Tests for the 12 MCTOP-PLACE policies on inferred topologies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.errors import PlacementError
+from repro.hardware import get_machine
+from repro.place import ALL_POLICIES, Policy, compute_order, socket_chain
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return infer_topology(get_machine("testbox"), seed=1, config=FAST)
+
+
+@pytest.fixture(scope="module")
+def ivy_m():
+    return infer_topology(get_machine("ivy"), seed=1, config=FAST)
+
+
+@pytest.fixture(scope="module")
+def op():
+    return infer_topology(get_machine("opteron"), seed=1, config=FAST)
+
+
+class TestAllPoliciesEverywhere:
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.value)
+    def test_full_order_is_permutation(self, tb, policy):
+        order = compute_order(tb, policy)
+        assert sorted(order) == tb.context_ids()
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.value)
+    def test_prefix_has_no_duplicates(self, tb, policy):
+        order = compute_order(tb, policy, n_threads=5)
+        assert len(order) == 5
+        assert len(set(order)) == 5
+
+    def test_twelve_policies(self):
+        assert len(ALL_POLICIES) == 12
+
+    def test_only_none_does_not_pin(self):
+        unpinned = [p for p in ALL_POLICIES if not p.pins_threads]
+        assert unpinned == [Policy.NONE]
+
+
+class TestSocketChain:
+    def test_starts_at_max_bandwidth(self, ivy_m):
+        chain = socket_chain(ivy_m)
+        assert chain[0] == ivy_m.sockets_by_local_bandwidth()[0]
+        assert set(chain) == set(ivy_m.socket_ids())
+
+    def test_opteron_prefers_mcm_sibling(self, op):
+        """The second socket in the chain is the 197-cycle MCM pair."""
+        chain = socket_chain(op)
+        assert abs(op.socket_latency(chain[0], chain[1]) - 197) <= 4
+
+
+class TestConPolicies:
+    def test_con_hwc_fills_socket_first(self, ivy_m):
+        order = compute_order(ivy_m, Policy.CON_HWC)
+        first_socket = ivy_m.socket_of_context(order[0])
+        # The first 20 contexts are all on one socket.
+        assert all(
+            ivy_m.socket_of_context(c) == first_socket for c in order[:20]
+        )
+        assert ivy_m.socket_of_context(order[20]) != first_socket
+
+    def test_con_hwc_uses_smt_siblings_immediately(self, ivy_m):
+        order = compute_order(ivy_m, Policy.CON_HWC)
+        assert ivy_m.core_of_context(order[0]) == ivy_m.core_of_context(order[1])
+
+    def test_con_core_hwc_unique_cores_first(self, ivy_m):
+        order = compute_order(ivy_m, Policy.CON_CORE_HWC)
+        first10 = order[:10]
+        cores = {ivy_m.core_of_context(c) for c in first10}
+        assert len(cores) == 10  # 10 distinct cores before any sibling
+        # Contexts 10..19 revisit the same cores.
+        assert {ivy_m.core_of_context(c) for c in order[10:20]} == cores
+
+    def test_con_core_spreads_over_sockets_before_smt(self, ivy_m):
+        order = compute_order(ivy_m, Policy.CON_CORE)
+        first20 = order[:20]
+        cores = {ivy_m.core_of_context(c) for c in first20}
+        assert len(cores) == 20  # every physical core before any sibling
+        sockets = {ivy_m.socket_of_context(c) for c in first20}
+        assert len(sockets) == 2
+
+    def test_con_policies_equivalent_without_smt(self, op):
+        """Paper: CON_HWC == CON_CORE_HWC == CON_CORE on non-SMT."""
+        a = compute_order(op, Policy.CON_HWC)
+        b = compute_order(op, Policy.CON_CORE_HWC)
+        c = compute_order(op, Policy.CON_CORE)
+        assert a == b == c
+
+
+class TestBalanceAndRr:
+    def test_balance_splits_evenly(self, ivy_m):
+        order = compute_order(ivy_m, Policy.BALANCE_HWC, n_threads=10)
+        per_socket = {}
+        for c in order:
+            s = ivy_m.socket_of_context(c)
+            per_socket[s] = per_socket.get(s, 0) + 1
+        assert sorted(per_socket.values()) == [5, 5]
+
+    def test_balance_odd_count(self, ivy_m):
+        order = compute_order(ivy_m, Policy.BALANCE_CORE_HWC, n_threads=7)
+        per_socket = {}
+        for c in order:
+            s = ivy_m.socket_of_context(c)
+            per_socket[s] = per_socket.get(s, 0) + 1
+        assert sorted(per_socket.values()) == [3, 4]
+
+    def test_rr_alternates_sockets(self, ivy_m):
+        order = compute_order(ivy_m, Policy.RR_CORE, n_threads=8)
+        sockets = [ivy_m.socket_of_context(c) for c in order]
+        assert sockets[0] != sockets[1]
+        assert sockets[:2] * 4 == sockets
+
+    def test_rr_core_unique_cores_first(self, ivy_m):
+        order = compute_order(ivy_m, Policy.RR_CORE)
+        first20 = order[:20]
+        assert len({ivy_m.core_of_context(c) for c in first20}) == 20
+
+    def test_rr_hwc_compact_cores(self, ivy_m):
+        order = compute_order(ivy_m, Policy.RR_HWC, n_threads=4)
+        # Per socket, the two contexts of one core come before core 2.
+        by_socket: dict[int, list[int]] = {}
+        for c in order:
+            by_socket.setdefault(ivy_m.socket_of_context(c), []).append(c)
+        for ctxs in by_socket.values():
+            assert ivy_m.core_of_context(ctxs[0]) == ivy_m.core_of_context(ctxs[1])
+
+
+class TestPowerPolicy:
+    def test_power_packs_smt_first(self, ivy_m):
+        order = compute_order(ivy_m, Policy.POWER, n_threads=4)
+        cores = [ivy_m.core_of_context(c) for c in order]
+        # 4 threads on 2 cores: SMT siblings are cheaper than new cores.
+        assert len(set(cores)) == 2
+
+    def test_power_stays_on_one_socket(self, ivy_m):
+        order = compute_order(ivy_m, Policy.POWER, n_threads=20)
+        sockets = {ivy_m.socket_of_context(c) for c in order}
+        assert len(sockets) == 1  # second socket would add DRAM power
+
+    def test_power_unavailable_without_rapl(self, op):
+        with pytest.raises(PlacementError):
+            compute_order(op, Policy.POWER)
+
+    def test_power_uses_fewer_cores_than_rr(self, ivy_m):
+        n = 10
+        power_cores = {
+            ivy_m.core_of_context(c)
+            for c in compute_order(ivy_m, Policy.POWER, n_threads=n)
+        }
+        rr_cores = {
+            ivy_m.core_of_context(c)
+            for c in compute_order(ivy_m, Policy.RR_CORE, n_threads=n)
+        }
+        assert len(power_cores) < len(rr_cores)
+
+
+class TestRrScale:
+    def test_caps_threads_per_socket(self, ivy_m):
+        order = compute_order(ivy_m, Policy.RR_SCALE)
+        # The first len(chain)*cap contexts respect the bandwidth cap.
+        node = ivy_m.node_of_socket(ivy_m.socket_ids()[0])
+        single = ivy_m.mem_bandwidth_single(ivy_m.socket_ids()[0], node)
+        cap = -(-ivy_m.local_bandwidth(ivy_m.socket_ids()[0]) // single)
+        head = order[: int(cap) * 2]
+        per_socket: dict[int, int] = {}
+        for c in head:
+            s = ivy_m.socket_of_context(c)
+            per_socket[s] = per_socket.get(s, 0) + 1
+        assert all(v <= cap + 1 for v in per_socket.values())
+
+    def test_full_order_still_permutation(self, ivy_m):
+        order = compute_order(ivy_m, Policy.RR_SCALE)
+        assert sorted(order) == ivy_m.context_ids()
+
+
+class TestArguments:
+    def test_n_sockets_restricts(self, ivy_m):
+        order = compute_order(ivy_m, Policy.CON_HWC, n_sockets=1)
+        assert len({ivy_m.socket_of_context(c) for c in order}) == 1
+
+    def test_bad_n_sockets(self, ivy_m):
+        with pytest.raises(PlacementError):
+            compute_order(ivy_m, Policy.CON_HWC, n_sockets=3)
+
+    def test_too_many_threads(self, tb):
+        with pytest.raises(PlacementError):
+            compute_order(tb, Policy.CON_HWC, n_threads=9)
+
+    def test_zero_threads(self, tb):
+        with pytest.raises(PlacementError):
+            compute_order(tb, Policy.SEQUENTIAL, n_threads=0)
+
+    @given(n=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_any_thread_count_works(self, tb, n):
+        for policy in (Policy.CON_HWC, Policy.BALANCE_CORE, Policy.RR_HWC):
+            order = compute_order(tb, policy, n_threads=n)
+            assert len(order) == n
+            assert len(set(order)) == n

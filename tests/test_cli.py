@@ -1,0 +1,136 @@
+"""Tests for the mctop command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_lists_all_machines(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("ivy", "westmere", "opteron", "sparc", "testbox"):
+            assert name in out
+
+
+class TestInfer:
+    def test_infer_and_save(self, capsys, tmp_path):
+        out_file = tmp_path / "tb.mct"
+        code, out, _ = run_cli(
+            capsys, "infer", "testbox", "--seed", "1",
+            "--repetitions", "31", "--out", str(out_file),
+        )
+        assert code == 0
+        assert "MCTOP topology 'testbox'" in out
+        assert "samples taken" in out
+        assert out_file.exists()
+
+    def test_infer_unknown_machine(self, capsys):
+        code, _, err = run_cli(capsys, "infer", "cray-1", "--repetitions", "9")
+        assert code == 2
+        assert "error" in err
+
+
+class TestShow:
+    def test_show_from_file(self, capsys, tmp_path):
+        out_file = tmp_path / "tb.mct"
+        run_cli(capsys, "infer", "testbox", "--seed", "1",
+                "--repetitions", "31", "--out", str(out_file))
+        code, out, _ = run_cli(capsys, "show", str(out_file), "--ascii")
+        assert code == 0
+        assert "sockets" in out
+        assert "+- socket" in out
+
+    def test_show_machine_directly(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "show", "testbox", "--seed", "1", "--repetitions", "31"
+        )
+        assert code == 0
+        assert "latency levels" in out
+
+    def test_show_nonsense_target(self, capsys):
+        code, _, err = run_cli(capsys, "show", "not-a-thing")
+        assert code == 2
+        assert "neither" in err
+
+
+class TestDot:
+    def test_both_views(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dot", "testbox", "--seed", "1", "--repetitions", "31"
+        )
+        assert code == 0
+        assert "graph mctop_intra" in out
+        assert "graph mctop_cross" in out
+
+    def test_single_view(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dot", "testbox", "--view", "cross",
+            "--seed", "1", "--repetitions", "31",
+        )
+        assert code == 0
+        assert "graph mctop_intra" not in out
+
+
+class TestPlace:
+    def test_place_output(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "place", "testbox", "--policy", "RR_CORE",
+            "--threads", "4", "--seed", "1", "--repetitions", "31",
+        )
+        assert code == 0
+        assert "MCTOP_PLACE_RR_CORE" in out
+        assert "Max latency" in out
+
+    def test_place_bad_policy(self, capsys):
+        with pytest.raises(ValueError):
+            run_cli(capsys, "place", "testbox", "--policy", "MAGIC",
+                    "--repetitions", "31")
+
+
+class TestRevalidate:
+    def test_unchanged_machine(self, capsys, tmp_path):
+        out_file = tmp_path / "tb.mct"
+        run_cli(capsys, "infer", "testbox", "--seed", "1",
+                "--repetitions", "31", "--out", str(out_file))
+        code, out, _ = run_cli(
+            capsys, "revalidate", str(out_file), "testbox", "--seed", "2"
+        )
+        assert code == 0
+        assert "still valid" in out
+
+    def test_changed_machine(self, capsys, tmp_path):
+        out_file = tmp_path / "tb.mct"
+        run_cli(capsys, "infer", "testbox", "--seed", "1",
+                "--repetitions", "31", "--out", str(out_file))
+        code, out, _ = run_cli(
+            capsys, "revalidate", str(out_file), "clusterix"
+        )
+        assert code == 1
+        assert "CHANGED" in out
+
+
+class TestValidate:
+    def test_matching_machine_exits_zero(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "validate", "testbox", "--seed", "1",
+            "--repetitions", "31",
+        )
+        assert code == 0
+        assert "certainly correct" in out
+
+    def test_misconfigured_machine_exits_nonzero(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "validate", "opteron", "--seed", "1",
+            "--repetitions", "31",
+        )
+        assert code == 1
+        assert "disagree" in out

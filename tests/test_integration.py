@@ -1,0 +1,95 @@
+"""End-to-end integration: infer -> persist -> load -> place -> run.
+
+Exercises the full user workflow of the library across machine shapes,
+including using a *loaded* (not freshly inferred) topology to drive the
+placement library and the application layers — the way a production
+libmctop deployment works (infer once, load everywhere).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import get_machine, infer_topology, load_mctop
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig
+from repro.core.serialize import save_mctop
+from repro.apps.locks import LockExperimentConfig, run_lock_experiment
+from repro.apps.mapreduce import MetisEngine, word_count_data, word_count_job
+from repro.apps.sort import mctop_sort
+from repro.place import Placement, PlacementPool, Policy
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+@pytest.mark.parametrize("machine_name", ["testbox", "clusterix", "unisock"])
+def test_full_pipeline(machine_name, tmp_path):
+    machine = get_machine(machine_name)
+
+    # 1. Infer and persist.
+    mctop = infer_topology(machine, seed=3, config=FAST)
+    path = save_mctop(mctop, tmp_path / f"{machine_name}.mct")
+
+    # 2. Load and verify the loaded topology drives everything.
+    loaded = load_mctop(path)
+    assert loaded.n_contexts == machine.spec.n_contexts
+
+    # 3. Placement from the loaded topology.
+    n = max(2, loaded.n_contexts // 2)
+    placement = Placement(loaded, Policy.CON_CORE_HWC, n_threads=n)
+    pins = [placement.pin() for _ in range(n)]
+    assert len({p.ctx for p in pins}) == n
+    for p in pins:
+        placement.unpin(p.ctx)
+
+    # 4. A lock experiment against the loaded topology.
+    result = run_lock_experiment(
+        machine, loaded, "TICKET", min(4, loaded.n_contexts),
+        use_backoff=True, cfg=LockExperimentConfig(iterations=15),
+    )
+    assert result.throughput > 0
+
+    # 5. Functional apps on the loaded topology.
+    data = np.random.default_rng(1).integers(0, 1000, 500)
+    assert (mctop_sort(data, loaded, 4) == np.sort(data)).all()
+    engine = MetisEngine(loaded, Policy.RR_HWC,
+                         n_workers=min(4, loaded.n_contexts))
+    counts = engine.run(word_count_job(), word_count_data(30, seed=2))
+    assert sum(counts.values()) > 0
+
+
+def test_pool_survives_reload(tmp_path):
+    machine = get_machine("testbox")
+    mctop = infer_topology(machine, seed=3, config=FAST)
+    path = save_mctop(mctop, tmp_path / "t.mct")
+    pool = PlacementPool(load_mctop(path))
+    a = pool.set_policy(Policy.CON_HWC, n_threads=4)
+    b = pool.set_policy(Policy.RR_CORE, n_threads=4)
+    assert a.ordering != b.ordering
+    assert len(pool) == 2
+
+
+def test_public_api_surface():
+    """The names the README promises exist and are importable."""
+    import repro
+
+    for name in ("get_machine", "infer_topology", "load_mctop",
+                 "PAPER_PLATFORMS", "machine_names", "MctopError"):
+        assert hasattr(repro, name), name
+
+    from repro.place import ALL_POLICIES
+
+    assert len(ALL_POLICIES) == 12
+
+
+def test_quickstart_snippet_from_readme():
+    """The README quickstart must keep working verbatim."""
+    from repro import get_machine, infer_topology
+
+    machine = get_machine("testbox")
+    mctop = infer_topology(machine, seed=1, config=FAST)
+    assert mctop.n_sockets == 2
+    assert mctop.get_latency(0, 1) > 0
+    assert mctop.get_local_node(0) is not None
+    assert mctop.min_latency_socket_pair()
+    assert mctop.max_latency(mctop.context_ids()) > 0

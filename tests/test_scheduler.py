@@ -1,0 +1,137 @@
+"""Tests for the MCTOP-based centralized scheduler (Future Work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.errors import PlacementError
+from repro.hardware import get_machine
+from repro.sched import AppRequest, MctopScheduler, WorkloadClass
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+@pytest.fixture(scope="module")
+def ivy_mctop():
+    return infer_topology(get_machine("ivy"), seed=1, config=FAST)
+
+
+@pytest.fixture()
+def sched(ivy_mctop):
+    return MctopScheduler(ivy_mctop)
+
+
+class TestBasicScheduling:
+    def test_assignments_are_disjoint(self, sched):
+        a = sched.schedule(AppRequest("a", 8, WorkloadClass.COMPUTE))
+        b = sched.schedule(AppRequest("b", 8, WorkloadClass.LATENCY))
+        c = sched.schedule(AppRequest("c", 8, WorkloadClass.BANDWIDTH))
+        all_ctxs = list(a.ctxs) + list(b.ctxs) + list(c.ctxs)
+        assert len(all_ctxs) == len(set(all_ctxs)) == 24
+
+    def test_capacity_enforced(self, sched, ivy_mctop):
+        sched.schedule(AppRequest("big", ivy_mctop.n_contexts - 2,
+                                  WorkloadClass.COMPUTE))
+        with pytest.raises(PlacementError):
+            sched.schedule(AppRequest("late", 4, WorkloadClass.COMPUTE))
+
+    def test_zero_threads_rejected(self, sched):
+        with pytest.raises(PlacementError):
+            sched.schedule(AppRequest("none", 0, WorkloadClass.COMPUTE))
+
+    def test_finish_releases(self, sched, ivy_mctop):
+        a = sched.schedule(
+            AppRequest("a", ivy_mctop.n_contexts, WorkloadClass.COMPUTE)
+        )
+        assert sched.utilization() == 1.0
+        sched.finish(a.app_id)
+        assert sched.utilization() == 0.0
+        # Everything is free again and schedulable.
+        sched.schedule(AppRequest("b", ivy_mctop.n_contexts,
+                                  WorkloadClass.LATENCY))
+
+    def test_finish_unknown(self, sched):
+        with pytest.raises(PlacementError):
+            sched.finish(99)
+
+    def test_report_lists_apps(self, sched):
+        sched.schedule(AppRequest("svc", 4, WorkloadClass.LATENCY))
+        text = sched.report()
+        assert "svc" in text and "effective" in text
+
+
+class TestPlacementShapes:
+    def test_latency_app_is_compact(self, sched, ivy_mctop):
+        a = sched.schedule(AppRequest("sync", 10, WorkloadClass.LATENCY))
+        assert len(a.sockets) == 1  # fits one socket -> stays on one
+
+    def test_compute_app_gets_unique_cores(self, sched, ivy_mctop):
+        a = sched.schedule(AppRequest("flops", 20, WorkloadClass.COMPUTE))
+        cores = {ivy_mctop.core_of_context(c) for c in a.ctxs}
+        assert len(cores) == 20  # every thread on its own core
+
+    def test_bandwidth_app_spreads(self, sched, ivy_mctop):
+        a = sched.schedule(
+            AppRequest("stream", 8, WorkloadClass.BANDWIDTH,
+                       bandwidth_demand=30.0)
+        )
+        assert len(a.sockets) == ivy_mctop.n_sockets
+
+    def test_second_latency_app_avoids_first(self, sched, ivy_mctop):
+        a = sched.schedule(AppRequest("a", 10, WorkloadClass.LATENCY))
+        b = sched.schedule(AppRequest("b", 10, WorkloadClass.LATENCY))
+        # The second app lands on the *other* (emptier) socket.
+        assert set(a.sockets).isdisjoint(set(b.sockets))
+
+    def test_compute_avoids_smt_until_forced(self, sched, ivy_mctop):
+        a = sched.schedule(AppRequest("a", 24, WorkloadClass.COMPUTE))
+        cores = [ivy_mctop.core_of_context(c) for c in a.ctxs]
+        # 24 threads over 20 cores: exactly 4 cores carry two threads.
+        assert len(set(cores)) == 20
+
+
+class TestEffectiveTopology:
+    def test_bandwidth_reservation_tracked(self, sched, ivy_mctop):
+        s0 = ivy_mctop.socket_ids()[0]
+        before = sched.effective_bandwidth(s0)
+        app = sched.schedule(
+            AppRequest("stream", 8, WorkloadClass.BANDWIDTH,
+                       bandwidth_demand=16.0)
+        )
+        after = sched.effective_bandwidth(s0)
+        assert after < before
+        sched.finish(app.app_id)
+        assert sched.effective_bandwidth(s0) == pytest.approx(before)
+
+    def test_second_stream_app_sees_less_bandwidth(self, sched, ivy_mctop):
+        """The Future-Work sentence, literally: a running application
+        reduces the effective bandwidth available to the next one."""
+        sched.schedule(
+            AppRequest("first", 10, WorkloadClass.BANDWIDTH,
+                       bandwidth_demand=40.0)
+        )
+        remaining = [
+            sched.effective_bandwidth(s) for s in ivy_mctop.socket_ids()
+        ]
+        total = [
+            ivy_mctop.local_bandwidth(s) for s in ivy_mctop.socket_ids()
+        ]
+        assert all(r < t for r, t in zip(remaining, total))
+
+    def test_bandwidth_app_prefers_unreserved_socket(self, sched, ivy_mctop):
+        # Reserve most of socket 0's bandwidth with a latency app that
+        # also declares demand.
+        s_order = ivy_mctop.socket_ids()
+        first = sched.schedule(
+            AppRequest("hog", 10, WorkloadClass.LATENCY,
+                       bandwidth_demand=30.0)
+        )
+        hog_socket = first.sockets[0]
+        second = sched.schedule(
+            AppRequest("stream", 2, WorkloadClass.BANDWIDTH,
+                       bandwidth_demand=5.0)
+        )
+        # The stream's first thread lands on the less-loaded socket.
+        first_ctx_socket = ivy_mctop.socket_of_context(second.ctxs[0])
+        assert first_ctx_socket != hog_socket
