@@ -39,10 +39,23 @@ def test_inference_cost(benchmark, platform):
     n = machine.spec.n_contexts
     print(
         f"\n{platform}: {n} contexts, {report.samples_taken} samples, "
-        f"{report.retried_pairs} retried pairs"
+        f"{report.retried_pairs} retried pairs, "
+        f"{report.discarded_samples} discarded"
     )
     benchmark.extra_info["contexts"] = n
     benchmark.extra_info["samples"] = report.samples_taken
     # Sample count grows with the number of context pairs.
-    assert report.samples_taken >= n * (n - 1) // 2 * 75
+    n_pairs = n * (n - 1) // 2
+    assert report.samples_taken >= n_pairs * 75
     assert mctop.n_contexts == n
+    # The always-on instrumentation saw the whole run: every pair
+    # counted, every step spanned, and the provenance digest agrees.
+    registry = report.obs.registry
+    assert registry.value("lat_table.pairs") == n_pairs
+    assert registry.value("lat_table.samples") == report.samples_taken
+    span_names = {s.name for s in report.obs.tracer.spans()}
+    assert {"lat_table.collect", "infer.clustering", "infer.topology",
+            "infer"} <= span_names
+    assert mctop.provenance.trace_summary["counters"][
+        "lat_table.pairs"
+    ] == n_pairs

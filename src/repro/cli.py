@@ -10,10 +10,13 @@ Examples
 
     mctop list
     mctop infer ivy --seed 1 --out ivy.mct
+    mctop infer testbox --trace out.json     # + Chrome trace_event file
     mctop show ivy.mct
     mctop dot opteron --view cross
     mctop place ivy.mct --policy CON_HWC --threads 30
     mctop validate opteron
+    mctop trace testbox                      # observability report
+    mctop trace out.json                     # report from a saved trace
 """
 
 from __future__ import annotations
@@ -81,6 +84,62 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     if args.out:
         path = save_mctop(mctop, args.out)
         print(f"description written to {path}")
+    if args.trace:
+        path = report.obs.write_chrome_trace(args.trace)
+        print(f"trace written to {path} (open with chrome://tracing "
+              "or https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a traced inference (or summarize a saved trace file)."""
+    import json
+
+    from repro.core.algorithm import (
+        InferenceConfig,
+        InferenceReport,
+        LatencyTableConfig,
+        infer_topology,
+    )
+    from repro.hardware import get_machine, machine_names
+
+    target = Path(args.target)
+    if target.is_file():
+        # Standalone report printer for a saved Chrome trace.
+        try:
+            doc = json.loads(target.read_text())
+            events = doc["traceEvents"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise MctopError(f"cannot read trace file {target}: {exc}")
+        spans = [e for e in events if e.get("ph") == "X"]
+        counters = [e for e in events if e.get("ph") == "C"]
+        print(f"trace {target}: {len(events)} events")
+        print("spans:")
+        for e in sorted(spans, key=lambda e: e["ts"]):
+            print(f"  {e['name']:<44}{e.get('dur', 0.0) / 1000.0:10.3f} ms")
+        if counters:
+            print("counters:")
+            for e in counters:
+                print(f"  {e['name']:<44}{e['args']['value']}")
+        return 0
+
+    if args.target not in machine_names():
+        raise MctopError(
+            f"{args.target!r} is neither a trace file nor a catalog machine "
+            f"(known machines: {', '.join(machine_names())})"
+        )
+    report = InferenceReport()
+    config = InferenceConfig(
+        table=LatencyTableConfig(repetitions=args.repetitions)
+    )
+    infer_topology(
+        get_machine(args.target), seed=args.seed, config=config,
+        report=report,
+    )
+    print(report.obs.report())
+    if args.out:
+        path = report.obs.write_chrome_trace(args.out)
+        print(f"trace written to {path}")
     return 0
 
 
@@ -168,6 +227,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_infer = sub.add_parser("infer", help="run MCTOP-ALG on a machine")
     p_infer.add_argument("machine")
     p_infer.add_argument("--out", help="write a .mct description file")
+    p_infer.add_argument("--trace",
+                         help="write a Chrome trace_event file of the run")
     common(p_infer)
     p_infer.set_defaults(func=_cmd_infer)
 
@@ -208,6 +269,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_reval.add_argument("machine", help="catalog machine to probe")
     common(p_reval)
     p_reval.set_defaults(func=_cmd_revalidate)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a traced inference and print the observability report "
+             "(or summarize a saved trace file)",
+    )
+    p_trace.add_argument("target", help="catalog machine or trace .json file")
+    p_trace.add_argument("--out", help="also write a Chrome trace_event file")
+    common(p_trace)
+    p_trace.set_defaults(func=_cmd_trace)
 
     return parser
 

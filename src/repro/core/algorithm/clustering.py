@@ -52,11 +52,14 @@ def compute_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 def find_clusters(
     values: np.ndarray,
     cfg: ClusteringConfig | None = None,
+    obs=None,
 ) -> tuple[LatencyCluster, ...]:
     """Detect the latency clusters of a table.
 
     ``values`` is typically the full N x N table (the zero diagonal
     forms the first cluster, matching the paper's "4 clusters" for Ivy).
+    When an :class:`~repro.obs.Observability` is given, the cluster
+    count and per-cluster widths are recorded in its registry.
     """
     cfg = cfg or ClusteringConfig()
     flat, _ = compute_cdf(values)
@@ -92,6 +95,15 @@ def find_clusters(
                 f"cluster around {cluster.median:.0f} cycles holds only "
                 f"{hi_i - lo_i} values — spurious measurements detected"
             )
+    if obs is not None:
+        obs.gauge("clustering.n_clusters").set(len(clusters))
+        width_hist = obs.histogram("clustering.cluster_width")
+        size_hist = obs.histogram("clustering.cluster_size")
+        for cluster, (lo_i, hi_i) in zip(
+            clusters, zip(boundaries, boundaries[1:])
+        ):
+            width_hist.observe(cluster.hi - cluster.lo)
+            size_hist.observe(hi_i - lo_i)
     return tuple(clusters)
 
 
@@ -110,11 +122,15 @@ def assign_cluster(value: float, clusters: tuple[LatencyCluster, ...]) -> int:
 def normalize_table(
     table: np.ndarray,
     clusters: tuple[LatencyCluster, ...],
+    obs=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Replace every value by its cluster median (Figure 6, step 2b).
 
     Returns ``(normalized, cluster_index)`` tables.  The diagonal is
-    forced to 0 / cluster 0.
+    forced to 0 / cluster 0.  With an observability container the
+    normalization shift (|raw - median| of every off-diagonal entry) is
+    recorded — a direct readout of how much smear the clustering
+    absorbed.
     """
     n = table.shape[0]
     normalized = np.empty_like(table)
@@ -127,6 +143,16 @@ def normalize_table(
             normalized[i, j] = medians[k]
     np.fill_diagonal(normalized, 0.0)
     np.fill_diagonal(index, 0)
+    if obs is not None and n > 1:
+        off_diag = ~np.eye(n, dtype=bool)
+        shifts = np.abs(table - normalized)[off_diag]
+        obs.histogram("clustering.normalization_shift").observe_bulk(
+            shifts.size,
+            float(shifts.sum()),
+            float((shifts**2).sum()),
+            float(shifts.min()),
+            float(shifts.max()),
+        )
     return normalized, index
 
 

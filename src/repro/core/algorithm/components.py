@@ -131,8 +131,14 @@ def _try_group(reduced: np.ndarray, latency: float) -> list[list[int]] | None:
 
 
 def build_components(normalized: np.ndarray,
-                     cluster_medians: list[float]) -> ComponentHierarchy:
-    """Run the classification-and-reduction loop of Section 3.3."""
+                     cluster_medians: list[float],
+                     obs=None) -> ComponentHierarchy:
+    """Run the classification-and-reduction loop of Section 3.3.
+
+    With an :class:`~repro.obs.Observability`, every grouping attempt is
+    counted and each accepted level leaves an instant event carrying its
+    latency and component count.
+    """
     n = normalized.shape[0]
     level0 = HierarchyLevel(
         level=0,
@@ -150,13 +156,20 @@ def build_components(normalized: np.ndarray,
         if stopped or len(current.components) == 1:
             unresolved.append(latency)
             continue
+        if obs is not None:
+            obs.counter("components.grouping_attempts").inc()
         groups = _try_group(current.reduced, latency)
         if groups is None:
             # First non-uniform level: everything above is cross-socket
             # connectivity, not hierarchy.
             stopped = True
             unresolved.append(latency)
+            if obs is not None:
+                obs.instant("components.grouping_stopped", latency=latency)
             continue
+        if obs is not None:
+            obs.instant("components.level_formed", latency=latency,
+                        n_groups=len(groups))
         comps: list[Component] = []
         for idx, g in enumerate(groups):
             ctxs = tuple(
@@ -177,6 +190,9 @@ def build_components(normalized: np.ndarray,
             )
         )
     _validate_hierarchy(levels, n)
+    if obs is not None:
+        obs.gauge("components.hierarchy_levels").set(len(levels))
+        obs.gauge("components.unresolved_latencies").set(len(unresolved))
     return ComponentHierarchy(levels=levels, unresolved_latencies=unresolved)
 
 

@@ -28,6 +28,7 @@ from repro.core.mctop import Mctop, Provenance
 from repro.hardware.machine import Machine
 from repro.hardware.noise import NoiseProfile
 from repro.hardware.probes import MeasurementContext
+from repro.obs import Observability
 
 
 @dataclass(frozen=True)
@@ -44,12 +45,26 @@ class InferenceConfig:
 
 @dataclass
 class InferenceReport:
-    """Everything a run produced besides the topology itself."""
+    """Everything a run produced besides the topology itself.
+
+    The observability fields surface what used to be internal to the
+    algorithm steps: how many spurious samples were discarded, how many
+    latency clusters the CDF produced, and how far the raw measurements
+    sat from their cluster medians (the normalization shift).  ``obs``
+    is the full :class:`~repro.obs.Observability` of the run — its
+    registry holds every instrument, its tracer the per-step spans.
+    """
 
     os_comparison: OsComparison | None = None
     samples_taken: int = 0
     retried_pairs: int = 0
     tsc_overhead: float = 0.0
+    discarded_samples: int = 0
+    n_clusters: int = 0
+    cluster_medians: tuple[float, ...] = ()
+    normalization_shift_mean: float = 0.0
+    normalization_shift_max: float = 0.0
+    obs: "Observability | None" = None
 
 
 def _as_probe(
@@ -57,10 +72,12 @@ def _as_probe(
     seed: int,
     noise: NoiseProfile | None,
     solo: bool,
+    obs: Observability | None,
 ) -> MeasurementContext:
     if isinstance(target, MeasurementContext):
         return target
-    return MeasurementContext(target, noise=noise, seed=seed, solo=solo)
+    return MeasurementContext(target, noise=noise, seed=seed, solo=solo,
+                              obs=obs)
 
 
 def infer_topology(
@@ -71,66 +88,97 @@ def infer_topology(
     solo: bool = True,
     name: str | None = None,
     report: InferenceReport | None = None,
+    obs: Observability | None = None,
 ) -> Mctop:
     """Run MCTOP-ALG against a machine (or an existing probe context).
 
     Parameters mirror libmctop's command line: the seed makes the run
     reproducible, ``noise`` selects the measurement environment and
     ``solo=False`` simulates other applications running concurrently
-    (which the paper warns against).
+    (which the paper warns against).  ``obs`` optionally supplies the
+    :class:`~repro.obs.Observability` the run traces into (when
+    ``target`` is already a probe, the probe's own container is used);
+    the resulting topology's provenance carries a deterministic trace
+    summary either way.
 
     Raises :class:`~repro.errors.MctopError` subclasses when the
     measurements cannot be turned into a consistent topology, matching
     libmctop's "print an error and ask the user to retry" behaviour.
     """
     config = config or InferenceConfig()
-    probe = _as_probe(target, seed, noise, solo)
+    probe = _as_probe(target, seed, noise, solo, obs)
+    obs = probe.obs
     topo_name = name or probe.machine.spec.name
 
-    # Step 1: the N x N latency table.
-    table_result = collect_latency_table(probe, config.table)
+    with obs.span("infer", machine=probe.machine.spec.name, seed=seed):
+        # Step 1: the N x N latency table (spans under lat_table.*).
+        table_result = collect_latency_table(probe, config.table)
 
-    # Step 2: clustering and normalization.
-    clusters = find_clusters(table_result.table, config.clustering)
-    normalized, _ = normalize_table(table_result.table, clusters)
+        # Step 2: clustering and normalization.
+        with obs.span("infer.clustering"):
+            clusters = find_clusters(
+                table_result.table, config.clustering, obs=obs
+            )
+            normalized, _ = normalize_table(
+                table_result.table, clusters, obs=obs
+            )
 
-    # Step 3: component creation.
-    hierarchy = build_components(
-        normalized, [c.median for c in clusters]
-    )
+        # Step 3: component creation.
+        with obs.span("infer.components"):
+            hierarchy = build_components(
+                normalized, [c.median for c in clusters], obs=obs
+            )
 
-    # Step 4: topology creation (incl. SMT detection, local nodes).
-    provenance = Provenance(
-        machine=probe.machine.spec.name,
-        seed=seed,
-        samples_taken=table_result.samples_taken,
-        repetitions=table_result.repetitions,
-    )
-    mctop = build_topology(
-        probe,
-        hierarchy,
-        clusters,
-        normalized,
-        name=topo_name,
-        provenance=provenance,
-        cfg=config.topology,
-    )
+        # Step 4: topology creation (incl. SMT detection, local nodes).
+        provenance = Provenance(
+            machine=probe.machine.spec.name,
+            seed=seed,
+            samples_taken=table_result.samples_taken,
+            repetitions=table_result.repetitions,
+        )
+        with obs.span("infer.topology"):
+            mctop = build_topology(
+                probe,
+                hierarchy,
+                clusters,
+                normalized,
+                name=topo_name,
+                provenance=provenance,
+                cfg=config.topology,
+            )
 
-    # Section 4: enrichment plugins.
-    from repro.core.plugins import run_plugins
+        # Section 4: enrichment plugins.
+        from repro.core.plugins import run_plugins
 
-    run_plugins(mctop, probe, config.plugins)
+        with obs.span("infer.plugins", plugins=list(config.plugins)):
+            run_plugins(mctop, probe, config.plugins)
 
-    # Section 3.6: validation.
-    if config.validate:
-        validate_structure(mctop)
-        comparison = compare_with_os(mctop, probe.os)
-        if report is not None:
-            report.os_comparison = comparison
+        # Section 3.6: validation.
+        comparison = None
+        if config.validate:
+            with obs.span("infer.validation"):
+                validate_structure(mctop)
+                comparison = compare_with_os(mctop, probe.os)
+            obs.gauge("validation.os_match").set(
+                1.0 if comparison.all_match else 0.0
+            )
+
+    # The provenance trace summary is deterministic (counts only, no
+    # wall-clock durations) so description files stay reproducible.
+    provenance.trace_summary = obs.summary()
+    shift = obs.registry.get("clustering.normalization_shift")
     if report is not None:
+        report.os_comparison = comparison
         report.samples_taken = table_result.samples_taken
         report.retried_pairs = table_result.retried_pairs
         report.tsc_overhead = table_result.tsc_overhead
+        report.discarded_samples = table_result.discarded_samples
+        report.n_clusters = len(clusters)
+        report.cluster_medians = tuple(c.median for c in clusters)
+        if shift is not None and shift.count:
+            report.normalization_shift_mean = shift.mean
+            report.normalization_shift_max = shift.max
+        report.obs = obs
     return mctop
 
 

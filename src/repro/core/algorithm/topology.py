@@ -57,19 +57,22 @@ def detect_smt(
     n = normalized.shape[0]
     if n < 2:
         return False
-    off = normalized + np.where(np.eye(n, dtype=bool), np.inf, 0.0)
-    x, y = np.unravel_index(np.argmin(off), off.shape)
-    probe.warm_up(int(x))
-    probe.warm_up(int(y))
-    solo = float(
-        np.median([probe.timed_spin(int(x), cfg.smt_spin_iters)
-                   for _ in range(cfg.smt_probe_reps)])
-    )
-    paired = float(
-        np.median([probe.paired_spin(int(x), int(y), cfg.smt_spin_iters)
-                   for _ in range(cfg.smt_probe_reps)])
-    )
-    return paired > solo * cfg.smt_slowdown_threshold
+    with probe.obs.span("topology.smt_probe"):
+        off = normalized + np.where(np.eye(n, dtype=bool), np.inf, 0.0)
+        x, y = np.unravel_index(np.argmin(off), off.shape)
+        probe.warm_up(int(x))
+        probe.warm_up(int(y))
+        solo = float(
+            np.median([probe.timed_spin(int(x), cfg.smt_spin_iters)
+                       for _ in range(cfg.smt_probe_reps)])
+        )
+        paired = float(
+            np.median([probe.paired_spin(int(x), int(y), cfg.smt_spin_iters)
+                       for _ in range(cfg.smt_probe_reps)])
+        )
+        slowdown = paired / solo if solo else float("inf")
+        probe.obs.gauge("topology.smt_slowdown").set(slowdown)
+    return slowdown > cfg.smt_slowdown_threshold
 
 
 def find_socket_level(hierarchy: ComponentHierarchy,
@@ -136,17 +139,19 @@ def _local_node_measurements(
     n_nodes = probe.n_nodes()
     latencies: list[dict[int, float]] = []
     local: list[int] = []
-    for ctxs in socket_contexts:
-        rep = ctxs[0]
-        lat_map = {
-            node: float(
-                np.median([probe.mem_latency_sample(rep, node)
-                           for _ in range(cfg.mem_probe_reps)])
-            )
-            for node in range(n_nodes)
-        }
-        latencies.append(lat_map)
-        local.append(min(lat_map, key=lat_map.get))
+    with probe.obs.span("topology.local_nodes", n_nodes=n_nodes,
+                        n_sockets=len(socket_contexts)):
+        for ctxs in socket_contexts:
+            rep = ctxs[0]
+            lat_map = {
+                node: float(
+                    np.median([probe.mem_latency_sample(rep, node)
+                               for _ in range(cfg.mem_probe_reps)])
+                )
+                for node in range(n_nodes)
+            }
+            latencies.append(lat_map)
+            local.append(min(lat_map, key=lat_map.get))
     return latencies, local
 
 
@@ -322,6 +327,9 @@ def build_topology(
             )
             next_level += 1
 
+    probe.obs.gauge("topology.n_sockets").set(len(socket_ids))
+    probe.obs.gauge("topology.smt_per_core").set(smt_per_core)
+    probe.obs.gauge("topology.n_links").set(len(links))
     return Mctop(
         name=name,
         contexts=contexts,

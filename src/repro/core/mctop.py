@@ -35,7 +35,14 @@ from repro.core.structures import (
 
 @dataclass
 class Provenance:
-    """How a topology was obtained (machine, seed, measurement effort)."""
+    """How a topology was obtained (machine, seed, measurement effort).
+
+    ``trace_summary`` is the deterministic digest of the inference
+    run's observability data (span/instant counts and every counter
+    final) — enough to audit how much measurement work produced the
+    topology without storing wall-clock timings, so description files
+    remain byte-for-byte reproducible for a given seed.
+    """
 
     machine: str = "unknown"
     seed: int | None = None
@@ -43,6 +50,7 @@ class Provenance:
     repetitions: int = 0
     inferred: bool = True  # False when loaded from a description file
     extras: dict[str, float] = field(default_factory=dict)
+    trace_summary: dict = field(default_factory=dict)
 
 
 class Mctop:

@@ -47,7 +47,10 @@ def run_plugins(mctop, probe, names: tuple[str, ...]) -> None:
             )
         plugin = cls()
         if plugin.supported(probe):
-            plugin.run(mctop, probe)
+            with probe.obs.span(f"plugin.{name}"):
+                plugin.run(mctop, probe)
+        else:
+            probe.obs.instant("plugin.skipped", plugin=name)
 
 
 __all__ = [

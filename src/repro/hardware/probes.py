@@ -22,6 +22,7 @@ from repro.hardware.machine import Machine
 from repro.hardware.noise import NoiseProfile, NoiseSource
 from repro.hardware.os_view import OsTopology, read_os_topology
 from repro.hardware.timers import VirtualTsc
+from repro.obs import Observability
 
 #: cycles of extra overhead per (1 - 1/ramp) of DVFS coldness on the
 #: measuring / remote core — cold cores visibly distort samples.
@@ -47,6 +48,10 @@ class MeasurementContext:
         The paper requires a solo execution for the inference run.  With
         ``solo=False`` we model background OS activity by inflating the
         spurious-spike probability — used by failure-injection tests.
+    obs:
+        Observability container (metrics registry + tracer).  A fresh
+        one is created when not given; pass a shared instance to merge
+        the measurement trace with a larger run's trace.
     """
 
     def __init__(
@@ -55,8 +60,10 @@ class MeasurementContext:
         noise: NoiseProfile | None = None,
         seed: int = 0,
         solo: bool = True,
+        obs: Observability | None = None,
     ):
         self.machine = machine
+        self.obs = obs if obs is not None else Observability()
         profile = noise if noise is not None else NoiseProfile()
         if not solo and profile.enabled:
             profile = NoiseProfile(
@@ -72,6 +79,15 @@ class MeasurementContext:
         self.os: OsTopology = read_os_topology(machine)
         self._next_line = 0
         self.samples_taken = 0
+
+    @property
+    def registry(self):
+        """The metrics registry benchmarks and tests assert against."""
+        return self.obs.registry
+
+    @property
+    def tracer(self):
+        return self.obs.tracer
 
     # ----------------------------------------------------- OS facilities
     def n_hw_contexts(self) -> int:
@@ -113,13 +129,17 @@ class MeasurementContext:
         Returns the number of rounds used.  This is libmctop's
         "reducing the effects of DVFS" procedure.
         """
+        rounds = max_rounds
         prev = self.timed_spin(ctx, loop_iters)
         for round_no in range(1, max_rounds):
             cur = self.timed_spin(ctx, loop_iters)
             if cur >= prev * (1.0 - tolerance):
-                return round_no + 1
+                rounds = round_no + 1
+                break
             prev = cur
-        return max_rounds
+        self.obs.counter("probe.warmups").inc()
+        self.obs.counter("probe.warmup_rounds").inc(rounds)
+        return rounds
 
     def paired_spin(self, x: int, y: int, iterations: int) -> float:
         """Time a spin loop on ``x`` while ``y`` spins concurrently.
@@ -161,6 +181,7 @@ class MeasurementContext:
     # ------------------------------------------------------------ memory
     def mem_latency_sample(self, ctx: int, node: int) -> float:
         """Per-access latency of a random pointer chase in ``node``."""
+        self.obs.counter("probe.mem_latency_samples").inc()
         true = self.machine.mem_latency(self.machine.socket_of(ctx), node)
         return max(true + self.noise.sample(), 0.0)
 
@@ -170,6 +191,7 @@ class MeasurementContext:
         Threads of one socket share that socket's path to the node;
         contexts of the same core do not add bandwidth beyond the core.
         """
+        self.obs.counter("probe.mem_bandwidth_samples").inc()
         per_socket: dict[int, set[int]] = {}
         for ctx in ctxs:
             per_socket.setdefault(self.machine.socket_of(ctx), set()).add(
@@ -198,6 +220,7 @@ class MeasurementContext:
             raise MeasurementError(
                 f"{self.machine.spec.name} has no power interface"
             )
+        self.obs.counter("probe.power_samples").inc()
         model = PowerModel(self.machine)
         sockets = range(self.machine.spec.n_sockets)
         true = sum(model.estimate(active_ctxs, with_dram, sockets=sockets).values())
@@ -206,6 +229,8 @@ class MeasurementContext:
     def cache_latency_sample(self, ctx: int, working_set_bytes: int) -> float:
         """Dependent-load latency for a working set of the given size."""
         from repro.hardware.caches import CacheHierarchy
+
+        self.obs.counter("probe.cache_latency_samples").inc()
 
         spec = self.machine.spec
         hierarchy = CacheHierarchy(

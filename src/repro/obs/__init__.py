@@ -1,0 +1,102 @@
+"""repro.obs — zero-dependency tracing and metrics.
+
+The observability layer of the reproduction (LIKWID-style always-on
+lightweight instrumentation):
+
+* :class:`Registry` — process-local counters, gauges, histograms and
+  timers (:mod:`repro.obs.registry`);
+* :class:`Tracer` — ring-buffered structured spans with parent/child
+  nesting plus instant events (:mod:`repro.obs.tracer`);
+* exporters — JSON, Chrome ``trace_event`` files and human-readable
+  reports (:mod:`repro.obs.export`);
+* :class:`Observability` — the container every instrumented layer
+  carries (one per :class:`~repro.hardware.probes.MeasurementContext`
+  or :class:`~repro.sim.engine.Engine`).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.export import (
+    render_report,
+    to_chrome_trace,
+    to_json,
+    write_chrome_trace,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, Registry, Timer
+from repro.obs.tracer import Instant, Span, Tracer
+
+
+class Observability:
+    """One registry + one tracer, travelling together.
+
+    Every instrumented object (measurement context, simulation engine)
+    owns — or is handed — an ``Observability``; sharing one instance
+    across layers produces a single coherent trace for a whole run.
+    """
+
+    def __init__(self, capacity: int = 8192, clock=time.perf_counter):
+        self.registry = Registry()
+        self.tracer = Tracer(capacity=capacity, clock=clock)
+
+    # Shortcuts so call sites read ``obs.counter("x").inc()``.
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.registry.histogram(name)
+
+    def timer(self, name: str) -> Timer:
+        return self.registry.timer(name)
+
+    def span(self, name: str, **args):
+        return self.tracer.span(name, **args)
+
+    def instant(self, name: str, **args) -> None:
+        self.tracer.instant(name, **args)
+
+    def summary(self) -> dict:
+        """Deterministic run summary (counts only, no wall-clock data) —
+        what :class:`~repro.core.mctop.Provenance` carries."""
+        trace = self.tracer.summary()
+        counters = {
+            name: snap["value"]
+            for name, snap in self.registry.snapshot().items()
+            if snap["kind"] == "counter"
+        }
+        return {
+            "spans": trace["finished_spans"],
+            "instants": trace["instants"],
+            "dropped_events": trace["dropped"],
+            "counters": counters,
+        }
+
+    def report(self) -> str:
+        return render_report(self.tracer, self.registry)
+
+    def chrome_trace(self) -> dict:
+        return to_chrome_trace(self.tracer, self.registry)
+
+    def write_chrome_trace(self, path):
+        return write_chrome_trace(path, self.tracer, self.registry)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "Observability",
+    "Registry",
+    "Span",
+    "Timer",
+    "Tracer",
+    "render_report",
+    "to_chrome_trace",
+    "to_json",
+    "write_chrome_trace",
+]

@@ -1,0 +1,152 @@
+"""Exporters: observability data as JSON, Chrome ``trace_event`` files
+and human-readable reports.
+
+The Chrome format (load with ``chrome://tracing`` or
+https://ui.perfetto.dev) is the JSON-object flavour::
+
+    {"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ...,
+                      "pid": 0, "tid": 0, "args": {...}}, ...],
+     "displayTimeUnit": "ms"}
+
+Spans become complete events (``ph: "X"``), instants become instant
+events (``ph: "i"``) and the final value of every counter becomes a
+counter event (``ph: "C"``) so the metrics ride along in the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.registry import Registry
+from repro.obs.tracer import Instant, Span, Tracer
+
+_PID = 0
+_TID = 0
+
+
+def trace_to_events(tracer: Tracer) -> list[dict]:
+    """The tracer's ring buffer as Chrome ``traceEvents`` entries."""
+    events: list[dict] = []
+    for event in tracer.events:
+        if isinstance(event, Span):
+            events.append(
+                {
+                    "name": event.name,
+                    "ph": "X",
+                    "ts": event.start_us,
+                    "dur": event.dur_us,
+                    "pid": _PID,
+                    "tid": _TID,
+                    "args": dict(event.args),
+                }
+            )
+        elif isinstance(event, Instant):
+            events.append(
+                {
+                    "name": event.name,
+                    "ph": "i",
+                    "ts": event.ts_us,
+                    "s": "t",  # thread-scoped instant
+                    "pid": _PID,
+                    "tid": _TID,
+                    "args": dict(event.args),
+                }
+            )
+    return events
+
+
+def registry_to_events(registry: Registry, ts: float = 0.0) -> list[dict]:
+    """Counter/gauge finals as Chrome counter events."""
+    events: list[dict] = []
+    for name, snap in registry.snapshot().items():
+        if snap["kind"] in ("counter", "gauge") and snap["value"] is not None:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": _PID,
+                    "tid": 0,
+                    "args": {"value": snap["value"]},
+                }
+            )
+    return events
+
+
+def to_chrome_trace(tracer: Tracer, registry: Registry | None = None) -> dict:
+    """A complete Chrome ``trace_event`` document."""
+    events = trace_to_events(tracer)
+    if registry is not None:
+        last_ts = max((e["ts"] + e.get("dur", 0.0) for e in events),
+                      default=0.0)
+        events.extend(registry_to_events(registry, ts=last_ts))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "dropped_events": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str | Path, tracer: Tracer, registry: Registry | None = None
+) -> Path:
+    """Write a Chrome trace file; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(tracer, registry), indent=1))
+    return path
+
+
+def to_json(tracer: Tracer, registry: Registry) -> dict:
+    """Raw structured dump: every event plus a metrics snapshot."""
+    return {
+        "format": "repro-obs",
+        "version": 1,
+        "events": [e.to_dict() for e in tracer.events],
+        "summary": tracer.summary(),
+        "metrics": registry.snapshot(),
+    }
+
+
+def _fmt_value(snap: dict) -> str:
+    if snap["kind"] in ("counter", "gauge"):
+        value = snap["value"]
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+    mean = snap["mean"]
+    unit = " s" if snap["kind"] == "timer" else ""
+    return (
+        f"n={snap['count']} mean={mean:.4g}{unit} "
+        f"min={snap['min']:.4g} max={snap['max']:.4g}"
+        if snap["count"]
+        else "n=0"
+    )
+
+
+def render_report(tracer: Tracer, registry: Registry) -> str:
+    """Human-readable observability report (the ``trace`` subcommand)."""
+    lines = ["observability report", "=" * 60, "spans:"]
+    for span in tracer.spans():
+        indent = "  " * (span.depth + 1)
+        lines.append(
+            f"{indent}{span.name:<{max(44 - 2 * span.depth, 8)}}"
+            f"{span.dur_us / 1000.0:10.3f} ms"
+        )
+    if tracer.instants:
+        lines.append("events:")
+        for event in tracer.events:
+            if isinstance(event, Instant):
+                args = f"  {event.args}" if event.args else ""
+                lines.append(f"  {event.name}{args}")
+    if tracer.dropped:
+        lines.append(f"  ({tracer.dropped} events dropped by the ring buffer)")
+    lines.append("metrics:")
+    for name, snap in registry.snapshot().items():
+        lines.append(f"  {name:<44}{_fmt_value(snap)}")
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Process-local metrics: counters, gauges, histograms and timers.
+
+The design follows LIKWID's "lightweight, always-on" philosophy
+(Treibig et al.): metrics are plain Python attribute updates with no
+locks, no background threads and no dependencies, cheap enough to leave
+enabled inside the measurement hot loops.  A :class:`Registry` is a
+flat namespace of named instruments; every layer of the system
+(measurement, inference, simulation) writes into the registry of its
+:class:`~repro.obs.Observability` container, and exporters turn a
+registry snapshot into JSON or a human-readable table.
+
+Instrument names use dotted paths (``lat_table.samples``,
+``sim.lock.acquires``) so a snapshot groups naturally by subsystem.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Counter:
+    """A monotonically increasing count (samples taken, retries, ...)."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (cluster count, tsc overhead, ...)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Streaming summary statistics of an observed distribution.
+
+    Keeps count/sum/min/max plus the sum of squares, so mean and
+    standard deviation are available without storing samples — constant
+    memory no matter how many values flow through.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_sumsq")
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._sumsq = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self._sumsq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_bulk(self, count: int, total: float, sumsq: float,
+                     lo: float, hi: float) -> None:
+        """Merge pre-aggregated stats (e.g. from a vectorized numpy
+        pass) without a per-value Python loop."""
+        if count <= 0:
+            return
+        self.count += count
+        self.total += total
+        self._sumsq += sumsq
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self._sumsq / self.count - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "stdev": self.stdev,
+        }
+
+
+class Timer(Histogram):
+    """A histogram of wall-clock durations (seconds) with a
+    context-manager front end::
+
+        with registry.timer("infer.clustering").time():
+            ...
+    """
+
+    __slots__ = ("_clock",)
+    kind = "timer"
+
+    def __init__(self, name: str, clock=time.perf_counter):
+        super().__init__(name)
+        self._clock = clock
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.observe(self._clock() - start)
+
+
+class Registry:
+    """A flat, get-or-create namespace of instruments."""
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, **kwargs):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = cls(name, **kwargs)
+        elif not isinstance(inst, cls) or type(inst) is not cls:
+            raise ValueError(
+                f"instrument {name!r} already registered as {inst.kind}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def timer(self, name: str, clock=time.perf_counter) -> Timer:
+        return self._get(name, Timer, clock=clock)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """Look up an instrument without creating it."""
+        return self._instruments.get(name)
+
+    def value(self, name: str, default=None):
+        """Shortcut: the current value of a counter/gauge, or ``default``."""
+        inst = self._instruments.get(name)
+        if inst is None:
+            return default
+        return inst.value if hasattr(inst, "value") else inst.snapshot()
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as plain JSON-compatible data, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def reset(self) -> None:
+        self._instruments.clear()

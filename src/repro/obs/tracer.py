@@ -1,0 +1,192 @@
+"""Structured event tracing: ring-buffered spans with parent/child nesting.
+
+A :class:`Tracer` records *spans* (named intervals with arbitrary
+``args``) and *instant events* (zero-duration markers, e.g. a retried
+measurement pair).  Spans nest through a context manager::
+
+    with tracer.span("infer", machine="ivy"):
+        with tracer.span("lat_table.collect"):
+            ...
+        tracer.instant("lat_table.retry", pair=(3, 7))
+
+Finished spans land in a bounded ring buffer (oldest dropped first, the
+drop count is kept) so an always-on tracer can never grow without
+bound.  Timestamps come from an injectable clock, which the tests
+replace with a deterministic counter.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Span:
+    """One finished interval of work."""
+
+    id: int
+    name: str
+    start_us: float
+    dur_us: float
+    depth: int  # nesting depth; 0 = root
+    parent_id: int | None = None
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "start_us": self.start_us,
+            "dur_us": self.dur_us,
+            "depth": self.depth,
+            "parent_id": self.parent_id,
+            "args": self.args,
+        }
+
+
+@dataclass
+class Instant:
+    """A zero-duration marker event."""
+
+    id: int
+    name: str
+    ts_us: float
+    depth: int
+    parent_id: int | None = None
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "ts_us": self.ts_us,
+            "depth": self.depth,
+            "parent_id": self.parent_id,
+            "args": self.args,
+        }
+
+
+class Tracer:
+    """Ring-buffered structured tracer.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained events (spans + instants together).
+        When full, the oldest events are dropped and ``dropped`` counts
+        them.
+    clock:
+        A monotonic clock returning seconds; injectable for tests.
+    """
+
+    def __init__(self, capacity: int = 8192, clock=time.perf_counter):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock
+        self._epoch = clock()
+        self.events: deque[Span | Instant] = deque()
+        self.dropped = 0
+        self._next_id = 0
+        self._stack: list[tuple[int, str]] = []  # (span id, name)
+        self.finished_spans = 0
+        self.instants = 0
+
+    # ------------------------------------------------------------ clock
+    def _now_us(self) -> float:
+        return (self._clock() - self._epoch) * 1e6
+
+    def _record(self, event: Span | Instant) -> None:
+        if len(self.events) >= self.capacity:
+            self.events.popleft()
+            self.dropped += 1
+        self.events.append(event)
+
+    # ----------------------------------------------------------- spans
+    @contextmanager
+    def span(self, name: str, **args) -> Iterator[int]:
+        """Open a nested span; yields the span id."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1][0] if self._stack else None
+        depth = len(self._stack)
+        self._stack.append((span_id, name))
+        start = self._now_us()
+        try:
+            yield span_id
+        finally:
+            end = self._now_us()
+            self._stack.pop()
+            self.finished_spans += 1
+            self._record(
+                Span(
+                    id=span_id,
+                    name=name,
+                    start_us=start,
+                    dur_us=end - start,
+                    depth=depth,
+                    parent_id=parent,
+                    args=args,
+                )
+            )
+
+    def instant(self, name: str, **args) -> None:
+        """Record a zero-duration marker at the current position."""
+        event_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1][0] if self._stack else None
+        self.instants += 1
+        self._record(
+            Instant(
+                id=event_id,
+                name=name,
+                ts_us=self._now_us(),
+                depth=len(self._stack),
+                parent_id=parent,
+                args=args,
+            )
+        )
+
+    @property
+    def active_depth(self) -> int:
+        return len(self._stack)
+
+    # --------------------------------------------------------- queries
+    def spans(self) -> list[Span]:
+        return [e for e in self.events if isinstance(e, Span)]
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.spans() if s.name == name]
+
+    def instants_named(self, name: str) -> list[Instant]:
+        return [e for e in self.events
+                if isinstance(e, Instant) and e.name == name]
+
+    def summary(self) -> dict:
+        """Deterministic per-name aggregates (counts; durations summed
+        separately so they can be excluded from golden comparisons)."""
+        by_name: dict[str, dict] = {}
+        for span in self.spans():
+            agg = by_name.setdefault(
+                span.name, {"count": 0, "total_us": 0.0}
+            )
+            agg["count"] += 1
+            agg["total_us"] += span.dur_us
+        return {
+            "finished_spans": self.finished_spans,
+            "instants": self.instants,
+            "dropped": self.dropped,
+            "by_name": by_name,
+        }
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+        self.finished_spans = 0
+        self.instants = 0
+        self._stack.clear()
+        self._epoch = self._clock()

@@ -26,6 +26,7 @@ from typing import Any, Callable, Generator
 
 from repro.errors import SimulationError
 from repro.hardware.machine import Machine
+from repro.obs import Observability
 from repro.sim.commands import (
     Acquire,
     BarrierWait,
@@ -51,8 +52,10 @@ class SimThread:
     finished: bool = False
     result: Any = None
     busy_cycles: float = 0.0
+    blocked_cycles: float = 0.0
     blocked: bool = False
     computing: bool = False
+    block_start: float | None = None
 
     def __hash__(self) -> int:
         return self.tid
@@ -60,20 +63,29 @@ class SimThread:
 
 @dataclass
 class RunStats:
-    """What a finished simulation reports."""
+    """What a finished simulation reports.
+
+    ``per_thread_blocked`` is the lock/barrier wait time per thread and
+    ``metrics`` a snapshot of the engine's observability registry (lock
+    acquisitions, bandwidth-contention events, energy samples, ...).
+    """
 
     cycles: float
     seconds: float
     energy_joules: float | None
     per_thread_busy: dict[int, float] = field(default_factory=dict)
+    per_thread_blocked: dict[int, float] = field(default_factory=dict)
     results: dict[int, Any] = field(default_factory=dict)
+    metrics: dict[str, dict] = field(default_factory=dict)
 
 
 class Engine:
     """The event loop: a heap of (time, action) callbacks."""
 
-    def __init__(self, machine: Machine, track_energy: bool = False):
+    def __init__(self, machine: Machine, track_energy: bool = False,
+                 obs: Observability | None = None):
         self.machine = machine
+        self.obs = obs if obs is not None else Observability()
         self.now = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
@@ -94,6 +106,7 @@ class Engine:
         thread = SimThread(tid=len(self.threads), ctx=ctx, program=program,
                            name=name or f"t{len(self.threads)}")
         self.threads.append(thread)
+        self.obs.counter("sim.threads_spawned").inc()
         self._at(self.now, lambda: self._step(thread))
         return thread
 
@@ -164,6 +177,10 @@ class Engine:
         epoch = ch.epoch
         if not ch.streams:
             return
+        if len(ch.streams) > 1:
+            # Several streams now share this channel's bandwidth.
+            self.obs.counter("sim.bw_contention_events").inc()
+            self.obs.histogram("sim.bw_sharers").observe(len(ch.streams))
         rate = self._stream_rate(key, len(ch.streams))
         next_done = min(state[0] for state in ch.streams.values()) / rate
         # Never schedule below the current time's float resolution: a
@@ -213,21 +230,31 @@ class Engine:
     # ---------------------------------------------------------- main loop
     def run(self, max_cycles: float = float("inf")) -> RunStats:
         """Run every thread to completion (or fail at ``max_cycles``)."""
-        while self._heap:
-            at, _, action = heapq.heappop(self._heap)
-            if at > max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded {max_cycles} cycles — deadlock or "
-                    "runaway program?"
-                )
-            self._account_energy(at)
-            self.now = at
-            action()
+        events = 0
+        with self.obs.span("sim.run", n_threads=len(self.threads)):
+            while self._heap:
+                at, _, action = heapq.heappop(self._heap)
+                if at > max_cycles:
+                    raise SimulationError(
+                        f"simulation exceeded {max_cycles} cycles — deadlock "
+                        "or runaway program?"
+                    )
+                self._account_energy(at)
+                self.now = at
+                events += 1
+                action()
         stuck = [t.name for t in self.threads if not t.finished]
         if stuck:
             raise SimulationError(
                 f"threads {stuck} never finished (lock/barrier deadlock?)"
             )
+        self.obs.counter("sim.events").inc(events)
+        self.obs.gauge("sim.cycles").set(self.now)
+        busy_hist = self.obs.histogram("sim.thread_busy_cycles")
+        blocked_hist = self.obs.histogram("sim.thread_blocked_cycles")
+        for t in self.threads:
+            busy_hist.observe(t.busy_cycles)
+            blocked_hist.observe(t.blocked_cycles)
         spec = self.machine.spec
         seconds = self.now / (spec.freq_max_ghz * 1e9)
         return RunStats(
@@ -235,7 +262,11 @@ class Engine:
             seconds=seconds,
             energy_joules=self._energy,
             per_thread_busy={t.tid: t.busy_cycles for t in self.threads},
+            per_thread_blocked={
+                t.tid: t.blocked_cycles for t in self.threads
+            },
             results={t.tid: t.result for t in self.threads},
+            metrics=self.obs.registry.snapshot(),
         )
 
     def _step(self, thread: SimThread) -> None:
@@ -251,11 +282,15 @@ class Engine:
 
     def _dispatch(self, thread: SimThread, command: Any) -> None:
         if isinstance(command, Compute):
-            duration = command.cycles * self.smt_factor(thread)
+            factor = self.smt_factor(thread)
+            if factor > 1.0:
+                self.obs.counter("sim.smt_contended_computes").inc()
+            duration = command.cycles * factor
             thread.computing = True
             thread.busy_cycles += duration
             self._at(self.now + duration, lambda: self._step(thread))
         elif isinstance(command, MemStream):
+            self.obs.counter("sim.mem_streams").inc()
             socket = self.machine.socket_of(thread.ctx)
             key = (socket, command.node)
             ch = self._channels.setdefault(key, _Channel())
@@ -278,10 +313,13 @@ class Engine:
         elif isinstance(command, Sleep):
             self._at(self.now + command.cycles, lambda: self._step(thread))
         elif isinstance(command, BarrierWait):
+            self.obs.counter("sim.barrier_waits").inc()
             command.barrier._arrive(self, thread)
         elif isinstance(command, Acquire):
+            self.obs.counter("sim.lock_acquires").inc()
             command.lock._request(self, thread)
         elif isinstance(command, Release):
+            self.obs.counter("sim.lock_releases").inc()
             command.lock._release(self, thread)
         else:
             raise SimulationError(f"unknown command {command!r}")
@@ -291,11 +329,17 @@ class Engine:
         """Used by locks and barriers to resume a blocked thread."""
         if at < self.now:
             raise SimulationError("cannot wake a thread in the past")
+        if thread.block_start is not None:
+            # The blocked interval ends when the thread actually resumes.
+            thread.blocked_cycles += at - thread.block_start
+            thread.block_start = None
         thread.blocked = False
         self._at(at, lambda: self._step(thread))
 
     def block(self, thread: SimThread) -> None:
         thread.blocked = True
+        thread.block_start = self.now
+        self.obs.counter("sim.blocks").inc()
 
     # ------------------------------------------------------------- energy
     def _account_energy(self, at: float) -> None:
@@ -317,6 +361,8 @@ class Engine:
         seconds = dt_cycles / (self.machine.spec.freq_max_ghz * 1e9)
         self._energy += watts * seconds
         self._last_energy_time = at
+        self.obs.counter("sim.energy_samples").inc()
+        self.obs.histogram("sim.power_watts").observe(watts)
 
 
 class _Channel:

@@ -7,6 +7,16 @@ import pytest
 from repro.hardware import MeasurementContext, get_machine
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden topology fixtures under "
+             "tests/fixtures/golden/ instead of comparing against them",
+    )
+
+
 @pytest.fixture(scope="session")
 def ivy():
     return get_machine("ivy")

@@ -1,0 +1,89 @@
+"""Golden-topology regression tests.
+
+MT4G validates its auto-discovered GPU topologies against known-good
+references; we do the same for MCTOP-ALG: every catalog machine is
+inferred at a fixed seed, serialized, and compared byte-for-byte
+against a checked-in golden JSON fixture.  Any change to the
+measurement layer, the clustering, the component builder or the
+serializer that alters the inferred topology — or its provenance trace
+summary — shows up as a readable fixture diff.
+
+Regenerate the fixtures after an *intentional* change with::
+
+    PYTHONPATH=src python -m pytest tests/core/test_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.algorithm import (
+    InferenceConfig,
+    LatencyTableConfig,
+    infer_topology,
+)
+from repro.core.serialize import mctop_from_dict, mctop_to_dict
+from repro.hardware import get_machine, machine_names
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "golden"
+
+SEED = 1
+DEFAULT_REPETITIONS = 31
+#: Fewer samples on the big platforms keep the suite fast; the medians
+#: are stable at these counts for the fixture seed.
+REPETITIONS = {"haswell": 15, "westmere": 9, "sparc": 9}
+
+
+def infer_golden_dict(name: str) -> dict:
+    """Run the fixture-grade inference and return JSON-normalized data."""
+    config = InferenceConfig(
+        table=LatencyTableConfig(
+            repetitions=REPETITIONS.get(name, DEFAULT_REPETITIONS)
+        )
+    )
+    mctop = infer_topology(get_machine(name), seed=SEED, config=config)
+    # Round-trip through JSON so tuples/np scalars normalize exactly the
+    # way the stored fixture did.
+    return json.loads(json.dumps(mctop_to_dict(mctop), sort_keys=True))
+
+
+@pytest.mark.parametrize("name", machine_names())
+def test_golden_topology(name, request):
+    path = GOLDEN_DIR / f"{name}.json"
+    actual = infer_golden_dict(name)
+    if request.config.getoption("--update-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"missing golden fixture {path} — regenerate with "
+        "pytest tests/core/test_golden.py --update-golden"
+    )
+    expected = json.loads(path.read_text())
+    if actual != expected:
+        diff_keys = sorted(
+            k
+            for k in set(actual) | set(expected)
+            if actual.get(k) != expected.get(k)
+        )
+        raise AssertionError(
+            f"inferred topology for {name!r} deviates from the golden "
+            f"fixture in: {diff_keys} — if the change is intentional, "
+            "regenerate with --update-golden"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(machine_names()))
+def test_golden_fixture_is_loadable(name):
+    """Every checked-in fixture must rebuild into a valid Mctop."""
+    path = GOLDEN_DIR / f"{name}.json"
+    if not path.exists():
+        pytest.skip(f"{path} not generated yet")
+    mctop = mctop_from_dict(json.loads(path.read_text()))
+    machine = get_machine(name)
+    assert mctop.n_contexts == machine.spec.n_contexts
+    assert mctop.n_sockets == machine.spec.n_sockets
+    assert mctop.provenance.trace_summary, "fixture lacks a trace summary"

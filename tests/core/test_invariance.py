@@ -1,0 +1,137 @@
+"""Randomized invariance tests for MCTOP-ALG.
+
+Two properties the golden fixtures rely on:
+
+* **determinism** — the same machine, seed and configuration produce a
+  byte-identical serialized topology (including the provenance trace
+  summary), run after run;
+* **permutation invariance** — relabelling the hardware-context ids
+  (the two OS numbering schemes, Intel's ``smt_blocked`` vs
+  SPARC/Solaris' ``smt_consecutive``) yields an isomorphic topology:
+  the same structure once ids are mapped through the (core, smt)
+  coordinates both numberings share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.algorithm import (
+    InferenceConfig,
+    LatencyTableConfig,
+    infer_topology,
+)
+from repro.core.serialize import mctop_to_dict
+from repro.hardware import get_machine, get_spec
+from repro.hardware.machine import NUMBERING_SCHEMES, Machine
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 3, 17])
+    def test_identical_serialization_across_runs(self, seed):
+        one = infer_topology(get_machine("testbox"), seed=seed, config=FAST)
+        two = infer_topology(get_machine("testbox"), seed=seed, config=FAST)
+        assert json.dumps(mctop_to_dict(one), sort_keys=True) == json.dumps(
+            mctop_to_dict(two), sort_keys=True
+        )
+
+    def test_trace_summary_is_deterministic(self):
+        runs = [
+            infer_topology(get_machine("clusterix"), seed=5, config=FAST)
+            for _ in range(2)
+        ]
+        assert (
+            runs[0].provenance.trace_summary
+            == runs[1].provenance.trace_summary
+        )
+        assert runs[0].provenance.trace_summary["spans"] > 0
+
+    def test_different_seeds_same_structure(self):
+        machines = [
+            infer_topology(get_machine("testbox"), seed=s, config=FAST)
+            for s in (1, 2)
+        ]
+        a, b = machines
+        assert a.n_sockets == b.n_sockets
+        assert a.n_cores == b.n_cores
+        assert a.has_smt == b.has_smt
+
+
+def _coord_map(machine_a: Machine, machine_b: Machine) -> dict[int, int]:
+    """ctx id in numbering A -> ctx id in numbering B, via (core, smt)."""
+    spec = machine_a.spec
+    mapping = {}
+    for core in range(spec.n_cores):
+        for smt in range(spec.smt_per_core):
+            mapping[machine_a.context_id(core, smt)] = (
+                machine_b.context_id(core, smt)
+            )
+    return mapping
+
+
+class TestPermutationInvariance:
+    @pytest.mark.parametrize("name", ["testbox", "clusterix"])
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_numbering_relabel_is_isomorphic(self, name, seed):
+        spec = get_spec(name)
+        machines = {
+            scheme: Machine(dataclasses.replace(spec, numbering=scheme))
+            for scheme in NUMBERING_SCHEMES
+        }
+        topos = {
+            scheme: infer_topology(machine, seed=seed, config=FAST)
+            for scheme, machine in machines.items()
+        }
+        base_scheme, other_scheme = NUMBERING_SCHEMES
+        base, other = topos[base_scheme], topos[other_scheme]
+        to_other = _coord_map(machines[base_scheme], machines[other_scheme])
+
+        # Same global shape.
+        assert base.n_sockets == other.n_sockets
+        assert base.n_cores == other.n_cores
+        assert base.has_smt == other.has_smt
+        assert base.smt_per_core == other.smt_per_core
+        assert [lv.role for lv in base.levels] == [
+            lv.role for lv in other.levels
+        ]
+
+        # Core and socket partitions map onto each other exactly.
+        def partition(mctop, of):
+            groups: dict[int, set[int]] = {}
+            for ctx in mctop.context_ids():
+                groups.setdefault(of(ctx), set()).add(ctx)
+            return {frozenset(g) for g in groups.values()}
+
+        base_cores = {
+            frozenset(to_other[c] for c in group)
+            for group in partition(base, base.core_of_context)
+        }
+        assert base_cores == partition(other, other.core_of_context)
+
+        base_sockets = {
+            frozenset(to_other[c] for c in group)
+            for group in partition(base, base.socket_of_context)
+        }
+        assert base_sockets == partition(other, other.socket_of_context)
+
+        # Latency levels agree within the per-pair jitter the machine
+        # model smears over each cluster (medians shift slightly when
+        # the ids — and therefore the jitter hash — are relabelled).
+        for lv_a, lv_b in zip(base.levels, other.levels):
+            assert lv_b.latency == pytest.approx(lv_a.latency, rel=0.2)
+
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_relabelled_local_nodes_match_ground_truth(self, seed):
+        spec = get_spec("testbox")
+        for scheme in NUMBERING_SCHEMES:
+            machine = Machine(dataclasses.replace(spec, numbering=scheme))
+            mctop = infer_topology(machine, seed=seed, config=FAST)
+            for ctx in mctop.context_ids():
+                assert mctop.get_local_node(ctx) == (
+                    machine.local_node_of_socket(machine.socket_of(ctx))
+                )

@@ -7,10 +7,12 @@ import pytest
 
 from repro.errors import MeasurementError
 from repro.core.algorithm.lat_table import (
+    PAPER_DEFAULTS,
     LatencyTableConfig,
     collect_latency_table,
 )
 from repro.hardware import MeasurementContext, NoiseProfile, get_machine
+from repro.obs import Observability
 
 
 @pytest.fixture()
@@ -72,6 +74,72 @@ class TestCollection:
         true = testbox.comm_latency(0, 1)
         # The very first measured pair is taken on cold cores.
         assert cold.table[0, 1] > true + 15
+
+
+class TestPaperDefaults:
+    """Section 3.2's parameters, pinned so docstrings cannot drift."""
+
+    def test_section_32_numbers(self):
+        assert PAPER_DEFAULTS == {
+            "repetitions": 2000,         # "2000 samples per pair"
+            "stdev_threshold": 0.07,     # "standard deviation ... 7%"
+            "max_stdev_threshold": 0.14, # doubled bound before giving up
+        }
+
+    def test_paper_constructor_applies_all_paper_values(self):
+        cfg = LatencyTableConfig.paper()
+        for field, value in PAPER_DEFAULTS.items():
+            assert getattr(cfg, field) == value, field
+
+    def test_library_defaults_share_thresholds_not_repetitions(self):
+        """The library default keeps the paper's stability thresholds
+        but deliberately uses fewer samples — the simulated probe needs
+        far fewer than real hardware for a stable median."""
+        cfg = LatencyTableConfig()
+        assert cfg.stdev_threshold == PAPER_DEFAULTS["stdev_threshold"]
+        assert cfg.max_stdev_threshold == (
+            PAPER_DEFAULTS["max_stdev_threshold"]
+        )
+        assert cfg.repetitions < PAPER_DEFAULTS["repetitions"]
+
+    def test_paper_constructor_overrides(self):
+        fast = LatencyTableConfig.paper(repetitions=31)
+        assert fast.repetitions == 31
+        assert fast.stdev_threshold == PAPER_DEFAULTS["stdev_threshold"]
+
+
+class TestInstrumentation:
+    def test_metrics_recorded(self, testbox_probe):
+        result = collect_latency_table(
+            testbox_probe, LatencyTableConfig(repetitions=21)
+        )
+        reg = testbox_probe.obs.registry
+        n = testbox_probe.n_hw_contexts()
+        assert reg.value("lat_table.pairs") == n * (n - 1) // 2
+        assert reg.value("lat_table.samples") == result.samples_taken
+        assert reg.get("lat_table.pair_stdev").count == n * (n - 1) // 2
+        spans = testbox_probe.obs.tracer.spans_named("lat_table.collect")
+        assert len(spans) == 1
+        assert spans[0].args["repetitions"] == 21
+
+    def test_retries_counted_under_tight_thresholds(self, testbox):
+        obs = Observability()
+        probe = MeasurementContext(testbox, seed=5, obs=obs)
+        # A threshold below ambient jitter forces retries on some pairs;
+        # the generous ceiling lets the doubled threshold succeed.
+        cfg = LatencyTableConfig(
+            repetitions=41,
+            stdev_threshold=0.01,
+            max_stdev_threshold=0.2,
+            stdev_floor=0.5,
+        )
+        result = collect_latency_table(probe, cfg)
+        assert obs.registry.value("lat_table.retries") > 0
+        assert obs.tracer.instants_named("lat_table.retry")
+        assert result.discarded_samples > 0
+        assert obs.registry.value("lat_table.discarded_samples") == (
+            result.discarded_samples
+        )
 
 
 class TestStability:

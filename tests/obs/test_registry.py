@@ -1,0 +1,113 @@
+"""Unit tests for the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = Registry()
+        c = reg.counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_get_or_create_returns_same_instance(self):
+        reg = Registry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_collision_raises(self):
+        reg = Registry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        reg = Registry()
+        g = reg.gauge("g")
+        assert g.value is None
+        g.set(3.5)
+        g.set(4.0)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        reg = Registry()
+        h = reg.histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.stdev == pytest.approx(1.118, rel=1e-3)
+
+    def test_observe_bulk_matches_individual_observes(self):
+        reg = Registry()
+        values = [3.0, 7.0, 1.0, 5.0]
+        loop = reg.histogram("loop")
+        for v in values:
+            loop.observe(v)
+        bulk = reg.histogram("bulk")
+        bulk.observe_bulk(
+            len(values),
+            sum(values),
+            sum(v * v for v in values),
+            min(values),
+            max(values),
+        )
+        assert bulk.snapshot() == loop.snapshot()
+
+    def test_empty_snapshot_has_no_min_max(self):
+        snap = Registry().histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+
+class TestTimer:
+    def test_records_durations(self):
+        reg = Registry()
+        ticks = iter([0.0, 1.5, 2.0, 2.25])
+        t = reg.timer("t", clock=lambda: next(ticks))
+        with t.time():
+            pass
+        with t.time():
+            pass
+        assert t.count == 2
+        assert t.total == pytest.approx(1.75)
+
+    def test_timer_is_not_a_plain_histogram(self):
+        reg = Registry()
+        reg.histogram("h")
+        with pytest.raises(ValueError):
+            reg.timer("h")
+
+
+class TestRegistry:
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        reg = Registry()
+        reg.counter("b.count").inc(2)
+        reg.gauge("a.gauge").set(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.gauge", "b.count"]
+        assert snap["b.count"] == {"kind": "counter", "value": 2}
+
+    def test_value_shortcut_and_contains(self):
+        reg = Registry()
+        reg.counter("x").inc(3)
+        assert reg.value("x") == 3
+        assert reg.value("missing", default=-1) == -1
+        assert "x" in reg and "missing" not in reg
+
+    def test_reset_clears_everything(self):
+        reg = Registry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0

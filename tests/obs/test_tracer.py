@@ -1,0 +1,139 @@
+"""Unit tests for the structured tracer and the exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Observability, Tracer, to_chrome_trace, to_json
+from repro.obs.export import render_report, write_chrome_trace
+
+
+def make_clock(step: float = 1.0):
+    """A deterministic clock advancing ``step`` seconds per call."""
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestSpans:
+    def test_nesting_and_parent_links(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("outer") as outer_id:
+            with tracer.span("inner") as inner_id:
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["inner"].parent_id == outer_id
+        assert spans["inner"].depth == 1
+        assert spans["outer"].parent_id is None
+        assert spans["outer"].depth == 0
+        assert inner_id != outer_id
+
+    def test_span_args_and_duration(self):
+        tracer = Tracer(clock=make_clock(0.5))
+        with tracer.span("work", items=3):
+            pass
+        (span,) = tracer.spans()
+        assert span.args == {"items": 3}
+        assert span.dur_us == pytest.approx(0.5e6)
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer(clock=make_clock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("explodes"):
+                raise RuntimeError("boom")
+        assert tracer.active_depth == 0
+        assert [s.name for s in tracer.spans()] == ["explodes"]
+
+    def test_instants_attach_to_active_span(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("outer") as outer_id:
+            tracer.instant("ping", n=1)
+        (instant,) = tracer.instants_named("ping")
+        assert instant.parent_id == outer_id
+        assert instant.args == {"n": 1}
+
+
+class TestRingBuffer:
+    def test_oldest_events_dropped_at_capacity(self):
+        tracer = Tracer(capacity=3, clock=make_clock())
+        for i in range(5):
+            tracer.instant(f"e{i}")
+        assert tracer.dropped == 2
+        assert [e.name for e in tracer.events] == ["e2", "e3", "e4"]
+        assert tracer.instants == 5  # summary counts are not truncated
+
+    def test_summary_aggregates_by_name(self):
+        tracer = Tracer(clock=make_clock())
+        for _ in range(3):
+            with tracer.span("step"):
+                pass
+        summary = tracer.summary()
+        assert summary["finished_spans"] == 3
+        assert summary["by_name"]["step"]["count"] == 3
+
+
+class TestExport:
+    def _traced_obs(self):
+        obs = Observability(clock=make_clock())
+        with obs.span("outer"):
+            with obs.span("inner"):
+                obs.instant("marker")
+        obs.counter("samples").inc(42)
+        obs.gauge("clusters").set(4)
+        return obs
+
+    def test_chrome_trace_document_shape(self):
+        obs = self._traced_obs()
+        doc = to_chrome_trace(obs.tracer, obs.registry)
+        assert isinstance(doc["traceEvents"], list)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"X", "i", "C"}
+        for event in doc["traceEvents"]:
+            assert "name" in event and "ts" in event and "pid" in event
+        counters = {
+            e["name"]: e["args"]["value"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "C"
+        }
+        assert counters == {"samples": 42, "clusters": 4}
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        obs = self._traced_obs()
+        path = write_chrome_trace(tmp_path / "t.json", obs.tracer,
+                                  obs.registry)
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["producer"] == "repro.obs"
+
+    def test_raw_json_dump_round_trips(self):
+        obs = self._traced_obs()
+        doc = json.loads(json.dumps(to_json(obs.tracer, obs.registry)))
+        assert doc["format"] == "repro-obs"
+        assert doc["summary"]["finished_spans"] == 2
+        assert doc["metrics"]["samples"]["value"] == 42
+
+    def test_render_report_mentions_spans_and_metrics(self):
+        obs = self._traced_obs()
+        report = render_report(obs.tracer, obs.registry)
+        assert "outer" in report and "inner" in report
+        assert "samples" in report and "42" in report
+
+
+class TestObservability:
+    def test_summary_is_deterministic_counts_only(self):
+        obs = self._run()
+        again = self._run()
+        assert obs.summary() == again.summary()
+        assert "total_us" not in json.dumps(obs.summary())
+
+    @staticmethod
+    def _run():
+        obs = Observability()  # real clock: summary must not include it
+        with obs.span("a"):
+            obs.counter("n").inc(7)
+        return obs

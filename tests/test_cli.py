@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -37,6 +39,95 @@ class TestInfer:
         code, _, err = run_cli(capsys, "infer", "cray-1", "--repetitions", "9")
         assert code == 2
         assert "error" in err
+
+
+class TestInferTrace:
+    def test_infer_writes_valid_chrome_trace(self, capsys, tmp_path):
+        trace_file = tmp_path / "out.json"
+        code, out, _ = run_cli(
+            capsys, "infer", "testbox", "--seed", "1",
+            "--repetitions", "31", "--trace", str(trace_file),
+        )
+        assert code == 0
+        assert "trace written to" in out
+        doc = json.loads(trace_file.read_text())
+        events = doc["traceEvents"]
+        assert events, "trace must contain events"
+        phases = {e["ph"] for e in events}
+        assert "X" in phases  # complete spans
+        assert "C" in phases  # counters
+        names = {e["name"] for e in events}
+        assert "infer" in names
+        assert "lat_table.collect" in names
+        for event in events:
+            assert set(event) >= {"name", "ph", "ts", "pid", "tid"}
+
+
+class TestTrace:
+    def test_trace_machine_prints_report(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "trace", "testbox", "--seed", "1", "--repetitions", "31"
+        )
+        assert code == 0
+        assert "infer" in out
+        assert "lat_table.samples" in out
+
+    def test_trace_machine_with_out_file(self, capsys, tmp_path):
+        trace_file = tmp_path / "tb-trace.json"
+        code, out, _ = run_cli(
+            capsys, "trace", "testbox", "--seed", "1",
+            "--repetitions", "31", "--out", str(trace_file),
+        )
+        assert code == 0
+        doc = json.loads(trace_file.read_text())
+        assert doc["otherData"]["producer"] == "repro.obs"
+
+    def test_trace_summarizes_saved_file(self, capsys, tmp_path):
+        trace_file = tmp_path / "saved.json"
+        run_cli(capsys, "trace", "testbox", "--seed", "1",
+                "--repetitions", "31", "--out", str(trace_file))
+        code, out, _ = run_cli(capsys, "trace", str(trace_file))
+        assert code == 0
+        assert "events" in out
+        assert "spans:" in out
+        assert "counters:" in out
+
+    def test_trace_rejects_garbage_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        code, _, err = run_cli(capsys, "trace", str(bad))
+        assert code == 2
+        assert "cannot read trace file" in err
+
+    def test_trace_unknown_target(self, capsys):
+        code, _, err = run_cli(capsys, "trace", "pdp-11")
+        assert code == 2
+        assert "neither a trace file nor a catalog machine" in err
+
+
+class TestSmokeAllSubcommands:
+    """One end-to-end pass over every subcommand in a tmp workdir."""
+
+    def test_full_workflow(self, capsys, tmp_path):
+        mct = tmp_path / "tb.mct"
+        trace = tmp_path / "tb.json"
+        fast = ("--seed", "1", "--repetitions", "31")
+        steps = [
+            ("list",),
+            ("infer", "testbox", *fast, "--out", str(mct),
+             "--trace", str(trace)),
+            ("show", str(mct), "--ascii"),
+            ("dot", "testbox", *fast),
+            ("place", "testbox", "--policy", "RR_CORE", "--threads", "2",
+             *fast),
+            ("validate", "testbox", *fast),
+            ("revalidate", str(mct), "testbox", "--seed", "2"),
+            ("trace", str(trace)),
+        ]
+        for argv in steps:
+            code, _, err = run_cli(capsys, *argv)
+            assert code == 0, f"{argv[0]} failed: {err}"
+        assert mct.exists() and trace.exists()
 
 
 class TestShow:
