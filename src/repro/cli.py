@@ -209,6 +209,73 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.os_comparison.all_match else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the mctopd topology-and-placement daemon until SIGTERM."""
+    from repro.service import ServeConfig, run_daemon
+
+    if args.unix is None and args.host is None:
+        raise MctopError("serve needs --unix PATH and/or --host HOST")
+    config = ServeConfig(
+        unix_path=args.unix,
+        host=args.host,
+        port=args.port,
+        store_dir=args.store,
+        max_memory_entries=args.cache_entries,
+        default_repetitions=args.repetitions,
+        request_timeout=args.timeout,
+        max_pending=args.max_pending,
+        drain_timeout=args.drain_timeout,
+    )
+
+    def announce(daemon) -> None:
+        if args.unix is not None:
+            print(f"mctopd listening on unix:{args.unix}", flush=True)
+        if args.host is not None:
+            print(f"mctopd listening on tcp:{args.host}:{daemon.tcp_port}",
+                  flush=True)
+
+    run_daemon(config, ready_callback=announce)
+    print("mctopd drained, bye")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """One request against a running mctopd."""
+    import json
+
+    from repro.service import MctopClient
+
+    if args.unix is None and args.host is None:
+        raise MctopError("query needs --unix PATH or --host HOST")
+    params: dict = {}
+    if args.machine is not None:
+        params["machine"] = args.machine
+        params["seed"] = args.seed
+        params["repetitions"] = args.repetitions
+    elif args.verb in ("infer", "show", "place", "pool_switch", "validate"):
+        raise MctopError(f"query {args.verb} needs a MACHINE argument")
+    if args.verb in ("place", "pool_switch"):
+        params["policy"] = args.policy
+        if args.threads is not None:
+            params["threads"] = args.threads
+        if args.sockets is not None:
+            params["sockets"] = args.sockets
+
+    with MctopClient(unix_path=args.unix, host=args.host, port=args.port,
+                     timeout=args.timeout) as client:
+        result = client.request(args.verb, **params)
+
+    if args.json:
+        print(json.dumps(result, indent=1, sort_keys=True))
+        return 0
+    for text_key in ("summary", "stats", "report"):
+        if text_key in result:
+            print(result.pop(text_key))
+    for key in sorted(result):
+        print(f"{key:<22}: {result[key]}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mctop",
@@ -279,6 +346,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--out", help="also write a Chrome trace_event file")
     common(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
+
+    def endpoint(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--unix", help="unix socket path")
+        p.add_argument("--host", help="TCP host")
+        p.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one when serving)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run mctopd: the topology-and-placement daemon "
+             "(NDJSON over --unix and/or --host; SIGTERM drains)",
+    )
+    endpoint(p_serve)
+    p_serve.add_argument("--store", help="on-disk .mct.gz cache directory")
+    p_serve.add_argument("--cache-entries", type=int, default=32,
+                         help="in-memory topology LRU size")
+    p_serve.add_argument("--timeout", type=float, default=60.0,
+                         help="per-request timeout (seconds)")
+    p_serve.add_argument("--max-pending", type=int, default=64,
+                         help="in-flight request bound before "
+                              "backpressure errors")
+    p_serve.add_argument("--drain-timeout", type=float, default=10.0,
+                         help="grace period for in-flight requests on "
+                              "shutdown (seconds)")
+    p_serve.add_argument("--repetitions", type=int, default=75,
+                         help="default latency samples per context pair")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_query = sub.add_parser(
+        "query",
+        help="send one request to a running mctopd",
+    )
+    from repro.service.protocol import VERBS
+
+    p_query.add_argument("verb", choices=VERBS)
+    p_query.add_argument("machine", nargs="?",
+                         help="catalog machine (topology verbs)")
+    endpoint(p_query)
+    p_query.add_argument("--policy", default="CON_HWC")
+    p_query.add_argument("--threads", type=int, default=None)
+    p_query.add_argument("--sockets", type=int, default=None)
+    p_query.add_argument("--timeout", type=float, default=120.0,
+                         help="client-side socket timeout (seconds)")
+    p_query.add_argument("--json", action="store_true",
+                         help="print the raw JSON result")
+    common(p_query)
+    p_query.set_defaults(func=_cmd_query)
 
     return parser
 

@@ -8,6 +8,7 @@ compatible (unknown keys are ignored on load).
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 
@@ -128,19 +129,47 @@ def mctop_from_dict(data: dict) -> Mctop:
         raise SerializationError(f"malformed MCTOP description: {exc}") from exc
 
 
+#: The two magic bytes every gzip stream starts with.
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
 def save_mctop(mctop: Mctop, path: str | Path) -> Path:
-    """Write a description file; returns the path written."""
+    """Write a description file; returns the path written.
+
+    A ``.gz`` suffix anywhere in the name (``.mct.gz``, ``.json.gz``)
+    selects gzip compression — an order of magnitude smaller for the
+    big machines, which keeps the service's on-disk store compact.
+    The stream is written with ``mtime=0`` so identical topologies
+    produce byte-identical files.
+    """
     path = Path(path)
-    path.write_text(json.dumps(mctop_to_dict(mctop), indent=1))
+    payload = json.dumps(mctop_to_dict(mctop), indent=1).encode("utf-8")
+    if ".gz" in path.suffixes:
+        # fileobj + mtime=0 keeps the stream free of the filename and
+        # timestamp, so identical topologies are byte-identical files.
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, filename="", mode="wb",
+                               mtime=0) as fh:
+                fh.write(payload)
+    else:
+        path.write_bytes(payload)
     return path
 
 
 def load_mctop(path: str | Path) -> Mctop:
-    """Load a topology from a description file."""
+    """Load a topology from a description file.
+
+    Compression is detected from the file's magic bytes (not its
+    name), so a renamed ``.mct.gz`` still loads.
+    """
     path = Path(path)
     try:
-        data = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
+        raw = path.read_bytes()
+        if raw[:2] == _GZIP_MAGIC:
+            raw = gzip.decompress(raw)
+        data = json.loads(raw.decode("utf-8"))
+    except (OSError, gzip.BadGzipFile, EOFError, UnicodeDecodeError,
+            json.JSONDecodeError) as exc:
         raise SerializationError(f"cannot read {path}: {exc}") from exc
     mctop = mctop_from_dict(data)
     mctop.provenance.inferred = False

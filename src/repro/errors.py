@@ -61,3 +61,23 @@ class PlacementError(MctopError):
 
 class SimulationError(MctopError):
     """The discrete-event engine detected an inconsistent program."""
+
+
+class ServiceError(MctopError):
+    """An ``mctopd`` request failed.
+
+    Carries the wire-protocol error ``code`` (``timeout``,
+    ``backpressure``, ``invalid_params``, ...) so clients can react to
+    individual failure modes programmatically.
+    """
+
+    def __init__(self, message: str, code: str = "internal"):
+        super().__init__(message)
+        self.code = code
+
+
+class ProtocolError(ServiceError):
+    """A malformed frame on the ``mctopd`` wire protocol."""
+
+    def __init__(self, message: str):
+        super().__init__(message, code="bad_request")

@@ -5,9 +5,15 @@ paper's OpenMP extension switches policy between parallel regions).
 The pool lazily instantiates one :class:`Placement` per (policy,
 n_threads, n_sockets) configuration and lets callers switch the active
 one at runtime.
+
+Long-lived holders (the ``mctopd`` per-connection sessions) can bound
+the pool with ``max_entries``: least-recently-used configurations are
+evicted, except the active one, which is never dropped.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 from repro.errors import PlacementError
 from repro.core.mctop import Mctop
@@ -18,9 +24,12 @@ from repro.place.policies import Policy
 class PlacementPool:
     """A pool of placements over one topology."""
 
-    def __init__(self, mctop: Mctop):
+    def __init__(self, mctop: Mctop, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise PlacementError("max_entries must be >= 1 (or None)")
         self.mctop = mctop
-        self._cache: dict[tuple, Placement] = {}
+        self.max_entries = max_entries
+        self._cache: OrderedDict[tuple, Placement] = OrderedDict()
         self._active_key: tuple | None = None
 
     def get(
@@ -32,11 +41,29 @@ class PlacementPool:
         """Fetch (creating if needed) the placement for a configuration."""
         policy = Policy(policy) if isinstance(policy, str) else policy
         key = (policy, n_threads, n_sockets)
-        if key not in self._cache:
-            self._cache[key] = Placement(
-                self.mctop, policy, n_threads, n_sockets
-            )
-        return self._cache[key]
+        placement = self._cache.get(key)
+        if placement is None:
+            placement = Placement(self.mctop, policy, n_threads, n_sockets)
+            self._cache[key] = placement
+            self._evict()
+        else:
+            self._cache.move_to_end(key)
+        return placement
+
+    def _evict(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._cache) > self.max_entries:
+            oldest = next(iter(self._cache))
+            if oldest == self._active_key:
+                # The active placement is pinned; evict the next-oldest
+                # instead (unless it is the only entry left).
+                keys = iter(self._cache)
+                next(keys)
+                oldest = next(keys, None)
+                if oldest is None:
+                    return
+            del self._cache[oldest]
 
     def set_policy(
         self,
@@ -50,15 +77,22 @@ class PlacementPool:
         caller decides when its threads re-pin, exactly like the
         paper's ``omp_set_binding_policy``.
         """
-        placement = self.get(policy, n_threads, n_sockets)
-        self._active_key = (placement.policy, n_threads, n_sockets)
-        return placement
+        policy = Policy(policy) if isinstance(policy, str) else policy
+        # Pin the key before get(): with a tight max_entries the new
+        # configuration must survive its own insertion's eviction pass.
+        self._active_key = (policy, n_threads, n_sockets)
+        return self.get(policy, n_threads, n_sockets)
 
     @property
     def active(self) -> Placement:
         if self._active_key is None:
             raise PlacementError("no active placement; call set_policy first")
         return self._cache[self._active_key]
+
+    def clear(self) -> None:
+        """Drop every cached placement (and the active selection)."""
+        self._cache.clear()
+        self._active_key = None
 
     def policies_cached(self) -> list[Policy]:
         return sorted({key[0] for key in self._cache}, key=lambda p: p.value)

@@ -1,0 +1,180 @@
+"""Content-addressed inference cache + single-flight deduplication.
+
+The paper's measure-once/serve-many shape (Sections 5-6): MCTOP-ALG is
+expensive, its result is immutable for a given ``(machine, seed,
+measurement configuration)``, so ``mctopd`` addresses cached topologies
+by the SHA-256 digest of exactly that triple.  Two tiers sit in front
+of the algorithm:
+
+* an in-memory LRU of live :class:`~repro.core.mctop.Mctop` objects;
+* an on-disk store of ``<digest>.mct.gz`` description files, shared by
+  every daemon pointed at the same directory (like a ``likwid-topology``
+  output directory).
+
+:class:`SingleFlight` coalesces concurrent requests: N clients asking
+for the same uncached topology trigger exactly one MCTOP-ALG run, the
+other N-1 await the leader's result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.core.algorithm.lat_table import LatencyTableConfig
+from repro.core.mctop import Mctop
+from repro.core.serialize import load_mctop, save_mctop
+from repro.errors import SerializationError
+from repro.obs import Observability
+
+KEY_FORMAT_VERSION = 1
+
+
+def inference_key(
+    machine: str, seed: int, table: LatencyTableConfig | None = None
+) -> str:
+    """The content address of one inference run.
+
+    A SHA-256 digest over the canonical JSON of the machine name, the
+    seed and every knob of the :class:`LatencyTableConfig` — the full
+    set of inputs that determine the inferred topology.  Any config
+    change (even a changed spurious-sample threshold) yields a new
+    address, so a store can never serve a stale topology for a new
+    configuration.
+    """
+    table = table or LatencyTableConfig()
+    doc = {
+        "format": "mctop-inference-key",
+        "version": KEY_FORMAT_VERSION,
+        "machine": machine,
+        "seed": int(seed),
+        "table": dataclasses.asdict(table),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class InferenceCache:
+    """Memory LRU in front of an optional on-disk ``.mct.gz`` store."""
+
+    def __init__(
+        self,
+        store_dir: str | Path | None = None,
+        max_memory_entries: int = 32,
+        obs: Observability | None = None,
+    ):
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be >= 1")
+        self.store_dir = Path(store_dir) if store_dir is not None else None
+        self.max_memory_entries = max_memory_entries
+        self.obs = obs or Observability()
+        self._memory: OrderedDict[str, Mctop] = OrderedDict()
+
+    # ------------------------------------------------------------ lookup
+    def _disk_path(self, key: str) -> Path | None:
+        if self.store_dir is None:
+            return None
+        return self.store_dir / f"{key}.mct.gz"
+
+    def get(self, key: str) -> Mctop | None:
+        """Memory first, then disk (promoting a disk hit to memory)."""
+        mctop = self._memory.get(key)
+        if mctop is not None:
+            self._memory.move_to_end(key)
+            self.obs.counter("service.cache.hits.memory").inc()
+            return mctop
+        path = self._disk_path(key)
+        if path is not None and path.is_file():
+            try:
+                mctop = load_mctop(path)
+            except SerializationError:
+                # A truncated/corrupt store entry is treated as a miss;
+                # the fresh result will overwrite it.
+                self.obs.counter("service.cache.disk_corrupt").inc()
+            else:
+                self.obs.counter("service.cache.hits.disk").inc()
+                self._insert_memory(key, mctop)
+                return mctop
+        self.obs.counter("service.cache.misses").inc()
+        return None
+
+    def put(self, key: str, mctop: Mctop) -> None:
+        self._insert_memory(key, mctop)
+        path = self._disk_path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so a concurrent reader never sees a
+            # partially written description file.
+            tmp = path.with_name(path.name + ".tmp.gz")
+            save_mctop(mctop, tmp)
+            tmp.replace(path)
+            self.obs.counter("service.cache.disk_writes").inc()
+
+    def _insert_memory(self, key: str, mctop: Mctop) -> None:
+        self._memory[key] = mctop
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.obs.counter("service.cache.evictions").inc()
+        self.obs.gauge("service.cache.memory_entries").set(len(self._memory))
+
+    # ------------------------------------------------------------ admin
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk store is left untouched)."""
+        self._memory.clear()
+        self.obs.gauge("service.cache.memory_entries").set(0)
+
+    def stats(self) -> dict:
+        reg = self.obs.registry
+        return {
+            "memory_entries": len(self._memory),
+            "max_memory_entries": self.max_memory_entries,
+            "store_dir": str(self.store_dir) if self.store_dir else None,
+            "hits_memory": reg.value("service.cache.hits.memory", 0),
+            "hits_disk": reg.value("service.cache.hits.disk", 0),
+            "misses": reg.value("service.cache.misses", 0),
+            "evictions": reg.value("service.cache.evictions", 0),
+        }
+
+
+class SingleFlight:
+    """Coalesce concurrent async calls for the same key.
+
+    The first caller for a key becomes the leader and runs the work;
+    callers arriving while it is in flight await the same task and
+    share its result (or its exception).  Must be used from a single
+    event loop.
+    """
+
+    def __init__(self, obs: Observability | None = None):
+        self.obs = obs or Observability()
+        self._inflight: dict[str, asyncio.Task] = {}
+
+    async def run(self, key: str, thunk) -> object:
+        """``await thunk()`` exactly once per key at a time."""
+        task = self._inflight.get(key)
+        if task is None:
+            task = asyncio.ensure_future(thunk())
+            self._inflight[key] = task
+            task.add_done_callback(
+                lambda _t, _k=key: self._inflight.pop(_k, None)
+            )
+            self.obs.counter("service.singleflight.leaders").inc()
+        else:
+            self.obs.counter("service.singleflight.coalesced").inc()
+        # shield(): a cancelled follower (e.g. its request timed out)
+        # must not cancel the leader's run that others still await.
+        return await asyncio.shield(task)
+
+    def inflight_keys(self) -> list[str]:
+        return sorted(self._inflight)

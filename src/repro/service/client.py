@@ -1,0 +1,151 @@
+"""Synchronous client for ``mctopd``.
+
+A thin blocking wrapper over one socket connection: the CLI's
+``mctop query``, tests and any embedding application use it instead of
+hand-rolling the NDJSON framing.  The connection is stateful on the
+server side (the ``pool_switch`` verb keeps a per-connection placement
+pool), so one :class:`MctopClient` == one session::
+
+    with MctopClient(unix_path="/tmp/mctopd.sock") as c:
+        c.infer("ivy", seed=1)
+        c.pool_switch("ivy", policy="RR_CORE", seed=1)
+
+Errors come back as :class:`~repro.errors.ServiceError` with the wire
+``code`` attached.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    decode_response,
+    encode_frame,
+)
+
+
+class MctopClient:
+    """One blocking NDJSON session against a running ``mctopd``."""
+
+    def __init__(
+        self,
+        unix_path: str | Path | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float = 120.0,
+    ):
+        if unix_path is None and host is None:
+            raise ServiceError(
+                "MctopClient needs a unix socket path or a TCP host"
+            )
+        self.unix_path = str(unix_path) if unix_path is not None else None
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------ plumbing
+    def connect(self) -> "MctopClient":
+        if self._sock is not None:
+            return self
+        try:
+            if self.unix_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.unix_path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to mctopd at "
+                f"{self.unix_path or f'{self.host}:{self.port}'}: {exc}",
+                code="internal",
+            ) from exc
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "MctopClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- request
+    def request(self, verb: str, **params) -> dict:
+        """Send one request, block for its response, return the result.
+
+        Raises :class:`ServiceError` (with ``.code``) on error
+        responses, :class:`ProtocolError` on framing violations.
+        """
+        self.connect()
+        self._next_id += 1
+        request_id = self._next_id
+        frame = encode_frame(
+            {"verb": verb, "id": request_id, "params": params}
+        )
+        try:
+            self._sock.sendall(frame)
+            line = self._file.readline(MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"mctopd connection failed: {exc}") from exc
+        if not line:
+            self.close()
+            raise ServiceError("mctopd closed the connection")
+        if len(line) > MAX_LINE_BYTES:
+            self.close()
+            raise ProtocolError("response frame exceeds the protocol limit")
+        doc = decode_response(line)
+        if doc.get("id") not in (None, request_id):
+            raise ProtocolError(
+                f"response id {doc.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        if not doc["ok"]:
+            error = doc.get("error") or {}
+            raise ServiceError(
+                error.get("message", "unknown server error"),
+                code=error.get("code", "internal"),
+            )
+        return doc.get("result", {})
+
+    # ------------------------------------------------------------ verbs
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def infer(self, machine: str, **params) -> dict:
+        return self.request("infer", machine=machine, **params)
+
+    def show(self, machine: str, **params) -> dict:
+        return self.request("show", machine=machine, **params)
+
+    def place(self, machine: str, policy: str = "CON_HWC",
+              **params) -> dict:
+        return self.request("place", machine=machine, policy=policy,
+                            **params)
+
+    def pool_switch(self, machine: str, policy: str, **params) -> dict:
+        return self.request("pool_switch", machine=machine, policy=policy,
+                            **params)
+
+    def validate(self, machine: str, **params) -> dict:
+        return self.request("validate", machine=machine, **params)
+
+    def metrics(self) -> dict:
+        return self.request("metrics")

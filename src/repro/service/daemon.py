@@ -1,0 +1,316 @@
+"""``mctopd`` — the asyncio topology-and-placement daemon.
+
+One long-lived process amortizes MCTOP-ALG across every client on the
+machine, the way libmctop amortizes it across process lifetimes with
+description files.  The daemon listens on a Unix socket and/or a TCP
+port, speaks the NDJSON protocol of :mod:`repro.service.protocol`, and
+serves each connection a :class:`~repro.service.handlers.Session` of
+its own.
+
+Robustness model:
+
+* **timeouts** — every request runs under ``request_timeout`` seconds
+  (``asyncio.wait_for``); the client gets a ``timeout`` error, the
+  underlying single-flight inference keeps running for later waiters;
+* **backpressure** — at most ``max_pending`` requests execute at once;
+  beyond that the daemon answers immediately with a ``backpressure``
+  error instead of queueing unboundedly;
+* **graceful drain** — SIGTERM/SIGINT stop the listeners, in-flight
+  requests get ``drain_timeout`` seconds to finish, then the loop
+  exits cleanly (exit code 0).
+
+Everything is observable: request counts and latencies per verb, queue
+depth, cache hit/miss/eviction counters and single-flight coalesce
+counts all land in the daemon's :class:`~repro.obs.Observability` and
+are exported through the ``metrics`` verb.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import MctopError, ProtocolError, ServiceError
+from repro.obs import Observability
+from repro.service.cache import InferenceCache
+from repro.service.handlers import Handlers, Session
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    VERBS,
+    decode_request,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``mctopd`` needs to run."""
+
+    unix_path: str | Path | None = None
+    host: str | None = None
+    port: int = 0
+    store_dir: str | Path | None = None
+    max_memory_entries: int = 32
+    default_repetitions: int = 75
+    request_timeout: float = 60.0
+    max_pending: int = 64
+    drain_timeout: float = 10.0
+    #: Enable the hidden ``_sleep`` verb (tests only).
+    debug_verbs: bool = False
+
+
+class MctopDaemon:
+    """The server object: ``await start()``, then ``await wait_closed()``."""
+
+    def __init__(self, config: ServeConfig, obs: Observability | None = None):
+        if config.unix_path is None and config.host is None:
+            raise ServiceError("mctopd needs a unix socket path, "
+                               "a TCP host, or both")
+        self.config = config
+        self.obs = obs or Observability()
+        self.cache = InferenceCache(
+            store_dir=config.store_dir,
+            max_memory_entries=config.max_memory_entries,
+            obs=self.obs,
+        )
+        self.handlers = Handlers(
+            self.cache,
+            self.obs,
+            default_repetitions=config.default_repetitions,
+            debug_verbs=config.debug_verbs,
+        )
+        self._servers: list[asyncio.base_events.Server] = []
+        self._connections: set[asyncio.Task] = set()
+        self._inflight = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Bind the listeners (idempotent-unfriendly: call once)."""
+        cfg = self.config
+        if cfg.unix_path is not None:
+            path = Path(cfg.unix_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if path.is_socket():
+                path.unlink()
+            server = await asyncio.start_unix_server(
+                self._client_connected, path=str(path), limit=MAX_LINE_BYTES
+            )
+            self._servers.append(server)
+        if cfg.host is not None:
+            server = await asyncio.start_server(
+                self._client_connected, host=cfg.host, port=cfg.port,
+                limit=MAX_LINE_BYTES,
+            )
+            self._servers.append(server)
+        self.obs.instant("service.started")
+
+    @property
+    def tcp_port(self) -> int | None:
+        """The bound TCP port (useful with ``port=0``)."""
+        for server in self._servers:
+            for sock in server.sockets:
+                if sock.family.name.startswith("AF_INET"):
+                    return sock.getsockname()[1]
+        return None
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, self.request_shutdown)
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain (safe to call from a signal handler)."""
+        if self._draining:
+            return
+        self._draining = True
+        self.obs.instant("service.drain_begin")
+        for server in self._servers:
+            server.close()
+        asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        for server in self._servers:
+            await server.wait_closed()
+        # Wait for in-flight requests only; clients idling in readline
+        # get disconnected as soon as the last response is written.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        while self._inflight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        if self._inflight > 0:
+            self.obs.counter("service.drain.aborted_requests").inc(
+                self._inflight
+            )
+        pending = {t for t in self._connections if not t.done()}
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._cleanup_unix_socket()
+        self.obs.instant("service.drain_end")
+        self._drained.set()
+
+    def _cleanup_unix_socket(self) -> None:
+        if self.config.unix_path is not None:
+            path = Path(self.config.unix_path)
+            if path.is_socket():
+                path.unlink()
+
+    async def wait_closed(self) -> None:
+        """Block until the graceful drain completes."""
+        await self._drained.wait()
+
+    async def serve_forever(self) -> None:
+        """start() + signal handlers + block until drained."""
+        await self.start()
+        self.install_signal_handlers()
+        await self.wait_closed()
+
+    # ------------------------------------------------------------ connections
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        self.obs.counter("service.connections.accepted").inc()
+        self.obs.gauge("service.connections.open").set(len(self._connections))
+        session = Session()
+        try:
+            await self._serve_connection(reader, writer, session)
+        except asyncio.CancelledError:
+            # Drain cancelled an idle connection; that is a clean close,
+            # not an error to propagate into asyncio's stream callback.
+            pass
+        except (ConnectionResetError, BrokenPipeError):
+            self.obs.counter("service.connections.reset").inc()
+        finally:
+            self._connections.discard(task)
+            self.obs.gauge("service.connections.open").set(
+                len(self._connections)
+            )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        session: Session,
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                response = error_response(
+                    None, "bad_request",
+                    f"request frame exceeds {MAX_LINE_BYTES} bytes",
+                )
+                writer.write(encode_frame(response))
+                await writer.drain()
+                return  # framing is lost; drop the connection
+            if not line:
+                return  # EOF
+            if line.strip() == b"":
+                continue
+            response = await self._dispatch(line, session)
+            writer.write(encode_frame(response))
+            await writer.drain()
+
+    # ------------------------------------------------------------ dispatch
+    async def _dispatch(self, line: bytes, session: Session) -> dict:
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            self.obs.counter("service.errors.bad_request").inc()
+            return error_response(None, "bad_request", str(exc))
+
+        verb = request.verb
+        handler = self._resolve_verb(verb)
+        if handler is None:
+            self.obs.counter("service.errors.unknown_verb").inc()
+            return error_response(
+                request.id, "unknown_verb",
+                f"unknown verb {verb!r} (known: {', '.join(VERBS)})",
+            )
+        if self._draining:
+            return error_response(
+                request.id, "shutting_down",
+                "mctopd is draining; no new requests accepted",
+            )
+        if self._inflight >= self.config.max_pending:
+            self.obs.counter("service.errors.backpressure").inc()
+            return error_response(
+                request.id, "backpressure",
+                f"request queue full ({self.config.max_pending} in flight); "
+                "retry later",
+            )
+
+        self._inflight += 1
+        self.obs.counter(f"service.requests.{verb}").inc()
+        self.obs.gauge("service.queue_depth").set(self._inflight)
+        try:
+            with self.obs.timer(f"service.latency.{verb}").time():
+                result = await asyncio.wait_for(
+                    handler(request.params, session),
+                    timeout=self.config.request_timeout,
+                )
+            return ok_response(request.id, result)
+        except asyncio.TimeoutError:
+            self.obs.counter("service.errors.timeout").inc()
+            return error_response(
+                request.id, "timeout",
+                f"request exceeded {self.config.request_timeout}s",
+            )
+        except ServiceError as exc:
+            self.obs.counter(f"service.errors.{exc.code}").inc()
+            return error_response(request.id, exc.code, str(exc))
+        except MctopError as exc:
+            self.obs.counter("service.errors.mctop_error").inc()
+            return error_response(request.id, "mctop_error", str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # never kill the connection loop
+            self.obs.counter("service.errors.internal").inc()
+            return error_response(
+                request.id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self._inflight -= 1
+            self.obs.gauge("service.queue_depth").set(self._inflight)
+
+    def _resolve_verb(self, verb: str):
+        if verb in VERBS:
+            return getattr(self.handlers, verb)
+        if verb == "_sleep" and self.config.debug_verbs:
+            return self.handlers._sleep
+        return None
+
+
+def run_daemon(config: ServeConfig,
+               obs: Observability | None = None,
+               ready_callback=None) -> int:
+    """Blocking entry point used by ``mctop serve``.
+
+    Runs the daemon until SIGTERM/SIGINT completes the graceful drain.
+    ``ready_callback(daemon)`` fires once the listeners are bound.
+    """
+
+    async def _main() -> None:
+        daemon = MctopDaemon(config, obs=obs)
+        await daemon.start()
+        daemon.install_signal_handlers()
+        if ready_callback is not None:
+            ready_callback(daemon)
+        await daemon.wait_closed()
+
+    asyncio.run(_main())
+    return 0

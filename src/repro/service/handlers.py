@@ -1,0 +1,249 @@
+"""Verb handlers for ``mctopd``.
+
+Each public coroutine on :class:`Handlers` implements one wire verb.
+Handlers are deliberately thin: parameter validation, a cache /
+single-flight lookup for anything needing a topology, then a plain
+JSON-compatible result dict.  Expensive MCTOP-ALG runs execute in a
+worker thread (``asyncio.to_thread``) so the event loop keeps serving
+cache hits and metrics while an inference is in flight.
+
+Session state (the per-connection :class:`PlacementPool` of the
+``pool_switch`` verb) lives in :class:`Session`, one per client
+connection — mirroring the paper's OpenMP extension where each runtime
+owns its pool and switches policy between parallel regions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.algorithm import (
+    InferenceConfig,
+    LatencyTableConfig,
+    infer_topology,
+)
+from repro.core.algorithm.validation import compare_with_os
+from repro.core.mctop import Mctop
+from repro.core.serialize import mctop_to_dict
+from repro.errors import MctopError, ServiceError
+from repro.hardware import get_machine, machine_names
+from repro.hardware.os_view import read_os_topology
+from repro.obs import Observability
+from repro.place import PlacementPool
+from repro.place.policies import ALL_POLICIES, Policy
+from repro.service.cache import InferenceCache, SingleFlight, inference_key
+from repro.service.protocol import PROTOCOL_VERSION
+
+
+def _invalid(message: str) -> ServiceError:
+    return ServiceError(message, code="invalid_params")
+
+
+def _get_int(params: dict, name: str, default: int | None) -> int | None:
+    value = params.get(name, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _invalid(f"{name!r} must be an integer, got {value!r}")
+    return value
+
+
+class Session:
+    """Per-connection state: one placement pool per topology key."""
+
+    def __init__(self, max_pool_entries: int | None = 16):
+        self.max_pool_entries = max_pool_entries
+        self._pools: dict[str, PlacementPool] = {}
+
+    def pool_for(self, key: str, mctop: Mctop) -> PlacementPool:
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = PlacementPool(mctop, max_entries=self.max_pool_entries)
+            self._pools[key] = pool
+        return pool
+
+
+class Handlers:
+    """The verb implementations, bound to one daemon's shared state."""
+
+    def __init__(
+        self,
+        cache: InferenceCache,
+        obs: Observability,
+        default_repetitions: int = 75,
+        debug_verbs: bool = False,
+    ):
+        self.cache = cache
+        self.obs = obs
+        self.default_repetitions = default_repetitions
+        self.debug_verbs = debug_verbs
+        self.singleflight = SingleFlight(obs=obs)
+
+    # ------------------------------------------------------ topology plumbing
+    def _inference_params(
+        self, params: dict
+    ) -> tuple[str, int, LatencyTableConfig]:
+        machine = params.get("machine")
+        if not isinstance(machine, str):
+            raise _invalid("'machine' must be a string")
+        if machine not in machine_names():
+            raise _invalid(
+                f"unknown machine {machine!r} "
+                f"(known: {', '.join(machine_names())})"
+            )
+        seed = _get_int(params, "seed", 0)
+        repetitions = _get_int(params, "repetitions",
+                               self.default_repetitions)
+        if repetitions < 1:
+            raise _invalid("'repetitions' must be >= 1")
+        return machine, seed, LatencyTableConfig(repetitions=repetitions)
+
+    async def _topology(self, params: dict) -> tuple[str, Mctop, bool]:
+        """Resolve (key, topology, was_cached) for a request."""
+        machine, seed, table = self._inference_params(params)
+        key = inference_key(machine, seed, table)
+        mctop = self.cache.get(key)
+        if mctop is not None:
+            return key, mctop, True
+
+        async def run_inference() -> Mctop:
+            with self.obs.span("service.infer_run", machine=machine,
+                               seed=seed, key=key[:12]):
+                # The run gets its own Observability: infer_topology's
+                # internal spans must not interleave with the daemon
+                # tracer from a worker thread.
+                with self.obs.timer("service.inference.seconds").time():
+                    mctop = await asyncio.to_thread(
+                        infer_topology,
+                        get_machine(machine),
+                        seed=seed,
+                        config=InferenceConfig(table=table),
+                    )
+            self.obs.counter("service.inference.runs").inc()
+            self.cache.put(key, mctop)
+            return mctop
+
+        mctop = await self.singleflight.run(key, run_inference)
+        return key, mctop, False
+
+    @staticmethod
+    def _topology_facts(key: str, mctop: Mctop, cached: bool) -> dict:
+        return {
+            "key": key,
+            "cached": cached,
+            "machine": mctop.name,
+            "n_sockets": mctop.n_sockets,
+            "n_cores": mctop.n_cores,
+            "n_contexts": mctop.n_contexts,
+            "n_nodes": mctop.n_nodes,
+            "has_smt": mctop.has_smt,
+            "smt_per_core": mctop.smt_per_core,
+            "latency_levels": mctop.latency_levels(),
+        }
+
+    # ---------------------------------------------------------------- verbs
+    async def ping(self, params: dict, session: Session) -> dict:
+        return {"pong": True, "protocol": PROTOCOL_VERSION,
+                "machines": list(machine_names())}
+
+    async def infer(self, params: dict, session: Session) -> dict:
+        key, mctop, cached = await self._topology(params)
+        result = self._topology_facts(key, mctop, cached)
+        if params.get("include_topology"):
+            result["topology"] = mctop_to_dict(mctop)
+        return result
+
+    async def show(self, params: dict, session: Session) -> dict:
+        key, mctop, cached = await self._topology(params)
+        result = self._topology_facts(key, mctop, cached)
+        result["summary"] = mctop.summary()
+        return result
+
+    async def place(self, params: dict, session: Session) -> dict:
+        key, mctop, cached = await self._topology(params)
+        placement = self._placement(session, key, mctop, params)
+        return {
+            "key": key,
+            "cached": cached,
+            "policy": placement.policy.value,
+            "n_threads": placement.n_threads,
+            "ordering": list(placement.ordering),
+            "stats": placement.print_stats(),
+        }
+
+    async def pool_switch(self, params: dict, session: Session) -> dict:
+        """Make a policy the session's active one (paper Section 6's
+        ``omp_set_binding_policy``); the pool caches each configuration."""
+        key, mctop, cached = await self._topology(params)
+        pool = session.pool_for(key, mctop)
+        policy = self._policy(params)
+        n_threads = _get_int(params, "threads", None)
+        n_sockets = _get_int(params, "sockets", None)
+        try:
+            placement = pool.set_policy(policy, n_threads, n_sockets)
+        except MctopError as exc:
+            raise ServiceError(str(exc), code="mctop_error") from exc
+        self.obs.counter("service.pool.switches").inc()
+        return {
+            "key": key,
+            "cached": cached,
+            "policy": placement.policy.value,
+            "n_threads": placement.n_threads,
+            "ordering": list(placement.ordering),
+            "pool_len": len(pool),
+            "policies_cached": [p.value for p in pool.policies_cached()],
+        }
+
+    async def validate(self, params: dict, session: Session) -> dict:
+        key, mctop, cached = await self._topology(params)
+        machine = get_machine(params["machine"])
+        comparison = compare_with_os(mctop, read_os_topology(machine))
+        return {
+            "key": key,
+            "cached": cached,
+            "all_match": comparison.all_match,
+            "report": comparison.report(),
+        }
+
+    async def metrics(self, params: dict, session: Session) -> dict:
+        trace = self.obs.tracer.summary()
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "registry": self.obs.registry.snapshot(),
+            "trace": trace,
+            "cache": self.cache.stats(),
+            "inflight_inferences": self.singleflight.inflight_keys(),
+        }
+
+    async def _sleep(self, params: dict, session: Session) -> dict:
+        """Debug-only: hold a request slot (tests exercise timeouts and
+        backpressure deterministically with it).  Routed only when the
+        daemon was started with ``debug_verbs=True``."""
+        seconds = params.get("seconds", 0.1)
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            raise _invalid("'seconds' must be a non-negative number")
+        await asyncio.sleep(float(seconds))
+        return {"slept": float(seconds)}
+
+    # ------------------------------------------------------------- helpers
+    @staticmethod
+    def _policy(params: dict) -> Policy:
+        value = params.get("policy", "CON_HWC")
+        try:
+            return Policy(value)
+        except ValueError:
+            raise _invalid(
+                f"unknown policy {value!r} "
+                f"(known: {', '.join(p.value for p in ALL_POLICIES)})"
+            ) from None
+
+    def _placement(self, session: Session, key: str, mctop: Mctop,
+                   params: dict):
+        policy = self._policy(params)
+        n_threads = _get_int(params, "threads", None)
+        n_sockets = _get_int(params, "sockets", None)
+        pool = session.pool_for(key, mctop)
+        try:
+            return pool.get(policy, n_threads, n_sockets)
+        except MctopError as exc:
+            raise ServiceError(str(exc), code="mctop_error") from exc

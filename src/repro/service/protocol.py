@@ -1,0 +1,122 @@
+"""The ``mctopd`` wire protocol: newline-delimited JSON frames.
+
+One request per line, one response per line, UTF-8, ``\\n`` terminated
+(NDJSON).  The framing is trivially implementable from any language —
+the same reasoning that made libmctop store plain description files
+instead of binary blobs.
+
+Request::
+
+    {"verb": "infer", "id": 1, "params": {"machine": "ivy", "seed": 1}}
+
+Response (success / error)::
+
+    {"id": 1, "ok": true,  "result": {...}}
+    {"id": 1, "ok": false, "error": {"code": "timeout", "message": "..."}}
+
+``id`` is an opaque client-chosen correlation value echoed back
+verbatim (may be omitted).  Unknown top-level request keys are ignored
+for forward compatibility.  See ``docs/SERVICE.md`` for the full
+specification.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one NDJSON frame.  A full serialized topology for the
+#: largest catalog machine (the 8-socket SPARC) is ~2 MiB, so 16 MiB
+#: leaves ample headroom while still bounding a misbehaving peer.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: The verbs ``mctopd`` routes.  ``ping`` is the liveness probe; the
+#: rest mirror the CLI subcommands they are named after.
+VERBS = (
+    "ping",
+    "infer",
+    "show",
+    "place",
+    "pool_switch",
+    "validate",
+    "metrics",
+)
+
+#: Error codes a response may carry.
+ERROR_CODES = (
+    "bad_request",      # unparseable frame / missing fields
+    "unknown_verb",     # verb not in VERBS
+    "invalid_params",   # params failed validation (bad machine, policy, ...)
+    "timeout",          # per-request deadline exceeded
+    "backpressure",     # request queue full; retry later
+    "shutting_down",    # daemon is draining; no new work accepted
+    "mctop_error",      # the underlying library raised an MctopError
+    "internal",         # unexpected server-side failure
+)
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded request frame."""
+
+    verb: str
+    params: dict = field(default_factory=dict)
+    id: object = None
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One NDJSON frame: compact JSON + newline."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_request(line: bytes | str) -> Request:
+    """Parse and validate one request line."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"request frame exceeds {MAX_LINE_BYTES} bytes"
+            )
+        line = line.decode("utf-8", errors="replace")
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError("request must be a JSON object")
+    verb = doc.get("verb")
+    if not isinstance(verb, str) or not verb:
+        raise ProtocolError("request lacks a string 'verb' field")
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be a JSON object")
+    return Request(verb=verb, params=params, id=doc.get("id"))
+
+
+def ok_response(request_id: object, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: object, code: str, message: str) -> dict:
+    assert code in ERROR_CODES, code
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def decode_response(line: bytes | str) -> dict:
+    """Parse one response line (client side)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"response is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or "ok" not in doc:
+        raise ProtocolError("response lacks an 'ok' field")
+    return doc

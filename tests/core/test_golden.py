@@ -8,6 +8,10 @@ measurement layer, the clustering, the component builder or the
 serializer that alters the inferred topology — or its provenance trace
 summary — shows up as a readable fixture diff.
 
+Fixtures are stored gzip-compressed (``<machine>.json.gz``, written
+with ``mtime=0`` so regeneration is byte-stable); ``zcat`` or
+``gzip -dk`` recovers the plain JSON for manual diffing.
+
 Regenerate the fixtures after an *intentional* change with::
 
     PYTHONPATH=src python -m pytest tests/core/test_golden.py --update-golden
@@ -15,6 +19,7 @@ Regenerate the fixtures after an *intentional* change with::
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 
@@ -37,6 +42,23 @@ DEFAULT_REPETITIONS = 31
 REPETITIONS = {"haswell": 15, "westmere": 9, "sparc": 9}
 
 
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json.gz"
+
+
+def read_golden(path: Path) -> dict:
+    return json.loads(gzip.decompress(path.read_bytes()).decode("utf-8"))
+
+
+def write_golden(path: Path, doc: dict) -> None:
+    payload = (json.dumps(doc, indent=1, sort_keys=True) + "\n").encode()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as raw:
+        with gzip.GzipFile(fileobj=raw, filename="", mode="wb",
+                           mtime=0) as fh:
+            fh.write(payload)
+
+
 def infer_golden_dict(name: str) -> dict:
     """Run the fixture-grade inference and return JSON-normalized data."""
     config = InferenceConfig(
@@ -52,17 +74,16 @@ def infer_golden_dict(name: str) -> dict:
 
 @pytest.mark.parametrize("name", machine_names())
 def test_golden_topology(name, request):
-    path = GOLDEN_DIR / f"{name}.json"
+    path = golden_path(name)
     actual = infer_golden_dict(name)
     if request.config.getoption("--update-golden"):
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(actual, indent=1, sort_keys=True) + "\n")
+        write_golden(path, actual)
         pytest.skip(f"regenerated {path}")
     assert path.exists(), (
         f"missing golden fixture {path} — regenerate with "
         "pytest tests/core/test_golden.py --update-golden"
     )
-    expected = json.loads(path.read_text())
+    expected = read_golden(path)
     if actual != expected:
         diff_keys = sorted(
             k
@@ -79,10 +100,10 @@ def test_golden_topology(name, request):
 @pytest.mark.parametrize("name", sorted(machine_names()))
 def test_golden_fixture_is_loadable(name):
     """Every checked-in fixture must rebuild into a valid Mctop."""
-    path = GOLDEN_DIR / f"{name}.json"
+    path = golden_path(name)
     if not path.exists():
         pytest.skip(f"{path} not generated yet")
-    mctop = mctop_from_dict(json.loads(path.read_text()))
+    mctop = mctop_from_dict(read_golden(path))
     machine = get_machine(name)
     assert mctop.n_contexts == machine.spec.n_contexts
     assert mctop.n_sockets == machine.spec.n_sockets

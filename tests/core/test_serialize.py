@@ -76,6 +76,46 @@ class TestRoundtrip:
         assert data["version"] == 1
 
 
+class TestGzip:
+    def test_mct_gz_roundtrip(self, tb_mctop, tmp_path):
+        path = save_mctop(tb_mctop, tmp_path / "t.mct.gz")
+        import gzip
+
+        raw = path.read_bytes()
+        assert raw[:2] == b"\x1f\x8b", "a .gz path must be gzip-compressed"
+        assert len(raw) < len(gzip.decompress(raw))
+        loaded = load_mctop(path)
+        assert loaded.name == tb_mctop.name
+        assert loaded.n_contexts == tb_mctop.n_contexts
+        assert np.array_equal(loaded.lat_table, tb_mctop.lat_table)
+        assert not loaded.provenance.inferred
+
+    def test_compressed_and_plain_agree(self, tb_mctop, tmp_path):
+        plain = load_mctop(save_mctop(tb_mctop, tmp_path / "t.mct"))
+        packed = load_mctop(save_mctop(tb_mctop, tmp_path / "t.mct.gz"))
+        assert plain.summary() == packed.summary()
+        assert np.array_equal(plain.lat_table, packed.lat_table)
+
+    def test_gz_bytes_are_deterministic(self, tb_mctop, tmp_path):
+        a = save_mctop(tb_mctop, tmp_path / "a.mct.gz").read_bytes()
+        b = save_mctop(tb_mctop, tmp_path / "b.mct.gz").read_bytes()
+        assert a == b
+
+    def test_load_sniffs_magic_not_suffix(self, tb_mctop, tmp_path):
+        """A renamed .mct.gz (no .gz suffix) still loads."""
+        gz = save_mctop(tb_mctop, tmp_path / "t.mct.gz")
+        renamed = tmp_path / "renamed.mct"
+        renamed.write_bytes(gz.read_bytes())
+        assert load_mctop(renamed).n_contexts == tb_mctop.n_contexts
+
+    def test_truncated_gz_raises(self, tb_mctop, tmp_path):
+        gz = save_mctop(tb_mctop, tmp_path / "t.mct.gz")
+        truncated = tmp_path / "cut.mct.gz"
+        truncated.write_bytes(gz.read_bytes()[:40])
+        with pytest.raises(SerializationError):
+            load_mctop(truncated)
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(SerializationError):

@@ -1,0 +1,159 @@
+"""The content-addressed inference cache and single-flight dedup."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.algorithm import (
+    InferenceConfig,
+    LatencyTableConfig,
+    infer_topology,
+)
+from repro.hardware import get_machine
+from repro.service.cache import InferenceCache, SingleFlight, inference_key
+
+TABLE = LatencyTableConfig(repetitions=9)
+
+
+@pytest.fixture(scope="module")
+def testbox_mctop():
+    return infer_topology(
+        get_machine("testbox"), seed=1, config=InferenceConfig(table=TABLE)
+    )
+
+
+class TestInferenceKey:
+    def test_deterministic(self):
+        assert inference_key("ivy", 1, TABLE) == inference_key("ivy", 1, TABLE)
+
+    def test_sensitive_to_every_input(self):
+        base = inference_key("ivy", 1, TABLE)
+        assert inference_key("opteron", 1, TABLE) != base
+        assert inference_key("ivy", 2, TABLE) != base
+        assert inference_key(
+            "ivy", 1, LatencyTableConfig(repetitions=10)
+        ) != base
+        # Non-repetition knobs are part of the address too.
+        assert inference_key(
+            "ivy", 1, LatencyTableConfig(repetitions=9, stdev_threshold=0.08)
+        ) != base
+
+    def test_is_hex_digest(self):
+        key = inference_key("ivy", 1)
+        assert len(key) == 64
+        assert int(key, 16) >= 0
+
+
+class TestInferenceCache:
+    def test_miss_then_memory_hit(self, testbox_mctop):
+        cache = InferenceCache()
+        key = inference_key("testbox", 1, TABLE)
+        assert cache.get(key) is None
+        cache.put(key, testbox_mctop)
+        assert cache.get(key) is testbox_mctop
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits_memory"] == 1
+
+    def test_disk_tier_survives_memory_clear(self, testbox_mctop, tmp_path):
+        cache = InferenceCache(store_dir=tmp_path / "store")
+        key = inference_key("testbox", 1, TABLE)
+        cache.put(key, testbox_mctop)
+        assert (tmp_path / "store" / f"{key}.mct.gz").is_file()
+        cache.clear()
+        assert len(cache) == 0
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.name == testbox_mctop.name
+        assert loaded.n_contexts == testbox_mctop.n_contexts
+        assert cache.stats()["hits_disk"] == 1
+        # The disk hit was promoted back into memory.
+        assert cache.get(key) is loaded
+
+    def test_lru_eviction(self, testbox_mctop):
+        cache = InferenceCache(max_memory_entries=2)
+        cache.put("a", testbox_mctop)
+        cache.put("b", testbox_mctop)
+        assert cache.get("a") is not None  # refresh a; b is now oldest
+        cache.put("c", testbox_mctop)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, testbox_mctop, tmp_path):
+        cache = InferenceCache(store_dir=tmp_path)
+        key = inference_key("testbox", 1, TABLE)
+        (tmp_path / f"{key}.mct.gz").write_bytes(b"\x1f\x8b not really gzip")
+        assert cache.get(key) is None
+        # put() repairs the corrupt entry.
+        cache.put(key, testbox_mctop)
+        cache.clear()
+        assert cache.get(key) is not None
+
+
+class TestSingleFlight:
+    def test_concurrent_callers_share_one_run(self):
+        async def main():
+            sf = SingleFlight()
+            runs = 0
+
+            async def work():
+                nonlocal runs
+                runs += 1
+                await asyncio.sleep(0.05)
+                return object()
+
+            results = await asyncio.gather(
+                *(sf.run("k", work) for _ in range(5))
+            )
+            assert runs == 1
+            assert all(r is results[0] for r in results)
+            reg = sf.obs.registry
+            assert reg.value("service.singleflight.leaders") == 1
+            assert reg.value("service.singleflight.coalesced") == 4
+            assert sf.inflight_keys() == []
+
+        asyncio.run(main())
+
+    def test_distinct_keys_run_independently(self):
+        async def main():
+            sf = SingleFlight()
+            seen = []
+
+            def work_for(key):
+                async def work():
+                    seen.append(key)
+                    return key
+
+                return work
+
+            results = await asyncio.gather(
+                sf.run("a", work_for("a")), sf.run("b", work_for("b"))
+            )
+            assert sorted(seen) == ["a", "b"]
+            assert sorted(results) == ["a", "b"]
+
+        asyncio.run(main())
+
+    def test_exception_propagates_to_all_waiters(self):
+        async def main():
+            sf = SingleFlight()
+
+            async def boom():
+                await asyncio.sleep(0.01)
+                raise RuntimeError("inference failed")
+
+            results = await asyncio.gather(
+                *(sf.run("k", boom) for _ in range(3)),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, RuntimeError) for r in results)
+            # The failed run is not pinned; a retry starts fresh.
+            async def ok():
+                return 42
+
+            assert await sf.run("k", ok) == 42
+
+        asyncio.run(main())

@@ -1,0 +1,253 @@
+"""End-to-end daemon tests over a real Unix socket.
+
+The headline assertions of the service layer live here: concurrent
+clients coalesce onto exactly one MCTOP-ALG run, timeouts and
+backpressure surface as typed wire errors, and a single connection can
+walk through all 12 Table-2 policies like the paper's OpenMP runtime.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.place.policies import ALL_POLICIES
+from repro.service import MctopClient, inference_key
+from repro.core.algorithm import LatencyTableConfig
+
+REPS = 31  # matches the harness default_repetitions
+
+
+class TestBasics:
+    def test_ping(self, harness):
+        with harness.client() as client:
+            result = client.ping()
+        assert result["pong"] is True
+        assert "testbox" in result["machines"]
+
+    def test_infer_cold_then_warm(self, harness):
+        with harness.client() as client:
+            cold = client.infer("testbox", seed=5)
+            warm = client.infer("testbox", seed=5)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert cold["key"] == warm["key"]
+        assert cold["key"] == inference_key(
+            "testbox", 5, LatencyTableConfig(repetitions=REPS)
+        )
+        assert cold["n_contexts"] == 8
+
+    def test_include_topology_roundtrips(self, harness):
+        from repro.core.serialize import mctop_from_dict
+
+        with harness.client() as client:
+            result = client.infer("testbox", seed=5, include_topology=True)
+        mctop = mctop_from_dict(result["topology"])
+        assert mctop.n_contexts == result["n_contexts"]
+
+    def test_show_and_validate(self, harness):
+        with harness.client() as client:
+            shown = client.show("testbox", seed=5)
+            valid = client.validate("testbox", seed=5)
+        assert "testbox" in shown["summary"]
+        assert valid["all_match"] is True
+        assert valid["cached"] is True  # same key as show's inference
+
+    def test_place(self, harness):
+        with harness.client() as client:
+            result = client.place("testbox", policy="RR_CORE", threads=4)
+        assert result["policy"] == "RR_CORE"
+        assert len(result["ordering"]) == 4
+        assert "MCTOP_PLACE_RR_CORE" in result["stats"]
+
+    def test_metrics_exposes_instruments(self, harness):
+        with harness.client() as client:
+            client.infer("testbox", seed=5)
+            client.infer("testbox", seed=5)
+            metrics = client.metrics()
+        reg = metrics["registry"]
+        assert reg["service.inference.runs"]["value"] == 1
+        assert reg["service.cache.hits.memory"]["value"] == 1
+        assert reg["service.requests.infer"]["value"] == 2
+        assert reg["service.latency.infer"]["count"] == 2
+        assert metrics["cache"]["memory_entries"] == 1
+        assert metrics["trace"]["finished_spans"] >= 1
+
+
+class TestErrors:
+    def test_unknown_verb(self, harness):
+        with harness.client() as client:
+            with pytest.raises(ServiceError) as exc_info:
+                client.request("frobnicate")
+        assert exc_info.value.code == "unknown_verb"
+
+    def test_unknown_machine(self, harness):
+        with harness.client() as client:
+            with pytest.raises(ServiceError) as exc_info:
+                client.infer("cray-1")
+        assert exc_info.value.code == "invalid_params"
+
+    def test_unknown_policy(self, harness):
+        with harness.client() as client:
+            with pytest.raises(ServiceError) as exc_info:
+                client.place("testbox", policy="BOGUS")
+        assert exc_info.value.code == "invalid_params"
+
+    def test_too_many_threads_is_mctop_error(self, harness):
+        with harness.client() as client:
+            with pytest.raises(ServiceError) as exc_info:
+                client.place("testbox", threads=10_000)
+        assert exc_info.value.code == "mctop_error"
+
+    def test_malformed_frame_keeps_connection_alive(self, harness):
+        with harness.client() as client:
+            client.connect()
+            client._sock.sendall(b"this is not json\n")
+            line = client._file.readline()
+            assert b'"bad_request"' in line
+            # The connection survives a bad frame.
+            assert client.ping()["pong"] is True
+
+    def test_timeout(self, daemon_factory):
+        harness = daemon_factory(request_timeout=0.1)
+        with harness.client() as client:
+            with pytest.raises(ServiceError) as exc_info:
+                client.request("_sleep", seconds=5)
+        assert exc_info.value.code == "timeout"
+        # The daemon is still healthy afterwards.
+        with harness.client() as client:
+            assert client.ping()["pong"] is True
+
+    def test_backpressure(self, daemon_factory):
+        harness = daemon_factory(max_pending=1, request_timeout=10.0)
+        blocker = harness.client(timeout=10.0).connect()
+        release = threading.Thread(
+            target=lambda: blocker.request("_sleep", seconds=1.5)
+        )
+        release.start()
+        try:
+            saw_backpressure = False
+            deadline = time.monotonic() + 1.4
+            with harness.client() as client:
+                while time.monotonic() < deadline and not saw_backpressure:
+                    try:
+                        client.ping()
+                    except ServiceError as exc:
+                        assert exc.code == "backpressure"
+                        saw_backpressure = True
+                    time.sleep(0.01)
+            assert saw_backpressure, "queue-full never produced backpressure"
+        finally:
+            release.join()
+            blocker.close()
+        # Slot freed: requests are admitted again.
+        with harness.client() as client:
+            assert client.ping()["pong"] is True
+
+
+class TestCoalescing:
+    def test_concurrent_infers_trigger_exactly_one_run(self, harness):
+        n_clients = 4
+        barrier = threading.Barrier(n_clients)
+        results: list[dict] = []
+        errors: list[Exception] = []
+
+        def worker() -> None:
+            try:
+                with harness.client() as client:
+                    barrier.wait(timeout=5)
+                    results.append(client.infer("ivy", seed=9))
+            except Exception as exc:  # surface in the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        assert len(results) == n_clients
+        assert len({r["key"] for r in results}) == 1
+
+        # Exactly one MCTOP-ALG run, observed three independent ways.
+        obs = harness.daemon.obs
+        assert len(obs.tracer.spans_named("service.infer_run")) == 1
+        assert obs.registry.value("service.inference.runs") == 1
+        assert obs.registry.value("service.singleflight.leaders") == 1
+        coalesced = obs.registry.value(
+            "service.singleflight.coalesced", 0
+        )
+        hits = obs.registry.value("service.cache.hits.memory", 0)
+        # Every non-leader either coalesced onto the flight or (rarely,
+        # if it arrived after completion) hit the cache.
+        assert coalesced + hits == n_clients - 1
+
+
+class TestPoolSession:
+    def test_switching_all_twelve_policies(self, harness):
+        with harness.client() as client:
+            seen: dict[str, tuple] = {}
+            for policy in ALL_POLICIES:
+                result = client.pool_switch(
+                    "testbox", policy=policy.value, threads=4
+                )
+                assert result["policy"] == policy.value
+                seen[policy.value] = tuple(result["ordering"])
+            assert len(seen) == len(ALL_POLICIES) == 12
+            # The session pool cached each configuration exactly once.
+            final = client.pool_switch(
+                "testbox", policy="CON_HWC", threads=4
+            )
+            assert final["pool_len"] == 12
+            assert final["policies_cached"] == sorted(
+                p.value for p in ALL_POLICIES
+            )
+        metrics_registry = harness.daemon.obs.registry
+        assert metrics_registry.value("service.pool.switches") == 13
+
+    def test_sessions_are_per_connection(self, harness):
+        with harness.client() as a, harness.client() as b:
+            ra = a.pool_switch("testbox", policy="RR_CORE", threads=4)
+            rb = b.pool_switch("testbox", policy="CON_HWC", threads=2)
+            # b's pool never saw a's configuration.
+            assert ra["pool_len"] == 1
+            assert rb["pool_len"] == 1
+            assert rb["policies_cached"] == ["CON_HWC"]
+
+
+class TestTcp:
+    def test_tcp_listener_next_to_unix(self, daemon_factory):
+        harness = daemon_factory(host="127.0.0.1", port=0)
+        port = harness.daemon.tcp_port
+        assert port is not None
+        with MctopClient(host="127.0.0.1", port=port) as tcp_client:
+            assert tcp_client.ping()["pong"] is True
+            result = tcp_client.infer("unisock", repetitions=9)
+        # Both listeners share one cache.
+        with harness.client() as unix_client:
+            assert unix_client.infer("unisock", repetitions=9)["cached"]
+            assert (
+                unix_client.infer("unisock", repetitions=9)["key"]
+                == result["key"]
+            )
+
+
+class TestShutdown:
+    def test_graceful_drain_rejects_new_work(self, daemon_factory):
+        harness = daemon_factory()
+        with harness.client() as client:
+            assert client.ping()["pong"] is True
+            harness.loop.call_soon_threadsafe(
+                harness.daemon.request_shutdown
+            )
+            # The open connection is closed (or answers shutting_down),
+            # and the daemon thread exits cleanly.
+            try:
+                client.ping()
+            except ServiceError as exc:
+                assert exc.code in ("shutting_down", "internal")
+        harness._thread.join(10)
+        assert not harness._thread.is_alive()

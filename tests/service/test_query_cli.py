@@ -1,0 +1,72 @@
+"""``mctop query`` — the CLI front end of the sync client."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestQuery:
+    def test_ping(self, capsys, harness):
+        code, out, _ = run_cli(
+            capsys, "query", "ping", "--unix", str(harness.config.unix_path)
+        )
+        assert code == 0
+        assert "pong" in out
+
+    def test_infer_then_show(self, capsys, harness):
+        sock = str(harness.config.unix_path)
+        code, out, _ = run_cli(capsys, "query", "infer", "testbox",
+                               "--unix", sock, "--seed", "1")
+        assert code == 0
+        assert "cached                : False" in out
+        code, out, _ = run_cli(capsys, "query", "show", "testbox",
+                               "--unix", sock, "--seed", "1")
+        assert code == 0
+        assert "MCTOP topology 'testbox'" in out
+        assert "cached                : True" in out
+
+    def test_place_with_policy(self, capsys, harness):
+        code, out, _ = run_cli(
+            capsys, "query", "place", "testbox",
+            "--unix", str(harness.config.unix_path),
+            "--policy", "RR_CORE", "--threads", "4",
+        )
+        assert code == 0
+        assert "MCTOP_PLACE_RR_CORE" in out
+
+    def test_metrics_json(self, capsys, harness):
+        sock = str(harness.config.unix_path)
+        run_cli(capsys, "query", "infer", "testbox", "--unix", sock)
+        code, out, _ = run_cli(capsys, "query", "metrics", "--unix", sock,
+                               "--json")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["registry"]["service.inference.runs"]["value"] == 1
+
+    def test_machine_required_for_topology_verbs(self, capsys, harness):
+        code, _, err = run_cli(
+            capsys, "query", "infer",
+            "--unix", str(harness.config.unix_path),
+        )
+        assert code == 2
+        assert "needs a MACHINE" in err
+
+    def test_endpoint_required(self, capsys):
+        code, _, err = run_cli(capsys, "query", "ping")
+        assert code == 2
+        assert "--unix" in err
+
+    def test_connection_refused_is_a_clean_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "query", "ping", "--unix", str(tmp_path / "nope.sock")
+        )
+        assert code == 2
+        assert "cannot connect" in err
