@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Cold-inference benchmark across measurement-engine modes.
+
+Thin command-line wrapper around :func:`repro.benchmark.run_bench` —
+the same engine behind ``mctop bench``.  Times a full MCTOP-ALG run on
+catalog machines in the ``scalar``, ``batched`` and ``jobs`` modes,
+verifies the three produce byte-identical topologies, and writes the
+``BENCH_3.json`` trajectory document.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_inference.py
+    PYTHONPATH=src python benchmarks/bench_inference.py \
+        --machines testbox,ivy --quick
+    PYTHONPATH=src python benchmarks/bench_inference.py \
+        --machines sparc --jobs 8 --out BENCH_3.json
+
+Exits non-zero when the modes diverge or batched mode fails to beat
+scalar, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

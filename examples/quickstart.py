@@ -14,14 +14,8 @@ from __future__ import annotations
 
 import sys
 
-from repro import get_machine
-from repro.core.algorithm import (
-    InferenceConfig,
-    InferenceReport,
-    LatencyTableConfig,
-    infer_topology,
-)
-from repro.core.serialize import save_mctop
+from repro import get_machine, infer, save_mctop
+from repro.core.algorithm import InferenceReport
 from repro.place import Placement, Policy
 
 
@@ -33,12 +27,7 @@ def main() -> None:
     # --- Step 1: run MCTOP-ALG (latency table -> clusters -> topology).
     print("\nrunning MCTOP-ALG (latency measurements only)...")
     report = InferenceReport()
-    mctop = infer_topology(
-        machine,
-        seed=1,
-        config=InferenceConfig(table=LatencyTableConfig(repetitions=41)),
-        report=report,
-    )
+    mctop = infer(machine, seed=1, repetitions=41, report=report)
     print(mctop.summary())
     print(f"samples taken: {report.samples_taken}")
     print(report.os_comparison.report())

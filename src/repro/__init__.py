@@ -18,57 +18,87 @@ The package provides:
 * :mod:`repro.apps` — the paper's four application studies (lock
   backoffs, topology-aware mergesort, Metis MapReduce, OpenMP).
 
+This module is the public API façade.  Everything a typical user needs
+imports from ``repro`` directly; the deep module paths stay available
+for power users and remain stable.
+
 Quickstart
 ----------
->>> from repro import get_machine, infer_topology
->>> mctop = infer_topology(get_machine("ivy"), seed=1)
+>>> from repro import infer
+>>> mctop = infer("ivy", seed=1)
 >>> mctop.n_sockets, mctop.n_cores, mctop.has_smt
 (2, 20, True)
+>>> from repro import PlacementPool, save_mctop
+>>> pool = PlacementPool(mctop, n_threads=8)
 """
 
 from repro.errors import (
     ClusteringError,
+    ConfigError,
     InferenceError,
     MachineModelError,
     MctopError,
     MeasurementError,
     PlacementError,
+    ReproError,
     SerializationError,
+    ServiceError,
     SimulationError,
     ValidationError,
 )
 from repro.hardware import PAPER_PLATFORMS, get_machine, get_spec, machine_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusteringError",
+    "ConfigError",
     "InferenceError",
+    "LatencyTableConfig",
     "MachineModelError",
+    "Mctop",
     "MctopError",
     "MeasurementError",
     "PAPER_PLATFORMS",
     "PlacementError",
+    "PlacementPool",
+    "ReproError",
     "SerializationError",
+    "ServiceError",
     "SimulationError",
     "ValidationError",
     "__version__",
     "get_machine",
     "get_spec",
+    "infer",
     "infer_topology",
     "load_mctop",
     "machine_names",
+    "save_mctop",
 ]
+
+#: lazy attribute -> "module:attribute"; keeps `import repro` fast and
+#: avoids import cycles while making the façade names first class.
+_LAZY_EXPORTS = {
+    "infer": "repro.api:infer",
+    "infer_topology": "repro.core.algorithm.inference:infer_topology",
+    "load_mctop": "repro.core.serialize:load_mctop",
+    "save_mctop": "repro.core.serialize:save_mctop",
+    "Mctop": "repro.core.mctop:Mctop",
+    "LatencyTableConfig": "repro.core.algorithm.lat_table:LatencyTableConfig",
+    "PlacementPool": "repro.place.pool:PlacementPool",
+}
 
 
 def __getattr__(name: str):
-    # Lazy imports keep `import repro` fast and avoid import cycles.
-    if name == "infer_topology":
-        from repro.core.algorithm.inference import infer_topology
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
 
-        return infer_topology
-    if name == "load_mctop":
-        from repro.core.serialize import load_mctop
+    module_name, _, attr = target.partition(":")
+    return getattr(importlib.import_module(module_name), attr)
 
-        return load_mctop
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,101 @@
+"""The friendly front door of the library.
+
+``repro.infer`` is what scripts and notebooks should call: it accepts a
+catalog machine *name* (or a :class:`~repro.hardware.machine.Machine`,
+or a prepared :class:`~repro.hardware.probes.MeasurementContext`) plus
+the handful of measurement knobs people actually turn — ``repetitions``,
+``jobs``, ``sampling``, ``vectorized`` — and assembles the full
+:class:`~repro.core.algorithm.inference.InferenceConfig` plumbing
+itself.  Power users keep passing a complete ``config``.
+
+Everything here re-exports through :mod:`repro`::
+
+    >>> from repro import infer
+    >>> mctop = infer("ivy", seed=1, jobs=4)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+def infer(
+    machine,
+    seed: int = 0,
+    *,
+    repetitions: int | None = None,
+    jobs: int | None = None,
+    sampling: str | None = None,
+    vectorized: bool | None = None,
+    table: "Any | None" = None,
+    config: "Any | None" = None,
+    noise=None,
+    solo: bool = True,
+    name: str | None = None,
+    report=None,
+    obs=None,
+):
+    """Run MCTOP-ALG and return the inferred ``Mctop``.
+
+    Parameters
+    ----------
+    machine:
+        A catalog machine name (``"ivy"``, ``"sparc"``, ...), a
+        :class:`Machine`, or an existing :class:`MeasurementContext`.
+    repetitions, jobs, sampling, vectorized:
+        Shortcuts for the matching :class:`LatencyTableConfig` fields;
+        ``jobs=N`` fans the latency-table collection out over ``N``
+        worker processes (switching to the order-independent ``pair``
+        sampling scheme — see :mod:`repro.core.algorithm.lat_table`).
+    table:
+        A full :class:`LatencyTableConfig`, or a plain dict routed
+        through :meth:`LatencyTableConfig.from_dict` (unknown keys
+        raise :class:`ConfigError`).  The shortcut knobs above override
+        individual fields of it.
+    config:
+        A complete :class:`InferenceConfig`.  Mutually exclusive with
+        the measurement knobs — pass one or the other.
+
+    The remaining parameters (``noise``, ``solo``, ``name``, ``report``,
+    ``obs``) pass straight through to
+    :func:`~repro.core.algorithm.inference.infer_topology`.
+    """
+    from repro.core.algorithm.inference import InferenceConfig, infer_topology
+    from repro.core.algorithm.lat_table import LatencyTableConfig
+    from repro.hardware import get_machine
+
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+
+    knobs = {
+        "repetitions": repetitions,
+        "jobs": jobs,
+        "sampling": sampling,
+        "vectorized": vectorized,
+    }
+    overrides = {k: v for k, v in knobs.items() if v is not None}
+    if config is not None:
+        if overrides or table is not None:
+            raise ConfigError(
+                "pass measurement knobs either through config= or "
+                "individually (repetitions/jobs/sampling/vectorized/"
+                "table), not both"
+            )
+    else:
+        if isinstance(table, dict):
+            table_cfg = LatencyTableConfig.from_dict(table)
+        elif table is not None:
+            table_cfg = table
+        else:
+            table_cfg = LatencyTableConfig()
+        if overrides:
+            table_cfg = dataclasses.replace(table_cfg, **overrides)
+        config = InferenceConfig(table=table_cfg)
+
+    return infer_topology(
+        machine, seed=seed, config=config, noise=noise, solo=solo,
+        name=name, report=report, obs=obs,
+    )

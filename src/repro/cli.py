@@ -28,23 +28,32 @@ from pathlib import Path
 from repro.errors import MctopError
 
 
-def _load_topology(target: str, seed: int, repetitions: int):
+def _table_config(args: argparse.Namespace):
+    """The measurement config the common CLI flags describe.
+
+    Routed through :meth:`LatencyTableConfig.from_dict` so the CLI and
+    the service share one parsing/validation path.
+    """
+    from repro.core.algorithm import LatencyTableConfig
+
+    doc = {"repetitions": args.repetitions}
+    if getattr(args, "jobs", 1) != 1:
+        doc["jobs"] = args.jobs
+    if getattr(args, "sampling", "auto") != "auto":
+        doc["sampling"] = args.sampling
+    return LatencyTableConfig.from_dict(doc)
+
+
+def _load_topology(args: argparse.Namespace, target: str):
     """A topology from a .mct file or by inferring a catalog machine."""
-    from repro.core.algorithm import (
-        InferenceConfig,
-        LatencyTableConfig,
-        infer_topology,
-    )
+    from repro import infer
     from repro.core.serialize import load_mctop
-    from repro.hardware import get_machine, machine_names
+    from repro.hardware import machine_names
 
     if Path(target).suffix == ".mct" or Path(target).is_file():
         return load_mctop(target)
     if target in machine_names():
-        config = InferenceConfig(
-            table=LatencyTableConfig(repetitions=repetitions)
-        )
-        return infer_topology(get_machine(target), seed=seed, config=config)
+        return infer(target, seed=args.seed, table=_table_config(args))
     raise MctopError(
         f"{target!r} is neither a description file nor a catalog machine "
         f"(known machines: {', '.join(machine_names())})"
@@ -60,21 +69,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    from repro.core.algorithm import (
-        InferenceConfig,
-        InferenceReport,
-        LatencyTableConfig,
-        infer_topology,
-    )
-    from repro.core.serialize import save_mctop
-    from repro.hardware import get_machine
+    from repro import infer, save_mctop
+    from repro.core.algorithm import InferenceReport
 
     report = InferenceReport()
-    config = InferenceConfig(
-        table=LatencyTableConfig(repetitions=args.repetitions)
-    )
-    mctop = infer_topology(
-        get_machine(args.machine), seed=args.seed, config=config,
+    mctop = infer(
+        args.machine, seed=args.seed, table=_table_config(args),
         report=report,
     )
     print(mctop.summary())
@@ -95,13 +95,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     """Run a traced inference (or summarize a saved trace file)."""
     import json
 
-    from repro.core.algorithm import (
-        InferenceConfig,
-        InferenceReport,
-        LatencyTableConfig,
-        infer_topology,
-    )
-    from repro.hardware import get_machine, machine_names
+    from repro import infer
+    from repro.core.algorithm import InferenceReport
+    from repro.hardware import machine_names
 
     target = Path(args.target)
     if target.is_file():
@@ -129,13 +125,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"(known machines: {', '.join(machine_names())})"
         )
     report = InferenceReport()
-    config = InferenceConfig(
-        table=LatencyTableConfig(repetitions=args.repetitions)
-    )
-    infer_topology(
-        get_machine(args.target), seed=args.seed, config=config,
-        report=report,
-    )
+    infer(args.target, seed=args.seed, table=_table_config(args),
+          report=report)
     print(report.obs.report())
     if args.out:
         path = report.obs.write_chrome_trace(args.out)
@@ -144,7 +135,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    mctop = _load_topology(args.target, args.seed, args.repetitions)
+    mctop = _load_topology(args, args.target)
     print(mctop.summary())
     if args.ascii:
         from repro.core.viz import topology_ascii
@@ -156,7 +147,7 @@ def _cmd_show(args: argparse.Namespace) -> int:
 def _cmd_dot(args: argparse.Namespace) -> int:
     from repro.core.viz import cross_socket_dot, intra_socket_dot
 
-    mctop = _load_topology(args.target, args.seed, args.repetitions)
+    mctop = _load_topology(args, args.target)
     if args.view in ("intra", "both"):
         print(intra_socket_dot(mctop))
     if args.view in ("cross", "both"):
@@ -167,7 +158,7 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 def _cmd_place(args: argparse.Namespace) -> int:
     from repro.place import Placement
 
-    mctop = _load_topology(args.target, args.seed, args.repetitions)
+    mctop = _load_topology(args, args.target)
     placement = Placement(
         mctop, args.policy, n_threads=args.threads, n_sockets=args.sockets
     )
@@ -189,24 +180,45 @@ def _cmd_revalidate(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    from repro.core.algorithm import (
-        InferenceConfig,
-        InferenceReport,
-        LatencyTableConfig,
-        infer_topology,
-    )
-    from repro.hardware import get_machine
+    from repro import infer
+    from repro.core.algorithm import InferenceReport
 
     report = InferenceReport()
-    config = InferenceConfig(
-        table=LatencyTableConfig(repetitions=args.repetitions)
-    )
-    infer_topology(
-        get_machine(args.machine), seed=args.seed, config=config,
-        report=report,
-    )
+    infer(args.machine, seed=args.seed, table=_table_config(args),
+          report=report)
     print(report.os_comparison.report())
     return 0 if report.os_comparison.all_match else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time cold inference across measurement-engine modes."""
+    from repro.benchmark import run_bench
+
+    machines = args.machines.split(",") if args.machines else None
+    try:
+        doc = run_bench(
+            machines=machines,
+            repetitions=args.repetitions,
+            seed=args.seed,
+            jobs=args.jobs,
+            quick=args.quick,
+            out=args.out,
+            progress=print,
+        )
+    except ValueError as exc:
+        raise MctopError(str(exc)) from None
+    print(f"bench written to {args.out}")
+    for entry in doc["machines"]:
+        print(f"{entry['machine']:>10}: batched {entry['batched_speedup']}x, "
+              f"jobs {entry['jobs_speedup']}x vs scalar "
+              f"({entry['n_contexts']} contexts)")
+    if not doc["all_topologies_identical"]:
+        print("error: modes produced diverging topologies", file=sys.stderr)
+        return 1
+    if not doc["all_batched_faster"]:
+        print("error: batched mode slower than scalar", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -252,6 +264,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         params["machine"] = args.machine
         params["seed"] = args.seed
         params["repetitions"] = args.repetitions
+        if args.jobs != 1:
+            params["jobs"] = args.jobs
     elif args.verb in ("infer", "show", "place", "pool_switch", "validate"):
         raise MctopError(f"query {args.verb} needs a MACHINE argument")
     if args.verb in ("place", "pool_switch"):
@@ -287,6 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--repetitions", type=int, default=75,
                        help="latency samples per context pair")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for latency-table "
+                            "collection (> 1 switches to pair sampling)")
+        p.add_argument("--sampling", choices=("auto", "sequential", "pair"),
+                       default="auto",
+                       help="measurement sampling scheme (auto resolves "
+                            "to pair when --jobs > 1)")
 
     p_list = sub.add_parser("list", help="list catalog machines")
     p_list.set_defaults(func=_cmd_list)
@@ -346,6 +367,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--out", help="also write a Chrome trace_event file")
     common(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time cold inference across the scalar/batched/jobs "
+             "measurement engine modes and write BENCH_3.json",
+    )
+    p_bench.add_argument("--machines",
+                         help="comma-separated catalog machines "
+                              "(default: all)")
+    p_bench.add_argument("--repetitions", type=int, default=None,
+                         help="latency samples per context pair "
+                              "(default: 75, or 25 with --quick)")
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for the jobs mode "
+                              "(default: CPU count, capped at 8)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smoke-test sample counts for CI")
+    p_bench.add_argument("--out", default="BENCH_3.json",
+                         help="output JSON path")
+    p_bench.set_defaults(func=_cmd_bench)
 
     def endpoint(p: argparse.ArgumentParser) -> None:
         p.add_argument("--unix", help="unix socket path")

@@ -15,6 +15,25 @@ the paper's stabilization machinery is implemented:
   raised;
 * only the upper triangle is measured — the topology is symmetric.
 
+Collection comes in two sampling schemes:
+
+``sequential``
+    The original engine: one RNG stream threaded through every pair in
+    measurement order.  This is what the golden-topology fixtures pin,
+    so it stays the default.  Within it, ``vectorized=True`` fetches
+    each attempt's samples as one array from
+    :meth:`MeasurementContext.sample_pair_latencies` (bit-identical to
+    the scalar loop, several times faster).
+
+``pair``
+    The order-independent scheme of :mod:`repro.hardware.probes`: every
+    (pair, attempt) gets its own seeded substream and the DVFS state is
+    frozen at its post-warm-up snapshot, so pairs can be measured in
+    any order by any number of workers.  ``jobs=N`` fans chunked pair
+    lists out over ``concurrent.futures`` processes and merges the
+    records deterministically — the table is bit-identical for any
+    ``jobs`` value and for scalar vs vectorized sampling.
+
 The collection loop is fully instrumented through the probe's
 :class:`~repro.obs.Observability`: samples taken, retried pairs,
 discarded spurious samples and per-pair stability all land in the
@@ -24,12 +43,14 @@ span with an instant event per retried pair.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import concurrent.futures
+from dataclasses import dataclass, field, fields
+from typing import Any
 
 import numpy as np
 
-from repro.errors import MeasurementError
-from repro.hardware.probes import MeasurementContext
+from repro.errors import ConfigError, MeasurementError
+from repro.hardware.probes import MeasurementContext, PairProbeSpec, PairSampler
 
 #: Section 3.2's measurement parameters, machine readable: libmctop
 #: takes 2000 samples per pair and accepts a pair once the standard
@@ -44,6 +65,12 @@ PAPER_DEFAULTS = {
     "max_stdev_threshold": 0.14,
 }
 
+_SAMPLING_SCHEMES = ("auto", "sequential", "pair")
+
+#: config knobs that select *how* the table is computed but cannot
+#: change a single bit of it — excluded from cache digests.
+_EXECUTION_ONLY_FIELDS = ("vectorized", "jobs")
+
 
 @dataclass(frozen=True)
 class LatencyTableConfig:
@@ -53,6 +80,13 @@ class LatencyTableConfig:
     needs far fewer samples than real hardware); the paper's own values
     live in :data:`PAPER_DEFAULTS` and are available through
     :meth:`paper`.
+
+    ``sampling`` selects the scheme (see the module docstring);
+    ``"auto"`` resolves to ``"pair"`` whenever ``jobs > 1`` and to the
+    golden-pinned ``"sequential"`` otherwise.  ``vectorized`` and
+    ``jobs`` only change how fast the same table is produced, never its
+    contents, and are therefore excluded from cache digests
+    (:meth:`cache_key_dict`).
     """
 
     repetitions: int = 75  # samples per pair; benches can raise it
@@ -64,11 +98,66 @@ class LatencyTableConfig:
     max_discard_fraction: float = 0.2  # more discards than this => retry
     warm_up: bool = True
     warmup_loop_iters: int = 50_000
+    vectorized: bool = True  # batch each attempt's samples into one array
+    jobs: int = 1  # worker processes; > 1 implies pair sampling
+    sampling: str = "auto"  # "auto" | "sequential" | "pair"
+
+    def __post_init__(self) -> None:
+        if self.sampling not in _SAMPLING_SCHEMES:
+            raise ConfigError(
+                f"unknown sampling scheme {self.sampling!r}; "
+                f"expected one of {_SAMPLING_SCHEMES}"
+            )
+        if not isinstance(self.jobs, int) or self.jobs < 1:
+            raise ConfigError(f"jobs must be a positive integer, got {self.jobs!r}")
+        if self.jobs > 1 and self.sampling == "sequential":
+            raise ConfigError(
+                "jobs > 1 requires the order-independent 'pair' sampling "
+                "scheme; the 'sequential' scheme threads one RNG stream "
+                "through every pair and cannot be parallelized"
+            )
 
     @classmethod
     def paper(cls, **overrides) -> "LatencyTableConfig":
         """The exact Section 3.2 configuration (2000 reps, 7%..14%)."""
         return cls(**{**PAPER_DEFAULTS, **overrides})
+
+    def effective_sampling(self) -> str:
+        """The scheme ``"auto"`` resolves to for this configuration."""
+        if self.sampling == "auto":
+            return "pair" if self.jobs > 1 else "sequential"
+        return self.sampling
+
+    # ------------------------------------------------------- dict round-trip
+    def to_dict(self) -> dict[str, Any]:
+        """All knobs as a plain JSON-compatible dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LatencyTableConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are a :class:`ConfigError`."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown LatencyTableConfig key(s): {', '.join(unknown)}; "
+                f"known keys: {', '.join(sorted(known))}"
+            )
+        return cls(**data)
+
+    def cache_key_dict(self) -> dict[str, Any]:
+        """The semantic knobs only — what a result cache should digest.
+
+        Drops :data:`_EXECUTION_ONLY_FIELDS` and resolves ``"auto"``
+        sampling, so e.g. ``jobs=4`` and ``jobs=8`` (same table, merged
+        in the same order) share one cache entry, while ``sequential``
+        vs ``pair`` (genuinely different tables) do not.
+        """
+        doc = self.to_dict()
+        for key in _EXECUTION_ONLY_FIELDS:
+            del doc[key]
+        doc["sampling"] = self.effective_sampling()
+        return doc
 
 
 @dataclass
@@ -84,6 +173,30 @@ class LatencyTableResult:
     per_pair_stdev: np.ndarray = field(repr=False, default=None)
 
 
+def _judge_attempt(
+    samples: np.ndarray, threshold: float, cfg: LatencyTableConfig
+) -> tuple[float, float, int, bool]:
+    """Stability verdict on one attempt's samples.
+
+    Returns ``(median, stdev, discarded, accepted)`` using exactly the
+    numpy operations the original engine used — both sampling schemes
+    and both vectorized modes share this single code path.
+    """
+    median = float(np.median(samples))
+    # Discard spurious measurements (interrupt-style spikes) the way
+    # libmctop does before judging stability (Section 3.5).
+    limit_dev = max(cfg.spurious_deviation * abs(median), 12.0)
+    kept = samples[np.abs(samples - median) <= limit_dev]
+    stdev = float(np.std(kept))
+    discarded = cfg.repetitions - kept.size
+    limit = max(threshold * abs(median), cfg.stdev_floor)
+    accepted = (
+        stdev <= limit
+        and discarded <= cfg.max_discard_fraction * cfg.repetitions
+    )
+    return median, stdev, discarded, accepted
+
+
 def _measure_pair(
     probe: MeasurementContext,
     x: int,
@@ -91,7 +204,7 @@ def _measure_pair(
     overhead: float,
     cfg: LatencyTableConfig,
 ) -> tuple[float, float, int, int]:
-    """Median latency for one context pair.
+    """Median latency for one context pair (sequential scheme).
 
     Returns ``(median, stdev, retries, discarded)`` where ``discarded``
     counts the spurious samples thrown away across all attempts.
@@ -100,20 +213,21 @@ def _measure_pair(
     retries = 0
     total_discarded = 0
     while True:
-        line = probe.fresh_line()
-        samples = np.empty(cfg.repetitions)
-        for i in range(cfg.repetitions):
-            samples[i] = probe.sample_pair_latency(x, y, line) - overhead
-        median = float(np.median(samples))
-        # Discard spurious measurements (interrupt-style spikes) the way
-        # libmctop does before judging stability (Section 3.5).
-        limit_dev = max(cfg.spurious_deviation * abs(median), 12.0)
-        kept = samples[np.abs(samples - median) <= limit_dev]
-        stdev = float(np.std(kept))
-        discarded = cfg.repetitions - kept.size
+        if cfg.vectorized:
+            line = probe.fresh_line()
+            samples = probe.sample_pair_latencies(
+                x, y, cfg.repetitions, line_id=line
+            ) - overhead
+        else:
+            line = probe.fresh_line()
+            samples = np.empty(cfg.repetitions)
+            for i in range(cfg.repetitions):
+                samples[i] = probe.sample_pair_latency(x, y, line) - overhead
+        median, stdev, discarded, accepted = _judge_attempt(
+            samples, threshold, cfg
+        )
         total_discarded += discarded
-        limit = max(threshold * abs(median), cfg.stdev_floor)
-        if stdev <= limit and discarded <= cfg.max_discard_fraction * cfg.repetitions:
+        if accepted:
             return median, stdev, retries, total_discarded
         retries += 1
         threshold *= 2.0
@@ -130,12 +244,201 @@ def _measure_pair(
             )
 
 
+# ------------------------------------------------------------------------
+# Pair-seeded scheme: per-pair records, worker fan-out, deterministic merge.
+# ------------------------------------------------------------------------
+
+
+def _measure_pair_seeded(
+    sampler: PairSampler,
+    x: int,
+    y: int,
+    overhead: float,
+    cfg: LatencyTableConfig,
+) -> dict[str, Any]:
+    """One pair under the pair-seeded scheme, as a plain record.
+
+    Never raises: a pair that cannot stabilize is returned as a
+    ``failed`` record so worker processes hand failures back to the
+    parent, which reports them deterministically in pair order.
+    """
+    threshold = cfg.stdev_threshold
+    retries = 0
+    total_discarded = 0
+    samples_taken = 0
+    while True:
+        raw = sampler.sample_attempt(
+            x, y, cfg.repetitions, attempt=retries, vectorized=cfg.vectorized
+        )
+        samples_taken += cfg.repetitions
+        samples = raw - overhead
+        median, stdev, discarded, accepted = _judge_attempt(
+            samples, threshold, cfg
+        )
+        total_discarded += discarded
+        if accepted:
+            return {
+                "pair": (x, y),
+                "median": median,
+                "stdev": stdev,
+                "retries": retries,
+                "discarded": total_discarded,
+                "samples": samples_taken,
+                "failed": False,
+            }
+        retries += 1
+        threshold *= 2.0
+        if threshold > cfg.max_stdev_threshold:
+            return {
+                "pair": (x, y),
+                "median": median,
+                "stdev": stdev,
+                "retries": retries,
+                "discarded": total_discarded,
+                "samples": samples_taken,
+                "failed": True,
+            }
+
+
+def _measure_pairs_chunk(
+    spec: PairProbeSpec,
+    pairs: list[tuple[int, int]],
+    overhead: float,
+    cfg: LatencyTableConfig,
+) -> list[dict[str, Any]]:
+    """Worker entry point: measure a chunk of pairs independently.
+
+    Module level so :mod:`concurrent.futures` can pickle it; builds one
+    :class:`PairSampler` per worker invocation and returns plain
+    records for the parent to merge.
+    """
+    sampler = PairSampler(spec)
+    return [_measure_pair_seeded(sampler, x, y, overhead, cfg) for x, y in pairs]
+
+
+def _chunk_pairs(
+    pairs: list[tuple[int, int]], jobs: int
+) -> list[list[tuple[int, int]]]:
+    """Contiguous chunks, a few per worker for load balancing."""
+    chunk = max(1, -(-len(pairs) // (jobs * 4)))
+    return [pairs[i:i + chunk] for i in range(0, len(pairs), chunk)]
+
+
+def _collect_pair_seeded(
+    probe: MeasurementContext, cfg: LatencyTableConfig
+) -> LatencyTableResult:
+    """The pair-seeded collection loop, optionally fanned out.
+
+    Warm-up and rdtsc calibration run sequentially on the parent probe
+    (they consume its shared RNG stream); sampling then proceeds from
+    the frozen :meth:`~MeasurementContext.batch_spec` snapshot, in
+    process when ``jobs=1`` or over a process pool otherwise.  Records
+    are merged in pair order, so metrics, retry events and the first
+    reported failure are identical for every ``jobs`` value.
+    """
+    obs = probe.obs
+    n = probe.n_hw_contexts()
+    table = np.zeros((n, n))
+    stdevs = np.zeros((n, n))
+    start_samples = probe.samples_taken
+    retried = 0
+    discarded_total = 0
+
+    pair_counter = obs.counter("lat_table.pairs")
+    retry_counter = obs.counter("lat_table.retries")
+    discard_counter = obs.counter("lat_table.discarded_samples")
+    discard_hist = obs.histogram("lat_table.discard_fraction")
+    stdev_hist = obs.histogram("lat_table.pair_stdev")
+
+    with obs.span("lat_table.collect", n_contexts=n,
+                  repetitions=cfg.repetitions):
+        overhead = probe.estimate_tsc_overhead()
+        obs.gauge("lat_table.tsc_overhead").set(overhead)
+
+        if cfg.warm_up:
+            for ctx in range(n):
+                probe.warm_up(ctx, cfg.warmup_loop_iters)
+
+        spec = probe.batch_spec()
+        pairs = [(x, y) for x in range(n) for y in range(x + 1, n)]
+
+        if cfg.jobs > 1:
+            chunks = _chunk_pairs(pairs, cfg.jobs)
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=cfg.jobs
+            ) as pool:
+                chunk_records = list(
+                    pool.map(
+                        _measure_pairs_chunk,
+                        (spec for _ in chunks),
+                        chunks,
+                        (overhead for _ in chunks),
+                        (cfg for _ in chunks),
+                    )
+                )
+            records = [rec for chunk in chunk_records for rec in chunk]
+        else:
+            sampler = PairSampler(spec)
+            records = [
+                _measure_pair_seeded(sampler, x, y, overhead, cfg)
+                for x, y in pairs
+            ]
+
+        for rec in records:  # already in pair order: merge is deterministic
+            x, y = rec["pair"]
+            probe.samples_taken += rec["samples"]
+            if rec["failed"]:
+                obs.instant(
+                    "lat_table.pair_failed", pair=[int(x), int(y)],
+                    stdev=rec["stdev"], median=rec["median"],
+                )
+                raise MeasurementError(
+                    f"pair ({x}, {y}) never stabilized: stdev "
+                    f"{rec['stdev']:.1f} vs median {rec['median']:.1f} "
+                    f"after {rec['retries']} retries — rerun libmctop solo "
+                    "on the machine, possibly with different settings "
+                    "(Section 3.5)"
+                )
+            retried += 1 if rec["retries"] else 0
+            discarded_total += rec["discarded"]
+            table[x, y] = table[y, x] = max(rec["median"], 0.0)
+            stdevs[x, y] = stdevs[y, x] = rec["stdev"]
+            pair_counter.inc()
+            discard_hist.observe(
+                rec["discarded"] / (cfg.repetitions * (rec["retries"] + 1))
+            )
+            stdev_hist.observe(rec["stdev"])
+            if rec["retries"]:
+                retry_counter.inc(rec["retries"])
+                obs.instant(
+                    "lat_table.retry",
+                    pair=[int(x), int(y)], retries=rec["retries"],
+                )
+
+        discard_counter.inc(discarded_total)
+        obs.counter("lat_table.samples").inc(
+            probe.samples_taken - start_samples
+        )
+
+    return LatencyTableResult(
+        table=table,
+        repetitions=cfg.repetitions,
+        samples_taken=probe.samples_taken - start_samples,
+        retried_pairs=retried,
+        tsc_overhead=overhead,
+        discarded_samples=discarded_total,
+        per_pair_stdev=stdevs,
+    )
+
+
 def collect_latency_table(
     probe: MeasurementContext,
     cfg: LatencyTableConfig | None = None,
 ) -> LatencyTableResult:
     """Fill the N x N latency table (Figure 6, step 1)."""
     cfg = cfg or LatencyTableConfig()
+    if cfg.effective_sampling() == "pair":
+        return _collect_pair_seeded(probe, cfg)
     obs = probe.obs
     n = probe.n_hw_contexts()
     table = np.zeros((n, n))

@@ -1,16 +1,32 @@
 """Exception hierarchy for the repro (MCTOP) library.
 
-Every error raised by the library derives from :class:`MctopError` so that
-callers can catch library failures with a single ``except`` clause while
-still being able to discriminate the individual failure modes the paper
-describes (e.g. unsuccessful clustering of latency values, Section 3.6).
+Every error raised by the library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to discriminate the individual failure modes the
+paper describes (e.g. unsuccessful clustering of latency values,
+Section 3.6).  :class:`MctopError` remains the base of the
+topology-related errors and is itself a :class:`ReproError`, so legacy
+``except MctopError`` call sites keep working unchanged.
 """
 
 from __future__ import annotations
 
 
-class MctopError(Exception):
-    """Base class for all errors raised by the repro library."""
+class ReproError(Exception):
+    """Root of every error raised by the repro library."""
+
+
+class MctopError(ReproError):
+    """Base class for all topology/measurement errors."""
+
+
+class ConfigError(MctopError):
+    """A configuration document or knob combination is invalid.
+
+    Raised by :meth:`LatencyTableConfig.from_dict` for unknown keys and
+    by config validation for impossible knob combinations (e.g.
+    ``jobs > 1`` with the strictly sequential sampling scheme).
+    """
 
 
 class MachineModelError(MctopError):

@@ -16,6 +16,8 @@ measurements, which the test suite checks.
 
 from __future__ import annotations
 
+import math
+
 from repro.hardware.machine import MachineSpec
 
 
@@ -54,10 +56,31 @@ class DvfsState:
     def is_max(self, core: int) -> bool:
         return self._warmth[core] > 0.995
 
+    # Batched measurement support: the vectorized probe advances the
+    # warmth recurrence outside this class (hoisting the per-call
+    # ``math.exp``), so it needs raw access to the state and the exact
+    # per-step decay factor.  ``run_busy`` and these helpers MUST stay
+    # bit-for-bit consistent — the golden-topology fixtures pin it.
+    def warmth_of(self, core: int) -> float:
+        """Raw ramp state of a core (0 = cold, 1 = fully ramped)."""
+        return self._warmth[core]
+
+    def set_warmth(self, core: int, warmth: float) -> None:
+        self._warmth[core] = warmth
+
+    @classmethod
+    def busy_decay(cls, cycles: float) -> float:
+        """The multiplier ``run_busy`` applies to (1 - warmth) per call."""
+        return math.exp(-cycles / cls.RAMP_TAU)
+
+    def factor_from_warmth(self, warmth: float) -> float:
+        """:meth:`factor` computed from an explicit warmth value."""
+        s = self.spec
+        freq = s.freq_min_ghz + (s.freq_max_ghz - s.freq_min_ghz) * warmth
+        return s.freq_max_ghz / freq
+
     def run_busy(self, core: int, cycles: float) -> None:
         """Account busy execution on a core, ramping it up."""
-        import math
-
         w = self._warmth[core]
         self._warmth[core] = 1.0 - (1.0 - w) * math.exp(-cycles / self.RAMP_TAU)
 

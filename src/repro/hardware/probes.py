@@ -14,6 +14,8 @@ directly; the algorithm never does.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.hardware.coherence import CoherenceSimulator
@@ -71,6 +73,7 @@ class MeasurementContext:
                 spurious_prob=min(0.5, profile.spurious_prob * 40),
                 spurious_scale=profile.spurious_scale,
             )
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self.noise = NoiseSource(profile, self._rng)
         self.coherence = CoherenceSimulator(machine)
@@ -178,6 +181,92 @@ class MeasurementContext:
         self.samples_taken += 1
         return max(measured, 0.0)
 
+    def sample_pair_latencies(
+        self, x: int, y: int, n: int, line_id: int | None = None
+    ) -> np.ndarray:
+        """``n`` Figure-5 samples for one pair as a single array.
+
+        Produces bit-for-bit the values ``n`` consecutive
+        :meth:`sample_pair_latency` calls would, while paying the
+        expensive per-sample machinery only once per batch:
+
+        * the MESI transaction is priced through the coherence
+          simulator once — in the absence of contention the protocol is
+          deterministic (Observation 1), so every later lock-step CAS
+          on the same line costs exactly the same cycles (and leaves
+          the line in the same MODIFIED-at-``x`` state);
+        * the DVFS warmth recurrence is advanced inline with a hoisted
+          decay constant instead of two ``run_busy`` calls per sample;
+        * the rdtsc and noise draws still come one-per-sample from the
+          shared generator, preserving the exact RNG consumption order
+          the golden-topology fixtures pin down.
+        """
+        line = self.fresh_line() if line_id is None else line_id
+        true = self.coherence.probe_pair_rfo(requester=x, owner=y, line_id=line)
+        cx = self.machine.core_of(x)
+        cy = self.machine.core_of(y)
+        decay = DvfsState.busy_decay(_SAMPLE_BUSY_CYCLES)
+        wx = self.dvfs.warmth_of(cx)
+        wy = self.dvfs.warmth_of(cy)
+        same_core = cx == cy
+        factor = self.dvfs.factor_from_warmth
+        tsc_overhead = self.tsc.measurement_overhead
+        noise = self.noise.sample
+        out = np.empty(n)
+        for i in range(n):
+            cold_x = factor(wx) - 1.0
+            cold_y = cold_x if same_core else factor(wy) - 1.0
+            measured = (
+                true
+                + cold_x * _DVFS_PENALTY_LOCAL
+                + cold_y * _DVFS_PENALTY_REMOTE
+                + tsc_overhead()
+                + noise()
+            )
+            out[i] = max(measured, 0.0)
+            wx = 1.0 - (1.0 - wx) * decay
+            if same_core:
+                wx = 1.0 - (1.0 - wx) * decay
+            else:
+                wy = 1.0 - (1.0 - wy) * decay
+        self.dvfs.set_warmth(cx, wx)
+        if not same_core:
+            self.dvfs.set_warmth(cy, wy)
+        self.samples_taken += n
+        return out
+
+    def sample_pairs_batch(
+        self, pairs: list[tuple[int, int]], n: int
+    ) -> np.ndarray:
+        """Batch :meth:`sample_pair_latencies` over a pair list.
+
+        Returns a ``(len(pairs), n)`` array; pairs are sampled in list
+        order on the shared sequential streams (so the result depends
+        on the order, exactly like individual calls would).
+        """
+        out = np.empty((len(pairs), n))
+        for i, (x, y) in enumerate(pairs):
+            out[i] = self.sample_pair_latencies(x, y, n)
+        return out
+
+    def batch_spec(self) -> "PairProbeSpec":
+        """Snapshot for the order-independent pair-seeded sampling scheme.
+
+        Captures everything a (possibly remote) worker needs to measure
+        any context pair independently: the machine, the noise profile,
+        the true rdtsc parameters, the probe seed and the current
+        per-core DVFS warmth.  See :class:`PairProbeSpec`.
+        """
+        return PairProbeSpec(
+            machine=self.machine,
+            noise=self.noise.profile,
+            tsc_overhead=self.tsc.overhead,
+            tsc_jitter=self.tsc.jitter,
+            seed=self.seed,
+            warmth=tuple(self.dvfs.warmth_of(c)
+                         for c in range(self.machine.spec.n_cores)),
+        )
+
     # ------------------------------------------------------------ memory
     def mem_latency_sample(self, ctx: int, node: int) -> float:
         """Per-access latency of a random pointer chase in ``node``."""
@@ -242,3 +331,212 @@ class MeasurementContext:
         )
         true = hierarchy.latency_for_working_set(working_set_bytes)
         return max(true + self.noise.sample() * 0.3, 0.5)
+
+
+def __getattr__(name: str):
+    # Deprecated re-export: MeasurementError historically lived with the
+    # measurement layer; it now sits in the repro.errors hierarchy under
+    # the single ReproError root.
+    if name == "MeasurementError":
+        import warnings
+
+        warnings.warn(
+            "importing MeasurementError from repro.hardware.probes is "
+            "deprecated; import it from repro.errors (or repro) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.errors import MeasurementError
+
+        return MeasurementError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+# ===================== pair-seeded sampling scheme =====================
+#
+# The sequential scheme above threads one RNG stream through every pair
+# in measurement order, which makes the collection loop inherently
+# serial: pair k+1's draws depend on how many draws pair k consumed
+# (spurious spikes and retries are data dependent).  The *pair-seeded*
+# scheme instead derives an independent substream per (pair, attempt)
+# from the probe seed, and freezes the DVFS state at its post-warm-up
+# snapshot, so any context pair can be measured by any worker in any
+# order — the foundation of ``LatencyTableConfig(jobs=N)``.
+#
+# Determinism contract: for a given (machine, seed, config) the scheme
+# yields bit-identical samples whether consumed sample-by-sample
+# (``vectorized=False``), as whole-batch numpy draws, or fanned out
+# over N processes.  That works because numpy ``Generator`` batch draws
+# consume the underlying bitstream exactly like repeated scalar draws,
+# provided the draw *order* is fixed — so the scheme fixes it: per
+# attempt, first the ``n`` rdtsc-jitter normals, then the ``n``
+# Gaussian-noise normals, then the ``n`` spike uniforms, then one
+# exponential per spike in ascending sample order.
+
+
+@dataclass(frozen=True)
+class PairProbeSpec:
+    """Everything a worker needs to measure any pair independently.
+
+    Produced by :meth:`MeasurementContext.batch_spec` after warm-up;
+    plain picklable data so chunks of pairs can cross process
+    boundaries for the parallel fan-out.
+    """
+
+    machine: Machine
+    noise: NoiseProfile
+    tsc_overhead: float
+    tsc_jitter: float
+    seed: int
+    warmth: tuple[float, ...]  # per-core DVFS ramp state at snapshot
+
+
+def pair_rng(seed: int, x: int, y: int, attempt: int) -> np.random.Generator:
+    """The deterministic substream of one measurement attempt."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(x, y, attempt))
+    )
+
+
+class PairSampler:
+    """Measures context pairs under the pair-seeded scheme.
+
+    One instance per worker.  DVFS cold-core penalties are precomputed
+    per core as additive per-sample arrays (the warmth trajectory over
+    a batch depends only on the snapshot warmth, which is fixed), and
+    the MESI transaction is priced once per attempt through a local
+    coherence simulator on a fresh line.
+    """
+
+    def __init__(self, spec: PairProbeSpec):
+        self.spec = spec
+        self.machine = spec.machine
+        self.coherence = CoherenceSimulator(spec.machine)
+        self._dvfs = DvfsState(spec.machine.spec)
+        self._decay = DvfsState.busy_decay(_SAMPLE_BUSY_CYCLES)
+        self._next_line = 0
+        # (core, doubled) -> (local_add, remote_add) per-sample arrays.
+        self._adds: dict[tuple[int, bool], tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------ internals
+    def _dvfs_adds(
+        self, core: int, n: int, doubled: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample additive DVFS penalties for a core's trajectory.
+
+        ``doubled`` models a same-core (SMT) pair, where both per-sample
+        ``run_busy`` accounts land on the one core.
+        """
+        cached = self._adds.get((core, doubled))
+        if cached is not None and cached[0].size >= n:
+            return cached[0][:n], cached[1][:n]
+        w = self.spec.warmth[core]
+        factor = self._dvfs.factor_from_warmth
+        decay = self._decay
+        local = np.empty(n)
+        remote = np.empty(n)
+        for i in range(n):
+            cold = factor(w) - 1.0
+            local[i] = cold * _DVFS_PENALTY_LOCAL
+            remote[i] = cold * _DVFS_PENALTY_REMOTE
+            w = 1.0 - (1.0 - w) * decay
+            if doubled:
+                w = 1.0 - (1.0 - w) * decay
+        self._adds[(core, doubled)] = (local, remote)
+        return local, remote
+
+    # ------------------------------------------------------------- sampling
+    def sample_attempt(
+        self, x: int, y: int, n: int, attempt: int, vectorized: bool = True
+    ) -> np.ndarray:
+        """``n`` raw samples (rdtsc overhead still included) for one
+        measurement attempt of pair ``(x, y)``.
+
+        ``vectorized=False`` is the reference scalar engine the
+        benchmark harness compares against: it prices the coherence
+        transaction, walks the DVFS trajectory and draws from the
+        substream one sample at a time, the way the pre-batching engine
+        did.  Both paths produce bit-identical arrays — only the cost
+        differs.
+        """
+        cx = self.machine.core_of(x)
+        cy = self.machine.core_of(y)
+        same_core = cx == cy
+        rng = pair_rng(self.spec.seed, x, y, attempt)
+        spec = self.spec
+        profile = spec.noise
+        self._next_line += 1
+        line = self._next_line
+
+        if vectorized:
+            true = self.coherence.probe_pair_rfo(
+                requester=x, owner=y, line_id=line
+            )
+            add_x, _ = self._dvfs_adds(cx, n, doubled=same_core)
+            _, add_y = self._dvfs_adds(cy, n, doubled=same_core)
+            if spec.tsc_jitter > 0:
+                tscv = np.maximum(
+                    0.0, spec.tsc_overhead + rng.normal(0.0, spec.tsc_jitter, n)
+                )
+            else:
+                tscv = np.full(n, spec.tsc_overhead)
+            if profile.enabled:
+                z = rng.normal(0.0, profile.jitter_sigma, n)
+                u = rng.random(n)
+                spikes = np.flatnonzero(u < profile.spurious_prob)
+                if spikes.size:
+                    z[spikes] += rng.exponential(
+                        profile.spurious_scale, spikes.size
+                    )
+            else:
+                z = np.zeros(n)
+            measured = ((true + add_x) + add_y) + tscv + z
+            return np.where(measured > 0.0, measured, 0.0)
+
+        # Scalar reference: everything per sample.  The coherence probe
+        # is re-run each time (the line's MESI state is stable after the
+        # first lock-step round, so the price is the same), the DVFS
+        # recurrence is stepped inline, and every draw is a separate
+        # scalar RNG call in the scheme's canonical distribution order.
+        factor = self._dvfs.factor_from_warmth
+        decay = self._decay
+        wx = spec.warmth[cx]
+        wy = spec.warmth[cy]
+        add_x_s = np.empty(n)
+        add_y_s = np.empty(n)
+        trues = np.empty(n)
+        for i in range(n):
+            trues[i] = self.coherence.probe_pair_rfo(
+                requester=x, owner=y, line_id=line
+            )
+            cold_x = factor(wx) - 1.0
+            cold_y = cold_x if same_core else factor(wy) - 1.0
+            add_x_s[i] = cold_x * _DVFS_PENALTY_LOCAL
+            add_y_s[i] = cold_y * _DVFS_PENALTY_REMOTE
+            wx = 1.0 - (1.0 - wx) * decay
+            if same_core:
+                wx = 1.0 - (1.0 - wx) * decay
+            else:
+                wy = 1.0 - (1.0 - wy) * decay
+        tscv_s = np.empty(n)
+        for i in range(n):
+            if spec.tsc_jitter > 0:
+                tscv_s[i] = max(
+                    0.0, spec.tsc_overhead + rng.normal(0.0, spec.tsc_jitter)
+                )
+            else:
+                tscv_s[i] = spec.tsc_overhead
+        z_s = np.empty(n)
+        if profile.enabled:
+            for i in range(n):
+                z_s[i] = rng.normal(0.0, profile.jitter_sigma)
+            flagged = [i for i in range(n) if rng.random() < profile.spurious_prob]
+            for i in flagged:
+                z_s[i] += rng.exponential(profile.spurious_scale)
+        else:
+            z_s.fill(0.0)
+        out = np.empty(n)
+        for i in range(n):
+            v = ((trues[i] + add_x_s[i]) + add_y_s[i]) + tscv_s[i] + z_s[i]
+            out[i] = v if v > 0.0 else 0.0
+        return out

@@ -19,7 +19,6 @@ other N-1 await the leader's result.
 from __future__ import annotations
 
 import asyncio
-import dataclasses
 import hashlib
 import json
 from collections import OrderedDict
@@ -31,7 +30,7 @@ from repro.core.serialize import load_mctop, save_mctop
 from repro.errors import SerializationError
 from repro.obs import Observability
 
-KEY_FORMAT_VERSION = 1
+KEY_FORMAT_VERSION = 2
 
 
 def inference_key(
@@ -40,11 +39,14 @@ def inference_key(
     """The content address of one inference run.
 
     A SHA-256 digest over the canonical JSON of the machine name, the
-    seed and every knob of the :class:`LatencyTableConfig` — the full
-    set of inputs that determine the inferred topology.  Any config
+    seed and every *semantic* knob of the :class:`LatencyTableConfig`
+    (its :meth:`~LatencyTableConfig.cache_key_dict`) — the full set of
+    inputs that determine the inferred topology.  Any semantic config
     change (even a changed spurious-sample threshold) yields a new
     address, so a store can never serve a stale topology for a new
-    configuration.
+    configuration; execution-only knobs (``vectorized``, ``jobs``) are
+    excluded because they cannot change a bit of the result, so a
+    topology inferred with ``jobs=8`` serves a ``jobs=1`` request.
     """
     table = table or LatencyTableConfig()
     doc = {
@@ -52,7 +54,7 @@ def inference_key(
         "version": KEY_FORMAT_VERSION,
         "machine": machine,
         "seed": int(seed),
-        "table": dataclasses.asdict(table),
+        "table": table.cache_key_dict(),
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -25,7 +25,7 @@ from repro.core.algorithm import (
 from repro.core.algorithm.validation import compare_with_os
 from repro.core.mctop import Mctop
 from repro.core.serialize import mctop_to_dict
-from repro.errors import MctopError, ServiceError
+from repro.errors import ConfigError, MctopError, ServiceError
 from repro.hardware import get_machine, machine_names
 from repro.hardware.os_view import read_os_topology
 from repro.obs import Observability
@@ -92,11 +92,28 @@ class Handlers:
                 f"(known: {', '.join(machine_names())})"
             )
         seed = _get_int(params, "seed", 0)
-        repetitions = _get_int(params, "repetitions",
-                               self.default_repetitions)
-        if repetitions < 1:
-            raise _invalid("'repetitions' must be >= 1")
-        return machine, seed, LatencyTableConfig(repetitions=repetitions)
+        # Measurement knobs arrive either as a full 'table' config dict
+        # (the LatencyTableConfig.to_dict shape) or as the 'repetitions'
+        # / 'jobs' shortcuts, which override individual table entries.
+        table_doc = params.get("table")
+        if table_doc is not None and not isinstance(table_doc, dict):
+            raise _invalid("'table' must be a config object")
+        doc = dict(table_doc) if table_doc else {}
+        repetitions = _get_int(params, "repetitions", None)
+        if repetitions is not None:
+            doc["repetitions"] = repetitions
+        doc.setdefault("repetitions", self.default_repetitions)
+        reps = doc["repetitions"]
+        if isinstance(reps, bool) or not isinstance(reps, int) or reps < 1:
+            raise _invalid("'repetitions' must be an integer >= 1")
+        jobs = _get_int(params, "jobs", None)
+        if jobs is not None:
+            doc["jobs"] = jobs
+        try:
+            table = LatencyTableConfig.from_dict(doc)
+        except ConfigError as exc:
+            raise _invalid(str(exc)) from exc
+        return machine, seed, table
 
     async def _topology(self, params: dict) -> tuple[str, Mctop, bool]:
         """Resolve (key, topology, was_cached) for a request."""

@@ -1,0 +1,195 @@
+"""The batched measurement engine: equivalence, determinism, config.
+
+The engine's whole value proposition is "same bits, less time", so
+nearly every test here is an equality assertion:
+
+* sequential scheme: the vectorized per-attempt batch must be
+  bit-identical to the original one-sample-at-a-time loop (the golden
+  fixtures pin the latter);
+* pair-seeded scheme: scalar, vectorized and multi-process collection
+  must all produce the same table, stdevs and retry counts;
+* the config round-trips through dicts and rejects unknown keys.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm.lat_table import (
+    LatencyTableConfig,
+    collect_latency_table,
+)
+from repro.errors import ConfigError, MctopError, ReproError
+from repro.hardware import MeasurementContext, get_machine
+from repro.hardware.probes import PairSampler
+
+
+def _collect(machine_name, cfg, seed=5):
+    probe = MeasurementContext(get_machine(machine_name), seed=seed)
+    return collect_latency_table(probe, cfg)
+
+
+def _assert_results_equal(a, b):
+    assert np.array_equal(a.table, b.table)
+    assert np.array_equal(a.per_pair_stdev, b.per_pair_stdev)
+    assert a.retried_pairs == b.retried_pairs
+    assert a.samples_taken == b.samples_taken
+    assert a.discarded_samples == b.discarded_samples
+    assert a.tsc_overhead == b.tsc_overhead
+
+
+# ------------------------------------------------- sequential scheme
+
+
+@pytest.mark.parametrize("machine", ["testbox", "opteron"])
+def test_sequential_vectorized_equals_scalar(machine):
+    """Same seed -> identical table, stdevs and retry counts."""
+    vec = _collect(machine, LatencyTableConfig(vectorized=True))
+    sca = _collect(machine, LatencyTableConfig(vectorized=False))
+    _assert_results_equal(vec, sca)
+
+
+def test_probe_batch_equals_scalar_samples():
+    """sample_pair_latencies is bit-identical to n scalar calls."""
+    a = MeasurementContext(get_machine("testbox"), seed=9)
+    b = MeasurementContext(get_machine("testbox"), seed=9)
+    for x, y in [(0, 1), (0, 4), (2, 3)]:
+        line_a, line_b = a.fresh_line(), b.fresh_line()
+        scalar = np.array(
+            [a.sample_pair_latency(x, y, line_a) for _ in range(50)]
+        )
+        batch = b.sample_pair_latencies(x, y, 50, line_id=line_b)
+        assert np.array_equal(scalar, batch)
+    assert a.samples_taken == b.samples_taken
+
+
+def test_sample_pairs_batch_shape():
+    probe = MeasurementContext(get_machine("testbox"), seed=2)
+    out = probe.sample_pairs_batch([(0, 1), (1, 2), (0, 3)], 16)
+    assert out.shape == (3, 16)
+    assert probe.samples_taken == 48
+
+
+# ------------------------------------------------- pair-seeded scheme
+
+
+@pytest.mark.parametrize("machine", ["testbox", "opteron"])
+def test_pair_scheme_vectorized_equals_scalar(machine):
+    vec = _collect(
+        machine, LatencyTableConfig(sampling="pair", vectorized=True)
+    )
+    sca = _collect(
+        machine, LatencyTableConfig(sampling="pair", vectorized=False)
+    )
+    _assert_results_equal(vec, sca)
+
+
+def test_jobs_determinism():
+    """jobs=4 merges into exactly the jobs=1 table (and stats)."""
+    one = _collect("testbox", LatencyTableConfig(sampling="pair", jobs=1))
+    four = _collect("testbox", LatencyTableConfig(sampling="pair", jobs=4))
+    _assert_results_equal(one, four)
+
+
+def test_jobs_obs_counters_match_parent():
+    """The merged run reports the same counters a jobs=1 run does."""
+    p1 = MeasurementContext(get_machine("testbox"), seed=5)
+    p4 = MeasurementContext(get_machine("testbox"), seed=5)
+    collect_latency_table(p1, LatencyTableConfig(sampling="pair", jobs=1))
+    collect_latency_table(p4, LatencyTableConfig(sampling="pair", jobs=4))
+    for name in ("lat_table.pairs", "lat_table.retries",
+                 "lat_table.samples", "lat_table.discarded_samples"):
+        assert p1.registry.value(name, 0) == p4.registry.value(name, 0), name
+    assert p1.obs.summary() == p4.obs.summary()
+
+
+def test_pair_sampler_order_independent():
+    probe = MeasurementContext(get_machine("testbox"), seed=3)
+    for ctx in range(probe.n_hw_contexts()):
+        probe.warm_up(ctx)
+    spec = probe.batch_spec()
+    pairs = [(0, 1), (2, 5), (1, 6), (3, 4)]
+    forward = PairSampler(spec)
+    backward = PairSampler(spec)
+    got_fwd = {p: forward.sample_attempt(*p, 32, attempt=0) for p in pairs}
+    got_bwd = {
+        p: backward.sample_attempt(*p, 32, attempt=0)
+        for p in reversed(pairs)
+    }
+    for p in pairs:
+        assert np.array_equal(got_fwd[p], got_bwd[p])
+
+
+def test_infer_identical_across_modes():
+    """Full inference is byte-identical for scalar/batched/jobs."""
+    import json
+
+    from repro import infer
+    from repro.core.serialize import mctop_to_dict
+
+    def doc(**knobs):
+        mctop = infer("testbox", seed=1, sampling="pair", **knobs)
+        return json.dumps(mctop_to_dict(mctop), sort_keys=True)
+
+    scalar = doc(vectorized=False)
+    batched = doc(vectorized=True)
+    fanned = doc(vectorized=True, jobs=3)
+    assert scalar == batched == fanned
+
+
+# ------------------------------------------------------ configuration
+
+
+def test_config_round_trips_through_dicts():
+    cfg = LatencyTableConfig(repetitions=31, jobs=2, sampling="pair",
+                             stdev_floor=2.5)
+    assert LatencyTableConfig.from_dict(cfg.to_dict()) == cfg
+    assert LatencyTableConfig.from_dict({}) == LatencyTableConfig()
+
+
+def test_config_rejects_unknown_keys():
+    with pytest.raises(ConfigError, match="repetition_count"):
+        LatencyTableConfig.from_dict({"repetition_count": 10})
+
+
+def test_config_rejects_bad_sampling():
+    with pytest.raises(ConfigError, match="sampling"):
+        LatencyTableConfig(sampling="quantum")
+
+
+def test_config_rejects_bad_jobs():
+    with pytest.raises(ConfigError):
+        LatencyTableConfig(jobs=0)
+    with pytest.raises(ConfigError, match="sequential"):
+        LatencyTableConfig(jobs=2, sampling="sequential")
+
+
+def test_config_error_is_catchable_as_mctop_and_repro_error():
+    with pytest.raises(MctopError):
+        LatencyTableConfig.from_dict({"nope": 1})
+    with pytest.raises(ReproError):
+        LatencyTableConfig.from_dict({"nope": 1})
+
+
+def test_effective_sampling_resolution():
+    assert LatencyTableConfig().effective_sampling() == "sequential"
+    assert LatencyTableConfig(jobs=2).effective_sampling() == "pair"
+    assert LatencyTableConfig(sampling="pair").effective_sampling() == "pair"
+
+
+def test_cache_key_dict_drops_execution_knobs():
+    base = LatencyTableConfig(sampling="pair")
+    for variant in (
+        LatencyTableConfig(sampling="pair", jobs=4),
+        LatencyTableConfig(sampling="pair", vectorized=False),
+        dataclasses.replace(base, jobs=8),
+    ):
+        assert variant.cache_key_dict() == base.cache_key_dict()
+    # ...but semantic knobs still separate entries.
+    assert (
+        LatencyTableConfig(repetitions=31).cache_key_dict()
+        != base.cache_key_dict()
+    )
+    # auto with jobs resolves to the same key as explicit pair sampling.
+    assert LatencyTableConfig(jobs=4).cache_key_dict() == base.cache_key_dict()

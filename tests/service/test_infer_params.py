@@ -1,0 +1,87 @@
+"""Measurement-knob plumbing of the service ``infer`` verb.
+
+The daemon accepts either the ``repetitions``/``jobs`` shortcuts or a
+full ``table`` config document (the ``LatencyTableConfig.to_dict``
+shape); both routes go through ``LatencyTableConfig.from_dict`` and
+bad input comes back as an ``invalid_params`` service error.
+"""
+
+import pytest
+
+from repro.core.algorithm.lat_table import LatencyTableConfig
+from repro.errors import ServiceError
+from repro.obs import Observability
+from repro.service.cache import InferenceCache, inference_key
+from repro.service.handlers import Handlers
+
+
+@pytest.fixture()
+def handlers():
+    obs = Observability()
+    return Handlers(cache=InferenceCache(obs=obs), obs=obs,
+                    default_repetitions=31)
+
+
+def test_defaults(handlers):
+    machine, seed, table = handlers._inference_params({"machine": "testbox"})
+    assert (machine, seed) == ("testbox", 0)
+    assert table == LatencyTableConfig(repetitions=31)
+
+
+def test_jobs_param_switches_to_pair_sampling(handlers):
+    _, _, table = handlers._inference_params(
+        {"machine": "testbox", "jobs": 4}
+    )
+    assert table.jobs == 4
+    assert table.effective_sampling() == "pair"
+
+
+def test_table_document_round_trip(handlers):
+    doc = LatencyTableConfig(repetitions=15, sampling="pair").to_dict()
+    _, _, table = handlers._inference_params(
+        {"machine": "testbox", "table": doc}
+    )
+    assert table == LatencyTableConfig(repetitions=15, sampling="pair")
+
+
+def test_shortcuts_override_table_document(handlers):
+    _, _, table = handlers._inference_params(
+        {"machine": "testbox", "table": {"repetitions": 99},
+         "repetitions": 15, "jobs": 2}
+    )
+    assert table.repetitions == 15
+    assert table.jobs == 2
+
+
+@pytest.mark.parametrize("params", [
+    {"machine": "testbox", "table": {"bogus_knob": 1}},
+    {"machine": "testbox", "jobs": 0},
+    {"machine": "testbox", "jobs": "four"},
+    {"machine": "testbox", "table": {"sampling": "quantum"}},
+    {"machine": "testbox", "table": {"jobs": 2, "sampling": "sequential"}},
+    {"machine": "testbox", "repetitions": 0},
+    {"machine": "testbox", "table": "not-a-dict"},
+])
+def test_bad_measurement_params_are_invalid_params(handlers, params):
+    with pytest.raises(ServiceError) as excinfo:
+        handlers._inference_params(params)
+    assert excinfo.value.code == "invalid_params"
+
+
+def test_cache_key_ignores_execution_knobs():
+    """jobs/vectorized variants share one cache entry; semantic
+    changes (and the sequential/pair schemes) do not."""
+    pair = LatencyTableConfig(sampling="pair")
+    assert inference_key("ivy", 1, pair) == inference_key(
+        "ivy", 1, LatencyTableConfig(sampling="pair", jobs=8)
+    )
+    assert inference_key("ivy", 1, pair) == inference_key(
+        "ivy", 1, LatencyTableConfig(sampling="pair", vectorized=False)
+    )
+    assert inference_key("ivy", 1, pair) != inference_key(
+        "ivy", 1, LatencyTableConfig()
+    )
+    assert inference_key("ivy", 1, pair) != inference_key(
+        "ivy", 1, LatencyTableConfig(sampling="pair", repetitions=31)
+    )
+    assert inference_key("ivy", 1, pair) != inference_key("ivy", 2, pair)

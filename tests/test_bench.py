@@ -1,0 +1,48 @@
+"""Smoke tests for the cold-inference benchmark harness."""
+
+import json
+
+from repro.benchmark import mode_table_config, run_bench
+from repro.cli import main
+
+
+def test_run_bench_quick(tmp_path):
+    out = tmp_path / "BENCH_3.json"
+    doc = run_bench(machines=["testbox"], quick=True, jobs=2, out=out)
+    assert doc["all_topologies_identical"]
+    assert doc["machines"][0]["machine"] == "testbox"
+    modes = doc["machines"][0]["modes"]
+    assert set(modes) == {"scalar", "batched", "jobs"}
+    for entry in modes.values():
+        assert entry["wall_seconds"] > 0
+        assert entry["samples"] > 0
+    assert modes["scalar"]["speedup_vs_scalar"] == 1.0
+    on_disk = json.loads(out.read_text())
+    assert on_disk == doc
+
+
+def test_mode_configs_all_use_pair_sampling():
+    for mode in ("scalar", "batched", "jobs"):
+        cfg = mode_table_config(mode, repetitions=10, jobs=4)
+        assert cfg.effective_sampling() == "pair", mode
+    assert not mode_table_config("scalar", 10, 4).vectorized
+    assert mode_table_config("batched", 10, 4).jobs == 1
+    assert mode_table_config("jobs", 10, 4).jobs == 4
+
+
+def test_cli_bench_subcommand(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    rc = main(["bench", "--machines", "testbox", "--quick",
+               "--jobs", "2", "--out", str(out)])
+    assert rc == 0
+    assert out.is_file()
+    stdout = capsys.readouterr().out
+    assert "batched" in stdout
+    assert str(out) in stdout
+
+
+def test_cli_bench_rejects_unknown_machine(tmp_path, capsys):
+    rc = main(["bench", "--machines", "nope",
+               "--out", str(tmp_path / "x.json")])
+    assert rc == 2
+    assert "unknown machine" in capsys.readouterr().err
