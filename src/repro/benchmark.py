@@ -136,12 +136,15 @@ def run_bench(
     quick: bool = False,
     out: str | Path | None = DEFAULT_OUT,
     progress: Callable[[str], None] | None = None,
+    history: str | Path | None = None,
 ) -> dict[str, Any]:
     """The full benchmark: every requested machine, every mode.
 
     ``quick`` drops the sample count so CI smoke jobs finish in
     seconds.  Writes the BENCH document to ``out`` (unless ``None``)
-    and returns it.
+    and returns it.  ``history`` names a JSONL file to append one
+    per-(machine, mode) record to (see :mod:`repro.obs.history`), so
+    repeated runs accumulate a queryable performance trend.
     """
     if repetitions is None:
         repetitions = 25 if quick else 75
@@ -175,4 +178,8 @@ def run_bench(
     }
     if out is not None:
         Path(out).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    if history is not None:
+        from repro.obs.history import append_history
+
+        append_history(doc, history)
     return doc

@@ -192,32 +192,69 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Time cold inference across measurement-engine modes."""
-    from repro.benchmark import run_bench
+    import json
 
-    machines = args.machines.split(",") if args.machines else None
-    try:
-        doc = run_bench(
-            machines=machines,
-            repetitions=args.repetitions,
-            seed=args.seed,
-            jobs=args.jobs,
-            quick=args.quick,
-            out=args.out,
-            progress=print,
-        )
-    except ValueError as exc:
-        raise MctopError(str(exc)) from None
-    print(f"bench written to {args.out}")
-    for entry in doc["machines"]:
-        print(f"{entry['machine']:>10}: batched {entry['batched_speedup']}x, "
-              f"jobs {entry['jobs_speedup']}x vs scalar "
-              f"({entry['n_contexts']} contexts)")
-    if not doc["all_topologies_identical"]:
-        print("error: modes produced diverging topologies", file=sys.stderr)
-        return 1
-    if not doc["all_batched_faster"]:
-        print("error: batched mode slower than scalar", file=sys.stderr)
-        return 1
+    from repro.benchmark import run_bench
+    from repro.obs.history import (
+        compare_bench,
+        load_baseline,
+        render_verdict_table,
+    )
+
+    if args.replay is not None:
+        if args.compare is None:
+            raise MctopError("--replay only makes sense with --compare")
+        try:
+            doc = json.loads(Path(args.replay).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise MctopError(
+                f"cannot read bench document {args.replay}: {exc}"
+            ) from None
+    else:
+        machines = args.machines.split(",") if args.machines else None
+        history = args.history
+        if history is None and not args.no_history:
+            history = str(Path(args.out).with_name("BENCH_HISTORY.jsonl"))
+        try:
+            doc = run_bench(
+                machines=machines,
+                repetitions=args.repetitions,
+                seed=args.seed,
+                jobs=args.jobs,
+                quick=args.quick,
+                out=args.out,
+                progress=print,
+                history=None if args.no_history else history,
+            )
+        except ValueError as exc:
+            raise MctopError(str(exc)) from None
+        print(f"bench written to {args.out}")
+        for entry in doc["machines"]:
+            print(f"{entry['machine']:>10}: "
+                  f"batched {entry['batched_speedup']}x, "
+                  f"jobs {entry['jobs_speedup']}x vs scalar "
+                  f"({entry['n_contexts']} contexts)")
+        if not doc["all_topologies_identical"]:
+            print("error: modes produced diverging topologies",
+                  file=sys.stderr)
+            return 1
+        if not doc["all_batched_faster"]:
+            print("error: batched mode slower than scalar", file=sys.stderr)
+            return 1
+
+    if args.compare is not None:
+        try:
+            baseline = load_baseline(args.compare)
+            comparison = compare_bench(
+                doc, baseline,
+                metric=args.compare_metric,
+                threshold=args.threshold,
+            )
+        except (OSError, ValueError) as exc:
+            raise MctopError(str(exc)) from None
+        print(render_verdict_table(comparison))
+        if not comparison["ok"]:
+            return 1
     return 0
 
 
@@ -237,6 +274,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.timeout,
         max_pending=args.max_pending,
         drain_timeout=args.drain_timeout,
+        metrics_port=args.metrics_port,
+        metrics_host=args.metrics_host,
+        access_log=args.access_log,
     )
 
     def announce(daemon) -> None:
@@ -245,6 +285,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.host is not None:
             print(f"mctopd listening on tcp:{args.host}:{daemon.tcp_port}",
                   flush=True)
+        if daemon.bound_metrics_port is not None:
+            print(f"metrics on http://{args.metrics_host}:"
+                  f"{daemon.bound_metrics_port}/metrics", flush=True)
+        if args.access_log is not None:
+            print(f"access log at {args.access_log}", flush=True)
 
     run_daemon(config, ready_callback=announce)
     print("mctopd drained, bye")
@@ -274,11 +319,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
             params["threads"] = args.threads
         if args.sockets is not None:
             params["sockets"] = args.sockets
+    prom = args.verb == "metrics" and args.format in ("prom", "prometheus")
+    if prom:
+        params["format"] = "prometheus"
+    elif args.format != "json" and args.verb != "metrics":
+        raise MctopError("--format applies to the metrics verb only")
 
     with MctopClient(unix_path=args.unix, host=args.host, port=args.port,
                      timeout=args.timeout) as client:
         result = client.request(args.verb, **params)
 
+    if prom:
+        print(result["prometheus"], end="")
+        return 0
     if args.json:
         print(json.dumps(result, indent=1, sort_keys=True))
         return 0
@@ -288,6 +341,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
     for key in sorted(result):
         print(f"{key:<22}: {result[key]}")
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard against a running mctopd."""
+    from repro.service import MctopClient
+    from repro.service.top import run_top
+
+    if args.unix is None and args.host is None:
+        raise MctopError("top needs --unix PATH or --host HOST")
+    with MctopClient(unix_path=args.unix, host=args.host, port=args.port,
+                     timeout=args.timeout) as client:
+        return run_top(
+            client,
+            interval=args.interval,
+            count=args.count,
+            clear=not args.no_clear,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -387,6 +457,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="smoke-test sample counts for CI")
     p_bench.add_argument("--out", default="BENCH_3.json",
                          help="output JSON path")
+    p_bench.add_argument("--history", default=None,
+                         help="append-only JSONL performance history "
+                              "(one record per machine+mode per run; "
+                              "default: BENCH_HISTORY.jsonl next to --out)")
+    p_bench.add_argument("--no-history", action="store_true",
+                         help="skip the history append")
+    p_bench.add_argument("--compare", metavar="BASELINE",
+                         help="regression gate: diff this run against a "
+                              "bench JSON or history JSONL baseline; "
+                              "exits 1 on regression")
+    p_bench.add_argument("--compare-metric", default="speedup_vs_scalar",
+                         choices=("speedup_vs_scalar", "samples_per_sec",
+                                  "wall_seconds"),
+                         help="metric the gate diffs (the default is a "
+                              "same-host ratio, robust across runners)")
+    p_bench.add_argument("--threshold", type=float, default=0.15,
+                         help="fractional worsening tolerated before the "
+                              "gate fails (default 0.15 = 15%%)")
+    p_bench.add_argument("--replay", metavar="BENCH_JSON",
+                         help="gate a previously saved bench document "
+                              "instead of re-running the benchmark")
     p_bench.set_defaults(func=_cmd_bench)
 
     def endpoint(p: argparse.ArgumentParser) -> None:
@@ -414,6 +505,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "shutdown (seconds)")
     p_serve.add_argument("--repetitions", type=int, default=75,
                          help="default latency samples per context pair")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="serve Prometheus text on this HTTP port "
+                              "(0 picks a free one); off by default")
+    p_serve.add_argument("--metrics-host", default="127.0.0.1",
+                         help="bind address for --metrics-port")
+    p_serve.add_argument("--access-log",
+                         help="rotating NDJSON access log path "
+                              "(one line per request)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_query = sub.add_parser(
@@ -433,8 +532,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="client-side socket timeout (seconds)")
     p_query.add_argument("--json", action="store_true",
                          help="print the raw JSON result")
+    p_query.add_argument("--format", choices=("json", "prom", "prometheus"),
+                         default="json",
+                         help="metrics verb only: 'prom' prints the "
+                              "Prometheus text exposition")
     common(p_query)
     p_query.set_defaults(func=_cmd_query)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard for a running mctopd (rates, latency "
+             "quantiles, cache hit ratio; polls the metrics verb)",
+    )
+    endpoint(p_top)
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between polls")
+    p_top.add_argument("--count", type=int, default=None,
+                       help="stop after N frames (default: until ^C)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of clearing the screen "
+                            "(e.g. when piping to a file)")
+    p_top.add_argument("--timeout", type=float, default=30.0,
+                       help="client-side socket timeout (seconds)")
+    p_top.set_defaults(func=_cmd_top)
 
     return parser
 

@@ -305,15 +305,26 @@ def _measure_pairs_chunk(
     pairs: list[tuple[int, int]],
     overhead: float,
     cfg: LatencyTableConfig,
-) -> list[dict[str, Any]]:
+) -> dict[str, Any]:
     """Worker entry point: measure a chunk of pairs independently.
 
     Module level so :mod:`concurrent.futures` can pickle it; builds one
     :class:`PairSampler` per worker invocation and returns plain
-    records for the parent to merge.
+    records for the parent to merge, plus the chunk's wall time so the
+    parent can stitch one sub-trace span per chunk into its tracer.
     """
+    import time
+
+    start = time.perf_counter()
     sampler = PairSampler(spec)
-    return [_measure_pair_seeded(sampler, x, y, overhead, cfg) for x, y in pairs]
+    records = [
+        _measure_pair_seeded(sampler, x, y, overhead, cfg) for x, y in pairs
+    ]
+    return {
+        "records": records,
+        "dur_us": (time.perf_counter() - start) * 1e6,
+        "n_pairs": len(pairs),
+    }
 
 
 def _chunk_pairs(
@@ -364,10 +375,11 @@ def _collect_pair_seeded(
 
         if cfg.jobs > 1:
             chunks = _chunk_pairs(pairs, cfg.jobs)
+            pool_start_us = obs.tracer._now_us()
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=cfg.jobs
             ) as pool:
-                chunk_records = list(
+                chunk_results = list(
                     pool.map(
                         _measure_pairs_chunk,
                         (spec for _ in chunks),
@@ -376,7 +388,21 @@ def _collect_pair_seeded(
                         (cfg for _ in chunks),
                     )
                 )
-            records = [rec for chunk in chunk_records for rec in chunk]
+            # Stitch one child span per worker chunk into the parent
+            # trace.  Adopted spans ride along in exports only — the
+            # deterministic summary stays identical to a jobs=1 run.
+            for index, chunk in enumerate(chunk_results):
+                obs.tracer.adopt_span(
+                    "lat_table.worker_chunk",
+                    dur_us=chunk["dur_us"],
+                    start_us=pool_start_us,
+                    worker=index % cfg.jobs,
+                    chunk=index,
+                    n_pairs=chunk["n_pairs"],
+                )
+            records = [
+                rec for chunk in chunk_results for rec in chunk["records"]
+            ]
         else:
             sampler = PairSampler(spec)
             records = [

@@ -24,6 +24,7 @@ from repro.obs.export import (
     to_json,
     write_chrome_trace,
 )
+from repro.obs.prometheus import render_prometheus, sanitize_metric_name
 from repro.obs.registry import Counter, Gauge, Histogram, Registry, Timer
 from repro.obs.tracer import Instant, Span, Tracer
 
@@ -95,7 +96,9 @@ __all__ = [
     "Span",
     "Timer",
     "Tracer",
+    "render_prometheus",
     "render_report",
+    "sanitize_metric_name",
     "to_chrome_trace",
     "to_json",
     "write_chrome_trace",

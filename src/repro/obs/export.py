@@ -30,6 +30,11 @@ def trace_to_events(tracer: Tracer) -> list[dict]:
     events: list[dict] = []
     for event in tracer.events:
         if isinstance(event, Span):
+            # Stitched worker spans (jobs=N chunks) get their own track
+            # so the fan-out is visible next to the parent timeline.
+            tid = _TID
+            if event.stitched:
+                tid = int(event.args.get("worker", 0)) + 1
             events.append(
                 {
                     "name": event.name,
@@ -37,7 +42,7 @@ def trace_to_events(tracer: Tracer) -> list[dict]:
                     "ts": event.start_us,
                     "dur": event.dur_us,
                     "pid": _PID,
-                    "tid": _TID,
+                    "tid": tid,
                     "args": dict(event.args),
                 }
             )

@@ -1,0 +1,174 @@
+"""Prometheus text exposition (format 0.0.4) from a registry snapshot.
+
+The renderer works from the plain-dict :meth:`Registry.snapshot` shape
+rather than live instruments so the exact same code path serves
+
+* the daemon's HTTP ``/metrics`` endpoint (``--metrics-port``),
+* ``mctop query metrics --format prom`` (client side, from the JSON the
+  ``metrics`` verb returned), and
+* :meth:`Registry.to_prometheus` for in-process callers.
+
+Mapping (instrument → exposition):
+
+========== =====================================================
+counter    ``<prefix>_<name>_total`` (TYPE counter)
+gauge      ``<prefix>_<name>`` (TYPE gauge)
+histogram  ``<prefix>_<name>`` histogram family: cumulative
+timer      ``_bucket{le="..."}`` lines, ``_sum``, ``_count``; plus a
+           ``<prefix>_<name>:quantile{quantile="0.5|0.95|0.99"}``
+           gauge family with the sliding-window estimates
+========== =====================================================
+
+Dotted instrument names (``service.latency.infer``) sanitize to the
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` metric-name alphabet by replacing every
+illegal character with ``_``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: quantile keys a histogram/timer snapshot carries, in output order.
+_QUANTILE_KEYS = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """Map an instrument name onto the Prometheus metric alphabet."""
+    full = f"{prefix}_{name}" if prefix else name
+    full = _ILLEGAL.sub("_", full)
+    if not full or not _NAME_OK.match(full):
+        full = "_" + full
+    return full
+
+
+def _fmt(value: float | int | None) -> str:
+    """One sample value, Prometheus style (+Inf/-Inf/NaN spelled out)."""
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _bucket_le(raw) -> str:
+    """A snapshot bucket bound (number or "+Inf") as a label value."""
+    if isinstance(raw, str):
+        return raw
+    if isinstance(raw, float) and math.isinf(raw):
+        return "+Inf"
+    return _fmt(float(raw))
+
+
+def render_prometheus(
+    snapshot: dict[str, dict],
+    prefix: str = "mctop",
+    extra: dict | None = None,
+) -> str:
+    """A full exposition document from a registry snapshot dict."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        kind = snap.get("kind")
+        metric = sanitize_metric_name(name, prefix)
+        if kind == "counter":
+            lines.append(f"# TYPE {metric}_total counter")
+            lines.append(f"{metric}_total {_fmt(snap['value'])}")
+        elif kind == "gauge":
+            if snap["value"] is None:
+                continue
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(snap['value'])}")
+        elif kind in ("histogram", "timer"):
+            lines.append(f"# TYPE {metric} histogram")
+            for raw_le, count in snap.get("buckets", []):
+                lines.append(
+                    f'{metric}_bucket{{le="{_bucket_le(raw_le)}"}} {count}'
+                )
+            lines.append(f"{metric}_sum {_fmt(snap['total'])}")
+            lines.append(f"{metric}_count {snap['count']}")
+            quantiles = [
+                (label, snap.get(key))
+                for key, label in _QUANTILE_KEYS
+                if snap.get(key) is not None
+            ]
+            if quantiles:
+                qmetric = f"{metric}:quantile"
+                lines.append(f"# TYPE {qmetric} gauge")
+                for label, value in quantiles:
+                    lines.append(
+                        f'{qmetric}{{quantile="{label}"}} {_fmt(value)}'
+                    )
+    for name, value in sorted((extra or {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """A strict-enough parser for tests and tooling.
+
+    Returns ``{metric_name: [(labels, value), ...]}`` and raises
+    :class:`ValueError` on malformed lines, undeclared types or illegal
+    metric names — the parse-check the acceptance criteria call for.
+    """
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    typed: set[str] = set()
+    sample_re = re.compile(
+        r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+        r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+    )
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            if not _NAME_OK.match(parts[2]):
+                raise ValueError(
+                    f"line {lineno}: illegal metric name {parts[2]!r}"
+                )
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        m = sample_re.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = m.group("name")
+        base = re.sub(r"_(?:total|bucket|sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} precedes its TYPE line"
+            )
+        labels: dict[str, str] = {}
+        if m.group("labels"):
+            for part in m.group("labels").split(","):
+                if not part:
+                    continue
+                key, _, raw = part.partition("=")
+                if not raw.startswith('"') or not raw.endswith('"'):
+                    raise ValueError(
+                        f"line {lineno}: unquoted label value: {line!r}"
+                    )
+                labels[key.strip()] = raw[1:-1]
+        raw_value = m.group("value")
+        if raw_value == "+Inf":
+            value = math.inf
+        elif raw_value == "-Inf":
+            value = -math.inf
+        else:
+            value = float(raw_value)
+        samples.setdefault(name, []).append((labels, value))
+    return samples

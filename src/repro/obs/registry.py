@@ -15,6 +15,7 @@ Instrument names use dotted paths (``lat_table.samples``,
 
 from __future__ import annotations
 
+import bisect
 import math
 import time
 from contextlib import contextmanager
@@ -55,24 +56,56 @@ class Gauge:
         return {"kind": self.kind, "value": self.value}
 
 
+#: Default Prometheus-style bucket upper bounds.  A wide log ladder so
+#: one set covers sub-millisecond service timers (seconds) and
+#: simulated-cycle latencies (hundreds) alike; +Inf is implicit.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+    1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0,
+)
+
+#: Quantiles reported by :meth:`Histogram.percentiles`.
+PERCENTILES = (0.5, 0.95, 0.99)
+
+#: Reservoir size for quantile estimation: the most recent values, a
+#: sliding window biased to "now" (what a live dashboard wants).
+RESERVOIR_SIZE = 512
+
+
 class Histogram:
     """Streaming summary statistics of an observed distribution.
 
     Keeps count/sum/min/max plus the sum of squares, so mean and
-    standard deviation are available without storing samples — constant
-    memory no matter how many values flow through.
+    standard deviation are exact at constant memory, plus two bounded
+    structures for distribution shape:
+
+    * cumulative *bucket* counts over :data:`DEFAULT_BUCKETS` (the
+      Prometheus histogram exposition);
+    * a sliding-window *reservoir* of the last :data:`RESERVOIR_SIZE`
+      values, from which p50/p95/p99 are estimated.
+
+    :meth:`observe_bulk` merges pre-aggregated stats without per-value
+    data, so bulk-merged values reach count/sum/min/max exactly but the
+    buckets (beyond the implicit +Inf) and the quantile reservoir only
+    see individually observed values — quantiles are best-effort by
+    design, never a source of nondeterminism in golden summaries.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_sumsq")
+    __slots__ = ("name", "count", "total", "min", "max", "_sumsq",
+                 "_bounds", "_bucket_counts", "_reservoir", "_res_pos")
     kind = "histogram"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, buckets: tuple[float, ...] | None = None):
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
         self._sumsq = 0.0
+        self._bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        self._bucket_counts = [0] * len(self._bounds)
+        self._reservoir: list[float] = []
+        self._res_pos = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -82,11 +115,20 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        idx = bisect.bisect_left(self._bounds, value)
+        if idx < len(self._bucket_counts):
+            self._bucket_counts[idx] += 1
+        if len(self._reservoir) < RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            self._reservoir[self._res_pos] = value
+            self._res_pos = (self._res_pos + 1) % RESERVOIR_SIZE
 
     def observe_bulk(self, count: int, total: float, sumsq: float,
                      lo: float, hi: float) -> None:
         """Merge pre-aggregated stats (e.g. from a vectorized numpy
-        pass) without a per-value Python loop."""
+        pass) without a per-value Python loop.  Bulk values land only
+        in the implicit +Inf bucket and skip the quantile reservoir."""
         if count <= 0:
             return
         self.count += count
@@ -108,8 +150,33 @@ class Histogram:
         var = self._sumsq / self.count - self.mean**2
         return math.sqrt(max(var, 0.0))
 
+    def percentiles(self) -> dict[str, float | None]:
+        """Nearest-rank p50/p95/p99 over the sliding reservoir."""
+        if not self._reservoir:
+            return {f"p{int(q * 100)}": None for q in PERCENTILES}
+        ordered = sorted(self._reservoir)
+        out: dict[str, float | None] = {}
+        for q in PERCENTILES:
+            rank = max(0, math.ceil(q * len(ordered)) - 1)
+            out[f"p{int(q * 100)}"] = ordered[rank]
+        return out
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs, Prometheus histogram style.
+
+        The final implicit ``+Inf`` bucket equals ``count`` (bulk-merged
+        values are counted there only).
+        """
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self._bounds, self._bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "kind": self.kind,
             "count": self.count,
             "total": self.total,
@@ -118,6 +185,11 @@ class Histogram:
             "mean": self.mean,
             "stdev": self.stdev,
         }
+        snap.update(self.percentiles())
+        snap["buckets"] = [
+            ["+Inf" if math.isinf(le) else le, n] for le, n in self.buckets()
+        ]
+        return snap
 
 
 class Timer(Histogram):
@@ -198,6 +270,20 @@ class Registry:
             name: self._instruments[name].snapshot()
             for name in sorted(self._instruments)
         }
+
+    def to_prometheus(self, prefix: str = "mctop", extra: dict | None = None
+                      ) -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Counters become ``<prefix>_<name>_total``, gauges plain gauges,
+        histograms/timers full histogram families (``_bucket``/``_sum``/
+        ``_count``) plus a ``:quantile`` gauge family carrying the
+        p50/p95/p99 estimates.  ``extra`` maps additional gauge names to
+        values (e.g. tracer drop counts).
+        """
+        from repro.obs.prometheus import render_prometheus
+
+        return render_prometheus(self.snapshot(), prefix=prefix, extra=extra)
 
     def reset(self) -> None:
         self._instruments.clear()

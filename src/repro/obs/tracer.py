@@ -9,10 +9,21 @@ measurement pair).  Spans nest through a context manager::
             ...
         tracer.instant("lat_table.retry", pair=(3, 7))
 
+The nesting stack lives in a :class:`contextvars.ContextVar`, so spans
+opened by concurrent asyncio tasks (one ``mctopd`` request each) parent
+correctly within their own task instead of interleaving on a shared
+stack; synchronous code sees the exact pre-contextvar behaviour.
+
 Finished spans land in a bounded ring buffer (oldest dropped first, the
-drop count is kept) so an always-on tracer can never grow without
-bound.  Timestamps come from an injectable clock, which the tests
-replace with a deterministic counter.
+drop count is kept — ``dropped`` for all events, ``dropped_spans`` for
+spans specifically, both surfaced by :meth:`Tracer.summary`) so an
+always-on tracer can never grow without bound.  Spans recorded by a
+*different* process (``jobs=N`` measurement workers) are stitched into
+the parent trace with :meth:`Tracer.adopt_span`; adopted spans ride
+along in exports but are excluded from the deterministic summary so
+``jobs=1`` and ``jobs=8`` runs stay bit-identical.  Timestamps come
+from an injectable clock, which the tests replace with a deterministic
+counter.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -35,9 +47,13 @@ class Span:
     depth: int  # nesting depth; 0 = root
     parent_id: int | None = None
     args: dict = field(default_factory=dict)
+    #: True for spans recorded elsewhere (e.g. a ``jobs=N`` worker
+    #: process) and stitched in after the fact; excluded from
+    #: :meth:`Tracer.summary` so summaries stay mode-independent.
+    stitched: bool = False
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "id": self.id,
             "name": self.name,
             "start_us": self.start_us,
@@ -46,6 +62,9 @@ class Span:
             "parent_id": self.parent_id,
             "args": self.args,
         }
+        if self.stitched:
+            doc["stitched"] = True
+        return doc
 
 
 @dataclass
@@ -78,7 +97,7 @@ class Tracer:
     capacity:
         Maximum number of retained events (spans + instants together).
         When full, the oldest events are dropped and ``dropped`` counts
-        them.
+        them (``dropped_spans`` counts the span subset).
     clock:
         A monotonic clock returning seconds; injectable for tests.
     """
@@ -91,9 +110,15 @@ class Tracer:
         self._epoch = clock()
         self.events: deque[Span | Instant] = deque()
         self.dropped = 0
+        self.dropped_spans = 0
         self._next_id = 0
-        self._stack: list[tuple[int, str]] = []  # (span id, name)
+        # (span id, name) tuples; per asyncio-task/context so concurrent
+        # requests in one daemon never corrupt each other's parenting.
+        self._stack_var: ContextVar[tuple[tuple[int, str], ...]] = ContextVar(
+            "repro_tracer_stack", default=()
+        )
         self.finished_spans = 0
+        self.adopted_spans = 0
         self.instants = 0
 
     # ------------------------------------------------------------ clock
@@ -102,8 +127,10 @@ class Tracer:
 
     def _record(self, event: Span | Instant) -> None:
         if len(self.events) >= self.capacity:
-            self.events.popleft()
+            evicted = self.events.popleft()
             self.dropped += 1
+            if isinstance(evicted, Span):
+                self.dropped_spans += 1
         self.events.append(event)
 
     # ----------------------------------------------------------- spans
@@ -112,15 +139,16 @@ class Tracer:
         """Open a nested span; yields the span id."""
         span_id = self._next_id
         self._next_id += 1
-        parent = self._stack[-1][0] if self._stack else None
-        depth = len(self._stack)
-        self._stack.append((span_id, name))
+        stack = self._stack_var.get()
+        parent = stack[-1][0] if stack else None
+        depth = len(stack)
+        token = self._stack_var.set(stack + ((span_id, name),))
         start = self._now_us()
         try:
             yield span_id
         finally:
             end = self._now_us()
-            self._stack.pop()
+            self._stack_var.reset(token)
             self.finished_spans += 1
             self._record(
                 Span(
@@ -134,18 +162,57 @@ class Tracer:
                 )
             )
 
+    def adopt_span(
+        self,
+        name: str,
+        dur_us: float,
+        start_us: float | None = None,
+        **args,
+    ) -> int:
+        """Stitch a span measured elsewhere into this trace.
+
+        Used when a ``jobs=N`` worker process (which has no access to
+        the parent tracer) reports the timing of its chunk back to the
+        parent: the merge loop adopts one child span per chunk, parented
+        under whatever span is open at adoption time.  Adopted spans
+        appear in exports (Chrome trace, ``to_json``) but never in
+        :meth:`summary`, so deterministic summaries are identical for
+        every ``jobs`` value.  Returns the new span id.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        stack = self._stack_var.get()
+        parent = stack[-1][0] if stack else None
+        if start_us is None:
+            start_us = self._now_us() - dur_us
+        self.adopted_spans += 1
+        self._record(
+            Span(
+                id=span_id,
+                name=name,
+                start_us=start_us,
+                dur_us=dur_us,
+                depth=len(stack),
+                parent_id=parent,
+                args=args,
+                stitched=True,
+            )
+        )
+        return span_id
+
     def instant(self, name: str, **args) -> None:
         """Record a zero-duration marker at the current position."""
         event_id = self._next_id
         self._next_id += 1
-        parent = self._stack[-1][0] if self._stack else None
+        stack = self._stack_var.get()
+        parent = stack[-1][0] if stack else None
         self.instants += 1
         self._record(
             Instant(
                 id=event_id,
                 name=name,
                 ts_us=self._now_us(),
-                depth=len(self._stack),
+                depth=len(stack),
                 parent_id=parent,
                 args=args,
             )
@@ -153,7 +220,7 @@ class Tracer:
 
     @property
     def active_depth(self) -> int:
-        return len(self._stack)
+        return len(self._stack_var.get())
 
     # --------------------------------------------------------- queries
     def spans(self) -> list[Span]:
@@ -168,9 +235,13 @@ class Tracer:
 
     def summary(self) -> dict:
         """Deterministic per-name aggregates (counts; durations summed
-        separately so they can be excluded from golden comparisons)."""
+        separately so they can be excluded from golden comparisons).
+        Stitched (adopted) spans are excluded so the summary does not
+        depend on the ``jobs`` fan-out that produced the trace."""
         by_name: dict[str, dict] = {}
         for span in self.spans():
+            if span.stitched:
+                continue
             agg = by_name.setdefault(
                 span.name, {"count": 0, "total_us": 0.0}
             )
@@ -180,13 +251,16 @@ class Tracer:
             "finished_spans": self.finished_spans,
             "instants": self.instants,
             "dropped": self.dropped,
+            "dropped_spans": self.dropped_spans,
             "by_name": by_name,
         }
 
     def reset(self) -> None:
         self.events.clear()
         self.dropped = 0
+        self.dropped_spans = 0
         self.finished_spans = 0
+        self.adopted_spans = 0
         self.instants = 0
-        self._stack.clear()
+        self._stack_var.set(())
         self._epoch = self._clock()

@@ -1,0 +1,106 @@
+"""Rotating NDJSON access log for ``mctopd``.
+
+One JSON object per line, one line per request — the service-side
+counterpart of the in-process tracer.  Every line carries the same
+``request_id`` the response and the request's root span carry, so a
+slow request can be chased from the client, through the access log,
+into the trace.
+
+Line schema (all keys always present)::
+
+    {"ts": 1754512345.123,        # unix epoch seconds, float
+     "request_id": "a3f9c2e1b4d07788",
+     "verb": "infer",             # or null for unparseable frames
+     "outcome": "ok",             # "ok" or the wire error code
+     "duration_ms": 12.5,
+     "cache": "hit",              # "hit" | "miss" | null (non-topology)
+     "bytes_out": 4096}           # encoded response frame size
+
+Rotation is size-based: when a write would push the file past
+``max_bytes``, the current file shifts to ``<path>.1`` (and ``.1`` to
+``.2``, ...) keeping ``backups`` rotated generations.  Writes are
+plain buffered file appends — the same trade stdlib ``logging``
+handlers make — cheap enough to leave on for every request.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+
+class AccessLog:
+    """Size-rotated NDJSON writer; ``None``-safe to embed (see daemon)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int = 5_000_000,
+        backups: int = 3,
+    ):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if backups < 0:
+            raise ValueError("backups must be >= 0")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.lines_written = 0
+        self.rotations = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------ write
+    def write(
+        self,
+        request_id: str,
+        verb: str | None,
+        outcome: str,
+        duration_ms: float,
+        cache: str | None = None,
+        bytes_out: int = 0,
+        ts: float | None = None,
+    ) -> None:
+        record = {
+            "ts": round(time.time() if ts is None else ts, 3),
+            "request_id": request_id,
+            "verb": verb,
+            "outcome": outcome,
+            "duration_ms": round(duration_ms, 3),
+            "cache": cache,
+            "bytes_out": bytes_out,
+        }
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        if self._fh.tell() + len(line) > self.max_bytes:
+            self._rotate()
+        self._fh.write(line)
+        self._fh.flush()
+        self.lines_written += 1
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(f"{self.path.name}.{self.backups}")
+            oldest.unlink(missing_ok=True)
+            for n in range(self.backups - 1, 0, -1):
+                src = self.path.with_name(f"{self.path.name}.{n}")
+                if src.exists():
+                    src.rename(self.path.with_name(f"{self.path.name}.{n + 1}"))
+            if self.path.exists():
+                self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.rotations += 1
+
+    # ------------------------------------------------------------ admin
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

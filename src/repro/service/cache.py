@@ -29,6 +29,7 @@ from repro.core.mctop import Mctop
 from repro.core.serialize import load_mctop, save_mctop
 from repro.errors import SerializationError
 from repro.obs import Observability
+from repro.service.context import current_request_id
 
 KEY_FORMAT_VERSION = 2
 
@@ -174,6 +175,13 @@ class SingleFlight:
             self.obs.counter("service.singleflight.leaders").inc()
         else:
             self.obs.counter("service.singleflight.coalesced").inc()
+            # The waiter's request id, so a coalesced request's trace
+            # still shows where its wall time went.
+            self.obs.instant(
+                "service.singleflight.coalesce",
+                key=key[:12],
+                request_id=current_request_id.get(),
+            )
         # shield(): a cancelled follower (e.g. its request timed out)
         # must not cancel the leader's run that others still await.
         return await asyncio.shield(task)

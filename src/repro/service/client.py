@@ -48,6 +48,12 @@ class MctopClient:
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
+        #: The server-generated ``request_id`` of the most recent
+        #: response (success or error), or ``None`` before the first
+        #: round-trip / against pre-telemetry daemons.  Quote it when
+        #: reporting a slow or failed request — the same id names the
+        #: request's root span and its access-log line on the server.
+        self.last_request_id: str | None = None
 
     # ------------------------------------------------------------ plumbing
     def connect(self) -> "MctopClient":
@@ -112,6 +118,7 @@ class MctopClient:
             self.close()
             raise ProtocolError("response frame exceeds the protocol limit")
         doc = decode_response(line)
+        self.last_request_id = doc.get("request_id")
         if doc.get("id") not in (None, request_id):
             raise ProtocolError(
                 f"response id {doc.get('id')!r} does not match "
@@ -147,5 +154,7 @@ class MctopClient:
     def validate(self, machine: str, **params) -> dict:
         return self.request("validate", machine=machine, **params)
 
-    def metrics(self) -> dict:
-        return self.request("metrics")
+    def metrics(self, **params) -> dict:
+        """The daemon's metrics snapshot; pass ``format="prometheus"``
+        for the text exposition instead of the JSON document."""
+        return self.request("metrics", **params)

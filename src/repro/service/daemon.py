@@ -29,13 +29,17 @@ from __future__ import annotations
 
 import asyncio
 import signal
+import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import MctopError, ProtocolError, ServiceError
 from repro.obs import Observability
+from repro.service.accesslog import AccessLog
 from repro.service.cache import InferenceCache
-from repro.service.handlers import Handlers, Session
+from repro.service.context import current_request_id
+from repro.service.handlers import Handlers, Session, prometheus_text
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     VERBS,
@@ -44,6 +48,11 @@ from repro.service.protocol import (
     error_response,
     ok_response,
 )
+
+
+def _new_request_id() -> str:
+    """A 16-hex-char server-generated request id (64 random bits)."""
+    return uuid.uuid4().hex[:16]
 
 
 @dataclass(frozen=True)
@@ -59,6 +68,14 @@ class ServeConfig:
     request_timeout: float = 60.0
     max_pending: int = 64
     drain_timeout: float = 10.0
+    #: Serve Prometheus text on ``http://metrics_host:metrics_port/metrics``
+    #: when set (0 picks a free port; see ``bound_metrics_port``).
+    metrics_port: int | None = None
+    metrics_host: str = "127.0.0.1"
+    #: Rotating NDJSON access log (one line per request) when set.
+    access_log: str | Path | None = None
+    access_log_max_bytes: int = 5_000_000
+    access_log_backups: int = 3
     #: Enable the hidden ``_sleep`` verb (tests only).
     debug_verbs: bool = False
 
@@ -84,6 +101,17 @@ class MctopDaemon:
             debug_verbs=config.debug_verbs,
         )
         self._servers: list[asyncio.base_events.Server] = []
+        # The metrics HTTP listener lives outside self._servers so the
+        # tcp_port property (which scans for AF_INET sockets) keeps
+        # answering with the NDJSON port.
+        self._metrics_server: asyncio.base_events.Server | None = None
+        self.access_log: AccessLog | None = None
+        if config.access_log is not None:
+            self.access_log = AccessLog(
+                config.access_log,
+                max_bytes=config.access_log_max_bytes,
+                backups=config.access_log_backups,
+            )
         self._connections: set[asyncio.Task] = set()
         self._inflight = 0
         self._draining = False
@@ -108,6 +136,12 @@ class MctopDaemon:
                 limit=MAX_LINE_BYTES,
             )
             self._servers.append(server)
+        if cfg.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._serve_metrics_http,
+                host=cfg.metrics_host,
+                port=cfg.metrics_port,
+            )
         self.obs.instant("service.started")
 
     @property
@@ -117,6 +151,16 @@ class MctopDaemon:
             for sock in server.sockets:
                 if sock.family.name.startswith("AF_INET"):
                     return sock.getsockname()[1]
+        return None
+
+    @property
+    def bound_metrics_port(self) -> int | None:
+        """The bound metrics HTTP port (useful with ``metrics_port=0``)."""
+        if self._metrics_server is None:
+            return None
+        for sock in self._metrics_server.sockets:
+            if sock.family.name.startswith("AF_INET"):
+                return sock.getsockname()[1]
         return None
 
     def install_signal_handlers(self) -> None:
@@ -132,6 +176,8 @@ class MctopDaemon:
         self.obs.instant("service.drain_begin")
         for server in self._servers:
             server.close()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
         asyncio.ensure_future(self._drain())
 
     async def _drain(self) -> None:
@@ -152,6 +198,10 @@ class MctopDaemon:
             task.cancel()
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
+        if self._metrics_server is not None:
+            await self._metrics_server.wait_closed()
+        if self.access_log is not None:
+            self.access_log.close()
         self._cleanup_unix_socket()
         self.obs.instant("service.drain_end")
         self._drained.set()
@@ -210,82 +260,159 @@ class MctopDaemon:
             try:
                 line = await reader.readline()
             except (asyncio.LimitOverrunError, ValueError):
+                rid = _new_request_id()
                 response = error_response(
                     None, "bad_request",
                     f"request frame exceeds {MAX_LINE_BYTES} bytes",
+                    request_id=rid,
                 )
-                writer.write(encode_frame(response))
+                frame = encode_frame(response)
+                writer.write(frame)
                 await writer.drain()
+                self._log_access(
+                    {"request_id": rid, "verb": None,
+                     "outcome": "bad_request", "duration_ms": 0.0},
+                    len(frame),
+                )
                 return  # framing is lost; drop the connection
             if not line:
                 return  # EOF
             if line.strip() == b"":
                 continue
-            response = await self._dispatch(line, session)
-            writer.write(encode_frame(response))
+            meta: dict = {}
+            response = await self._dispatch(line, session, meta)
+            frame = encode_frame(response)
+            writer.write(frame)
             await writer.drain()
+            self._log_access(meta, len(frame))
+
+    def _log_access(self, meta: dict, bytes_out: int) -> None:
+        if self.access_log is None:
+            return
+        self.access_log.write(
+            request_id=meta.get("request_id", ""),
+            verb=meta.get("verb"),
+            outcome=meta.get("outcome", "ok"),
+            duration_ms=meta.get("duration_ms", 0.0),
+            cache=meta.get("cache"),
+            bytes_out=bytes_out,
+        )
 
     # ------------------------------------------------------------ dispatch
-    async def _dispatch(self, line: bytes, session: Session) -> dict:
+    async def _dispatch(
+        self, line: bytes, session: Session, meta: dict | None = None
+    ) -> dict:
+        """Decode, route and answer one request frame.
+
+        Every frame — even an unparseable one — gets a server-generated
+        ``request_id``: it is set in :data:`current_request_id` for the
+        duration of the dispatch (so every nested span and instant can
+        pick it up), recorded on the ``service.request`` root span,
+        echoed in the response, and written to the access log.  ``meta``
+        is filled for the caller's access-log line.
+        """
+        if meta is None:
+            meta = {}
+        rid = _new_request_id()
+        meta.update({"request_id": rid, "verb": None,
+                     "outcome": "ok", "cache": None})
+        token = current_request_id.set(rid)
+        start = time.perf_counter()
+        try:
+            return await self._dispatch_traced(line, session, rid, meta)
+        finally:
+            current_request_id.reset(token)
+            meta["duration_ms"] = (time.perf_counter() - start) * 1e3
+
+    async def _dispatch_traced(
+        self, line: bytes, session: Session, rid: str, meta: dict
+    ) -> dict:
         try:
             request = decode_request(line)
         except ProtocolError as exc:
             self.obs.counter("service.errors.bad_request").inc()
-            return error_response(None, "bad_request", str(exc))
+            meta["outcome"] = "bad_request"
+            # Degenerate root span so even a rejected frame's
+            # request_id resolves to something in the trace.
+            with self.obs.span("service.request", verb=None,
+                               request_id=rid, outcome="bad_request"):
+                pass
+            return error_response(None, "bad_request", str(exc),
+                                  request_id=rid)
 
         verb = request.verb
-        handler = self._resolve_verb(verb)
-        if handler is None:
-            self.obs.counter("service.errors.unknown_verb").inc()
-            return error_response(
-                request.id, "unknown_verb",
-                f"unknown verb {verb!r} (known: {', '.join(VERBS)})",
-            )
-        if self._draining:
-            return error_response(
-                request.id, "shutting_down",
-                "mctopd is draining; no new requests accepted",
-            )
-        if self._inflight >= self.config.max_pending:
-            self.obs.counter("service.errors.backpressure").inc()
-            return error_response(
-                request.id, "backpressure",
-                f"request queue full ({self.config.max_pending} in flight); "
-                "retry later",
-            )
-
-        self._inflight += 1
-        self.obs.counter(f"service.requests.{verb}").inc()
-        self.obs.gauge("service.queue_depth").set(self._inflight)
-        try:
-            with self.obs.timer(f"service.latency.{verb}").time():
-                result = await asyncio.wait_for(
-                    handler(request.params, session),
-                    timeout=self.config.request_timeout,
+        meta["verb"] = verb
+        with self.obs.span("service.request", verb=verb, request_id=rid):
+            handler = self._resolve_verb(verb)
+            if handler is None:
+                self.obs.counter("service.errors.unknown_verb").inc()
+                meta["outcome"] = "unknown_verb"
+                return error_response(
+                    request.id, "unknown_verb",
+                    f"unknown verb {verb!r} (known: {', '.join(VERBS)})",
+                    request_id=rid,
                 )
-            return ok_response(request.id, result)
-        except asyncio.TimeoutError:
-            self.obs.counter("service.errors.timeout").inc()
-            return error_response(
-                request.id, "timeout",
-                f"request exceeded {self.config.request_timeout}s",
-            )
-        except ServiceError as exc:
-            self.obs.counter(f"service.errors.{exc.code}").inc()
-            return error_response(request.id, exc.code, str(exc))
-        except MctopError as exc:
-            self.obs.counter("service.errors.mctop_error").inc()
-            return error_response(request.id, "mctop_error", str(exc))
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # never kill the connection loop
-            self.obs.counter("service.errors.internal").inc()
-            return error_response(
-                request.id, "internal", f"{type(exc).__name__}: {exc}"
-            )
-        finally:
-            self._inflight -= 1
+            if self._draining:
+                meta["outcome"] = "shutting_down"
+                return error_response(
+                    request.id, "shutting_down",
+                    "mctopd is draining; no new requests accepted",
+                    request_id=rid,
+                )
+            if self._inflight >= self.config.max_pending:
+                self.obs.counter("service.errors.backpressure").inc()
+                meta["outcome"] = "backpressure"
+                return error_response(
+                    request.id, "backpressure",
+                    f"request queue full "
+                    f"({self.config.max_pending} in flight); retry later",
+                    request_id=rid,
+                )
+
+            self._inflight += 1
+            self.obs.counter(f"service.requests.{verb}").inc()
             self.obs.gauge("service.queue_depth").set(self._inflight)
+            try:
+                with self.obs.timer(f"service.latency.{verb}").time():
+                    result = await asyncio.wait_for(
+                        handler(request.params, session),
+                        timeout=self.config.request_timeout,
+                    )
+                cached = result.get("cached") if isinstance(result, dict) \
+                    else None
+                if isinstance(cached, bool):
+                    meta["cache"] = "hit" if cached else "miss"
+                return ok_response(request.id, result, request_id=rid)
+            except asyncio.TimeoutError:
+                self.obs.counter("service.errors.timeout").inc()
+                meta["outcome"] = "timeout"
+                return error_response(
+                    request.id, "timeout",
+                    f"request exceeded {self.config.request_timeout}s",
+                    request_id=rid,
+                )
+            except ServiceError as exc:
+                self.obs.counter(f"service.errors.{exc.code}").inc()
+                meta["outcome"] = exc.code
+                return error_response(request.id, exc.code, str(exc),
+                                      request_id=rid)
+            except MctopError as exc:
+                self.obs.counter("service.errors.mctop_error").inc()
+                meta["outcome"] = "mctop_error"
+                return error_response(request.id, "mctop_error", str(exc),
+                                      request_id=rid)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # never kill the connection loop
+                self.obs.counter("service.errors.internal").inc()
+                meta["outcome"] = "internal"
+                return error_response(
+                    request.id, "internal", f"{type(exc).__name__}: {exc}",
+                    request_id=rid,
+                )
+            finally:
+                self._inflight -= 1
+                self.obs.gauge("service.queue_depth").set(self._inflight)
 
     def _resolve_verb(self, verb: str):
         if verb in VERBS:
@@ -293,6 +420,56 @@ class MctopDaemon:
         if verb == "_sleep" and self.config.debug_verbs:
             return self.handlers._sleep
         return None
+
+    # ------------------------------------------------------- metrics HTTP
+    async def _serve_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Tiny single-purpose HTTP/1.1 responder for Prometheus scrapes.
+
+        ``GET /metrics`` serves the text exposition, ``GET /healthz``
+        answers liveness; everything else is 404/405.  One response per
+        connection (``Connection: close``) — exactly what a scraper
+        needs, with no HTTP framework dependency.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers; none of them matter here
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            target = parts[1] if len(parts) > 1 else ""
+            ctype = "text/plain; charset=utf-8"
+            if method != "GET":
+                status, body = "405 Method Not Allowed", b"method not allowed\n"
+            elif target.split("?", 1)[0] == "/metrics":
+                status = "200 OK"
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+                body = prometheus_text(self.obs, self.cache).encode("utf-8")
+                self.obs.counter("service.metrics_http.scrapes").inc()
+            elif target.split("?", 1)[0] == "/healthz":
+                status = "200 OK"
+                body = b"draining\n" if self._draining else b"ok\n"
+            else:
+                status, body = "404 Not Found", b"not found\n"
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
 
 
 def run_daemon(config: ServeConfig,

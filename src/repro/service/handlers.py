@@ -32,11 +32,33 @@ from repro.obs import Observability
 from repro.place import PlacementPool
 from repro.place.policies import ALL_POLICIES, Policy
 from repro.service.cache import InferenceCache, SingleFlight, inference_key
+from repro.service.context import current_request_id
 from repro.service.protocol import PROTOCOL_VERSION
 
 
 def _invalid(message: str) -> ServiceError:
     return ServiceError(message, code="invalid_params")
+
+
+def prometheus_text(obs: Observability,
+                    cache: InferenceCache | None = None) -> str:
+    """The daemon's full Prometheus exposition document.
+
+    Registry instruments plus the tracer's health gauges (notably
+    ``dropped_spans``, so silent span loss is alertable) — shared by
+    the HTTP ``/metrics`` endpoint and the ``metrics`` verb's
+    ``format="prometheus"`` mode.
+    """
+    trace = obs.tracer.summary()
+    extra = {
+        "trace.finished_spans": trace["finished_spans"],
+        "trace.instants": trace["instants"],
+        "trace.dropped_events": trace["dropped"],
+        "trace.dropped_spans": trace["dropped_spans"],
+    }
+    if cache is not None:
+        extra["cache.memory_entries"] = len(cache)
+    return obs.registry.to_prometheus(extra=extra)
 
 
 def _get_int(params: dict, name: str, default: int | None) -> int | None:
@@ -116,16 +138,26 @@ class Handlers:
         return machine, seed, table
 
     async def _topology(self, params: dict) -> tuple[str, Mctop, bool]:
-        """Resolve (key, topology, was_cached) for a request."""
+        """Resolve (key, topology, was_cached) for a request.
+
+        Every stage is traced under the request's root span: the cache
+        lookup, the single-flight decision and (for the leader) the
+        MCTOP-ALG run all carry the dispatching request's
+        ``request_id``, so one id follows a request end to end.
+        """
         machine, seed, table = self._inference_params(params)
         key = inference_key(machine, seed, table)
-        mctop = self.cache.get(key)
+        request_id = current_request_id.get()
+        with self.obs.span("service.cache_lookup", key=key[:12],
+                           request_id=request_id):
+            mctop = self.cache.get(key)
         if mctop is not None:
             return key, mctop, True
 
         async def run_inference() -> Mctop:
             with self.obs.span("service.infer_run", machine=machine,
-                               seed=seed, key=key[:12]):
+                               seed=seed, key=key[:12],
+                               request_id=request_id):
                 # The run gets its own Observability: infer_topology's
                 # internal spans must not interleave with the daemon
                 # tracer from a worker thread.
@@ -223,6 +255,26 @@ class Handlers:
         }
 
     async def metrics(self, params: dict, session: Session) -> dict:
+        """Registry + trace health snapshot.
+
+        Timers and histograms are reported as bounded summaries
+        (count/sum/min/max/mean/stdev plus sliding-window p50/p95/p99
+        and cumulative buckets), never as raw sample lists, so the
+        response size is constant no matter the daemon's uptime; the
+        raw event stream stays available through ``mctop trace``.
+        ``format="prometheus"`` returns the text exposition instead.
+        """
+        fmt = params.get("format", "json")
+        if fmt in ("prom", "prometheus"):
+            return {
+                "protocol": PROTOCOL_VERSION,
+                "format": "prometheus",
+                "prometheus": prometheus_text(self.obs, self.cache),
+            }
+        if fmt != "json":
+            raise _invalid(
+                f"unknown metrics format {fmt!r} (known: json, prometheus)"
+            )
         trace = self.obs.tracer.summary()
         return {
             "protocol": PROTOCOL_VERSION,

@@ -11,13 +11,17 @@ Request::
 
 Response (success / error)::
 
-    {"id": 1, "ok": true,  "result": {...}}
-    {"id": 1, "ok": false, "error": {"code": "timeout", "message": "..."}}
+    {"id": 1, "ok": true,  "result": {...}, "request_id": "a3f9c2e1b4d07788"}
+    {"id": 1, "ok": false, "error": {"code": "timeout", "message": "..."},
+     "request_id": "..."}
 
 ``id`` is an opaque client-chosen correlation value echoed back
-verbatim (may be omitted).  Unknown top-level request keys are ignored
-for forward compatibility.  See ``docs/SERVICE.md`` for the full
-specification.
+verbatim (may be omitted).  ``request_id`` is a *server-generated*
+identifier unique to the request: the same value names the request's
+root span in the daemon's trace and its line in the access log, so a
+slow response can be chased through telemetry end to end.  Unknown
+top-level request keys are ignored for forward compatibility.  See
+``docs/SERVICE.md`` for the full specification.
 """
 
 from __future__ import annotations
@@ -96,17 +100,25 @@ def decode_request(line: bytes | str) -> Request:
     return Request(verb=verb, params=params, id=doc.get("id"))
 
 
-def ok_response(request_id: object, result: dict) -> dict:
-    return {"id": request_id, "ok": True, "result": result}
+def ok_response(client_id: object, result: dict,
+                request_id: str | None = None) -> dict:
+    response = {"id": client_id, "ok": True, "result": result}
+    if request_id is not None:
+        response["request_id"] = request_id
+    return response
 
 
-def error_response(request_id: object, code: str, message: str) -> dict:
+def error_response(client_id: object, code: str, message: str,
+                   request_id: str | None = None) -> dict:
     assert code in ERROR_CODES, code
-    return {
-        "id": request_id,
+    response = {
+        "id": client_id,
         "ok": False,
         "error": {"code": code, "message": message},
     }
+    if request_id is not None:
+        response["request_id"] = request_id
+    return response
 
 
 def decode_response(line: bytes | str) -> dict:

@@ -1,0 +1,158 @@
+"""``mctop top`` — a curses-free live dashboard for a running mctopd.
+
+Polls the daemon's ``metrics`` verb and redraws a plain-text panel:
+request rates and latency quantiles per verb, cache hit ratio,
+in-flight depth, single-flight coalesces and tracer health.  No curses,
+no third-party TUI — just ANSI clear-screen between frames (suppressed
+with ``--no-clear``, e.g. when piping to a file), so it works in any
+terminal the daemon's logs work in.
+
+Rates are derived client-side: two consecutive ``metrics`` snapshots
+and the wall time between them give per-verb req/s, the way ``top``
+itself derives %CPU from two ``/proc`` reads.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: ANSI: erase display, cursor home.
+CLEAR = "\x1b[2J\x1b[H"
+
+_REQ_PREFIX = "service.requests."
+_LAT_PREFIX = "service.latency."
+
+
+def _counter(registry: dict, name: str) -> float:
+    snap = registry.get(name)
+    return float(snap.get("value") or 0) if snap else 0.0
+
+
+def _gauge(registry: dict, name: str):
+    snap = registry.get(name)
+    return snap.get("value") if snap else None
+
+
+def _verbs(registry: dict) -> list[str]:
+    return sorted(
+        key[len(_REQ_PREFIX):]
+        for key in registry
+        if key.startswith(_REQ_PREFIX)
+    )
+
+
+def _ms(seconds) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1e3:.1f}"
+
+
+def _rate(cur: float, prev_value: float | None, dt: float | None) -> str:
+    if prev_value is None or dt is None or dt <= 0:
+        return "-"
+    return f"{max(0.0, cur - prev_value) / dt:.1f}"
+
+
+def render_dashboard(
+    doc: dict, prev: dict | None = None, dt: float | None = None
+) -> str:
+    """One dashboard frame from a ``metrics`` verb document.
+
+    ``prev``/``dt`` (the previous document and the seconds since it)
+    turn monotonic counters into rates; the first frame shows ``-``.
+    Pure: two fixed documents always render the same text, which is
+    what the tests pin.
+    """
+    registry = doc.get("registry", {})
+    prev_registry = (prev or {}).get("registry", {})
+    trace = doc.get("trace", {})
+    cache = doc.get("cache", {})
+    lines: list[str] = []
+
+    total = sum(_counter(registry, _REQ_PREFIX + v) for v in _verbs(registry))
+    prev_total = sum(
+        _counter(prev_registry, _REQ_PREFIX + v)
+        for v in _verbs(prev_registry)
+    ) if prev is not None else None
+    lines.append(
+        f"mctopd  requests {int(total)}  "
+        f"req/s {_rate(total, prev_total, dt)}  "
+        f"in-flight {_gauge(registry, 'service.queue_depth') or 0}  "
+        f"connections {_gauge(registry, 'service.connections.open') or 0}"
+    )
+
+    hits = (_counter(registry, "service.cache.hits.memory")
+            + _counter(registry, "service.cache.hits.disk"))
+    misses = _counter(registry, "service.cache.misses")
+    ratio = f"{hits / (hits + misses):.0%}" if hits + misses else "-"
+    lines.append(
+        f"cache   hit ratio {ratio} ({int(hits)} hit / {int(misses)} miss)"
+        f"  entries {cache.get('memory_entries', 0)}"
+        f"  coalesced {int(_counter(registry, 'service.singleflight.coalesced'))}"
+        f"  inferences {int(_counter(registry, 'service.inference.runs'))}"
+    )
+    lines.append(
+        f"trace   spans {trace.get('finished_spans', 0)}"
+        f"  instants {trace.get('instants', 0)}"
+        f"  dropped_spans {trace.get('dropped_spans', 0)}"
+    )
+
+    lines.append("")
+    lines.append(f"{'VERB':<12}{'REQS':>8}{'REQ/S':>8}"
+                 f"{'P50MS':>9}{'P95MS':>9}{'P99MS':>9}")
+    for verb in _verbs(registry):
+        reqs = _counter(registry, _REQ_PREFIX + verb)
+        prev_reqs = (
+            _counter(prev_registry, _REQ_PREFIX + verb)
+            if prev is not None else None
+        )
+        lat = registry.get(_LAT_PREFIX + verb, {})
+        lines.append(
+            f"{verb:<12}{int(reqs):>8}{_rate(reqs, prev_reqs, dt):>8}"
+            f"{_ms(lat.get('p50')):>9}{_ms(lat.get('p95')):>9}"
+            f"{_ms(lat.get('p99')):>9}"
+        )
+
+    inflight = doc.get("inflight_inferences") or []
+    if inflight:
+        lines.append("")
+        lines.append(
+            "inferring: " + ", ".join(key[:12] for key in inflight)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    client,
+    interval: float = 2.0,
+    count: int | None = None,
+    clear: bool = True,
+    write=None,
+) -> int:
+    """The poll-render loop behind ``mctop top``.
+
+    ``count`` bounds the number of frames (``None`` = until ^C);
+    ``write`` defaults to stdout and is injectable for tests.
+    """
+    if write is None:
+        def write(text: str) -> None:
+            print(text, end="", flush=True)
+
+    prev: dict | None = None
+    prev_t: float | None = None
+    frames = 0
+    try:
+        while count is None or frames < count:
+            doc = client.metrics()
+            now = time.monotonic()
+            dt = now - prev_t if prev_t is not None else None
+            frame = render_dashboard(doc, prev, dt)
+            write((CLEAR if clear else "") + frame)
+            prev, prev_t = doc, now
+            frames += 1
+            if count is not None and frames >= count:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -104,6 +104,44 @@ def test_jobs_obs_counters_match_parent():
     assert p1.obs.summary() == p4.obs.summary()
 
 
+def test_jobs_trace_stitching():
+    """The merged parent trace carries one stitched child span per
+    worker chunk, and summaries stay bit-identical across jobs values."""
+    from repro.core.algorithm.lat_table import _chunk_pairs
+
+    p1 = MeasurementContext(get_machine("testbox"), seed=5)
+    p4 = MeasurementContext(get_machine("testbox"), seed=5)
+    collect_latency_table(p1, LatencyTableConfig(sampling="pair", jobs=1))
+    collect_latency_table(p4, LatencyTableConfig(sampling="pair", jobs=4))
+
+    n = p4.n_hw_contexts()
+    pairs = [(x, y) for x in range(n) for y in range(x + 1, n)]
+    expected_chunks = len(_chunk_pairs(pairs, 4))
+
+    chunk_spans = p4.tracer.spans_named("lat_table.worker_chunk")
+    assert len(chunk_spans) == expected_chunks
+    (collect_span,) = p4.tracer.spans_named("lat_table.collect")
+    for span in chunk_spans:
+        assert span.stitched is True
+        assert span.parent_id == collect_span.id
+        assert span.args["n_pairs"] > 0
+        assert 0 <= span.args["worker"] < 4
+    assert sum(s.args["n_pairs"] for s in chunk_spans) == len(pairs)
+
+    # A jobs=1 run has no worker chunks...
+    assert p1.tracer.spans_named("lat_table.worker_chunk") == []
+    # ...yet the deterministic summaries are bit-identical: stitched
+    # spans are export-only and never leak into golden provenance.
+    assert p1.obs.summary() == p4.obs.summary()
+    s1, s4 = p1.tracer.summary(), p4.tracer.summary()
+    assert s1["finished_spans"] == s4["finished_spans"]
+    assert s1["instants"] == s4["instants"]
+    assert s1["dropped_spans"] == s4["dropped_spans"] == 0
+    # Per-name span *counts* match exactly (durations are wall clock).
+    assert {k: v["count"] for k, v in s1["by_name"].items()} == \
+        {k: v["count"] for k, v in s4["by_name"].items()}
+
+
 def test_pair_sampler_order_independent():
     probe = MeasurementContext(get_machine("testbox"), seed=3)
     for ctx in range(probe.n_hw_contexts()):

@@ -1,0 +1,105 @@
+"""Prometheus text exposition: rendering, sanitization, parse checks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import Registry
+from repro.obs.prometheus import (
+    parse_exposition,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+class TestSanitize:
+    def test_dots_and_dashes_become_underscores(self):
+        assert (
+            sanitize_metric_name("service.latency.infer", "mctop")
+            == "mctop_service_latency_infer"
+        )
+        assert sanitize_metric_name("a-b c", "") == "a_b_c"
+
+    def test_leading_digit_is_prefixed(self):
+        assert sanitize_metric_name("1weird", "")[0] == "_"
+
+    def test_result_is_always_legal(self):
+        import re
+
+        legal = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        for name in ("x.y", "9lives", "", "a{b}", "ümlaut"):
+            assert legal.match(sanitize_metric_name(name, "mctop"))
+
+
+class TestRender:
+    def _registry(self) -> Registry:
+        reg = Registry()
+        reg.counter("service.requests.infer").inc(5)
+        reg.gauge("service.queue_depth").set(2)
+        t = reg.timer("service.latency.infer")
+        for v in (0.02, 0.04, 0.06):
+            t.observe(v)
+        return reg
+
+    def test_counter_gauge_histogram_families(self):
+        text = self._registry().to_prometheus()
+        assert "# TYPE mctop_service_requests_infer_total counter" in text
+        assert "mctop_service_requests_infer_total 5" in text
+        assert "mctop_service_queue_depth 2" in text
+        assert "# TYPE mctop_service_latency_infer histogram" in text
+        assert 'mctop_service_latency_infer_bucket{le="+Inf"} 3' in text
+        assert "mctop_service_latency_infer_count 3" in text
+        assert 'quantile{quantile="0.5"}' in text
+
+    def test_unset_gauges_are_omitted(self):
+        reg = Registry()
+        reg.gauge("never.set")
+        assert "never_set" not in reg.to_prometheus()
+
+    def test_extra_gauges_appended(self):
+        text = render_prometheus({}, extra={"trace.dropped_spans": 7})
+        assert "# TYPE mctop_trace_dropped_spans gauge" in text
+        assert "mctop_trace_dropped_spans 7" in text
+
+    def test_parse_check_round_trip(self):
+        text = self._registry().to_prometheus(
+            extra={"trace.dropped_spans": 0}
+        )
+        samples = parse_exposition(text)
+        assert samples["mctop_service_requests_infer_total"] == [({}, 5.0)]
+        buckets = samples["mctop_service_latency_infer_bucket"]
+        inf_bucket = [v for labels, v in buckets if labels["le"] == "+Inf"]
+        assert inf_bucket == [3.0]
+        # Cumulative bucket counts are monotone.
+        values = [v for _, v in buckets]
+        assert values == sorted(values)
+
+    def test_bucket_counts_are_cumulative(self):
+        reg = Registry()
+        h = reg.histogram("x")
+        for v in (0.002, 0.002, 40.0):
+            h.observe(v)
+        samples = parse_exposition(reg.to_prometheus())
+        by_le = {
+            labels["le"]: v
+            for labels, v in samples["mctop_x_bucket"]
+        }
+        assert by_le["0.005"] == 2.0
+        assert by_le["50.0"] == 3.0
+        assert by_le["+Inf"] == 3.0
+
+
+class TestParser:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_exposition("# TYPE ok gauge\nok{ 1\n")
+
+    def test_rejects_untyped_sample(self):
+        with pytest.raises(ValueError, match="precedes its TYPE"):
+            parse_exposition("mystery_metric 1\n")
+
+    def test_accepts_inf_values(self):
+        text = "# TYPE g gauge\ng +Inf\n"
+        assert parse_exposition(text)["g"] == [({}, math.inf)]

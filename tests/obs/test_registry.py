@@ -63,7 +63,50 @@ class TestHistogram:
             min(values),
             max(values),
         )
-        assert bulk.snapshot() == loop.snapshot()
+        # The streaming moments are exact under bulk merge; only the
+        # distribution-shape extras (reservoir quantiles, fine-grained
+        # buckets) require per-value observes.
+        loop_snap, bulk_snap = loop.snapshot(), bulk.snapshot()
+        for key in ("kind", "count", "total", "min", "max", "mean", "stdev"):
+            assert bulk_snap[key] == loop_snap[key], key
+        # Bulk values are still accounted for in the +Inf bucket.
+        assert bulk.buckets()[-1] == (float("inf"), len(values))
+
+    def test_percentiles_and_buckets(self):
+        reg = Registry()
+        h = reg.histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        pct = h.percentiles()
+        assert pct["p50"] == 50.0
+        assert pct["p95"] == 95.0
+        assert pct["p99"] == 99.0
+        snap = h.snapshot()
+        assert snap["p50"] == 50.0 and snap["p99"] == 99.0
+        buckets = dict(h.buckets())
+        assert buckets[50.0] == 50
+        assert buckets[100.0] == 100
+        assert buckets[float("inf")] == 100
+        # Cumulative counts never decrease.
+        counts = [n for _, n in h.buckets()]
+        assert counts == sorted(counts)
+
+    def test_percentiles_empty_histogram(self):
+        h = Registry().histogram("empty")
+        assert h.percentiles() == {"p50": None, "p95": None, "p99": None}
+        snap = h.snapshot()
+        assert snap["p50"] is None
+
+    def test_reservoir_is_a_sliding_window(self):
+        from repro.obs.registry import RESERVOIR_SIZE
+
+        h = Registry().histogram("w")
+        for _ in range(RESERVOIR_SIZE):
+            h.observe(1000.0)
+        for _ in range(RESERVOIR_SIZE):
+            h.observe(1.0)  # fully displaces the old regime
+        assert h.percentiles()["p99"] == 1.0
+        assert h.count == 2 * RESERVOIR_SIZE
 
     def test_empty_snapshot_has_no_min_max(self):
         snap = Registry().histogram("h").snapshot()

@@ -77,6 +77,100 @@ class TestRingBuffer:
         assert summary["finished_spans"] == 3
         assert summary["by_name"]["step"]["count"] == 3
 
+    def test_span_overflow_is_counted_not_silent(self):
+        """Overflowing the ring with spans must leave a visible signal."""
+        tracer = Tracer(capacity=4, clock=make_clock())
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.events) == 4
+        assert tracer.dropped == 6
+        assert tracer.dropped_spans == 6
+        summary = tracer.summary()
+        assert summary["dropped_spans"] == 6
+        assert summary["dropped"] == 6
+        # The untruncated totals still count every span ever finished.
+        assert summary["finished_spans"] == 10
+
+    def test_dropped_spans_excludes_instants(self):
+        tracer = Tracer(capacity=2, clock=make_clock())
+        tracer.instant("i0")
+        tracer.instant("i1")
+        with tracer.span("s0"):
+            pass
+        assert tracer.dropped == 1  # i0 evicted by the span
+        assert tracer.dropped_spans == 0
+
+
+class TestAdoptedSpans:
+    def test_adopted_span_parents_under_open_span(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("merge") as merge_id:
+            child = tracer.adopt_span("chunk", dur_us=120.0, worker=0,
+                                      n_pairs=7)
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["chunk"].parent_id == merge_id
+        assert spans["chunk"].stitched is True
+        assert spans["chunk"].dur_us == 120.0
+        assert spans["chunk"].args["n_pairs"] == 7
+        assert child != merge_id
+
+    def test_adopted_spans_excluded_from_summary(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("merge"):
+            for w in range(3):
+                tracer.adopt_span("chunk", dur_us=10.0, worker=w)
+        summary = tracer.summary()
+        assert summary["finished_spans"] == 1
+        assert "chunk" not in summary["by_name"]
+        assert tracer.adopted_spans == 3
+
+    def test_adopted_span_exports_with_worker_tid(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("merge"):
+            tracer.adopt_span("chunk", dur_us=10.0, worker=2)
+        doc = to_chrome_trace(tracer)
+        by_name = {e["name"]: e for e in doc["traceEvents"]}
+        assert by_name["chunk"]["tid"] == 3
+        assert by_name["merge"]["tid"] == 0
+        assert by_name["chunk"]["args"]["worker"] == 2
+
+    def test_adopted_to_dict_flags_stitched(self):
+        tracer = Tracer(clock=make_clock())
+        tracer.adopt_span("chunk", dur_us=5.0)
+        (span,) = tracer.spans()
+        assert span.to_dict()["stitched"] is True
+        with tracer.span("native"):
+            pass
+        native = tracer.spans_named("native")[0]
+        assert "stitched" not in native.to_dict()
+
+
+class TestConcurrentTaskStacks:
+    def test_interleaved_tasks_parent_independently(self):
+        """Two asyncio tasks interleaving spans must not cross-parent."""
+        import asyncio
+
+        tracer = Tracer(clock=make_clock())
+
+        async def request(name: str) -> None:
+            with tracer.span(f"request.{name}"):
+                await asyncio.sleep(0)  # force interleaving
+                with tracer.span(f"inner.{name}"):
+                    await asyncio.sleep(0)
+
+        async def main() -> None:
+            await asyncio.gather(request("a"), request("b"))
+
+        asyncio.run(main())
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["inner.a"].parent_id == spans["request.a"].id
+        assert spans["inner.b"].parent_id == spans["request.b"].id
+        assert spans["request.a"].parent_id is None
+        assert spans["request.b"].parent_id is None
+        assert spans["request.a"].depth == 0
+        assert spans["inner.b"].depth == 1
+
 
 class TestExport:
     def _traced_obs(self):

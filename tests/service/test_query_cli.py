@@ -51,6 +51,25 @@ class TestQuery:
         doc = json.loads(out)
         assert doc["registry"]["service.inference.runs"]["value"] == 1
 
+    def test_metrics_prometheus_format(self, capsys, harness):
+        from repro.obs.prometheus import parse_exposition
+
+        sock = str(harness.config.unix_path)
+        run_cli(capsys, "query", "ping", "--unix", sock)
+        code, out, _ = run_cli(capsys, "query", "metrics", "--unix", sock,
+                               "--format", "prom")
+        assert code == 0
+        families = parse_exposition(out)
+        assert "mctop_service_requests_ping_total" in families
+
+    def test_format_rejected_for_other_verbs(self, capsys, harness):
+        code, _, err = run_cli(
+            capsys, "query", "ping",
+            "--unix", str(harness.config.unix_path), "--format", "prom",
+        )
+        assert code == 2
+        assert "metrics verb only" in err
+
     def test_machine_required_for_topology_verbs(self, capsys, harness):
         code, _, err = run_cli(
             capsys, "query", "infer",

@@ -1,0 +1,105 @@
+"""``mctop top`` — the live metrics dashboard."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.service.top import CLEAR, render_dashboard, run_top
+
+
+def _metrics_doc(ping=3, infer=1, p50=0.002, hits=1, misses=1):
+    return {
+        "registry": {
+            "service.requests.ping": {"kind": "counter", "value": ping},
+            "service.requests.infer": {"kind": "counter", "value": infer},
+            "service.latency.infer": {
+                "kind": "timer", "count": infer, "total": p50 * infer,
+                "p50": p50, "p95": p50 * 2, "p99": p50 * 3,
+            },
+            "service.queue_depth": {"kind": "gauge", "value": 2},
+            "service.connections.open": {"kind": "gauge", "value": 1},
+            "service.cache.hits.memory": {"kind": "counter", "value": hits},
+            "service.cache.misses": {"kind": "counter", "value": misses},
+            "service.singleflight.coalesced": {"kind": "counter", "value": 4},
+            "service.inference.runs": {"kind": "counter", "value": infer},
+        },
+        "trace": {"finished_spans": 10, "instants": 2, "dropped": 0,
+                  "dropped_spans": 0},
+        "cache": {"memory_entries": 1},
+        "inflight_inferences": ["abcdef0123456789"],
+    }
+
+
+class TestRenderDashboard:
+    def test_first_frame_has_totals_and_quantiles(self):
+        text = render_dashboard(_metrics_doc())
+        assert "requests 4" in text
+        assert "req/s -" in text          # no previous frame yet
+        assert "in-flight 2" in text
+        assert "hit ratio 50%" in text
+        assert "coalesced 4" in text
+        assert "dropped_spans 0" in text
+        infer_row = next(l for l in text.splitlines()
+                         if l.startswith("infer"))
+        assert "2.0" in infer_row and "6.0" in infer_row  # p50/p99 ms
+        assert "inferring: abcdef012345" in text
+
+    def test_rates_come_from_consecutive_frames(self):
+        prev = _metrics_doc(ping=3)
+        cur = _metrics_doc(ping=13)
+        text = render_dashboard(cur, prev, dt=2.0)
+        ping_row = next(l for l in text.splitlines()
+                        if l.startswith("ping"))
+        assert "5.0" in ping_row  # (13-3)/2s
+
+    def test_render_is_pure(self):
+        doc = _metrics_doc()
+        assert render_dashboard(doc) == render_dashboard(doc)
+
+
+class _FakeClient:
+    def __init__(self, docs):
+        self.docs = list(docs)
+        self.calls = 0
+
+    def metrics(self, **params):
+        doc = self.docs[min(self.calls, len(self.docs) - 1)]
+        self.calls += 1
+        return doc
+
+
+class TestRunTop:
+    def test_bounded_frames_and_clear_codes(self):
+        frames = []
+        client = _FakeClient([_metrics_doc(ping=1), _metrics_doc(ping=5)])
+        code = run_top(client, interval=0.0, count=2, clear=True,
+                       write=frames.append)
+        assert code == 0
+        assert client.calls == 2
+        assert len(frames) == 2
+        assert frames[0].startswith(CLEAR)
+        # The second frame has a rate (a previous frame existed).
+        assert "req/s -" not in frames[1]
+
+    def test_no_clear_suppresses_ansi(self):
+        frames = []
+        run_top(_FakeClient([_metrics_doc()]), interval=0.0, count=1,
+                clear=False, write=frames.append)
+        assert CLEAR not in frames[0]
+
+
+class TestTopCli:
+    def test_against_a_live_daemon(self, capsys, harness):
+        with harness.client() as client:
+            client.infer("testbox", seed=5)
+        code = main(["top", "--unix", str(harness.config.unix_path),
+                     "--count", "2", "--interval", "0", "--no-clear"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mctopd" in out
+        infer_rows = [l for l in out.splitlines() if l.startswith("infer")]
+        assert len(infer_rows) == 2  # one per frame
+
+    def test_endpoint_required(self, capsys):
+        code = main(["top"])
+        assert code == 2
+        assert "--unix" in capsys.readouterr().err
