@@ -53,6 +53,8 @@ __version__ = "1.1.0"
 __all__ = [
     "ClusteringError",
     "ConfigError",
+    "DriftReport",
+    "DriftThresholds",
     "InferenceError",
     "LatencyTableConfig",
     "MachineModelError",
@@ -68,6 +70,7 @@ __all__ = [
     "SimulationError",
     "ValidationError",
     "__version__",
+    "compare_mctops",
     "get_machine",
     "get_spec",
     "infer",
@@ -80,6 +83,9 @@ __all__ = [
 #: lazy attribute -> "module:attribute"; keeps `import repro` fast and
 #: avoids import cycles while making the façade names first class.
 _LAZY_EXPORTS = {
+    "compare_mctops": "repro.obs.diff:compare_mctops",
+    "DriftReport": "repro.obs.diff:DriftReport",
+    "DriftThresholds": "repro.obs.diff:DriftThresholds",
     "infer": "repro.api:infer",
     "infer_topology": "repro.core.algorithm.inference:infer_topology",
     "load_mctop": "repro.core.serialize:load_mctop",

@@ -179,6 +179,29 @@ def _cmd_revalidate(args: argparse.Namespace) -> int:
     return 0 if report.topology_still_valid else 1
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Semantic drift diff between two topologies (files or machines)."""
+    import json
+
+    from repro.obs.diff import DriftThresholds, compare_mctops
+
+    thresholds = None
+    if args.threshold_warn is not None or args.threshold_critical is not None:
+        warn = args.threshold_warn if args.threshold_warn is not None \
+            else 0.10
+        critical = args.threshold_critical \
+            if args.threshold_critical is not None else 0.30
+        thresholds = DriftThresholds.uniform(warn, critical)
+    a = _load_topology(args, args.a)
+    b = _load_topology(args, args.b)
+    report = compare_mctops(a, b, thresholds)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro import infer
     from repro.core.algorithm import InferenceReport
@@ -277,7 +300,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_port=args.metrics_port,
         metrics_host=args.metrics_host,
         access_log=args.access_log,
+        event_log=args.event_log,
+        watch_interval=args.watch_interval,
+        watch_machines=tuple(
+            m.strip() for m in (args.watch_machines or "").split(",")
+            if m.strip()
+        ),
+        watch_repetitions=args.watch_repetitions,
+        watch_seed=args.watch_seed,
     )
+    if config.watch_interval is not None and not config.watch_machines:
+        raise MctopError("--watch-interval needs --watch-machines M1,M2,...")
 
     def announce(daemon) -> None:
         if args.unix is not None:
@@ -290,10 +323,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"{daemon.bound_metrics_port}/metrics", flush=True)
         if args.access_log is not None:
             print(f"access log at {args.access_log}", flush=True)
+        if args.event_log is not None:
+            print(f"event log at {args.event_log}", flush=True)
+        if daemon.watcher is not None:
+            print(f"drift watcher every {args.watch_interval}s on "
+                  f"{', '.join(daemon.watcher.states)}", flush=True)
 
     run_daemon(config, ready_callback=announce)
     print("mctopd drained, bye")
     return 0
+
+
+def _render_drift(result: dict) -> str:
+    """Human text for the ``drift`` verb's status document."""
+    if not result.get("enabled"):
+        return "drift watcher: disabled (daemon started without --watch-*)"
+    lines = [
+        f"drift watcher: worst={result['worst_severity']} "
+        f"interval={result['interval']:g}s"
+    ]
+    for name, state in sorted(result.get("machines", {}).items()):
+        age = state.get("age_seconds")
+        age_text = f"{age:.1f}s ago" if age is not None else "never"
+        lines.append(
+            f"  {name:<12} {state['severity']:<9} "
+            f"checks={state['checks']:<4} last={age_text}"
+        )
+        report = state.get("report")
+        for finding in (report or {}).get("findings", []):
+            lines.append(f"    [{finding['severity']:>8}] "
+                         f"{finding['category']}: {finding['message']}")
+    return "\n".join(lines)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -305,7 +365,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.unix is None and args.host is None:
         raise MctopError("query needs --unix PATH or --host HOST")
     params: dict = {}
-    if args.machine is not None:
+    if args.verb == "drift":
+        # The drift verb takes an optional machine and no measurement
+        # knobs (the watcher owns its own quick config).
+        if args.machine is not None:
+            params["machine"] = args.machine
+    elif args.machine is not None:
         params["machine"] = args.machine
         params["seed"] = args.seed
         params["repetitions"] = args.repetitions
@@ -334,6 +399,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 0
     if args.json:
         print(json.dumps(result, indent=1, sort_keys=True))
+        return 0
+    if args.verb == "drift":
+        print(_render_drift(result))
         return 0
     for text_key in ("summary", "stats", "report"):
         if text_key in result:
@@ -417,6 +485,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("machine")
     common(p_val)
     p_val.set_defaults(func=_cmd_validate)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="semantic drift diff between two topologies; exit code "
+             "0 ok / 1 warn / 2 critical",
+    )
+    p_diff.add_argument("a", help=".mct file or catalog machine")
+    p_diff.add_argument("b", help=".mct file or catalog machine")
+    p_diff.add_argument("--json", action="store_true",
+                        help="print the DriftReport as JSON")
+    p_diff.add_argument("--threshold-warn", type=float, default=None,
+                        metavar="REL",
+                        help="uniform relative warn threshold "
+                             "(default 0.10)")
+    p_diff.add_argument("--threshold-critical", type=float, default=None,
+                        metavar="REL",
+                        help="uniform relative critical threshold "
+                             "(default 0.30)")
+    common(p_diff)
+    p_diff.set_defaults(func=_cmd_diff)
 
     p_reval = sub.add_parser(
         "revalidate",
@@ -513,6 +601,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--access-log",
                          help="rotating NDJSON access log path "
                               "(one line per request)")
+    p_serve.add_argument("--event-log",
+                         help="rotating NDJSON event log path (drift "
+                              "checks, severity transitions, cache "
+                              "evictions, watcher errors)")
+    p_serve.add_argument("--watch-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="run the topology drift watcher this often "
+                              "(needs --watch-machines)")
+    p_serve.add_argument("--watch-machines", default=None,
+                         metavar="M1,M2",
+                         help="comma-separated catalog machines the drift "
+                              "watcher re-checks")
+    p_serve.add_argument("--watch-repetitions", type=int, default=15,
+                         help="latency samples per pair for the watcher's "
+                              "quick checks")
+    p_serve.add_argument("--watch-seed", type=int, default=0,
+                         help="seed for the watcher's checks (must match "
+                              "the cached baseline's)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_query = sub.add_parser(

@@ -18,6 +18,13 @@ from __future__ import annotations
 
 import time
 
+from repro.obs.diff import (
+    DriftFinding,
+    DriftReport,
+    DriftThresholds,
+    compare_mctops,
+)
+from repro.obs.events import EventLog, RotatingNdjsonWriter
 from repro.obs.export import (
     render_report,
     to_chrome_trace,
@@ -88,14 +95,20 @@ class Observability:
 
 __all__ = [
     "Counter",
+    "DriftFinding",
+    "DriftReport",
+    "DriftThresholds",
+    "EventLog",
     "Gauge",
     "Histogram",
     "Instant",
     "Observability",
     "Registry",
+    "RotatingNdjsonWriter",
     "Span",
     "Timer",
     "Tracer",
+    "compare_mctops",
     "render_prometheus",
     "render_report",
     "sanitize_metric_name",

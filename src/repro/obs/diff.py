@@ -1,0 +1,405 @@
+"""Semantic MCTOP diff: has a machine drifted from its description?
+
+MCTOP description files are persisted and reused (paper Sections 4-5),
+but the measurements behind them decay: DVFS policy changes, sustained
+contention, a BIOS update toggling SMT, a DIMM swap.  The paper's own
+validation (Section 5) is a one-shot check; this module provides the
+comparison primitive a *continuous* validator needs — a semantic diff
+of two topologies that separates
+
+* **structural drift** — context count, hwc-group/socket membership,
+  SMT arrangement, memory-node count, latency-level count.  A
+  structural mismatch means the stored description no longer describes
+  this machine at all; it is always ``critical``.
+* **metric drift** — per-level communication-latency deltas, memory
+  latency/bandwidth, cache sizes and latencies.  Each category carries
+  configurable relative thresholds mapping a delta to ``ok``/``warn``/
+  ``critical``; coherence-protocol determinism (Section 3) is what
+  makes these levels crisp enough that a threshold crossing is signal,
+  not noise.
+
+:func:`compare_mctops` returns a deterministic :class:`DriftReport`
+(two fixed topologies always produce the same report, findings in a
+stable order) with JSON (:meth:`DriftReport.to_dict`) and text
+(:meth:`DriftReport.render`) renderings.  The ``mctop diff`` subcommand
+and the ``mctopd`` drift watcher are both thin wrappers over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+#: Severity scale, worst last.  ``rank()`` maps into it; gauges export
+#: the rank (0 = ok, 1 = warn, 2 = critical).
+SEVERITIES = ("ok", "warn", "critical")
+
+
+def severity_rank(severity: str) -> int:
+    """0 for ``ok``, 1 for ``warn``, 2 for ``critical``."""
+    return SEVERITIES.index(severity)
+
+
+def _worst(severities) -> str:
+    worst = "ok"
+    for s in severities:
+        if severity_rank(s) > severity_rank(worst):
+            worst = s
+    return worst
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """Relative thresholds turning a metric delta into a severity.
+
+    A delta ``|measured - expected| / expected`` above the category's
+    ``*_warn`` fraction is ``warn``; above ``*_critical`` it is
+    ``critical``.  Communication latencies additionally require the
+    absolute delta to exceed ``min_abs_cycles`` — a 1-cycle wobble on a
+    4-cycle SMT level is measurement noise, not drift, even though it
+    is 25% relative.
+    """
+
+    comm_warn: float = 0.10
+    comm_critical: float = 0.30
+    mem_latency_warn: float = 0.10
+    mem_latency_critical: float = 0.30
+    mem_bandwidth_warn: float = 0.10
+    mem_bandwidth_critical: float = 0.30
+    cache_warn: float = 0.05
+    cache_critical: float = 0.25
+    min_abs_cycles: float = 6.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"{f.name} must be a non-negative number")
+
+    @classmethod
+    def uniform(cls, warn: float, critical: float,
+                min_abs_cycles: float = 6.0) -> "DriftThresholds":
+        """One warn/critical pair applied to every metric category
+        (what the ``mctop diff --threshold-*`` flags construct)."""
+        return cls(
+            comm_warn=warn, comm_critical=critical,
+            mem_latency_warn=warn, mem_latency_critical=critical,
+            mem_bandwidth_warn=warn, mem_bandwidth_critical=critical,
+            cache_warn=warn, cache_critical=critical,
+            min_abs_cycles=min_abs_cycles,
+        )
+
+    def classify(self, category: str, expected: float, measured: float,
+                 ) -> tuple[str, float]:
+        """(severity, relative delta) for one metric observation."""
+        if expected == measured:
+            return "ok", 0.0
+        base = abs(expected)
+        rel = abs(measured - expected) / base if base else float("inf")
+        if category == "comm_latency" and \
+                abs(measured - expected) < self.min_abs_cycles:
+            return "ok", rel
+        warn = getattr(self, f"{_FIELD_PREFIX[category]}_warn")
+        critical = getattr(self, f"{_FIELD_PREFIX[category]}_critical")
+        if rel > critical:
+            return "critical", rel
+        if rel > warn:
+            return "warn", rel
+        return "ok", rel
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+_FIELD_PREFIX = {
+    "comm_latency": "comm",
+    "mem_latency": "mem_latency",
+    "mem_bandwidth": "mem_bandwidth",
+    "cache": "cache",
+}
+
+#: Finding categories, in report order.
+CATEGORIES = ("structure", "comm_latency", "mem_latency",
+              "mem_bandwidth", "cache")
+
+
+@dataclass(frozen=True)
+class DriftFinding:
+    """One observed difference between two topologies."""
+
+    category: str        # one of CATEGORIES
+    severity: str        # "warn" | "critical" (ok deltas are not findings)
+    subject: str         # what drifted, e.g. "level 3 (cross)"
+    expected: float | None
+    measured: float | None
+    rel_delta: float | None
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "category": self.category,
+            "severity": self.severity,
+            "subject": self.subject,
+            "expected": self.expected,
+            "measured": self.measured,
+            "rel_delta": round(self.rel_delta, 6)
+            if self.rel_delta is not None else None,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """The deterministic outcome of one :func:`compare_mctops` call.
+
+    ``findings`` holds every warn/critical difference, ordered by
+    (category, subject); an empty tuple means the topologies agree
+    within the thresholds.  ``severity`` is the worst finding ("ok"
+    when empty) and ``exit_code`` maps it onto the ``mctop diff``
+    convention: 0 ok, 1 warn, 2 critical.
+    """
+
+    name_a: str
+    name_b: str
+    findings: tuple[DriftFinding, ...] = ()
+    thresholds: DriftThresholds = field(default_factory=DriftThresholds)
+
+    @property
+    def severity(self) -> str:
+        return _worst(f.severity for f in self.findings)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return severity_rank(self.severity)
+
+    def findings_by_category(self) -> dict[str, list[DriftFinding]]:
+        out: dict[str, list[DriftFinding]] = {}
+        for f in self.findings:
+            out.setdefault(f.category, []).append(f)
+        return out
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "total": len(self.findings),
+            "warn": sum(f.severity == "warn" for f in self.findings),
+            "critical": sum(
+                f.severity == "critical" for f in self.findings
+            ),
+        }
+
+    def to_dict(self) -> dict:
+        """Plain JSON-compatible data, key-stable for goldens/wire."""
+        return {
+            "format": "mctop-drift-report",
+            "version": 1,
+            "name_a": self.name_a,
+            "name_b": self.name_b,
+            "severity": self.severity,
+            "severity_rank": severity_rank(self.severity),
+            "ok": self.ok,
+            "counts": self.counts(),
+            "thresholds": self.thresholds.to_dict(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        """Human-readable report (what ``mctop diff`` prints)."""
+        head = f"drift {self.name_a} vs {self.name_b}: "
+        if self.ok:
+            return head + "ok (no drift within thresholds)"
+        counts = self.counts()
+        lines = [
+            head + f"{self.severity.upper()} "
+            f"({counts['critical']} critical, {counts['warn']} warn)"
+        ]
+        for category in CATEGORIES:
+            for f in self.findings_by_category().get(category, []):
+                lines.append(f"  [{f.severity:>8}] {f.category}: {f.message}")
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+class _Collector:
+    """Accumulates findings with the shared classify-and-record step."""
+
+    def __init__(self, thresholds: DriftThresholds):
+        self.thresholds = thresholds
+        self.findings: list[DriftFinding] = []
+
+    def structural(self, subject: str, message: str,
+                   expected=None, measured=None) -> None:
+        self.findings.append(DriftFinding(
+            category="structure", severity="critical", subject=subject,
+            expected=expected, measured=measured, rel_delta=None,
+            message=message,
+        ))
+
+    def metric(self, category: str, subject: str,
+               expected: float, measured: float, unit: str) -> None:
+        severity, rel = self.thresholds.classify(
+            category, float(expected), float(measured)
+        )
+        if severity == "ok":
+            return
+        self.findings.append(DriftFinding(
+            category=category, severity=severity, subject=subject,
+            expected=float(expected), measured=float(measured),
+            rel_delta=rel,
+            message=f"{subject}: expected {_fmt(float(expected))} {unit}, "
+                    f"measured {_fmt(float(measured))} {unit} "
+                    f"({rel:.0%} off)",
+        ))
+
+    def ordered(self) -> tuple[DriftFinding, ...]:
+        rank = {c: i for i, c in enumerate(CATEGORIES)}
+        return tuple(sorted(
+            self.findings,
+            key=lambda f: (rank[f.category], f.subject, f.message),
+        ))
+
+
+def _membership(mctop) -> list[tuple[tuple[int, ...], ...]]:
+    """Socket and core context-membership as order-free multisets, so a
+    pure component renumbering is not reported as drift."""
+    sockets = sorted(
+        tuple(sorted(mctop.socket_get_contexts(s)))
+        for s in mctop.socket_ids()
+    )
+    cores = sorted(
+        tuple(sorted(mctop.core_get_contexts(c)))
+        for c in mctop.core_ids()
+    )
+    return [tuple(sockets), tuple(cores)]
+
+
+def _compare_structure(col: _Collector, a, b) -> bool:
+    """Record structural findings; False when metric comparison is
+    meaningless (the shapes do not line up)."""
+    comparable = True
+    if a.n_contexts != b.n_contexts:
+        col.structural(
+            "contexts",
+            f"hardware context count changed: {a.n_contexts} -> "
+            f"{b.n_contexts}",
+            expected=a.n_contexts, measured=b.n_contexts,
+        )
+        comparable = False
+    if a.n_sockets != b.n_sockets:
+        col.structural(
+            "sockets",
+            f"socket count changed: {a.n_sockets} -> {b.n_sockets}",
+            expected=a.n_sockets, measured=b.n_sockets,
+        )
+        comparable = False
+    if a.n_nodes != b.n_nodes:
+        col.structural(
+            "memory_nodes",
+            f"memory node count changed: {a.n_nodes} -> {b.n_nodes}",
+            expected=a.n_nodes, measured=b.n_nodes,
+        )
+    if (a.has_smt, a.smt_per_core) != (b.has_smt, b.smt_per_core):
+        col.structural(
+            "smt",
+            f"SMT arrangement changed: {a.smt_per_core}-way -> "
+            f"{b.smt_per_core}-way",
+            expected=a.smt_per_core, measured=b.smt_per_core,
+        )
+        comparable = False
+    if len(a.levels) != len(b.levels):
+        col.structural(
+            "latency_levels",
+            f"latency level count changed: {len(a.levels)} -> "
+            f"{len(b.levels)}",
+            expected=len(a.levels), measured=len(b.levels),
+        )
+        comparable = False
+    if comparable and _membership(a) != _membership(b):
+        col.structural(
+            "membership",
+            "hwc-group/socket membership changed (contexts regrouped "
+            "across cores or sockets)",
+        )
+        comparable = False
+    return comparable
+
+
+def _compare_levels(col: _Collector, a, b) -> None:
+    for level_a, level_b in zip(a.levels, b.levels):
+        subject = f"level {level_a.level} ({level_a.role})"
+        if level_a.role != level_b.role or \
+                len(level_a.component_ids) != len(level_b.component_ids):
+            col.structural(
+                subject,
+                f"{subject} changed shape: {level_a.role} x "
+                f"{len(level_a.component_ids)} -> {level_b.role} x "
+                f"{len(level_b.component_ids)}",
+            )
+            continue
+        col.metric("comm_latency", subject,
+                   level_a.latency, level_b.latency, "cycles")
+
+
+def _compare_memory(col: _Collector, a, b) -> None:
+    if not (a.has_memory_measurements() and b.has_memory_measurements()):
+        return
+    for sid_a, sid_b in zip(a.socket_ids(), b.socket_ids()):
+        sock_a, sock_b = a.sockets[sid_a], b.sockets[sid_b]
+        for nid_a, nid_b in zip(sorted(sock_a.mem_latencies),
+                                sorted(sock_b.mem_latencies)):
+            subject = f"socket {sid_a} -> node {nid_a} latency"
+            col.metric("mem_latency", subject,
+                       sock_a.mem_latencies[nid_a],
+                       sock_b.mem_latencies[nid_b], "cycles")
+        for nid_a, nid_b in zip(sorted(sock_a.mem_bandwidths),
+                                sorted(sock_b.mem_bandwidths)):
+            subject = f"socket {sid_a} -> node {nid_a} bandwidth"
+            col.metric("mem_bandwidth", subject,
+                       sock_a.mem_bandwidths[nid_a],
+                       sock_b.mem_bandwidths[nid_b], "GB/s")
+
+
+def _compare_caches(col: _Collector, a, b) -> None:
+    ca, cb = a.cache_info, b.cache_info
+    if ca is None or cb is None:
+        return
+    if tuple(sorted(ca.sizes_kib)) != tuple(sorted(cb.sizes_kib)):
+        col.structural(
+            "cache_levels",
+            f"measured cache levels changed: "
+            f"{sorted(ca.sizes_kib)} -> {sorted(cb.sizes_kib)}",
+        )
+        return
+    for level in sorted(ca.sizes_kib):
+        col.metric("cache", f"L{level} size",
+                   ca.sizes_kib[level], cb.sizes_kib[level], "KiB")
+    for level in sorted(set(ca.latencies) & set(cb.latencies)):
+        col.metric("cache", f"L{level} latency",
+                   ca.latencies[level], cb.latencies[level], "cycles")
+
+
+def compare_mctops(a, b, thresholds: DriftThresholds | None = None,
+                   ) -> DriftReport:
+    """Semantically compare two :class:`~repro.core.mctop.Mctop`\\ s.
+
+    ``a`` is the reference (e.g. the stored description), ``b`` the
+    candidate (e.g. a fresh re-measurement); deltas are relative to
+    ``a``.  Structural differences short-circuit the metric comparison
+    — comparing per-level latencies of two different shapes would pair
+    unrelated levels.
+    """
+    thresholds = thresholds or DriftThresholds()
+    col = _Collector(thresholds)
+    if _compare_structure(col, a, b):
+        _compare_levels(col, a, b)
+        _compare_memory(col, a, b)
+        _compare_caches(col, a, b)
+    return DriftReport(
+        name_a=a.name, name_b=b.name,
+        findings=col.ordered(), thresholds=thresholds,
+    )

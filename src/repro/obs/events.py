@@ -1,0 +1,191 @@
+"""Structured NDJSON event log (and the shared rotating writer).
+
+Metrics say *how much*, traces say *where the time went*; the event
+log says *what happened*: discrete, operator-meaningful state changes
+— a drift check completing, a machine's drift severity transitioning,
+a cache entry being evicted, the watcher hitting an error.  One JSON
+object per line, size-rotated, cheap enough to leave always on.
+
+Two classes:
+
+* :class:`RotatingNdjsonWriter` — the line-oriented, size-rotated,
+  flush-per-line file writer.  It is the machinery the ``mctopd``
+  access log already used; it lives here so both logs share one
+  implementation, including the durability contract: :meth:`close`
+  flushes **and fsyncs**, so the final event written during a SIGTERM
+  drain is on disk before the process exits.
+* :class:`EventLog` — the schema'd front end.  Every record carries
+  ``ts`` (epoch seconds), ``kind`` (dotted event name) and
+  ``request_id`` (from the optional provider — ``mctopd`` passes its
+  request-scoped ContextVar getter, so events emitted while serving a
+  request correlate with that request's trace span and access-log
+  line), plus arbitrary JSON-compatible event fields.
+
+Event kinds are free-form dotted names; the ones ``mctopd`` emits are
+catalogued in ``docs/OBSERVABILITY.md`` (``drift.check``,
+``drift.transition``, ``drift.baseline``, ``cache.eviction``,
+``watcher.error``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+
+class RotatingNdjsonWriter:
+    """Append JSON lines to ``path``, rotating on size.
+
+    When a write would push the file past ``max_bytes`` the current
+    file shifts to ``<path>.1`` (``.1`` to ``.2``, ...) keeping
+    ``backups`` rotated generations; ``backups=0`` truncates instead.
+    Every line is flushed to the OS immediately; :meth:`close` also
+    fsyncs so buffered tail lines survive an immediately-following
+    process exit (the SIGTERM-drain contract).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int = 5_000_000,
+        backups: int = 3,
+    ):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if backups < 0:
+            raise ValueError("backups must be >= 0")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.lines_written = 0
+        self.rotations = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def write_record(self, record: dict) -> None:
+        """One compact JSON line; rotates first when it would overflow."""
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        if self._fh.tell() + len(line) > self.max_bytes:
+            self._rotate()
+        self._fh.write(line)
+        self._fh.flush()
+        self.lines_written += 1
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(f"{self.path.name}.{self.backups}")
+            oldest.unlink(missing_ok=True)
+            for n in range(self.backups - 1, 0, -1):
+                src = self.path.with_name(f"{self.path.name}.{n}")
+                if src.exists():
+                    src.rename(
+                        self.path.with_name(f"{self.path.name}.{n + 1}")
+                    )
+            if self.path.exists():
+                self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.rotations += 1
+
+    def flush(self, fsync: bool = False) -> None:
+        if self._fh.closed:
+            return
+        self._fh.flush()
+        if fsync:
+            os.fsync(self._fh.fileno())
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def close(self) -> None:
+        """Flush, fsync and close — the drain-time durability step."""
+        if self._fh.closed:
+            return
+        self.flush(fsync=True)
+        self._fh.close()
+
+    def __enter__(self) -> "RotatingNdjsonWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class EventLog:
+    """Structured events over a :class:`RotatingNdjsonWriter`.
+
+    Line schema (``ts``/``kind``/``request_id`` always present)::
+
+        {"ts": 1754512345.123, "kind": "drift.check",
+         "request_id": "a3f9c2e1b4d07788",
+         "machine": "ivy", "severity": "ok", ...}
+
+    ``request_id_provider`` is a zero-argument callable returning the
+    current request id or ``None`` — ``mctopd`` passes
+    ``current_request_id.get`` so every event emitted inside a request
+    (or a watcher check, which stamps its own id) is trace-correlated.
+    An explicit ``request_id=...`` field on :meth:`emit` wins.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int = 5_000_000,
+        backups: int = 3,
+        request_id_provider=None,
+        clock=time.time,
+    ):
+        self._writer = RotatingNdjsonWriter(
+            path, max_bytes=max_bytes, backups=backups
+        )
+        self._request_id_provider = request_id_provider
+        self._clock = clock
+
+    # ------------------------------------------------------------- emit
+    def emit(self, kind: str, **fields) -> None:
+        if not kind:
+            raise ValueError("event kind must be a non-empty string")
+        request_id = fields.pop("request_id", None)
+        if request_id is None and self._request_id_provider is not None:
+            request_id = self._request_id_provider()
+        record = {
+            "ts": round(self._clock(), 3),
+            "kind": kind,
+            "request_id": request_id,
+        }
+        record.update(fields)
+        self._writer.write_record(record)
+
+    # ------------------------------------------------------------ admin
+    @property
+    def path(self) -> Path:
+        return self._writer.path
+
+    @property
+    def lines_written(self) -> int:
+        return self._writer.lines_written
+
+    @property
+    def rotations(self) -> int:
+        return self._writer.rotations
+
+    @property
+    def closed(self) -> bool:
+        return self._writer.closed
+
+    def flush(self, fsync: bool = False) -> None:
+        self._writer.flush(fsync=fsync)
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

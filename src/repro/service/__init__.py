@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.service.cache import InferenceCache, SingleFlight, inference_key
 from repro.service.client import MctopClient
 from repro.service.daemon import MctopDaemon, ServeConfig, run_daemon
+from repro.service.drift import DriftWatcher
 from repro.service.handlers import Handlers, Session
 from repro.service.protocol import (
     MAX_LINE_BYTES,
@@ -30,6 +31,7 @@ from repro.service.protocol import (
 )
 
 __all__ = [
+    "DriftWatcher",
     "Handlers",
     "InferenceCache",
     "MAX_LINE_BYTES",

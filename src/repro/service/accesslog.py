@@ -16,18 +16,18 @@ Line schema (all keys always present)::
      "cache": "hit",              # "hit" | "miss" | null (non-topology)
      "bytes_out": 4096}           # encoded response frame size
 
-Rotation is size-based: when a write would push the file past
-``max_bytes``, the current file shifts to ``<path>.1`` (and ``.1`` to
-``.2``, ...) keeping ``backups`` rotated generations.  Writes are
-plain buffered file appends — the same trade stdlib ``logging``
-handlers make — cheap enough to leave on for every request.
+Rotation, per-line flushing and the close-time flush-and-fsync are the
+shared :class:`~repro.obs.events.RotatingNdjsonWriter` machinery (the
+event log uses the same); ``close()`` runs during the SIGTERM drain,
+so the final request's line is durably on disk before exit.
 """
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
+
+from repro.obs.events import RotatingNdjsonWriter
 
 
 class AccessLog:
@@ -39,17 +39,9 @@ class AccessLog:
         max_bytes: int = 5_000_000,
         backups: int = 3,
     ):
-        if max_bytes < 1:
-            raise ValueError("max_bytes must be >= 1")
-        if backups < 0:
-            raise ValueError("backups must be >= 0")
-        self.path = Path(path)
-        self.max_bytes = max_bytes
-        self.backups = backups
-        self.lines_written = 0
-        self.rotations = 0
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = open(self.path, "a", encoding="utf-8")
+        self._writer = RotatingNdjsonWriter(
+            path, max_bytes=max_bytes, backups=backups
+        )
 
     # ------------------------------------------------------------ write
     def write(
@@ -62,7 +54,7 @@ class AccessLog:
         bytes_out: int = 0,
         ts: float | None = None,
     ) -> None:
-        record = {
+        self._writer.write_record({
             "ts": round(time.time() if ts is None else ts, 3),
             "request_id": request_id,
             "verb": verb,
@@ -70,34 +62,32 @@ class AccessLog:
             "duration_ms": round(duration_ms, 3),
             "cache": cache,
             "bytes_out": bytes_out,
-        }
-        line = json.dumps(record, separators=(",", ":")) + "\n"
-        if self._fh.tell() + len(line) > self.max_bytes:
-            self._rotate()
-        self._fh.write(line)
-        self._fh.flush()
-        self.lines_written += 1
-
-    def _rotate(self) -> None:
-        self._fh.close()
-        if self.backups == 0:
-            self.path.unlink(missing_ok=True)
-        else:
-            oldest = self.path.with_name(f"{self.path.name}.{self.backups}")
-            oldest.unlink(missing_ok=True)
-            for n in range(self.backups - 1, 0, -1):
-                src = self.path.with_name(f"{self.path.name}.{n}")
-                if src.exists():
-                    src.rename(self.path.with_name(f"{self.path.name}.{n + 1}"))
-            if self.path.exists():
-                self.path.rename(self.path.with_name(f"{self.path.name}.1"))
-        self._fh = open(self.path, "a", encoding="utf-8")
-        self.rotations += 1
+        })
 
     # ------------------------------------------------------------ admin
+    @property
+    def path(self) -> Path:
+        return self._writer.path
+
+    @property
+    def max_bytes(self) -> int:
+        return self._writer.max_bytes
+
+    @property
+    def backups(self) -> int:
+        return self._writer.backups
+
+    @property
+    def lines_written(self) -> int:
+        return self._writer.lines_written
+
+    @property
+    def rotations(self) -> int:
+        return self._writer.rotations
+
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        """Flush-and-fsync close (the drain-time durability step)."""
+        self._writer.close()
 
     def __enter__(self) -> "AccessLog":
         return self

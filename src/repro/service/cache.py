@@ -69,12 +69,15 @@ class InferenceCache:
         store_dir: str | Path | None = None,
         max_memory_entries: int = 32,
         obs: Observability | None = None,
+        events: "EventLog | None" = None,
     ):
         if max_memory_entries < 1:
             raise ValueError("max_memory_entries must be >= 1")
         self.store_dir = Path(store_dir) if store_dir is not None else None
         self.max_memory_entries = max_memory_entries
         self.obs = obs or Observability()
+        #: Optional structured event log; evictions are emitted to it.
+        self.events = events
         self._memory: OrderedDict[str, Mctop] = OrderedDict()
 
     # ------------------------------------------------------------ lookup
@@ -121,8 +124,11 @@ class InferenceCache:
         self._memory[key] = mctop
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
+            evicted_key, _ = self._memory.popitem(last=False)
             self.obs.counter("service.cache.evictions").inc()
+            if self.events is not None:
+                self.events.emit("cache.eviction", key=evicted_key,
+                                 memory_entries=len(self._memory))
         self.obs.gauge("service.cache.memory_entries").set(len(self._memory))
 
     # ------------------------------------------------------------ admin

@@ -158,3 +158,14 @@ class MctopClient:
         """The daemon's metrics snapshot; pass ``format="prometheus"``
         for the text exposition instead of the JSON document."""
         return self.request("metrics", **params)
+
+    def drift(self, machine: str | None = None) -> dict:
+        """The drift watcher's status (latest per-machine reports).
+
+        Without a machine, every watched machine is reported; the
+        result's ``enabled`` is false on daemons running without a
+        watcher.  Older daemons lacking the verb answer with an
+        ``unknown_verb`` :class:`~repro.errors.ServiceError`.
+        """
+        params = {} if machine is None else {"machine": machine}
+        return self.request("drift", **params)

@@ -34,11 +34,14 @@ import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.algorithm import LatencyTableConfig
 from repro.errors import MctopError, ProtocolError, ServiceError
 from repro.obs import Observability
+from repro.obs.events import EventLog
 from repro.service.accesslog import AccessLog
 from repro.service.cache import InferenceCache
 from repro.service.context import current_request_id
+from repro.service.drift import DriftWatcher
 from repro.service.handlers import Handlers, Session, prometheus_text
 from repro.service.protocol import (
     MAX_LINE_BYTES,
@@ -76,6 +79,20 @@ class ServeConfig:
     access_log: str | Path | None = None
     access_log_max_bytes: int = 5_000_000
     access_log_backups: int = 3
+    #: Structured NDJSON event log (drift checks, severity transitions,
+    #: cache evictions, watcher errors) when set.
+    event_log: str | Path | None = None
+    event_log_max_bytes: int = 5_000_000
+    event_log_backups: int = 3
+    #: Run the background drift watcher every ``watch_interval`` seconds
+    #: over ``watch_machines`` when both are set.  Checks use a quick
+    #: measurement config (``watch_repetitions``) and diff against the
+    #: content-addressed cache's stored baseline; critical drift flips
+    #: ``/healthz`` to ``degraded``.
+    watch_interval: float | None = None
+    watch_machines: tuple[str, ...] = ()
+    watch_repetitions: int = 15
+    watch_seed: int = 0
     #: Enable the hidden ``_sleep`` verb (tests only).
     debug_verbs: bool = False
 
@@ -89,16 +106,39 @@ class MctopDaemon:
                                "a TCP host, or both")
         self.config = config
         self.obs = obs or Observability()
+        self.event_log: EventLog | None = None
+        if config.event_log is not None:
+            self.event_log = EventLog(
+                config.event_log,
+                max_bytes=config.event_log_max_bytes,
+                backups=config.event_log_backups,
+                request_id_provider=current_request_id.get,
+            )
         self.cache = InferenceCache(
             store_dir=config.store_dir,
             max_memory_entries=config.max_memory_entries,
             obs=self.obs,
+            events=self.event_log,
         )
+        self.watcher: DriftWatcher | None = None
+        if config.watch_interval is not None and config.watch_machines:
+            self.watcher = DriftWatcher(
+                self.cache,
+                self.obs,
+                machines=tuple(config.watch_machines),
+                interval=config.watch_interval,
+                seed=config.watch_seed,
+                table=LatencyTableConfig(
+                    repetitions=config.watch_repetitions
+                ),
+                events=self.event_log,
+            )
         self.handlers = Handlers(
             self.cache,
             self.obs,
             default_repetitions=config.default_repetitions,
             debug_verbs=config.debug_verbs,
+            watcher=self.watcher,
         )
         self._servers: list[asyncio.base_events.Server] = []
         # The metrics HTTP listener lives outside self._servers so the
@@ -142,6 +182,8 @@ class MctopDaemon:
                 host=cfg.metrics_host,
                 port=cfg.metrics_port,
             )
+        if self.watcher is not None:
+            self.watcher.start()
         self.obs.instant("service.started")
 
     @property
@@ -200,8 +242,15 @@ class MctopDaemon:
             await asyncio.gather(*pending, return_exceptions=True)
         if self._metrics_server is not None:
             await self._metrics_server.wait_closed()
+        if self.watcher is not None:
+            await self.watcher.stop()
+        # Flush-and-fsync both NDJSON logs: the final access line and
+        # drift event must be durably on disk before the process exits.
         if self.access_log is not None:
             self.access_log.close()
+        if self.event_log is not None:
+            self.event_log.emit("service.drained")
+            self.event_log.close()
         self._cleanup_unix_socket()
         self.obs.instant("service.drain_end")
         self._drained.set()
@@ -450,8 +499,15 @@ class MctopDaemon:
                 body = prometheus_text(self.obs, self.cache).encode("utf-8")
                 self.obs.counter("service.metrics_http.scrapes").inc()
             elif target.split("?", 1)[0] == "/healthz":
-                status = "200 OK"
-                body = b"draining\n" if self._draining else b"ok\n"
+                if self._draining:
+                    status, body = "200 OK", b"draining\n"
+                elif self.watcher is not None and self.watcher.degraded:
+                    # Critical topology drift: still serving, but the
+                    # cached descriptions no longer match the machines.
+                    status = "503 Service Unavailable"
+                    body = b"degraded\n"
+                else:
+                    status, body = "200 OK", b"ok\n"
             else:
                 status, body = "404 Not Found", b"not found\n"
             head = (

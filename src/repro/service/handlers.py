@@ -94,9 +94,11 @@ class Handlers:
         obs: Observability,
         default_repetitions: int = 75,
         debug_verbs: bool = False,
+        watcher: "DriftWatcher | None" = None,
     ):
         self.cache = cache
         self.obs = obs
+        self.watcher = watcher
         self.default_repetitions = default_repetitions
         self.debug_verbs = debug_verbs
         self.singleflight = SingleFlight(obs=obs)
@@ -283,6 +285,24 @@ class Handlers:
             "cache": self.cache.stats(),
             "inflight_inferences": self.singleflight.inflight_keys(),
         }
+
+    async def drift(self, params: dict, session: Session) -> dict:
+        """The drift watcher's status document.
+
+        Per-machine severity, last-check age and the latest full
+        :class:`~repro.obs.diff.DriftReport`; ``machine=...`` narrows
+        the answer to one watched machine.  A daemon running without a
+        watcher answers ``{"enabled": false}`` rather than erroring, so
+        dashboards (``mctop top``) degrade gracefully.
+        """
+        machine = params.get("machine")
+        if machine is not None and not isinstance(machine, str):
+            raise _invalid("'machine' must be a string")
+        if self.watcher is None:
+            return {"protocol": PROTOCOL_VERSION, "enabled": False}
+        doc = self.watcher.status_doc(machine)
+        doc["protocol"] = PROTOCOL_VERSION
+        return doc
 
     async def _sleep(self, params: dict, session: Session) -> dict:
         """Debug-only: hold a request slot (tests exercise timeouts and

@@ -48,6 +48,7 @@ VERBS = (
     "pool_switch",
     "validate",
     "metrics",
+    "drift",
 )
 
 #: Error codes a response may carry.

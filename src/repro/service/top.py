@@ -53,15 +53,39 @@ def _rate(cur: float, prev_value: float | None, dt: float | None) -> str:
     return f"{max(0.0, cur - prev_value) / dt:.1f}"
 
 
+def render_drift_lines(drift: dict) -> list[str]:
+    """The dashboard's per-machine drift status lines.
+
+    One line per watched machine — severity plus last-check age — from
+    a ``drift`` verb document; empty when the watcher is disabled (or
+    the daemon predates the verb), so the dashboard simply omits the
+    section.
+    """
+    if not drift or not drift.get("enabled"):
+        return []
+    lines = [f"drift   worst {drift.get('worst_severity', 'ok')}"]
+    for name, state in sorted(drift.get("machines", {}).items()):
+        age = state.get("age_seconds")
+        age_text = f"checked {age:.0f}s ago" if age is not None \
+            else "not checked yet"
+        lines.append(
+            f"  {name:<12} {state.get('severity', 'unknown'):<9} "
+            f"({age_text})"
+        )
+    return lines
+
+
 def render_dashboard(
-    doc: dict, prev: dict | None = None, dt: float | None = None
+    doc: dict, prev: dict | None = None, dt: float | None = None,
+    drift: dict | None = None,
 ) -> str:
     """One dashboard frame from a ``metrics`` verb document.
 
     ``prev``/``dt`` (the previous document and the seconds since it)
     turn monotonic counters into rates; the first frame shows ``-``.
-    Pure: two fixed documents always render the same text, which is
-    what the tests pin.
+    ``drift`` optionally adds the drift watcher's status section (a
+    ``drift`` verb document).  Pure: two fixed documents always render
+    the same text, which is what the tests pin.
     """
     registry = doc.get("registry", {})
     prev_registry = (prev or {}).get("registry", {})
@@ -119,6 +143,10 @@ def render_dashboard(
         lines.append(
             "inferring: " + ", ".join(key[:12] for key in inflight)
         )
+    drift_lines = render_drift_lines(drift or {})
+    if drift_lines:
+        lines.append("")
+        lines.extend(drift_lines)
     return "\n".join(lines) + "\n"
 
 
@@ -138,15 +166,26 @@ def run_top(
         def write(text: str) -> None:
             print(text, end="", flush=True)
 
+    from repro.errors import ServiceError
+
     prev: dict | None = None
     prev_t: float | None = None
+    drift_supported = True
     frames = 0
     try:
         while count is None or frames < count:
             doc = client.metrics()
+            drift: dict | None = None
+            if drift_supported:
+                try:
+                    drift = client.drift()
+                except (ServiceError, AttributeError):
+                    # Older daemon (unknown_verb) or older client shim:
+                    # drop the section rather than the dashboard.
+                    drift_supported = False
             now = time.monotonic()
             dt = now - prev_t if prev_t is not None else None
-            frame = render_dashboard(doc, prev, dt)
+            frame = render_dashboard(doc, prev, dt, drift=drift)
             write((CLEAR if clear else "") + frame)
             prev, prev_t = doc, now
             frames += 1

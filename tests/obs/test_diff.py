@@ -1,0 +1,277 @@
+"""Tests for the semantic MCTOP diff (repro.obs.diff).
+
+The paper's validation is one-shot; the diff is the primitive behind
+continuous validation.  These tests pin the contract the drift watcher
+and ``mctop diff`` rely on: a self-diff is always empty, perturbations
+land in the right category at the right severity, and reports are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialize import mctop_from_dict, save_mctop
+from repro.obs.diff import (
+    DriftReport,
+    DriftThresholds,
+    compare_mctops,
+    severity_rank,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "golden"
+GOLDEN_MACHINES = sorted(p.name[:-len(".json.gz")]
+                         for p in GOLDEN_DIR.glob("*.json.gz"))
+
+
+def golden_doc(name: str) -> dict:
+    path = GOLDEN_DIR / f"{name}.json.gz"
+    return json.loads(gzip.decompress(path.read_bytes()).decode("utf-8"))
+
+
+def golden_mctop(name: str):
+    return mctop_from_dict(golden_doc(name))
+
+
+def perturbed(name: str, mutate) -> tuple:
+    """(original, mutated) topologies from one golden fixture."""
+    doc = golden_doc(name)
+    doc2 = json.loads(json.dumps(doc))
+    mutate(doc2)
+    return mctop_from_dict(doc), mctop_from_dict(doc2)
+
+
+class TestSeverities:
+    def test_rank_order(self):
+        assert [severity_rank(s) for s in ("ok", "warn", "critical")] \
+            == [0, 1, 2]
+
+    def test_uniform_thresholds(self):
+        t = DriftThresholds.uniform(0.2, 0.5)
+        assert t.comm_warn == t.cache_warn == 0.2
+        assert t.mem_latency_critical == t.mem_bandwidth_critical == 0.5
+
+
+class TestSelfDiff:
+    @pytest.mark.parametrize("machine", GOLDEN_MACHINES)
+    def test_every_golden_self_diff_is_ok(self, machine):
+        mctop = golden_mctop(machine)
+        report = compare_mctops(mctop, mctop)
+        assert report.ok
+        assert report.severity == "ok"
+        assert report.exit_code == 0
+        assert report.findings == ()
+        assert "ok" in report.render()
+
+
+class TestLatencyPerturbation:
+    def test_doubled_cross_level_is_critical_and_named(self):
+        def mutate(doc):
+            doc["levels"][-1]["latency"] *= 2
+
+        a, b = perturbed("testbox", mutate)
+        report = compare_mctops(a, b)
+        assert report.severity == "critical"
+        assert report.exit_code == 2
+        (finding,) = report.findings
+        assert finding.category == "comm_latency"
+        cross = a.levels[-1]
+        assert finding.subject == f"level {cross.level} ({cross.role})"
+        assert "cross" in finding.subject
+        assert str(cross.latency) in finding.message
+
+    def test_small_perturbation_is_warn(self):
+        def mutate(doc):
+            doc["levels"][-1]["latency"] = round(
+                doc["levels"][-1]["latency"] * 1.15
+            )
+
+        a, b = perturbed("testbox", mutate)
+        report = compare_mctops(a, b)
+        assert report.severity == "warn"
+        assert report.exit_code == 1
+
+    def test_min_abs_cycles_floor_absorbs_tiny_deltas(self):
+        # The core level sits at ~26 cycles: +4 cycles is >10% relative
+        # but below the 6-cycle absolute floor -> not drift.
+        def mutate(doc):
+            doc["levels"][1]["latency"] += 4
+
+        a, b = perturbed("testbox", mutate)
+        assert compare_mctops(a, b).ok
+
+    def test_thresholds_are_configurable(self):
+        def mutate(doc):
+            doc["levels"][-1]["latency"] = round(
+                doc["levels"][-1]["latency"] * 1.2
+            )
+
+        a, b = perturbed("testbox", mutate)
+        assert compare_mctops(a, b).severity == "warn"
+        strict = DriftThresholds.uniform(0.05, 0.10)
+        assert compare_mctops(a, b, strict).severity == "critical"
+        lax = DriftThresholds.uniform(0.5, 0.9)
+        assert compare_mctops(a, b, lax).ok
+
+
+class TestStructuralDrift:
+    def test_different_machines_are_structurally_critical(self):
+        report = compare_mctops(golden_mctop("testbox"),
+                                golden_mctop("unisock"))
+        assert report.severity == "critical"
+        assert all(f.category == "structure" for f in report.findings)
+        subjects = {f.subject for f in report.findings}
+        assert "contexts" in subjects or "sockets" in subjects
+        # Structural mismatch short-circuits metric comparison.
+        assert not any(f.category == "comm_latency"
+                       for f in report.findings)
+
+    def test_membership_regrouping_is_structural(self):
+        def mutate(doc):
+            # Swap one SMT sibling between the first two cores: same
+            # counts everywhere, different hwc-group membership.
+            g0, g1 = doc["groups"][0], doc["groups"][1]
+            for field in ("contexts", "children"):
+                g0[field][1], g1[field][1] = g1[field][1], g0[field][1]
+            by_id = {c["id"]: c for c in doc["contexts"]}
+            by_id[g0["contexts"][1]]["core_id"] = g0["id"]
+            by_id[g1["contexts"][1]]["core_id"] = g1["id"]
+
+        a, b = perturbed("testbox", mutate)
+        report = compare_mctops(a, b)
+        assert report.severity == "critical"
+        assert any(f.subject == "membership" for f in report.findings)
+
+
+class TestMemoryAndCacheDrift:
+    def test_memory_latency_drift(self):
+        def mutate(doc):
+            sock = doc["sockets"][0]
+            sock["mem_latencies"] = {
+                k: v * 2 for k, v in sock["mem_latencies"].items()
+            }
+
+        a, b = perturbed("testbox", mutate)
+        report = compare_mctops(a, b)
+        assert report.severity == "critical"
+        assert {f.category for f in report.findings} == {"mem_latency"}
+
+    def test_cache_size_drift(self):
+        def mutate(doc):
+            doc["cache_info"]["sizes_kib"]["3"] = \
+                doc["cache_info"]["sizes_kib"]["3"] // 2
+
+        a, b = perturbed("testbox", mutate)
+        report = compare_mctops(a, b)
+        assert report.severity == "critical"
+        (finding,) = report.findings
+        assert finding.category == "cache"
+        assert finding.subject == "L3 size"
+
+
+class TestReportShape:
+    def test_to_dict_is_deterministic_and_json_safe(self):
+        def mutate(doc):
+            doc["levels"][-1]["latency"] *= 2
+            doc["cache_info"]["sizes_kib"]["3"] //= 2
+
+        a, b = perturbed("testbox", mutate)
+        d1 = compare_mctops(a, b).to_dict()
+        d2 = compare_mctops(a, b).to_dict()
+        assert d1 == d2
+        assert json.loads(json.dumps(d1)) == d1
+        assert d1["format"] == "mctop-drift-report"
+        assert d1["severity"] == "critical"
+        assert d1["counts"]["total"] == len(d1["findings"])
+
+    def test_findings_ordered_by_category_then_subject(self):
+        def mutate(doc):
+            doc["levels"][-1]["latency"] *= 2
+            sock = doc["sockets"][0]
+            sock["mem_latencies"] = {
+                k: v * 2 for k, v in sock["mem_latencies"].items()
+            }
+
+        a, b = perturbed("testbox", mutate)
+        report = compare_mctops(a, b)
+        categories = [f.category for f in report.findings]
+        assert categories == sorted(
+            categories,
+            key=("structure", "comm_latency", "mem_latency",
+                 "mem_bandwidth", "cache").index,
+        )
+
+    def test_facade_exports(self):
+        import repro
+
+        assert repro.compare_mctops is compare_mctops
+        assert repro.DriftReport is DriftReport
+        assert "compare_mctops" in repro.__all__
+
+
+class TestDiffCli:
+    def run(self, capsys, *argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out
+
+    def mct_paths(self, tmp_path, mutate=None):
+        doc = golden_doc("testbox")
+        doc2 = json.loads(json.dumps(doc))
+        if mutate is not None:
+            mutate(doc2)
+        path_a = tmp_path / "a.mct"
+        path_b = tmp_path / "b.mct"
+        save_mctop(mctop_from_dict(doc), path_a)
+        save_mctop(mctop_from_dict(doc2), path_b)
+        return str(path_a), str(path_b)
+
+    def test_identical_files_exit_zero(self, capsys, tmp_path):
+        a, b = self.mct_paths(tmp_path)
+        code, out = self.run(capsys, "diff", a, b)
+        assert code == 0
+        assert "ok" in out
+
+    def test_perturbed_cross_level_exits_two_and_names_it(
+        self, capsys, tmp_path
+    ):
+        def mutate(doc):
+            doc["levels"][-1]["latency"] *= 2
+
+        a, b = self.mct_paths(tmp_path, mutate)
+        code, out = self.run(capsys, "diff", a, b)
+        assert code == 2
+        assert "CRITICAL" in out
+        assert "(cross)" in out
+
+    def test_json_output_parses(self, capsys, tmp_path):
+        def mutate(doc):
+            doc["levels"][-1]["latency"] *= 2
+
+        a, b = self.mct_paths(tmp_path, mutate)
+        code, out = self.run(capsys, "diff", a, b, "--json")
+        assert code == 2
+        doc = json.loads(out)
+        assert doc["severity"] == "critical"
+
+    def test_threshold_flags_change_the_verdict(self, capsys, tmp_path):
+        def mutate(doc):
+            doc["levels"][-1]["latency"] = round(
+                doc["levels"][-1]["latency"] * 1.2
+            )
+
+        a, b = self.mct_paths(tmp_path, mutate)
+        code, _ = self.run(capsys, "diff", a, b)
+        assert code == 1  # warn at the defaults
+        code, _ = self.run(capsys, "diff", a, b,
+                           "--threshold-warn", "0.5",
+                           "--threshold-critical", "0.9")
+        assert code == 0
+        code, _ = self.run(capsys, "diff", a, b,
+                           "--threshold-critical", "0.1")
+        assert code == 2

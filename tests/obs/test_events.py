@@ -1,0 +1,113 @@
+"""Tests for the structured NDJSON event log (repro.obs.events)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.events import EventLog, RotatingNdjsonWriter
+
+
+def read_lines(path):
+    return [json.loads(l) for l in path.read_text().splitlines()]
+
+
+class TestRotatingNdjsonWriter:
+    def test_one_compact_json_line_per_record(self, tmp_path):
+        path = tmp_path / "log.ndjson"
+        with RotatingNdjsonWriter(path) as writer:
+            writer.write_record({"a": 1})
+            writer.write_record({"b": [1, 2]})
+        assert writer.lines_written == 2
+        text = path.read_text()
+        assert text == '{"a":1}\n{"b":[1,2]}\n'
+
+    def test_rotation_keeps_backups(self, tmp_path):
+        path = tmp_path / "log.ndjson"
+        writer = RotatingNdjsonWriter(path, max_bytes=50, backups=2)
+        for n in range(20):
+            writer.write_record({"n": n})
+        writer.close()
+        assert writer.rotations > 0
+        assert path.exists()
+        assert path.with_name("log.ndjson.1").exists()
+        assert not path.with_name("log.ndjson.3").exists()
+        # Every surviving line is valid JSON and no file overflows.
+        for p in (path, path.with_name("log.ndjson.1"),
+                  path.with_name("log.ndjson.2")):
+            if p.exists():
+                assert p.stat().st_size <= 50
+                read_lines(p)
+
+    def test_backups_zero_truncates(self, tmp_path):
+        path = tmp_path / "log.ndjson"
+        writer = RotatingNdjsonWriter(path, max_bytes=40, backups=0)
+        for n in range(10):
+            writer.write_record({"n": n})
+        writer.close()
+        assert not path.with_name("log.ndjson.1").exists()
+
+    def test_close_flushes_and_fsyncs(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        writer = RotatingNdjsonWriter(tmp_path / "log.ndjson")
+        writer.write_record({"final": True})
+        writer.close()
+        assert synced, "close() must fsync"
+        assert writer.closed
+        writer.close()  # idempotent
+        assert read_lines(tmp_path / "log.ndjson") == [{"final": True}]
+
+    def test_rejects_bad_limits(self, tmp_path):
+        with pytest.raises(ValueError):
+            RotatingNdjsonWriter(tmp_path / "x", max_bytes=0)
+        with pytest.raises(ValueError):
+            RotatingNdjsonWriter(tmp_path / "x", backups=-1)
+
+
+class TestEventLog:
+    def test_schema_ts_kind_request_id(self, tmp_path):
+        log = EventLog(tmp_path / "events.ndjson", clock=lambda: 123.456)
+        log.emit("drift.check", machine="testbox", severity="ok")
+        log.close()
+        (line,) = read_lines(tmp_path / "events.ndjson")
+        assert line == {
+            "ts": 123.456,
+            "kind": "drift.check",
+            "request_id": None,
+            "machine": "testbox",
+            "severity": "ok",
+        }
+
+    def test_request_id_provider_correlates_events(self, tmp_path):
+        current = {"rid": None}
+        log = EventLog(tmp_path / "events.ndjson",
+                       request_id_provider=lambda: current["rid"])
+        current["rid"] = "abc123"
+        log.emit("drift.check")
+        current["rid"] = None
+        log.emit("watcher.error")
+        log.emit("drift.check", request_id="explicit-wins")
+        log.close()
+        lines = read_lines(tmp_path / "events.ndjson")
+        assert [l["request_id"] for l in lines] == \
+            ["abc123", None, "explicit-wins"]
+
+    def test_empty_kind_rejected(self, tmp_path):
+        log = EventLog(tmp_path / "events.ndjson")
+        with pytest.raises(ValueError):
+            log.emit("")
+        log.close()
+
+    def test_rotation_passthrough(self, tmp_path):
+        log = EventLog(tmp_path / "events.ndjson", max_bytes=80, backups=1)
+        for n in range(10):
+            log.emit("drift.check", n=n)
+        log.close()
+        assert log.rotations > 0
+        assert log.lines_written == 10

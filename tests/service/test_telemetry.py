@@ -232,3 +232,36 @@ class TestAccessLog:
         assert log.rotations > 0
         assert not path.with_name("b.log.1").exists()
         assert path.stat().st_size <= 300
+
+    def test_drain_fsyncs_both_ndjson_logs(
+        self, daemon_factory, tmp_path, monkeypatch
+    ):
+        """The SIGTERM-drain durability fix: the final access line and
+        drift event must be fsynced, not merely flushed, on close."""
+        import os
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        access_path = tmp_path / "access.ndjson"
+        events_path = tmp_path / "events.ndjson"
+        harness = daemon_factory(
+            access_log=str(access_path),
+            event_log=str(events_path),
+            watch_interval=600.0,
+            watch_machines=("testbox",),
+        )
+        with harness.client() as client:
+            client.ping()
+        harness.stop()  # graceful drain closes both logs
+
+        assert len(synced) >= 2, "drain must fsync access and event logs"
+        assert harness.daemon.access_log._writer.closed
+        assert harness.daemon.event_log.closed
+        access_lines = access_path.read_text().splitlines()
+        assert json.loads(access_lines[-1])["verb"] == "ping"
+        event_lines = [json.loads(l)
+                       for l in events_path.read_text().splitlines()]
+        assert event_lines[-1]["kind"] == "service.drained"

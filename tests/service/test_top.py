@@ -3,7 +3,13 @@
 from __future__ import annotations
 
 from repro.cli import main
-from repro.service.top import CLEAR, render_dashboard, run_top
+from repro.errors import ServiceError
+from repro.service.top import (
+    CLEAR,
+    render_dashboard,
+    render_drift_lines,
+    run_top,
+)
 
 
 def _metrics_doc(ping=3, infer=1, p50=0.002, hits=1, misses=1):
@@ -56,6 +62,41 @@ class TestRenderDashboard:
         assert render_dashboard(doc) == render_dashboard(doc)
 
 
+def _drift_doc(severity="ok", age=3.0):
+    return {
+        "enabled": True,
+        "worst_severity": severity,
+        "machines": {
+            "testbox": {"severity": severity, "age_seconds": age,
+                        "checks": 2},
+        },
+    }
+
+
+class TestDriftSection:
+    def test_drift_lines_show_severity_and_age(self):
+        lines = render_drift_lines(_drift_doc("critical", age=7.0))
+        assert lines[0] == "drift   worst critical"
+        assert "testbox" in lines[1]
+        assert "critical" in lines[1]
+        assert "checked 7s ago" in lines[1]
+
+    def test_unchecked_machine_shows_pending(self):
+        doc = _drift_doc()
+        doc["machines"]["testbox"]["age_seconds"] = None
+        assert "not checked yet" in render_drift_lines(doc)[1]
+
+    def test_disabled_or_missing_drift_renders_nothing(self):
+        assert render_drift_lines({}) == []
+        assert render_drift_lines({"enabled": False}) == []
+        text = render_dashboard(_metrics_doc(), drift={"enabled": False})
+        assert "drift" not in text
+
+    def test_dashboard_includes_drift_section(self):
+        text = render_dashboard(_metrics_doc(), drift=_drift_doc("warn"))
+        assert "drift   worst warn" in text
+
+
 class _FakeClient:
     def __init__(self, docs):
         self.docs = list(docs)
@@ -85,6 +126,47 @@ class TestRunTop:
         run_top(_FakeClient([_metrics_doc()]), interval=0.0, count=1,
                 clear=False, write=frames.append)
         assert CLEAR not in frames[0]
+
+    def test_degrades_without_a_drift_verb(self):
+        # _FakeClient has no .drift at all (an "older daemon" stand-in):
+        # the loop must drop the section, not crash, and stop retrying.
+        frames = []
+        code = run_top(_FakeClient([_metrics_doc()] * 2), interval=0.0,
+                       count=2, clear=False, write=frames.append)
+        assert code == 0
+        assert all("drift" not in f for f in frames)
+
+    def test_drift_section_from_a_drift_capable_client(self):
+        class DriftClient(_FakeClient):
+            def drift(self, **params):
+                return {
+                    "enabled": True, "worst_severity": "critical",
+                    "machines": {"testbox": {
+                        "severity": "critical", "age_seconds": 1.0,
+                        "checks": 3,
+                    }},
+                }
+
+        frames = []
+        run_top(DriftClient([_metrics_doc()]), interval=0.0, count=1,
+                clear=False, write=frames.append)
+        assert "drift   worst critical" in frames[0]
+
+    def test_unknown_verb_error_disables_drift_polling(self):
+        class OldDaemonClient(_FakeClient):
+            def __init__(self, docs):
+                super().__init__(docs)
+                self.drift_calls = 0
+
+            def drift(self, **params):
+                self.drift_calls += 1
+                raise ServiceError("unknown verb", code="unknown_verb")
+
+        client = OldDaemonClient([_metrics_doc()] * 3)
+        code = run_top(client, interval=0.0, count=3, clear=False,
+                       write=lambda _: None)
+        assert code == 0
+        assert client.drift_calls == 1  # give up after the first error
 
 
 class TestTopCli:
