@@ -68,15 +68,20 @@ __all__ = [
     "SerializationError",
     "ServiceError",
     "SimulationError",
+    "SynthParams",
+    "SynthSpec",
     "ValidationError",
     "__version__",
     "compare_mctops",
+    "generate_spec",
     "get_machine",
     "get_spec",
+    "ground_truth_mctop",
     "infer",
     "infer_topology",
     "load_mctop",
     "machine_names",
+    "run_fuzz",
     "save_mctop",
 ]
 
@@ -93,6 +98,11 @@ _LAZY_EXPORTS = {
     "Mctop": "repro.core.mctop:Mctop",
     "LatencyTableConfig": "repro.core.algorithm.lat_table:LatencyTableConfig",
     "PlacementPool": "repro.place.pool:PlacementPool",
+    "SynthParams": "repro.hardware.synth:SynthParams",
+    "SynthSpec": "repro.hardware.synth:SynthSpec",
+    "generate_spec": "repro.hardware.synth:generate_spec",
+    "ground_truth_mctop": "repro.core.groundtruth:ground_truth_mctop",
+    "run_fuzz": "repro.fuzz:run_fuzz",
 }
 
 

@@ -183,3 +183,78 @@ def run_bench(
 
         append_history(doc, history)
     return doc
+
+
+def run_fuzz_bench(
+    count: int = 25,
+    seed: int = 0,
+    jobs: int | None = None,
+    quick: bool = True,
+    repetitions: int | None = None,
+    out: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+    history: str | Path | None = None,
+) -> dict[str, Any]:
+    """Fuzz-throughput benchmark: machines/second through the full loop.
+
+    Runs the property-based fuzz harness (generate → measure → infer →
+    oracle, see :mod:`repro.fuzz`) over ``count`` seeded machines and
+    reports throughput as a bench document with one ``"fuzz"`` mode, so
+    the record lands in ``BENCH_HISTORY.jsonl`` next to the inference
+    benches and joins the ``--compare`` regression gate (metric
+    ``machines_per_sec``).
+    """
+    from repro.fuzz import run_fuzz
+
+    jobs = jobs or default_jobs()
+    say = progress or (lambda _msg: None)
+
+    def on_case(case: dict) -> None:
+        verdict = "ok" if case["ok"] else "FAIL"
+        say(f"  synth:{case['seed']:<6} {case['n_contexts']:>3} ctx "
+            f"{case['interconnect']:>10}: {verdict}")
+
+    doc = run_fuzz(count=count, seed=seed, jobs=jobs, quick=quick,
+                   repetitions=repetitions, progress=on_case)
+    wall = doc["wall_seconds"]
+    samples = sum(c.get("samples_taken") or 0 for c in doc["cases"])
+    contexts = sum(c.get("n_contexts") or 0 for c in doc["cases"])
+    stats = {
+        "wall_seconds": round(wall, 3),
+        "samples": samples,
+        "samples_per_sec": round(samples / wall) if wall else 0,
+        # the fuzz loop has no scalar twin; pin the ratio so the record
+        # satisfies the common history schema without gating on it
+        "speedup_vs_scalar": 1.0,
+        "machines_per_sec": doc["machines_per_sec"],
+        "jobs": jobs,
+    }
+    bench_doc = {
+        "format": "mctop-bench",
+        "bench": 3,
+        "kind": "fuzz",
+        "seed": seed,
+        "jobs": jobs,
+        "quick": quick,
+        "modes": ["fuzz"],
+        "machines": [{
+            "machine": "synth-fleet",
+            "n_contexts": contexts,
+            "count": count,
+            "repetitions": doc["repetitions"],
+            "modes": {"fuzz": stats},
+            "topologies_identical": True,
+            "topology_digest": doc["digest"],
+        }],
+        "fuzz_ok": doc["ok"],
+        "fuzz_digest": doc["digest"],
+    }
+    if out is not None:
+        Path(out).write_text(
+            json.dumps(bench_doc, indent=1, sort_keys=True) + "\n"
+        )
+    if history is not None:
+        from repro.obs.history import append_history
+
+        append_history(bench_doc, history)
+    return bench_doc

@@ -52,11 +52,12 @@ def _load_topology(args: argparse.Namespace, target: str):
 
     if Path(target).suffix == ".mct" or Path(target).is_file():
         return load_mctop(target)
-    if target in machine_names():
+    if target in machine_names() or target.startswith("synth:"):
         return infer(target, seed=args.seed, table=_table_config(args))
     raise MctopError(
         f"{target!r} is neither a description file nor a catalog machine "
-        f"(known machines: {', '.join(machine_names())})"
+        f"(known machines: {', '.join(machine_names())}; "
+        "synth:<seed> generates one)"
     )
 
 
@@ -217,7 +218,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """Time cold inference across measurement-engine modes."""
     import json
 
-    from repro.benchmark import run_bench
+    from repro.benchmark import run_bench, run_fuzz_bench
     from repro.obs.history import (
         compare_bench,
         load_baseline,
@@ -233,6 +234,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise MctopError(
                 f"cannot read bench document {args.replay}: {exc}"
             ) from None
+    elif args.fuzz:
+        out = args.out
+        if out == "BENCH_3.json":  # keep the inference bench snapshot
+            out = "BENCH_FUZZ.json"
+        history = args.history
+        if history is None and not args.no_history:
+            history = str(Path(out).with_name("BENCH_HISTORY.jsonl"))
+        doc = run_fuzz_bench(
+            count=args.fuzz_count,
+            seed=args.seed,
+            jobs=args.jobs,
+            quick=args.quick,
+            repetitions=args.repetitions,
+            out=out,
+            progress=print,
+            history=None if args.no_history else history,
+        )
+        print(f"bench written to {out}")
+        stats = doc["machines"][0]["modes"]["fuzz"]
+        print(f"fuzz: {args.fuzz_count} machines in "
+              f"{stats['wall_seconds']}s "
+              f"({stats['machines_per_sec']} machines/s, "
+              f"{stats['samples_per_sec']:,} samples/s)")
+        if not doc["fuzz_ok"]:
+            print("error: fuzz cases failed during the bench",
+                  file=sys.stderr)
+            return 1
     else:
         machines = args.machines.split(",") if args.machines else None
         history = args.history
@@ -279,6 +307,75 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if not comparison["ok"]:
             return 1
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Property-based fuzzing: generated machines through the full
+    measure → infer → compare loop (see docs/FUZZING.md)."""
+    import json
+
+    from repro.fuzz import run_fuzz, run_spec_case, shrink_spec
+    from repro.fuzz.shrink import promote_spec
+    from repro.hardware.synth import SynthParams, generate_spec
+
+    def on_case(case: dict) -> None:
+        verdict = "ok" if case["ok"] else "FAIL"
+        print(f"  synth:{case['seed']:<7} {case['n_contexts']:>3} ctx "
+              f"{case['n_sockets']}s x {case['cores_per_socket']}c "
+              f"x {case['smt_per_core']}t {case['interconnect']:>10} "
+              f"{case['wall_seconds']:7.2f}s  {verdict}")
+        for violation in case["violations"]:
+            print(f"    violation: {violation}")
+
+    doc = run_fuzz(
+        count=args.count,
+        seed=args.seed,
+        repetitions=args.repetitions,
+        jobs=args.jobs,
+        quick=args.quick,
+        artifacts_dir=args.artifacts,
+        progress=None if args.json else on_case,
+    )
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(doc, indent=1, sort_keys=True) + "\n"
+        )
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        verdict = "ok" if doc["ok"] else (
+            f"{len(doc['failures'])} of {doc['count']} cases FAILED "
+            f"({doc['n_violations']} violations)"
+        )
+        print(f"fuzz: {doc['count']} machines from seed {doc['seed']} "
+              f"at {doc['repetitions']} repetitions: {verdict}")
+        print(f"digest        : {doc['digest']}")
+        print(f"throughput    : {doc['machines_per_sec']} machines/s "
+              f"({doc['wall_seconds']}s, jobs={doc['jobs']})")
+        if args.out:
+            print(f"report written to {args.out}")
+        if args.artifacts and doc["failures"]:
+            print(f"failing specs written to {args.artifacts}/")
+
+    if doc["failures"] and args.shrink:
+        params = SynthParams.quick() if args.quick else SynthParams()
+        spec = generate_spec(doc["failures"][0], params)
+        reps = doc["repetitions"]
+
+        def still_fails(candidate) -> bool:
+            return not run_spec_case(candidate, repetitions=reps)["ok"]
+
+        print(f"shrinking failing seed {spec.seed} "
+              f"({spec.n_contexts} contexts)...")
+        result = shrink_spec(spec, still_fails)
+        print(f"shrunk to {result.spec.n_contexts} contexts in "
+              f"{result.evals} evals via {' -> '.join(result.steps) or '-'}")
+        target = args.artifacts or "."
+        path = promote_spec(result.spec, target,
+                            stem=f"shrunk-{spec.seed}")
+        print(f"minimal failing spec written to {path}")
+
+    return 0 if doc["ok"] else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -555,9 +652,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="regression gate: diff this run against a "
                               "bench JSON or history JSONL baseline; "
                               "exits 1 on regression")
+    p_bench.add_argument("--fuzz", action="store_true",
+                         help="benchmark fuzz throughput (machines/sec "
+                              "through generate+infer+oracle) instead of "
+                              "the engine modes; writes BENCH_FUZZ.json")
+    p_bench.add_argument("--fuzz-count", type=int, default=25,
+                         metavar="N",
+                         help="generated machines per --fuzz run "
+                              "(default 25)")
     p_bench.add_argument("--compare-metric", default="speedup_vs_scalar",
                          choices=("speedup_vs_scalar", "samples_per_sec",
-                                  "wall_seconds"),
+                                  "machines_per_sec", "wall_seconds"),
                          help="metric the gate diffs (the default is a "
                               "same-host ratio, robust across runners)")
     p_bench.add_argument("--threshold", type=float, default=0.15,
@@ -567,6 +672,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="gate a previously saved bench document "
                               "instead of re-running the benchmark")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="property-based fuzzing: generated machines through the "
+             "full measure/infer/compare loop; exit 1 on any violation",
+    )
+    p_fuzz.add_argument("--count", type=int, default=25,
+                        help="number of generated machines (default 25)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="first generator seed; case i uses seed+i")
+    p_fuzz.add_argument("--repetitions", type=int, default=None,
+                        help="latency samples per context pair "
+                             "(default: 15, or 11 with --quick)")
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="fan cases out over N worker processes "
+                             "(the report digest is jobs-independent)")
+    p_fuzz.add_argument("--quick", action="store_true",
+                        help="small machines and fewer samples for CI")
+    p_fuzz.add_argument("--out", help="write the fuzz report JSON here")
+    p_fuzz.add_argument("--artifacts", metavar="DIR",
+                        help="write failing specs + report to this "
+                             "directory (what CI uploads)")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="print the report as JSON instead of text")
+    p_fuzz.add_argument("--shrink", action="store_true",
+                        help="minimize the first failing spec and write "
+                             "it next to the artifacts")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     def endpoint(p: argparse.ArgumentParser) -> None:
         p.add_argument("--unix", help="unix socket path")

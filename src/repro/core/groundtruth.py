@@ -1,0 +1,396 @@
+"""Ground-truth MCTOP construction from a machine spec.
+
+``infer_topology`` recovers a topology from measurements; this module
+builds the same :class:`Mctop` *directly* from the machine model — no
+probes, no noise, no clustering.  The two must agree: that equivalence
+is the oracle the property-based fuzzing harness (:mod:`repro.fuzz`)
+checks with :func:`repro.obs.diff.compare_mctops` for every generated
+machine.
+
+The builder deliberately mirrors the conventions of
+:func:`repro.core.algorithm.topology.build_topology` — component ids
+(``level * 10000 + index``), group ordering by smallest member context,
+socket ids, children wiring, cross-level extraction and the 2-hop link
+classification — so a correct inference run matches the ground truth
+*exactly*, not just up to isomorphism.
+
+:func:`renumber_contexts` relabels the hardware contexts of an existing
+topology (non-contiguous ids included), which is how the serializer's
+renumbering-invariance is tested.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.algorithm.topology import TopologyConfig, _classify_cross_hops
+from repro.core.mctop import Mctop, Provenance
+from repro.core.structures import (
+    CacheInfo,
+    HwContext,
+    HwcGroup,
+    ID_LEVEL_STRIDE,
+    InterconnectLink,
+    LatencyCluster,
+    MemoryNode,
+    SocketData,
+    TopologyLevel,
+    component_id,
+)
+from repro.errors import MachineModelError
+from repro.hardware.machine import Machine, MachineSpec
+
+
+def _as_machine(target) -> Machine:
+    if isinstance(target, str):  # catalog name or "synth:<seed>"
+        from repro.hardware.catalog import get_machine
+
+        return get_machine(target)
+    if isinstance(target, Machine):
+        return target
+    if isinstance(target, MachineSpec):
+        return Machine(target)
+    if hasattr(target, "machine_spec"):  # SynthSpec and friends
+        return Machine(target.machine_spec())
+    raise MachineModelError(
+        f"cannot build ground truth from {type(target).__name__}"
+    )
+
+
+def _intra_partitions(machine: Machine) -> list[tuple[int, list[list[int]]]]:
+    """Bottom-up (latency, partition) pairs below and including sockets."""
+    spec = machine.spec
+    out: list[tuple[int, list[list[int]]]] = []
+    if spec.has_smt:
+        out.append((
+            spec.smt_latency,
+            [sorted(machine.contexts_of_core(c)) for c in range(spec.n_cores)],
+        ))
+    if spec.core_cluster_size > 1:
+        clusters: dict[int, list[int]] = {}
+        for core in range(spec.n_cores):
+            for ctx in machine.contexts_of_core(core):
+                clusters.setdefault(machine.cluster_of(core), []).append(ctx)
+        out.append((
+            spec.core_cluster_latency,
+            [sorted(c) for c in clusters.values()],
+        ))
+    out.append((
+        spec.core_latency,
+        [machine.contexts_of_socket(s) for s in range(spec.n_sockets)],
+    ))
+    return out
+
+
+def _true_lat_table(machine: Machine) -> np.ndarray:
+    """Jitter-free pairwise communication latencies (base relations)."""
+    spec = machine.spec
+    n = spec.n_contexts
+    table = np.zeros((n, n), dtype=np.float64)
+    cores = [machine.core_of(c) for c in range(n)]
+    for a in range(n):
+        ca = cores[a]
+        sa = ca // spec.cores_per_socket
+        for b in range(a + 1, n):
+            cb = cores[b]
+            if ca == cb:
+                value = spec.smt_latency
+            else:
+                sb = cb // spec.cores_per_socket
+                if sa == sb:
+                    value = spec.core_latency
+                    if (spec.core_cluster_size > 1
+                            and machine.cluster_of(ca)
+                            == machine.cluster_of(cb)):
+                        value = spec.core_cluster_latency
+                else:
+                    value = machine.socket_latency(sa, sb)
+            table[a, b] = table[b, a] = float(value)
+    return table
+
+
+def ground_truth_mctop(
+    target,
+    name: str | None = None,
+    cfg: TopologyConfig | None = None,
+) -> Mctop:
+    """The MCTOP a *perfect* inference run would produce for ``target``.
+
+    ``target`` is a :class:`Machine`, a :class:`MachineSpec`, or
+    anything with a ``machine_spec()`` method (a ``SynthSpec``).
+    """
+    machine = _as_machine(target)
+    spec = machine.spec
+    cfg = cfg or TopologyConfig()
+    if spec.nodes_per_socket != 1:
+        raise MachineModelError(
+            "ground-truth builder supports one memory node per socket"
+        )
+    if spec.cores_per_socket < 2:
+        raise MachineModelError(
+            "ground truth needs >= 2 cores per socket (no core-latency "
+            "relation exists otherwise)"
+        )
+    n = spec.n_contexts
+    table = _true_lat_table(machine)
+
+    # ----------------------------------------------------------- groups
+    intra = _intra_partitions(machine)
+    socket_level_idx = len(intra)
+    groups: dict[int, HwcGroup] = {}
+    levels: list[TopologyLevel] = [
+        TopologyLevel(0, 0, tuple(range(n)), role="context")
+    ]
+    prev_parts: list[list[int]] = [[c] for c in range(n)]
+    prev_ids: list[int] = list(range(n))
+    for lvl, (latency, parts) in enumerate(intra, start=1):
+        parts = sorted((sorted(p) for p in parts), key=lambda p: p[0])
+        ids = []
+        for idx, ctxs in enumerate(parts):
+            cid = component_id(lvl, idx)
+            members = set(ctxs)
+            if lvl == 1:
+                children = tuple(ctxs)
+            else:
+                children = tuple(
+                    pid for pid, pctxs in zip(prev_ids, prev_parts)
+                    if set(pctxs) <= members
+                )
+            groups[cid] = HwcGroup(
+                id=cid,
+                level=lvl,
+                latency=int(round(latency)),
+                children=children,
+                contexts=tuple(ctxs),
+            )
+            ids.append(cid)
+        if lvl == socket_level_idx:
+            role = "socket"
+        elif lvl == 1 and spec.has_smt:
+            role = "core"
+        else:
+            role = "group"
+        levels.append(
+            TopologyLevel(lvl, int(round(latency)), tuple(ids), role)
+        )
+        prev_parts, prev_ids = parts, ids
+
+    socket_ids = prev_ids
+    socket_parts = prev_parts
+    for sid in socket_ids:  # parent/socket wiring, top-down per socket
+        stack = [sid]
+        while stack:
+            g = groups[stack.pop()]
+            g.socket_id = sid
+            for child in g.children:
+                if child in groups:
+                    groups[child].parent_id = g.id
+                    stack.append(child)
+
+    # --------------------------------------------------------- contexts
+    contexts: dict[int, HwContext] = {}
+    core_gid: dict[int, int] = {}
+    if spec.has_smt:
+        for cid in levels[1].component_ids:
+            for smt_idx, ctx in enumerate(groups[cid].contexts):
+                core_gid[ctx] = cid
+                contexts[ctx] = HwContext(
+                    id=ctx, core_id=cid, socket_id=0, smt_index=smt_idx
+                )
+    else:
+        for ctx in range(n):
+            contexts[ctx] = HwContext(id=ctx, core_id=ctx, socket_id=0)
+    for sid, ctxs in zip(socket_ids, socket_parts):
+        for ctx in ctxs:
+            contexts[ctx].socket_id = sid
+            contexts[ctx].local_node = machine.local_node_of_socket(
+                machine.socket_of(ctx)
+            )
+    for ctx in range(n):
+        row = table[ctx].copy()
+        row[ctx] = np.inf
+        contexts[ctx].next_ctx = int(np.argmin(row))
+
+    # ------------------------------------------------ memory per socket
+    sockets: dict[int, SocketData] = {}
+    nodes: dict[int, MemoryNode] = {
+        node: MemoryNode(id=node) for node in range(spec.n_nodes)
+    }
+    saturated: list[dict[int, float]] = []
+    for s_idx, sid in enumerate(socket_ids):
+        lat_map = {
+            node: float(machine.mem_latency(s_idx, node))
+            for node in range(spec.n_nodes)
+        }
+        bw_map = {}
+        single_map = {}
+        for node in range(spec.n_nodes):
+            cap = machine.mem_bandwidth(s_idx, node)
+            single = min(machine.mem_bandwidth_single(s_idx, node), cap)
+            # What a full socket of streaming threads actually reaches:
+            # per-thread bandwidth stacked up to the path's capacity.
+            bw_map[node] = float(min(spec.cores_per_socket * single, cap))
+            single_map[node] = float(single)
+        saturated.append(bw_map)
+        local = machine.local_node_of_socket(s_idx)
+        sockets[sid] = SocketData(
+            id=sid,
+            local_node=local,
+            mem_latencies=lat_map,
+            mem_bandwidths=bw_map,
+            mem_bandwidths_single=single_map,
+        )
+        nodes[local].local_socket_id = sid
+
+    # ------------------------------------------------------ cross levels
+    links: dict[tuple[int, int], InterconnectLink] = {}
+    k = spec.n_sockets
+    if k > 1:
+        socket_lat = np.zeros((k, k), dtype=np.float64)
+        for i in range(k):
+            for j in range(k):
+                if i != j:
+                    socket_lat[i, j] = float(machine.socket_latency(i, j))
+        hops = _classify_cross_hops(socket_lat, cfg)
+        for i in range(k):
+            for j in range(i + 1, k):
+                a, b = sorted((socket_ids[i], socket_ids[j]))
+                links[(a, b)] = InterconnectLink(
+                    socket_a=a,
+                    socket_b=b,
+                    latency=int(round(socket_lat[i, j])),
+                    n_hops=int(hops[i, j]),
+                    bandwidth=float(
+                        max(
+                            saturated[i][machine.local_node_of_socket(j)],
+                            saturated[j][machine.local_node_of_socket(i)],
+                        )
+                    ),
+                )
+        cross_classes = sorted(
+            {socket_lat[i, j] for i in range(k) for j in range(i + 1, k)}
+        )
+        next_level = socket_level_idx + 1
+        for cls in cross_classes:
+            members = tuple(
+                sorted(
+                    {
+                        socket_ids[i]
+                        for i in range(k)
+                        for j in range(k)
+                        if i != j and socket_lat[i, j] == cls
+                    }
+                )
+            )
+            levels.append(
+                TopologyLevel(next_level, int(round(cls)), members, "cross")
+            )
+            next_level += 1
+
+    # ------------------------------------------------------- enrichment
+    cache_info = CacheInfo(
+        levels=tuple(cl.level for cl in spec.caches),
+        latencies={cl.level: float(cl.latency) for cl in spec.caches},
+        sizes_kib={cl.level: int(cl.size_kib) for cl in spec.caches},
+        os_sizes_kib={cl.level: int(cl.size_kib) for cl in spec.caches},
+    )
+    relations = sorted(
+        {float(table[i, j]) for i in range(n) for j in range(i + 1, n)}
+    )
+    clusters = tuple(LatencyCluster(lo=v, median=v, hi=v) for v in relations)
+
+    return Mctop(
+        name=name or spec.name,
+        contexts=contexts,
+        groups=groups,
+        sockets=sockets,
+        nodes=nodes,
+        links=links,
+        levels=tuple(levels),
+        clusters=clusters,
+        lat_table=table,
+        has_smt=spec.has_smt,
+        smt_per_core=spec.smt_per_core if spec.has_smt else 1,
+        cache_info=cache_info,
+        power_info=None,
+        provenance=Provenance(machine=spec.name, inferred=False),
+    )
+
+
+def renumber_contexts(mctop: Mctop, mapping: Mapping[int, int]) -> Mctop:
+    """A copy of ``mctop`` with hardware-context ids relabelled.
+
+    ``mapping`` must cover every context id bijectively; new ids may be
+    arbitrary (non-contiguous, gaps, any order) as long as they stay
+    below :data:`ID_LEVEL_STRIDE` so they cannot collide with group ids.
+    """
+    old_ids = sorted(mctop.contexts)
+    if sorted(mapping) != old_ids:
+        raise MachineModelError("mapping must cover every context id")
+    new_ids = sorted(mapping.values())
+    if len(set(new_ids)) != len(new_ids):
+        raise MachineModelError("mapping must be a bijection")
+    if new_ids[0] < 0 or new_ids[-1] >= ID_LEVEL_STRIDE:
+        raise MachineModelError(
+            f"new context ids must stay in [0, {ID_LEVEL_STRIDE})"
+        )
+
+    def remap(cid: int) -> int:
+        return mapping[cid] if cid in mapping else cid
+
+    contexts = {}
+    for old, ctx in mctop.contexts.items():
+        contexts[mapping[old]] = HwContext(
+            id=mapping[old],
+            core_id=remap(ctx.core_id),  # core_id == ctx id without SMT
+            socket_id=ctx.socket_id,
+            smt_index=ctx.smt_index,
+            local_node=ctx.local_node,
+            next_ctx=None if ctx.next_ctx is None else mapping[ctx.next_ctx],
+        )
+    groups = {}
+    for gid, group in mctop.groups.items():
+        groups[gid] = HwcGroup(
+            id=gid,
+            level=group.level,
+            latency=group.latency,
+            children=tuple(remap(c) for c in group.children),
+            contexts=tuple(sorted(mapping[c] for c in group.contexts)),
+            parent_id=group.parent_id,
+            socket_id=group.socket_id,
+        )
+    levels = tuple(
+        TopologyLevel(
+            lv.level,
+            lv.latency,
+            tuple(sorted(remap(c) for c in lv.component_ids))
+            if lv.level == 0 else lv.component_ids,
+            lv.role,
+        )
+        for lv in mctop.levels
+    )
+    # Permute the latency table from old sorted-id order to new order.
+    inverse = {new: old for old, new in mapping.items()}
+    old_row = {cid: i for i, cid in enumerate(old_ids)}
+    perm = [old_row[inverse[new]] for new in new_ids]
+    table = mctop.lat_table[np.ix_(perm, perm)].copy()
+
+    return Mctop(
+        name=mctop.name,
+        contexts=contexts,
+        groups=groups,
+        sockets=copy.deepcopy(mctop.sockets),
+        nodes=copy.deepcopy(mctop.nodes),
+        links=copy.deepcopy(mctop.links),
+        levels=levels,
+        clusters=mctop.clusters,
+        lat_table=table,
+        has_smt=mctop.has_smt,
+        smt_per_core=mctop.smt_per_core,
+        cache_info=copy.deepcopy(mctop.cache_info),
+        power_info=copy.deepcopy(mctop.power_info),
+        provenance=Provenance(**vars(mctop.provenance)),
+    )

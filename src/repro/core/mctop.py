@@ -87,6 +87,9 @@ class Mctop:
         self.cache_info = cache_info
         self.power_info = power_info
         self.provenance = provenance or Provenance()
+        # Context ids need not be contiguous (renumbered/synthetic
+        # machines); the latency table rows follow sorted-id order.
+        self._ctx_rows = {cid: i for i, cid in enumerate(sorted(contexts))}
         self._validate_linkage()
 
     # ------------------------------------------------------------ basics
@@ -179,7 +182,7 @@ class Mctop:
         if c0 == c1:  # e.g. a context against its own core
             inner = id0 if level_of_id(id0) > level_of_id(id1) else id1
             return self.groups[inner].latency
-        return int(self.lat_table[c0, c1])
+        return int(self.lat_table[self._ctx_rows[c0], self._ctx_rows[c1]])
 
     def _representative(self, comp_id: int) -> int:
         if comp_id in self.contexts:

@@ -1,0 +1,44 @@
+"""Property-based fuzzing of MCTOP-ALG over generated machines.
+
+For every seed, :mod:`repro.hardware.synth` draws an admissible machine,
+the full pipeline measures and infers it, and the result is compared
+against the ground-truth MCTOP (:mod:`repro.core.groundtruth`) with the
+drift oracle plus explicit structural invariants.  See docs/FUZZING.md.
+"""
+
+from repro.fuzz.harness import (
+    DEFAULT_REPETITIONS,
+    QUICK_REPETITIONS,
+    FuzzConfig,
+    check_invariants,
+    perturbed_spec,
+    report_digest,
+    run_fuzz,
+    run_fuzz_config,
+    run_spec_case,
+    topology_digest,
+    write_failure_artifacts,
+)
+from repro.fuzz.shrink import (
+    ShrinkResult,
+    load_spec,
+    promote_spec,
+    shrink_spec,
+)
+
+__all__ = [
+    "DEFAULT_REPETITIONS",
+    "FuzzConfig",
+    "QUICK_REPETITIONS",
+    "ShrinkResult",
+    "check_invariants",
+    "load_spec",
+    "perturbed_spec",
+    "promote_spec",
+    "report_digest",
+    "run_fuzz",
+    "run_fuzz_config",
+    "run_spec_case",
+    "topology_digest",
+    "write_failure_artifacts",
+]

@@ -1,0 +1,365 @@
+"""The measure → infer → compare property harness.
+
+One *case* is one generated machine: build it from its seed, run the
+full MCTOP-ALG pipeline under the spec's noise profile, construct the
+ground-truth MCTOP from the machine model, and judge the result with
+
+* the drift oracle — :func:`repro.obs.diff.compare_mctops` between
+  ground truth and inference; any ``critical`` finding (structural
+  mismatch or a metric off by the critical threshold) is a violation;
+* explicit invariants (:func:`check_invariants`) — context/socket/node
+  counts, SMT pairing, hwc-group membership, latency-level monotonic
+  growth, per-context local memory nodes, proximity successors;
+* a serialization round-trip — the inferred topology must survive
+  ``mctop_to_dict``/``mctop_from_dict`` byte-identically.
+
+Reports are deterministic: the same seed and configuration produce the
+same report digest (wall-clock fields are excluded from the digest),
+independent of ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+
+from repro.core.algorithm import (
+    InferenceConfig,
+    LatencyTableConfig,
+    infer_topology,
+)
+from repro.core.groundtruth import ground_truth_mctop
+from repro.core.mctop import Mctop
+from repro.core.serialize import mctop_from_dict, mctop_to_dict
+from repro.errors import MachineModelError, MctopError
+from repro.hardware.synth import SynthParams, SynthSpec, generate_spec
+from repro.obs.diff import DriftThresholds, compare_mctops
+
+#: Repetitions per latency pair; medians are stable here for admissible
+#: machines (the golden suite uses 15 for its largest platform too).
+DEFAULT_REPETITIONS = 15
+QUICK_REPETITIONS = 11
+
+#: Excluded from the report digest: wall-clock figures and the job
+#: fan-out are execution details, not properties of the fuzzed machines.
+_VOLATILE_KEYS = ("wall_seconds", "machines_per_sec", "jobs")
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzzing campaign: how many machines, from which seed, at
+    what measurement effort."""
+
+    count: int = 25
+    seed: int = 0
+    repetitions: int | None = None  # None: pick by quick/full
+    jobs: int = 1
+    quick: bool = False
+    params: SynthParams | None = None
+    thresholds: DriftThresholds | None = None
+
+    def resolved_params(self) -> SynthParams:
+        if self.params is not None:
+            return self.params
+        return SynthParams.quick() if self.quick else SynthParams()
+
+    def resolved_repetitions(self) -> int:
+        if self.repetitions is not None:
+            return self.repetitions
+        return QUICK_REPETITIONS if self.quick else DEFAULT_REPETITIONS
+
+
+def topology_digest(mctop: Mctop) -> str:
+    """sha256 over the canonical serialized topology."""
+    doc = json.dumps(mctop_to_dict(mctop), sort_keys=True,
+                     separators=(",", ":"))
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+def check_invariants(truth: Mctop, inferred: Mctop) -> list[str]:
+    """Structural invariants beyond the drift oracle; returns violation
+    messages (empty = all hold)."""
+    out: list[str] = []
+    if truth.n_contexts != inferred.n_contexts:
+        out.append(
+            f"context count {inferred.n_contexts} != {truth.n_contexts}"
+        )
+        return out  # nothing below is meaningful across different sizes
+    if truth.n_sockets != inferred.n_sockets:
+        out.append(f"socket count {inferred.n_sockets} != {truth.n_sockets}")
+    if truth.n_nodes != inferred.n_nodes:
+        out.append(f"node count {inferred.n_nodes} != {truth.n_nodes}")
+    if (truth.has_smt, truth.smt_per_core) != (
+            inferred.has_smt, inferred.smt_per_core):
+        out.append(
+            f"SMT arrangement {inferred.smt_per_core}-way != "
+            f"{truth.smt_per_core}-way"
+        )
+    if out:
+        return out
+
+    def partitions(m: Mctop, of) -> set[frozenset[int]]:
+        groups: dict[int, set[int]] = {}
+        for ctx in m.context_ids():
+            groups.setdefault(of(ctx), set()).add(ctx)
+        return {frozenset(g) for g in groups.values()}
+
+    if partitions(truth, truth.core_of_context) != partitions(
+            inferred, inferred.core_of_context):
+        out.append("SMT pairing: core membership differs from ground truth")
+    if partitions(truth, truth.socket_of_context) != partitions(
+            inferred, inferred.socket_of_context):
+        out.append("hwc-group membership: socket partition differs")
+    roles_t = [lv.role for lv in truth.levels]
+    roles_i = [lv.role for lv in inferred.levels]
+    if roles_t != roles_i:
+        out.append(f"level roles {roles_i} != {roles_t}")
+    lats = [lv.latency for lv in inferred.levels[1:]]
+    if any(b <= a for a, b in zip(lats, lats[1:])):
+        out.append(f"latency levels not strictly increasing: {lats}")
+    for ctx in truth.context_ids():
+        if truth.get_local_node(ctx) != inferred.get_local_node(ctx):
+            out.append(
+                f"context {ctx}: local node "
+                f"{inferred.get_local_node(ctx)} != "
+                f"{truth.get_local_node(ctx)}"
+            )
+            break
+    for ctx in truth.context_ids():
+        want = truth.contexts[ctx].next_ctx
+        got = inferred.contexts[ctx].next_ctx
+        if want != got:
+            out.append(
+                f"context {ctx}: proximity successor {got} != {want}"
+            )
+            break
+    return out
+
+
+def _roundtrip_violation(inferred: Mctop) -> str | None:
+    doc = json.loads(json.dumps(mctop_to_dict(inferred), sort_keys=True))
+    reloaded = mctop_from_dict(doc)
+    doc2 = json.loads(json.dumps(mctop_to_dict(reloaded), sort_keys=True))
+    # A loaded topology is marked not-inferred; that one provenance flag
+    # is the only sanctioned difference.
+    doc["provenance"]["inferred"] = False
+    doc2["provenance"]["inferred"] = False
+    if doc != doc2:
+        keys = sorted(k for k in set(doc) | set(doc2)
+                      if doc.get(k) != doc2.get(k))
+        return f"serialize round-trip not identical (differs in {keys})"
+    return None
+
+
+def run_spec_case(
+    spec: SynthSpec,
+    repetitions: int = DEFAULT_REPETITIONS,
+    thresholds: DriftThresholds | None = None,
+) -> dict:
+    """Run one fuzz case; returns a JSON-portable case record."""
+    thresholds = thresholds or DriftThresholds()
+    config = InferenceConfig(
+        table=LatencyTableConfig(repetitions=repetitions)
+    )
+    case = {
+        "seed": spec.seed,
+        "name": spec.name,
+        "n_contexts": spec.n_contexts,
+        "n_sockets": spec.n_sockets,
+        "cores_per_socket": spec.cores_per_socket,
+        "smt_per_core": spec.smt_per_core,
+        "interconnect": spec.interconnect,
+        "cluster_size": spec.cluster_size,
+        "cache_levels": len(spec.cache_sizes_kib),
+        "noise_level": spec.noise_level,
+        "spec_digest": spec.digest(),
+    }
+    start = perf_counter()
+    try:
+        inferred = infer_topology(
+            spec.machine(),
+            seed=spec.seed,
+            config=config,
+            noise=spec.noise_profile(),
+        )
+    except MctopError as exc:
+        case.update(
+            error=f"{type(exc).__name__}: {exc}",
+            severity="critical",
+            violations=[f"inference failed: {exc}"],
+            ok=False,
+            topology_digest=None,
+            samples_taken=0,
+            wall_seconds=round(perf_counter() - start, 3),
+        )
+        return case
+    truth = ground_truth_mctop(spec)
+    report = compare_mctops(truth, inferred, thresholds)
+    violations = [f.message for f in report.critical_findings()]
+    violations += check_invariants(truth, inferred)
+    roundtrip = _roundtrip_violation(inferred)
+    if roundtrip:
+        violations.append(roundtrip)
+    case.update(
+        error=None,
+        severity=report.severity,
+        violations=violations,
+        ok=not violations,
+        topology_digest=topology_digest(inferred),
+        samples_taken=inferred.provenance.samples_taken,
+        wall_seconds=round(perf_counter() - start, 3),
+    )
+    return case
+
+
+def _worker(payload: tuple[dict, int, dict]) -> dict:
+    """Process-pool entry point (must be module-level picklable)."""
+    spec_doc, repetitions, thresholds_doc = payload
+    return run_spec_case(
+        SynthSpec.from_dict(spec_doc),
+        repetitions=repetitions,
+        thresholds=DriftThresholds(**thresholds_doc),
+    )
+
+
+def report_digest(doc: dict) -> str:
+    """Deterministic digest of a fuzz report: wall-clock fields and the
+    digest itself are excluded, so the same seed/config reproduce it."""
+    clean = {k: v for k, v in doc.items()
+             if k not in _VOLATILE_KEYS and k != "digest"}
+    clean["cases"] = [
+        {k: v for k, v in case.items() if k not in _VOLATILE_KEYS}
+        for case in doc.get("cases", ())
+    ]
+    canonical = json.dumps(clean, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def write_failure_artifacts(doc: dict, specs: dict[int, SynthSpec],
+                            artifacts_dir: str | Path) -> list[Path]:
+    """Persist failing specs (and the full report) for offline triage —
+    what the CI fuzz-smoke job uploads."""
+    out_dir = Path(artifacts_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for case in doc["cases"]:
+        if case["ok"]:
+            continue
+        spec = specs[case["seed"]]
+        path = out_dir / f"failing-spec-{spec.seed}.json"
+        path.write_text(
+            json.dumps(spec.to_dict(), indent=1, sort_keys=True) + "\n"
+        )
+        written.append(path)
+    if written:
+        report_path = out_dir / "fuzz-report.json"
+        report_path.write_text(
+            json.dumps(doc, indent=1, sort_keys=True) + "\n"
+        )
+        written.append(report_path)
+    return written
+
+
+def run_fuzz(
+    count: int = 25,
+    seed: int = 0,
+    *,
+    repetitions: int | None = None,
+    jobs: int = 1,
+    quick: bool = False,
+    params: SynthParams | None = None,
+    thresholds: DriftThresholds | None = None,
+    artifacts_dir: str | Path | None = None,
+    progress=None,
+) -> dict:
+    """Fuzz ``count`` machines seeded ``seed .. seed+count-1``.
+
+    ``jobs > 1`` fans cases out over a process pool; case order (and
+    therefore the report digest) is independent of the job count.
+    ``progress`` is called with each finished case record, in order.
+    """
+    cfg = FuzzConfig(count=count, seed=seed, repetitions=repetitions,
+                     jobs=jobs, quick=quick, params=params,
+                     thresholds=thresholds)
+    return run_fuzz_config(cfg, artifacts_dir=artifacts_dir,
+                           progress=progress)
+
+
+def run_fuzz_config(cfg: FuzzConfig,
+                    artifacts_dir: str | Path | None = None,
+                    progress=None) -> dict:
+    if cfg.count < 1:
+        raise MachineModelError("fuzz count must be positive")
+    params = cfg.resolved_params()
+    reps = cfg.resolved_repetitions()
+    thresholds = cfg.thresholds or DriftThresholds()
+    specs = [generate_spec(cfg.seed + i, params) for i in range(cfg.count)]
+    payloads = [(s.to_dict(), reps, thresholds.to_dict()) for s in specs]
+    start = perf_counter()
+    cases: list[dict] = []
+    if cfg.jobs > 1:
+        with ProcessPoolExecutor(max_workers=cfg.jobs) as pool:
+            for case in pool.map(_worker, payloads):
+                cases.append(case)
+                if progress:
+                    progress(case)
+    else:
+        for payload in payloads:
+            case = _worker(payload)
+            cases.append(case)
+            if progress:
+                progress(case)
+    wall = perf_counter() - start
+    failures = [c["seed"] for c in cases if not c["ok"]]
+    doc = {
+        "format": "mctop-fuzz-report",
+        "version": 1,
+        "seed": cfg.seed,
+        "count": cfg.count,
+        "repetitions": reps,
+        "jobs": cfg.jobs,
+        "quick": cfg.quick,
+        "params": params.to_dict(),
+        "thresholds": thresholds.to_dict(),
+        "cases": cases,
+        "failures": failures,
+        "n_violations": sum(len(c["violations"]) for c in cases),
+        "samples_taken": sum(c["samples_taken"] for c in cases),
+        "ok": not failures,
+    }
+    doc["digest"] = report_digest(doc)
+    doc["wall_seconds"] = round(wall, 3)
+    doc["machines_per_sec"] = round(cfg.count / wall, 3) if wall else None
+    if artifacts_dir is not None and failures:
+        write_failure_artifacts(
+            doc, {s.seed: s for s in specs}, artifacts_dir
+        )
+    return doc
+
+
+def perturbed_spec(spec: SynthSpec, kind: str = "mem") -> SynthSpec:
+    """A deliberately wrong variant of ``spec`` (oracle self-test).
+
+    ``mem`` doubles the local memory latency (a guaranteed-critical
+    metric drift); ``smt`` flips the SMT arrangement (structural drift).
+    The perturbed spec is still admissible — the point is that its
+    ground truth no longer matches the original machine.
+    """
+    if kind == "mem":
+        return dataclasses.replace(
+            spec, mem_local_latency=spec.mem_local_latency * 2
+        )
+    if kind == "smt":
+        if spec.has_smt:
+            return dataclasses.replace(
+                spec, smt_per_core=1, smt_latency=14, smt_slowdown=1.75
+            )
+        return dataclasses.replace(
+            spec, smt_per_core=2, smt_latency=14, smt_slowdown=1.75
+        )
+    raise MachineModelError(f"unknown perturbation {kind!r}")

@@ -1,0 +1,184 @@
+"""Failure minimization: shrink a failing SynthSpec.
+
+A fuzz failure on a 96-context, 8-socket, ring-connected machine is
+hard to debug; the same failure on a 2-socket mesh with four contexts
+usually is not.  :func:`shrink_spec` greedily applies a fixed sequence
+of simplifying transforms — fewer sockets, no SMT, fewer cores, no
+cluster level, one cache level, plain mesh, no noise/jitter — keeping a
+candidate only when the caller's predicate confirms it *still fails*.
+The walk is deterministic: the same failing spec and predicate always
+shrink to the same minimal spec.
+
+:func:`promote_spec` writes the result as a JSON fixture under
+``tests/fixtures/fuzz/`` (or any directory), where the regression suite
+replays it forever.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import MachineModelError
+from repro.hardware.synth import SynthSpec
+
+#: Safety valve: each predicate call runs a full inference.
+DEFAULT_MAX_EVALS = 120
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    spec: SynthSpec           # the minimal still-failing spec
+    steps: tuple[str, ...]    # accepted transforms, in order
+    evals: int                # predicate invocations spent
+
+
+def _with_sockets(spec: SynthSpec, n: int) -> SynthSpec | None:
+    """Resize the socket count, rebuilding the interconnect to the
+    simplest family the new count supports."""
+    if n >= spec.n_sockets or n < 1:
+        return None
+    if n == 1:
+        return dataclasses.replace(
+            spec, n_sockets=1, interconnect="none", cross_latencies=(),
+            link_bandwidths=(), link_classes=(), os_node_permutation=None,
+            mem_hop_latency=spec.mem_hop_latency[:1],
+            mem_hop_bw_factor=spec.mem_hop_bw_factor[:1],
+        )
+    return dataclasses.replace(
+        spec, n_sockets=n, interconnect="mesh",
+        cross_latencies=spec.cross_latencies[:1],
+        link_bandwidths=spec.link_bandwidths[:1],
+        link_classes=(), os_node_permutation=None,
+        mem_hop_latency=spec.mem_hop_latency[:1],
+        mem_hop_bw_factor=spec.mem_hop_bw_factor[:1],
+    )
+
+
+def _simpler_interconnect(spec: SynthSpec) -> SynthSpec | None:
+    if spec.interconnect in ("none", "mesh"):
+        return None
+    return dataclasses.replace(
+        spec, interconnect="mesh",
+        cross_latencies=spec.cross_latencies[:1],
+        link_bandwidths=spec.link_bandwidths[:1],
+        link_classes=(),
+        mem_hop_latency=spec.mem_hop_latency[:1],
+        mem_hop_bw_factor=spec.mem_hop_bw_factor[:1],
+    )
+
+
+def _without_smt(spec: SynthSpec) -> SynthSpec | None:
+    if not spec.has_smt:
+        return None
+    return dataclasses.replace(
+        spec, smt_per_core=1, smt_latency=14, smt_slowdown=1.75
+    )
+
+
+def _with_cores(spec: SynthSpec, n: int) -> SynthSpec | None:
+    if n >= spec.cores_per_socket or n < 2:
+        return None
+    candidate = dataclasses.replace(spec, cores_per_socket=n)
+    if spec.cluster_size != 1 and (
+            n % spec.cluster_size or n // spec.cluster_size < 2):
+        candidate = _without_cluster(candidate) or candidate
+    return candidate
+
+
+def _without_cluster(spec: SynthSpec) -> SynthSpec | None:
+    if spec.cluster_size == 1:
+        return None
+    return dataclasses.replace(spec, cluster_size=1, cluster_latency=0)
+
+
+def _flat_caches(spec: SynthSpec) -> SynthSpec | None:
+    if len(spec.cache_sizes_kib) <= 1:
+        return None
+    return dataclasses.replace(
+        spec,
+        cache_sizes_kib=spec.cache_sizes_kib[:1],
+        cache_latencies=spec.cache_latencies[:1],
+    )
+
+
+def _calm(spec: SynthSpec) -> SynthSpec | None:
+    """Zero noise and jitter, pin the frequency, drop power/OS quirks."""
+    calm = dataclasses.replace(
+        spec, noise_level=0.0, smt_jitter=0, intra_jitter=0,
+        cross_jitter=0, freq_min_ghz=spec.freq_max_ghz, power=None,
+        os_node_permutation=None, numbering="smt_blocked",
+    )
+    return None if calm == spec else calm
+
+
+def _transforms(spec: SynthSpec):
+    """Candidate simplifications for one greedy pass, strongest first."""
+    yield "sockets->1", _with_sockets(spec, 1)
+    yield "sockets->2", _with_sockets(spec, 2)
+    yield f"sockets->{spec.n_sockets - 1}", _with_sockets(
+        spec, spec.n_sockets - 1
+    )
+    yield "interconnect->mesh", _simpler_interconnect(spec)
+    yield "smt->1", _without_smt(spec)
+    yield "cores->2", _with_cores(spec, 2)
+    yield f"cores->{spec.cores_per_socket // 2}", _with_cores(
+        spec, spec.cores_per_socket // 2
+    )
+    yield "drop-cluster", _without_cluster(spec)
+    yield "caches->1", _flat_caches(spec)
+    yield "calm", _calm(spec)
+
+
+def shrink_spec(
+    spec: SynthSpec,
+    still_fails: Callable[[SynthSpec], bool],
+    max_evals: int = DEFAULT_MAX_EVALS,
+) -> ShrinkResult:
+    """Greedily minimize ``spec`` while ``still_fails`` stays true.
+
+    ``still_fails`` must return True for ``spec`` itself; it is never
+    called on inadmissible candidates (those are skipped).
+    """
+    current = spec
+    steps: list[str] = []
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for label, candidate in _transforms(current):
+            if candidate is None or candidate == current:
+                continue
+            try:
+                candidate.validate()
+            except MachineModelError:
+                continue
+            if evals >= max_evals:
+                break
+            evals += 1
+            if still_fails(candidate):
+                current = candidate
+                steps.append(label)
+                progress = True
+                break  # restart from the strongest transform
+    return ShrinkResult(spec=current, steps=tuple(steps), evals=evals)
+
+
+def promote_spec(spec: SynthSpec, directory: str | Path,
+                 stem: str | None = None) -> Path:
+    """Write a spec as a golden fixture (canonical, diff-friendly JSON)."""
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{stem or f'synth-{spec.seed}'}.json"
+    path.write_text(
+        json.dumps(spec.to_dict(), indent=1, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_spec(path: str | Path) -> SynthSpec:
+    """Read a promoted fixture back."""
+    return SynthSpec.from_dict(json.loads(Path(path).read_text()))

@@ -21,6 +21,13 @@ from repro.hardware.noise import NoiseProfile, NoiseSource
 from repro.hardware.os_view import OsTopology, read_os_topology
 from repro.hardware.power import PowerModel
 from repro.hardware.probes import MeasurementContext
+from repro.hardware.synth import (
+    SYNTH_PREFIX,
+    SynthParams,
+    SynthSpec,
+    generate_spec,
+    resolve_synth,
+)
 from repro.hardware.timers import VirtualTsc
 
 __all__ = [
@@ -42,10 +49,15 @@ __all__ = [
     "PAPER_PLATFORMS",
     "PowerModel",
     "PowerProfile",
+    "SYNTH_PREFIX",
+    "SynthParams",
+    "SynthSpec",
     "Transaction",
     "VirtualTsc",
+    "generate_spec",
     "get_machine",
     "get_spec",
     "machine_names",
     "read_os_topology",
+    "resolve_synth",
 ]

@@ -324,11 +324,19 @@ def machine_names() -> tuple[str, ...]:
 
 
 def get_spec(name: str) -> MachineSpec:
+    if name.startswith("synth:"):
+        # Generated machines: "synth:<seed>[:quick]" resolves through the
+        # parametric generator (lazy import, synth depends on this module's
+        # siblings).
+        from repro.hardware.synth import resolve_synth
+
+        return resolve_synth(name).machine_spec()
     try:
         return _FACTORIES[name]()
     except KeyError:
         raise MachineModelError(
-            f"unknown machine {name!r}; known: {', '.join(_FACTORIES)}"
+            f"unknown machine {name!r}; known: {', '.join(_FACTORIES)} "
+            "(or synth:<seed> for a generated machine)"
         ) from None
 
 

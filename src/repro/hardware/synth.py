@@ -1,0 +1,783 @@
+"""Seed-deterministic synthetic machine generator.
+
+The catalog (:mod:`repro.hardware.catalog`) holds eight hand-written
+machines; this module turns the :class:`MachineSpec` space into *data*:
+``generate_spec(seed)`` draws a complete, admissible machine — socket
+count, SMT width, cores per socket, symmetric/asymmetric/multi-hop
+interconnects (à la the paper's Opteron), cache hierarchy depth and
+sizes, DVFS and noise profiles — from a single integer seed.  The same
+seed always produces the byte-identical spec, so a failing machine is a
+one-integer bug report.
+
+Admissibility
+-------------
+A random latency assignment would routinely be *unrecoverable*: the
+clustering step of MCTOP-ALG merges two latency relations whose value
+ranges come closer than its gap threshold, and the component step needs
+structurally uniform machines below the socket level.  The generator
+therefore enforces, and :meth:`SynthSpec.validate` re-checks:
+
+* the latency ladder (SMT < cluster < core < cross classes) keeps every
+  consecutive pair separated by more than the clustering gap *plus*
+  both relations' jitter amplitudes and a noise margin;
+* per-pair jitter amplitudes stay small enough that a relation with few
+  pairs cannot internally split into two clusters;
+* cache sizes sit on the cache plugin's geometric sweep grid and cache
+  latencies grow by more than the plugin's jump factor, so detected
+  sizes are exact;
+* memory latency clears the LLC latency by the same jump factor.
+
+Machines generated inside these envelopes are *guaranteed recoverable*:
+``infer_topology`` must reproduce the ground-truth MCTOP
+(:func:`repro.core.groundtruth.ground_truth_mctop`) for every seed —
+that property is what :mod:`repro.fuzz` hammers on.
+
+Catalog integration: ``get_spec("synth:42")`` (and therefore
+``get_machine``, ``repro.infer``, the CLI and the service) resolves
+through :func:`resolve_synth`; ``synth:42:quick`` uses the smaller
+:meth:`SynthParams.quick` ranges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MachineModelError
+from repro.hardware.caches import CacheLevelSpec
+from repro.hardware.interconnect import LinkSpec
+from repro.hardware.machine import (
+    NUMBERING_SCHEMES,
+    Machine,
+    MachineSpec,
+    MemoryProfile,
+    PowerProfile,
+)
+from repro.hardware.noise import NoiseProfile
+
+#: Catalog namespace for generated machines.
+SYNTH_PREFIX = "synth:"
+
+#: Interconnect families the generator draws from.
+INTERCONNECT_KINDS = ("none", "mesh", "asym_mesh", "ring", "mcm_pairs")
+
+#: Clustering gap parameters the admissibility margins defend against
+#: (mirrors :class:`repro.core.algorithm.clustering.ClusteringConfig`).
+_CLUSTER_ABS_GAP = 10.0
+_CLUSTER_REL_GAP = 0.06
+#: Extra cycles of slack for median noise on either side of a gap.
+_NOISE_SLACK = 4.0
+#: Cache-plugin jump factor (latency must grow by more than this).
+_CACHE_JUMP = 1.5
+#: Largest per-pair jitter amplitude a 2-pair relation tolerates
+#: without risking an internal split (2*a + noise < abs gap).
+_MAX_JITTER = 3
+
+
+def _size_grid(max_kib: int = 64 * 1024) -> tuple[int, ...]:
+    """The cache plugin's sweep grid in KiB (4*2^k and 1.5x points)."""
+    sizes = set()
+    size = 4
+    while size <= max_kib:
+        sizes.add(size)
+        if size * 3 // 2 <= max_kib:
+            sizes.add(size * 3 // 2)
+        size *= 2
+    return tuple(sorted(sizes))
+
+
+_SIZE_GRID = _size_grid()
+
+
+@dataclass(frozen=True)
+class SynthParams:
+    """Ranges the generator draws from (the shipped defaults are the
+    "generator ranges" the fuzz acceptance gate runs against)."""
+
+    max_contexts: int = 96
+    max_sockets: int = 8
+    max_cores_per_socket: int = 12
+    #: SMT widths with repetition as weights (1 and 2 are most common).
+    smt_widths: tuple[int, ...] = (1, 1, 2, 2, 4, 8)
+    max_cache_levels: int = 4
+    cluster_prob: float = 0.30
+    dvfs_prob: float = 0.50
+    power_prob: float = 0.40
+    os_permutation_prob: float = 0.20
+    min_noise_level: float = 0.30
+    max_noise_level: float = 1.00
+
+    def __post_init__(self) -> None:
+        if self.max_contexts < 2 or self.max_sockets < 1:
+            raise MachineModelError("degenerate SynthParams ranges")
+        if not self.smt_widths or min(self.smt_widths) < 1:
+            raise MachineModelError("smt_widths must be positive")
+        if not 0 <= self.min_noise_level <= self.max_noise_level:
+            raise MachineModelError("bad noise level range")
+
+    @staticmethod
+    def quick() -> "SynthParams":
+        """Small machines for CI smoke runs (a case runs in ~0.1 s)."""
+        return SynthParams(
+            max_contexts=24,
+            max_sockets=4,
+            max_cores_per_socket=6,
+            smt_widths=(1, 1, 2, 2, 4),
+            max_cache_levels=3,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "max_contexts": self.max_contexts,
+            "max_sockets": self.max_sockets,
+            "max_cores_per_socket": self.max_cores_per_socket,
+            "smt_widths": list(self.smt_widths),
+            "max_cache_levels": self.max_cache_levels,
+            "cluster_prob": self.cluster_prob,
+            "dvfs_prob": self.dvfs_prob,
+            "power_prob": self.power_prob,
+            "os_permutation_prob": self.os_permutation_prob,
+            "min_noise_level": self.min_noise_level,
+            "max_noise_level": self.max_noise_level,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SynthParams":
+        try:
+            data = dict(data)
+            data["smt_widths"] = tuple(data["smt_widths"])
+            return cls(**data)
+        except (KeyError, TypeError) as exc:
+            raise MachineModelError(f"malformed SynthParams: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SynthSpec:
+    """One generated machine, as plain data.
+
+    Everything needed to rebuild the :class:`MachineSpec`, the noise
+    environment *and* the ground-truth MCTOP lives here, JSON-portable —
+    a failing spec can be promoted verbatim to a golden fixture.
+    """
+
+    seed: int
+    n_sockets: int
+    cores_per_socket: int
+    smt_per_core: int
+    numbering: str
+    cluster_size: int  # 1 = no cluster level
+    smt_latency: int
+    cluster_latency: int  # 0 when cluster_size == 1
+    core_latency: int
+    interconnect: str  # one of INTERCONNECT_KINDS
+    cross_latencies: tuple[int, ...]  # ascending latency classes
+    link_bandwidths: tuple[float, ...]  # per *direct* link class
+    link_classes: tuple[int, ...]  # asym_mesh: class per pair, lex order
+    freq_min_ghz: float
+    freq_max_ghz: float
+    cache_sizes_kib: tuple[int, ...]
+    cache_latencies: tuple[int, ...]
+    mem_local_latency: int
+    mem_local_bandwidth: float
+    mem_hop_latency: tuple[int, ...]
+    mem_hop_bw_factor: tuple[float, ...]
+    single_thread_fraction: float
+    power: tuple[float, float, float, float] | None  # idle/first/extra/dram
+    os_node_permutation: tuple[int, ...] | None
+    smt_jitter: int
+    intra_jitter: int
+    cross_jitter: int
+    noise_level: float
+    smt_slowdown: float
+
+    # ------------------------------------------------------------- naming
+    @property
+    def name(self) -> str:
+        return f"{SYNTH_PREFIX}{self.seed}"
+
+    @property
+    def n_contexts(self) -> int:
+        return self.n_sockets * self.cores_per_socket * self.smt_per_core
+
+    @property
+    def has_smt(self) -> bool:
+        return self.smt_per_core > 1
+
+    # -------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Raise :class:`MachineModelError` unless the spec is admissible
+        (i.e. MCTOP-ALG is guaranteed to recover it — see module doc)."""
+        if self.n_sockets < 1 or self.smt_per_core < 1:
+            raise MachineModelError("machine dimensions must be positive")
+        if self.cores_per_socket < 2:
+            raise MachineModelError(
+                "synthetic machines need >= 2 cores per socket (the "
+                "core-latency relation must exist)"
+            )
+        if self.numbering not in NUMBERING_SCHEMES:
+            raise MachineModelError(f"unknown numbering {self.numbering!r}")
+        if self.cluster_size != 1:
+            if (
+                self.cluster_size < 2
+                or self.cluster_size > self.cores_per_socket // 2
+                or self.cores_per_socket % self.cluster_size
+            ):
+                raise MachineModelError(
+                    f"cluster size {self.cluster_size} must divide "
+                    f"{self.cores_per_socket} cores and leave >= 2 clusters"
+                )
+        for jitter in (self.smt_jitter, self.intra_jitter, self.cross_jitter):
+            if not 0 <= jitter <= _MAX_JITTER:
+                raise MachineModelError(
+                    f"jitter amplitude {jitter} outside [0, {_MAX_JITTER}] "
+                    "— a sparse relation could split into two clusters"
+                )
+        self._validate_ladder()
+        self._validate_interconnect()
+        self._validate_caches()
+        self._validate_memory()
+        if not 0 < self.freq_min_ghz <= self.freq_max_ghz:
+            raise MachineModelError("bad DVFS frequency range")
+        if not 0 <= self.noise_level <= 4:
+            raise MachineModelError("noise_level outside [0, 4]")
+        if self.has_smt and self.smt_slowdown < 1.3:
+            raise MachineModelError(
+                "smt_slowdown must clear the 1.25 detection threshold"
+            )
+        if self.power is not None:
+            if len(self.power) != 4 or any(v <= 0 for v in self.power):
+                raise MachineModelError("power must be 4 positive Watts")
+        if self.os_node_permutation is not None:
+            if sorted(self.os_node_permutation) != list(range(self.n_sockets)):
+                raise MachineModelError(
+                    "os_node_permutation must permute the memory nodes"
+                )
+
+    def _relations(self) -> list[tuple[int, int]]:
+        """(latency, jitter amplitude) of every relation, ascending."""
+        rel: list[tuple[int, int]] = []
+        if self.has_smt:
+            rel.append((self.smt_latency, self.smt_jitter))
+        if self.cluster_size != 1:
+            rel.append((self.cluster_latency, self.intra_jitter))
+        rel.append((self.core_latency, self.intra_jitter))
+        for cross in self.cross_latencies:
+            rel.append((cross, self.cross_jitter))
+        return rel
+
+    def _validate_ladder(self) -> None:
+        rel = self._relations()
+        if any(lat <= 0 for lat, _ in rel):
+            raise MachineModelError("latencies must be positive")
+        if not self.has_smt and self.smt_latency >= rel[0][0]:
+            raise MachineModelError(
+                "the (unused) SMT latency must stay below every relation"
+            )
+        for (prev, a_prev), (nxt, a_next) in zip(rel, rel[1:]):
+            gap = (nxt - a_next) - (prev + a_prev)
+            need = max(_CLUSTER_ABS_GAP, _CLUSTER_REL_GAP * (nxt - a_next))
+            if gap <= need + _NOISE_SLACK:
+                raise MachineModelError(
+                    f"latency relations {prev} and {nxt} are only {gap} "
+                    f"cycles apart (jitter included); the clustering gap "
+                    f"needs > {need + _NOISE_SLACK:.1f} — they would merge"
+                )
+
+    def _validate_interconnect(self) -> None:
+        kind = self.interconnect
+        k = self.n_sockets
+        n_pairs = k * (k - 1) // 2
+        if kind not in INTERCONNECT_KINDS:
+            raise MachineModelError(f"unknown interconnect {kind!r}")
+        expected_classes = {
+            "none": 0,
+            "mesh": 1,
+            "asym_mesh": 2,
+            "ring": k // 2,
+            "mcm_pairs": 3,
+        }[kind]
+        if len(self.cross_latencies) != expected_classes:
+            raise MachineModelError(
+                f"{kind} over {k} sockets needs {expected_classes} cross "
+                f"latency classes, got {len(self.cross_latencies)}"
+            )
+        if list(self.cross_latencies) != sorted(set(self.cross_latencies)):
+            raise MachineModelError("cross latencies must strictly ascend")
+        if kind == "none" and k != 1:
+            raise MachineModelError("multi-socket machines need links")
+        if kind == "mesh" and k < 2:
+            raise MachineModelError("a mesh needs >= 2 sockets")
+        if kind == "asym_mesh":
+            if k < 3:
+                raise MachineModelError("an asymmetric mesh needs >= 3 sockets")
+            if len(self.link_classes) != n_pairs:
+                raise MachineModelError(
+                    f"asym_mesh needs one class per socket pair "
+                    f"({n_pairs}), got {len(self.link_classes)}"
+                )
+            if set(self.link_classes) != {0, 1}:
+                raise MachineModelError(
+                    "asym_mesh must use both latency classes"
+                )
+        elif self.link_classes:
+            raise MachineModelError(f"{kind} takes no per-pair link classes")
+        if kind == "ring" and k < 4:
+            raise MachineModelError("a ring needs >= 4 sockets")
+        if kind == "mcm_pairs" and (k < 4 or k % 2):
+            raise MachineModelError("mcm_pairs needs an even count >= 4")
+        direct = self._n_direct_classes()
+        if len(self.link_bandwidths) != direct:
+            raise MachineModelError(
+                f"{kind} has {direct} direct link classes, got "
+                f"{len(self.link_bandwidths)} bandwidths"
+            )
+        if any(bw <= 0 for bw in self.link_bandwidths):
+            raise MachineModelError("link bandwidths must be positive")
+
+    def _n_direct_classes(self) -> int:
+        return {"none": 0, "mesh": 1, "asym_mesh": 2,
+                "ring": 1, "mcm_pairs": 2}[self.interconnect]
+
+    def _validate_caches(self) -> None:
+        sizes, lats = self.cache_sizes_kib, self.cache_latencies
+        if not sizes or len(sizes) != len(lats):
+            raise MachineModelError("cache sizes/latencies must pair up")
+        for size in sizes:
+            if size not in _SIZE_GRID:
+                raise MachineModelError(
+                    f"cache size {size} KiB is off the sweep grid — the "
+                    "cache plugin could not detect it exactly"
+                )
+        if list(sizes) != sorted(set(sizes)):
+            raise MachineModelError("cache sizes must strictly grow")
+        prev = 0.0
+        for lat in lats:
+            if lat <= prev * _CACHE_JUMP:
+                raise MachineModelError(
+                    f"cache latency {lat} does not clear the previous "
+                    f"level by the plugin's jump factor {_CACHE_JUMP}"
+                )
+            prev = lat
+        if self.mem_local_latency <= lats[-1] * (_CACHE_JUMP + 0.1):
+            raise MachineModelError(
+                "memory latency too close to the LLC — the final cache "
+                "level would not be detected"
+            )
+
+    def _validate_memory(self) -> None:
+        if not self.mem_hop_latency:
+            raise MachineModelError("mem_hop_latency must not be empty")
+        if list(self.mem_hop_latency) != sorted(self.mem_hop_latency):
+            raise MachineModelError("hop latencies must be non-decreasing")
+        if any(h <= 0 for h in self.mem_hop_latency):
+            raise MachineModelError("hop latencies must be positive")
+        factors = self.mem_hop_bw_factor
+        if not factors or any(not 0 < f <= 1 for f in factors):
+            raise MachineModelError("hop bandwidth factors must be in (0, 1]")
+        if list(factors) != sorted(factors, reverse=True):
+            raise MachineModelError("hop bandwidth factors must not grow")
+        if self.mem_local_bandwidth <= 0:
+            raise MachineModelError("local bandwidth must be positive")
+        if not 0 < self.single_thread_fraction < 1:
+            raise MachineModelError("single_thread_fraction must be in (0, 1)")
+
+    # ----------------------------------------------------- machine build
+    def _links(self) -> tuple[dict[tuple[int, int], LinkSpec], dict[int, int]]:
+        """(direct links, pinned multi-hop latencies) for the spec."""
+        k = self.n_sockets
+        kind = self.interconnect
+        cross = self.cross_latencies
+        bw = self.link_bandwidths
+        links: dict[tuple[int, int], LinkSpec] = {}
+        multi_hop: dict[int, int] = {}
+        if kind == "mesh":
+            for a in range(k):
+                for b in range(a + 1, k):
+                    links[(a, b)] = LinkSpec(cross[0], bw[0])
+        elif kind == "asym_mesh":
+            pairs = [(a, b) for a in range(k) for b in range(a + 1, k)]
+            for pair, cls in zip(pairs, self.link_classes):
+                links[pair] = LinkSpec(cross[cls], bw[cls])
+        elif kind == "ring":
+            for a in range(k):
+                b = (a + 1) % k
+                links[(min(a, b), max(a, b))] = LinkSpec(cross[0], bw[0])
+            for dist in range(2, k // 2 + 1):
+                multi_hop[dist] = cross[dist - 1]
+        elif kind == "mcm_pairs":
+            for m in range(k // 2):
+                links[(2 * m, 2 * m + 1)] = LinkSpec(cross[0], bw[0])
+            for parity in (0, 1):
+                dies = [d for d in range(k) if d % 2 == parity]
+                for i, a in enumerate(dies):
+                    for b in dies[i + 1:]:
+                        links[(a, b)] = LinkSpec(cross[1], bw[1])
+            multi_hop[2] = cross[2]
+        return links, multi_hop
+
+    def machine_spec(self) -> MachineSpec:
+        """The concrete :class:`MachineSpec` this spec describes."""
+        self.validate()
+        links, multi_hop = self._links()
+        caches = []
+        for i, (size, lat) in enumerate(
+            zip(self.cache_sizes_kib, self.cache_latencies), start=1
+        ):
+            last = i == len(self.cache_sizes_kib)
+            caches.append(CacheLevelSpec(
+                i, size, lat,
+                shared_by="socket" if last and i > 1 else "core",
+            ))
+        power = None
+        if self.power is not None:
+            idle, first, extra, dram = self.power
+            power = PowerProfile(
+                idle_socket=idle, first_context=first,
+                extra_context=extra, dram_active=dram,
+            )
+        return MachineSpec(
+            name=self.name,
+            n_sockets=self.n_sockets,
+            cores_per_socket=self.cores_per_socket,
+            smt_per_core=self.smt_per_core,
+            freq_min_ghz=self.freq_min_ghz,
+            freq_max_ghz=self.freq_max_ghz,
+            caches=tuple(caches),
+            smt_latency=self.smt_latency,
+            core_latency=self.core_latency,
+            links=links,
+            multi_hop_latency=multi_hop,
+            memory=MemoryProfile(
+                local_latency=self.mem_local_latency,
+                local_bandwidth=self.mem_local_bandwidth,
+                hop_latency=self.mem_hop_latency,
+                hop_bandwidth_factor=self.mem_hop_bw_factor,
+                single_thread_fraction=self.single_thread_fraction,
+            ),
+            power=power,
+            numbering=self.numbering,
+            core_cluster_size=self.cluster_size if self.cluster_size > 1 else 1,
+            core_cluster_latency=(
+                self.cluster_latency if self.cluster_size > 1 else 0
+            ),
+            intra_jitter=self.intra_jitter,
+            smt_jitter=self.smt_jitter,
+            cross_jitter=self.cross_jitter,
+            os_node_permutation=self.os_node_permutation,
+            smt_slowdown=self.smt_slowdown if self.has_smt else 1.75,
+        )
+
+    def machine(self) -> Machine:
+        return Machine(self.machine_spec())
+
+    def noise_profile(self) -> NoiseProfile:
+        """The measurement environment this machine is fuzzed under."""
+        if self.noise_level <= 0:
+            return NoiseProfile.quiet()
+        return NoiseProfile.noisy(self.noise_level)
+
+    # ------------------------------------------------------------- (de)ser
+    def to_dict(self) -> dict:
+        return {
+            "format": "mctop-synth-spec",
+            "version": 1,
+            "seed": self.seed,
+            "n_sockets": self.n_sockets,
+            "cores_per_socket": self.cores_per_socket,
+            "smt_per_core": self.smt_per_core,
+            "numbering": self.numbering,
+            "cluster_size": self.cluster_size,
+            "smt_latency": self.smt_latency,
+            "cluster_latency": self.cluster_latency,
+            "core_latency": self.core_latency,
+            "interconnect": self.interconnect,
+            "cross_latencies": list(self.cross_latencies),
+            "link_bandwidths": list(self.link_bandwidths),
+            "link_classes": list(self.link_classes),
+            "freq_min_ghz": self.freq_min_ghz,
+            "freq_max_ghz": self.freq_max_ghz,
+            "cache_sizes_kib": list(self.cache_sizes_kib),
+            "cache_latencies": list(self.cache_latencies),
+            "mem_local_latency": self.mem_local_latency,
+            "mem_local_bandwidth": self.mem_local_bandwidth,
+            "mem_hop_latency": list(self.mem_hop_latency),
+            "mem_hop_bw_factor": list(self.mem_hop_bw_factor),
+            "single_thread_fraction": self.single_thread_fraction,
+            "power": list(self.power) if self.power is not None else None,
+            "os_node_permutation": (
+                list(self.os_node_permutation)
+                if self.os_node_permutation is not None else None
+            ),
+            "smt_jitter": self.smt_jitter,
+            "intra_jitter": self.intra_jitter,
+            "cross_jitter": self.cross_jitter,
+            "noise_level": self.noise_level,
+            "smt_slowdown": self.smt_slowdown,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SynthSpec":
+        try:
+            if data.get("format") != "mctop-synth-spec":
+                raise MachineModelError("not a synth-spec document")
+            if data.get("version", 0) > 1:
+                raise MachineModelError(
+                    f"synth-spec version {data['version']} is too new"
+                )
+            fields = {f.name for f in dataclasses.fields(cls)}
+            kwargs = {k: v for k, v in data.items() if k in fields}
+            for key in ("cross_latencies", "link_bandwidths", "link_classes",
+                        "cache_sizes_kib", "cache_latencies",
+                        "mem_hop_latency", "mem_hop_bw_factor"):
+                kwargs[key] = tuple(kwargs[key])
+            if kwargs.get("power") is not None:
+                kwargs["power"] = tuple(kwargs["power"])
+            if kwargs.get("os_node_permutation") is not None:
+                kwargs["os_node_permutation"] = tuple(
+                    kwargs["os_node_permutation"]
+                )
+            return cls(**kwargs)
+        except (KeyError, TypeError) as exc:
+            raise MachineModelError(f"malformed synth spec: {exc}") from exc
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+
+# ========================================================== the generator
+def _next_rung(rng: np.random.Generator, prev: int,
+               a_prev: int, a_next: int) -> int:
+    """The next latency relation, safely above ``prev``.
+
+    The lower bound keeps the *gap between value ranges* (amplitudes
+    included) above the clustering threshold with noise slack; the 1.30
+    ratio floor also clears the 1.25 two-hop classification factor, and
+    the 1.75 ceiling keeps 6% of the next value below the margin.
+    """
+    margin = a_prev + a_next + max(15, int(0.12 * prev))
+    lo = max(int(prev * 1.30) + 1, prev + margin)
+    hi = max(lo + 4, int(prev * 1.75))
+    return int(rng.integers(lo, hi + 1))
+
+
+def _draw_dimensions(rng: np.random.Generator,
+                     params: SynthParams) -> tuple[int, int, int]:
+    """(n_sockets, cores_per_socket, smt_per_core) within the budget."""
+    widths = [w for w in params.smt_widths if 2 * w <= params.max_contexts]
+    smt = int(rng.choice(widths))
+    max_sockets = min(params.max_sockets, params.max_contexts // (2 * smt))
+    n_sockets = int(rng.integers(1, max_sockets + 1))
+    max_cores = min(
+        params.max_cores_per_socket,
+        params.max_contexts // (n_sockets * smt),
+    )
+    cores = int(rng.integers(2, max_cores + 1))
+    return n_sockets, cores, smt
+
+
+def _draw_interconnect_kind(rng: np.random.Generator, k: int) -> str:
+    if k == 1:
+        return "none"
+    kinds = ["mesh"]
+    if k >= 3:
+        kinds.append("asym_mesh")
+    if k >= 4:
+        kinds.append("ring")
+    if k >= 4 and k % 2 == 0:
+        kinds.append("mcm_pairs")
+    return str(rng.choice(kinds))
+
+
+def _draw_caches(rng: np.random.Generator,
+                 params: SynthParams) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    depth_pool = [d for d in (1, 2, 2, 3, 3, 4)
+                  if d <= params.max_cache_levels]
+    depth = int(rng.choice(depth_pool))
+    idx = int(rng.integers(0, 5))  # 4..16 KiB L1
+    sizes = []
+    for _ in range(depth):
+        sizes.append(_SIZE_GRID[idx])
+        idx += int(rng.integers(2, 6))
+        idx = min(idx, len(_SIZE_GRID) - 1)
+    lat = int(rng.integers(4, 7))
+    lats = []
+    for _ in range(depth):
+        lats.append(lat)
+        lat = int(lat * rng.uniform(1.9, 3.0)) + 1
+    return tuple(sizes), tuple(lats)
+
+
+def generate_spec(seed: int, params: SynthParams | None = None) -> SynthSpec:
+    """Draw one admissible machine; the same seed always returns the
+    byte-identical spec (for fixed ``params``)."""
+    params = params or SynthParams()
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=int(seed), spawn_key=(0x53594E,))
+    )
+    n_sockets, cores, smt = _draw_dimensions(rng, params)
+    numbering = str(rng.choice(NUMBERING_SCHEMES, p=[0.6, 0.4]))
+
+    cluster_size = 1
+    divisors = [d for d in range(2, cores // 2 + 1) if cores % d == 0]
+    if divisors and float(rng.random()) < params.cluster_prob:
+        cluster_size = int(rng.choice(divisors))
+
+    smt_jitter = int(rng.integers(0, _MAX_JITTER))
+    intra_jitter = int(rng.integers(1, _MAX_JITTER + 1))
+    cross_jitter = int(rng.integers(1, _MAX_JITTER + 1))
+
+    # --- the latency ladder: SMT < cluster < core < cross classes -----
+    if smt > 1:
+        smt_latency = int(rng.integers(18, 111))
+        prev, a_prev = smt_latency, smt_jitter
+    else:
+        smt_latency = 14  # unused; kept below every real relation
+        prev, a_prev = None, 0
+    cluster_latency = 0
+    if cluster_size > 1:
+        if prev is None:
+            cluster_latency = int(rng.integers(40, 121))
+        else:
+            cluster_latency = _next_rung(rng, prev, a_prev, intra_jitter)
+        prev, a_prev = cluster_latency, intra_jitter
+    if prev is None:
+        core_latency = int(rng.integers(60, 141))
+    else:
+        core_latency = _next_rung(rng, prev, a_prev, intra_jitter)
+    prev, a_prev = core_latency, intra_jitter
+
+    kind = _draw_interconnect_kind(rng, n_sockets)
+    n_classes = {"none": 0, "mesh": 1, "asym_mesh": 2,
+                 "ring": n_sockets // 2, "mcm_pairs": 3}[kind]
+    cross_latencies = []
+    for _ in range(n_classes):
+        prev = _next_rung(rng, prev, a_prev, cross_jitter)
+        a_prev = cross_jitter
+        cross_latencies.append(prev)
+
+    n_direct = {"none": 0, "mesh": 1, "asym_mesh": 2,
+                "ring": 1, "mcm_pairs": 2}[kind]
+    link_bandwidths = []
+    bw = round(float(rng.uniform(6.0, 20.0)), 1)
+    for _ in range(n_direct):
+        link_bandwidths.append(max(bw, 1.0))
+        bw = round(bw * float(rng.uniform(0.5, 0.85)), 1)
+
+    link_classes: tuple[int, ...] = ()
+    if kind == "asym_mesh":
+        n_pairs = n_sockets * (n_sockets - 1) // 2
+        classes = [int(c) for c in rng.integers(0, 2, size=n_pairs)]
+        if len(set(classes)) == 1:  # both classes must occur
+            classes[-1] = 1 - classes[-1]
+        link_classes = tuple(classes)
+
+    cache_sizes, cache_lats = _draw_caches(rng, params)
+
+    # --- memory -------------------------------------------------------
+    mem_floor = max(int(cache_lats[-1] * 1.9), 120)
+    mem_local_latency = int(rng.integers(mem_floor, mem_floor + 201))
+    mem_local_bandwidth = round(float(rng.uniform(8.0, 40.0)), 1)
+    max_hops = {"none": 1, "mesh": 1, "asym_mesh": 1,
+                "ring": max(1, n_sockets // 2), "mcm_pairs": 2}[kind]
+    hop_lat = int(rng.integers(80, 201))
+    mem_hop_latency = []
+    for _ in range(max_hops):
+        mem_hop_latency.append(hop_lat)
+        hop_lat += int(rng.integers(40, 121))
+    factor = round(float(rng.uniform(0.35, 0.70)), 2)
+    mem_hop_bw_factor = []
+    for _ in range(max_hops):
+        mem_hop_bw_factor.append(max(factor, 0.05))
+        factor = round(factor * float(rng.uniform(0.4, 0.8)), 2)
+    single_thread_fraction = round(float(rng.uniform(0.25, 0.60)), 2)
+
+    power = None
+    if float(rng.random()) < params.power_prob:
+        power = (
+            round(float(rng.uniform(8.0, 30.0)), 1),
+            round(float(rng.uniform(1.5, 5.0)), 2),
+            round(float(rng.uniform(0.3, 1.5)), 2),
+            round(float(rng.uniform(15.0, 50.0)), 1),
+        )
+
+    os_node_permutation = None
+    if n_sockets >= 2 and float(rng.random()) < params.os_permutation_prob:
+        perm = [int(x) for x in rng.permutation(n_sockets)]
+        if perm == list(range(n_sockets)):
+            perm = perm[1:] + perm[:1]
+        os_node_permutation = tuple(perm)
+
+    freq_max = round(float(rng.uniform(1.5, 3.6)), 1)
+    freq_min = freq_max
+    if float(rng.random()) < params.dvfs_prob:
+        freq_min = round(float(rng.uniform(1.0, freq_max)), 1)
+    noise_level = round(
+        float(rng.uniform(params.min_noise_level, params.max_noise_level)), 3
+    )
+    smt_slowdown = round(float(rng.uniform(1.4, 1.9)), 2) if smt > 1 else 1.75
+
+    spec = SynthSpec(
+        seed=int(seed),
+        n_sockets=n_sockets,
+        cores_per_socket=cores,
+        smt_per_core=smt,
+        numbering=numbering,
+        cluster_size=cluster_size,
+        smt_latency=smt_latency,
+        cluster_latency=cluster_latency,
+        core_latency=core_latency,
+        interconnect=kind,
+        cross_latencies=tuple(cross_latencies),
+        link_bandwidths=tuple(link_bandwidths),
+        link_classes=link_classes,
+        freq_min_ghz=freq_min,
+        freq_max_ghz=freq_max,
+        cache_sizes_kib=cache_sizes,
+        cache_latencies=cache_lats,
+        mem_local_latency=mem_local_latency,
+        mem_local_bandwidth=mem_local_bandwidth,
+        mem_hop_latency=tuple(mem_hop_latency),
+        mem_hop_bw_factor=tuple(mem_hop_bw_factor),
+        single_thread_fraction=single_thread_fraction,
+        power=power,
+        os_node_permutation=os_node_permutation,
+        smt_jitter=smt_jitter,
+        intra_jitter=intra_jitter,
+        cross_jitter=cross_jitter,
+        noise_level=noise_level,
+        smt_slowdown=smt_slowdown,
+    )
+    spec.validate()
+    return spec
+
+
+# ====================================================== catalog resolution
+def resolve_synth(name: str) -> SynthSpec:
+    """Parse a ``synth:<seed>[:quick]`` catalog name into its spec."""
+    if not name.startswith(SYNTH_PREFIX):
+        raise MachineModelError(f"{name!r} is not a synth machine name")
+    parts = name[len(SYNTH_PREFIX):].split(":")
+    params = SynthParams()
+    if len(parts) == 2 and parts[1] == "quick":
+        params = SynthParams.quick()
+    elif len(parts) != 1:
+        raise MachineModelError(
+            f"bad synth name {name!r}; expected synth:<seed>[:quick]"
+        )
+    try:
+        seed = int(parts[0])
+    except ValueError:
+        raise MachineModelError(
+            f"bad synth seed {parts[0]!r} in {name!r}"
+        ) from None
+    if seed < 0:
+        raise MachineModelError("synth seeds must be non-negative")
+    return generate_spec(seed, params)

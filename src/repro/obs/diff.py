@@ -175,6 +175,17 @@ class DriftReport:
     def exit_code(self) -> int:
         return severity_rank(self.severity)
 
+    def critical_findings(self) -> tuple[DriftFinding, ...]:
+        """Only the criticals — what the fuzz oracle treats as an
+        invariant violation (warn-level metric wobble is tolerated)."""
+        return tuple(f for f in self.findings if f.severity == "critical")
+
+    @property
+    def has_structural_drift(self) -> bool:
+        """True when the two topologies differ in *shape*, not just in
+        measured metric values."""
+        return any(f.category == "structure" for f in self.findings)
+
     def findings_by_category(self) -> dict[str, list[DriftFinding]]:
         out: dict[str, list[DriftFinding]] = {}
         for f in self.findings:

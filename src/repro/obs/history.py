@@ -29,6 +29,7 @@ from typing import Any
 GATE_METRICS = {
     "speedup_vs_scalar": False,
     "samples_per_sec": False,
+    "machines_per_sec": False,
     "wall_seconds": True,
 }
 
@@ -59,7 +60,7 @@ def history_records(
     records = []
     for entry in doc.get("machines", []):
         for mode, stats in sorted(entry.get("modes", {}).items()):
-            records.append({
+            record = {
                 "ts": round(ts, 3),
                 "sha": sha,
                 "machine": entry["machine"],
@@ -71,7 +72,10 @@ def history_records(
                 "quick": doc.get("quick", False),
                 "seed": doc.get("seed"),
                 "jobs": stats.get("jobs"),
-            })
+            }
+            if "machines_per_sec" in stats:
+                record["machines_per_sec"] = stats["machines_per_sec"]
+            records.append(record)
     return records
 
 
@@ -138,10 +142,18 @@ def load_baseline(path: str | Path) -> dict[tuple[str, str], dict]:
         doc = json.loads(text)
     except json.JSONDecodeError:
         doc = None
-    if isinstance(doc, dict):
+    # A one-record JSONL history is itself valid JSON; only treat the
+    # file as a bench snapshot when it actually has the bench shape.
+    if isinstance(doc, dict) and (
+            doc.get("format") == "mctop-bench" or "machines" in doc):
         return _flatten(doc)
     baseline: dict[tuple[str, str], dict] = {}
     for record in read_history(path):
+        if "machine" not in record or "mode" not in record:
+            raise ValueError(
+                "not a bench document (missing 'machines') and not a "
+                "history record (missing 'machine'/'mode')"
+            )
         baseline[(record["machine"], record["mode"])] = record
     if not baseline:
         raise ValueError(f"baseline {path} holds no bench records")

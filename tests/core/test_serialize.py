@@ -151,3 +151,54 @@ class TestErrors:
         data["some_future_field"] = {"x": 1}
         loaded = mctop_from_dict(data)
         assert loaded.n_contexts == tb_mctop.n_contexts
+
+
+class TestNonContiguousContexts:
+    """Round-trip for machines whose hw-context ids are not 0..n-1.
+
+    Real OSes renumber contexts arbitrarily (offline cores, cgroup
+    restrictions); a description file must survive that.  Historically
+    ``get_latency`` indexed the latency table with raw context ids, so
+    a renumbered topology read the wrong rows — this pins the fix.
+    """
+
+    @pytest.fixture(scope="class")
+    def gapped(self):
+        from repro.core.groundtruth import ground_truth_mctop, renumber_contexts
+        from repro.hardware.synth import generate_spec
+
+        truth = ground_truth_mctop(generate_spec(5))
+        mapping = {c: c * 3 + 7 for c in truth.context_ids()}
+        return truth, mapping, renumber_contexts(truth, mapping)
+
+    def test_latency_queries_survive_renumbering(self, gapped):
+        truth, mapping, moved = gapped
+        for a in truth.context_ids():
+            for b in truth.context_ids():
+                assert moved.get_latency(mapping[a], mapping[b]) == (
+                    truth.get_latency(a, b)
+                )
+
+    def test_save_load_roundtrip_with_gapped_ids(self, gapped, tmp_path):
+        truth, mapping, moved = gapped
+        loaded = load_mctop(save_mctop(moved, tmp_path / "gapped.mct"))
+        assert loaded.context_ids() == moved.context_ids()
+        assert np.array_equal(loaded.lat_table, moved.lat_table)
+        for a in truth.context_ids():
+            for b in truth.context_ids():
+                assert loaded.get_latency(mapping[a], mapping[b]) == (
+                    truth.get_latency(a, b)
+                )
+            assert loaded.get_local_node(mapping[a]) == (
+                truth.get_local_node(a)
+            )
+
+    def test_dict_roundtrip_is_identical(self, gapped):
+        _, _, moved = gapped
+        doc = json.loads(json.dumps(mctop_to_dict(moved), sort_keys=True))
+        again = json.loads(
+            json.dumps(mctop_to_dict(mctop_from_dict(doc)), sort_keys=True)
+        )
+        doc["provenance"]["inferred"] = False
+        again["provenance"]["inferred"] = False
+        assert doc == again

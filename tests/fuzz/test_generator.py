@@ -1,0 +1,97 @@
+"""Tests for the parametric synthetic machine generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.hardware import get_machine, get_spec
+from repro.hardware.synth import (
+    INTERCONNECT_KINDS,
+    SynthParams,
+    SynthSpec,
+    generate_spec,
+    resolve_synth,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_spec(self):
+        for seed in (0, 7, 123):
+            a = generate_spec(seed)
+            b = generate_spec(seed)
+            assert a == b
+            assert a.canonical_json() == b.canonical_json()
+            assert a.digest() == b.digest()
+
+    def test_different_seeds_differ(self):
+        digests = {generate_spec(seed).digest() for seed in range(20)}
+        assert len(digests) == 20
+
+    def test_params_change_the_draw(self):
+        full = generate_spec(3, SynthParams())
+        quick = generate_spec(3, SynthParams.quick())
+        assert full.digest() != quick.digest()
+
+
+class TestAdmissibility:
+    def test_two_hundred_seeds_validate(self):
+        kinds = set()
+        for seed in range(200):
+            spec = generate_spec(seed)
+            spec.validate()  # must not raise
+            kinds.add(spec.interconnect)
+            assert 2 <= spec.n_contexts <= SynthParams().max_contexts
+            assert spec.name == f"synth:{seed}"
+        # the shipped ranges must exercise every interconnect family
+        assert kinds == set(INTERCONNECT_KINDS)
+
+    def test_quick_params_stay_small(self):
+        quick = SynthParams.quick()
+        for seed in range(50):
+            spec = generate_spec(seed, quick)
+            assert spec.n_contexts <= quick.max_contexts
+
+    def test_machine_builds_for_every_seed(self):
+        for seed in range(25):
+            machine = generate_spec(seed).machine()
+            assert machine.spec.n_contexts >= 2
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_identity(self):
+        for seed in (0, 11, 47):
+            spec = generate_spec(seed)
+            assert SynthSpec.from_dict(spec.to_dict()) == spec
+
+    def test_params_dict_roundtrip(self):
+        params = SynthParams.quick()
+        assert SynthParams.from_dict(params.to_dict()) == params
+
+
+class TestResolve:
+    def test_resolve_by_name(self):
+        spec = resolve_synth("synth:5")
+        assert spec.seed == 5
+        assert spec == generate_spec(5)
+
+    def test_resolve_quick_variant(self):
+        spec = resolve_synth("synth:5:quick")
+        assert spec == generate_spec(5, SynthParams.quick())
+
+    def test_catalog_routes_synth_names(self):
+        spec = get_spec("synth:9")
+        assert spec.name == "synth:9"
+        machine = get_machine("synth:9")
+        assert machine.spec.n_contexts == generate_spec(9).n_contexts
+
+    @pytest.mark.parametrize("name", [
+        "synth:", "synth:x", "synth:-1", "synth:1:fast", "synth:1:2:3",
+    ])
+    def test_bad_names_raise(self, name):
+        with pytest.raises(MachineModelError):
+            resolve_synth(name)
+
+    def test_unknown_catalog_name_mentions_synth(self):
+        with pytest.raises(MachineModelError, match="synth:<seed>"):
+            get_spec("cray-1")

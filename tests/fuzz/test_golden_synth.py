@@ -1,0 +1,150 @@
+"""Golden fixtures for three interesting generated machines.
+
+The fuzzing campaigns surfaced machine shapes the hand-written catalog
+does not cover; these are promoted to byte-exact regression fixtures:
+
+* ``multi-hop-asym`` — an 8-socket MCM machine (Opteron-style): paired
+  dies plus same-parity links, with genuine 2-hop socket pairs;
+* ``deep-cache``    — a four-level cache hierarchy;
+* ``big-smt``       — 8 hardware contexts per core (SPARC-style).
+
+Each fixture is a pair of files under ``tests/fixtures/fuzz/``: the
+generated ``SynthSpec`` (``<stem>.spec.json``, pinning the generator)
+and the inferred topology (``<stem>.mctop.json.gz``, pinning the whole
+pipeline).  Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/fuzz/test_golden_synth.py \
+        --update-golden
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.algorithm import (
+    InferenceConfig,
+    LatencyTableConfig,
+    infer_topology,
+)
+from repro.core.groundtruth import ground_truth_mctop
+from repro.core.serialize import mctop_from_dict, mctop_to_dict
+from repro.fuzz import load_spec
+from repro.fuzz.shrink import promote_spec
+from repro.hardware.synth import generate_spec
+from repro.obs.diff import compare_mctops
+
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "fuzz"
+
+
+def read_golden(path: Path) -> dict:
+    return json.loads(gzip.decompress(path.read_bytes()).decode("utf-8"))
+
+
+def write_golden(path: Path, doc: dict) -> None:
+    """Byte-stable gzip (mtime=0, no filename), as in tests/core."""
+    payload = (json.dumps(doc, indent=1, sort_keys=True) + "\n").encode()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as raw:
+        with gzip.GzipFile(fileobj=raw, filename="", mode="wb",
+                           mtime=0) as fh:
+            fh.write(payload)
+
+#: stem -> generator seed (default SynthParams ranges)
+FIXTURES = {
+    "multi-hop-asym": 89,
+    "deep-cache": 83,
+    "big-smt": 247,
+}
+
+REPETITIONS = 15
+
+
+def spec_path(stem: str) -> Path:
+    return FIXTURE_DIR / f"{stem}.spec.json"
+
+
+def mctop_path(stem: str) -> Path:
+    return FIXTURE_DIR / f"{stem}.mctop.json.gz"
+
+
+def infer_fixture_dict(spec) -> dict:
+    config = InferenceConfig(
+        table=LatencyTableConfig(repetitions=REPETITIONS)
+    )
+    mctop = infer_topology(
+        spec.machine(), seed=spec.seed, config=config,
+        noise=spec.noise_profile(),
+    )
+    return json.loads(json.dumps(mctop_to_dict(mctop), sort_keys=True))
+
+
+@pytest.mark.parametrize("stem", sorted(FIXTURES))
+def test_golden_synth_topology(stem, request):
+    spec = generate_spec(FIXTURES[stem])
+    actual = infer_fixture_dict(spec)
+    if request.config.getoption("--update-golden"):
+        promote_spec(spec, FIXTURE_DIR, stem=f"{stem}.spec")
+        write_golden(mctop_path(stem), actual)
+        pytest.skip(f"regenerated {stem} fixtures")
+    assert spec_path(stem).exists() and mctop_path(stem).exists(), (
+        f"missing fuzz golden fixture {stem} — regenerate with "
+        "pytest tests/fuzz/test_golden_synth.py --update-golden"
+    )
+    assert load_spec(spec_path(stem)) == spec, (
+        f"generator drifted for seed {FIXTURES[stem]} — the promoted "
+        "spec no longer matches generate_spec()"
+    )
+    expected = read_golden(mctop_path(stem))
+    if actual != expected:
+        diff_keys = sorted(
+            k for k in set(actual) | set(expected)
+            if actual.get(k) != expected.get(k)
+        )
+        raise AssertionError(
+            f"inferred topology for {stem!r} deviates from the golden "
+            f"fixture in: {diff_keys} — if intentional, regenerate with "
+            "--update-golden"
+        )
+
+
+@pytest.mark.parametrize("stem", sorted(FIXTURES))
+def test_golden_fixture_self_diff_is_ok(stem):
+    path = mctop_path(stem)
+    if not path.exists():
+        pytest.skip(f"{path} not generated yet")
+    mctop = mctop_from_dict(read_golden(path))
+    assert compare_mctops(mctop, mctop).severity == "ok"
+
+
+@pytest.mark.parametrize("stem", sorted(FIXTURES))
+def test_golden_fixture_matches_ground_truth(stem):
+    path = mctop_path(stem)
+    if not path.exists():
+        pytest.skip(f"{path} not generated yet")
+    inferred = mctop_from_dict(read_golden(path))
+    truth = ground_truth_mctop(load_spec(spec_path(stem)))
+    report = compare_mctops(truth, inferred)
+    assert report.severity == "ok", report.render()
+
+
+class TestFixtureTraits:
+    """The promoted machines really have the shapes they were chosen for."""
+
+    def test_multi_hop_asym(self):
+        spec = generate_spec(FIXTURES["multi-hop-asym"])
+        assert spec.interconnect == "mcm_pairs"
+        truth = ground_truth_mctop(spec)
+        hops = {link.n_hops for link in truth.links.values()}
+        assert hops == {1, 2}, "fixture must exercise multi-hop links"
+
+    def test_deep_cache(self):
+        spec = generate_spec(FIXTURES["deep-cache"])
+        assert len(spec.cache_sizes_kib) == 4
+
+    def test_big_smt(self):
+        spec = generate_spec(FIXTURES["big-smt"])
+        assert spec.smt_per_core >= 8

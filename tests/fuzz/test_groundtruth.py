@@ -1,0 +1,112 @@
+"""Tests for the ground-truth MCTOP builder and context renumbering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import InferenceConfig, LatencyTableConfig, infer_topology
+from repro.core.groundtruth import ground_truth_mctop, renumber_contexts
+from repro.errors import MctopError
+from repro.fuzz import check_invariants, topology_digest
+from repro.hardware import get_machine
+from repro.hardware.synth import generate_spec
+from repro.obs.diff import compare_mctops
+
+FAST = InferenceConfig(table=LatencyTableConfig(repetitions=31))
+
+
+class TestGroundTruth:
+    def test_deterministic(self):
+        spec = generate_spec(4)
+        assert topology_digest(ground_truth_mctop(spec)) == (
+            topology_digest(ground_truth_mctop(spec))
+        )
+
+    @pytest.mark.parametrize("name", ["testbox", "clusterix", "unisock"])
+    def test_matches_inference_on_catalog(self, name):
+        """The builder and MCTOP-ALG agree on quiet catalog machines
+        (warn-band cache-sweep noise is tolerated, criticals are not)."""
+        truth = ground_truth_mctop(name)
+        inferred = infer_topology(get_machine(name), seed=1, config=FAST)
+        report = compare_mctops(truth, inferred)
+        assert report.critical_findings() == (), report.render()
+        assert not report.has_structural_drift
+        assert check_invariants(truth, inferred) == []
+
+    def test_matches_inference_on_synth(self):
+        spec = generate_spec(2)
+        truth = ground_truth_mctop(spec)
+        inferred = infer_topology(
+            spec.machine(), seed=spec.seed, config=FAST,
+            noise=spec.noise_profile(),
+        )
+        report = compare_mctops(truth, inferred)
+        assert report.severity == "ok", report.render()
+
+    def test_self_diff_is_ok(self):
+        truth = ground_truth_mctop(generate_spec(6))
+        assert compare_mctops(truth, truth).severity == "ok"
+
+    def test_shape_matches_spec(self):
+        spec = generate_spec(8)
+        truth = ground_truth_mctop(spec)
+        assert truth.n_contexts == spec.n_contexts
+        assert truth.n_sockets == spec.n_sockets
+        assert truth.has_smt == spec.has_smt
+
+
+class TestRenumber:
+    def _truth(self, seed=5):
+        return ground_truth_mctop(generate_spec(seed))
+
+    def test_identity_is_noop(self):
+        truth = self._truth()
+        mapping = {c: c for c in truth.context_ids()}
+        assert topology_digest(renumber_contexts(truth, mapping)) == (
+            topology_digest(truth)
+        )
+
+    def test_latencies_follow_the_mapping(self):
+        truth = self._truth()
+        mapping = {c: c * 3 + 5 for c in truth.context_ids()}
+        moved = renumber_contexts(truth, mapping)
+        for a in truth.context_ids():
+            for b in truth.context_ids():
+                assert moved.get_latency(mapping[a], mapping[b]) == (
+                    truth.get_latency(a, b)
+                )
+
+    def test_partitions_follow_the_mapping(self):
+        truth = self._truth()
+        mapping = {c: c * 2 for c in truth.context_ids()}
+        moved = renumber_contexts(truth, mapping)
+        for ctx in truth.context_ids():
+            assert moved.socket_of_context(mapping[ctx]) == (
+                truth.socket_of_context(ctx)
+            )
+            assert moved.get_local_node(mapping[ctx]) == (
+                truth.get_local_node(ctx)
+            )
+
+    def test_lat_table_is_permuted_consistently(self):
+        truth = self._truth()
+        ids = truth.context_ids()
+        mapping = {c: ids[(i + 1) % len(ids)] for i, c in enumerate(ids)}
+        moved = renumber_contexts(truth, mapping)
+        assert np.array_equal(
+            np.sort(moved.lat_table, axis=None),
+            np.sort(truth.lat_table, axis=None),
+        )
+
+    def test_partial_mapping_rejected(self):
+        truth = self._truth()
+        mapping = {c: c + 1 for c in truth.context_ids()[:-1]}
+        with pytest.raises(MctopError):
+            renumber_contexts(truth, mapping)
+
+    def test_colliding_mapping_rejected(self):
+        truth = self._truth()
+        mapping = {c: 0 for c in truth.context_ids()}
+        with pytest.raises(MctopError):
+            renumber_contexts(truth, mapping)

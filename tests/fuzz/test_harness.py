@@ -1,0 +1,155 @@
+"""Tests for the property-based fuzzing harness."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.core.groundtruth import ground_truth_mctop
+from repro.errors import MachineModelError
+from repro.fuzz import (
+    DEFAULT_REPETITIONS,
+    QUICK_REPETITIONS,
+    FuzzConfig,
+    check_invariants,
+    perturbed_spec,
+    report_digest,
+    run_fuzz,
+    run_spec_case,
+    write_failure_artifacts,
+)
+from repro.hardware.synth import generate_spec
+from repro.obs.diff import compare_mctops
+
+
+@pytest.fixture(scope="module")
+def fifty_machine_report():
+    """One shared quick campaign over 50 seeded machines."""
+    return run_fuzz(50, seed=0, quick=True, jobs=2)
+
+
+class TestInvariantsHold:
+    def test_fifty_seeded_machines_pass(self, fifty_machine_report):
+        doc = fifty_machine_report
+        assert doc["ok"], doc["failures"]
+        assert doc["n_violations"] == 0
+        assert len(doc["cases"]) == 50
+        assert [c["seed"] for c in doc["cases"]] == list(range(50))
+
+    def test_every_case_is_fully_judged(self, fifty_machine_report):
+        for case in fifty_machine_report["cases"]:
+            assert case["error"] is None
+            # warn-band metric drift is measurement noise, not a failure
+            assert case["severity"] in ("ok", "warn")
+            assert case["topology_digest"]
+            assert case["samples_taken"] > 0
+
+
+class TestDeterminism:
+    def test_same_config_same_digest(self):
+        a = run_fuzz(5, seed=3, quick=True)
+        b = run_fuzz(5, seed=3, quick=True)
+        assert a["digest"] == b["digest"]
+
+    def test_digest_independent_of_jobs(self):
+        a = run_fuzz(5, seed=3, quick=True, jobs=1)
+        b = run_fuzz(5, seed=3, quick=True, jobs=2)
+        assert a["digest"] == b["digest"]
+
+    def test_digest_tracks_the_machines(self):
+        a = run_fuzz(3, seed=0, quick=True)
+        b = run_fuzz(3, seed=100, quick=True)
+        assert a["digest"] != b["digest"]
+
+    def test_report_digest_ignores_wall_clock(self):
+        doc = run_fuzz(3, seed=0, quick=True)
+        noisy = copy.deepcopy(doc)
+        noisy["wall_seconds"] = 9999.0
+        noisy["machines_per_sec"] = 0.001
+        noisy["jobs"] = 7
+        for case in noisy["cases"]:
+            case["wall_seconds"] = 1234.5
+        assert report_digest(noisy) == doc["digest"]
+
+    def test_report_digest_sees_real_changes(self):
+        doc = run_fuzz(3, seed=0, quick=True)
+        tampered = copy.deepcopy(doc)
+        tampered["cases"][0]["topology_digest"] = "0" * 64
+        assert report_digest(tampered) != doc["digest"]
+
+
+class TestOracle:
+    def test_perturbed_memory_is_critical(self):
+        spec = generate_spec(1)
+        truth = ground_truth_mctop(spec)
+        wrong = ground_truth_mctop(perturbed_spec(spec, "mem"),
+                                   name=spec.name)
+        report = compare_mctops(truth, wrong)
+        assert report.severity == "critical"
+
+    def test_perturbed_smt_is_structural(self):
+        spec = generate_spec(1)
+        truth = ground_truth_mctop(spec)
+        wrong = ground_truth_mctop(perturbed_spec(spec, "smt"),
+                                   name=spec.name)
+        report = compare_mctops(truth, wrong)
+        assert report.severity == "critical"
+        assert report.has_structural_drift
+
+    def test_unknown_perturbation_rejected(self):
+        with pytest.raises(MachineModelError):
+            perturbed_spec(generate_spec(1), "voltage")
+
+    def test_check_invariants_flags_wrong_truth(self):
+        spec = generate_spec(1)
+        truth = ground_truth_mctop(spec)
+        wrong = ground_truth_mctop(perturbed_spec(spec, "smt"))
+        assert check_invariants(truth, wrong)
+
+    def test_check_invariants_passes_identity(self):
+        truth = ground_truth_mctop(generate_spec(1))
+        assert check_invariants(truth, truth) == []
+
+
+class TestCaseRecords:
+    def test_record_shape(self):
+        case = run_spec_case(generate_spec(0, None), repetitions=11)
+        for key in ("seed", "name", "n_contexts", "interconnect",
+                    "spec_digest", "severity", "violations", "ok",
+                    "topology_digest", "samples_taken", "wall_seconds"):
+            assert key in case
+        assert json.dumps(case)  # JSON-portable
+
+    def test_config_resolution(self):
+        assert FuzzConfig(quick=True).resolved_repetitions() == (
+            QUICK_REPETITIONS
+        )
+        assert FuzzConfig().resolved_repetitions() == DEFAULT_REPETITIONS
+        assert FuzzConfig(repetitions=5).resolved_repetitions() == 5
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(MachineModelError):
+            run_fuzz(0, seed=0)
+
+
+class TestArtifacts:
+    def test_no_artifacts_when_all_pass(self, tmp_path):
+        out = tmp_path / "artifacts"
+        doc = run_fuzz(2, seed=0, quick=True, artifacts_dir=out)
+        assert doc["ok"]
+        assert not out.exists()
+
+    def test_failing_specs_written(self, tmp_path):
+        doc = run_fuzz(2, seed=0, quick=True)
+        doc["cases"][1]["ok"] = False
+        doc["cases"][1]["violations"] = ["synthetic failure"]
+        specs = {s: generate_spec(s, FuzzConfig(quick=True).resolved_params())
+                 for s in (0, 1)}
+        out = tmp_path / "artifacts"
+        written = write_failure_artifacts(doc, specs, out)
+        names = {p.name for p in written}
+        assert names == {"failing-spec-1.json", "fuzz-report.json"}
+        reloaded = json.loads((out / "failing-spec-1.json").read_text())
+        assert reloaded["seed"] == 1

@@ -1,0 +1,77 @@
+"""Tests for the failing-spec minimizer and fixture promotion."""
+
+from __future__ import annotations
+
+from repro.fuzz import load_spec, promote_spec, shrink_spec
+from repro.hardware.synth import SynthParams, generate_spec
+
+
+def _big_spec():
+    """A deliberately rich machine: many sockets, SMT, caches, noise."""
+    for seed in range(200):
+        spec = generate_spec(seed, SynthParams())
+        if (spec.n_sockets >= 4 and spec.has_smt
+                and len(spec.cache_sizes_kib) >= 2):
+            return spec
+    raise AssertionError("no rich spec in the first 200 seeds")
+
+
+class TestShrink:
+    def test_minimizes_while_preserving_the_failure(self):
+        spec = _big_spec()
+        # the "bug" reproduces whenever the machine is multi-socket
+        result = shrink_spec(spec, lambda s: s.n_sockets >= 2)
+        assert result.spec.n_sockets == 2
+        assert result.spec.cores_per_socket == 2
+        assert not result.spec.has_smt
+        assert len(result.spec.cache_sizes_kib) == 1
+        assert result.spec.noise_level == 0.0
+        assert result.spec.cluster_size == 1
+        assert result.steps  # something was actually simplified
+        result.spec.validate()  # the minimum is still admissible
+
+    def test_deterministic(self):
+        spec = _big_spec()
+        a = shrink_spec(spec, lambda s: s.n_sockets >= 2)
+        b = shrink_spec(spec, lambda s: s.n_sockets >= 2)
+        assert a.spec == b.spec
+        assert a.steps == b.steps
+        assert a.evals == b.evals
+
+    def test_unshrinkable_failure_returns_input(self):
+        spec = _big_spec()
+        result = shrink_spec(spec, lambda s: s == spec)
+        assert result.spec == spec
+        assert result.steps == ()
+
+    def test_eval_budget_is_respected(self):
+        spec = _big_spec()
+        result = shrink_spec(spec, lambda s: True, max_evals=3)
+        assert result.evals <= 3
+
+    def test_smt_only_predicate(self):
+        spec = _big_spec()
+        result = shrink_spec(spec, lambda s: s.has_smt)
+        assert result.spec.has_smt
+        assert result.spec.n_sockets == 1
+        assert result.spec.cores_per_socket == 2
+
+
+class TestPromote:
+    def test_promote_load_roundtrip(self, tmp_path):
+        spec = generate_spec(12)
+        path = promote_spec(spec, tmp_path / "fuzz")
+        assert path.name == "synth-12.json"
+        assert load_spec(path) == spec
+
+    def test_custom_stem(self, tmp_path):
+        spec = generate_spec(12)
+        path = promote_spec(spec, tmp_path, stem="big-smt")
+        assert path.name == "big-smt.json"
+        assert load_spec(path) == spec
+
+    def test_fixture_is_diff_friendly(self, tmp_path):
+        path = promote_spec(generate_spec(12), tmp_path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.count("\n") > 5  # indented, line-oriented JSON

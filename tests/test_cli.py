@@ -225,3 +225,89 @@ class TestValidate:
         )
         assert code == 1
         assert "disagree" in out
+
+
+class TestSynthTargets:
+    def test_show_generated_machine(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "show", "synth:3:quick", "--repetitions", "11"
+        )
+        assert code == 0
+        assert "MCTOP topology 'synth:3'" in out
+
+    def test_infer_generated_machine(self, capsys, tmp_path):
+        out_file = tmp_path / "synth.mct"
+        code, out, _ = run_cli(
+            capsys, "infer", "synth:3:quick", "--repetitions", "11",
+            "--out", str(out_file),
+        )
+        assert code == 0
+        assert out_file.exists()
+
+    def test_bad_synth_name(self, capsys):
+        code, _, err = run_cli(capsys, "show", "synth:abc")
+        assert code == 2
+        assert "error" in err
+
+
+class TestFuzz:
+    def test_small_campaign_passes(self, capsys, tmp_path):
+        report = tmp_path / "fuzz.json"
+        code, out, _ = run_cli(
+            capsys, "fuzz", "--count", "3", "--seed", "0", "--quick",
+            "--out", str(report),
+        )
+        assert code == 0
+        assert "fuzz: 3 machines" in out
+        assert "digest" in out
+        doc = json.loads(report.read_text())
+        assert doc["format"] == "mctop-fuzz-report"
+        assert doc["ok"]
+        assert len(doc["cases"]) == 3
+
+    def test_json_output(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "fuzz", "--count", "2", "--quick", "--json"
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["ok"]
+        assert doc["digest"]
+
+    def test_digest_reproducible_across_invocations(self, capsys):
+        _, out_a, _ = run_cli(
+            capsys, "fuzz", "--count", "3", "--quick", "--json"
+        )
+        _, out_b, _ = run_cli(
+            capsys, "fuzz", "--count", "3", "--quick", "--json",
+            "--jobs", "2",
+        )
+        assert json.loads(out_a)["digest"] == json.loads(out_b)["digest"]
+
+
+class TestBenchFuzz:
+    def test_fuzz_mode_records_history(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, out, _ = run_cli(
+            capsys, "bench", "--fuzz", "--fuzz-count", "3", "--quick",
+        )
+        assert code == 0
+        assert "machines/s" in out
+        doc = json.loads((tmp_path / "BENCH_FUZZ.json").read_text())
+        stats = doc["machines"][0]["modes"]["fuzz"]
+        assert stats["machines_per_sec"] > 0
+        history = (tmp_path / "BENCH_HISTORY.jsonl").read_text()
+        record = json.loads(history.splitlines()[0])
+        assert record["mode"] == "fuzz"
+        assert record["machines_per_sec"] == stats["machines_per_sec"]
+
+    def test_fuzz_mode_joins_the_gate(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_cli(capsys, "bench", "--fuzz", "--fuzz-count", "2", "--quick")
+        code, out, _ = run_cli(
+            capsys, "bench", "--replay", "BENCH_FUZZ.json",
+            "--compare", "BENCH_HISTORY.jsonl",
+            "--compare-metric", "machines_per_sec",
+        )
+        assert code == 0
+        assert "gate: ok" in out

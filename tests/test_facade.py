@@ -43,6 +43,17 @@ def test_facade_exports_are_canonical():
     assert PlacementPool is DeepPool
 
 
+def test_fuzz_facade_exports_are_canonical():
+    from repro.core.groundtruth import ground_truth_mctop as deep_truth
+    from repro.fuzz import run_fuzz as deep_run_fuzz
+    from repro.hardware.synth import SynthSpec as DeepSpec
+
+    assert repro.run_fuzz is deep_run_fuzz
+    assert repro.SynthSpec is DeepSpec
+    assert repro.ground_truth_mctop is deep_truth
+    assert repro.generate_spec(0).seed == 0
+
+
 def test_infer_accepts_machine_name(tmp_path):
     mctop = infer("testbox", seed=1, repetitions=31)
     assert isinstance(mctop, Mctop)
