@@ -405,6 +405,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         watch_repetitions=args.watch_repetitions,
         watch_seed=args.watch_seed,
+        member_id=args.member_id,
+        peers=tuple(args.peer or ()),
+        peer_timeout=args.peer_timeout,
+        peer_fanout=args.peer_fanout,
     )
     if config.watch_interval is not None and not config.watch_machines:
         raise MctopError("--watch-interval needs --watch-machines M1,M2,...")
@@ -425,9 +429,101 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if daemon.watcher is not None:
             print(f"drift watcher every {args.watch_interval}s on "
                   f"{', '.join(daemon.watcher.states)}", flush=True)
+        if config.peers:
+            print(f"member {config.member_id or '(unnamed)'} peering "
+                  f"with {', '.join(config.peers)}", flush=True)
 
     run_daemon(config, ready_callback=announce)
     print("mctopd drained, bye")
+    return 0
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    """Run a fleet router (optionally spawning its members in-process)."""
+    from repro.fleet import FleetServeConfig, run_fleet
+
+    if args.unix is None and args.host is None:
+        raise MctopError("fleet serve needs --unix PATH and/or --host HOST")
+    if not args.members and not args.member:
+        raise MctopError(
+            "fleet serve needs --members N (spawn in-process) and/or "
+            "--member ENDPOINT (front an external mctopd)"
+        )
+    config = FleetServeConfig(
+        state_dir=args.state_dir,
+        n_members=args.members,
+        members=tuple(args.member or ()),
+        unix_path=args.unix,
+        host=args.host,
+        port=args.port,
+        request_timeout=args.timeout,
+        max_pending=args.max_pending,
+        drain_timeout=args.drain_timeout,
+        default_repetitions=args.repetitions,
+        health_interval=args.health_interval,
+        probe_timeout=args.probe_timeout,
+        fail_threshold=args.fail_threshold,
+        access_log=args.access_log,
+        event_log=args.event_log,
+    )
+
+    def announce(router, daemons) -> None:
+        for daemon in daemons:
+            print(f"member {daemon.config.member_id} listening on "
+                  f"unix:{daemon.config.unix_path}", flush=True)
+        if args.unix is not None:
+            print(f"fleet router listening on unix:{args.unix}", flush=True)
+        if args.host is not None:
+            print(f"fleet router listening on "
+                  f"tcp:{args.host}:{router.tcp_port}", flush=True)
+        print(f"fleet: {len(router.health.ring)}/"
+              f"{len(router.health.states)} members in ring", flush=True)
+
+    run_fleet(config, ready_callback=announce)
+    print("fleet drained, bye")
+    return 0
+
+
+def _render_fleet(result: dict) -> str:
+    """Human text for the router's ``fleet`` verb document."""
+    lines = [
+        f"fleet: {result.get('in_ring', 0)}/{result.get('total', 0)} "
+        f"members in ring, {result.get('rebalances', 0)} rebalances "
+        f"(health every {result.get('interval', 0):g}s, eject after "
+        f"{result.get('fail_threshold', 0)} failures)"
+    ]
+    for member_id, state in sorted(result.get("members", {}).items()):
+        severity = state.get("drift_severity") or "-"
+        error = state.get("last_error")
+        lines.append(
+            f"  {member_id:<12} {state.get('status', 'unknown'):<9} "
+            f"{state.get('endpoint', ''):<32} drift={severity:<9} "
+            f"checks={state.get('checks', 0)}"
+            + (f"  last_error={error}" if error else "")
+        )
+    ring = result.get("ring", {})
+    lines.append(
+        f"ring: {', '.join(ring.get('members', [])) or '(empty)'} "
+        f"({ring.get('replicas', 0)} replicas per member)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    """The router's membership/ring/health document."""
+    import json
+
+    from repro.service import MctopClient
+
+    if args.unix is None and args.host is None:
+        raise MctopError("fleet status needs --unix PATH or --host HOST")
+    with MctopClient(unix_path=args.unix, host=args.host, port=args.port,
+                     timeout=args.timeout) as client:
+        result = client.request("fleet")
+    if args.json:
+        print(json.dumps(result, indent=1, sort_keys=True))
+    else:
+        print(_render_fleet(result))
     return 0
 
 
@@ -522,6 +618,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
             interval=args.interval,
             count=args.count,
             clear=not args.no_clear,
+            fleet=args.fleet,
         )
 
 
@@ -752,7 +849,104 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--watch-seed", type=int, default=0,
                          help="seed for the watcher's checks (must match "
                               "the cached baseline's)")
+    p_serve.add_argument("--member-id", default=None,
+                         help="this daemon's fleet member id (names it on "
+                              "the consistent-hash ring)")
+    p_serve.add_argument("--peer", action="append", metavar="ENDPOINT",
+                         help="fleet peer endpoint ([ID=]unix:PATH or "
+                              "[ID=]tcp:HOST:PORT) to ask for cached "
+                              "topologies before inferring; repeatable")
+    p_serve.add_argument("--peer-timeout", type=float, default=5.0,
+                         help="per-peer cache_fetch budget (seconds)")
+    p_serve.add_argument("--peer-fanout", type=int, default=2,
+                         help="ring-adjacent peers asked per cache miss")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run or inspect a sharded mctopd fleet (consistent-hash "
+             "router + member daemons; see docs/FLEET.md)",
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    p_fserve = fleet_sub.add_parser(
+        "serve",
+        help="run the fleet router (--members N spawns member daemons "
+             "in-process; --member ENDPOINT fronts external ones)",
+    )
+    endpoint(p_fserve)
+    p_fserve.add_argument("--members", type=int, default=0, metavar="N",
+                          help="spawn N member daemons in-process "
+                               "(sockets and stores under --state-dir)")
+    p_fserve.add_argument("--member", action="append", metavar="ENDPOINT",
+                          help="external member endpoint ([ID=]unix:PATH "
+                               "or [ID=]tcp:HOST:PORT); repeatable")
+    p_fserve.add_argument("--state-dir", default="mctop-fleet",
+                          help="spawned members' sockets, stores and "
+                               "event logs live here")
+    p_fserve.add_argument("--timeout", type=float, default=120.0,
+                          help="per-member forwarded-request budget "
+                               "(seconds); keep above the members' own "
+                               "request timeout")
+    p_fserve.add_argument("--max-pending", type=int, default=64,
+                          help="router in-flight bound before "
+                               "backpressure errors")
+    p_fserve.add_argument("--drain-timeout", type=float, default=10.0,
+                          help="grace period on shutdown (seconds)")
+    p_fserve.add_argument("--repetitions", type=int, default=75,
+                          help="default latency samples per context pair "
+                               "(must match the members')")
+    p_fserve.add_argument("--health-interval", type=float, default=5.0,
+                          help="seconds between member health sweeps")
+    p_fserve.add_argument("--probe-timeout", type=float, default=5.0,
+                          help="per-member health probe budget (seconds)")
+    p_fserve.add_argument("--fail-threshold", type=int, default=2,
+                          help="consecutive failures before a member is "
+                               "ejected from the ring")
+    p_fserve.add_argument("--access-log",
+                          help="router access log (NDJSON; lines carry "
+                               "member and upstream_ms)")
+    p_fserve.add_argument("--event-log",
+                          help="router event log (NDJSON; member joins/"
+                               "ejects, rebalances)")
+    p_fserve.set_defaults(func=_cmd_fleet_serve)
+
+    p_fstatus = fleet_sub.add_parser(
+        "status",
+        help="membership, ring and health of a running fleet router",
+    )
+    endpoint(p_fstatus)
+    p_fstatus.add_argument("--timeout", type=float, default=30.0,
+                           help="client-side socket timeout (seconds)")
+    p_fstatus.add_argument("--json", action="store_true",
+                           help="print the raw JSON document")
+    p_fstatus.set_defaults(func=_cmd_fleet_status)
+
+    p_fquery = fleet_sub.add_parser(
+        "query",
+        help="send one request through the fleet router (same protocol "
+             "as mctop query; the router shards it by content address)",
+    )
+    from repro.service.protocol import VERBS as _VERBS
+
+    p_fquery.add_argument("verb", choices=_VERBS)
+    p_fquery.add_argument("machine", nargs="?",
+                          help="catalog machine (topology verbs)")
+    endpoint(p_fquery)
+    p_fquery.add_argument("--policy", default="CON_HWC")
+    p_fquery.add_argument("--threads", type=int, default=None)
+    p_fquery.add_argument("--sockets", type=int, default=None)
+    p_fquery.add_argument("--timeout", type=float, default=120.0,
+                          help="client-side socket timeout (seconds)")
+    p_fquery.add_argument("--json", action="store_true",
+                          help="print the raw JSON result")
+    p_fquery.add_argument("--format",
+                          choices=("json", "prom", "prometheus"),
+                          default="json",
+                          help="metrics verb only (the router merges "
+                               "JSON metrics fleet-wide)")
+    common(p_fquery)
+    p_fquery.set_defaults(func=_cmd_query)
 
     p_query = sub.add_parser(
         "query",
@@ -793,6 +987,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(e.g. when piping to a file)")
     p_top.add_argument("--timeout", type=float, default=30.0,
                        help="client-side socket timeout (seconds)")
+    p_top.add_argument("--fleet", action="store_true",
+                       help="against a fleet router: add the membership "
+                            "section (polls the fleet verb)")
     p_top.set_defaults(func=_cmd_top)
 
     return parser

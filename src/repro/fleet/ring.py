@@ -1,0 +1,142 @@
+"""Deterministic consistent-hash ring for the mctopd fleet.
+
+The router shards requests by the inference-cache digest (the same
+SHA-256 content address :func:`repro.service.cache.inference_key`
+computes), so the unit of distribution is *one immutable topology*,
+never a client or a connection.  Consistent hashing gives the two
+properties the fleet needs:
+
+* **determinism** — the ring is a pure function of the member-id set:
+  the same members produce the same digest→member assignment in every
+  process, across router restarts, regardless of join order.  No
+  random seeds, no clock, no state files.
+* **minimal remap** — when a member leaves, only the digests that
+  member owned move (to their ring successors); every other digest
+  keeps its owner, so the surviving members' caches stay hot.
+
+Each member is projected onto the ring as ``replicas`` virtual points
+(SHA-256 of ``"member-id#i"``), which evens out the per-member key
+share to roughly ``1/N`` with low variance.  ``preference(digest)``
+returns the owner followed by the ring-adjacent *distinct* successors
+— the order the router fails over in and the order a member asks its
+peers for a cached blob.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+#: Virtual points per member.  256 keeps the per-member share within a
+#: few percent of 1/N for small fleets while the ring stays tiny
+#: (N*256 ints) and rebuilds stay microseconds.
+DEFAULT_REPLICAS = 256
+
+
+def _point(label: str) -> int:
+    """A 64-bit ring position from a stable SHA-256 prefix."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over member ids.
+
+    >>> ring = HashRing(["m0", "m1", "m2"])
+    >>> ring.owner("beef" * 16) in {"m0", "m1", "m2"}
+    True
+
+    Membership changes are modelled by building a new ring from the new
+    member set (:meth:`with_members`); because the ring is a pure
+    function of the set, the rebuild *is* the deterministic remap.
+    """
+
+    def __init__(self, members: "list[str] | tuple[str, ...]",
+                 replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        members = list(members)
+        if len(set(members)) != len(members):
+            dupes = sorted({m for m in members if members.count(m) > 1})
+            raise ValueError(f"duplicate member ids: {', '.join(dupes)}")
+        self.replicas = replicas
+        self.members: tuple[str, ...] = tuple(sorted(members))
+        points: list[tuple[int, str]] = []
+        for member in self.members:
+            for i in range(replicas):
+                points.append((_point(f"{member}#{i}"), member))
+        # Sort by (position, member) so a position collision between two
+        # members still resolves identically everywhere.
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [m for _, m in points]
+
+    # ------------------------------------------------------------- lookup
+    def owner(self, digest: str) -> str:
+        """The member owning ``digest`` (the first point clockwise)."""
+        if not self.members:
+            raise ValueError("ring has no members")
+        idx = bisect.bisect_right(self._points, _point(digest))
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+    def preference(self, digest: str, n: int | None = None) -> list[str]:
+        """Owner first, then the ring-adjacent distinct successors.
+
+        ``n`` caps the list (default: every member).  This is both the
+        router's failover order and a member's peer-ask order, so the
+        whole fleet agrees on who to try next for any digest.
+        """
+        if not self.members:
+            raise ValueError("ring has no members")
+        if n is None:
+            n = len(self.members)
+        idx = bisect.bisect_right(self._points, _point(digest))
+        seen: list[str] = []
+        for step in range(len(self._points)):
+            member = self._owners[(idx + step) % len(self._points)]
+            if member not in seen:
+                seen.append(member)
+                if len(seen) >= n:
+                    break
+        return seen
+
+    # --------------------------------------------------------- membership
+    def with_members(self, members: "list[str] | tuple[str, ...]",
+                     ) -> "HashRing":
+        """A new ring for a new member set (same replica count)."""
+        return HashRing(members, replicas=self.replicas)
+
+    def remap(self, other: "HashRing", digests: "list[str]",
+              ) -> dict[str, tuple[str, str]]:
+        """Which of ``digests`` change owner between ``self`` and
+        ``other`` — ``{digest: (old_owner, new_owner)}``.  Used to
+        report rebalance magnitude in ``fleet.rebalance`` events."""
+        moved: dict[str, tuple[str, str]] = {}
+        for digest in digests:
+            old = self.owner(digest)
+            new = other.owner(digest)
+            if old != new:
+                moved[digest] = (old, new)
+        return moved
+
+    # ------------------------------------------------------------- admin
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.members
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, HashRing)
+                and self.members == other.members
+                and self.replicas == other.replicas)
+
+    def describe(self) -> dict:
+        """A JSON-compatible summary for the ``fleet`` verb."""
+        return {
+            "members": list(self.members),
+            "replicas": self.replicas,
+            "points": len(self._points),
+        }

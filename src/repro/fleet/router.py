@@ -1,0 +1,570 @@
+"""The fleet router: one NDJSON front-end over many ``mctopd``.
+
+Clients speak to the router exactly as they would to a single daemon —
+same protocol, same verbs, same error codes — and the router shards the
+work across the fleet by *content address*: every topology verb's
+params resolve to the same SHA-256 inference digest the members' caches
+are keyed by (:func:`repro.service.cache.inference_key`), and the
+digest's owner on the consistent-hash ring serves the request.  Two
+clients asking for the same uncached topology therefore always land on
+the same member, whose local single-flight runs MCTOP-ALG exactly once
+— single-flight holds fleet-wide without any cross-member locking.
+
+Routing rules:
+
+* ``infer``/``show``/``place``/``pool_switch``/``validate`` — hashed by
+  inference digest onto the ring; failover walks the digest's
+  preference list on *transport* errors only (a member's application
+  error is the answer, not a reason to ask someone else).
+* ``metrics``/``drift`` — fan out to every in-ring member and merge
+  (:mod:`repro.obs.merge`): counters summed, histograms merged,
+  per-machine drift worst-severity.  The merged document keeps the
+  single-daemon shape, so ``mctop top`` renders a fleet unchanged.
+* ``ping``/``fleet`` — answered by the router itself; ``fleet`` is the
+  membership/ring/health status document.
+* anything else — round-robined to a live member (the member answers
+  ``unknown_verb`` itself, so new member verbs work through an old
+  router).
+
+Each forwarded frame is stamped with the router's ``request_id`` as
+``parent_request_id``; the member tags its root span with it and echoes
+it back, so one fleet request reads as one stitched trace.  The
+router's access log carries ``member`` and ``upstream_ms`` per line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ProtocolError, ServiceError
+from repro.fleet.health import HealthManager, probe_member
+from repro.fleet.members import MemberConnection, parse_members, one_shot_request
+from repro.fleet.ring import DEFAULT_REPLICAS
+from repro.obs import Observability
+from repro.obs.events import EventLog
+from repro.obs.merge import (
+    merge_cache_stats,
+    merge_drift_docs,
+    merge_registry_snapshots,
+    merge_trace_summaries,
+)
+from repro.service.accesslog import AccessLog
+from repro.service.cache import inference_key
+from repro.service.context import current_request_id
+from repro.service.handlers import parse_inference_params
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_request,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+
+#: Verbs routed by inference digest (all resolve machine/seed/table).
+DIGEST_VERBS = ("infer", "show", "place", "pool_switch", "validate")
+
+#: Verbs that fan out to every member and merge.
+AGGREGATE_VERBS = ("metrics", "drift")
+
+#: Transport failures that trigger failover to the next ring candidate.
+#: (``TimeoutError`` is an ``OSError`` subclass since 3.10, listed for
+#: clarity; ``asyncio.TimeoutError`` aliases it since 3.11.)
+TRANSPORT_ERRORS = (OSError, asyncio.TimeoutError, ConnectionError)
+
+
+def _new_request_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Everything the fleet router needs to run."""
+
+    unix_path: str | Path | None = None
+    host: str | None = None
+    port: int = 0
+    #: Member endpoints (``[ID=]unix:PATH`` / ``[ID=]tcp:HOST:PORT``).
+    members: tuple[str, ...] = ()
+    #: Per-member round-trip budget for a forwarded request.  Must
+    #: exceed the members' own ``request_timeout`` or slow inferences
+    #: fail over and run twice.
+    request_timeout: float = 120.0
+    max_pending: int = 64
+    drain_timeout: float = 10.0
+    #: Must match the members' ``default_repetitions`` or the router
+    #: hashes a different digest than the member caches under.
+    default_repetitions: int = 75
+    health_interval: float = 5.0
+    probe_timeout: float = 5.0
+    fail_threshold: int = 2
+    replicas: int = DEFAULT_REPLICAS
+    access_log: str | Path | None = None
+    access_log_max_bytes: int = 5_000_000
+    access_log_backups: int = 3
+    event_log: str | Path | None = None
+    event_log_max_bytes: int = 5_000_000
+    event_log_backups: int = 3
+
+
+class FleetRouter:
+    """The server object: ``await start()``, then ``await wait_closed()``."""
+
+    def __init__(self, config: RouterConfig,
+                 obs: Observability | None = None):
+        if config.unix_path is None and config.host is None:
+            raise ServiceError("the fleet router needs a unix socket "
+                               "path, a TCP host, or both")
+        self.config = config
+        self.obs = obs or Observability()
+        self.event_log: EventLog | None = None
+        if config.event_log is not None:
+            self.event_log = EventLog(
+                config.event_log,
+                max_bytes=config.event_log_max_bytes,
+                backups=config.event_log_backups,
+                request_id_provider=current_request_id.get,
+            )
+        self.access_log: AccessLog | None = None
+        if config.access_log is not None:
+            self.access_log = AccessLog(
+                config.access_log,
+                max_bytes=config.access_log_max_bytes,
+                backups=config.access_log_backups,
+            )
+        specs = parse_members(list(config.members))
+        self.health = HealthManager(
+            specs,
+            obs=self.obs,
+            events=self.event_log,
+            interval=config.health_interval,
+            probe_timeout=config.probe_timeout,
+            fail_threshold=config.fail_threshold,
+            replicas=config.replicas,
+            probe=probe_member,
+        )
+        self._servers: list[asyncio.base_events.Server] = []
+        self._connections: set[asyncio.Task] = set()
+        self._inflight = 0
+        self._rr = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Bind the listeners and start the health loop.
+
+        One synchronous health sweep runs first, so the ring is
+        populated (members joined) before the first client request.
+        """
+        await self.health.check_once()
+        self.health.start()
+        cfg = self.config
+        if cfg.unix_path is not None:
+            path = Path(cfg.unix_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if path.is_socket():
+                path.unlink()
+            server = await asyncio.start_unix_server(
+                self._client_connected, path=str(path), limit=MAX_LINE_BYTES
+            )
+            self._servers.append(server)
+        if cfg.host is not None:
+            server = await asyncio.start_server(
+                self._client_connected, host=cfg.host, port=cfg.port,
+                limit=MAX_LINE_BYTES,
+            )
+            self._servers.append(server)
+        self.obs.instant("fleet.router.started",
+                         members=len(self.health.states),
+                         in_ring=len(self.health.ring))
+
+    @property
+    def tcp_port(self) -> int | None:
+        for server in self._servers:
+            for sock in server.sockets:
+                if sock.family.name.startswith("AF_INET"):
+                    return sock.getsockname()[1]
+        return None
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, self.request_shutdown)
+
+    def request_shutdown(self) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        self.obs.instant("fleet.router.drain_begin")
+        for server in self._servers:
+            server.close()
+        asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        for server in self._servers:
+            await server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        while self._inflight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        pending = {t for t in self._connections if not t.done()}
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        await self.health.stop()
+        if self.access_log is not None:
+            self.access_log.close()
+        if self.event_log is not None:
+            self.event_log.emit("fleet.router.drained")
+            self.event_log.close()
+        if self.config.unix_path is not None:
+            path = Path(self.config.unix_path)
+            if path.is_socket():
+                path.unlink()
+        self.obs.instant("fleet.router.drain_end")
+        self._drained.set()
+
+    async def wait_closed(self) -> None:
+        await self._drained.wait()
+
+    # ------------------------------------------------------------ connections
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        self.obs.counter("fleet.connections.accepted").inc()
+        # One upstream connection per (client connection, member), so a
+        # client's ``pool_switch`` session lives on the member exactly
+        # as long as the client holds its connection to the router.
+        pool: dict[str, MemberConnection] = {}
+        try:
+            await self._serve_connection(reader, writer, pool)
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionResetError, BrokenPipeError):
+            self.obs.counter("fleet.connections.reset").inc()
+        finally:
+            self._connections.discard(task)
+            for conn in pool.values():
+                await conn.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        pool: dict,
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                rid = _new_request_id()
+                frame = encode_frame(error_response(
+                    None, "bad_request",
+                    f"request frame exceeds {MAX_LINE_BYTES} bytes",
+                    request_id=rid,
+                ))
+                writer.write(frame)
+                await writer.drain()
+                self._log_access(
+                    {"request_id": rid, "verb": None,
+                     "outcome": "bad_request", "duration_ms": 0.0},
+                    len(frame),
+                )
+                return
+            if not line:
+                return
+            if line.strip() == b"":
+                continue
+            meta: dict = {}
+            response = await self._dispatch(line, pool, meta)
+            frame = encode_frame(response)
+            writer.write(frame)
+            await writer.drain()
+            self._log_access(meta, len(frame))
+
+    def _log_access(self, meta: dict, bytes_out: int) -> None:
+        if self.access_log is None:
+            return
+        self.access_log.write(
+            request_id=meta.get("request_id", ""),
+            verb=meta.get("verb"),
+            outcome=meta.get("outcome", "ok"),
+            duration_ms=meta.get("duration_ms", 0.0),
+            cache=meta.get("cache"),
+            bytes_out=bytes_out,
+            member=meta.get("member"),
+            upstream_ms=meta.get("upstream_ms"),
+        )
+
+    # ------------------------------------------------------------ dispatch
+    async def _dispatch(self, line: bytes, pool: dict,
+                        meta: dict | None = None) -> dict:
+        if meta is None:
+            meta = {}
+        rid = _new_request_id()
+        meta.update({"request_id": rid, "verb": None,
+                     "outcome": "ok", "cache": None,
+                     "member": None, "upstream_ms": None})
+        token = current_request_id.set(rid)
+        start = time.perf_counter()
+        try:
+            return await self._dispatch_traced(line, pool, rid, meta)
+        finally:
+            current_request_id.reset(token)
+            meta["duration_ms"] = (time.perf_counter() - start) * 1e3
+
+    async def _dispatch_traced(self, line: bytes, pool: dict,
+                               rid: str, meta: dict) -> dict:
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            self.obs.counter("fleet.errors.bad_request").inc()
+            meta["outcome"] = "bad_request"
+            return error_response(None, "bad_request", str(exc),
+                                  request_id=rid)
+        verb = request.verb
+        meta["verb"] = verb
+        with self.obs.span("fleet.request", verb=verb, request_id=rid):
+            if verb == "ping":
+                return ok_response(request.id, {
+                    "pong": True,
+                    "protocol": PROTOCOL_VERSION,
+                    "role": "router",
+                    "in_ring": len(self.health.ring),
+                }, request_id=rid)
+            if verb == "fleet":
+                doc = self.health.status_doc()
+                doc["protocol"] = PROTOCOL_VERSION
+                doc["role"] = "router"
+                return ok_response(request.id, doc, request_id=rid)
+            if self._draining:
+                meta["outcome"] = "shutting_down"
+                return error_response(
+                    request.id, "shutting_down",
+                    "the fleet router is draining; no new requests "
+                    "accepted", request_id=rid,
+                )
+            if self._inflight >= self.config.max_pending:
+                self.obs.counter("fleet.errors.backpressure").inc()
+                meta["outcome"] = "backpressure"
+                return error_response(
+                    request.id, "backpressure",
+                    f"router queue full ({self.config.max_pending} in "
+                    f"flight); retry later", request_id=rid,
+                )
+            self._inflight += 1
+            self.obs.counter(f"fleet.requests.{verb}").inc()
+            try:
+                with self.obs.timer(f"fleet.latency.{verb}").time():
+                    if verb in AGGREGATE_VERBS:
+                        result = await self._aggregate(verb, request.params,
+                                                       rid)
+                        return ok_response(request.id, result,
+                                           request_id=rid)
+                    return await self._route(verb, request, pool, rid,
+                                             meta)
+            except ServiceError as exc:
+                self.obs.counter(f"fleet.errors.{exc.code}").inc()
+                meta["outcome"] = exc.code
+                return error_response(request.id, exc.code, str(exc),
+                                      request_id=rid)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # never kill the connection loop
+                self.obs.counter("fleet.errors.internal").inc()
+                meta["outcome"] = "internal"
+                return error_response(
+                    request.id, "internal",
+                    f"{type(exc).__name__}: {exc}", request_id=rid,
+                )
+            finally:
+                self._inflight -= 1
+
+    # ------------------------------------------------------------ routing
+    def _candidates(self, verb: str, params: dict) -> list[str]:
+        """The member ids to try for one request, best first."""
+        ring = self.health.ring
+        if len(ring) == 0:
+            raise ServiceError("no fleet member is routable",
+                               code="unavailable")
+        if verb in DIGEST_VERBS:
+            # Catalog validation stays on the member (the router has no
+            # business rejecting machines a member might know); the
+            # digest only needs the *same* canonicalization.
+            machine, seed, table = parse_inference_params(
+                params, default_repetitions=self.config.default_repetitions
+            )
+            key = inference_key(machine, seed, table)
+            return ring.preference(key)
+        # Stateless / unknown verbs: spread them round-robin, then walk
+        # the ring order for failover.
+        members = list(ring.members)
+        self._rr += 1
+        offset = self._rr % len(members)
+        return members[offset:] + members[:offset]
+
+    async def _route(self, verb: str, request, pool: dict, rid: str,
+                     meta: dict) -> dict:
+        candidates = self._candidates(verb, request.params)
+        last_error = "no candidate tried"
+        for member_id in candidates:
+            state = self.health.states[member_id]
+            conn = pool.get(member_id)
+            if conn is None:
+                conn = pool[member_id] = MemberConnection(state.spec)
+            started = time.perf_counter()
+            try:
+                doc = await conn.request(
+                    verb, request.params, self.config.request_timeout,
+                    parent_request_id=rid,
+                )
+            except TRANSPORT_ERRORS as exc:
+                await conn.close()
+                pool.pop(member_id, None)
+                last_error = f"{member_id}: {type(exc).__name__}: {exc}"
+                self.health.note_forward_failure(member_id, last_error)
+                self.obs.counter("fleet.forward.failovers").inc()
+                continue
+            upstream_ms = (time.perf_counter() - started) * 1e3
+            self.obs.counter(f"fleet.forward.to.{member_id}").inc()
+            return self._stitch(doc, request.id, rid, member_id,
+                                upstream_ms, meta)
+        raise ServiceError(
+            f"every candidate member failed (last: {last_error})",
+            code="unavailable",
+        )
+
+    def _stitch(self, doc: dict, client_id, rid: str, member_id: str,
+                upstream_ms: float, meta: dict) -> dict:
+        """The member's answer under the router's request id."""
+        response = {"id": client_id, "ok": bool(doc.get("ok"))}
+        if "result" in doc:
+            response["result"] = doc["result"]
+        if "error" in doc:
+            response["error"] = doc["error"]
+        response["request_id"] = rid
+        response["upstream"] = {
+            "member": member_id,
+            "request_id": doc.get("request_id"),
+            "ms": round(upstream_ms, 3),
+        }
+        meta["member"] = member_id
+        meta["upstream_ms"] = upstream_ms
+        if not response["ok"]:
+            code = (doc.get("error") or {}).get("code", "internal")
+            meta["outcome"] = code
+            self.obs.counter(f"fleet.upstream_errors.{code}").inc()
+        else:
+            result = doc.get("result")
+            cached = result.get("cached") if isinstance(result, dict) \
+                else None
+            if isinstance(cached, bool):
+                meta["cache"] = "hit" if cached else "miss"
+        return response
+
+    # -------------------------------------------------------- aggregation
+    async def _fan_out(self, verb: str, params: dict, rid: str) -> dict:
+        """``{member_id: result}`` from every in-ring member that
+        answered ``ok``; transport failures are reported to the health
+        manager and skipped."""
+        members = self.health.live_members()
+        if not members:
+            raise ServiceError("no fleet member is routable",
+                               code="unavailable")
+        outcomes = await asyncio.gather(
+            *(one_shot_request(s.spec, verb, params,
+                               self.config.probe_timeout,
+                               parent_request_id=rid)
+              for s in members),
+            return_exceptions=True,
+        )
+        docs: dict[str, dict] = {}
+        for state, outcome in zip(members, outcomes):
+            if isinstance(outcome, BaseException):
+                self.health.note_forward_failure(
+                    state.spec.id,
+                    f"{type(outcome).__name__}: {outcome}",
+                )
+                continue
+            if not outcome.get("ok"):
+                self.obs.counter("fleet.aggregate.member_errors").inc()
+                continue
+            docs[state.spec.id] = outcome.get("result", {})
+        if not docs:
+            raise ServiceError(
+                f"no fleet member answered {verb}", code="unavailable"
+            )
+        return docs
+
+    async def _aggregate(self, verb: str, params: dict, rid: str) -> dict:
+        if verb == "metrics":
+            fmt = params.get("format", "json")
+            if fmt != "json":
+                raise ServiceError(
+                    "fleet metrics supports only the JSON format "
+                    "(scrape the members' /metrics individually for "
+                    "Prometheus text)", code="invalid_params",
+                )
+            docs = await self._fan_out("metrics", {}, rid)
+            values = list(docs.values())
+            return {
+                "protocol": PROTOCOL_VERSION,
+                "registry": merge_registry_snapshots(
+                    [d.get("registry", {}) for d in values]
+                ),
+                "trace": merge_trace_summaries(
+                    [d.get("trace", {}) for d in values]
+                ),
+                "cache": merge_cache_stats(
+                    [d.get("cache", {}) for d in values]
+                ),
+                "inflight_inferences": sorted({
+                    key for d in values
+                    for key in d.get("inflight_inferences", [])
+                }),
+                "fleet": {
+                    "responding": sorted(docs),
+                    "in_ring": len(self.health.ring),
+                    "total": len(self.health.states),
+                },
+            }
+        assert verb == "drift", verb
+        fan_params = {}
+        machine = params.get("machine")
+        if machine is not None:
+            fan_params["machine"] = machine
+        docs = await self._fan_out("drift", fan_params, rid)
+        merged = merge_drift_docs(docs)
+        merged["protocol"] = PROTOCOL_VERSION
+        return merged
+
+
+def run_router(config: RouterConfig,
+               obs: Observability | None = None,
+               ready_callback=None) -> int:
+    """Blocking entry point used by ``mctop fleet serve``."""
+
+    async def _main() -> None:
+        router = FleetRouter(config, obs=obs)
+        await router.start()
+        router.install_signal_handlers()
+        if ready_callback is not None:
+            ready_callback(router)
+        await router.wait_closed()
+
+    asyncio.run(_main())
+    return 0

@@ -1,0 +1,153 @@
+"""``mctop fleet serve`` — run a whole fleet (or just its router).
+
+Two shapes:
+
+* **in-process fleet** (``--members N``): N member daemons and the
+  router share one event loop, each member on its own Unix socket and
+  its own cache store under ``state_dir``, peered with the others for
+  ``cache_fetch``.  One process, one SIGTERM, a whole fleet — the
+  quick-start and test shape.
+* **external members** (``--member ENDPOINT`` ...): the router fronts
+  already-running ``mctopd`` processes (started with ``mctop serve
+  --member-id ... --peer ...``).  This is the production shape, and the
+  one the CI smoke test uses so it can kill a member mid-stream.
+
+Both can be combined; spawned members and external members join the
+same ring.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ServiceError
+from repro.fleet.router import FleetRouter, RouterConfig
+from repro.obs import Observability
+from repro.service.daemon import MctopDaemon, ServeConfig
+
+
+@dataclass(frozen=True)
+class FleetServeConfig:
+    """Everything ``mctop fleet serve`` needs."""
+
+    #: Sockets, per-member stores and logs live under here.
+    state_dir: str | Path = "mctop-fleet"
+    #: Spawn this many in-process members (``m0`` ... ``mN-1``).
+    n_members: int = 0
+    #: External member endpoints to front as well.
+    members: tuple[str, ...] = ()
+    #: Router listeners.
+    unix_path: str | Path | None = None
+    host: str | None = None
+    port: int = 0
+    #: Forwarded-request budget; see :class:`RouterConfig`.
+    request_timeout: float = 120.0
+    max_pending: int = 64
+    drain_timeout: float = 10.0
+    default_repetitions: int = 75
+    health_interval: float = 5.0
+    probe_timeout: float = 5.0
+    fail_threshold: int = 2
+    #: Router logs (members get their own under ``state_dir``).
+    access_log: str | Path | None = None
+    event_log: str | Path | None = None
+    #: Spawned members' knobs.
+    member_request_timeout: float = 60.0
+    member_max_pending: int = 64
+    member_cache_entries: int = 32
+
+
+def _member_configs(config: FleetServeConfig) -> "list[ServeConfig]":
+    """Spawned members: socket, store and event log per member, each
+    peered with every other member (spawned *and* external)."""
+    state = Path(config.state_dir)
+    endpoints = {
+        f"m{i}": f"unix:{state / 'members' / f'm{i}.sock'}"
+        for i in range(config.n_members)
+    }
+    configs = []
+    for member_id, endpoint in endpoints.items():
+        member_dir = state / "members" / member_id
+        peers = tuple(
+            f"{other}={ep}" for other, ep in endpoints.items()
+            if other != member_id
+        ) + tuple(config.members)
+        configs.append(ServeConfig(
+            unix_path=endpoint[len("unix:"):],
+            store_dir=member_dir / "store",
+            max_memory_entries=config.member_cache_entries,
+            default_repetitions=config.default_repetitions,
+            request_timeout=config.member_request_timeout,
+            max_pending=config.member_max_pending,
+            drain_timeout=config.drain_timeout,
+            event_log=member_dir / "events.ndjson",
+            member_id=member_id,
+            peers=peers,
+        ))
+    return configs
+
+
+def build_router_config(config: FleetServeConfig,
+                        spawned: "list[ServeConfig]") -> RouterConfig:
+    member_endpoints = tuple(
+        f"{c.member_id}=unix:{c.unix_path}" for c in spawned
+    ) + tuple(config.members)
+    if not member_endpoints:
+        raise ServiceError(
+            "a fleet needs --members N and/or --member ENDPOINT",
+            code="invalid_params",
+        )
+    return RouterConfig(
+        unix_path=config.unix_path,
+        host=config.host,
+        port=config.port,
+        members=member_endpoints,
+        request_timeout=config.request_timeout,
+        max_pending=config.max_pending,
+        drain_timeout=config.drain_timeout,
+        default_repetitions=config.default_repetitions,
+        health_interval=config.health_interval,
+        probe_timeout=config.probe_timeout,
+        fail_threshold=config.fail_threshold,
+        access_log=config.access_log,
+        event_log=config.event_log,
+    )
+
+
+def run_fleet(config: FleetServeConfig,
+              obs: Observability | None = None,
+              ready_callback=None) -> int:
+    """Blocking entry point: members first, then the router, then
+    drain everything on SIGTERM/SIGINT (router first, so no new work
+    reaches a member that is already draining)."""
+
+    async def _main() -> None:
+        daemons = [MctopDaemon(c) for c in _member_configs(config)]
+        for daemon in daemons:
+            await daemon.start()
+        router = FleetRouter(
+            build_router_config(config, [d.config for d in daemons]),
+            obs=obs,
+        )
+        await router.start()
+
+        def shutdown_all() -> None:
+            router.request_shutdown()
+            for daemon in daemons:
+                daemon.request_shutdown()
+
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, shutdown_all)
+        if ready_callback is not None:
+            ready_callback(router, daemons)
+        await router.wait_closed()
+        for daemon in daemons:
+            daemon.request_shutdown()
+            await daemon.wait_closed()
+
+    asyncio.run(_main())
+    return 0

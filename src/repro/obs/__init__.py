@@ -25,6 +25,12 @@ from repro.obs.diff import (
     compare_mctops,
 )
 from repro.obs.events import EventLog, RotatingNdjsonWriter
+from repro.obs.merge import (
+    merge_cache_stats,
+    merge_drift_docs,
+    merge_registry_snapshots,
+    merge_trace_summaries,
+)
 from repro.obs.export import (
     render_report,
     to_chrome_trace,

@@ -24,7 +24,11 @@ Two classes:
 Event kinds are free-form dotted names; the ones ``mctopd`` emits are
 catalogued in ``docs/OBSERVABILITY.md`` (``drift.check``,
 ``drift.transition``, ``drift.baseline``, ``cache.eviction``,
-``watcher.error``).
+``watcher.error``).  The fleet layer adds ``fleet.member_join``,
+``fleet.member_eject`` and ``fleet.rebalance`` (router-side, emitted
+exactly once per membership transition) and ``fleet.peer_hit``
+(member-side, one per topology served from a peer's cache instead of
+an MCTOP-ALG run).
 """
 
 from __future__ import annotations

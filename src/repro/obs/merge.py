@@ -1,0 +1,199 @@
+"""Merging observability documents across fleet members.
+
+The fleet router's ``metrics`` and ``drift`` verbs fan out to every
+live member and answer with *one* document in the same shape a single
+daemon produces, so every existing consumer — ``mctop top``, the
+Prometheus renderer, the bench gate — works unchanged against a fleet.
+
+Merge semantics per instrument kind:
+
+* **counter** — summed.  ``service.inference.runs`` across the fleet is
+  the fleet-wide MCTOP-ALG run count, which is exactly what the
+  single-flight acceptance check reads.
+* **gauge** — summed by default (queue depths, open connections and
+  cache entries add up); gauges whose name carries a rank or timestamp
+  semantic (``.severity.`` in the name, or a ``_ts`` / ``.last_check_ts``
+  suffix) take the **max**, because "worst" and "most recent" are the
+  meaningful fleet aggregates.
+* **histogram / timer** — count/total summed, min of mins, max of
+  maxes; the standard deviation is recombined exactly through the sum
+  of squares (recovered from each member's count/mean/stdev); bucket
+  counts are summed per bound; the p50/p95/p99 estimates take the max
+  across members — a deliberately conservative fleet quantile (no
+  member's tail is hidden by another's fast traffic).
+
+Drift documents merge per machine: when two members watch the same
+machine, the worst severity wins and the report notes which member it
+came from.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.diff import severity_rank
+
+#: Gauge-name fragments that switch the merge rule from sum to max.
+_MAX_GAUGE_MARKERS = (".severity.",)
+_MAX_GAUGE_SUFFIXES = ("_ts", ".last_check_ts")
+
+
+def _rank(severity: object) -> int:
+    """severity_rank that tolerates ``"unknown"``/missing values (-1)."""
+    try:
+        return severity_rank(severity)
+    except (ValueError, TypeError):
+        return -1
+
+
+def _gauge_takes_max(name: str) -> bool:
+    return any(m in name for m in _MAX_GAUGE_MARKERS) or \
+        any(name.endswith(s) for s in _MAX_GAUGE_SUFFIXES)
+
+
+def _merge_gauge(name: str, snaps: "list[dict]") -> dict:
+    values = [s.get("value") for s in snaps if s.get("value") is not None]
+    if not values:
+        return {"kind": "gauge", "value": None}
+    value = max(values) if _gauge_takes_max(name) else sum(values)
+    return {"kind": "gauge", "value": value}
+
+
+def _merge_counter(snaps: "list[dict]") -> dict:
+    return {"kind": "counter",
+            "value": sum(s.get("value") or 0 for s in snaps)}
+
+
+def _sumsq(snap: dict) -> float:
+    """Recover a member's sum of squares from count/mean/stdev."""
+    count = snap.get("count") or 0
+    mean = snap.get("mean") or 0.0
+    stdev = snap.get("stdev") or 0.0
+    return count * (stdev * stdev + mean * mean)
+
+
+def _merge_histogram(kind: str, snaps: "list[dict]") -> dict:
+    snaps = [s for s in snaps if s.get("count")]
+    if not snaps:
+        return {"kind": kind, "count": 0, "total": 0.0, "min": None,
+                "max": None, "mean": 0.0, "stdev": 0.0,
+                "p50": None, "p95": None, "p99": None, "buckets": []}
+    count = sum(s["count"] for s in snaps)
+    total = sum(s.get("total") or 0.0 for s in snaps)
+    sumsq = sum(_sumsq(s) for s in snaps)
+    mean = total / count if count else 0.0
+    var = sumsq / count - mean * mean if count else 0.0
+    merged: dict = {
+        "kind": kind,
+        "count": count,
+        "total": total,
+        "min": min(s["min"] for s in snaps if s.get("min") is not None),
+        "max": max(s["max"] for s in snaps if s.get("max") is not None),
+        "mean": mean,
+        "stdev": math.sqrt(max(var, 0.0)),
+    }
+    for q in ("p50", "p95", "p99"):
+        values = [s.get(q) for s in snaps if s.get(q) is not None]
+        merged[q] = max(values) if values else None
+    buckets: dict[object, int] = {}
+    order: list[object] = []
+    for snap in snaps:
+        for le, n in snap.get("buckets") or []:
+            if le not in buckets:
+                buckets[le] = 0
+                order.append(le)
+            buckets[le] += n
+    merged["buckets"] = [[le, buckets[le]] for le in order]
+    return merged
+
+
+def merge_registry_snapshots(snapshots: "list[dict]") -> dict:
+    """Merge :meth:`~repro.obs.registry.Registry.snapshot` documents.
+
+    Instruments missing from some members merge over the members that
+    have them; a name registered with different kinds on different
+    members keeps the majority kind and skips the others (defensive —
+    it cannot happen inside one fleet version).
+    """
+    names: list[str] = []
+    seen: set[str] = set()
+    for snapshot in snapshots:
+        for name in snapshot:
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    merged: dict[str, dict] = {}
+    for name in sorted(names):
+        snaps = [s[name] for s in snapshots if name in s]
+        kinds = [s.get("kind") for s in snaps]
+        kind = max(set(kinds), key=kinds.count)
+        snaps = [s for s in snaps if s.get("kind") == kind]
+        if kind == "counter":
+            merged[name] = _merge_counter(snaps)
+        elif kind == "gauge":
+            merged[name] = _merge_gauge(name, snaps)
+        elif kind in ("histogram", "timer"):
+            merged[name] = _merge_histogram(kind, snaps)
+        else:  # unknown future kind: keep the first member's view
+            merged[name] = snaps[0]
+    return merged
+
+
+def merge_trace_summaries(summaries: "list[dict]") -> dict:
+    """Sum the tracer health counts across members."""
+    keys = ("finished_spans", "instants", "dropped", "dropped_spans")
+    return {k: sum(int(s.get(k) or 0) for s in summaries) for k in keys}
+
+
+def merge_cache_stats(stats: "list[dict]") -> dict:
+    """Sum the numeric cache stats; ``store_dir`` becomes the list of
+    distinct member stores (or ``None`` when no member has one)."""
+    merged: dict = {}
+    for key in ("memory_entries", "max_memory_entries", "hits_memory",
+                "hits_disk", "misses", "evictions"):
+        merged[key] = sum(int(s.get(key) or 0) for s in stats)
+    dirs = sorted({s["store_dir"] for s in stats if s.get("store_dir")})
+    merged["store_dir"] = dirs or None
+    return merged
+
+
+def merge_drift_docs(docs: "dict[str, dict]") -> dict:
+    """Merge per-member ``drift`` verb documents (``{member: doc}``).
+
+    Per machine the *worst* severity wins and the merged state records
+    the member it came from; ``worst_severity``/``degraded`` cover the
+    whole fleet.  Members running without a watcher contribute nothing
+    but are listed, so a dashboard can tell "no watcher" from "ok".
+    """
+    machines: dict[str, dict] = {}
+    members: dict[str, dict] = {}
+    enabled = False
+    for member_id, doc in sorted(docs.items()):
+        member_enabled = bool(doc.get("enabled"))
+        members[member_id] = {
+            "enabled": member_enabled,
+            "worst_severity": doc.get("worst_severity") if member_enabled
+            else None,
+        }
+        if not member_enabled:
+            continue
+        enabled = True
+        for name, state in (doc.get("machines") or {}).items():
+            state = dict(state)
+            state["member"] = member_id
+            current = machines.get(name)
+            if current is None or _rank(state.get("severity", "ok")) > \
+                    _rank(current.get("severity", "ok")):
+                machines[name] = state
+    worst = "ok"
+    for state in machines.values():
+        severity = state.get("severity", "ok")
+        if _rank(severity) > _rank(worst):
+            worst = severity
+    return {
+        "enabled": enabled,
+        "worst_severity": worst,
+        "degraded": worst == "critical",
+        "machines": machines,
+        "members": members,
+    }

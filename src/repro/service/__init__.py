@@ -17,7 +17,13 @@ from repro.service.cache import InferenceCache, SingleFlight, inference_key
 from repro.service.client import MctopClient
 from repro.service.daemon import MctopDaemon, ServeConfig, run_daemon
 from repro.service.drift import DriftWatcher
-from repro.service.handlers import Handlers, Session
+from repro.service.handlers import (
+    Handlers,
+    Session,
+    decode_mctop_blob,
+    encode_mctop_blob,
+    parse_inference_params,
+)
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -43,11 +49,14 @@ __all__ = [
     "Session",
     "SingleFlight",
     "VERBS",
+    "decode_mctop_blob",
     "decode_request",
     "decode_response",
     "encode_frame",
+    "encode_mctop_blob",
     "error_response",
     "inference_key",
     "ok_response",
+    "parse_inference_params",
     "run_daemon",
 ]

@@ -14,7 +14,11 @@ Line schema (all keys always present)::
      "outcome": "ok",             # "ok" or the wire error code
      "duration_ms": 12.5,
      "cache": "hit",              # "hit" | "miss" | null (non-topology)
-     "bytes_out": 4096}           # encoded response frame size
+     "bytes_out": 4096,           # encoded response frame size
+     "member": null,              # fleet member the request was proxied
+                                  # to ("m0"), null when served locally
+     "upstream_ms": null}         # time spent inside that member's
+                                  # round-trip; null when served locally
 
 Rotation, per-line flushing and the close-time flush-and-fsync are the
 shared :class:`~repro.obs.events.RotatingNdjsonWriter` machinery (the
@@ -53,6 +57,8 @@ class AccessLog:
         cache: str | None = None,
         bytes_out: int = 0,
         ts: float | None = None,
+        member: str | None = None,
+        upstream_ms: float | None = None,
     ) -> None:
         self._writer.write_record({
             "ts": round(time.time() if ts is None else ts, 3),
@@ -62,6 +68,9 @@ class AccessLog:
             "duration_ms": round(duration_ms, 3),
             "cache": cache,
             "bytes_out": bytes_out,
+            "member": member,
+            "upstream_ms": (None if upstream_ms is None
+                            else round(upstream_ms, 3)),
         })
 
     # ------------------------------------------------------------ admin

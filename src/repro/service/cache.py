@@ -86,12 +86,18 @@ class InferenceCache:
             return None
         return self.store_dir / f"{key}.mct.gz"
 
-    def get(self, key: str) -> Mctop | None:
-        """Memory first, then disk (promoting a disk hit to memory)."""
+    def get(self, key: str, record: bool = True) -> Mctop | None:
+        """Memory first, then disk (promoting a disk hit to memory).
+
+        ``record=False`` skips the hit/miss counters — used by the
+        fleet ``cache_fetch`` verb, whose peer probes are not client
+        traffic and must not skew the cache-hit ratio.
+        """
         mctop = self._memory.get(key)
         if mctop is not None:
             self._memory.move_to_end(key)
-            self.obs.counter("service.cache.hits.memory").inc()
+            if record:
+                self.obs.counter("service.cache.hits.memory").inc()
             return mctop
         path = self._disk_path(key)
         if path is not None and path.is_file():
@@ -102,10 +108,12 @@ class InferenceCache:
                 # the fresh result will overwrite it.
                 self.obs.counter("service.cache.disk_corrupt").inc()
             else:
-                self.obs.counter("service.cache.hits.disk").inc()
+                if record:
+                    self.obs.counter("service.cache.hits.disk").inc()
                 self._insert_memory(key, mctop)
                 return mctop
-        self.obs.counter("service.cache.misses").inc()
+        if record:
+            self.obs.counter("service.cache.misses").inc()
         return None
 
     def put(self, key: str, mctop: Mctop) -> None:

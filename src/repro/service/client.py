@@ -11,12 +11,18 @@ pool), so one :class:`MctopClient` == one session::
         c.pool_switch("ivy", policy="RR_CORE", seed=1)
 
 Errors come back as :class:`~repro.errors.ServiceError` with the wire
-``code`` attached.
+``code`` attached.  Transport failures (refused connect, reset socket,
+server gone mid-read) carry ``code="unavailable"``; with ``retries=N``
+the client absorbs up to N such failures — and ``backpressure``
+rejections — itself, sleeping an exponentially growing, jittered
+backoff between attempts.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from pathlib import Path
 
 from repro.errors import ProtocolError, ServiceError
@@ -30,21 +36,41 @@ from repro.service.protocol import (
 class MctopClient:
     """One blocking NDJSON session against a running ``mctopd``."""
 
+    #: Error codes worth a retry: the server was never reached (or went
+    #: away before answering), or it explicitly said "try again later".
+    RETRYABLE_CODES = ("unavailable", "backpressure")
+
     def __init__(
         self,
         unix_path: str | Path | None = None,
         host: str | None = None,
         port: int | None = None,
         timeout: float = 120.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        _sleep=time.sleep,
     ):
         if unix_path is None and host is None:
             raise ServiceError(
                 "MctopClient needs a unix socket path or a TCP host"
             )
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
         self.unix_path = str(unix_path) if unix_path is not None else None
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Extra attempts after the first, spent only on
+        #: :data:`RETRYABLE_CODES` failures; anything else (bad params,
+        #: timeouts, server bugs) surfaces immediately.
+        self.retries = retries
+        #: Base delay of the exponential backoff (seconds).  Attempt k
+        #: sleeps ``backoff * 2**k``, jittered ±50% so a herd of
+        #: retrying clients does not re-stampede the daemon in phase.
+        self.backoff = backoff
+        self._sleep = _sleep
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
@@ -54,6 +80,11 @@ class MctopClient:
         #: reporting a slow or failed request — the same id names the
         #: request's root span and its access-log line on the server.
         self.last_request_id: str | None = None
+        #: When talking to a fleet router: the ``upstream`` stanza of
+        #: the most recent response (``{"member", "request_id", "ms"}``)
+        #: — which member served it and how long its round-trip took.
+        #: ``None`` against a plain daemon.
+        self.last_upstream: dict | None = None
 
     # ------------------------------------------------------------ plumbing
     def connect(self) -> "MctopClient":
@@ -72,7 +103,7 @@ class MctopClient:
             raise ServiceError(
                 f"cannot connect to mctopd at "
                 f"{self.unix_path or f'{self.host}:{self.port}'}: {exc}",
-                code="internal",
+                code="unavailable",
             ) from exc
         self._sock = sock
         self._file = sock.makefile("rb")
@@ -97,8 +128,25 @@ class MctopClient:
         """Send one request, block for its response, return the result.
 
         Raises :class:`ServiceError` (with ``.code``) on error
-        responses, :class:`ProtocolError` on framing violations.
+        responses, :class:`ProtocolError` on framing violations.  With
+        ``retries > 0``, :data:`RETRYABLE_CODES` failures are retried
+        with exponential backoff before surfacing.
         """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(verb, params)
+            except ServiceError as exc:
+                if exc.code not in self.RETRYABLE_CODES or \
+                        attempt >= self.retries:
+                    raise
+            delay = self.backoff * (2 ** attempt)
+            if delay > 0:
+                # Full ±50% jitter so retrying clients desynchronize.
+                self._sleep(delay * random.uniform(0.5, 1.5))
+            attempt += 1
+
+    def _request_once(self, verb: str, params: dict) -> dict:
         self.connect()
         self._next_id += 1
         request_id = self._next_id
@@ -110,15 +158,18 @@ class MctopClient:
             line = self._file.readline(MAX_LINE_BYTES + 1)
         except OSError as exc:
             self.close()
-            raise ServiceError(f"mctopd connection failed: {exc}") from exc
+            raise ServiceError(f"mctopd connection failed: {exc}",
+                               code="unavailable") from exc
         if not line:
             self.close()
-            raise ServiceError("mctopd closed the connection")
+            raise ServiceError("mctopd closed the connection",
+                               code="unavailable")
         if len(line) > MAX_LINE_BYTES:
             self.close()
             raise ProtocolError("response frame exceeds the protocol limit")
         doc = decode_response(line)
         self.last_request_id = doc.get("request_id")
+        self.last_upstream = doc.get("upstream")
         if doc.get("id") not in (None, request_id):
             raise ProtocolError(
                 f"response id {doc.get('id')!r} does not match "

@@ -93,6 +93,16 @@ class ServeConfig:
     watch_machines: tuple[str, ...] = ()
     watch_repetitions: int = 15
     watch_seed: int = 0
+    #: Fleet identity + cache peering.  ``member_id`` names this daemon
+    #: on the fleet's consistent-hash ring; ``peers`` lists the other
+    #: members' endpoints (``[ID=]unix:PATH`` / ``[ID=]tcp:HOST:PORT``)
+    #: this daemon may ask for a cached ``.mct.gz`` blob (via the
+    #: ``cache_fetch`` verb) before running MCTOP-ALG on a local miss.
+    member_id: str | None = None
+    peers: tuple[str, ...] = ()
+    peer_timeout: float = 5.0
+    #: How many ring-adjacent peers to ask per miss.
+    peer_fanout: int = 2
     #: Enable the hidden ``_sleep`` verb (tests only).
     debug_verbs: bool = False
 
@@ -133,12 +143,22 @@ class MctopDaemon:
                 ),
                 events=self.event_log,
             )
+        peer_specs: tuple = ()
+        if config.peers:
+            from repro.fleet.members import parse_members
+
+            peer_specs = tuple(parse_members(list(config.peers)))
         self.handlers = Handlers(
             self.cache,
             self.obs,
             default_repetitions=config.default_repetitions,
             debug_verbs=config.debug_verbs,
             watcher=self.watcher,
+            member_id=config.member_id,
+            peers=peer_specs,
+            peer_timeout=config.peer_timeout,
+            peer_fanout=config.peer_fanout,
+            events=self.event_log,
         )
         self._servers: list[asyncio.base_events.Server] = []
         # The metrics HTTP listener lives outside self._servers so the
@@ -368,7 +388,14 @@ class MctopDaemon:
         token = current_request_id.set(rid)
         start = time.perf_counter()
         try:
-            return await self._dispatch_traced(line, session, rid, meta)
+            response = await self._dispatch_traced(line, session, rid, meta)
+            # Echo a proxy's stitched id so the hop is traceable from
+            # the response alone (the router's id ties the member's
+            # spans/events back to the fleet-wide request).
+            parent = meta.get("parent_request_id")
+            if parent is not None:
+                response["parent_request_id"] = parent
+            return response
         finally:
             current_request_id.reset(token)
             meta["duration_ms"] = (time.perf_counter() - start) * 1e3
@@ -391,7 +418,11 @@ class MctopDaemon:
 
         verb = request.verb
         meta["verb"] = verb
-        with self.obs.span("service.request", verb=verb, request_id=rid):
+        span_args = {"verb": verb, "request_id": rid}
+        if request.parent_request_id is not None:
+            meta["parent_request_id"] = request.parent_request_id
+            span_args["parent_request_id"] = request.parent_request_id
+        with self.obs.span("service.request", **span_args):
             handler = self._resolve_verb(verb)
             if handler is None:
                 self.obs.counter("service.errors.unknown_verb").inc()

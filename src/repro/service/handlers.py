@@ -16,6 +16,10 @@ owns its pool and switches policy between parallel regions.
 from __future__ import annotations
 
 import asyncio
+import base64
+import binascii
+import gzip
+import json
 
 from repro.core.algorithm import (
     InferenceConfig,
@@ -24,20 +28,94 @@ from repro.core.algorithm import (
 )
 from repro.core.algorithm.validation import compare_with_os
 from repro.core.mctop import Mctop
-from repro.core.serialize import mctop_to_dict
-from repro.errors import ConfigError, MctopError, ServiceError
+from repro.core.serialize import mctop_from_dict, mctop_to_dict
+from repro.errors import (
+    ConfigError,
+    MctopError,
+    SerializationError,
+    ServiceError,
+)
 from repro.hardware import get_machine, machine_names
 from repro.hardware.os_view import read_os_topology
 from repro.obs import Observability
 from repro.place import PlacementPool
 from repro.place.policies import ALL_POLICIES, Policy
 from repro.service.cache import InferenceCache, SingleFlight, inference_key
+from repro.service.client import MctopClient
 from repro.service.context import current_request_id
 from repro.service.protocol import PROTOCOL_VERSION
 
 
 def _invalid(message: str) -> ServiceError:
     return ServiceError(message, code="invalid_params")
+
+
+def parse_inference_params(
+    params: dict,
+    default_repetitions: int = 75,
+    known_machines: "tuple[str, ...] | None" = None,
+) -> tuple[str, int, LatencyTableConfig]:
+    """Validate the shared topology-request params into
+    ``(machine, seed, table)`` — exactly the triple
+    :func:`~repro.service.cache.inference_key` digests.
+
+    One implementation serves both the member daemon (which also
+    checks ``known_machines``) and the fleet router (which only needs
+    the digest and leaves catalog validation to the owning member, so
+    heterogeneous member catalogs keep working).
+    """
+    machine = params.get("machine")
+    if not isinstance(machine, str) or not machine:
+        raise _invalid("'machine' must be a string")
+    if known_machines is not None and machine not in known_machines:
+        raise _invalid(
+            f"unknown machine {machine!r} "
+            f"(known: {', '.join(known_machines)})"
+        )
+    seed = _get_int(params, "seed", 0)
+    # Measurement knobs arrive either as a full 'table' config dict
+    # (the LatencyTableConfig.to_dict shape) or as the 'repetitions'
+    # / 'jobs' shortcuts, which override individual table entries.
+    table_doc = params.get("table")
+    if table_doc is not None and not isinstance(table_doc, dict):
+        raise _invalid("'table' must be a config object")
+    doc = dict(table_doc) if table_doc else {}
+    repetitions = _get_int(params, "repetitions", None)
+    if repetitions is not None:
+        doc["repetitions"] = repetitions
+    doc.setdefault("repetitions", default_repetitions)
+    reps = doc["repetitions"]
+    if isinstance(reps, bool) or not isinstance(reps, int) or reps < 1:
+        raise _invalid("'repetitions' must be an integer >= 1")
+    jobs = _get_int(params, "jobs", None)
+    if jobs is not None:
+        doc["jobs"] = jobs
+    try:
+        table = LatencyTableConfig.from_dict(doc)
+    except ConfigError as exc:
+        raise _invalid(str(exc)) from exc
+    return machine, seed, table
+
+
+def encode_mctop_blob(mctop: Mctop) -> str:
+    """A topology as a transferable ``.mct.gz`` blob: gzip over the
+    canonical serialized JSON, base64'd for the NDJSON frame.  What one
+    fleet member ships another on a ``cache_fetch`` hit."""
+    doc = json.dumps(mctop_to_dict(mctop), sort_keys=True,
+                     separators=(",", ":")).encode("utf-8")
+    # mtime=0 keeps the gzip container deterministic, so the same
+    # topology is the same blob on every member.
+    return base64.b64encode(gzip.compress(doc, mtime=0)).decode("ascii")
+
+
+def decode_mctop_blob(blob: str) -> Mctop:
+    """Inverse of :func:`encode_mctop_blob` (raises
+    :class:`SerializationError` on a corrupt blob)."""
+    try:
+        doc = json.loads(gzip.decompress(base64.b64decode(blob)))
+        return mctop_from_dict(doc)
+    except (binascii.Error, OSError, ValueError, KeyError, TypeError) as exc:
+        raise SerializationError(f"corrupt topology blob: {exc}") from exc
 
 
 def prometheus_text(obs: Observability,
@@ -95,6 +173,11 @@ class Handlers:
         default_repetitions: int = 75,
         debug_verbs: bool = False,
         watcher: "DriftWatcher | None" = None,
+        member_id: str | None = None,
+        peers: tuple = (),
+        peer_timeout: float = 5.0,
+        peer_fanout: int = 2,
+        events=None,
     ):
         self.cache = cache
         self.obs = obs
@@ -102,49 +185,84 @@ class Handlers:
         self.default_repetitions = default_repetitions
         self.debug_verbs = debug_verbs
         self.singleflight = SingleFlight(obs=obs)
+        #: Cache peering: the other fleet members this daemon may ask
+        #: for a cached topology blob before running MCTOP-ALG itself
+        #: (parsed :class:`~repro.fleet.members.MemberSpec` objects).
+        self.member_id = member_id
+        self.peers = tuple(peers)
+        self.peer_timeout = peer_timeout
+        self.peer_fanout = peer_fanout
+        self.events = events
 
     # ------------------------------------------------------ topology plumbing
     def _inference_params(
         self, params: dict
     ) -> tuple[str, int, LatencyTableConfig]:
-        machine = params.get("machine")
-        if not isinstance(machine, str):
-            raise _invalid("'machine' must be a string")
-        if machine not in machine_names():
-            raise _invalid(
-                f"unknown machine {machine!r} "
-                f"(known: {', '.join(machine_names())})"
-            )
-        seed = _get_int(params, "seed", 0)
-        # Measurement knobs arrive either as a full 'table' config dict
-        # (the LatencyTableConfig.to_dict shape) or as the 'repetitions'
-        # / 'jobs' shortcuts, which override individual table entries.
-        table_doc = params.get("table")
-        if table_doc is not None and not isinstance(table_doc, dict):
-            raise _invalid("'table' must be a config object")
-        doc = dict(table_doc) if table_doc else {}
-        repetitions = _get_int(params, "repetitions", None)
-        if repetitions is not None:
-            doc["repetitions"] = repetitions
-        doc.setdefault("repetitions", self.default_repetitions)
-        reps = doc["repetitions"]
-        if isinstance(reps, bool) or not isinstance(reps, int) or reps < 1:
-            raise _invalid("'repetitions' must be an integer >= 1")
-        jobs = _get_int(params, "jobs", None)
-        if jobs is not None:
-            doc["jobs"] = jobs
-        try:
-            table = LatencyTableConfig.from_dict(doc)
-        except ConfigError as exc:
-            raise _invalid(str(exc)) from exc
-        return machine, seed, table
+        return parse_inference_params(
+            params,
+            default_repetitions=self.default_repetitions,
+            known_machines=machine_names(),
+        )
+
+    def _peer_order(self, key: str) -> list:
+        """Ring-adjacent peers to ask for ``key``, nearest first.
+
+        The ring spans this member plus its peers, so every member
+        computes the same owner/successor order for a digest and a
+        blob is found in at most one or two hops.
+        """
+        if not self.peers:
+            return []
+        from repro.fleet.ring import HashRing  # local: avoid package cycle
+
+        by_id = {spec.id: spec for spec in self.peers}
+        ids = sorted(by_id)
+        if self.member_id is not None and self.member_id not in ids:
+            ids.append(self.member_id)
+        ring = HashRing(ids)
+        order = [m for m in ring.preference(key) if m != self.member_id]
+        return [by_id[m] for m in order[:max(self.peer_fanout, 1)]]
+
+    def _peer_fetch_sync(self, key: str) -> Mctop | None:
+        """Ask ring-adjacent peers for a cached blob (worker thread).
+
+        Any peer failure is a miss, never an error: peering is an
+        optimization on the miss path, and the local MCTOP-ALG run is
+        always a correct fallback.
+        """
+        for spec in self._peer_order(key):
+            self.obs.counter("service.cache.peer_queries").inc()
+            try:
+                with MctopClient(unix_path=spec.unix_path, host=spec.host,
+                                 port=spec.port,
+                                 timeout=self.peer_timeout) as client:
+                    result = client.request("cache_fetch", key=key)
+            except (ServiceError, OSError) as exc:
+                self.obs.counter("service.cache.peer_errors").inc()
+                self.obs.instant("service.peer_fetch.error",
+                                 peer=spec.id, key=key[:12],
+                                 error=f"{type(exc).__name__}: {exc}")
+                continue
+            if not result.get("found"):
+                continue
+            try:
+                mctop = decode_mctop_blob(result.get("blob", ""))
+            except SerializationError:
+                self.obs.counter("service.cache.peer_errors").inc()
+                continue
+            self.obs.counter("service.cache.peer_hits").inc()
+            if self.events is not None:
+                self.events.emit("fleet.peer_hit", key=key, peer=spec.id,
+                                 member=self.member_id)
+            return mctop
+        return None
 
     async def _topology(self, params: dict) -> tuple[str, Mctop, bool]:
         """Resolve (key, topology, was_cached) for a request.
 
         Every stage is traced under the request's root span: the cache
-        lookup, the single-flight decision and (for the leader) the
-        MCTOP-ALG run all carry the dispatching request's
+        lookup, the single-flight decision, the peer fetch and (for the
+        leader) the MCTOP-ALG run all carry the dispatching request's
         ``request_id``, so one id follows a request end to end.
         """
         machine, seed, table = self._inference_params(params)
@@ -157,6 +275,19 @@ class Handlers:
             return key, mctop, True
 
         async def run_inference() -> Mctop:
+            # Fleet cache peering: on a local miss the single-flight
+            # leader first asks the digest's ring-adjacent peers for
+            # the blob — extending the one-run-per-digest property
+            # fleet-wide before falling back to MCTOP-ALG.
+            if self.peers:
+                with self.obs.span("service.peer_fetch", key=key[:12],
+                                   request_id=request_id):
+                    peer_mctop = await asyncio.to_thread(
+                        self._peer_fetch_sync, key
+                    )
+                if peer_mctop is not None:
+                    self.cache.put(key, peer_mctop)
+                    return peer_mctop
             with self.obs.span("service.infer_run", machine=machine,
                                seed=seed, key=key[:12],
                                request_id=request_id):
@@ -303,6 +434,29 @@ class Handlers:
         doc = self.watcher.status_doc(machine)
         doc["protocol"] = PROTOCOL_VERSION
         return doc
+
+    async def cache_fetch(self, params: dict, session: Session) -> dict:
+        """Fleet cache peering: a *local-only* cache probe by digest.
+
+        Answers with the ``.mct.gz`` blob (gzip of the canonical
+        serialized topology, base64) when the digest is in this
+        daemon's memory or disk cache, ``found: false`` otherwise.
+        Never triggers an inference and never asks further peers, so
+        peer lookups cannot loop or cascade.  Lookups skip the hit/miss
+        counters — peer probes are not client traffic.
+        """
+        key = params.get("key")
+        if not isinstance(key, str) or not (
+            len(key) == 64 and all(c in "0123456789abcdef" for c in key)
+        ):
+            raise _invalid("'key' must be a 64-char hex SHA-256 digest")
+        mctop = self.cache.get(key, record=False)
+        self.obs.counter("service.cache_fetch.requests").inc()
+        if mctop is None:
+            return {"found": False, "key": key}
+        self.obs.counter("service.cache_fetch.hits").inc()
+        return {"found": True, "key": key, "machine": mctop.name,
+                "blob": encode_mctop_blob(mctop)}
 
     async def _sleep(self, params: dict, session: Session) -> dict:
         """Debug-only: hold a request slot (tests exercise timeouts and

@@ -19,9 +19,13 @@ Response (success / error)::
 verbatim (may be omitted).  ``request_id`` is a *server-generated*
 identifier unique to the request: the same value names the request's
 root span in the daemon's trace and its line in the access log, so a
-slow response can be chased through telemetry end to end.  Unknown
-top-level request keys are ignored for forward compatibility.  See
-``docs/SERVICE.md`` for the full specification.
+slow response can be chased through telemetry end to end.  A proxy
+(the fleet router) may stamp ``parent_request_id`` on a forwarded
+frame; the server tags its root span with it and echoes it back, so
+one fleet-wide request id stitches the router's and the member's
+telemetry into one trace.  Unknown top-level request keys are ignored
+for forward compatibility.  See ``docs/SERVICE.md`` and
+``docs/FLEET.md`` for the full specification.
 """
 
 from __future__ import annotations
@@ -38,8 +42,10 @@ PROTOCOL_VERSION = 1
 #: leaves ample headroom while still bounding a misbehaving peer.
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
-#: The verbs ``mctopd`` routes.  ``ping`` is the liveness probe; the
-#: rest mirror the CLI subcommands they are named after.
+#: The verbs ``mctopd`` routes.  ``ping`` is the liveness probe;
+#: ``cache_fetch`` is the fleet cache-peering lookup (a *local-only*
+#: cache probe by digest, never an inference trigger); the rest mirror
+#: the CLI subcommands they are named after.
 VERBS = (
     "ping",
     "infer",
@@ -49,6 +55,7 @@ VERBS = (
     "validate",
     "metrics",
     "drift",
+    "cache_fetch",
 )
 
 #: Error codes a response may carry.
@@ -59,9 +66,15 @@ ERROR_CODES = (
     "timeout",          # per-request deadline exceeded
     "backpressure",     # request queue full; retry later
     "shutting_down",    # daemon is draining; no new work accepted
+    "unavailable",      # no reachable server / no routable fleet member
     "mctop_error",      # the underlying library raised an MctopError
     "internal",         # unexpected server-side failure
 )
+
+#: Upper bound on a ``parent_request_id`` a proxy may stamp on a
+#: forwarded frame (a router request id is 16 hex chars; the cap just
+#: bounds hostile input).
+MAX_PARENT_REQUEST_ID = 64
 
 
 @dataclass(frozen=True)
@@ -71,6 +84,11 @@ class Request:
     verb: str
     params: dict = field(default_factory=dict)
     id: object = None
+    #: The upstream request id a proxy (the fleet router) stamped on
+    #: the frame, so a member's trace spans carry the fleet-wide id and
+    #: one fleet request reads as one stitched trace.  ``None`` for
+    #: direct clients.
+    parent_request_id: str | None = None
 
 
 def encode_frame(obj: dict) -> bytes:
@@ -98,7 +116,18 @@ def decode_request(line: bytes | str) -> Request:
     params = doc.get("params", {})
     if not isinstance(params, dict):
         raise ProtocolError("'params' must be a JSON object")
-    return Request(verb=verb, params=params, id=doc.get("id"))
+    parent = doc.get("parent_request_id")
+    if parent is not None and (
+        not isinstance(parent, str)
+        or not parent
+        or len(parent) > MAX_PARENT_REQUEST_ID
+    ):
+        raise ProtocolError(
+            "'parent_request_id' must be a non-empty string of at most "
+            f"{MAX_PARENT_REQUEST_ID} chars"
+        )
+    return Request(verb=verb, params=params, id=doc.get("id"),
+                   parent_request_id=parent)
 
 
 def ok_response(client_id: object, result: dict,

@@ -75,17 +75,42 @@ def render_drift_lines(drift: dict) -> list[str]:
     return lines
 
 
+def render_fleet_lines(fleet: dict) -> list[str]:
+    """The dashboard's fleet membership lines (``--fleet``).
+
+    One line per member — status, drift severity, failure count — from
+    a router's ``fleet`` verb document; empty when the target is not a
+    router (or the section was not requested).
+    """
+    if not fleet or "members" not in fleet:
+        return []
+    lines = [
+        f"fleet   {fleet.get('in_ring', 0)}/{fleet.get('total', 0)} "
+        f"in ring  rebalances {fleet.get('rebalances', 0)}"
+    ]
+    for member_id, state in sorted(fleet.get("members", {}).items()):
+        severity = state.get("drift_severity") or "-"
+        failures = state.get("consecutive_failures", 0)
+        extra = f"  failures {failures}" if failures else ""
+        lines.append(
+            f"  {member_id:<12} {state.get('status', 'unknown'):<9} "
+            f"drift {severity:<9}{extra}"
+        )
+    return lines
+
+
 def render_dashboard(
     doc: dict, prev: dict | None = None, dt: float | None = None,
-    drift: dict | None = None,
+    drift: dict | None = None, fleet: dict | None = None,
 ) -> str:
     """One dashboard frame from a ``metrics`` verb document.
 
     ``prev``/``dt`` (the previous document and the seconds since it)
     turn monotonic counters into rates; the first frame shows ``-``.
     ``drift`` optionally adds the drift watcher's status section (a
-    ``drift`` verb document).  Pure: two fixed documents always render
-    the same text, which is what the tests pin.
+    ``drift`` verb document); ``fleet`` the router's membership section
+    (a ``fleet`` verb document).  Pure: two fixed documents always
+    render the same text, which is what the tests pin.
     """
     registry = doc.get("registry", {})
     prev_registry = (prev or {}).get("registry", {})
@@ -147,6 +172,10 @@ def render_dashboard(
     if drift_lines:
         lines.append("")
         lines.extend(drift_lines)
+    fleet_lines = render_fleet_lines(fleet or {})
+    if fleet_lines:
+        lines.append("")
+        lines.extend(fleet_lines)
     return "\n".join(lines) + "\n"
 
 
@@ -156,11 +185,15 @@ def run_top(
     count: int | None = None,
     clear: bool = True,
     write=None,
+    fleet: bool = False,
 ) -> int:
     """The poll-render loop behind ``mctop top``.
 
     ``count`` bounds the number of frames (``None`` = until ^C);
     ``write`` defaults to stdout and is injectable for tests.
+    ``fleet=True`` additionally polls the router's ``fleet`` verb for
+    the membership section (silently dropped against a plain daemon,
+    which answers ``unknown_verb``).
     """
     if write is None:
         def write(text: str) -> None:
@@ -171,6 +204,7 @@ def run_top(
     prev: dict | None = None
     prev_t: float | None = None
     drift_supported = True
+    fleet_supported = fleet
     frames = 0
     try:
         while count is None or frames < count:
@@ -183,9 +217,16 @@ def run_top(
                     # Older daemon (unknown_verb) or older client shim:
                     # drop the section rather than the dashboard.
                     drift_supported = False
+            fleet_doc: dict | None = None
+            if fleet_supported:
+                try:
+                    fleet_doc = client.request("fleet")
+                except ServiceError:
+                    fleet_supported = False
             now = time.monotonic()
             dt = now - prev_t if prev_t is not None else None
-            frame = render_dashboard(doc, prev, dt, drift=drift)
+            frame = render_dashboard(doc, prev, dt, drift=drift,
+                                     fleet=fleet_doc)
             write((CLEAR if clear else "") + frame)
             prev, prev_t = doc, now
             frames += 1

@@ -1,0 +1,190 @@
+"""HealthManager transitions with a scripted probe (no sockets).
+
+The satellite contract pinned here: every membership transition emits
+its event — ``fleet.member_join``, ``fleet.member_eject``,
+``fleet.rebalance`` — exactly once per transition, never per sweep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.fleet import HealthManager, parse_members
+
+
+class FakeEvents:
+    """EventLog stand-in capturing (kind, fields) tuples."""
+
+    def __init__(self):
+        self.records: list[tuple[str, dict]] = []
+
+    def emit(self, kind: str, **fields) -> None:
+        self.records.append((kind, fields))
+
+    def kinds(self, kind: str) -> list[dict]:
+        return [fields for k, fields in self.records if k == kind]
+
+
+class ScriptedProbe:
+    """Probe returning per-member outcomes set by the test."""
+
+    def __init__(self, members):
+        self.outcomes = {
+            m: {"alive": True, "severity": "ok", "error": None}
+            for m in members
+        }
+
+    def set(self, member, alive=True, severity="ok", error=None):
+        self.outcomes[member] = {"alive": alive, "severity": severity,
+                                 "error": error}
+
+    async def __call__(self, spec, timeout):
+        return dict(self.outcomes[spec.id])
+
+
+def make_manager(n=3, fail_threshold=2):
+    members = [f"m{i}" for i in range(n)]
+    specs = parse_members([f"m{i}=unix:/tmp/m{i}.sock" for i in range(n)])
+    probe = ScriptedProbe(members)
+    events = FakeEvents()
+    manager = HealthManager(specs, events=events, probe=probe,
+                            fail_threshold=fail_threshold)
+    return manager, probe, events
+
+
+def sweep(manager, times=1):
+    async def run():
+        for _ in range(times):
+            await manager.check_once()
+
+    asyncio.run(run())
+
+
+class TestJoin:
+    def test_all_members_join_once(self):
+        manager, probe, events = make_manager()
+        sweep(manager, times=3)  # repeated sweeps must not re-emit
+        joins = events.kinds("fleet.member_join")
+        assert len(joins) == 3
+        assert sorted(j["member"] for j in joins) == ["m0", "m1", "m2"]
+        assert all(j["rejoin"] is False for j in joins)
+        # One rebalance per join, each carrying the old and new sets.
+        rebalances = events.kinds("fleet.rebalance")
+        assert len(rebalances) == 3
+        assert rebalances[0]["previous_members"] == []
+        assert sorted(rebalances[-1]["members"]) == ["m0", "m1", "m2"]
+        assert len(manager.ring) == 3
+        assert not manager.degraded
+
+    def test_warn_drift_joins_degraded_but_in_ring(self):
+        manager, probe, events = make_manager()
+        probe.set("m1", severity="warn")
+        sweep(manager)
+        assert manager.states["m1"].status == "degraded"
+        assert manager.states["m1"].in_ring
+        assert "m1" in manager.ring
+
+
+class TestEject:
+    def test_unreachable_ejects_after_threshold_exactly_once(self):
+        manager, probe, events = make_manager(fail_threshold=2)
+        sweep(manager)
+        probe.set("m1", alive=False, error="refused")
+        sweep(manager)  # failure 1: still in ring
+        assert "m1" in manager.ring
+        assert events.kinds("fleet.member_eject") == []
+        sweep(manager, times=3)  # failure 2 ejects; 3-4 must not re-emit
+        ejects = events.kinds("fleet.member_eject")
+        assert len(ejects) == 1
+        assert ejects[0]["member"] == "m1"
+        assert ejects[0]["reason"] == "unreachable"
+        assert "m1" not in manager.ring
+        assert sorted(manager.ring.members) == ["m0", "m2"]
+
+    def test_critical_drift_ejects_immediately(self):
+        manager, probe, events = make_manager()
+        sweep(manager)
+        probe.set("m2", severity="critical")
+        sweep(manager, times=2)
+        ejects = events.kinds("fleet.member_eject")
+        assert len(ejects) == 1
+        assert ejects[0]["reason"] == "drift_critical"
+        assert manager.states["m2"].drift_severity == "critical"
+
+    def test_forward_failures_eject_between_sweeps(self):
+        manager, probe, events = make_manager(fail_threshold=2)
+        sweep(manager)
+        manager.note_forward_failure("m0", "ConnectionResetError")
+        assert "m0" in manager.ring
+        manager.note_forward_failure("m0", "ConnectionResetError")
+        ejects = events.kinds("fleet.member_eject")
+        assert len(ejects) == 1
+        assert ejects[0]["reason"] == "forward_failure"
+        assert "m0" not in manager.ring
+
+    def test_all_ejected_means_degraded_fleet(self):
+        manager, probe, events = make_manager(fail_threshold=1)
+        sweep(manager)
+        for m in ("m0", "m1", "m2"):
+            probe.set(m, alive=False)
+        sweep(manager)
+        assert manager.degraded
+        assert len(manager.ring) == 0
+
+
+class TestRejoin:
+    def test_recovered_member_rejoins_exactly_once(self):
+        manager, probe, events = make_manager(fail_threshold=1)
+        sweep(manager)
+        probe.set("m1", alive=False)
+        sweep(manager)
+        assert "m1" not in manager.ring
+        probe.set("m1", alive=True, severity="ok")
+        sweep(manager, times=3)
+        joins = events.kinds("fleet.member_join")
+        rejoins = [j for j in joins if j["rejoin"]]
+        assert len(rejoins) == 1
+        assert rejoins[0]["member"] == "m1"
+        assert "m1" in manager.ring
+        # join(3) + eject(1) + rejoin(1) = 5 rebalances, no extras.
+        assert len(events.kinds("fleet.rebalance")) == 5
+        assert manager.rebalances == 5
+
+    def test_ring_after_rejoin_matches_fresh_ring(self):
+        """Determinism across the leave/rejoin cycle (restart parity)."""
+        manager, probe, events = make_manager(fail_threshold=1)
+        sweep(manager)
+        original = manager.ring
+        probe.set("m2", alive=False)
+        sweep(manager)
+        probe.set("m2", alive=True)
+        sweep(manager)
+        assert manager.ring == original
+
+
+class TestStatusDoc:
+    def test_status_doc_shape(self):
+        manager, probe, events = make_manager()
+        probe.set("m1", severity="warn")
+        sweep(manager)
+        doc = manager.status_doc()
+        assert doc["in_ring"] == 3
+        assert doc["total"] == 3
+        assert doc["members"]["m1"]["status"] == "degraded"
+        assert doc["members"]["m1"]["drift_severity"] == "warn"
+        assert doc["ring"]["members"] == ["m0", "m1", "m2"]
+
+    def test_unknown_severity_is_tolerated(self):
+        """A member reporting e.g. "unknown" must not crash or eject."""
+        manager, probe, events = make_manager()
+        probe.set("m0", severity="unknown")
+        sweep(manager)
+        assert "m0" in manager.ring
+        assert manager.states["m0"].drift_severity is None
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ServiceError):
+            HealthManager([])

@@ -1,0 +1,67 @@
+"""Member endpoint parsing and state bookkeeping (no sockets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.fleet import MemberSpec, MemberState, parse_member, parse_members
+
+
+class TestParseMember:
+    def test_unix_endpoint(self):
+        spec = parse_member("unix:/run/mctopd/m0.sock")
+        assert spec == MemberSpec(id="m0", unix_path="/run/mctopd/m0.sock")
+        assert spec.endpoint == "unix:/run/mctopd/m0.sock"
+
+    def test_bare_path_is_unix(self):
+        assert parse_member("/tmp/a.sock") == \
+            MemberSpec(id="a", unix_path="/tmp/a.sock")
+        assert parse_member("./b.sock").unix_path == "./b.sock"
+
+    def test_tcp_endpoint(self):
+        spec = parse_member("tcp:127.0.0.1:9000")
+        assert spec == MemberSpec(id="127.0.0.1:9000", host="127.0.0.1",
+                                  port=9000)
+        assert spec.endpoint == "tcp:127.0.0.1:9000"
+
+    def test_explicit_id_prefix(self):
+        assert parse_member("left=unix:/tmp/x.sock").id == "left"
+        assert parse_member("right=tcp:localhost:1234").id == "right"
+
+    @pytest.mark.parametrize("bad", [
+        "", "unix:", "tcp:9000", "tcp:host:notaport", "http://x",
+    ])
+    def test_bad_endpoints_rejected(self, bad):
+        with pytest.raises(ServiceError) as exc:
+            parse_member(bad)
+        assert exc.value.code == "invalid_params"
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ServiceError, match="duplicate"):
+            parse_members(["unix:/a/m.sock", "unix:/b/m.sock"])
+        specs = parse_members(["a=unix:/a/m.sock", "b=unix:/b/m.sock"])
+        assert [s.id for s in specs] == ["a", "b"]
+
+
+class TestMemberState:
+    def test_not_in_ring_until_joined(self):
+        state = MemberState(parse_member("unix:/tmp/m0.sock"))
+        assert not state.in_ring
+        assert state.describe()["status"] == "joining"
+        state.joined = True
+        state.status = "healthy"
+        assert state.in_ring
+        state.status = "degraded"
+        assert state.in_ring  # warn-level drift keeps serving
+        state.status = "ejected"
+        assert not state.in_ring
+
+    def test_describe_fields(self):
+        state = MemberState(parse_member("m0=unix:/tmp/m0.sock"))
+        doc = state.describe()
+        assert doc["id"] == "m0"
+        assert doc["endpoint"] == "unix:/tmp/m0.sock"
+        assert doc["consecutive_failures"] == 0
+        assert doc["checks"] == 0
+        assert doc["last_check_ts"] is None

@@ -1,0 +1,138 @@
+"""Fleet metric/drift document merging (pure functions)."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.obs import Observability
+from repro.obs.merge import (
+    merge_cache_stats,
+    merge_drift_docs,
+    merge_registry_snapshots,
+    merge_trace_summaries,
+)
+
+
+def snapshot_of(samples: list[float]) -> dict:
+    obs = Observability()
+    timer = obs.timer("t")
+    for s in samples:
+        timer.observe(s)
+    return obs.registry.snapshot()
+
+
+class TestRegistryMerge:
+    def test_counters_sum(self):
+        a = {"service.requests.infer": {"kind": "counter", "value": 3}}
+        b = {"service.requests.infer": {"kind": "counter", "value": 4}}
+        merged = merge_registry_snapshots([a, b])
+        assert merged["service.requests.infer"]["value"] == 7
+
+    def test_missing_instruments_merge_over_present_members(self):
+        a = {"only.a": {"kind": "counter", "value": 2}}
+        merged = merge_registry_snapshots([a, {}])
+        assert merged["only.a"]["value"] == 2
+
+    def test_plain_gauges_sum_rank_and_ts_gauges_take_max(self):
+        a = {
+            "service.queue_depth": {"kind": "gauge", "value": 2},
+            "drift.severity.ivy": {"kind": "gauge", "value": 0},
+            "watcher.last_check_ts": {"kind": "gauge", "value": 100.0},
+        }
+        b = {
+            "service.queue_depth": {"kind": "gauge", "value": 3},
+            "drift.severity.ivy": {"kind": "gauge", "value": 2},
+            "watcher.last_check_ts": {"kind": "gauge", "value": 90.0},
+        }
+        merged = merge_registry_snapshots([a, b])
+        assert merged["service.queue_depth"]["value"] == 5
+        assert merged["drift.severity.ivy"]["value"] == 2
+        assert merged["watcher.last_check_ts"]["value"] == 100.0
+
+    def test_histogram_merge_equals_pooled_samples(self):
+        """count/total/mean/stdev recombine exactly (sum of squares)."""
+        left, right = [1.0, 2.0, 3.0], [10.0, 20.0]
+        merged = merge_registry_snapshots(
+            [snapshot_of(left), snapshot_of(right)]
+        )["t"]
+        pooled = left + right
+        assert merged["count"] == 5
+        assert merged["total"] == sum(pooled)
+        assert merged["min"] == min(pooled)
+        assert merged["max"] == max(pooled)
+        assert abs(merged["mean"] - statistics.fmean(pooled)) < 1e-12
+        assert abs(merged["stdev"] - statistics.pstdev(pooled)) < 1e-9
+
+    def test_histogram_buckets_sum_and_quantiles_take_max(self):
+        a, b = snapshot_of([0.002]), snapshot_of([40.0])
+        merged = merge_registry_snapshots([a, b])["t"]
+        buckets = dict(tuple(x) for x in merged["buckets"])
+        assert buckets[0.005] == 1      # only the fast member's sample
+        assert buckets[50.0] == 2       # both under 50
+        assert merged["p99"] == 40.0    # the slow tail is not hidden
+
+    def test_empty_histograms_merge_cleanly(self):
+        obs = Observability()
+        obs.timer("t")
+        merged = merge_registry_snapshots([obs.registry.snapshot()])
+        assert merged["t"]["count"] == 0
+
+
+class TestTraceAndCache:
+    def test_trace_summaries_sum(self):
+        merged = merge_trace_summaries([
+            {"finished_spans": 5, "instants": 2, "dropped_spans": 0},
+            {"finished_spans": 7, "instants": 1, "dropped_spans": 3},
+        ])
+        assert merged["finished_spans"] == 12
+        assert merged["instants"] == 3
+        assert merged["dropped_spans"] == 3
+
+    def test_cache_stats_sum_and_collect_store_dirs(self):
+        merged = merge_cache_stats([
+            {"memory_entries": 2, "hits_memory": 5, "misses": 1,
+             "store_dir": "/a"},
+            {"memory_entries": 1, "hits_memory": 2, "misses": 4,
+             "store_dir": "/b"},
+            {"memory_entries": 0, "store_dir": None},
+        ])
+        assert merged["memory_entries"] == 3
+        assert merged["hits_memory"] == 7
+        assert merged["misses"] == 5
+        assert merged["store_dir"] == ["/a", "/b"]
+
+
+class TestDriftMerge:
+    def test_worst_severity_wins_with_member_attribution(self):
+        merged = merge_drift_docs({
+            "m0": {"enabled": True, "worst_severity": "ok",
+                   "machines": {"ivy": {"severity": "ok", "checks": 3}}},
+            "m1": {"enabled": True, "worst_severity": "critical",
+                   "machines": {"ivy": {"severity": "critical",
+                                        "checks": 1}}},
+        })
+        assert merged["enabled"] is True
+        assert merged["worst_severity"] == "critical"
+        assert merged["degraded"] is True
+        assert merged["machines"]["ivy"]["member"] == "m1"
+        assert merged["members"]["m0"]["worst_severity"] == "ok"
+
+    def test_watcherless_members_listed_but_contribute_nothing(self):
+        merged = merge_drift_docs({
+            "m0": {"enabled": False},
+            "m1": {"enabled": False},
+        })
+        assert merged["enabled"] is False
+        assert merged["worst_severity"] == "ok"
+        assert merged["machines"] == {}
+        assert merged["members"]["m0"] == {"enabled": False,
+                                           "worst_severity": None}
+
+    def test_unknown_severity_never_beats_a_ranked_one(self):
+        merged = merge_drift_docs({
+            "m0": {"enabled": True, "worst_severity": "warn",
+                   "machines": {"ivy": {"severity": "warn"}}},
+            "m1": {"enabled": True, "worst_severity": "ok",
+                   "machines": {"ivy": {"severity": "unknown"}}},
+        })
+        assert merged["machines"]["ivy"]["severity"] == "warn"

@@ -1,0 +1,113 @@
+"""Cross-instance cache peering: members fetch ``.mct.gz`` blobs from
+ring-adjacent peers by digest before falling back to MCTOP-ALG."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError, ServiceError
+from repro.service import decode_mctop_blob, encode_mctop_blob
+from repro.core.serialize import mctop_to_dict
+
+
+def events_of_kind(path, kind: str) -> list[dict]:
+    with open(path) as fh:
+        return [e for e in (json.loads(l) for l in fh if l.strip())
+                if e.get("kind") == kind]
+
+
+class TestPeerFetch:
+    def test_miss_is_served_from_a_peer_without_a_second_run(self, fleet):
+        with fleet.member_client("m0") as a:
+            first = a.infer("testbox", seed=7)
+        with fleet.member_client("m1") as b:
+            second = b.infer("testbox", seed=7)
+            rid = b.last_request_id
+            b_metrics = b.metrics()
+        assert first["cached"] is False
+        assert second["cached"] is False  # local miss, peer-served
+        assert second["key"] == first["key"]
+        registry = b_metrics["registry"]
+        assert "service.inference.runs" not in registry
+        assert registry["service.cache.peer_hits"]["value"] == 1
+        assert registry["service.cache.peer_queries"]["value"] >= 1
+        # The peer hit is an event, correlated with the request.
+        hits = events_of_kind(
+            fleet.member_configs["m1"].event_log, "fleet.peer_hit"
+        )
+        assert len(hits) == 1
+        assert hits[0]["key"] == first["key"]
+        assert hits[0]["member"] == "m1"
+        assert hits[0]["peer"] in ("m0", "m2")
+        assert hits[0]["request_id"] == rid
+
+    def test_peer_fetched_topology_lands_in_the_local_cache(self, fleet):
+        with fleet.member_client("m0") as a:
+            a.infer("testbox", seed=8)
+        with fleet.member_client("m1") as b:
+            b.infer("testbox", seed=8)
+            warm = b.infer("testbox", seed=8)
+            registry = b.metrics()["registry"]
+        assert warm["cached"] is True
+        assert registry["service.cache.peer_queries"]["value"] >= 1
+        assert registry["service.cache.peer_hits"]["value"] == 1
+
+    def test_unknown_digest_everywhere_still_infers_locally(self, fleet):
+        with fleet.member_client("m2") as client:
+            result = client.infer("testbox", seed=99)
+            registry = client.metrics()["registry"]
+        assert result["cached"] is False
+        assert registry["service.inference.runs"]["value"] == 1
+        assert "service.cache.peer_hits" not in registry
+
+
+class TestCacheFetchVerb:
+    def test_hit_returns_a_decodable_blob(self, fleet):
+        with fleet.member_client("m0") as client:
+            result = client.infer("testbox", seed=17)
+            fetched = client.request("cache_fetch", key=result["key"])
+        assert fetched["found"] is True
+        assert fetched["machine"] == "testbox"
+        mctop = decode_mctop_blob(fetched["blob"])
+        assert mctop.name == "testbox"
+        assert mctop.n_cores == result["n_cores"]
+
+    def test_unknown_key_is_found_false(self, fleet):
+        with fleet.member_client("m0") as client:
+            fetched = client.request("cache_fetch", key="ab" * 32)
+        assert fetched == {"found": False, "key": "ab" * 32}
+
+    @pytest.mark.parametrize("bad", [None, 7, "short", "XY" * 32])
+    def test_malformed_key_rejected(self, fleet, bad):
+        with fleet.member_client("m0") as client:
+            params = {} if bad is None else {"key": bad}
+            with pytest.raises(ServiceError) as exc:
+                client.request("cache_fetch", **params)
+        assert exc.value.code == "invalid_params"
+
+    def test_probe_does_not_skew_hit_ratio(self, fleet):
+        with fleet.member_client("m0") as client:
+            before = client.metrics()["cache"]
+            client.request("cache_fetch", key="ab" * 32)
+            after = client.metrics()["cache"]
+        assert after["misses"] == before["misses"]
+
+
+class TestBlobCodec:
+    def test_round_trip_is_deterministic(self, fleet):
+        with fleet.member_client("m0") as client:
+            key = client.infer("testbox", seed=23)["key"]
+            one = client.request("cache_fetch", key=key)["blob"]
+            two = client.request("cache_fetch", key=key)["blob"]
+        assert one == two  # gzip mtime pinned: same topology, same bytes
+        mctop = decode_mctop_blob(one)
+        assert encode_mctop_blob(mctop) == one
+        assert mctop_to_dict(decode_mctop_blob(encode_mctop_blob(mctop))) \
+            == mctop_to_dict(mctop)
+
+    def test_corrupt_blob_raises_serialization_error(self):
+        for garbage in ("", "!!!", "aGVsbG8="):  # not-b64 / not-gzip
+            with pytest.raises(SerializationError):
+                decode_mctop_blob(garbage)

@@ -1,0 +1,127 @@
+"""HashRing determinism and minimal-remap guarantees (no sockets)."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.fleet import HashRing
+
+MEMBERS = ["m0", "m1", "m2"]
+
+
+def digests(n: int) -> list[str]:
+    """A fixed, reproducible set of inference-digest-shaped keys."""
+    return [hashlib.sha256(f"key-{i}".encode()).hexdigest()
+            for i in range(n)]
+
+
+class TestDeterminism:
+    def test_same_members_same_assignment_across_instances(self):
+        """Two independently built rings (a restart) agree on every key."""
+        a = HashRing(MEMBERS)
+        b = HashRing(list(MEMBERS))
+        for key in digests(500):
+            assert a.owner(key) == b.owner(key)
+            assert a.preference(key) == b.preference(key)
+
+    def test_member_order_is_irrelevant(self):
+        """The ring is a function of the member *set*, not join order."""
+        a = HashRing(["m0", "m1", "m2"])
+        b = HashRing(["m2", "m0", "m1"])
+        assert a == b
+        for key in digests(200):
+            assert a.owner(key) == b.owner(key)
+
+    def test_assignment_is_reasonably_balanced(self):
+        ring = HashRing(MEMBERS)
+        counts = {m: 0 for m in MEMBERS}
+        keys = digests(3000)
+        for key in keys:
+            counts[ring.owner(key)] += 1
+        for member, count in counts.items():
+            share = count / len(keys)
+            assert 0.2 < share < 0.47, (member, share)
+
+    def test_preference_starts_with_owner_and_covers_all(self):
+        ring = HashRing(MEMBERS)
+        for key in digests(50):
+            pref = ring.preference(key)
+            assert pref[0] == ring.owner(key)
+            assert sorted(pref) == sorted(MEMBERS)
+            assert len(set(pref)) == len(pref)
+
+    def test_preference_n_caps(self):
+        ring = HashRing(MEMBERS)
+        assert len(ring.preference(digests(1)[0], n=2)) == 2
+
+
+class TestMinimalRemap:
+    @pytest.mark.parametrize("leaver", MEMBERS)
+    def test_only_the_leavers_keys_move(self, leaver):
+        """When a member leaves, exactly its keys move — nothing else."""
+        before = HashRing(MEMBERS)
+        after = before.with_members([m for m in MEMBERS if m != leaver])
+        keys = digests(900)
+        moved = before.remap(after, keys)
+        for key in keys:
+            if before.owner(key) == leaver:
+                assert key in moved
+            else:
+                # A surviving member's key never moves.
+                assert before.owner(key) == after.owner(key)
+        for key, (old, new) in moved.items():
+            assert old == leaver
+            assert new != leaver
+            # Keys move to the departed owner's ring successor.
+            assert new == before.preference(key)[1]
+
+    @pytest.mark.parametrize("leaver", MEMBERS)
+    def test_remap_volume_is_bounded(self, leaver):
+        """Moved keys ~= the leaver's 1/N share, never a reshuffle.
+
+        The ceil(keys/N) bound holds with slack for hash-share
+        variance; the deterministic hashing makes this test stable.
+        """
+        before = HashRing(MEMBERS)
+        after = before.with_members([m for m in MEMBERS if m != leaver])
+        keys = digests(900)
+        moved = before.remap(after, keys)
+        bound = -(-len(keys) // len(MEMBERS))  # ceil
+        assert len(moved) <= bound * 1.3, (leaver, len(moved), bound)
+
+    def test_rejoin_restores_the_original_assignment(self):
+        before = HashRing(MEMBERS)
+        without = before.with_members(["m0", "m2"])
+        rejoined = without.with_members(MEMBERS)
+        assert rejoined == before
+        for key in digests(200):
+            assert rejoined.owner(key) == before.owner(key)
+
+
+class TestValidation:
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["m0", "m0"])
+
+    def test_empty_ring_lookups_raise(self):
+        ring = HashRing([])
+        with pytest.raises(ValueError, match="no members"):
+            ring.owner("ab" * 32)
+        with pytest.raises(ValueError, match="no members"):
+            ring.preference("ab" * 32)
+
+    def test_replicas_validated_and_preserved(self):
+        with pytest.raises(ValueError):
+            HashRing(MEMBERS, replicas=0)
+        ring = HashRing(MEMBERS, replicas=64)
+        assert ring.with_members(["m0"]).replicas == 64
+
+    def test_describe_and_dunder(self):
+        ring = HashRing(MEMBERS, replicas=8)
+        assert len(ring) == 3
+        assert "m1" in ring
+        doc = ring.describe()
+        assert doc == {"members": ["m0", "m1", "m2"], "replicas": 8,
+                       "points": 24}

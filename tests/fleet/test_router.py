@@ -1,0 +1,254 @@
+"""End-to-end fleet tests: router + 3 member daemons on Unix sockets.
+
+The acceptance bar lives here: N concurrent ``infer`` for one digest
+through the router run MCTOP-ALG exactly once *fleet-wide* and return
+byte-identical topologies; killing the owning member mid-test
+re-routes without a client-visible error and ejects it from the ring.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import inference_key
+from repro.service.handlers import parse_inference_params
+
+
+def read_ndjson(path) -> list[dict]:
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def events_of_kind(path, kind: str) -> list[dict]:
+    return [e for e in read_ndjson(path) if e.get("kind") == kind]
+
+
+def router_key(harness, machine: str, **params) -> str:
+    """The digest the router shards this request by."""
+    m, seed, table = parse_inference_params(
+        dict(params, machine=machine),
+        default_repetitions=harness.router_config.default_repetitions,
+    )
+    return inference_key(m, seed, table)
+
+
+class TestBasics:
+    def test_ping_is_answered_by_the_router(self, fleet):
+        with fleet.client() as client:
+            pong = client.ping()
+        assert pong["role"] == "router"
+        assert pong["in_ring"] == 3
+
+    def test_fleet_verb_reports_membership(self, fleet):
+        with fleet.client() as client:
+            doc = client.request("fleet")
+        assert doc["in_ring"] == 3
+        assert doc["total"] == 3
+        assert sorted(doc["members"]) == ["m0", "m1", "m2"]
+        assert all(m["status"] == "healthy"
+                   for m in doc["members"].values())
+        assert doc["ring"]["members"] == ["m0", "m1", "m2"]
+
+    def test_initial_joins_emitted_exactly_once(self, fleet):
+        joins = events_of_kind(fleet.router_config.event_log,
+                               "fleet.member_join")
+        assert sorted(j["member"] for j in joins) == ["m0", "m1", "m2"]
+        rebalances = events_of_kind(fleet.router_config.event_log,
+                                    "fleet.rebalance")
+        assert len(rebalances) == 3
+
+    def test_unknown_verb_is_forwarded_and_answered_by_a_member(
+            self, fleet):
+        with fleet.client() as client:
+            with pytest.raises(ServiceError) as exc:
+                client.request("bogus")
+        assert exc.value.code == "unknown_verb"
+
+    def test_responses_carry_upstream_and_router_request_id(self, fleet):
+        with fleet.client() as client:
+            client.infer("testbox", seed=3)
+            upstream = client.last_upstream
+            rid = client.last_request_id
+        assert upstream["member"] in ("m0", "m1", "m2")
+        assert upstream["ms"] >= 0
+        assert upstream["request_id"] != rid  # member's own id differs
+
+
+class TestRouting:
+    def test_same_digest_always_lands_on_the_ring_owner(self, fleet):
+        with fleet.client() as client:
+            members = set()
+            for _ in range(4):
+                client.infer("testbox", seed=21)
+                members.add(client.last_upstream["member"])
+        assert len(members) == 1
+        key = router_key(fleet, "testbox", seed=21)
+        assert members == {fleet.router.health.ring.owner(key)}
+
+    def test_warm_hits_are_served_from_the_owners_cache(self, fleet):
+        with fleet.client() as client:
+            cold = client.infer("testbox", seed=22)
+            warm = client.infer("testbox", seed=22)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert warm["key"] == cold["key"]
+
+    def test_single_flight_holds_fleet_wide(self, fleet):
+        """6 concurrent clients, one digest => one MCTOP-ALG run and
+        byte-identical topologies."""
+        results, errors = [], []
+
+        def worker():
+            try:
+                with fleet.client() as client:
+                    results.append(client.infer(
+                        "testbox", seed=42, include_topology=True
+                    ))
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not errors
+        assert len(results) == 6
+        payloads = {
+            json.dumps(r["topology"], sort_keys=True,
+                       separators=(",", ":"))
+            for r in results
+        }
+        assert len(payloads) == 1, "divergent topology payloads"
+        assert len({r["key"] for r in results}) == 1
+        with fleet.client() as client:
+            merged = client.metrics()
+        assert merged["registry"]["service.inference.runs"]["value"] == 1
+
+    def test_pool_switch_keeps_its_session_through_the_router(self, fleet):
+        with fleet.client() as client:
+            first = client.pool_switch("testbox", policy="RR_CORE", seed=5)
+            second = client.pool_switch("testbox", policy="CON_HWC", seed=5)
+        assert first["pool_len"] == 1
+        assert second["pool_len"] == 2
+        assert set(second["policies_cached"]) == {"RR_CORE", "CON_HWC"}
+
+
+class TestFailover:
+    def test_killing_the_owner_reroutes_without_client_error(self, fleet):
+        key = router_key(fleet, "testbox", seed=11)
+        owner = fleet.router.health.ring.owner(key)
+        with fleet.client() as client:
+            cold = client.infer("testbox", seed=11,
+                                include_topology=True)
+            assert client.last_upstream["member"] == owner
+            fleet.stop_member(owner)
+            # Same client connection: the router's pooled upstream to
+            # the dead member fails, it fails over, the client sees ok.
+            again = client.infer("testbox", seed=11,
+                                 include_topology=True)
+            survivor = client.last_upstream["member"]
+            eject_rid = client.last_request_id
+        assert survivor != owner
+        assert again["key"] == cold["key"]
+        assert json.dumps(again["topology"], sort_keys=True) == \
+            json.dumps(cold["topology"], sort_keys=True)
+        # fail_threshold=1: the failed forward ejected the owner ...
+        doc_members = fleet.router.health.status_doc()["members"]
+        assert doc_members[owner]["status"] == "ejected"
+        # ... exactly once, correlated with the re-routed request.
+        ejects = events_of_kind(fleet.router_config.event_log,
+                                "fleet.member_eject")
+        assert len(ejects) == 1
+        assert ejects[0]["member"] == owner
+        assert ejects[0]["request_id"] == eject_rid
+        rebalance = events_of_kind(fleet.router_config.event_log,
+                                   "fleet.rebalance")[-1]
+        assert owner in rebalance["previous_members"]
+        assert owner not in rebalance["members"]
+
+    def test_all_members_down_yields_unavailable(self, fleet_factory):
+        fleet = fleet_factory(n_members=2)
+        for member in ("m0", "m1"):
+            fleet.stop_member(member)
+        with fleet.client() as client:
+            with pytest.raises(ServiceError) as exc:
+                client.infer("testbox", seed=1)
+        assert exc.value.code == "unavailable"
+        # The router itself stays up and keeps answering ping/fleet.
+        with fleet.client() as client:
+            assert client.ping()["pong"] is True
+            assert client.request("fleet")["in_ring"] == 0
+
+
+class TestAggregation:
+    def test_metrics_merge_across_members(self, fleet):
+        with fleet.client() as client:
+            for seed in (1, 2, 3, 4):
+                client.infer("testbox", seed=seed)
+            merged = client.metrics()
+        registry = merged["registry"]
+        assert registry["service.requests.infer"]["value"] == 4
+        assert registry["service.inference.runs"]["value"] == 4
+        assert merged["fleet"]["responding"] == ["m0", "m1", "m2"]
+        assert merged["cache"]["memory_entries"] == 4
+        assert len(merged["cache"]["store_dir"]) == 3
+        assert merged["trace"]["finished_spans"] > 0
+
+    def test_metrics_prometheus_format_rejected(self, fleet):
+        with fleet.client() as client:
+            with pytest.raises(ServiceError) as exc:
+                client.metrics(format="prometheus")
+        assert exc.value.code == "invalid_params"
+
+    def test_drift_merges_watcherless_members(self, fleet):
+        with fleet.client() as client:
+            doc = client.drift()
+        assert doc["enabled"] is False
+        assert sorted(doc["members"]) == ["m0", "m1", "m2"]
+
+
+class TestAccessLog:
+    def test_proxied_lines_carry_member_and_upstream_ms(self, fleet):
+        with fleet.client() as client:
+            client.infer("testbox", seed=31)
+            infer_rid = client.last_request_id
+            member = client.last_upstream["member"]
+            client.ping()
+            ping_rid = client.last_request_id
+        # The router logs a line *after* flushing the response to the
+        # client, so give the last line a moment to land on disk.
+        deadline = time.monotonic() + 5
+        while True:
+            lines = {e["request_id"]: e
+                     for e in read_ndjson(fleet.router_config.access_log)}
+            if ping_rid in lines or time.monotonic() > deadline:
+                break
+            time.sleep(0.02)
+        infer_line = lines[infer_rid]
+        assert infer_line["member"] == member
+        assert infer_line["upstream_ms"] > 0
+        assert infer_line["cache"] == "miss"
+        # Locally answered verbs have the fields present but null.
+        ping_line = lines[ping_rid]
+        assert ping_line["member"] is None
+        assert ping_line["upstream_ms"] is None
+
+    def test_member_tags_root_span_with_parent_request_id(self, fleet):
+        """Request-id stitching: the member's root span carries the
+        router's request id."""
+        with fleet.client() as client:
+            client.infer("testbox", seed=33)
+            router_rid = client.last_request_id
+            member = client.last_upstream["member"]
+        daemon = fleet.daemons[member]
+        spans = [
+            s for s in daemon.obs.tracer.spans_named("service.request")
+            if s.args.get("parent_request_id") == router_rid
+        ]
+        assert len(spans) == 1

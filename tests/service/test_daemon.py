@@ -248,6 +248,7 @@ class TestShutdown:
             try:
                 client.ping()
             except ServiceError as exc:
-                assert exc.code in ("shutting_down", "internal")
+                assert exc.code in ("shutting_down", "internal",
+                                    "unavailable")
         harness._thread.join(10)
         assert not harness._thread.is_alive()

@@ -192,11 +192,14 @@ class TestAccessLog:
         assert len(lines) == 4
         by_rid = {line["request_id"]: line for line in lines}
         schema = {"ts", "request_id", "verb", "outcome", "duration_ms",
-                  "cache", "bytes_out"}
+                  "cache", "bytes_out", "member", "upstream_ms"}
         for line in lines:
             assert set(line) == schema
             assert line["bytes_out"] > 0
             assert line["duration_ms"] >= 0
+            # Fleet-router fields are always present, null off-fleet.
+            assert line["member"] is None
+            assert line["upstream_ms"] is None
 
         assert by_rid[rids["ping"]]["verb"] == "ping"
         assert by_rid[rids["ping"]]["outcome"] == "ok"
