@@ -24,12 +24,13 @@ for power users and remain stable.
 
 Quickstart
 ----------
->>> from repro import infer
+>>> from repro import infer, place
 >>> mctop = infer("ivy", seed=1)
 >>> mctop.n_sockets, mctop.n_cores, mctop.has_smt
 (2, 20, True)
->>> from repro import PlacementPool, save_mctop
->>> pool = PlacementPool(mctop, n_threads=8)
+>>> place(mctop, "RR_CORE", 8).ordering     # indexed placement query
+(0, 10, 1, 11, 2, 12, 3, 13)
+>>> pool = mctop.placements                 # legacy per-topology pool
 """
 
 from repro.errors import (
@@ -63,7 +64,9 @@ __all__ = [
     "MeasurementError",
     "PAPER_PLATFORMS",
     "PlacementError",
+    "PlacementIndex",
     "PlacementPool",
+    "PlacementResult",
     "ReproError",
     "SerializationError",
     "ServiceError",
@@ -81,6 +84,8 @@ __all__ = [
     "infer_topology",
     "load_mctop",
     "machine_names",
+    "place",
+    "place_many",
     "run_fuzz",
     "save_mctop",
 ]
@@ -97,7 +102,9 @@ _LAZY_EXPORTS = {
     "save_mctop": "repro.core.serialize:save_mctop",
     "Mctop": "repro.core.mctop:Mctop",
     "LatencyTableConfig": "repro.core.algorithm.lat_table:LatencyTableConfig",
+    "PlacementIndex": "repro.place.index:PlacementIndex",
     "PlacementPool": "repro.place.pool:PlacementPool",
+    "PlacementResult": "repro.place.index:PlacementResult",
     "SynthParams": "repro.hardware.synth:SynthParams",
     "SynthSpec": "repro.hardware.synth:SynthSpec",
     "generate_spec": "repro.hardware.synth:generate_spec",
@@ -118,3 +125,13 @@ def __getattr__(name: str):
 
 def __dir__():
     return sorted(set(globals()) | set(__all__))
+
+
+# ``repro.place`` names both the subpackage and the façade's placement
+# helper.  Importing the subpackage binds it as an attribute here, so
+# the helper must be bound *after* it (eagerly, not via the lazy table)
+# for ``from repro import place`` to mean the function deterministically.
+# ``from repro.place import Policy`` keeps working — submodule imports
+# resolve through ``sys.modules``, not this attribute.
+import repro.place as _place_package  # noqa: E402,F401
+from repro.api import place, place_many  # noqa: E402

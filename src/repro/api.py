@@ -8,10 +8,19 @@ the handful of measurement knobs people actually turn — ``repetitions``,
 :class:`~repro.core.algorithm.inference.InferenceConfig` plumbing
 itself.  Power users keep passing a complete ``config``.
 
+``repro.place`` / ``repro.place_many`` are the placement twins: give
+them a topology — an :class:`~repro.core.mctop.Mctop`, a saved ``.mct``
+path, or a catalog machine name — plus a policy and thread count, and
+they answer from the topology's precomputed
+:class:`~repro.place.index.PlacementIndex` (building it on first use,
+a dictionary lookup after that).
+
 Everything here re-exports through :mod:`repro`::
 
-    >>> from repro import infer
+    >>> from repro import infer, place
     >>> mctop = infer("ivy", seed=1, jobs=4)
+    >>> place(mctop, "RR_CORE", 8).ordering
+    (0, 10, 1, 11, 2, 12, 3, 13)
 """
 
 from __future__ import annotations
@@ -99,3 +108,78 @@ def infer(
         machine, seed=seed, config=config, noise=noise, solo=solo,
         name=name, report=report, obs=obs,
     )
+
+
+def _resolve_mctop(mctop_or_name, seed: int, infer_kwargs: dict):
+    """An ``Mctop`` from whatever the placement helpers were handed:
+    a topology object (as-is), the path of a saved description file
+    (loaded, index sidecar attached), or a catalog machine name
+    (inferred through :func:`infer`, measurement knobs forwarded)."""
+    from pathlib import Path
+
+    from repro.core.mctop import Mctop
+    from repro.core.serialize import load_mctop
+
+    if isinstance(mctop_or_name, Mctop):
+        return mctop_or_name
+    if isinstance(mctop_or_name, (str, Path)):
+        if Path(mctop_or_name).is_file():
+            return load_mctop(mctop_or_name)
+        return infer(str(mctop_or_name), seed=seed, **infer_kwargs)
+    raise ConfigError(
+        "place() needs an Mctop, a description-file path, or a catalog "
+        f"machine name, got {type(mctop_or_name).__name__}"
+    )
+
+
+def place(
+    mctop_or_name,
+    policy: str = "CON_HWC",
+    n_threads: int | None = None,
+    *,
+    n_sockets: int | None = None,
+    seed: int = 0,
+    **infer_kwargs,
+):
+    """One placement query, answered from the topology's index.
+
+    Returns a :class:`~repro.place.index.PlacementResult` — the
+    ordering, the Figure-7 stats block and the placement's maximum
+    cross-context latency — byte-identical to what the legacy
+    :class:`~repro.place.placement.Placement` path computes.  The
+    index is built (and cached on the ``Mctop``) on first use; every
+    later call is a dictionary lookup.
+
+    ``mctop_or_name`` is an :class:`~repro.core.mctop.Mctop`, a saved
+    description-file path, or a catalog machine name (inferred with
+    ``seed`` and any extra measurement knobs).
+    """
+    mctop = _resolve_mctop(mctop_or_name, seed, infer_kwargs)
+    return mctop.placement_index().get(policy, n_threads, n_sockets)
+
+
+def place_many(
+    mctop_or_name,
+    queries,
+    *,
+    seed: int = 0,
+    **infer_kwargs,
+):
+    """A batch of placement queries against one topology.
+
+    ``queries`` is an iterable of dicts — ``policy`` plus
+    ``n_threads``/``n_sockets`` (the wire aliases ``threads``/
+    ``sockets`` are accepted too) — and the result is the matching
+    list of :class:`~repro.place.index.PlacementResult`.  The topology
+    is resolved once and every query is an index lookup, so a thousand
+    queries cost barely more than one.
+    """
+    mctop = _resolve_mctop(mctop_or_name, seed, infer_kwargs)
+    index = mctop.placement_index()
+    results = []
+    for query in queries:
+        policy = query.get("policy", "CON_HWC")
+        n_threads = query.get("n_threads", query.get("threads"))
+        n_sockets = query.get("n_sockets", query.get("sockets"))
+        results.append(index.get(policy, n_threads, n_sockets))
+    return results

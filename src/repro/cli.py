@@ -409,6 +409,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         peers=tuple(args.peer or ()),
         peer_timeout=args.peer_timeout,
         peer_fanout=args.peer_fanout,
+        placement_index=not args.no_placement_index,
     )
     if config.watch_interval is not None and not config.watch_machines:
         raise MctopError("--watch-interval needs --watch-machines M1,M2,...")
@@ -569,7 +570,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         params["repetitions"] = args.repetitions
         if args.jobs != 1:
             params["jobs"] = args.jobs
-    elif args.verb in ("infer", "show", "place", "pool_switch", "validate"):
+    elif args.verb in ("infer", "show", "place", "place_many",
+                       "pool_switch", "validate"):
         raise MctopError(f"query {args.verb} needs a MACHINE argument")
     if args.verb in ("place", "pool_switch"):
         params["policy"] = args.policy
@@ -577,6 +579,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
             params["threads"] = args.threads
         if args.sockets is not None:
             params["sockets"] = args.sockets
+    elif args.verb == "place_many":
+        queries_json = getattr(args, "queries", None)
+        if queries_json is not None:
+            try:
+                queries = json.loads(queries_json)
+            except json.JSONDecodeError as exc:
+                raise MctopError(f"--queries is not JSON: {exc}") from None
+            if not isinstance(queries, list):
+                raise MctopError("--queries must be a JSON list of "
+                                 "{policy, threads, sockets} objects")
+        else:
+            # Without --queries, a batch of one from the place flags.
+            query = {"policy": args.policy}
+            if args.threads is not None:
+                query["threads"] = args.threads
+            if args.sockets is not None:
+                query["sockets"] = args.sockets
+            queries = [query]
+        params["queries"] = queries
     prom = args.verb == "metrics" and args.format in ("prom", "prometheus")
     if prom:
         params["format"] = "prometheus"
@@ -620,6 +641,107 @@ def _cmd_top(args: argparse.Namespace) -> int:
             clear=not args.no_clear,
             fleet=args.fleet,
         )
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Open-loop load generation against mctopd (docs/PLACEMENT.md)."""
+    import json
+
+    from repro.obs.history import (
+        append_history,
+        compare_bench,
+        load_baseline,
+        render_verdict_table,
+    )
+    from repro.service.client import MctopClient
+    from repro.service.loadgen import (
+        LoadgenConfig,
+        SelfHostedDaemon,
+        loadgen_bench_doc,
+        parse_mix,
+        render_loadgen_report,
+        run_loadgen,
+    )
+
+    config = LoadgenConfig(
+        machine=args.machine,
+        duration=args.duration,
+        rate=args.rate,
+        batch=args.batch,
+        workers=args.workers,
+        mix=parse_mix(args.mix),
+        include_stats=args.include_stats,
+        seed=args.seed,
+        repetitions=args.repetitions,
+    )
+
+    def run(unix_path: str | None, host: str | None, port: int) -> dict:
+        def make_client() -> MctopClient:
+            return MctopClient(unix_path=unix_path, host=host, port=port,
+                               timeout=args.timeout)
+
+        return run_loadgen(config, make_client, progress=print)
+
+    if args.unix is None and args.host is None:
+        # Self-contained run: a throwaway in-process daemon on a Unix
+        # socket in a temp directory (what the CI smoke job uses).
+        with SelfHostedDaemon(
+            repetitions=args.repetitions or 31
+        ) as daemon:
+            doc = run(daemon.unix_path, None, 0)
+    else:
+        doc = run(args.unix, args.host, args.port)
+
+    print(render_loadgen_report(doc))
+    if args.out:
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        print(f"loadgen document written to {args.out}")
+    if args.hist_out:
+        target = Path(args.hist_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(doc["histogram"], indent=1, sort_keys=True) + "\n"
+        )
+        print(f"latency histogram written to {args.hist_out}")
+
+    bench_doc = loadgen_bench_doc(doc)
+    if not args.no_history:
+        history = args.history
+        if history is None:
+            anchor = Path(args.out) if args.out else Path("LOADGEN.json")
+            history = str(anchor.with_name("BENCH_HISTORY.jsonl"))
+        append_history(bench_doc, history)
+
+    failed = False
+    if doc["frame_errors"]:
+        print(f"error: {doc['frame_errors']} request frames failed",
+              file=sys.stderr)
+        failed = True
+    if doc["query_errors"]:
+        print(f"error: {doc['query_errors']} placement queries returned "
+              "errors", file=sys.stderr)
+        failed = True
+    if args.slo_p99 is not None and doc["p99_ms"] > args.slo_p99:
+        print(f"error: place p99 {doc['p99_ms']}ms exceeds the "
+              f"--slo-p99 {args.slo_p99:g}ms budget", file=sys.stderr)
+        failed = True
+
+    if args.compare is not None:
+        try:
+            baseline = load_baseline(args.compare)
+            comparison = compare_bench(
+                bench_doc, baseline,
+                metric=args.compare_metric,
+                threshold=args.threshold,
+            )
+        except (OSError, ValueError) as exc:
+            raise MctopError(str(exc)) from None
+        print(render_verdict_table(comparison))
+        if not comparison["ok"]:
+            failed = True
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -759,7 +881,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default 25)")
     p_bench.add_argument("--compare-metric", default="speedup_vs_scalar",
                          choices=("speedup_vs_scalar", "samples_per_sec",
-                                  "machines_per_sec", "wall_seconds"),
+                                  "machines_per_sec", "wall_seconds",
+                                  "place_qps", "p99_ms"),
                          help="metric the gate diffs (the default is a "
                               "same-host ratio, robust across runners)")
     p_bench.add_argument("--threshold", type=float, default=0.15,
@@ -860,6 +983,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-peer cache_fetch budget (seconds)")
     p_serve.add_argument("--peer-fanout", type=int, default=2,
                          help="ring-adjacent peers asked per cache miss")
+    p_serve.add_argument("--no-placement-index", action="store_true",
+                         help="skip precomputing placement indices; "
+                              "place answers through the legacy "
+                              "per-session pool (docs/PLACEMENT.md)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_fleet = sub.add_parser(
@@ -936,6 +1063,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fquery.add_argument("--policy", default="CON_HWC")
     p_fquery.add_argument("--threads", type=int, default=None)
     p_fquery.add_argument("--sockets", type=int, default=None)
+    p_fquery.add_argument("--queries", metavar="JSON",
+                          help="place_many verb: JSON list of "
+                               "{policy, threads, sockets} query objects")
     p_fquery.add_argument("--timeout", type=float, default=120.0,
                           help="client-side socket timeout (seconds)")
     p_fquery.add_argument("--json", action="store_true",
@@ -961,6 +1091,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--policy", default="CON_HWC")
     p_query.add_argument("--threads", type=int, default=None)
     p_query.add_argument("--sockets", type=int, default=None)
+    p_query.add_argument("--queries", metavar="JSON",
+                         help="place_many verb: JSON list of "
+                              "{policy, threads, sockets} query objects")
     p_query.add_argument("--timeout", type=float, default=120.0,
                          help="client-side socket timeout (seconds)")
     p_query.add_argument("--json", action="store_true",
@@ -991,6 +1124,71 @@ def build_parser() -> argparse.ArgumentParser:
                        help="against a fleet router: add the membership "
                             "section (polls the fleet verb)")
     p_top.set_defaults(func=_cmd_top)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator for the placement service: "
+             "mixed place_many/infer traffic at a target rate, "
+             "p50/p99/p999 vs --slo-p99, place_qps into the bench "
+             "history gate (see docs/PLACEMENT.md)",
+    )
+    endpoint(p_loadgen)
+    p_loadgen.add_argument("--machine", default="testbox",
+                           help="catalog machine the traffic targets "
+                                "(default testbox)")
+    p_loadgen.add_argument("--duration", type=float, default=10.0,
+                           help="measured window (seconds, default 10)")
+    p_loadgen.add_argument("--rate", type=float, default=150_000.0,
+                           help="target placement-query arrival rate "
+                                "(queries/sec, default 150000)")
+    p_loadgen.add_argument("--batch", type=int, default=512,
+                           help="queries per place_many frame "
+                                "(default 512)")
+    p_loadgen.add_argument("--workers", type=int, default=4,
+                           help="client threads sharing the schedule, "
+                                "one connection each (default 4)")
+    p_loadgen.add_argument("--mix", default="place=0.9,infer=0.1",
+                           help="relative frame-mix weights, e.g. "
+                                "place=0.9,infer=0.1 (the default)")
+    p_loadgen.add_argument("--include-stats", action="store_true",
+                           help="ship the Figure-7 stats block with "
+                                "every result (10x bigger responses)")
+    p_loadgen.add_argument("--seed", type=int, default=1,
+                           help="schedule/query RNG seed (default 1)")
+    p_loadgen.add_argument("--repetitions", type=int, default=None,
+                           help="latency samples per context pair for "
+                                "the warm-up inference")
+    p_loadgen.add_argument("--timeout", type=float, default=30.0,
+                           help="client-side socket timeout (seconds)")
+    p_loadgen.add_argument("--slo-p99", type=float, default=None,
+                           metavar="MS",
+                           help="fail (exit 1) when the place-frame p99 "
+                                "exceeds this many milliseconds")
+    p_loadgen.add_argument("--out",
+                           help="write the full loadgen JSON document "
+                                "here")
+    p_loadgen.add_argument("--hist-out", metavar="PATH",
+                           help="write the latency histogram JSON here "
+                                "(the CI failure artifact)")
+    p_loadgen.add_argument("--history", default=None,
+                           help="append a place_qps record to this "
+                                "JSONL history (default: "
+                                "BENCH_HISTORY.jsonl next to --out)")
+    p_loadgen.add_argument("--no-history", action="store_true",
+                           help="skip the history append")
+    p_loadgen.add_argument("--compare", metavar="BASELINE",
+                           help="gate against a bench JSON or JSONL "
+                                "history baseline; exit 1 on regression")
+    p_loadgen.add_argument("--compare-metric", default="place_qps",
+                           choices=("place_qps", "p99_ms",
+                                    "samples_per_sec", "wall_seconds",
+                                    "speedup_vs_scalar"),
+                           help="metric the gate diffs (default "
+                                "place_qps)")
+    p_loadgen.add_argument("--threshold", type=float, default=0.15,
+                           help="fractional worsening tolerated before "
+                                "the gate fails (default 0.15 = 15%%)")
+    p_loadgen.set_defaults(func=_cmd_loadgen)
 
     return parser
 

@@ -90,6 +90,11 @@ class Mctop:
         # Context ids need not be contiguous (renumbered/synthetic
         # machines); the latency table rows follow sorted-id order.
         self._ctx_rows = {cid: i for i, cid in enumerate(sorted(contexts))}
+        #: Lazy caches for the placement API: the ``placements`` pool
+        #: and the precomputed per-policy index (attached by
+        #: ``load_mctop`` when a sidecar exists, or built on demand).
+        self._placements = None
+        self._placement_index = None
         self._validate_linkage()
 
     # ------------------------------------------------------------ basics
@@ -322,6 +327,37 @@ class Mctop:
         for s in self.socket_ids():
             out.extend(self.socket_get_contexts(s)[:per_socket])
         return out
+
+    # --------------------------------------------------------- placement
+    @property
+    def placements(self):
+        """The topology's placement pool (lazily built, cached).
+
+        The supported way to get a
+        :class:`~repro.place.pool.PlacementPool` — constructing one
+        directly is deprecated in favor of this property, so every
+        consumer of the same topology shares one memoized pool.
+        """
+        if self._placements is None:
+            from repro.place.pool import PlacementPool
+
+            self._placements = PlacementPool(self, _warn=False)
+        return self._placements
+
+    def placement_index(self, build: bool = True):
+        """The precomputed per-policy placement index.
+
+        Built eagerly on first call (``build=True``) and cached on the
+        topology; with ``build=False`` returns whatever is attached
+        (``load_mctop`` attaches a persisted sidecar index) or ``None``.
+        """
+        if self._placement_index is None and build:
+            from repro.place.index import PlacementIndex
+
+            index = PlacementIndex(self)
+            index.build()
+            self._placement_index = index
+        return self._placement_index
 
     # -------------------------------------------------------- validation
     def _validate_linkage(self) -> None:

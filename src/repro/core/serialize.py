@@ -160,7 +160,10 @@ def load_mctop(path: str | Path) -> Mctop:
     """Load a topology from a description file.
 
     Compression is detected from the file's magic bytes (not its
-    name), so a renamed ``.mct.gz`` still loads.
+    name), so a renamed ``.mct.gz`` still loads.  A placement-index
+    sidecar (``x.pidx.gz`` next to ``x.mct.gz``) is attached when
+    present, so loaded topologies answer indexed ``place`` queries
+    without a rebuild; a stale or corrupt sidecar is simply ignored.
     """
     path = Path(path)
     try:
@@ -173,4 +176,12 @@ def load_mctop(path: str | Path) -> Mctop:
         raise SerializationError(f"cannot read {path}: {exc}") from exc
     mctop = mctop_from_dict(data)
     mctop.provenance.inferred = False
+    from repro.place.index import load_placement_index, placement_index_path
+
+    sidecar = placement_index_path(path)
+    if sidecar.exists():
+        try:
+            mctop._placement_index = load_placement_index(sidecar, mctop)
+        except SerializationError:
+            pass
     return mctop

@@ -12,8 +12,9 @@ the same member, whose local single-flight runs MCTOP-ALG exactly once
 
 Routing rules:
 
-* ``infer``/``show``/``place``/``pool_switch``/``validate`` — hashed by
-  inference digest onto the ring; failover walks the digest's
+* ``infer``/``show``/``place``/``place_many``/``pool_switch``/
+  ``validate`` — hashed by inference digest onto the ring; failover
+  walks the digest's
   preference list on *transport* errors only (a member's application
   error is the answer, not a reason to ask someone else).
 * ``metrics``/``drift`` — fan out to every in-ring member and merge
@@ -67,7 +68,10 @@ from repro.service.protocol import (
 )
 
 #: Verbs routed by inference digest (all resolve machine/seed/table).
-DIGEST_VERBS = ("infer", "show", "place", "pool_switch", "validate")
+#: ``place_many`` shares ``place``'s params shape at the top level, so
+#: a whole batch lands on the digest's owner — one member, one index.
+DIGEST_VERBS = ("infer", "show", "place", "place_many", "pool_switch",
+                "validate")
 
 #: Verbs that fan out to every member and merge.
 AGGREGATE_VERBS = ("metrics", "drift")

@@ -26,12 +26,29 @@ from pathlib import Path
 from typing import Any
 
 #: Metrics the gate knows, mapped to whether smaller values win.
+#: ``place_qps`` / ``p99_ms`` come from ``mctop loadgen`` (placement
+#: service throughput and tail latency); the rest from ``mctop bench``.
 GATE_METRICS = {
     "speedup_vs_scalar": False,
     "samples_per_sec": False,
     "machines_per_sec": False,
     "wall_seconds": True,
+    "place_qps": False,
+    "p99_ms": True,
 }
+
+#: Per-mode stats carried into a history record when present (beyond
+#: the always-there bench triple) — the loadgen mode's throughput and
+#: latency percentiles ride the same history file as bench records.
+OPTIONAL_STATS = (
+    "machines_per_sec",
+    "place_qps",
+    "p50_ms",
+    "p99_ms",
+    "p999_ms",
+    "achieved_rate",
+    "target_rate",
+)
 
 DEFAULT_METRIC = "speedup_vs_scalar"
 DEFAULT_THRESHOLD = 0.15
@@ -73,8 +90,9 @@ def history_records(
                 "seed": doc.get("seed"),
                 "jobs": stats.get("jobs"),
             }
-            if "machines_per_sec" in stats:
-                record["machines_per_sec"] = stats["machines_per_sec"]
+            for name in OPTIONAL_STATS:
+                if name in stats:
+                    record[name] = stats[name]
             records.append(record)
     return records
 

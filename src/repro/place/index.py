@@ -1,0 +1,505 @@
+"""Precomputed placement indices: ``place`` as a dictionary lookup.
+
+Placement orderings are pure functions of the topology, so a service
+that answers placement queries per-request is recomputing constants.
+A :class:`PlacementIndex` materializes the answer for every policy of
+Table 2 across the useful ``n_threads``/``n_sockets`` grid once — at
+cache-insert time in ``mctopd``, or on first use through the facade —
+and turns each query into one dict probe.
+
+Byte-identity with the legacy compute path is the contract: orderings
+come from the same `repro.place.policies` helpers and stats strings
+from the same :func:`~repro.place.placement.render_stats` formatter, so
+an indexed ``place`` response is indistinguishable from a computed one.
+
+Two structural facts keep the build fast and the index small:
+
+* Every policy except the BALANCE_* family slices a fixed full-length
+  ordering (``compute_order`` applies ``order[:n_threads]``), so one
+  stored ordering per (policy, n_sockets) serves every thread count,
+  and the per-prefix max latency falls out of one vectorized
+  prefix-max over the ordered latency submatrix.
+* The BALANCE_* orderings do depend on ``n_threads``, but only through
+  `_balanced_counts` slicing of per-socket suborders that are computed
+  once per socket.
+
+The index persists to a ``.pidx.gz`` sidecar next to the ``.mct.gz``
+description (gzip, ``mtime=0``), so daemon warm restarts skip the
+rebuild: ``load_mctop`` auto-attaches the sidecar when present.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import PlacementError, SerializationError
+from repro.core.mctop import Mctop
+from repro.place.placement import Placement, render_stats
+from repro.place.policies import (
+    ALL_POLICIES,
+    Policy,
+    _balanced_counts,
+    _interleave,
+    _order_for,
+    _socket_core_first_order,
+    _socket_hwc_order,
+    socket_chain,
+)
+
+INDEX_FORMAT = "mctop-placement-index"
+INDEX_VERSION = 1
+
+#: Policies whose ordering changes with ``n_threads`` (the balance is
+#: against the thread count); everything else is prefix-sliceable.
+_THREAD_DEPENDENT = frozenset(
+    (Policy.BALANCE_HWC, Policy.BALANCE_CORE_HWC, Policy.BALANCE_CORE)
+)
+
+
+@dataclass(frozen=True)
+class GridBounds:
+    """Caps on the precomputed grid (lookups outside the bounds miss
+    and fall back to the legacy compute path — still correct, just not
+    indexed).  ``None`` means the machine's natural limit."""
+
+    max_threads: int | None = None
+    max_sockets: int | None = None
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """One indexed placement answer."""
+
+    policy: str
+    ordering: tuple[int, ...]
+    stats: str
+    max_latency: int
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.ordering)
+
+
+def _balance_ordering(per_socket: list[list[int]], nt: int,
+                      ns: int) -> list[int]:
+    """The BALANCE_* ordering for ``nt`` threads, replicating the
+    head/tail slicing of ``policies._order_for`` exactly."""
+    counts = _balanced_counts(nt, ns)
+    out = [c for p, n in zip(per_socket, counts) for c in p[:n]]
+    if len(out) < nt:
+        tail = [p[n:] for p, n in zip(per_socket, counts)]
+        out.extend(_interleave(tail) if any(tail) else [])
+    return out[:nt]
+
+
+class PlacementIndex:
+    """Every Table-2 placement for one topology, precomputed.
+
+    Keys are ``(policy, n_threads, n_sockets)`` after normalization
+    (``n_sockets=None`` means the full socket chain, ``n_threads=None``
+    the chain's full context capacity).  :meth:`lookup` is the strict
+    probe (``None`` on a miss), :meth:`get` computes-and-caches through
+    the legacy path on a miss — raising the same
+    :class:`~repro.errors.PlacementError` the legacy path raises for
+    invalid or unsupported requests.
+    """
+
+    def __init__(self, mctop: Mctop, bounds: GridBounds | None = None):
+        self.mctop = mctop
+        self.bounds = bounds or GridBounds()
+        self.prebuilt = False
+        self.build_seconds: float | None = None
+        self._chain = socket_chain(mctop)
+        sizes = {
+            s: len(mctop.socket_get_contexts(s)) for s in self._chain
+        }
+        self._socket_sizes = sizes
+        #: Context capacity of the first-N-sockets prefix of the chain.
+        self._capacity = {
+            ns: sum(sizes[s] for s in self._chain[:ns])
+            for ns in range(1, len(self._chain) + 1)
+        }
+        #: (policy, n_sockets) -> full-length ordering, for the
+        #: prefix-sliceable policies.
+        self._full: dict[tuple[str, int], list[int]] = {}
+        #: (policy, n_threads, n_sockets) -> (ordering | None, stats,
+        #: max_latency); ``None`` orderings slice ``_full`` on lookup.
+        self._entries: dict[tuple[str, int, int],
+                            tuple[tuple[int, ...] | None, str, int]] = {}
+        #: policy -> error message, for policies this machine cannot
+        #: serve (POWER without RAPL, RR_SCALE without memory data).
+        self._unavailable: dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._suborder_memo: dict[tuple[str, int], list[int]] = {}
+
+    # ------------------------------------------------------------- build
+    def build(self) -> "PlacementIndex":
+        """Materialize the whole grid (idempotent)."""
+        if self.prebuilt:
+            return self
+        t0 = time.perf_counter()
+        max_ns = len(self._chain)
+        if self.bounds.max_sockets is not None:
+            max_ns = min(max_ns, self.bounds.max_sockets)
+        for policy in ALL_POLICIES:
+            staged: dict = {}
+            full: dict = {}
+            try:
+                self._build_policy(policy, max_ns, staged, full)
+            except PlacementError as exc:
+                self._unavailable[policy.value] = str(exc)
+                continue
+            with self._lock:
+                self._entries.update(staged)
+                self._full.update(full)
+        self.prebuilt = True
+        self.build_seconds = time.perf_counter() - t0
+        return self
+
+    def _suborder(self, socket_id: int, core_first: bool) -> list[int]:
+        key = ("core" if core_first else "hwc", socket_id)
+        order = self._suborder_memo.get(key)
+        if order is None:
+            fn = _socket_core_first_order if core_first else _socket_hwc_order
+            order = fn(self.mctop, socket_id)
+            self._suborder_memo[key] = order
+        return order
+
+    def _cap_threads(self, capacity: int) -> int:
+        if self.bounds.max_threads is None:
+            return capacity
+        return min(capacity, self.bounds.max_threads)
+
+    def _rows(self, ordering: list[int]) -> np.ndarray:
+        ctx_rows = self.mctop._ctx_rows
+        return np.fromiter(
+            (ctx_rows[c] for c in ordering), dtype=np.intp,
+            count=len(ordering),
+        )
+
+    def _build_policy(self, policy: Policy, max_ns: int,
+                      staged: dict, full_out: dict) -> None:
+        mctop = self.mctop
+        lat = mctop.lat_table
+        for ns in range(1, max_ns + 1):
+            sub_chain = self._chain[:ns]
+            if policy in _THREAD_DEPENDENT:
+                core_first = policy is not Policy.BALANCE_HWC
+                per_socket = [
+                    self._suborder(s, core_first) for s in sub_chain
+                ]
+                cap = self._cap_threads(sum(len(p) for p in per_socket))
+                for nt in range(1, cap + 1):
+                    ordering = _balance_ordering(per_socket, nt, ns)
+                    if nt > 1:
+                        rows = self._rows(ordering)
+                        max_lat = int(
+                            np.triu(lat[np.ix_(rows, rows)], 1).max()
+                        )
+                    else:
+                        max_lat = 0
+                    stats = self._render(policy, ordering, max_lat)
+                    staged[(policy.value, nt, ns)] = (
+                        tuple(ordering), stats, max_lat,
+                    )
+            else:
+                full = _order_for(mctop, policy, sub_chain, None)
+                cap = self._cap_threads(len(full))
+                rows = self._rows(full)
+                sub = lat[np.ix_(rows, rows)]
+                # prefix_max[j] = max latency over ordered pairs within
+                # the first j+1 contexts (the legacy upper-triangle
+                # walk, vectorized); prefix_max[0] is 0, matching
+                # Mctop.max_latency's < 2 contexts case.
+                prefix_max = np.maximum.accumulate(
+                    np.triu(sub, 1).max(axis=0)
+                )
+                sockets: list[int] = []
+                ctxps: dict[int, int] = {}
+                cps: dict[int, int] = {}
+                seen_cores: set[int] = set()
+                for nt in range(1, cap + 1):
+                    ctx = full[nt - 1]
+                    s = mctop.socket_of_context(ctx)
+                    core = mctop.core_of_context(ctx)
+                    if s not in ctxps:
+                        sockets.append(s)
+                        ctxps[s] = 0
+                        cps[s] = 0
+                    ctxps[s] += 1
+                    if core not in seen_cores:
+                        seen_cores.add(core)
+                        cps[s] += 1
+                    max_lat = int(prefix_max[nt - 1])
+                    stats = render_stats(
+                        mctop, policy, full[:nt],
+                        sockets=sockets, ctxps=ctxps, cps=cps,
+                        n_cores=len(seen_cores), max_latency=max_lat,
+                        socket_sizes=self._socket_sizes,
+                    )
+                    staged[(policy.value, nt, ns)] = (None, stats, max_lat)
+                full_out[(policy.value, ns)] = full
+
+    def _render(self, policy: Policy, ordering: list[int],
+                max_lat: int) -> str:
+        mctop = self.mctop
+        sockets: list[int] = []
+        ctxps: dict[int, int] = {}
+        cps: dict[int, int] = {}
+        seen_cores: set[int] = set()
+        for ctx in ordering:
+            s = mctop.socket_of_context(ctx)
+            core = mctop.core_of_context(ctx)
+            if s not in ctxps:
+                sockets.append(s)
+                ctxps[s] = 0
+                cps[s] = 0
+            ctxps[s] += 1
+            if core not in seen_cores:
+                seen_cores.add(core)
+                cps[s] += 1
+        return render_stats(
+            mctop, policy, ordering,
+            sockets=sockets, ctxps=ctxps, cps=cps,
+            n_cores=len(seen_cores), max_latency=max_lat,
+            socket_sizes=self._socket_sizes,
+        )
+
+    # ------------------------------------------------------------ lookup
+    def _normalize(
+        self, policy: Policy | str, n_threads: int | None,
+        n_sockets: int | None,
+    ) -> tuple[str, int, int] | None:
+        value = policy.value if isinstance(policy, Policy) else str(policy)
+        ns = len(self._chain) if n_sockets is None else n_sockets
+        if not 1 <= ns <= len(self._chain):
+            return None
+        nt = self._capacity[ns] if n_threads is None else n_threads
+        if nt < 1:
+            return None
+        return (value, nt, ns)
+
+    def lookup(
+        self,
+        policy: Policy | str,
+        n_threads: int | None = None,
+        n_sockets: int | None = None,
+    ) -> PlacementResult | None:
+        """The strict probe: the indexed answer, or ``None``."""
+        key = self._normalize(policy, n_threads, n_sockets)
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        ordering, stats, max_lat = entry
+        if ordering is None:
+            ordering = tuple(self._full[(key[0], key[2])][:key[1]])
+        return PlacementResult(
+            policy=key[0], ordering=ordering, stats=stats,
+            max_latency=max_lat,
+        )
+
+    def get(
+        self,
+        policy: Policy | str,
+        n_threads: int | None = None,
+        n_sockets: int | None = None,
+    ) -> PlacementResult:
+        """Lookup, computing (and caching) through the legacy path on a
+        miss — so it raises exactly what ``Placement`` would."""
+        result = self.lookup(policy, n_threads, n_sockets)
+        if result is not None:
+            return result
+        placement = Placement(self.mctop, policy, n_threads, n_sockets)
+        result = PlacementResult(
+            policy=placement.policy.value,
+            ordering=tuple(placement.ordering),
+            stats=placement.print_stats(),
+            max_latency=placement.max_latency(),
+        )
+        key = self._normalize(placement.policy, n_threads, n_sockets)
+        if key is not None:
+            with self._lock:
+                self._entries.setdefault(
+                    key, (result.ordering, result.stats, result.max_latency)
+                )
+        return result
+
+    def placement(
+        self,
+        policy: Policy | str,
+        n_threads: int | None = None,
+        n_sockets: int | None = None,
+    ) -> Placement:
+        """A pinnable :class:`Placement` from the indexed ordering."""
+        result = self.get(policy, n_threads, n_sockets)
+        return Placement._from_ordering(
+            self.mctop, result.policy, result.ordering, result.max_latency
+        )
+
+    def policy_available(self, policy: Policy | str) -> bool:
+        value = policy.value if isinstance(policy, Policy) else str(policy)
+        return value not in self._unavailable
+
+    # ------------------------------------------------------- introspection
+    @property
+    def n_entries(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "prebuilt": self.prebuilt,
+            "entries": len(self._entries),
+            "policies": len(
+                {p for (p, _, _) in self._entries}
+            ),
+            "unavailable": dict(self._unavailable),
+            "build_seconds": self.build_seconds,
+            "bounds": {
+                "max_threads": self.bounds.max_threads,
+                "max_sockets": self.bounds.max_sockets,
+            },
+        }
+
+
+# -------------------------------------------------------------- sidecar
+def placement_index_path(mct_path: str | Path) -> Path:
+    """The index sidecar path for a description file
+    (``x.mct.gz`` -> ``x.pidx.gz``)."""
+    path = Path(mct_path)
+    name = path.name
+    if name.endswith(".mct.gz"):
+        return path.with_name(name[: -len(".mct.gz")] + ".pidx.gz")
+    if name.endswith(".mct"):
+        return path.with_name(name[: -len(".mct")] + ".pidx")
+    return path.with_name(name + ".pidx.gz")
+
+
+def index_to_dict(index: PlacementIndex) -> dict:
+    """Serialize an index to plain JSON-compatible data."""
+    return {
+        "format": INDEX_FORMAT,
+        "version": INDEX_VERSION,
+        "machine": index.mctop.name,
+        "chain": list(index._chain),
+        "bounds": {
+            "max_threads": index.bounds.max_threads,
+            "max_sockets": index.bounds.max_sockets,
+        },
+        "build_seconds": index.build_seconds,
+        "unavailable": dict(index._unavailable),
+        "full": [
+            {"policy": p, "sockets": ns, "ordering": list(order)}
+            for (p, ns), order in sorted(index._full.items())
+        ],
+        "entries": [
+            {
+                "policy": p,
+                "threads": nt,
+                "sockets": ns,
+                "ordering": None if o is None else list(o),
+                "stats": stats,
+                "max_latency": max_lat,
+            }
+            for (p, nt, ns), (o, stats, max_lat)
+            in sorted(index._entries.items())
+        ],
+    }
+
+
+def index_from_dict(data: dict, mctop: Mctop) -> PlacementIndex:
+    """Rebuild a prebuilt index from serialized data.
+
+    The document must name the same machine and agree on the socket
+    chain — a stale sidecar against a drifted topology is rejected
+    rather than silently serving wrong orderings.
+    """
+    try:
+        if data.get("format") != INDEX_FORMAT:
+            raise SerializationError("not a placement-index document")
+        if data.get("version", 0) > INDEX_VERSION:
+            raise SerializationError(
+                f"index version {data['version']} is newer than this "
+                f"library supports ({INDEX_VERSION})"
+            )
+        if data.get("machine") != mctop.name:
+            raise SerializationError(
+                f"index is for machine {data.get('machine')!r}, "
+                f"not {mctop.name!r}"
+            )
+        bounds_doc = data.get("bounds") or {}
+        index = PlacementIndex(
+            mctop,
+            GridBounds(
+                max_threads=bounds_doc.get("max_threads"),
+                max_sockets=bounds_doc.get("max_sockets"),
+            ),
+        )
+        if list(data.get("chain", [])) != list(index._chain):
+            raise SerializationError(
+                "index socket chain does not match the topology"
+            )
+        for item in data["full"]:
+            index._full[(item["policy"], int(item["sockets"]))] = [
+                int(c) for c in item["ordering"]
+            ]
+        for item in data["entries"]:
+            ordering = item["ordering"]
+            index._entries[
+                (item["policy"], int(item["threads"]), int(item["sockets"]))
+            ] = (
+                None if ordering is None else tuple(int(c) for c in ordering),
+                item["stats"],
+                int(item["max_latency"]),
+            )
+        index._unavailable.update(data.get("unavailable", {}))
+        index.prebuilt = True
+        index.build_seconds = data.get("build_seconds")
+        return index
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"malformed placement index: {exc}"
+        ) from exc
+
+
+#: The two magic bytes every gzip stream starts with.
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def save_placement_index(index: PlacementIndex,
+                         path: str | Path) -> Path:
+    """Write an index sidecar; ``.gz`` names gzip with ``mtime=0`` so
+    identical indices are byte-identical files."""
+    path = Path(path)
+    payload = json.dumps(index_to_dict(index)).encode("utf-8")
+    if ".gz" in path.suffixes:
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, filename="", mode="wb",
+                               mtime=0) as fh:
+                fh.write(payload)
+    else:
+        path.write_bytes(payload)
+    return path
+
+
+def load_placement_index(path: str | Path, mctop: Mctop) -> PlacementIndex:
+    """Load a sidecar index for a topology (compression sniffed from
+    the magic bytes, like ``load_mctop``)."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+        if raw[:2] == _GZIP_MAGIC:
+            raw = gzip.decompress(raw)
+        data = json.loads(raw.decode("utf-8"))
+    except (OSError, gzip.BadGzipFile, EOFError, UnicodeDecodeError,
+            json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read {path}: {exc}") from exc
+    return index_from_dict(data, mctop)

@@ -5,11 +5,17 @@ policy and exports the derived information of Figure 7: cores used,
 contexts and cores per socket, bandwidth proportions, maximum power
 estimates, the maximum pairwise latency (the backoff quantum) and the
 minimum bandwidth of the used sockets.
+
+:func:`render_stats` is the shared Figure-7 formatter: both
+``Placement.print_stats`` and the precomputed
+:class:`~repro.place.index.PlacementIndex` go through it, which is what
+keeps indexed and legacy ``place`` responses byte-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import PlacementError
 from repro.core.mctop import Mctop
@@ -28,6 +34,81 @@ class PinnedThread:
     core_index_in_socket: int
 
 
+def render_stats(
+    mctop: Mctop,
+    policy: Policy,
+    ordering: Sequence[int],
+    *,
+    sockets: list[int],
+    ctxps: dict[int, int],
+    cps: dict[int, int],
+    n_cores: int,
+    max_latency: int,
+    socket_sizes: dict[int, int] | None = None,
+) -> str:
+    """The Figure 7 report from precomputed per-socket aggregates.
+
+    ``sockets`` and ``ctxps`` must be in first-seen ordering order (the
+    order ``Placement.sockets_used``/``contexts_per_socket`` produce) —
+    the power totals and the min-bandwidth scan iterate them in that
+    order, so a different insertion order could change float summation
+    and break byte-identity.  ``socket_sizes`` optionally memoizes
+    ``len(socket_get_contexts(s))`` for callers rendering many entries.
+    """
+    n_threads = len(ordering)
+    total = sum(ctxps.values())
+    props = {s: n / total for s, n in ctxps.items()}
+    lines = [
+        f"## MCTOP Placement : MCTOP_PLACE_{policy.value}",
+        f"#  # Cores         : {n_cores}",
+        f"#  HW contexts ({n_threads:3d}) : "
+        + " ".join(str(c) for c in ordering[:16])
+        + (" ..." if n_threads > 16 else ""),
+        f"#  Sockets ({len(sockets)})      : "
+        + " ".join(str(s) for s in sockets),
+        "#  # HW ctx / socket : "
+        + " ".join(str(ctxps[s]) for s in sockets),
+        "#  # Cores / socket  : "
+        + " ".join(str(cps[s]) for s in sockets),
+        "#  BW proportions    : "
+        + " ".join(f"{props[s]:.3f}" for s in sockets),
+    ]
+    info = mctop.power_info
+    if info is not None:
+        no_dram: dict[int, float] = {}
+        with_dram: dict[int, float] = {}
+        for s in ctxps:
+            watts = info.per_socket_idle
+            watts += cps[s] * info.per_core_first
+            watts += (ctxps[s] - cps[s]) * info.per_context_extra
+            no_dram[s] = watts
+            with_dram[s] = watts + info.dram_active_per_socket
+        lines.append(
+            "#  Max pow no DRAM   : "
+            + " ".join(f"{no_dram[s]:.1f}" for s in sockets)
+            + f" = {sum(no_dram.values()):.1f} Watt"
+        )
+        lines.append(
+            "#  Max pow with DRAM : "
+            + " ".join(f"{with_dram[s]:.1f}" for s in sockets)
+            + f" = {sum(with_dram.values()):.1f} Watt"
+        )
+    lines.append(f"#  Max latency       : {max_latency} cycles")
+    if mctop.has_memory_measurements():
+        values = []
+        for s, n_ctx in ctxps.items():
+            size = (
+                socket_sizes[s] if socket_sizes is not None
+                else len(mctop.socket_get_contexts(s))
+            )
+            values.append(
+                mctop.local_bandwidth(s) * min(n_ctx / size * 2, 1.0)
+            )
+        if values:
+            lines.append(f"#  Min bandwidth     : {min(values):.2f} GB/s")
+    return "\n".join(lines)
+
+
 class Placement:
     """One thread-to-context mapping under a single policy."""
 
@@ -44,11 +125,42 @@ class Placement:
         self.n_threads = len(self.ordering)
         self._free = list(reversed(self.ordering))  # pop() from the front
         self._pinned: dict[int, PinnedThread] = {}
+        self._max_latency: int | None = None
+
+    @classmethod
+    def _from_ordering(
+        cls,
+        mctop: Mctop,
+        policy: Policy | str,
+        ordering: Sequence[int],
+        max_latency: int | None = None,
+    ) -> "Placement":
+        """A placement over an already-computed ordering.
+
+        The :class:`~repro.place.index.PlacementIndex` fast path: skips
+        ``compute_order`` entirely and optionally seeds the cached
+        max-latency (the index stores it precomputed).
+        """
+        self = cls.__new__(cls)
+        self.mctop = mctop
+        self.policy = Policy(policy) if isinstance(policy, str) else policy
+        self.ordering = list(ordering)
+        self.n_threads = len(self.ordering)
+        self._free = list(reversed(self.ordering))
+        self._pinned = {}
+        self._max_latency = max_latency
+        return self
 
     # ------------------------------------------------------------ pinning
     @property
     def pins_threads(self) -> bool:
         return self.policy.pins_threads
+
+    @property
+    def in_use(self) -> bool:
+        """True while any thread is pinned (a live ``pool_switch``
+        session, say) — such placements must not be LRU-evicted."""
+        return bool(self._pinned)
 
     def pin(self) -> PinnedThread:
         """Pin the calling thread to the next available context."""
@@ -120,7 +232,9 @@ class Placement:
 
     def max_latency(self) -> int:
         """The educated-backoff quantum of this thread set."""
-        return self.mctop.max_latency(self.ordering)
+        if self._max_latency is None:
+            self._max_latency = self.mctop.max_latency(self.ordering)
+        return self._max_latency
 
     def min_bandwidth(self) -> float | None:
         """Worst local memory bandwidth among the used sockets, scaled
@@ -163,43 +277,16 @@ class Placement:
     # ------------------------------------------------------------- output
     def print_stats(self) -> str:
         """The Figure 7 report."""
-        sockets = self.sockets_used()
-        cps = self.cores_per_socket()
-        ctxps = self.contexts_per_socket()
-        props = self.bandwidth_proportions()
-        lines = [
-            f"## MCTOP Placement : MCTOP_PLACE_{self.policy.value}",
-            f"#  # Cores         : {len(self.cores_used())}",
-            f"#  HW contexts ({self.n_threads:3d}) : "
-            + " ".join(str(c) for c in self.ordering[:16])
-            + (" ..." if self.n_threads > 16 else ""),
-            f"#  Sockets ({len(sockets)})      : "
-            + " ".join(str(s) for s in sockets),
-            "#  # HW ctx / socket : "
-            + " ".join(str(ctxps[s]) for s in sockets),
-            "#  # Cores / socket  : "
-            + " ".join(str(cps[s]) for s in sockets),
-            "#  BW proportions    : "
-            + " ".join(f"{props[s]:.3f}" for s in sockets),
-        ]
-        no_dram = self.max_power(with_dram=False)
-        with_dram = self.max_power(with_dram=True)
-        if no_dram is not None:
-            lines.append(
-                "#  Max pow no DRAM   : "
-                + " ".join(f"{no_dram[s]:.1f}" for s in sockets)
-                + f" = {sum(no_dram.values()):.1f} Watt"
-            )
-            lines.append(
-                "#  Max pow with DRAM : "
-                + " ".join(f"{with_dram[s]:.1f}" for s in sockets)
-                + f" = {sum(with_dram.values()):.1f} Watt"
-            )
-        lines.append(f"#  Max latency       : {self.max_latency()} cycles")
-        min_bw = self.min_bandwidth()
-        if min_bw is not None:
-            lines.append(f"#  Min bandwidth     : {min_bw:.2f} GB/s")
-        return "\n".join(lines)
+        return render_stats(
+            self.mctop,
+            self.policy,
+            self.ordering,
+            sockets=self.sockets_used(),
+            ctxps=self.contexts_per_socket(),
+            cps=self.cores_per_socket(),
+            n_cores=len(self.cores_used()),
+            max_latency=self.max_latency(),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

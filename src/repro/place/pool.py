@@ -13,6 +13,7 @@ evicted, except the active one, which is never dropped.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 
 from repro.errors import PlacementError
@@ -24,7 +25,15 @@ from repro.place.policies import Policy
 class PlacementPool:
     """A pool of placements over one topology."""
 
-    def __init__(self, mctop: Mctop, max_entries: int | None = None):
+    def __init__(self, mctop: Mctop, max_entries: int | None = None,
+                 *, _warn: bool = True):
+        if _warn:
+            warnings.warn(
+                "constructing PlacementPool directly is deprecated; use "
+                "the Mctop.placements property instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if max_entries is not None and max_entries < 1:
             raise PlacementError("max_entries must be >= 1 (or None)")
         self.mctop = mctop
@@ -54,16 +63,20 @@ class PlacementPool:
         if self.max_entries is None:
             return
         while len(self._cache) > self.max_entries:
-            oldest = next(iter(self._cache))
-            if oldest == self._active_key:
-                # The active placement is pinned; evict the next-oldest
-                # instead (unless it is the only entry left).
-                keys = iter(self._cache)
-                next(keys)
-                oldest = next(keys, None)
-                if oldest is None:
-                    return
-            del self._cache[oldest]
+            # The active placement, any placement with live pins (a
+            # session mid-``pool_switch``) and the entry just inserted
+            # are never dropped — evicting one would silently recompute
+            # it with fresh pin state on the next get().  Evict the
+            # oldest other entry instead; if every candidate is exempt,
+            # the pool temporarily overflows.
+            newest = next(reversed(self._cache))
+            for key, placement in self._cache.items():
+                if (key != self._active_key and key != newest
+                        and not placement.in_use):
+                    del self._cache[key]
+                    break
+            else:
+                return
 
     def set_policy(
         self,

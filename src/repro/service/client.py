@@ -1,21 +1,39 @@
 """Synchronous client for ``mctopd``.
 
-A thin blocking wrapper over one socket connection: the CLI's
-``mctop query``, tests and any embedding application use it instead of
-hand-rolling the NDJSON framing.  The connection is stateful on the
-server side (the ``pool_switch`` verb keeps a per-connection placement
-pool), so one :class:`MctopClient` == one session::
+A blocking wrapper over one *or a pool of* socket connections: the
+CLI's ``mctop query``, the load generator, tests and any embedding
+application use it instead of hand-rolling the NDJSON framing.
 
-    with MctopClient(unix_path="/tmp/mctopd.sock") as c:
+Two modes:
+
+* **single-socket** (``pool_size=1``, the default) — the original
+  behavior: one connection, one server-side session.  Kept as a
+  compatibility path; new code that issues many placement queries
+  should prefer the pooled mode below (this path is deprecated for
+  hot-path use, not removed — see ``docs/PLACEMENT.md``).
+* **pooled** (``pool_size=N``) — N connections opened lazily and used
+  round-robin for stateless verbs, plus request *pipelining* via
+  :meth:`request_many` (a sliding window of in-flight frames per
+  connection; ``mctopd`` answers each connection's requests in order,
+  so responses match up positionally).  Session-stateful verbs
+  (``pool_switch``) are pinned to connection 0 so the server-side
+  placement pool they mutate is always the same session.
+
+::
+
+    with MctopClient(unix_path="/tmp/mctopd.sock", pool_size=4) as c:
         c.infer("ivy", seed=1)
-        c.pool_switch("ivy", policy="RR_CORE", seed=1)
+        c.place_many("ivy", [{"policy": "RR_CORE", "threads": t}
+                             for t in range(1, 21)], seed=1)
 
 Errors come back as :class:`~repro.errors.ServiceError` with the wire
 ``code`` attached.  Transport failures (refused connect, reset socket,
 server gone mid-read) carry ``code="unavailable"``; with ``retries=N``
-the client absorbs up to N such failures — and ``backpressure``
+:meth:`request` absorbs up to N such failures — and ``backpressure``
 rejections — itself, sleeping an exponentially growing, jittered
-backoff between attempts.
+backoff between attempts.  :meth:`request_many` is single-attempt: a
+mid-pipeline failure leaves the batch partially processed server-side,
+so the caller decides whether re-sending is safe.
 """
 
 from __future__ import annotations
@@ -23,6 +41,7 @@ from __future__ import annotations
 import random
 import socket
 import time
+from collections import deque
 from pathlib import Path
 
 from repro.errors import ProtocolError, ServiceError
@@ -33,62 +52,20 @@ from repro.service.protocol import (
 )
 
 
-class MctopClient:
-    """One blocking NDJSON session against a running ``mctopd``."""
+class _Connection:
+    """One blocking NDJSON socket (transport only, no retry policy)."""
 
-    #: Error codes worth a retry: the server was never reached (or went
-    #: away before answering), or it explicitly said "try again later".
-    RETRYABLE_CODES = ("unavailable", "backpressure")
-
-    def __init__(
-        self,
-        unix_path: str | Path | None = None,
-        host: str | None = None,
-        port: int | None = None,
-        timeout: float = 120.0,
-        retries: int = 0,
-        backoff: float = 0.05,
-        _sleep=time.sleep,
-    ):
-        if unix_path is None and host is None:
-            raise ServiceError(
-                "MctopClient needs a unix socket path or a TCP host"
-            )
-        if retries < 0:
-            raise ValueError("retries must be >= 0")
-        if backoff < 0:
-            raise ValueError("backoff must be >= 0")
-        self.unix_path = str(unix_path) if unix_path is not None else None
+    def __init__(self, unix_path: str | None, host: str | None,
+                 port: int | None, timeout: float):
+        self.unix_path = unix_path
         self.host = host
         self.port = port
         self.timeout = timeout
-        #: Extra attempts after the first, spent only on
-        #: :data:`RETRYABLE_CODES` failures; anything else (bad params,
-        #: timeouts, server bugs) surfaces immediately.
-        self.retries = retries
-        #: Base delay of the exponential backoff (seconds).  Attempt k
-        #: sleeps ``backoff * 2**k``, jittered ±50% so a herd of
-        #: retrying clients does not re-stampede the daemon in phase.
-        self.backoff = backoff
-        self._sleep = _sleep
-        self._sock: socket.socket | None = None
-        self._file = None
-        self._next_id = 0
-        #: The server-generated ``request_id`` of the most recent
-        #: response (success or error), or ``None`` before the first
-        #: round-trip / against pre-telemetry daemons.  Quote it when
-        #: reporting a slow or failed request — the same id names the
-        #: request's root span and its access-log line on the server.
-        self.last_request_id: str | None = None
-        #: When talking to a fleet router: the ``upstream`` stanza of
-        #: the most recent response (``{"member", "request_id", "ms"}``)
-        #: — which member served it and how long its round-trip took.
-        #: ``None`` against a plain daemon.
-        self.last_upstream: dict | None = None
+        self.sock: socket.socket | None = None
+        self.file = None
 
-    # ------------------------------------------------------------ plumbing
-    def connect(self) -> "MctopClient":
-        if self._sock is not None:
+    def connect(self) -> "_Connection":
+        if self.sock is not None:
             return self
         try:
             if self.unix_path is not None:
@@ -105,23 +82,124 @@ class MctopClient:
                 f"{self.unix_path or f'{self.host}:{self.port}'}: {exc}",
                 code="unavailable",
             ) from exc
-        self._sock = sock
-        self._file = sock.makefile("rb")
+        self.sock = sock
+        self.file = sock.makefile("rb")
         return self
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
-        if self._sock is not None:
-            self._sock.close()
-            self._sock = None
+        if self.file is not None:
+            self.file.close()
+            self.file = None
+        if self.sock is not None:
+            self.sock.close()
+            self.sock = None
+
+
+class MctopClient:
+    """A blocking NDJSON client: one session, or a pipelined pool."""
+
+    #: Error codes worth a retry: the server was never reached (or went
+    #: away before answering), or it explicitly said "try again later".
+    RETRYABLE_CODES = ("unavailable", "backpressure")
+
+    #: Verbs whose effect lives in the per-connection server session;
+    #: in pooled mode they are pinned to connection 0 so every switch
+    #: lands in the same session's placement pool.
+    STATEFUL_VERBS = ("pool_switch",)
+
+    def __init__(
+        self,
+        unix_path: str | Path | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float = 120.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        pool_size: int = 1,
+        _sleep=time.sleep,
+    ):
+        if unix_path is None and host is None:
+            raise ServiceError(
+                "MctopClient needs a unix socket path or a TCP host"
+            )
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.unix_path = str(unix_path) if unix_path is not None else None
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        #: Extra attempts after the first, spent only on
+        #: :data:`RETRYABLE_CODES` failures; anything else (bad params,
+        #: timeouts, server bugs) surfaces immediately.
+        self.retries = retries
+        #: Base delay of the exponential backoff (seconds).  Attempt k
+        #: sleeps ``backoff * 2**k``, jittered ±50% so a herd of
+        #: retrying clients does not re-stampede the daemon in phase.
+        self.backoff = backoff
+        self.pool_size = pool_size
+        self._sleep = _sleep
+        self._conns: list[_Connection | None] = [None] * pool_size
+        self._rr = 0
+        self._next_id = 0
+        #: The server-generated ``request_id`` of the most recent
+        #: response (success or error), or ``None`` before the first
+        #: round-trip / against pre-telemetry daemons.  Quote it when
+        #: reporting a slow or failed request — the same id names the
+        #: request's root span and its access-log line on the server.
+        self.last_request_id: str | None = None
+        #: When talking to a fleet router: the ``upstream`` stanza of
+        #: the most recent response (``{"member", "request_id", "ms"}``)
+        #: — which member served it and how long its round-trip took.
+        #: ``None`` against a plain daemon.
+        self.last_upstream: dict | None = None
+
+    # ------------------------------------------------------------ plumbing
+    def _conn(self, index: int) -> _Connection:
+        conn = self._conns[index]
+        if conn is None:
+            conn = _Connection(self.unix_path, self.host, self.port,
+                               self.timeout)
+            self._conns[index] = conn
+        return conn.connect()
+
+    def _connection_for(self, verb: str) -> _Connection:
+        if self.pool_size == 1 or verb in self.STATEFUL_VERBS:
+            return self._conn(0)
+        index = self._rr % self.pool_size
+        self._rr += 1
+        return self._conn(index)
+
+    def connect(self) -> "MctopClient":
+        """Eagerly open connection 0 (the rest open on first use)."""
+        self._conn(0)
+        return self
+
+    def close(self) -> None:
+        for conn in self._conns:
+            if conn is not None:
+                conn.close()
 
     def __enter__(self) -> "MctopClient":
         return self.connect()
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    @property
+    def _sock(self):
+        """Connection 0's raw socket (compat with the pre-pool client)."""
+        conn = self._conns[0]
+        return conn.sock if conn is not None else None
+
+    @property
+    def _file(self):
+        """Connection 0's buffered reader (compat, see ``_sock``)."""
+        conn = self._conns[0]
+        return conn.file if conn is not None else None
 
     # ------------------------------------------------------------- request
     def request(self, verb: str, **params) -> dict:
@@ -146,26 +224,82 @@ class MctopClient:
                 self._sleep(delay * random.uniform(0.5, 1.5))
             attempt += 1
 
+    def request_many(self, verb: str, params_list, *,
+                     window: int = 16) -> list[dict]:
+        """Pipeline many requests over one connection; results in order.
+
+        Up to ``window`` frames are kept in flight: the daemon handles
+        one request per connection at a time and writes responses in
+        order, so the k-th response answers the k-th request.  One
+        round-trip of latency is paid once, not per request — this is
+        how the load generator sustains its throughput.
+
+        Single-attempt by design (no retry loop): an error response or
+        transport failure closes the connection and raises, because
+        earlier requests in the window may already have been processed.
+        ``window`` bounds the response bytes parked in kernel buffers;
+        keep it modest for verbs with large responses (``place_many``).
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        params_list = list(params_list)
+        if not params_list:
+            return []
+        conn = self._connection_for(verb)
+        results: list[dict] = []
+        pending: deque[int] = deque()
+        sent = 0
+        try:
+            while len(results) < len(params_list):
+                while sent < len(params_list) and len(pending) < window:
+                    self._next_id += 1
+                    frame = encode_frame({"verb": verb, "id": self._next_id,
+                                          "params": params_list[sent]})
+                    try:
+                        conn.sock.sendall(frame)
+                    except OSError as exc:
+                        raise ServiceError(
+                            f"mctopd connection failed: {exc}",
+                            code="unavailable",
+                        ) from exc
+                    pending.append(self._next_id)
+                    sent += 1
+                results.append(self._read_response(conn, pending.popleft()))
+        except (ServiceError, ProtocolError):
+            # In-flight responses past the failure are unrecoverable on
+            # this socket; drop it so the next call reconnects clean.
+            conn.close()
+            raise
+        return results
+
     def _request_once(self, verb: str, params: dict) -> dict:
-        self.connect()
+        conn = self._connection_for(verb)
         self._next_id += 1
         request_id = self._next_id
         frame = encode_frame(
             {"verb": verb, "id": request_id, "params": params}
         )
         try:
-            self._sock.sendall(frame)
-            line = self._file.readline(MAX_LINE_BYTES + 1)
+            conn.sock.sendall(frame)
         except OSError as exc:
-            self.close()
+            conn.close()
+            raise ServiceError(f"mctopd connection failed: {exc}",
+                               code="unavailable") from exc
+        return self._read_response(conn, request_id)
+
+    def _read_response(self, conn: _Connection, request_id: int) -> dict:
+        try:
+            line = conn.file.readline(MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            conn.close()
             raise ServiceError(f"mctopd connection failed: {exc}",
                                code="unavailable") from exc
         if not line:
-            self.close()
+            conn.close()
             raise ServiceError("mctopd closed the connection",
                                code="unavailable")
         if len(line) > MAX_LINE_BYTES:
-            self.close()
+            conn.close()
             raise ProtocolError("response frame exceeds the protocol limit")
         doc = decode_response(line)
         self.last_request_id = doc.get("request_id")
@@ -197,6 +331,35 @@ class MctopClient:
               **params) -> dict:
         return self.request("place", machine=machine, policy=policy,
                             **params)
+
+    def place_many(self, machine: str, queries, *,
+                   include_stats: bool = True, batch: int | None = None,
+                   **params) -> dict:
+        """Answer a batch of placement queries in one round-trip.
+
+        ``queries`` is a list of per-query dicts (``policy`` /
+        ``threads`` / ``sockets``, same as :meth:`place`).  With
+        ``batch=N`` an oversized list is split into N-query frames and
+        *pipelined* via :meth:`request_many`, then stitched back into
+        one response document — the results list stays in query order.
+        """
+        queries = list(queries)
+        if batch is None or len(queries) <= batch:
+            return self.request("place_many", machine=machine,
+                                queries=queries,
+                                include_stats=include_stats, **params)
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        frames = [
+            dict(machine=machine, queries=queries[i:i + batch],
+                 include_stats=include_stats, **params)
+            for i in range(0, len(queries), batch)
+        ]
+        docs = self.request_many("place_many", frames)
+        merged = {k: v for k, v in docs[0].items() if k != "results"}
+        merged["results"] = [r for d in docs for r in d["results"]]
+        merged["n_queries"] = len(merged["results"])
+        return merged
 
     def pool_switch(self, machine: str, policy: str, **params) -> dict:
         return self.request("pool_switch", machine=machine, policy=policy,

@@ -103,6 +103,11 @@ class ServeConfig:
     peer_timeout: float = 5.0
     #: How many ring-adjacent peers to ask per miss.
     peer_fanout: int = 2
+    #: Precompute a per-topology :class:`~repro.place.index.PlacementIndex`
+    #: at cache-insert time (persisted as a ``.pidx.gz`` sidecar) so
+    #: ``place``/``place_many`` answer from a dictionary lookup.  Off,
+    #: every query computes through the legacy per-session pool.
+    placement_index: bool = True
     #: Enable the hidden ``_sleep`` verb (tests only).
     debug_verbs: bool = False
 
@@ -159,6 +164,7 @@ class MctopDaemon:
             peer_timeout=config.peer_timeout,
             peer_fanout=config.peer_fanout,
             events=self.event_log,
+            placement_index=config.placement_index,
         )
         self._servers: list[asyncio.base_events.Server] = []
         # The metrics HTTP listener lives outside self._servers so the

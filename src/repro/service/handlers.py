@@ -20,6 +20,8 @@ import base64
 import binascii
 import gzip
 import json
+import time
+from weakref import WeakKeyDictionary
 
 from repro.core.algorithm import (
     InferenceConfig,
@@ -139,6 +141,11 @@ def prometheus_text(obs: Observability,
     return obs.registry.to_prometheus(extra=extra)
 
 
+#: Enum construction is measurable on the ``place_many`` hot loop; a
+#: plain dict probe resolves a policy string in a fraction of the cost.
+_POLICY_BY_VALUE = {p.value: p for p in ALL_POLICIES}
+
+
 def _get_int(params: dict, name: str, default: int | None) -> int | None:
     value = params.get(name, default)
     if value is None:
@@ -158,7 +165,8 @@ class Session:
     def pool_for(self, key: str, mctop: Mctop) -> PlacementPool:
         pool = self._pools.get(key)
         if pool is None:
-            pool = PlacementPool(mctop, max_entries=self.max_pool_entries)
+            pool = PlacementPool(mctop, max_entries=self.max_pool_entries,
+                                 _warn=False)
             self._pools[key] = pool
         return pool
 
@@ -178,12 +186,21 @@ class Handlers:
         peer_timeout: float = 5.0,
         peer_fanout: int = 2,
         events=None,
+        placement_index: bool = True,
     ):
         self.cache = cache
         self.obs = obs
         self.watcher = watcher
         self.default_repetitions = default_repetitions
         self.debug_verbs = debug_verbs
+        #: Serve ``place``/``place_many`` from the precomputed
+        #: per-topology index (built at cache-insert time); off, every
+        #: query computes through the legacy per-session pool path.
+        self.placement_index = placement_index
+        #: Per-index memo of fully-formed ``place`` result documents
+        #: (see ``place_many``); weak keys tie each memo's lifetime to
+        #: its index object.
+        self._place_docs: "WeakKeyDictionary" = WeakKeyDictionary()
         self.singleflight = SingleFlight(obs=obs)
         #: Cache peering: the other fleet members this daemon may ask
         #: for a cached topology blob before running MCTOP-ALG itself
@@ -287,6 +304,7 @@ class Handlers:
                     )
                 if peer_mctop is not None:
                     self.cache.put(key, peer_mctop)
+                    await self._precompute_index(key, peer_mctop)
                     return peer_mctop
             with self.obs.span("service.infer_run", machine=machine,
                                seed=seed, key=key[:12],
@@ -303,10 +321,40 @@ class Handlers:
                     )
             self.obs.counter("service.inference.runs").inc()
             self.cache.put(key, mctop)
+            await self._precompute_index(key, mctop)
             return mctop
 
         mctop = await self.singleflight.run(key, run_inference)
         return key, mctop, False
+
+    async def _precompute_index(self, key: str, mctop: Mctop) -> None:
+        """Cache-insert-time placement-index build (worker thread).
+
+        Makes every subsequent ``place`` on this topology a dictionary
+        lookup; the index persists next to the ``.mct.gz`` blob so warm
+        restarts skip the rebuild.
+        """
+        if not self.placement_index:
+            return
+        request_id = current_request_id.get()
+        with self.obs.span("service.place_index_build", key=key[:12],
+                           request_id=request_id):
+            await asyncio.to_thread(self.cache.ensure_index, key, mctop)
+
+    async def _index(self, key: str, mctop: Mctop):
+        """The topology's placement index, building under single-flight
+        if a cache path skipped the insert-time precompute (a memory
+        hit from the drift watcher's put, a pre-index store)."""
+        index = mctop._placement_index
+        if index is not None and index.prebuilt:
+            return index
+
+        async def build():
+            return await asyncio.to_thread(
+                self.cache.ensure_index, key, mctop
+            )
+
+        return await self.singleflight.run(key + ":pidx", build)
 
     @staticmethod
     def _topology_facts(key: str, mctop: Mctop, cached: bool) -> dict:
@@ -342,16 +390,107 @@ class Handlers:
         return result
 
     async def place(self, params: dict, session: Session) -> dict:
+        """One placement query — a dictionary lookup on the hot path.
+
+        The response is versioned in place: ``index`` reports whether
+        the precomputed :class:`~repro.place.index.PlacementIndex`
+        answered (``false`` means the legacy per-session pool computed
+        it) and ``ms`` is the server-side service time.  Old clients
+        ignore both keys; ``policy`` / ``n_threads`` / ``ordering`` /
+        ``stats`` are unchanged and byte-identical between the two
+        paths.
+        """
+        start = time.perf_counter()
         key, mctop, cached = await self._topology(params)
-        placement = self._placement(session, key, mctop, params)
-        return {
-            "key": key,
-            "cached": cached,
-            "policy": placement.policy.value,
-            "n_threads": placement.n_threads,
-            "ordering": list(placement.ordering),
-            "stats": placement.print_stats(),
-        }
+        index = await self._index(key, mctop) if self.placement_index \
+            else None
+        policy = self._policy(params)
+        n_threads = _get_int(params, "threads", None)
+        n_sockets = _get_int(params, "sockets", None)
+        doc = self._place_query(session, key, mctop, index, policy,
+                                n_threads, n_sockets)
+        doc.update(key=key, cached=cached)
+        doc["ms"] = round((time.perf_counter() - start) * 1e3, 3)
+        return doc
+
+    #: Hard cap on one ``place_many`` batch; bounds a frame well under
+    #: ``MAX_LINE_BYTES`` even with stats for the largest machines.
+    MAX_PLACE_BATCH = 4096
+
+    async def place_many(self, params: dict, session: Session) -> dict:
+        """One batch of placement queries against one topology.
+
+        The hot-path form of ``place``: one round-trip amortizes the
+        frame + topology resolution over up to ``MAX_PLACE_BATCH``
+        index lookups.  Each entry of ``queries`` takes the same
+        ``policy`` / ``threads`` / ``sockets`` params as ``place``; a
+        bad query yields an inline ``{"error": ...}`` result without
+        aborting the batch.  ``include_stats=false`` omits the Figure-7
+        stats block from each result, shrinking the response ~10x for
+        callers that only need orderings.
+        """
+        queries = params.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise _invalid("'queries' must be a non-empty list")
+        if len(queries) > self.MAX_PLACE_BATCH:
+            raise _invalid(
+                f"'queries' exceeds the batch cap "
+                f"({len(queries)} > {self.MAX_PLACE_BATCH})"
+            )
+        include_stats = params.get("include_stats", True)
+        if not isinstance(include_stats, bool):
+            raise _invalid("'include_stats' must be a boolean")
+        key, mctop, cached = await self._topology(params)
+        index = await self._index(key, mctop) if self.placement_index \
+            else None
+        self.obs.histogram("service.place.batch_size").observe(len(queries))
+        # The index is immutable, so a query's full result document is
+        # a constant: memoize it per (policy, threads, sockets) and the
+        # batch hot loop collapses to one dict probe per query.  The
+        # memo lives per index object (WeakKeyDictionary), so evicting
+        # a topology drops its documents too.  Batch results carry no
+        # per-query ``ms`` — a lookup's service time is the frame's,
+        # measured client-side; the single ``place`` verb keeps it.
+        memo = self._place_docs.setdefault(index, {}) \
+            if index is not None else None
+        results = []
+        memo_hits = 0
+        for i, query in enumerate(queries):
+            if i and i % 512 == 0:
+                # Yield so a long batch cannot starve the event loop.
+                await asyncio.sleep(0)
+            if memo is not None and isinstance(query, dict):
+                probe = (query.get("policy", "CON_HWC"),
+                         query.get("threads"), query.get("sockets"),
+                         include_stats)
+                try:
+                    doc = memo.get(probe)
+                except TypeError:
+                    doc = probe = None
+                if doc is not None:
+                    results.append(doc)
+                    memo_hits += 1
+                    continue
+            else:
+                probe = None
+            try:
+                if not isinstance(query, dict):
+                    raise _invalid("each query must be a JSON object")
+                policy = self._policy(query)
+                n_threads = _get_int(query, "threads", None)
+                n_sockets = _get_int(query, "sockets", None)
+                doc = self._place_query(session, key, mctop, index, policy,
+                                        n_threads, n_sockets,
+                                        include_stats=include_stats)
+                if probe is not None and doc["index"]:
+                    memo[probe] = doc
+            except ServiceError as exc:
+                doc = {"error": {"code": exc.code, "message": str(exc)}}
+            results.append(doc)
+        if memo_hits:
+            self.obs.counter("service.place.index_hits").inc(memo_hits)
+        return {"key": key, "cached": cached, "n_queries": len(results),
+                "results": results}
 
     async def pool_switch(self, params: dict, session: Session) -> dict:
         """Make a policy the session's active one (paper Section 6's
@@ -472,19 +611,51 @@ class Handlers:
     @staticmethod
     def _policy(params: dict) -> Policy:
         value = params.get("policy", "CON_HWC")
-        try:
-            return Policy(value)
-        except ValueError:
+        policy = _POLICY_BY_VALUE.get(value)
+        if policy is None:
             raise _invalid(
                 f"unknown policy {value!r} "
                 f"(known: {', '.join(p.value for p in ALL_POLICIES)})"
-            ) from None
+            )
+        return policy
+
+    def _place_query(self, session: Session, key: str, mctop: Mctop,
+                     index, policy: Policy, n_threads: int | None,
+                     n_sockets: int | None, *,
+                     include_stats: bool = True) -> dict:
+        """Answer one placement query: index lookup first, legacy
+        per-session pool on a miss.  Both paths produce byte-identical
+        ``ordering`` and ``stats``; ``index`` in the doc records which
+        one answered."""
+        if index is not None:
+            hit = index.lookup(policy, n_threads, n_sockets)
+            if hit is not None:
+                self.obs.counter("service.place.index_hits").inc()
+                doc = {
+                    "policy": hit.policy,
+                    "n_threads": hit.n_threads,
+                    "ordering": list(hit.ordering),
+                    "index": True,
+                }
+                if include_stats:
+                    doc["stats"] = hit.stats
+                return doc
+        self.obs.counter("service.place.index_misses").inc()
+        placement = self._placement(session, key, mctop, policy,
+                                    n_threads, n_sockets)
+        doc = {
+            "policy": placement.policy.value,
+            "n_threads": placement.n_threads,
+            "ordering": list(placement.ordering),
+            "index": False,
+        }
+        if include_stats:
+            doc["stats"] = placement.print_stats()
+        return doc
 
     def _placement(self, session: Session, key: str, mctop: Mctop,
-                   params: dict):
-        policy = self._policy(params)
-        n_threads = _get_int(params, "threads", None)
-        n_sockets = _get_int(params, "sockets", None)
+                   policy: Policy, n_threads: int | None,
+                   n_sockets: int | None):
         pool = session.pool_for(key, mctop)
         try:
             return pool.get(policy, n_threads, n_sockets)

@@ -43,6 +43,8 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
 #: The verbs ``mctopd`` routes.  ``ping`` is the liveness probe;
+#: ``place_many`` answers one batch of placement queries against one
+#: topology in a single round-trip (the hot-path form of ``place``);
 #: ``cache_fetch`` is the fleet cache-peering lookup (a *local-only*
 #: cache probe by digest, never an inference trigger); the rest mirror
 #: the CLI subcommands they are named after.
@@ -51,6 +53,7 @@ VERBS = (
     "infer",
     "show",
     "place",
+    "place_many",
     "pool_switch",
     "validate",
     "metrics",

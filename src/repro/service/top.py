@@ -99,6 +99,43 @@ def render_fleet_lines(fleet: dict) -> list[str]:
     return lines
 
 
+def render_place_lines(registry: dict, prev_registry: dict | None,
+                       dt: float | None) -> list[str]:
+    """The dashboard's placement-index section.
+
+    Index hit ratio, lookup rate, builds/loads and the ``place_many``
+    batch-size spread — from the ``service.place.*`` instruments;
+    empty on a daemon that has served no placement traffic (or
+    predates the index), so the section simply disappears.
+    """
+    hits = _counter(registry, "service.place.index_hits")
+    misses = _counter(registry, "service.place.index_misses")
+    builds = _counter(registry, "service.place.index_builds")
+    loads = _counter(registry, "service.place.index_loads")
+    if not (hits or misses or builds or loads):
+        return []
+    ratio = f"{hits / (hits + misses):.0%}" if hits + misses else "-"
+    prev_hits = (
+        _counter(prev_registry, "service.place.index_hits")
+        + _counter(prev_registry, "service.place.index_misses")
+    ) if prev_registry is not None else None
+    lines = [
+        f"place   index hit ratio {ratio} "
+        f"({int(hits)} hit / {int(misses)} miss)"
+        f"  lookups/s {_rate(hits + misses, prev_hits, dt)}"
+        f"  builds {int(builds)}  loads {int(loads)}"
+    ]
+    batch = registry.get("service.place.batch_size")
+    if batch and batch.get("count"):
+        lines.append(
+            f"  batches {batch['count']}"
+            f"  size p50 {batch.get('p50', 0):.0f}"
+            f"  p99 {batch.get('p99', 0):.0f}"
+            f"  max {batch.get('max', 0):.0f}"
+        )
+    return lines
+
+
 def render_dashboard(
     doc: dict, prev: dict | None = None, dt: float | None = None,
     drift: dict | None = None, fleet: dict | None = None,
@@ -140,6 +177,9 @@ def render_dashboard(
         f"  coalesced {int(_counter(registry, 'service.singleflight.coalesced'))}"
         f"  inferences {int(_counter(registry, 'service.inference.runs'))}"
     )
+    lines.extend(render_place_lines(
+        registry, prev_registry if prev is not None else None, dt
+    ))
     lines.append(
         f"trace   spans {trace.get('finished_spans', 0)}"
         f"  instants {trace.get('instants', 0)}"

@@ -1,0 +1,83 @@
+"""``place_many`` through the fleet router.
+
+Batches share ``place``'s top-level params shape, so the router shards
+them by the same inference digest: a batch lands on the topology's
+owning member (where the cache and the placement index are warm), its
+results are byte-identical to single ``place`` calls, and killing the
+owner mid-sequence fails over without a client-visible error.
+"""
+
+from __future__ import annotations
+
+from repro.service import inference_key
+from repro.service.handlers import parse_inference_params
+
+
+def router_key(harness, machine: str, **params) -> str:
+    m, seed, table = parse_inference_params(
+        dict(params, machine=machine),
+        default_repetitions=harness.router_config.default_repetitions,
+    )
+    return inference_key(m, seed, table)
+
+
+QUERIES = [
+    {"policy": "RR_CORE", "threads": 4},
+    {"policy": "CON_HWC", "threads": 2},
+    {"policy": "BALANCE_CORE", "threads": 6},
+    {"policy": "CON_HWC"},
+]
+
+
+def _strip(doc: dict) -> dict:
+    return {k: v for k, v in doc.items() if k not in ("key", "cached", "ms")}
+
+
+class TestRoutedBatches:
+    def test_batch_lands_on_the_digest_owner(self, fleet):
+        key = router_key(fleet, "testbox", seed=7)
+        owner = fleet.router.health.ring.owner(key)
+        with fleet.client() as client:
+            doc = client.place_many("testbox", QUERIES, seed=7)
+            assert client.last_upstream["member"] == owner
+        assert doc["key"] == key
+        assert doc["n_queries"] == len(QUERIES)
+
+    def test_batch_equals_direct_member_batch(self, fleet):
+        key = router_key(fleet, "testbox", seed=7)
+        owner = fleet.router.health.ring.owner(key)
+        with fleet.client() as routed_client:
+            routed = routed_client.place_many("testbox", QUERIES, seed=7)
+        with fleet.member_client(owner) as direct_client:
+            direct = direct_client.place_many("testbox", QUERIES, seed=7)
+        assert routed["results"] == direct["results"]
+        assert routed["key"] == direct["key"]
+
+    def test_batch_equals_singles_through_the_router(self, fleet):
+        with fleet.client() as client:
+            batch = client.place_many("testbox", QUERIES, seed=7)
+            singles = [
+                client.place("testbox", q["policy"],
+                             threads=q.get("threads"), seed=7)
+                for q in QUERIES
+            ]
+        assert batch["results"] == [_strip(s) for s in singles]
+        assert all(s["key"] == batch["key"] for s in singles)
+
+
+class TestFailover:
+    def test_killing_the_owner_reroutes_the_batch(self, fleet):
+        key = router_key(fleet, "testbox", seed=13)
+        owner = fleet.router.health.ring.owner(key)
+        with fleet.client() as client:
+            before = client.place_many("testbox", QUERIES, seed=13)
+            assert client.last_upstream["member"] == owner
+            fleet.stop_member(owner)
+            after = client.place_many("testbox", QUERIES, seed=13)
+            survivor = client.last_upstream["member"]
+        assert survivor != owner
+        # The survivor recomputes (or peer-fetches) the topology and
+        # serves the identical orderings: placement answers are a pure
+        # function of the digest, wherever they are computed.
+        assert after["results"] == before["results"]
+        assert after["key"] == before["key"]

@@ -8,6 +8,7 @@ import pytest
 
 from repro.cli import main
 from repro.obs.history import (
+    GATE_METRICS,
     append_history,
     compare_bench,
     history_records,
@@ -167,6 +168,54 @@ class TestCompareBench:
         baseline = _as_baseline(bench_doc(), tmp_path)
         with pytest.raises(ValueError, match="unknown gate metric"):
             compare_bench(bench_doc(), baseline, metric="vibes")
+
+    def test_loadgen_metrics_are_gateable(self):
+        # The loadgen gate pair: throughput is bigger-wins, tail
+        # latency is smaller-wins.
+        assert GATE_METRICS["place_qps"] is False
+        assert GATE_METRICS["p99_ms"] is True
+
+    def _loadgen_doc(self, qps, p99):
+        return {
+            "format": "mctop-bench", "quick": False, "seed": 1,
+            "machines": [{
+                "machine": "testbox", "repetitions": None,
+                "modes": {"loadgen": {
+                    "wall_seconds": 10.0, "samples_per_sec": qps,
+                    "speedup_vs_scalar": 1.0, "place_qps": qps,
+                    "p99_ms": p99,
+                }},
+            }],
+        }
+
+    def test_place_qps_regression_detected(self, tmp_path):
+        baseline = _as_baseline(self._loadgen_doc(150000.0, 30.0),
+                                tmp_path)
+        slower = self._loadgen_doc(100000.0, 30.0)  # -33% throughput
+        comparison = compare_bench(slower, baseline, metric="place_qps",
+                                   threshold=0.15)
+        assert not comparison["ok"]
+        faster = self._loadgen_doc(200000.0, 30.0)
+        assert compare_bench(faster, baseline, metric="place_qps",
+                             threshold=0.15)["ok"]
+
+    def test_p99_ms_regression_detected(self, tmp_path):
+        baseline = _as_baseline(self._loadgen_doc(150000.0, 30.0),
+                                tmp_path)
+        worse = self._loadgen_doc(150000.0, 60.0)  # tail doubled
+        comparison = compare_bench(worse, baseline, metric="p99_ms",
+                                   threshold=0.15)
+        assert not comparison["ok"]
+        better = self._loadgen_doc(150000.0, 10.0)
+        assert compare_bench(better, baseline, metric="p99_ms",
+                             threshold=0.15)["ok"]
+
+    def test_loadgen_history_records_carry_optional_stats(self):
+        records = history_records(self._loadgen_doc(150000.0, 30.0),
+                                  ts=0.0)
+        assert records[0]["mode"] == "loadgen"
+        assert records[0]["place_qps"] == 150000.0
+        assert records[0]["p99_ms"] == 30.0
 
     def test_verdict_table_mentions_every_row(self, tmp_path):
         baseline = _as_baseline(bench_doc(batched_wall=0.2), tmp_path)

@@ -1,0 +1,283 @@
+"""PlacementIndex: byte-identity with the legacy path, persistence.
+
+The tentpole contract of the precomputed index is pinned here: for
+every golden machine and every Table-2 policy, the indexed answer —
+ordering, Figure-7 stats text *and* max latency — is byte-identical to
+what a freshly constructed :class:`Placement` computes, across a
+sampled ``n_threads`` × ``n_sockets`` grid.  The sidecar round-trip,
+stale-sidecar rejection and the facade helpers ride along.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.serialize import load_mctop, mctop_from_dict, save_mctop
+from repro.errors import PlacementError, SerializationError
+from repro.place import (
+    ALL_POLICIES,
+    GridBounds,
+    Placement,
+    PlacementIndex,
+    Policy,
+)
+from repro.place.index import (
+    index_from_dict,
+    index_to_dict,
+    load_placement_index,
+    placement_index_path,
+    save_placement_index,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "golden"
+GOLDEN_MACHINES = sorted(p.name[:-len(".json.gz")]
+                         for p in GOLDEN_DIR.glob("*.json.gz"))
+
+
+def golden_mctop(name: str):
+    path = GOLDEN_DIR / f"{name}.json.gz"
+    doc = json.loads(gzip.decompress(path.read_bytes()).decode("utf-8"))
+    return mctop_from_dict(doc)
+
+
+@pytest.fixture(scope="module")
+def indexed():
+    """name -> (mctop, built index), cached across the module."""
+    cache: dict = {}
+
+    def get(name: str):
+        if name not in cache:
+            mctop = golden_mctop(name)
+            cache[name] = (mctop, PlacementIndex(mctop).build())
+        return cache[name]
+
+    return get
+
+
+def sample_grid(mctop) -> list[tuple[int | None, int | None]]:
+    """A small (n_threads, n_sockets) sample: the edges plus interior."""
+    n = mctop.n_contexts
+    pairs: list[tuple[int | None, int | None]] = [
+        (None, None), (1, None), (2, None),
+        (max(1, n // 3), None), (max(1, n // 2), None),
+        (max(1, n - 1), None), (n, None),
+    ]
+    if mctop.n_sockets > 1:
+        per = n // mctop.n_sockets
+        pairs += [(1, 1), (per, 1), (max(1, per // 2), 1), (None, 1)]
+    return sorted(set(pairs), key=str)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("name", GOLDEN_MACHINES)
+    def test_indexed_equals_legacy_everywhere(self, indexed, name):
+        mctop, index = indexed(name)
+        checked = 0
+        for policy in ALL_POLICIES:
+            for nt, ns in sample_grid(mctop):
+                try:
+                    legacy = Placement(mctop, policy, nt, ns)
+                except PlacementError:
+                    # The machine cannot serve this configuration
+                    # (POWER without RAPL, nt beyond a 1-socket cap,
+                    # ...): the indexed path must refuse identically.
+                    with pytest.raises(PlacementError):
+                        index.get(policy, nt, ns)
+                    continue
+                result = index.get(policy, nt, ns)
+                assert result.ordering == tuple(legacy.ordering), \
+                    (name, policy, nt, ns)
+                assert result.stats == legacy.print_stats(), \
+                    (name, policy, nt, ns)
+                assert result.max_latency == legacy.max_latency()
+                assert result.n_threads == legacy.n_threads
+                checked += 1
+        assert checked > 0
+
+    def test_grid_answers_come_from_the_index(self, indexed):
+        _, index = indexed("testbox")
+        assert index.prebuilt
+        assert index.lookup(Policy.RR_CORE, 4) is not None
+        assert index.lookup("CON_HWC") is not None  # defaults to capacity
+
+
+class TestLookupSemantics:
+    def test_defaults_mean_full_capacity(self, indexed):
+        mctop, index = indexed("testbox")
+        full = index.lookup("CON_HWC")
+        assert full is not None
+        assert full.n_threads == mctop.n_contexts
+
+    def test_out_of_range_misses(self, indexed):
+        mctop, index = indexed("testbox")
+        assert index.lookup("CON_HWC", mctop.n_contexts + 1) is None
+        assert index.lookup("CON_HWC", 4, mctop.n_sockets + 1) is None
+        assert index.lookup("CON_HWC", 0) is None
+
+    def test_get_miss_raises_like_legacy(self, indexed):
+        mctop, index = indexed("testbox")
+        with pytest.raises(PlacementError, match="contexts"):
+            index.get("RR_CORE", mctop.n_contexts + 42)
+
+    def test_unknown_policy(self, indexed):
+        _, index = indexed("testbox")
+        with pytest.raises((PlacementError, ValueError)):
+            index.get("NOT_A_POLICY", 4)
+
+    def test_bounded_grid_falls_back_to_compute(self):
+        mctop = golden_mctop("testbox")
+        index = PlacementIndex(mctop, GridBounds(max_threads=2)).build()
+        assert index.lookup("CON_HWC", 4) is None  # beyond the bounds
+        result = index.get("CON_HWC", 4)           # legacy fallback
+        legacy = Placement(mctop, Policy.CON_HWC, 4)
+        assert result.ordering == tuple(legacy.ordering)
+        # ... and get() caches what it computed:
+        assert index.lookup("CON_HWC", 4) is not None
+
+    def test_placement_is_pinnable(self, indexed):
+        _, index = indexed("testbox")
+        placement = index.placement("RR_CORE", 4)
+        assert isinstance(placement, Placement)
+        thread = placement.pin()
+        assert thread.ctx in placement.ordering
+        assert placement.in_use
+        assert placement.max_latency() == index.get("RR_CORE", 4).max_latency
+
+
+class TestPersistence:
+    def test_dict_roundtrip(self, indexed):
+        mctop, index = indexed("testbox")
+        clone = index_from_dict(index_to_dict(index), mctop)
+        assert clone.prebuilt
+        assert clone.n_entries == index.n_entries
+        for policy in ALL_POLICIES:
+            a = index.lookup(policy, 4)
+            b = clone.lookup(policy, 4)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a == b
+
+    def test_sidecar_roundtrip_and_determinism(self, indexed, tmp_path):
+        mctop, index = indexed("testbox")
+        a = save_placement_index(index, tmp_path / "a.pidx.gz")
+        b = save_placement_index(index, tmp_path / "b.pidx.gz")
+        assert a.read_bytes() == b.read_bytes()  # mtime=0 gzip
+        loaded = load_placement_index(a, mctop)
+        assert loaded.prebuilt
+        assert loaded.lookup("RR_CORE", 4) == index.lookup("RR_CORE", 4)
+
+    def test_sidecar_rejects_wrong_machine(self, indexed, tmp_path):
+        _, index = indexed("testbox")
+        other = golden_mctop("unisock")
+        path = save_placement_index(index, tmp_path / "x.pidx.gz")
+        with pytest.raises(SerializationError, match="machine"):
+            load_placement_index(path, other)
+
+    def test_sidecar_rejects_newer_version(self, indexed, tmp_path):
+        mctop, index = indexed("testbox")
+        doc = index_to_dict(index)
+        doc["version"] = 999
+        with pytest.raises(SerializationError, match="newer"):
+            index_from_dict(doc, mctop)
+
+    def test_sidecar_path_shapes(self):
+        assert placement_index_path("a/x.mct.gz").name == "x.pidx.gz"
+        assert placement_index_path("a/x.mct").name == "x.pidx"
+
+    def test_load_mctop_auto_attaches_sidecar(self, indexed, tmp_path):
+        mctop, index = indexed("testbox")
+        mct = tmp_path / "tb.mct.gz"
+        save_mctop(mctop, mct)
+        save_placement_index(index, placement_index_path(mct))
+        loaded = load_mctop(mct)
+        attached = loaded._placement_index
+        assert attached is not None and attached.prebuilt
+        assert loaded.placement_index() is attached  # no rebuild
+        assert attached.lookup("RR_CORE", 4).ordering \
+            == index.lookup("RR_CORE", 4).ordering
+
+    def test_corrupt_sidecar_is_ignored(self, indexed, tmp_path):
+        mctop, _ = indexed("testbox")
+        mct = tmp_path / "tb.mct.gz"
+        save_mctop(mctop, mct)
+        placement_index_path(mct).write_bytes(b"\x1f\x8bnot really gzip")
+        loaded = load_mctop(mct)  # must not raise
+        assert loaded._placement_index is None
+
+
+class TestMctopIntegration:
+    def test_placement_index_is_cached_on_the_mctop(self):
+        mctop = golden_mctop("testbox")
+        index = mctop.placement_index()
+        assert index.prebuilt
+        assert mctop.placement_index() is index
+
+    def test_placement_index_no_build(self):
+        mctop = golden_mctop("testbox")
+        assert mctop.placement_index(build=False) is None  # nothing yet
+        index = mctop.placement_index()                    # builds
+        assert mctop.placement_index(build=False) is index
+
+
+class TestFacade:
+    def test_place_answers_from_the_index(self):
+        from repro import PlacementResult, place
+
+        mctop = golden_mctop("testbox")
+        result = place(mctop, "RR_CORE", 4)
+        assert isinstance(result, PlacementResult)
+        legacy = Placement(mctop, Policy.RR_CORE, 4)
+        assert result.ordering == tuple(legacy.ordering)
+        assert result.stats == legacy.print_stats()
+
+    def test_place_accepts_a_description_path(self, tmp_path):
+        from repro import place
+
+        mctop = golden_mctop("testbox")
+        mct = tmp_path / "tb.mct.gz"
+        save_mctop(mctop, mct)
+        assert place(str(mct), "RR_CORE", 4).ordering \
+            == place(mctop, "RR_CORE", 4).ordering
+
+    def test_place_rejects_nonsense(self):
+        from repro import place
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            place(12345)
+
+    def test_place_many_matches_singles(self):
+        from repro import place, place_many
+
+        mctop = golden_mctop("testbox")
+        queries = [
+            {"policy": "RR_CORE", "n_threads": 4},
+            {"policy": "CON_HWC", "threads": 2},    # wire alias
+            {"policy": "BALANCE_CORE", "n_threads": 6},
+        ]
+        batch = place_many(mctop, queries)
+        assert len(batch) == 3
+        singles = [
+            place(mctop, "RR_CORE", 4),
+            place(mctop, "CON_HWC", 2),
+            place(mctop, "BALANCE_CORE", 6),
+        ]
+        assert batch == singles
+
+    def test_module_and_function_coexist(self):
+        # ``repro.place`` the subpackage and ``repro.place`` the facade
+        # helper share a name; the package attribute is the callable,
+        # while submodule imports keep resolving through sys.modules.
+        import sys
+
+        import repro
+
+        assert callable(repro.place)
+        assert sys.modules["repro.place"].Policy is Policy
+        from repro.place import Policy as imported_policy
+
+        assert imported_policy is Policy

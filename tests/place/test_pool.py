@@ -1,6 +1,14 @@
-"""PlacementPool bounds: LRU eviction, clear(), len()."""
+"""PlacementPool bounds: LRU eviction, clear(), len(), pinned entries.
+
+Direct ``PlacementPool(...)`` construction is deprecated (these tests
+exercise the class itself, so the module-wide filter silences it); the
+deprecation contract and the ``Mctop.placements`` alias are pinned in
+:class:`TestDeprecationAndAlias`.
+"""
 
 from __future__ import annotations
+
+import warnings
 
 import pytest
 
@@ -12,6 +20,8 @@ from repro.core.algorithm import (
 from repro.errors import PlacementError
 from repro.hardware import get_machine
 from repro.place import PlacementPool, Policy
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @pytest.fixture(scope="module")
@@ -87,3 +97,60 @@ class TestBounded:
     def test_invalid_bound(self, tb_mctop):
         with pytest.raises(PlacementError):
             PlacementPool(tb_mctop, max_entries=0)
+
+
+class TestPinnedEntries:
+    """Regression: LRU eviction must not drop session-pinned placements.
+
+    A daemon session holds pins on a placement while its threads run;
+    evicting it would rebuild the placement with blank pin state on the
+    next ``get()``, silently double-booking contexts.
+    """
+
+    def test_pinned_placement_survives_eviction(self, tb_mctop):
+        pool = PlacementPool(tb_mctop, max_entries=1)
+        a = pool.get(Policy.CON_HWC, 4)
+        thread = a.pin()
+        assert a.in_use
+        pool.get(Policy.RR_CORE, 4)  # would evict a under plain LRU
+        assert len(pool) == 2        # pool overflows instead
+        assert pool.get(Policy.CON_HWC, 4) is a
+        assert thread.ctx in a.pinned_contexts()
+
+    def test_unpinned_placement_evicts_normally_again(self, tb_mctop):
+        pool = PlacementPool(tb_mctop, max_entries=1)
+        a = pool.get(Policy.CON_HWC, 4)
+        thread = a.pin()
+        pool.get(Policy.RR_CORE, 4)          # overflow: a is pinned
+        a.unpin(thread.ctx)
+        assert not a.in_use
+        pool.get(Policy.BALANCE_CORE, 4)     # now eviction catches up
+        assert len(pool) == 1
+        b = pool.get(Policy.CON_HWC, 4)      # rebuilt from scratch
+        assert b is not a
+
+    def test_everything_pinned_overflows_without_error(self, tb_mctop):
+        pool = PlacementPool(tb_mctop, max_entries=1)
+        for policy in (Policy.CON_HWC, Policy.RR_CORE, Policy.BALANCE_CORE):
+            pool.get(policy, 2).pin()
+        assert len(pool) == 3
+
+
+class TestDeprecationAndAlias:
+    def test_direct_construction_warns(self, tb_mctop):
+        with pytest.warns(DeprecationWarning, match="placements"):
+            PlacementPool(tb_mctop)
+
+    def test_mctop_placements_property_does_not_warn(self, tb_mctop):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            pool = tb_mctop.placements
+        assert isinstance(pool, PlacementPool)
+
+    def test_mctop_placements_is_cached(self, tb_mctop):
+        assert tb_mctop.placements is tb_mctop.placements
+
+    def test_placements_pool_works_like_any_other(self, tb_mctop):
+        pool = tb_mctop.placements
+        a = pool.get(Policy.CON_HWC, 4)
+        assert pool.get(Policy.CON_HWC, 4) is a

@@ -1,0 +1,139 @@
+"""The daemon's indexed placement path: ``place`` v2 and ``place_many``.
+
+Pins the redesigned wire contract: ``place`` responses carry the
+``index`` provenance bit and a server-side ``ms``, ``place_many``
+amortizes one frame over a batch whose results are byte-identical to
+the equivalent single calls, and the placement counters/histogram feed
+``mctop top``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+
+
+def _strip(doc: dict) -> dict:
+    """A single ``place`` response minus its per-call envelope, i.e.
+    exactly what the same query yields inside a ``place_many`` batch."""
+    return {k: v for k, v in doc.items() if k not in ("key", "cached", "ms")}
+
+
+class TestPlaceResponse:
+    def test_versioned_response_comes_from_the_index(self, harness):
+        with harness.client() as client:
+            doc = client.place("testbox", "RR_CORE", threads=4, seed=1)
+        assert doc["index"] is True
+        assert isinstance(doc["ms"], float)
+        assert doc["policy"] == "RR_CORE"
+        assert doc["n_threads"] == 4
+        assert isinstance(doc["ordering"], list)
+        assert "Figure 7" in doc["stats"] or "latency" in doc["stats"]
+
+    def test_no_placement_index_daemon_still_places(self, daemon_factory):
+        harness = daemon_factory(placement_index=False)
+        with harness.client() as client:
+            doc = client.place("testbox", "RR_CORE", threads=4, seed=1)
+        assert doc["index"] is False
+        assert len(doc["ordering"]) == 4
+
+    def test_indexed_and_legacy_paths_agree(self, harness, daemon_factory):
+        legacy = daemon_factory(placement_index=False)
+        with harness.client() as a, legacy.client() as b:
+            for policy in ("RR_CORE", "CON_HWC", "BALANCE_HWC"):
+                fast = a.place("testbox", policy, threads=4, seed=1)
+                slow = b.place("testbox", policy, threads=4, seed=1)
+                assert fast["ordering"] == slow["ordering"]
+                assert fast["stats"] == slow["stats"]
+
+
+class TestPlaceMany:
+    QUERIES = [
+        {"policy": "RR_CORE", "threads": 4},
+        {"policy": "CON_HWC", "threads": 2},
+        {"policy": "CON_HWC"},
+        {"policy": "BALANCE_CORE", "threads": 6},
+        {"policy": "RR_HWC", "threads": 8},
+    ]
+
+    def test_batch_matches_singles_byte_for_byte(self, harness):
+        with harness.client() as client:
+            batch = client.place_many("testbox", self.QUERIES, seed=1)
+            singles = [
+                client.place("testbox", q["policy"],
+                             threads=q.get("threads"), seed=1)
+                for q in self.QUERIES
+            ]
+        assert batch["n_queries"] == len(self.QUERIES)
+        assert batch["results"] == [_strip(s) for s in singles]
+
+    def test_inline_error_does_not_abort_the_batch(self, harness):
+        queries = [
+            {"policy": "RR_CORE", "threads": 4},
+            {"policy": "NOT_A_POLICY"},
+            {"policy": "CON_HWC", "threads": 9999},
+            {"policy": "CON_HWC", "threads": 2},
+        ]
+        with harness.client() as client:
+            doc = client.place_many("testbox", queries, seed=1)
+        results = doc["results"]
+        assert results[0]["index"] is True
+        assert results[1]["error"]["code"] == "invalid_params"
+        assert "error" in results[2]  # beyond capacity
+        assert results[3]["ordering"]
+
+    def test_include_stats_false_omits_stats(self, harness):
+        with harness.client() as client:
+            doc = client.place_many("testbox", self.QUERIES,
+                                    include_stats=False, seed=1)
+        for result in doc["results"]:
+            assert "stats" not in result
+            assert result["ordering"]
+
+    def test_batch_cap_is_enforced(self, harness):
+        queries = [{"policy": "RR_CORE"}] * 4097
+        with harness.client() as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.place_many("testbox", queries, seed=1)
+        assert excinfo.value.code == "invalid_params"
+        assert "4096" in str(excinfo.value)
+
+    @pytest.mark.parametrize("queries", [[], "not-a-list", None])
+    def test_malformed_queries_rejected(self, harness, queries):
+        with harness.client() as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("place_many", machine="testbox",
+                               queries=queries, seed=1)
+        assert excinfo.value.code == "invalid_params"
+
+    def test_repeat_batches_are_served_from_the_memo(self, harness):
+        with harness.client() as client:
+            client.place_many("testbox", self.QUERIES, seed=1)
+            before = client.metrics()
+            client.place_many("testbox", self.QUERIES, seed=1)
+            after = client.metrics()
+        hits = "service.place.index_hits"
+        gained = (after["registry"][hits]["value"]
+                  - before["registry"][hits]["value"])
+        assert gained >= len(self.QUERIES)
+
+
+class TestPlacementObservability:
+    def test_counters_and_batch_histogram(self, harness):
+        with harness.client() as client:
+            client.place("testbox", "RR_CORE", threads=4, seed=1)
+            client.place_many("testbox", TestPlaceMany.QUERIES, seed=1)
+            registry = client.metrics()["registry"]
+        assert registry["service.place.index_hits"]["value"] >= 1
+        batch = registry["service.place.batch_size"]
+        assert batch["count"] == 1
+        assert batch["total"] == len(TestPlaceMany.QUERIES)
+
+    def test_misses_counted_without_index(self, daemon_factory):
+        harness = daemon_factory(placement_index=False)
+        with harness.client() as client:
+            client.place("testbox", "RR_CORE", threads=4, seed=1)
+            registry = client.metrics()["registry"]
+        assert registry["service.place.index_misses"]["value"] >= 1
+        assert "service.place.index_hits" not in registry

@@ -8,6 +8,7 @@ from repro.service.top import (
     CLEAR,
     render_dashboard,
     render_drift_lines,
+    render_place_lines,
     run_top,
 )
 
@@ -95,6 +96,57 @@ class TestDriftSection:
     def test_dashboard_includes_drift_section(self):
         text = render_dashboard(_metrics_doc(), drift=_drift_doc("warn"))
         assert "drift   worst warn" in text
+
+
+def _place_registry(hits=8, misses=2, builds=1, loads=0, batches=None):
+    registry = {
+        "service.place.index_hits": {"kind": "counter", "value": hits},
+        "service.place.index_misses": {"kind": "counter", "value": misses},
+        "service.place.index_builds": {"kind": "counter", "value": builds},
+        "service.place.index_loads": {"kind": "counter", "value": loads},
+    }
+    if batches is not None:
+        registry["service.place.batch_size"] = {
+            "kind": "histogram", "count": batches,
+            "p50": 16.0, "p99": 512.0, "max": 512.0,
+        }
+    return registry
+
+
+class TestPlaceSection:
+    def test_no_placement_traffic_renders_nothing(self):
+        assert render_place_lines({}, None, None) == []
+        text = render_dashboard(_metrics_doc())
+        assert "place   index" not in text
+
+    def test_hit_ratio_and_counters(self):
+        lines = render_place_lines(_place_registry(), None, None)
+        assert len(lines) == 1
+        assert "place   index hit ratio 80%" in lines[0]
+        assert "(8 hit / 2 miss)" in lines[0]
+        assert "builds 1" in lines[0]
+        assert "loads 0" in lines[0]
+
+    def test_batch_histogram_line(self):
+        lines = render_place_lines(
+            _place_registry(batches=3), None, None
+        )
+        assert len(lines) == 2
+        assert "batches 3" in lines[1]
+        assert "size p50 16" in lines[1]
+        assert "p99 512" in lines[1]
+
+    def test_lookup_rate_from_consecutive_frames(self):
+        prev = _place_registry(hits=0, misses=0, builds=1)
+        cur = _place_registry(hits=20, misses=0, builds=1)
+        lines = render_place_lines(cur, prev, 2.0)
+        assert "lookups/s 10.0" in lines[0]
+
+    def test_dashboard_includes_the_section(self):
+        doc = _metrics_doc()
+        doc["registry"].update(_place_registry(batches=1))
+        text = render_dashboard(doc)
+        assert "place   index hit ratio" in text
 
 
 class _FakeClient:
