@@ -62,6 +62,7 @@ __all__ = [
     "Mctop",
     "MctopError",
     "MeasurementError",
+    "Objective",
     "PAPER_PLATFORMS",
     "PlacementError",
     "PlacementIndex",
@@ -71,8 +72,10 @@ __all__ = [
     "SerializationError",
     "ServiceError",
     "SimulationError",
+    "SloEngine",
     "SynthParams",
     "SynthSpec",
+    "TraceStore",
     "ValidationError",
     "__version__",
     "compare_mctops",
@@ -84,6 +87,7 @@ __all__ = [
     "infer_topology",
     "load_mctop",
     "machine_names",
+    "parse_objectives",
     "place",
     "place_many",
     "run_fuzz",
@@ -96,6 +100,10 @@ _LAZY_EXPORTS = {
     "compare_mctops": "repro.obs.diff:compare_mctops",
     "DriftReport": "repro.obs.diff:DriftReport",
     "DriftThresholds": "repro.obs.diff:DriftThresholds",
+    "Objective": "repro.obs.slo:Objective",
+    "SloEngine": "repro.obs.slo:SloEngine",
+    "parse_objectives": "repro.obs.slo:parse_objectives",
+    "TraceStore": "repro.obs.trace_store:TraceStore",
     "infer": "repro.api:infer",
     "infer_topology": "repro.core.algorithm.inference:infer_topology",
     "load_mctop": "repro.core.serialize:load_mctop",

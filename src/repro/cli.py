@@ -92,13 +92,58 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    """Fetch a retained per-request trace from a daemon or router."""
+    import json
+
+    from repro.obs import render_timeline, timeline_to_chrome
+    from repro.service import MctopClient
+
+    if args.rid is None:
+        raise MctopError(
+            "trace show needs a REQUEST_ID (grab one from the /metrics "
+            "exemplars, mctop top's slowest-requests panel, or "
+            "client.last_request_ids)"
+        )
+    if args.unix is None and args.host is None:
+        raise MctopError("trace show needs --unix PATH or --host HOST")
+    with MctopClient(unix_path=args.unix, host=args.host, port=args.port,
+                     timeout=args.timeout) as client:
+        result = client.trace(args.rid)
+    if not result.get("enabled"):
+        raise MctopError("the daemon runs without a trace store "
+                         "(started with --no-trace-store)")
+    if not result.get("found"):
+        raise MctopError(
+            f"no retained trace for request {args.rid!r} "
+            "(evicted, expired, or finished before tracing was on)"
+        )
+    if args.json:
+        print(json.dumps(result, indent=1, sort_keys=True))
+    else:
+        print(render_timeline(result))
+    if args.chrome:
+        path = Path(args.chrome)
+        path.write_text(
+            json.dumps(timeline_to_chrome(result), indent=1,
+                       sort_keys=True) + "\n"
+        )
+        print(f"Chrome trace written to {path} (open with chrome://tracing "
+              "or https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
-    """Run a traced inference (or summarize a saved trace file)."""
+    """Run a traced inference (or summarize a saved trace file, or show
+    a retained per-request trace from a running daemon)."""
     import json
 
     from repro import infer
     from repro.core.algorithm import InferenceReport
     from repro.hardware import machine_names
+
+    if args.target == "show":
+        return _cmd_trace_show(args)
 
     target = Path(args.target)
     if target.is_file():
@@ -410,9 +455,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         peer_timeout=args.peer_timeout,
         peer_fanout=args.peer_fanout,
         placement_index=not args.no_placement_index,
+        trace_store=not args.no_trace_store,
+        trace_max_traces=args.trace_max_traces,
+        trace_max_bytes=args.trace_max_bytes,
+        trace_ttl=args.trace_ttl,
+        trace_sample_every=args.trace_sample_every,
+        slo=not args.no_slo,
+        slo_objectives=tuple(args.slo_objective or ()),
     )
     if config.watch_interval is not None and not config.watch_machines:
         raise MctopError("--watch-interval needs --watch-machines M1,M2,...")
+    if config.slo_objectives:
+        # Validate here so a typo dies with a usage error, not a
+        # traceback from inside the daemon's startup.
+        from repro.obs.slo import parse_objectives
+
+        try:
+            parse_objectives(config.slo_objectives)
+        except ValueError as exc:
+            raise MctopError(str(exc)) from None
 
     def announce(daemon) -> None:
         if args.unix is not None:
@@ -564,6 +625,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         # knobs (the watcher owns its own quick config).
         if args.machine is not None:
             params["machine"] = args.machine
+    elif args.verb == "trace":
+        # The positional argument is the request id, not a machine.
+        if args.machine is None:
+            raise MctopError("query trace needs a REQUEST_ID argument")
+        params["request_id"] = args.machine
+    elif args.verb == "slo":
+        pass  # no parameters: the engine's whole status document
     elif args.machine is not None:
         params["machine"] = args.machine
         params["seed"] = args.seed
@@ -617,6 +685,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.verb == "drift":
         print(_render_drift(result))
         return 0
+    if args.verb == "trace":
+        from repro.obs import render_timeline
+
+        if not result.get("enabled"):
+            print("trace store: disabled (daemon started with "
+                  "--no-trace-store)")
+            return 1
+        if not result.get("found"):
+            print(f"no retained trace for request {params['request_id']!r}")
+            return 1
+        print(render_timeline(result))
+        return 0
+    if args.verb == "slo":
+        from repro.service.top import render_slo_lines
+
+        lines = render_slo_lines(result)
+        if not lines:
+            print("slo engine: disabled (daemon started with --no-slo)")
+            return 1
+        print("\n".join(lines))
+        return 0
     for text_key in ("summary", "stats", "report"):
         if text_key in result:
             print(result.pop(text_key))
@@ -657,6 +746,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service.loadgen import (
         LoadgenConfig,
         SelfHostedDaemon,
+        collect_exemplar_traces,
         loadgen_bench_doc,
         parse_mix,
         render_loadgen_report,
@@ -675,12 +765,21 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
     )
 
+    trace_doc: dict | None = None
+
     def run(unix_path: str | None, host: str | None, port: int) -> dict:
         def make_client() -> MctopClient:
             return MctopClient(unix_path=unix_path, host=host, port=port,
                                timeout=args.timeout)
 
-        return run_loadgen(config, make_client, progress=print)
+        result = run_loadgen(config, make_client, progress=print)
+        if args.trace_out:
+            # Collected before the daemon (and its trace store) goes
+            # away, so the artifact carries the run's actual slowest
+            # requests.
+            nonlocal trace_doc
+            trace_doc = collect_exemplar_traces(make_client)
+        return result
 
     if args.unix is None and args.host is None:
         # Self-contained run: a throwaway in-process daemon on a Unix
@@ -705,6 +804,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             json.dumps(doc["histogram"], indent=1, sort_keys=True) + "\n"
         )
         print(f"latency histogram written to {args.hist_out}")
+    if args.trace_out and trace_doc is not None:
+        target = Path(args.trace_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(trace_doc, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"{trace_doc['count']} slowest-request traces written to "
+              f"{args.trace_out}")
 
     bench_doc = loadgen_bench_doc(doc)
     if not args.no_history:
@@ -723,10 +830,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"error: {doc['query_errors']} placement queries returned "
               "errors", file=sys.stderr)
         failed = True
-    if args.slo_p99 is not None and doc["p99_ms"] > args.slo_p99:
-        print(f"error: place p99 {doc['p99_ms']}ms exceeds the "
-              f"--slo-p99 {args.slo_p99:g}ms budget", file=sys.stderr)
-        failed = True
+    if args.slo_p99 is not None:
+        # The gate rides the same Objective definitions as the daemon's
+        # burn-rate engine, so CLI and service judge latency alike.
+        from repro.obs.slo import Objective, check_loadgen_slo
+
+        objectives = (Objective("place", p99_ms=args.slo_p99),)
+        for violation in check_loadgen_slo(objectives, doc):
+            print(f"error: {violation}", file=sys.stderr)
+            failed = True
 
     if args.compare is not None:
         try:
@@ -835,10 +947,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser(
         "trace",
         help="run a traced inference and print the observability report "
-             "(or summarize a saved trace file)",
+             "(or summarize a saved trace file; 'trace show REQUEST_ID' "
+             "fetches a retained per-request trace from a daemon)",
     )
-    p_trace.add_argument("target", help="catalog machine or trace .json file")
+    p_trace.add_argument("target",
+                         help="catalog machine, trace .json file, or "
+                              "'show'")
+    p_trace.add_argument("rid", nargs="?", metavar="REQUEST_ID",
+                         help="request id for 'trace show' (from "
+                              "/metrics exemplars or "
+                              "client.last_request_ids)")
     p_trace.add_argument("--out", help="also write a Chrome trace_event file")
+    p_trace.add_argument("--unix", help="trace show: unix socket path")
+    p_trace.add_argument("--host", help="trace show: TCP host")
+    p_trace.add_argument("--port", type=int, default=0,
+                         help="trace show: TCP port")
+    p_trace.add_argument("--timeout", type=float, default=30.0,
+                         help="trace show: client-side socket timeout "
+                              "(seconds)")
+    p_trace.add_argument("--chrome", metavar="PATH",
+                         help="trace show: also write the stitched "
+                              "timeline as a Chrome trace_event file")
+    p_trace.add_argument("--json", action="store_true",
+                         help="trace show: print the raw trace document")
     common(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
 
@@ -987,6 +1118,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip precomputing placement indices; "
                               "place answers through the legacy "
                               "per-session pool (docs/PLACEMENT.md)")
+    p_serve.add_argument("--no-trace-store", action="store_true",
+                         help="skip the per-request trace store (the "
+                              "trace verb answers enabled=false)")
+    p_serve.add_argument("--trace-max-traces", type=int, default=512,
+                         help="retained-trace count budget (default 512)")
+    p_serve.add_argument("--trace-max-bytes", type=int, default=4_000_000,
+                         help="retained-trace byte budget "
+                              "(default 4000000)")
+    p_serve.add_argument("--trace-ttl", type=float, default=600.0,
+                         metavar="SECONDS",
+                         help="retained traces expire after this long, "
+                              "pinned or not (default 600)")
+    p_serve.add_argument("--trace-sample-every", type=int, default=64,
+                         metavar="N",
+                         help="pin 1-in-N healthy traces as a baseline "
+                              "sample (default 64)")
+    p_serve.add_argument("--no-slo", action="store_true",
+                         help="skip the SLO burn-rate engine (the slo "
+                              "verb answers enabled=false)")
+    p_serve.add_argument("--slo-objective", action="append",
+                         metavar="VERB:p99=MS[,avail=PCT]",
+                         help="per-verb objective, e.g. place:p99=50 or "
+                              "infer:p99=5000,avail=99; repeatable "
+                              "(default: built-in place/place_many/"
+                              "infer objectives)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_fleet = sub.add_parser(
@@ -1170,6 +1326,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_loadgen.add_argument("--hist-out", metavar="PATH",
                            help="write the latency histogram JSON here "
                                 "(the CI failure artifact)")
+    p_loadgen.add_argument("--trace-out", metavar="PATH",
+                           help="write the run's slowest-request traces "
+                                "(from the daemon's latency exemplars) "
+                                "as JSON here")
     p_loadgen.add_argument("--history", default=None,
                            help="append a place_qps record to this "
                                 "JSONL history (default: "

@@ -17,10 +17,14 @@ Routing rules:
   walks the digest's
   preference list on *transport* errors only (a member's application
   error is the answer, not a reason to ask someone else).
-* ``metrics``/``drift`` — fan out to every in-ring member and merge
-  (:mod:`repro.obs.merge`): counters summed, histograms merged,
-  per-machine drift worst-severity.  The merged document keeps the
-  single-daemon shape, so ``mctop top`` renders a fleet unchanged.
+* ``metrics``/``drift``/``slo`` — fan out to every in-ring member and
+  merge (:mod:`repro.obs.merge`): counters summed, histograms merged,
+  per-machine drift worst-severity, per-verb worst SLO alert.  The
+  merged document keeps the single-daemon shape, so ``mctop top``
+  renders a fleet unchanged.
+* ``trace`` — answered by assembly: the router's own retained record
+  plus a ``trace`` fan-out to the members, stitched into one timeline
+  (:func:`repro.obs.trace_store.assemble_fleet_timeline`).
 * ``ping``/``fleet`` — answered by the router itself; ``fleet`` is the
   membership/ring/health status document.
 * anything else — round-robined to a live member (the member answers
@@ -52,8 +56,10 @@ from repro.obs.merge import (
     merge_cache_stats,
     merge_drift_docs,
     merge_registry_snapshots,
+    merge_slo_docs,
     merge_trace_summaries,
 )
+from repro.obs.trace_store import TraceStore, assemble_fleet_timeline
 from repro.service.accesslog import AccessLog
 from repro.service.cache import inference_key
 from repro.service.context import current_request_id
@@ -74,7 +80,7 @@ DIGEST_VERBS = ("infer", "show", "place", "place_many", "pool_switch",
                 "validate")
 
 #: Verbs that fan out to every member and merge.
-AGGREGATE_VERBS = ("metrics", "drift")
+AGGREGATE_VERBS = ("metrics", "drift", "slo")
 
 #: Transport failures that trigger failover to the next ring candidate.
 #: (``TimeoutError`` is an ``OSError`` subclass since 3.10, listed for
@@ -114,6 +120,13 @@ class RouterConfig:
     event_log: str | Path | None = None
     event_log_max_bytes: int = 5_000_000
     event_log_backups: int = 3
+    #: Router-side per-request trace retention (the ``trace`` verb's
+    #: fleet assembly joins member records under these router records).
+    trace_store: bool = True
+    trace_max_traces: int = 512
+    trace_max_bytes: int = 4_000_000
+    trace_ttl: float = 600.0
+    trace_sample_every: int = 64
 
 
 class FleetRouter:
@@ -152,6 +165,17 @@ class FleetRouter:
             replicas=config.replicas,
             probe=probe_member,
         )
+        self.trace_store: TraceStore | None = None
+        if config.trace_store:
+            self.trace_store = TraceStore(
+                obs=self.obs,
+                member_id="router",
+                max_traces=config.trace_max_traces,
+                max_bytes=config.trace_max_bytes,
+                ttl_seconds=config.trace_ttl,
+                sample_every=config.trace_sample_every,
+            )
+            self.obs.tracer.sink = self.trace_store.observe
         self._servers: list[asyncio.base_events.Server] = []
         self._connections: set[asyncio.Task] = set()
         self._inflight = 0
@@ -329,7 +353,15 @@ class FleetRouter:
             return await self._dispatch_traced(line, pool, rid, meta)
         finally:
             current_request_id.reset(token)
-            meta["duration_ms"] = (time.perf_counter() - start) * 1e3
+            duration_ms = (time.perf_counter() - start) * 1e3
+            meta["duration_ms"] = duration_ms
+            if self.trace_store is not None:
+                self.trace_store.finish(
+                    rid,
+                    verb=meta.get("verb"),
+                    outcome=meta.get("outcome", "ok"),
+                    duration_ms=duration_ms,
+                )
 
     async def _dispatch_traced(self, line: bytes, pool: dict,
                                rid: str, meta: dict) -> dict:
@@ -374,6 +406,11 @@ class FleetRouter:
             self.obs.counter(f"fleet.requests.{verb}").inc()
             try:
                 with self.obs.timer(f"fleet.latency.{verb}").time():
+                    if verb == "trace":
+                        result = await self._assemble_trace(request.params,
+                                                            rid)
+                        return ok_response(request.id, result,
+                                           request_id=rid)
                     if verb in AGGREGATE_VERBS:
                         result = await self._aggregate(verb, request.params,
                                                        rid)
@@ -432,10 +469,15 @@ class FleetRouter:
                 conn = pool[member_id] = MemberConnection(state.spec)
             started = time.perf_counter()
             try:
-                doc = await conn.request(
-                    verb, request.params, self.config.request_timeout,
-                    parent_request_id=rid,
-                )
+                # The forward span is the fleet-assembly alignment
+                # anchor: member clocks are unrelated, so the member's
+                # root span is pinned to where this forward started.
+                with self.obs.span("fleet.forward", member=member_id,
+                                   request_id=rid):
+                    doc = await conn.request(
+                        verb, request.params, self.config.request_timeout,
+                        parent_request_id=rid,
+                    )
             except TRANSPORT_ERRORS as exc:
                 await conn.close()
                 pool.pop(member_id, None)
@@ -546,6 +588,11 @@ class FleetRouter:
                     "total": len(self.health.states),
                 },
             }
+        if verb == "slo":
+            docs = await self._fan_out("slo", {}, rid)
+            merged = merge_slo_docs(docs)
+            merged["protocol"] = PROTOCOL_VERSION
+            return merged
         assert verb == "drift", verb
         fan_params = {}
         machine = params.get("machine")
@@ -555,6 +602,79 @@ class FleetRouter:
         merged = merge_drift_docs(docs)
         merged["protocol"] = PROTOCOL_VERSION
         return merged
+
+    # ---------------------------------------------------- trace assembly
+    async def _assemble_trace(self, params: dict, rid: str) -> dict:
+        """One stitched fleet timeline for a request id.
+
+        The router's own retained record (found via the id directly)
+        supplies the top-level spans; a ``trace`` fan-out to every
+        in-ring member collects the member-side records (each member
+        resolves the router's id through its ``parent_request_id``
+        alias index).  Members that are out of the ring, fail transport
+        or answer ``unknown_verb`` are reported in ``missing_members``
+        — an assembled trace must say what it could *not* see.
+        """
+        request_id = params.get("request_id")
+        if not isinstance(request_id, str) or not request_id \
+                or len(request_id) > 64:
+            raise ServiceError(
+                "'request_id' must be a non-empty string of at most 64 "
+                "chars", code="invalid_params",
+            )
+        router_record = None
+        if self.trace_store is not None:
+            router_record = self.trace_store.get(request_id)
+        members = self.health.live_members()
+        outcomes = await asyncio.gather(
+            *(one_shot_request(s.spec, "trace",
+                               {"request_id": request_id},
+                               self.config.probe_timeout,
+                               parent_request_id=rid)
+              for s in members),
+            return_exceptions=True,
+        )
+        member_docs: dict[str, dict] = {}
+        missing = sorted(
+            state.spec.id for state in self.health.states.values()
+            if not state.in_ring
+        )
+        for state, outcome in zip(members, outcomes):
+            member_id = state.spec.id
+            if isinstance(outcome, BaseException):
+                self.health.note_forward_failure(
+                    member_id, f"{type(outcome).__name__}: {outcome}"
+                )
+                missing.append(member_id)
+                continue
+            if not outcome.get("ok"):
+                # An older member without the verb (unknown_verb) or a
+                # member-side error: reported, never fatal.
+                code = (outcome.get("error") or {}).get("code", "internal")
+                member_docs[member_id] = {"found": False, "error": code}
+                continue
+            member_docs[member_id] = outcome.get("result", {})
+        member_records = {
+            member_id: doc.get("record")
+            for member_id, doc in member_docs.items()
+            if doc.get("found") and doc.get("record")
+        }
+        found = router_record is not None or bool(member_records)
+        doc = {
+            "protocol": PROTOCOL_VERSION,
+            "enabled": self.trace_store is not None,
+            "role": "router",
+            "found": found,
+            "request_id": request_id,
+            "router": router_record,
+            "members": member_docs,
+            "missing_members": sorted(missing),
+            "timeline": assemble_fleet_timeline(router_record,
+                                                member_records),
+        }
+        if not found and self.trace_store is not None:
+            doc["store"] = self.trace_store.status_doc()
+        return doc
 
 
 def run_router(config: RouterConfig,

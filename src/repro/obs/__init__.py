@@ -29,16 +29,31 @@ from repro.obs.merge import (
     merge_cache_stats,
     merge_drift_docs,
     merge_registry_snapshots,
+    merge_slo_docs,
     merge_trace_summaries,
 )
 from repro.obs.export import (
     render_report,
+    timeline_to_chrome,
     to_chrome_trace,
     to_json,
     write_chrome_trace,
 )
 from repro.obs.prometheus import render_prometheus, sanitize_metric_name
 from repro.obs.registry import Counter, Gauge, Histogram, Registry, Timer
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    SloEngine,
+    check_loadgen_slo,
+    parse_objectives,
+)
+from repro.obs.trace_store import (
+    TraceStore,
+    assemble_fleet_timeline,
+    record_timeline,
+    render_timeline,
+)
 from repro.obs.tracer import Instant, Span, Tracer
 
 
@@ -101,6 +116,7 @@ class Observability:
 
 __all__ = [
     "Counter",
+    "DEFAULT_OBJECTIVES",
     "DriftFinding",
     "DriftReport",
     "DriftThresholds",
@@ -108,16 +124,26 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instant",
+    "Objective",
     "Observability",
     "Registry",
     "RotatingNdjsonWriter",
+    "SloEngine",
     "Span",
     "Timer",
+    "TraceStore",
     "Tracer",
+    "assemble_fleet_timeline",
+    "check_loadgen_slo",
     "compare_mctops",
+    "merge_slo_docs",
+    "parse_objectives",
+    "record_timeline",
     "render_prometheus",
     "render_report",
+    "render_timeline",
     "sanitize_metric_name",
+    "timeline_to_chrome",
     "to_chrome_trace",
     "to_json",
     "write_chrome_trace",

@@ -96,6 +96,62 @@ def to_chrome_trace(tracer: Tracer, registry: Registry | None = None) -> dict:
     }
 
 
+def timeline_to_chrome(trace_doc: dict) -> dict:
+    """An assembled fleet trace document as a Chrome trace.
+
+    Input is the ``trace`` verb's response shape (``timeline`` entries
+    carrying ``member`` tags, see
+    :func:`repro.obs.trace_store.assemble_fleet_timeline`).  Each
+    member becomes its own thread track, named via ``ph: "M"``
+    metadata events, so the stitched router/member hierarchy reads as
+    parallel swimlanes in Perfetto.
+    """
+    timeline = trace_doc.get("timeline") or []
+    members: list = []
+    for span in timeline:
+        member = span.get("member")
+        if member not in members:
+            members.append(member)
+    tid_of = {member: tid for tid, member in enumerate(members)}
+    events: list[dict] = []
+    for span in timeline:
+        args = dict(span.get("args") or {})
+        member = span.get("member")
+        if member is not None:
+            args["member"] = member
+        events.append(
+            {
+                "name": span.get("name", "?"),
+                "ph": "X",
+                "ts": span.get("start_us", 0.0),
+                "dur": span.get("dur_us", 0.0),
+                "pid": _PID,
+                "tid": tid_of.get(member, 0),
+                "args": args,
+            }
+        )
+    for member, tid in tid_of.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": str(member) if member is not None
+                         else "local"},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "request_id": trace_doc.get("request_id"),
+            "missing_members": list(trace_doc.get("missing_members") or ()),
+        },
+    }
+
+
 def write_chrome_trace(
     path: str | Path, tracer: Tracer, registry: Registry | None = None
 ) -> Path:

@@ -34,8 +34,13 @@ import math
 from repro.obs.diff import severity_rank
 
 #: Gauge-name fragments that switch the merge rule from sum to max.
-_MAX_GAUGE_MARKERS = (".severity.",)
-_MAX_GAUGE_SUFFIXES = ("_ts", ".last_check_ts")
+#: Burn rates and alert levels are rank semantics: the fleet is burning
+#: as fast as its worst member, not the sum of everyone's rates.
+_MAX_GAUGE_MARKERS = (".severity.", ".burn_rate.")
+_MAX_GAUGE_SUFFIXES = ("_ts", ".last_check_ts", ".alerting")
+
+#: SLO alert severities in increasing order for merge ranking.
+_ALERT_RANK = {None: 0, "slow": 1, "fast": 2}
 
 
 def _rank(severity: object) -> int:
@@ -104,6 +109,14 @@ def _merge_histogram(kind: str, snaps: "list[dict]") -> dict:
                 order.append(le)
             buckets[le] += n
     merged["buckets"] = [[le, buckets[le]] for le in order]
+    exemplars: list[list] = []
+    for snap in snaps:
+        exemplars.extend(snap.get("exemplars") or [])
+    if exemplars:
+        # Fleet-wide slowest requests: union, largest first, same slot
+        # budget a single member keeps.
+        exemplars.sort(key=lambda e: e[0], reverse=True)
+        merged["exemplars"] = [list(e) for e in exemplars[:5]]
     return merged
 
 
@@ -195,5 +208,58 @@ def merge_drift_docs(docs: "dict[str, dict]") -> dict:
         "worst_severity": worst,
         "degraded": worst == "critical",
         "machines": machines,
+        "members": members,
+    }
+
+
+def merge_slo_docs(docs: "dict[str, dict]") -> dict:
+    """Merge per-member ``slo`` verb documents (``{member: doc}``).
+
+    Per verb the *worst* alert wins (fast > slow > none) and the merged
+    objective records the member it came from; burn rates take the max
+    member-wise (the fleet burns as fast as its worst member); good/bad
+    counts sum.  Members answering ``enabled: false`` are listed but
+    contribute nothing, same contract as :func:`merge_drift_docs`.
+    """
+    objectives: dict[str, dict] = {}
+    members: dict[str, dict] = {}
+    enabled = False
+    for member_id, doc in sorted(docs.items()):
+        member_enabled = bool(doc.get("enabled"))
+        members[member_id] = {
+            "enabled": member_enabled,
+            "degraded": bool(doc.get("degraded")) if member_enabled
+            else None,
+        }
+        if not member_enabled:
+            continue
+        enabled = True
+        for verb, state in (doc.get("objectives") or {}).items():
+            state = dict(state)
+            state["burn"] = dict(state.get("burn") or {})
+            current = objectives.get(verb)
+            if current is None:
+                state["member"] = member_id
+                objectives[verb] = state
+                continue
+            if _ALERT_RANK.get(state.get("alert"), 0) > \
+                    _ALERT_RANK.get(current.get("alert"), 0):
+                current["alert"] = state.get("alert")
+                current["member"] = member_id
+            for kind in ("fast", "slow"):
+                current["burn"][kind] = max(
+                    current["burn"].get(kind) or 0.0,
+                    state["burn"].get(kind) or 0.0,
+                )
+            current["good"] = (current.get("good") or 0) + \
+                (state.get("good") or 0)
+            current["bad"] = (current.get("bad") or 0) + \
+                (state.get("bad") or 0)
+    return {
+        "enabled": enabled,
+        "degraded": any(
+            o.get("alert") == "fast" for o in objectives.values()
+        ),
+        "objectives": objectives,
         "members": members,
     }

@@ -35,6 +35,9 @@ _ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
 #: quantile keys a histogram/timer snapshot carries, in output order.
 _QUANTILE_KEYS = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
 
+#: OpenMetrics exemplar payload: `{label="..."} value [timestamp]`.
+_EXEMPLAR_OK = re.compile(r"^\{[^{}]*\}\s+\S+(?:\s+\S+)?$")
+
 
 def sanitize_metric_name(name: str, prefix: str = "") -> str:
     """Map an instrument name onto the Prometheus metric alphabet."""
@@ -67,6 +70,32 @@ def _bucket_le(raw) -> str:
     return _fmt(float(raw))
 
 
+def _exemplars_by_bucket(snap: dict) -> dict[str, tuple[float, str]]:
+    """Assign a snapshot's exemplars to their histogram buckets.
+
+    OpenMetrics allows at most one exemplar per ``_bucket`` line and
+    requires the exemplar value to fall inside that bucket; each
+    exemplar lands on the first bucket whose bound covers it, and when
+    several compete for one bucket the largest value wins.
+    """
+    exemplars = snap.get("exemplars") or []
+    if not exemplars:
+        return {}
+    bounds = []
+    for raw_le, _count in snap.get("buckets", []):
+        le = math.inf if isinstance(raw_le, str) else float(raw_le)
+        bounds.append((le, _bucket_le(raw_le)))
+    by_bucket: dict[str, tuple[float, str]] = {}
+    for value, label in exemplars:
+        for le, key in bounds:
+            if value <= le:
+                current = by_bucket.get(key)
+                if current is None or value > current[0]:
+                    by_bucket[key] = (value, str(label))
+                break
+    return by_bucket
+
+
 def render_prometheus(
     snapshot: dict[str, dict],
     prefix: str = "mctop",
@@ -88,10 +117,15 @@ def render_prometheus(
             lines.append(f"{metric} {_fmt(snap['value'])}")
         elif kind in ("histogram", "timer"):
             lines.append(f"# TYPE {metric} histogram")
+            exemplars = _exemplars_by_bucket(snap)
             for raw_le, count in snap.get("buckets", []):
-                lines.append(
-                    f'{metric}_bucket{{le="{_bucket_le(raw_le)}"}} {count}'
-                )
+                line = f'{metric}_bucket{{le="{_bucket_le(raw_le)}"}} {count}'
+                exemplar = exemplars.get(_bucket_le(raw_le))
+                if exemplar is not None:
+                    value, label = exemplar
+                    line += (f' # {{request_id="{label}"}} '
+                             f"{_fmt(float(value))}")
+                lines.append(line)
             lines.append(f"{metric}_sum {_fmt(snap['total'])}")
             lines.append(f"{metric}_count {snap['count']}")
             quantiles = [
@@ -143,6 +177,15 @@ def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
             continue
         if line.startswith("#"):
             continue
+        # OpenMetrics exemplar suffix: `<sample> # {labels} value [ts]`.
+        # Validate its shape, then parse the sample part as usual.
+        sample_part, hash_sep, exemplar_part = line.partition(" # ")
+        if hash_sep:
+            if not _EXEMPLAR_OK.match(exemplar_part):
+                raise ValueError(
+                    f"line {lineno}: malformed exemplar: {line!r}"
+                )
+            line = sample_part
         m = sample_re.match(line)
         if m is None:
             raise ValueError(f"line {lineno}: malformed sample: {line!r}")

@@ -71,6 +71,10 @@ PERCENTILES = (0.5, 0.95, 0.99)
 #: sliding window biased to "now" (what a live dashboard wants).
 RESERVOIR_SIZE = 512
 
+#: How many exemplars a histogram keeps: the labels (request ids) of
+#: its largest observations, one slot per distinct label.
+EXEMPLAR_SLOTS = 5
+
 
 class Histogram:
     """Streaming summary statistics of an observed distribution.
@@ -92,7 +96,8 @@ class Histogram:
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "_sumsq",
-                 "_bounds", "_bucket_counts", "_reservoir", "_res_pos")
+                 "_bounds", "_bucket_counts", "_reservoir", "_res_pos",
+                 "_exemplars")
     kind = "histogram"
 
     def __init__(self, name: str, buckets: tuple[float, ...] | None = None):
@@ -106,6 +111,9 @@ class Histogram:
         self._bucket_counts = [0] * len(self._bounds)
         self._reservoir: list[float] = []
         self._res_pos = 0
+        #: (value, label) of the largest observations, descending;
+        #: one slot per distinct label (see :meth:`record_exemplar`).
+        self._exemplars: list[tuple[float, str]] = []
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -138,6 +146,36 @@ class Histogram:
             self.min = lo
         if hi > self.max:
             self.max = hi
+
+    def record_exemplar(self, value: float, label: str) -> None:
+        """Remember ``label`` (a request id) as a slow-observation
+        exemplar if ``value`` ranks among the largest seen.
+
+        Kept separate from :meth:`observe` so callers opt in per
+        observation — only the service's latency timers pay for it.
+        One slot per distinct label: a retried request updates in
+        place instead of crowding out other slow requests.
+        """
+        if not label:
+            return
+        exemplars = self._exemplars
+        for i, (seen, existing) in enumerate(exemplars):
+            if existing == label:
+                if value > seen:
+                    exemplars[i] = (value, label)
+                    exemplars.sort(reverse=True)
+                return
+        if len(exemplars) >= EXEMPLAR_SLOTS:
+            if value <= exemplars[-1][0]:
+                return
+            exemplars[-1] = (value, label)
+        else:
+            exemplars.append((value, label))
+        exemplars.sort(reverse=True)
+
+    def exemplars(self) -> list[tuple[float, str]]:
+        """``(value, label)`` exemplars, largest first."""
+        return list(self._exemplars)
 
     @property
     def mean(self) -> float:
@@ -189,6 +227,11 @@ class Histogram:
         snap["buckets"] = [
             ["+Inf" if math.isinf(le) else le, n] for le, n in self.buckets()
         ]
+        if self._exemplars:
+            # Only present when recorded, so snapshots of instruments
+            # that never opted in (and golden pins of them) are
+            # unchanged.
+            snap["exemplars"] = [[v, label] for v, label in self._exemplars]
         return snap
 
 

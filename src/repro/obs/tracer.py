@@ -120,6 +120,11 @@ class Tracer:
         self.finished_spans = 0
         self.adopted_spans = 0
         self.instants = 0
+        #: optional callable invoked with every recorded event, *after*
+        #: it enters the ring.  The :class:`~repro.obs.trace_store
+        #: .TraceStore` hangs off this to index spans by request id;
+        #: the ring's capacity/drop accounting is unaffected by it.
+        self.sink = None
 
     # ------------------------------------------------------------ clock
     def _now_us(self) -> float:
@@ -132,6 +137,8 @@ class Tracer:
             if isinstance(evicted, Span):
                 self.dropped_spans += 1
         self.events.append(event)
+        if self.sink is not None:
+            self.sink(event)
 
     # ----------------------------------------------------------- spans
     @contextmanager

@@ -151,6 +151,13 @@ class MctopClient:
         #: reporting a slow or failed request — the same id names the
         #: request's root span and its access-log line on the server.
         self.last_request_id: str | None = None
+        #: Every server-generated id of the most recent *call*: one
+        #: entry for a single request, one per sub-batch when
+        #: :meth:`place_many` splits across pipelined frames (where
+        #: ``last_request_id`` alone would keep only the final
+        #: sub-batch's id and lose the rest for tracing).  On a
+        #: mid-pipeline failure it holds the ids read so far.
+        self.last_request_ids: list[str] = []
         #: When talking to a fleet router: the ``upstream`` stanza of
         #: the most recent response (``{"member", "request_id", "ms"}``)
         #: — which member served it and how long its round-trip took.
@@ -249,6 +256,7 @@ class MctopClient:
         results: list[dict] = []
         pending: deque[int] = deque()
         sent = 0
+        self.last_request_ids = []
         try:
             while len(results) < len(params_list):
                 while sent < len(params_list) and len(pending) < window:
@@ -276,6 +284,7 @@ class MctopClient:
         conn = self._connection_for(verb)
         self._next_id += 1
         request_id = self._next_id
+        self.last_request_ids = []
         frame = encode_frame(
             {"verb": verb, "id": request_id, "params": params}
         )
@@ -303,6 +312,11 @@ class MctopClient:
             raise ProtocolError("response frame exceeds the protocol limit")
         doc = decode_response(line)
         self.last_request_id = doc.get("request_id")
+        if doc.get("request_id") is not None:
+            # Accumulates across one call's pipeline (the caller resets
+            # the list), so a split place_many keeps every sub-batch id
+            # and a mid-pipeline failure keeps the ids read so far.
+            self.last_request_ids.append(doc["request_id"])
         self.last_upstream = doc.get("upstream")
         if doc.get("id") not in (None, request_id):
             raise ProtocolError(
@@ -372,6 +386,29 @@ class MctopClient:
         """The daemon's metrics snapshot; pass ``format="prometheus"``
         for the text exposition instead of the JSON document."""
         return self.request("metrics", **params)
+
+    def trace(self, request_id: str) -> dict:
+        """A retained per-request trace by request id.
+
+        Against a plain daemon: that daemon's record (``found: false``
+        if evicted or never retained, ``enabled: false`` without a
+        trace store).  Against a fleet router: the assembled fleet-wide
+        document — router record, per-member records, the stitched
+        ``timeline`` and ``missing_members``.  Any response's
+        ``request_id`` (or a ``/metrics`` exemplar id) is a valid
+        argument.
+        """
+        return self.request("trace", request_id=request_id)
+
+    def slo(self) -> dict:
+        """The SLO burn-rate engine's status document.
+
+        Per-verb objectives with burn rates and active alerts;
+        ``enabled`` is false on daemons running without the engine.
+        Older daemons lacking the verb answer with an ``unknown_verb``
+        :class:`~repro.errors.ServiceError`.
+        """
+        return self.request("slo")
 
     def drift(self, machine: str | None = None) -> dict:
         """The drift watcher's status (latest per-machine reports).

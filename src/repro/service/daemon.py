@@ -108,6 +108,23 @@ class ServeConfig:
     #: ``place``/``place_many`` answer from a dictionary lookup.  Off,
     #: every query computes through the legacy per-session pool.
     placement_index: bool = True
+    #: Per-request trace retention (the ``trace`` verb): spans grouped
+    #: by request id with tail-based retention — error / SLO-violating
+    #: traces and a 1-in-``trace_sample_every`` sample pinned, fast ok
+    #: traces evicted first under the count/byte budget + TTL.  On by
+    #: default: the whole point is answering "why was request X slow?"
+    #: *after* the fact, and the bench gate proves it is cheap.
+    trace_store: bool = True
+    trace_max_traces: int = 512
+    trace_max_bytes: int = 4_000_000
+    trace_ttl: float = 600.0
+    trace_sample_every: int = 64
+    #: SLO burn-rate engine (the ``slo`` verb): per-verb latency +
+    #: availability objectives with fast/slow multi-window burn alerts.
+    #: ``slo_objectives`` entries are ``VERB:p99=MS[,avail=PCT]``;
+    #: empty means :data:`repro.obs.slo.DEFAULT_OBJECTIVES`.
+    slo: bool = True
+    slo_objectives: tuple[str, ...] = ()
     #: Enable the hidden ``_sleep`` verb (tests only).
     debug_verbs: bool = False
 
@@ -148,6 +165,34 @@ class MctopDaemon:
                 ),
                 events=self.event_log,
             )
+        self.trace_store = None
+        if config.trace_store:
+            from repro.obs.trace_store import TraceStore
+
+            self.trace_store = TraceStore(
+                obs=self.obs,
+                member_id=config.member_id,
+                max_traces=config.trace_max_traces,
+                max_bytes=config.trace_max_bytes,
+                ttl_seconds=config.trace_ttl,
+                sample_every=config.trace_sample_every,
+            )
+            self.obs.tracer.sink = self.trace_store.observe
+        self.slo_engine = None
+        if config.slo:
+            from repro.obs.slo import (
+                DEFAULT_OBJECTIVES,
+                SloEngine,
+                parse_objectives,
+            )
+
+            objectives = (
+                parse_objectives(config.slo_objectives)
+                if config.slo_objectives else DEFAULT_OBJECTIVES
+            )
+            self.slo_engine = SloEngine(
+                objectives, obs=self.obs, events=self.event_log
+            )
         peer_specs: tuple = ()
         if config.peers:
             from repro.fleet.members import parse_members
@@ -165,6 +210,8 @@ class MctopDaemon:
             peer_fanout=config.peer_fanout,
             events=self.event_log,
             placement_index=config.placement_index,
+            trace_store=self.trace_store,
+            slo_engine=self.slo_engine,
         )
         self._servers: list[asyncio.base_events.Server] = []
         # The metrics HTTP listener lives outside self._servers so the
@@ -404,7 +451,31 @@ class MctopDaemon:
             return response
         finally:
             current_request_id.reset(token)
-            meta["duration_ms"] = (time.perf_counter() - start) * 1e3
+            duration = time.perf_counter() - start
+            meta["duration_ms"] = duration * 1e3
+            self._finish_request(rid, meta, duration)
+
+    def _finish_request(self, rid: str, meta: dict, duration: float) -> None:
+        """Post-response bookkeeping, in dependency order: the SLO
+        engine scores the request first, because its verdict is the
+        tail-sampling signal that decides whether the trace store pins
+        this trace."""
+        verb = meta.get("verb")
+        outcome = meta.get("outcome", "ok")
+        violation = False
+        if self.slo_engine is not None and verb is not None:
+            violation = self.slo_engine.observe(
+                verb, duration, ok=outcome == "ok"
+            )
+        if self.trace_store is not None:
+            self.trace_store.finish(
+                rid,
+                verb=verb,
+                outcome=outcome,
+                duration_ms=duration * 1e3,
+                slo_violation=violation,
+                parent_request_id=meta.get("parent_request_id"),
+            )
 
     async def _dispatch_traced(
         self, line: bytes, session: Session, rid: str, meta: dict
@@ -458,12 +529,13 @@ class MctopDaemon:
             self._inflight += 1
             self.obs.counter(f"service.requests.{verb}").inc()
             self.obs.gauge("service.queue_depth").set(self._inflight)
+            timer = self.obs.timer(f"service.latency.{verb}")
+            handler_start = time.perf_counter()
             try:
-                with self.obs.timer(f"service.latency.{verb}").time():
-                    result = await asyncio.wait_for(
-                        handler(request.params, session),
-                        timeout=self.config.request_timeout,
-                    )
+                result = await asyncio.wait_for(
+                    handler(request.params, session),
+                    timeout=self.config.request_timeout,
+                )
                 cached = result.get("cached") if isinstance(result, dict) \
                     else None
                 if isinstance(cached, bool):
@@ -499,6 +571,15 @@ class MctopDaemon:
             finally:
                 self._inflight -= 1
                 self.obs.gauge("service.queue_depth").set(self._inflight)
+                elapsed = time.perf_counter() - handler_start
+                timer.observe(elapsed)
+                # Label the latency exemplar with the fleet-wide id
+                # when the request was forwarded, so a merged metrics
+                # doc's slowest-request ids paste straight into
+                # ``mctop trace show`` against the router.
+                timer.record_exemplar(
+                    elapsed, meta.get("parent_request_id") or rid
+                )
 
     def _resolve_verb(self, verb: str):
         if verb in VERBS:
@@ -538,9 +619,12 @@ class MctopDaemon:
             elif target.split("?", 1)[0] == "/healthz":
                 if self._draining:
                     status, body = "200 OK", b"draining\n"
-                elif self.watcher is not None and self.watcher.degraded:
-                    # Critical topology drift: still serving, but the
-                    # cached descriptions no longer match the machines.
+                elif (self.watcher is not None and self.watcher.degraded) \
+                        or (self.slo_engine is not None
+                            and self.slo_engine.degraded):
+                    # Critical topology drift, or an active fast-burn
+                    # SLO alert: still serving, but an operator should
+                    # look now.
                     status = "503 Service Unavailable"
                     body = b"degraded\n"
                 else:

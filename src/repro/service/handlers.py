@@ -187,10 +187,17 @@ class Handlers:
         peer_fanout: int = 2,
         events=None,
         placement_index: bool = True,
+        trace_store=None,
+        slo_engine=None,
     ):
         self.cache = cache
         self.obs = obs
         self.watcher = watcher
+        #: Per-request span index (``trace`` verb) and SLO burn-rate
+        #: engine (``slo`` verb); either may be ``None`` — the verbs
+        #: then answer ``{"enabled": false}``, the drift pattern.
+        self.trace_store = trace_store
+        self.slo_engine = slo_engine
         self.default_repetitions = default_repetitions
         self.debug_verbs = debug_verbs
         #: Serve ``place``/``place_many`` from the precomputed
@@ -571,6 +578,52 @@ class Handlers:
         if self.watcher is None:
             return {"protocol": PROTOCOL_VERSION, "enabled": False}
         doc = self.watcher.status_doc(machine)
+        doc["protocol"] = PROTOCOL_VERSION
+        return doc
+
+    async def trace(self, params: dict, session: Session) -> dict:
+        """Retrieve one retained per-request trace by request id.
+
+        Looks the id up in the tail-retention
+        :class:`~repro.obs.trace_store.TraceStore` — directly, or
+        through the ``parent_request_id`` alias (so a router's
+        fleet-wide id resolves on the member that served the forwarded
+        request).  ``found: false`` plus the store's status when the
+        trace was never retained or has been evicted; ``enabled:
+        false`` when the daemon runs with ``--no-trace-store``.
+        """
+        request_id = params.get("request_id")
+        if not isinstance(request_id, str) or not request_id \
+                or len(request_id) > 64:
+            raise _invalid(
+                "'request_id' must be a non-empty string of at most 64 chars"
+            )
+        if self.trace_store is None:
+            return {"protocol": PROTOCOL_VERSION, "enabled": False,
+                    "found": False, "request_id": request_id}
+        record = self.trace_store.get(request_id)
+        doc = {"protocol": PROTOCOL_VERSION, "enabled": True,
+               "found": record is not None, "request_id": request_id}
+        if record is not None:
+            from repro.obs.trace_store import record_timeline
+
+            doc["record"] = record
+            doc["timeline"] = record_timeline(record)
+        else:
+            doc["store"] = self.trace_store.status_doc()
+        return doc
+
+    async def slo(self, params: dict, session: Session) -> dict:
+        """The SLO burn-rate engine's status document.
+
+        Per-verb objectives, current fast/slow burn rates, the active
+        alert (if any) and good/bad totals.  A daemon running without
+        the engine answers ``{"enabled": false}`` rather than erroring,
+        so dashboards degrade gracefully.
+        """
+        if self.slo_engine is None:
+            return {"protocol": PROTOCOL_VERSION, "enabled": False}
+        doc = self.slo_engine.status_doc()
         doc["protocol"] = PROTOCOL_VERSION
         return doc
 

@@ -340,6 +340,41 @@ def loadgen_bench_doc(doc: dict) -> dict:
     }
 
 
+def collect_exemplar_traces(make_client, limit: int = 5) -> dict:
+    """The slowest requests of a run, as full traces.
+
+    Reads the daemon's ``service.latency.*`` exemplars (the request ids
+    of the slowest observations per verb), then fetches each id's trace
+    through the ``trace`` verb.  ``mctop loadgen --trace-out`` dumps the
+    result next to the bench artifact so a failed latency gate ships the
+    *actual* slow requests, not just their percentile.
+    """
+    exemplars: list[dict] = []
+    traces: list[dict] = []
+    with make_client() as client:
+        snapshot = client.request("metrics").get("registry", {})
+        for name, snap in snapshot.items():
+            if not name.startswith("service.latency."):
+                continue
+            verb = name[len("service.latency."):]
+            for value, label in snap.get("exemplars", []):
+                exemplars.append({"request_id": label, "verb": verb,
+                                  "seconds": value})
+        exemplars.sort(key=lambda e: e["seconds"], reverse=True)
+        del exemplars[limit:]
+        for entry in exemplars:
+            try:
+                doc = client.trace(entry["request_id"])
+            except ServiceError:
+                doc = None
+            traces.append(dict(entry, trace=doc))
+    return {
+        "format": "mctop-loadgen-traces",
+        "count": len(traces),
+        "traces": traces,
+    }
+
+
 def render_loadgen_report(doc: dict) -> str:
     """The human-readable run summary ``mctop loadgen`` prints."""
     lines = [

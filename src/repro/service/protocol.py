@@ -46,8 +46,11 @@ MAX_LINE_BYTES = 16 * 1024 * 1024
 #: ``place_many`` answers one batch of placement queries against one
 #: topology in a single round-trip (the hot-path form of ``place``);
 #: ``cache_fetch`` is the fleet cache-peering lookup (a *local-only*
-#: cache probe by digest, never an inference trigger); the rest mirror
-#: the CLI subcommands they are named after.
+#: cache probe by digest, never an inference trigger); ``trace``
+#: retrieves a retained per-request trace by request id (the router
+#: assembles a fleet-wide timeline from it); ``slo`` reports the SLO
+#: burn-rate engine's status; the rest mirror the CLI subcommands
+#: they are named after.
 VERBS = (
     "ping",
     "infer",
@@ -59,6 +62,8 @@ VERBS = (
     "metrics",
     "drift",
     "cache_fetch",
+    "trace",
+    "slo",
 )
 
 #: Error codes a response may carry.

@@ -75,6 +75,61 @@ def render_drift_lines(drift: dict) -> list[str]:
     return lines
 
 
+def render_slo_lines(slo: dict) -> list[str]:
+    """The dashboard's SLO burn-rate panel.
+
+    One line per objective verb — target, fast/slow burn rates, alert
+    state, good/bad counts — from an ``slo`` verb document (single
+    daemon or fleet-merged, same shape); empty when the engine is
+    disabled or the daemon predates the verb, so the section is simply
+    omitted.
+    """
+    if not slo or not slo.get("enabled"):
+        return []
+    header = "slo     "
+    header += "DEGRADED (fast burn)" if slo.get("degraded") else "ok"
+    lines = [header]
+    for verb, state in sorted((slo.get("objectives") or {}).items()):
+        burn = state.get("burn") or {}
+        alert = state.get("alert") or "-"
+        member = f"  ({state['member']})" if state.get("member") and \
+            state.get("alert") else ""
+        lines.append(
+            f"  {verb:<12} p99<{state.get('p99_ms', 0):g}ms"
+            f"  burn fast {burn.get('fast', 0):.2f}"
+            f" slow {burn.get('slow', 0):.2f}"
+            f"  alert {alert:<5}"
+            f"  good {state.get('good', 0)} bad {state.get('bad', 0)}"
+            f"{member}"
+        )
+    return lines
+
+
+def render_slowest_lines(registry: dict) -> list[str]:
+    """The dashboard's slowest-requests list.
+
+    The latency exemplars of every ``service.latency.*`` timer —
+    request id + observed duration, slowest first — each id pasteable
+    straight into ``mctop trace show``.  Empty on daemons that record
+    no exemplars (older or ``--no-trace-store``), so the section
+    disappears rather than breaking the dashboard.
+    """
+    slowest: list[tuple[float, str, str]] = []
+    for key, snap in registry.items():
+        if not key.startswith(_LAT_PREFIX):
+            continue
+        verb = key[len(_LAT_PREFIX):]
+        for value, label in snap.get("exemplars") or []:
+            slowest.append((float(value), verb, str(label)))
+    if not slowest:
+        return []
+    slowest.sort(reverse=True)
+    lines = ["slowest requests (mctop trace show <id>)"]
+    for value, verb, label in slowest[:5]:
+        lines.append(f"  {label:<18} {verb:<12} {value * 1e3:9.1f}ms")
+    return lines
+
+
 def render_fleet_lines(fleet: dict) -> list[str]:
     """The dashboard's fleet membership lines (``--fleet``).
 
@@ -139,6 +194,7 @@ def render_place_lines(registry: dict, prev_registry: dict | None,
 def render_dashboard(
     doc: dict, prev: dict | None = None, dt: float | None = None,
     drift: dict | None = None, fleet: dict | None = None,
+    slo: dict | None = None,
 ) -> str:
     """One dashboard frame from a ``metrics`` verb document.
 
@@ -146,8 +202,11 @@ def render_dashboard(
     turn monotonic counters into rates; the first frame shows ``-``.
     ``drift`` optionally adds the drift watcher's status section (a
     ``drift`` verb document); ``fleet`` the router's membership section
-    (a ``fleet`` verb document).  Pure: two fixed documents always
-    render the same text, which is what the tests pin.
+    (a ``fleet`` verb document); ``slo`` the burn-rate panel (an
+    ``slo`` verb document).  The slowest-requests list renders from the
+    metrics document's latency exemplars with no extra polling.  Pure:
+    two fixed documents always render the same text, which is what the
+    tests pin.
     """
     registry = doc.get("registry", {})
     prev_registry = (prev or {}).get("registry", {})
@@ -208,6 +267,14 @@ def render_dashboard(
         lines.append(
             "inferring: " + ", ".join(key[:12] for key in inflight)
         )
+    slowest_lines = render_slowest_lines(registry)
+    if slowest_lines:
+        lines.append("")
+        lines.extend(slowest_lines)
+    slo_lines = render_slo_lines(slo or {})
+    if slo_lines:
+        lines.append("")
+        lines.extend(slo_lines)
     drift_lines = render_drift_lines(drift or {})
     if drift_lines:
         lines.append("")
@@ -244,6 +311,7 @@ def run_top(
     prev: dict | None = None
     prev_t: float | None = None
     drift_supported = True
+    slo_supported = True
     fleet_supported = fleet
     frames = 0
     try:
@@ -257,6 +325,15 @@ def run_top(
                     # Older daemon (unknown_verb) or older client shim:
                     # drop the section rather than the dashboard.
                     drift_supported = False
+            slo_doc: dict | None = None
+            if slo_supported:
+                try:
+                    slo_doc = client.slo()
+                except (ServiceError, AttributeError):
+                    # Same fallback as drift: a daemon predating the
+                    # verb (or started --no-slo behind an old router)
+                    # loses the panel, never the dashboard.
+                    slo_supported = False
             fleet_doc: dict | None = None
             if fleet_supported:
                 try:
@@ -266,7 +343,7 @@ def run_top(
             now = time.monotonic()
             dt = now - prev_t if prev_t is not None else None
             frame = render_dashboard(doc, prev, dt, drift=drift,
-                                     fleet=fleet_doc)
+                                     fleet=fleet_doc, slo=slo_doc)
             write((CLEAR if clear else "") + frame)
             prev, prev_t = doc, now
             frames += 1

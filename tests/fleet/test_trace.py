@@ -1,0 +1,97 @@
+"""Fleet-wide trace assembly: router spans + member spans, stitched.
+
+The acceptance scenario for ``mctop trace show`` against a fleet: one
+request id, asked of the router, comes back as a single timeline with
+the router's ``fleet.forward`` span and the owner member's
+``service.request`` underneath it — and when a member is gone, the
+assembled trace says so instead of silently showing less.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+
+BASE = dict(machine="testbox", seed=1, repetitions=31)
+
+
+def _place_rid(client) -> tuple[str, str]:
+    """One routed place request; returns (request_id, serving member)."""
+    client.request("infer", **BASE)
+    client.request("place", policy="CON_HWC", threads=4, **BASE)
+    return client.last_request_ids[-1], client.last_upstream["member"]
+
+
+class TestFleetTraceAssembly:
+    def test_one_stitched_timeline_with_router_and_member_spans(
+        self, fleet
+    ):
+        with fleet.client() as client:
+            rid, member = _place_rid(client)
+            result = client.trace(rid)
+        assert result["found"] is True
+        assert result["role"] == "router"
+        assert result["request_id"] == rid
+        # The router retained its own record for the id...
+        assert result["router"]["request_id"] == rid
+        # ...and the owner member resolved the router's id through its
+        # parent_request_id alias.
+        assert result["members"][member]["found"] is True
+        assert result["missing_members"] == []
+        timeline = result["timeline"]
+        by_member = {}
+        for entry in timeline:
+            by_member.setdefault(entry["member"], []).append(entry)
+        router_names = {e["name"] for e in by_member["router"]}
+        assert "fleet.forward" in router_names
+        member_names = {e["name"] for e in by_member[member]}
+        assert "service.request" in member_names
+        # Member spans are stitched onto the router's timebase: the
+        # member root starts where the router's forward span starts.
+        forward = next(e for e in by_member["router"]
+                       if e["name"] == "fleet.forward")
+        root = next(e for e in by_member[member]
+                    if e["name"] == "service.request")
+        assert root["stitched"] is True
+        assert root["start_us"] == pytest.approx(forward["start_us"])
+
+    def test_ejected_member_is_reported_missing(self, fleet):
+        with fleet.client() as client:
+            rid, member = _place_rid(client)
+            # Kill the member that served the request, then let the
+            # router notice through a failing forward.
+            fleet.stop_member(member)
+            result = client.trace(rid)
+        assert member in result["missing_members"]
+        assert member not in result["members"]
+        # The router's own record still answers, explicitly partial.
+        assert result["found"] is True
+        assert result["router"]["request_id"] == rid
+
+    def test_unknown_id_not_found(self, fleet):
+        with fleet.client() as client:
+            result = client.trace("deadbeef00000000")
+        assert result["found"] is False
+        assert result["store"]["enabled"] is True
+        assert result["timeline"] == []
+
+    def test_bad_request_id_rejected(self, fleet):
+        with fleet.client() as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.trace("x" * 65)
+        assert excinfo.value.code == "invalid_params"
+
+
+class TestFleetSlo:
+    def test_router_merges_member_slo_docs(self, fleet):
+        with fleet.client() as client:
+            client.request("infer", **BASE)
+            client.request("place", policy="CON_HWC", threads=4, **BASE)
+            doc = client.slo()
+        assert doc["enabled"] is True
+        assert set(doc["members"]) == {"m0", "m1", "m2"}
+        place = doc["objectives"]["place"]
+        # Exactly one member served the place request; counts are
+        # fleet-wide sums.
+        assert place["good"] + place["bad"] >= 1

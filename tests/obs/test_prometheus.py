@@ -103,3 +103,31 @@ class TestParser:
     def test_accepts_inf_values(self):
         text = "# TYPE g gauge\ng +Inf\n"
         assert parse_exposition(text)["g"] == [({}, math.inf)]
+
+
+class TestExemplarSyntax:
+    def _registry_with_exemplar(self):
+        reg = Registry()
+        h = reg.histogram("service.latency.place")
+        h.observe(0.123)
+        h.record_exemplar(0.123, "abcdef0123456789")
+        return reg
+
+    def test_render_appends_openmetrics_exemplar(self):
+        text = render_prometheus(
+            self._registry_with_exemplar().snapshot()
+        )
+        assert '# {request_id="abcdef0123456789"} 0.123' in text
+
+    def test_parser_accepts_and_strips_exemplars(self):
+        text = render_prometheus(
+            self._registry_with_exemplar().snapshot()
+        )
+        families = parse_exposition(text)
+        assert "mctop_service_latency_place_bucket" in families
+
+    def test_parser_rejects_malformed_exemplar(self):
+        with pytest.raises(ValueError):
+            parse_exposition(
+                "# TYPE x counter\nx_total 1 # not-an-exemplar\n"
+            )

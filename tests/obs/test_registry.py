@@ -154,3 +154,36 @@ class TestRegistry:
         reg.counter("x").inc()
         reg.reset()
         assert len(reg) == 0
+
+
+class TestExemplars:
+    def test_keeps_largest_values(self):
+        from repro.obs.registry import EXEMPLAR_SLOTS
+
+        h = Registry().histogram("lat")
+        for i in range(10):
+            h.observe(float(i))
+            h.record_exemplar(float(i), f"rid{i}")
+        exemplars = h.exemplars()
+        assert len(exemplars) == EXEMPLAR_SLOTS
+        assert exemplars[0] == (9.0, "rid9")
+        assert [v for v, _ in exemplars] == sorted(
+            (v for v, _ in exemplars), reverse=True
+        )
+
+    def test_same_label_dedupes_keeping_max(self):
+        h = Registry().histogram("lat")
+        h.record_exemplar(1.0, "rid")
+        h.record_exemplar(5.0, "rid")
+        h.record_exemplar(2.0, "rid")
+        assert h.exemplars() == [(5.0, "rid")]
+
+    def test_snapshot_includes_exemplars_only_when_recorded(self):
+        reg = Registry()
+        plain = reg.histogram("plain")
+        plain.observe(1.0)
+        assert "exemplars" not in plain.snapshot()
+        tagged = reg.histogram("tagged")
+        tagged.observe(1.0)
+        tagged.record_exemplar(1.0, "rid")
+        assert tagged.snapshot()["exemplars"] == [[1.0, "rid"]]

@@ -1,0 +1,254 @@
+"""Unit tests for the per-request trace store (tail-based retention)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.trace_store import (
+    TraceStore,
+    assemble_fleet_timeline,
+    record_timeline,
+    render_timeline,
+)
+from repro.obs.tracer import Instant, Span
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def span(name: str, rid: str | None, start: float = 0.0,
+         dur: float = 100.0, **args) -> Span:
+    if rid is not None:
+        args["request_id"] = rid
+    return Span(id=0, name=name, start_us=start, dur_us=dur, depth=0,
+                args=args)
+
+
+def test_observe_groups_spans_by_request_id():
+    store = TraceStore()
+    store.observe(span("a", "r1"))
+    store.observe(span("b", "r1"))
+    store.observe(span("other", "r2"))
+    store.observe(span("untagged", None))  # ignored: no request_id
+    store.finish("r1", verb="place", outcome="ok", duration_ms=1.0)
+    record = store.get("r1")
+    assert [s["name"] for s in record["spans"]] == ["a", "b"]
+    assert record["verb"] == "place"
+    assert record["outcome"] == "ok"
+    # r2 is still open, not sealed.
+    assert store.get("r2") is None
+
+
+def test_observe_files_instants_separately():
+    store = TraceStore()
+    store.observe(span("a", "r1"))
+    store.observe(Instant(id=1, name="mark", ts_us=5.0, depth=0,
+                          args={"request_id": "r1"}))
+    store.finish("r1")
+    record = store.get("r1")
+    assert len(record["spans"]) == 1
+    assert [i["name"] for i in record["instants"]] == ["mark"]
+
+
+def test_pin_classes():
+    store = TraceStore(sample_every=3)
+    store.finish("e", outcome="error")
+    store.finish("v", slo_violation=True)
+    store.finish("s")  # 3rd finish: the 1-in-3 sample
+    store.finish("plain")
+    assert store.get("e")["pinned"] == "error"
+    assert store.get("v")["pinned"] == "slo"
+    assert store.get("s")["pinned"] == "sample"
+    assert store.get("plain")["pinned"] is None
+
+
+def test_tail_retention_pins_survive_eviction_pressure():
+    """The acceptance scenario: under budget pressure the store drops
+    fast/ok traces and keeps the SLO-violating one."""
+    store = TraceStore(max_traces=4, sample_every=10_000)
+    store.finish("slow", verb="place", duration_ms=80.0,
+                 slo_violation=True)
+    for i in range(20):
+        store.finish(f"ok{i}", verb="place", duration_ms=0.2)
+    assert len(store) == 4
+    record = store.get("slow")
+    assert record is not None and record["pinned"] == "slo"
+    # The survivors besides the pin are the newest ok traces.
+    assert store.get("ok0") is None
+
+
+def test_byte_budget_evicts_unpinned_first():
+    store = TraceStore(max_bytes=2000, sample_every=10_000)
+    store.finish("err", outcome="error")
+    for i in range(50):
+        store.observe(span("work", f"ok{i}", args_blob="x" * 50))
+        store.finish(f"ok{i}")
+    assert store.bytes_used <= 2000
+    assert store.get("err") is not None
+
+
+def test_pinned_only_pressure_evicts_oldest_pin():
+    store = TraceStore(max_traces=2, sample_every=10_000)
+    for i in range(4):
+        store.finish(f"e{i}", outcome="error")
+    assert len(store) == 2
+    assert store.get("e0") is None
+    assert store.get("e3") is not None
+
+
+def test_ttl_expires_even_pinned_traces():
+    clock = FakeClock()
+    store = TraceStore(ttl_seconds=60.0, clock=clock)
+    store.finish("err", outcome="error")
+    clock.now += 61.0
+    assert store.get("err") is None
+    assert len(store) == 0
+
+
+def test_parent_request_id_alias_resolves():
+    store = TraceStore()
+    store.observe(span("work", "member-rid"))
+    store.finish("member-rid", parent_request_id="router-rid")
+    assert store.get("router-rid")["request_id"] == "member-rid"
+    assert store.get("member-rid") is not None
+
+
+def test_open_table_bounded():
+    obs = Observability()
+    store = TraceStore(obs=obs, max_open=2)
+    store.observe(span("a", "r1"))
+    store.observe(span("a", "r2"))
+    store.observe(span("a", "r3"))  # past max_open: dropped
+    assert obs.registry.get("trace_store.dropped_events").value == 1
+    store.finish("r3")
+    assert store.get("r3")["spans"] == []
+
+
+def test_counters_and_gauges():
+    obs = Observability()
+    store = TraceStore(obs=obs, max_traces=2, sample_every=10_000)
+    store.finish("err", outcome="error")
+    for i in range(3):
+        store.finish(f"ok{i}")
+    registry = obs.registry
+    assert registry.get("trace_store.retained").value == 4
+    assert registry.get("trace_store.pinned").value == 1
+    assert registry.get("trace_store.evicted").value == 2
+    assert registry.get("trace_store.traces").value == 2
+
+
+def test_status_doc_shape():
+    store = TraceStore(max_traces=7)
+    store.finish("r1")
+    doc = store.status_doc()
+    assert doc["enabled"] is True
+    assert doc["traces"] == 1
+    assert doc["max_traces"] == 7
+
+
+@pytest.mark.parametrize("bad", [0, -1])
+def test_rejects_bad_budgets(bad):
+    with pytest.raises(ValueError):
+        TraceStore(max_traces=bad)
+
+
+# ---------------------------------------------------------------- stitching
+def _router_record():
+    return {
+        "request_id": "router-rid",
+        "verb": "place",
+        "outcome": "ok",
+        "duration_ms": 5.0,
+        "pinned": None,
+        "spans": [
+            span("service.request", "router-rid", start=0.0,
+                 dur=5000.0).to_dict(),
+            span("fleet.forward", "router-rid", start=1000.0, dur=3000.0,
+                 member="m1").to_dict(),
+        ],
+    }
+
+
+def _member_record(base: float = 50_000.0):
+    # The member's clock is an unrelated timebase, far from the router's.
+    return {
+        "request_id": "member-rid",
+        "spans": [
+            span("service.request", "member-rid", start=base,
+                 dur=2500.0).to_dict(),
+            span("service.cache_lookup", "member-rid", start=base + 200.0,
+                 dur=100.0).to_dict(),
+        ],
+    }
+
+
+def test_assemble_fleet_timeline_anchors_member_clock():
+    timeline = assemble_fleet_timeline(_router_record(),
+                                       {"m1": _member_record()})
+    by_name = {(e["member"], e["name"]): e for e in timeline}
+    root = by_name[("m1", "service.request")]
+    # The member root is shifted onto the router's forward start.
+    assert root["start_us"] == pytest.approx(1000.0)
+    assert root["stitched"] is True
+    lookup = by_name[("m1", "service.cache_lookup")]
+    assert lookup["start_us"] == pytest.approx(1200.0)
+    # Router spans keep their own timebase and member tag.
+    assert by_name[("router", "fleet.forward")]["start_us"] == 1000.0
+    # Sorted by start time.
+    starts = [e["start_us"] for e in timeline]
+    assert starts == sorted(starts)
+
+
+def test_assemble_fleet_timeline_without_anchor_is_unaligned():
+    router = _router_record()
+    router["spans"] = [router["spans"][0]]  # no fleet.forward span
+    timeline = assemble_fleet_timeline(router, {"m1": _member_record()})
+    member_entries = [e for e in timeline if e["member"] == "m1"]
+    assert member_entries and all(
+        e["stitched"] is False for e in member_entries
+    )
+    # Unaligned spans keep their own timebase.
+    assert any(e["start_us"] == 50_000.0 for e in member_entries)
+
+
+def test_assemble_fleet_timeline_retry_uses_last_forward():
+    router = _router_record()
+    router["spans"].append(
+        span("fleet.forward", "router-rid", start=2000.0, dur=1500.0,
+             member="m1").to_dict()
+    )
+    timeline = assemble_fleet_timeline(router, {"m1": _member_record()})
+    root = next(e for e in timeline
+                if e["member"] == "m1" and e["name"] == "service.request")
+    assert root["start_us"] == pytest.approx(2000.0)
+
+
+def test_record_timeline_tags_member():
+    record = {"member": "m2", "spans": [span("x", "r").to_dict()]}
+    assert record_timeline(record)[0]["member"] == "m2"
+    assert record_timeline(record, member="other")[0]["member"] == "other"
+
+
+def test_render_timeline_lists_missing_members():
+    doc = {
+        "request_id": "router-rid",
+        "router": _router_record(),
+        "timeline": assemble_fleet_timeline(_router_record(),
+                                            {"m1": _member_record()}),
+        "missing_members": ["m2"],
+    }
+    text = render_timeline(doc)
+    assert "trace router-rid" in text
+    assert "missing members: m2" in text
+    assert "fleet.forward" in text
+
+
+def test_render_timeline_empty():
+    text = render_timeline({"request_id": "r", "record": {}, "timeline": []})
+    assert "(no spans recorded)" in text

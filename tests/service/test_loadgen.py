@@ -180,3 +180,34 @@ class TestBenchBridge:
         regressed = compare_bench(bench, self._baseline(120000.0, 10.0),
                                   metric="p99_ms", threshold=0.15)
         assert not regressed["ok"]
+
+
+class TestExemplarTraceCollection:
+    def test_collects_slowest_request_traces(self, daemon_factory):
+        from repro.service.loadgen import collect_exemplar_traces
+
+        harness = daemon_factory()
+
+        def make_client():
+            return MctopClient(unix_path=harness.config.unix_path,
+                               timeout=30.0)
+
+        with make_client() as client:
+            client.request("infer", machine="testbox", seed=1,
+                           repetitions=31)
+            for threads in (2, 3, 4):
+                client.request("place", machine="testbox", seed=1,
+                               repetitions=31, policy="CON_HWC",
+                               threads=threads)
+        doc = collect_exemplar_traces(make_client, limit=2)
+        assert doc["format"] == "mctop-loadgen-traces"
+        assert 1 <= doc["count"] <= 2
+        entry = doc["traces"][0]
+        assert entry["verb"] in ("place", "infer")
+        # The trace itself came back for the exemplar id.
+        assert entry["trace"]["found"] is True
+        assert entry["trace"]["record"]["request_id"] == \
+            entry["request_id"]
+        # Sorted slowest-first.
+        seconds = [t["seconds"] for t in doc["traces"]]
+        assert seconds == sorted(seconds, reverse=True)

@@ -89,3 +89,91 @@ class TestQuery:
         )
         assert code == 2
         assert "cannot connect" in err
+
+
+class TestTraceAndSloCli:
+    def _place_rid(self, harness) -> str:
+        with harness.client() as client:
+            client.request("infer", machine="testbox", seed=1,
+                           repetitions=31)
+            client.request("place", machine="testbox", seed=1,
+                           repetitions=31, policy="CON_HWC", threads=4)
+            return client.last_request_ids[-1]
+
+    def test_query_trace_renders_timeline(self, capsys, harness):
+        rid = self._place_rid(harness)
+        code, out, _ = run_cli(
+            capsys, "query", "trace", rid,
+            "--unix", str(harness.config.unix_path),
+        )
+        assert code == 0
+        assert f"trace {rid}" in out
+        assert "service.request" in out
+
+    def test_query_trace_requires_request_id(self, capsys, harness):
+        code, _, err = run_cli(
+            capsys, "query", "trace",
+            "--unix", str(harness.config.unix_path),
+        )
+        assert code == 2
+        assert "REQUEST_ID" in err
+
+    def test_query_trace_unknown_id(self, capsys, harness):
+        code, out, _ = run_cli(
+            capsys, "query", "trace", "deadbeef00000000",
+            "--unix", str(harness.config.unix_path),
+        )
+        assert code == 1
+        assert "no retained trace" in out
+
+    def test_query_slo_renders_panel(self, capsys, harness):
+        self._place_rid(harness)
+        code, out, _ = run_cli(
+            capsys, "query", "slo",
+            "--unix", str(harness.config.unix_path),
+        )
+        assert code == 0
+        assert out.startswith("slo     ok")
+        assert "place" in out
+
+    def test_trace_show_with_chrome_export(self, capsys, harness,
+                                           tmp_path):
+        rid = self._place_rid(harness)
+        chrome = tmp_path / "trace.json"
+        code, out, _ = run_cli(
+            capsys, "trace", "show", rid,
+            "--unix", str(harness.config.unix_path),
+            "--chrome", str(chrome),
+        )
+        assert code == 0
+        assert f"trace {rid}" in out
+        doc = json.loads(chrome.read_text())
+        assert doc["otherData"]["request_id"] == rid
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert any(e["name"] == "service.request" for e in spans)
+
+    def test_trace_show_json_output(self, capsys, harness):
+        rid = self._place_rid(harness)
+        code, out, _ = run_cli(
+            capsys, "trace", "show", rid, "--json",
+            "--unix", str(harness.config.unix_path),
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["found"] is True and doc["request_id"] == rid
+
+    def test_trace_show_requires_rid_and_endpoint(self, capsys):
+        code, _, err = run_cli(capsys, "trace", "show")
+        assert code == 2
+        assert "REQUEST_ID" in err
+        code, _, err = run_cli(capsys, "trace", "show", "abc123")
+        assert code == 2
+        assert "--unix" in err
+
+    def test_trace_show_unknown_id_fails_cleanly(self, capsys, harness):
+        code, _, err = run_cli(
+            capsys, "trace", "show", "deadbeef00000000",
+            "--unix", str(harness.config.unix_path),
+        )
+        assert code == 2
+        assert "no retained trace" in err

@@ -9,6 +9,8 @@ from repro.service.top import (
     render_dashboard,
     render_drift_lines,
     render_place_lines,
+    render_slo_lines,
+    render_slowest_lines,
     run_top,
 )
 
@@ -149,6 +151,69 @@ class TestPlaceSection:
         assert "place   index hit ratio" in text
 
 
+def _slo_doc(alert=None, degraded=False):
+    return {
+        "enabled": True,
+        "degraded": degraded,
+        "objectives": {"place": {
+            "p99_ms": 50.0, "availability": 0.999, "alert": alert,
+            "burn": {"fast": 20.0 if alert else 0.1, "slow": 1.0},
+            "good": 90, "bad": 10,
+        }},
+    }
+
+
+class TestSloPanel:
+    def test_slo_lines_show_burn_and_alert(self):
+        lines = render_slo_lines(_slo_doc(alert="fast", degraded=True))
+        assert lines[0] == "slo     DEGRADED (fast burn)"
+        assert "place" in lines[1]
+        assert "burn fast 20.00" in lines[1]
+        assert "alert fast" in lines[1]
+        assert "good 90 bad 10" in lines[1]
+
+    def test_slo_lines_empty_when_disabled(self):
+        assert render_slo_lines({"enabled": False}) == []
+        assert render_slo_lines(None) == []
+
+    def test_member_attribution_only_when_alerting(self):
+        doc = _slo_doc(alert="slow")
+        doc["objectives"]["place"]["member"] = "m1"
+        assert "(m1)" in render_slo_lines(doc)[1]
+        quiet = _slo_doc()
+        quiet["objectives"]["place"]["member"] = "m1"
+        assert "(m1)" not in render_slo_lines(quiet)[1]
+
+    def test_dashboard_includes_slo_section(self):
+        text = render_dashboard(_metrics_doc(), slo=_slo_doc())
+        assert "slo     ok" in text
+
+
+class TestSlowestPanel:
+    def test_slowest_lines_sorted_and_capped(self):
+        registry = {
+            "service.latency.place": {
+                "kind": "timer",
+                "exemplars": [[0.5, "slowid"], [0.001, "fastid"]],
+            },
+            "service.latency.infer": {
+                "kind": "timer",
+                "exemplars": [[2.0, "slowest"]],
+            },
+        }
+        lines = render_slowest_lines(registry)
+        assert lines[0] == "slowest requests (mctop trace show <id>)"
+        assert "slowest" in lines[1] and "infer" in lines[1]
+        assert "slowid" in lines[2]
+
+    def test_no_exemplars_renders_nothing(self):
+        assert render_slowest_lines(
+            {"service.latency.place": {"kind": "timer"}}
+        ) == []
+        # ...and the dashboard simply omits the section.
+        assert "slowest requests" not in render_dashboard(_metrics_doc())
+
+
 class _FakeClient:
     def __init__(self, docs):
         self.docs = list(docs)
@@ -203,6 +268,40 @@ class TestRunTop:
         run_top(DriftClient([_metrics_doc()]), interval=0.0, count=1,
                 clear=False, write=frames.append)
         assert "drift   worst critical" in frames[0]
+
+    def test_degrades_without_an_slo_verb(self):
+        # _FakeClient has no .slo: the panel drops, the loop survives.
+        frames = []
+        code = run_top(_FakeClient([_metrics_doc()] * 2), interval=0.0,
+                       count=2, clear=False, write=frames.append)
+        assert code == 0
+        assert all("slo " not in f for f in frames)
+
+    def test_slo_panel_from_a_capable_client(self):
+        class SloClient(_FakeClient):
+            def slo(self):
+                return _slo_doc(alert="fast", degraded=True)
+
+        frames = []
+        run_top(SloClient([_metrics_doc()]), interval=0.0, count=1,
+                clear=False, write=frames.append)
+        assert "slo     DEGRADED (fast burn)" in frames[0]
+
+    def test_unknown_verb_error_disables_slo_polling(self):
+        class OldDaemonClient(_FakeClient):
+            def __init__(self, docs):
+                super().__init__(docs)
+                self.slo_calls = 0
+
+            def slo(self):
+                self.slo_calls += 1
+                raise ServiceError("unknown verb", code="unknown_verb")
+
+        client = OldDaemonClient([_metrics_doc()] * 3)
+        code = run_top(client, interval=0.0, count=3, clear=False,
+                       write=lambda _: None)
+        assert code == 0
+        assert client.slo_calls == 1
 
     def test_unknown_verb_error_disables_drift_polling(self):
         class OldDaemonClient(_FakeClient):
