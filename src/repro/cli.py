@@ -462,6 +462,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_sample_every=args.trace_sample_every,
         slo=not args.no_slo,
         slo_objectives=tuple(args.slo_objective or ()),
+        profile=args.profile,
+        profile_hz=args.profile_hz,
+        profile_max_bytes=args.profile_max_bytes,
     )
     if config.watch_interval is not None and not config.watch_machines:
         raise MctopError("--watch-interval needs --watch-machines M1,M2,...")
@@ -494,6 +497,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if config.peers:
             print(f"member {config.member_id or '(unnamed)'} peering "
                   f"with {', '.join(config.peers)}", flush=True)
+        if config.profile:
+            print(f"profiler sampling at {config.profile_hz:g}Hz",
+                  flush=True)
 
     run_daemon(config, ready_callback=announce)
     print("mctopd drained, bye")
@@ -632,6 +638,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         params["request_id"] = args.machine
     elif args.verb == "slo":
         pass  # no parameters: the engine's whole status document
+    elif args.verb == "profile":
+        # The optional positional argument is a request id (use the
+        # richer `mctop profile` subcommand for verb filters/exports).
+        if args.machine is not None:
+            params["request_id"] = args.machine
     elif args.machine is not None:
         params["machine"] = args.machine
         params["seed"] = args.seed
@@ -706,6 +717,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
             return 1
         print("\n".join(lines))
         return 0
+    if args.verb == "profile":
+        from repro.service.top import render_profile_lines
+
+        lines = render_profile_lines(result, top=10)
+        if not lines:
+            print("profiler: disabled (daemon started without --profile)")
+            return 1
+        print("\n".join(lines))
+        return 0
     for text_key in ("summary", "stats", "report"):
         if text_key in result:
             print(result.pop(text_key))
@@ -732,6 +752,122 @@ def _cmd_top(args: argparse.Namespace) -> int:
         )
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Inspect (or reset/export) a daemon's continuous profile."""
+    import json
+
+    from repro.obs.profiler import collapsed_stacks, speedscope_doc
+    from repro.service import MctopClient
+    from repro.service.top import render_profile_lines
+
+    if args.unix is None and args.host is None:
+        raise MctopError("profile needs --unix PATH or --host HOST")
+    with MctopClient(unix_path=args.unix, host=args.host, port=args.port,
+                     timeout=args.timeout) as client:
+        if args.profile_command == "reset":
+            result = client.profile(action="reset")
+            if not result.get("enabled"):
+                raise MctopError(
+                    "the daemon runs without --profile; nothing to reset"
+                )
+            print("profiler reset")
+            return 0
+        params: dict = {"limit": args.limit}
+        if args.verb is not None:
+            params["verb"] = args.verb
+        if args.request is not None:
+            params["request_id"] = args.request
+        result = client.profile(**params)
+
+    if not result.get("enabled"):
+        print("profiler: disabled (daemon started without --profile)")
+        return 1
+    if args.request is not None and not result.get("found"):
+        print(f"no profiled samples for request {args.request!r} "
+              "(too fast to be sampled, or evicted)")
+        return 1
+    wrote = False
+    if getattr(args, "collapsed", None):
+        Path(args.collapsed).write_text(collapsed_stacks(result))
+        print(f"collapsed stacks written to {args.collapsed} "
+              "(flamegraph.pl input)")
+        wrote = True
+    if getattr(args, "speedscope", None):
+        name = f"mctop profile ({args.request})" if args.request \
+            else "mctop profile"
+        Path(args.speedscope).write_text(
+            json.dumps(speedscope_doc(result, name=name), indent=1,
+                       sort_keys=True) + "\n"
+        )
+        print(f"speedscope profile written to {args.speedscope} "
+              "(open at https://www.speedscope.app)")
+        wrote = True
+    if args.json:
+        print(json.dumps(result, indent=1, sort_keys=True))
+        return 0
+    if args.profile_command == "top":
+        print("\n".join(render_profile_lines(result, top=args.limit)))
+        return 0
+    if wrote:
+        return 0
+    # show: header plus one collapsed line per stack, heaviest first.
+    header = render_profile_lines(result, top=0)[0]
+    if args.request is not None:
+        header += f"  request {result.get('request_id', args.request)}"
+    print(header)
+    for entry in result.get("stacks") or []:
+        stack = entry.get("stack") or []
+        verb = entry.get("verb")
+        tag = f" [{verb}]" if verb else ""
+        print(f"  {entry.get('count', 0):>7}{tag}  {';'.join(stack)}")
+    return 0
+
+
+def _cmd_events_tail(args: argparse.Namespace) -> int:
+    """Filtered view of a rotating NDJSON event log, tail -f style."""
+    import json
+    import time as _time
+
+    from repro.obs.events import (
+        follow_log_records,
+        iter_log_records,
+        log_segments,
+    )
+
+    if not log_segments(args.path):
+        raise MctopError(f"no event log at {args.path}")
+
+    def _show(record: dict) -> None:
+        if args.json:
+            print(json.dumps(record, sort_keys=True), flush=True)
+            return
+        ts = record.get("ts")
+        when = _time.strftime("%H:%M:%S", _time.localtime(ts)) \
+            if isinstance(ts, (int, float)) else "--:--:--"
+        rid = record.get("request_id") or "-"
+        rest = " ".join(
+            f"{key}={record[key]}" for key in sorted(record)
+            if key not in ("ts", "kind", "request_id")
+        )
+        print(f"{when}  {record.get('kind', '?'):<22} {rid:<18} "
+              f"{rest}".rstrip(), flush=True)
+
+    records = list(iter_log_records(args.path, kind=args.kind,
+                                    request_id=args.request))
+    if args.lines > 0:
+        records = records[-args.lines:]
+    for record in records:
+        _show(record)
+    if args.follow:
+        try:
+            for record in follow_log_records(args.path, kind=args.kind,
+                                             request_id=args.request):
+                _show(record)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     """Open-loop load generation against mctopd (docs/PLACEMENT.md)."""
     import json
@@ -747,6 +883,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         LoadgenConfig,
         SelfHostedDaemon,
         collect_exemplar_traces,
+        collect_profile,
         loadgen_bench_doc,
         parse_mix,
         render_loadgen_report,
@@ -766,6 +903,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     )
 
     trace_doc: dict | None = None
+    profile_doc: dict | None = None
+    want_profile = args.profile or args.profile_out is not None
 
     def run(unix_path: str | None, host: str | None, port: int) -> dict:
         def make_client() -> MctopClient:
@@ -779,13 +918,20 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             # requests.
             nonlocal trace_doc
             trace_doc = collect_exemplar_traces(make_client)
+        if args.profile_out:
+            # Same lifetime rule: snapshot the profiler before the
+            # self-hosted daemon is torn down.
+            nonlocal profile_doc
+            profile_doc = collect_profile(make_client)
         return result
 
     if args.unix is None and args.host is None:
         # Self-contained run: a throwaway in-process daemon on a Unix
         # socket in a temp directory (what the CI smoke job uses).
         with SelfHostedDaemon(
-            repetitions=args.repetitions or 31
+            repetitions=args.repetitions or 31,
+            profile=want_profile,
+            profile_hz=args.profile_hz,
         ) as daemon:
             doc = run(daemon.unix_path, None, 0)
     else:
@@ -812,6 +958,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
         print(f"{trace_doc['count']} slowest-request traces written to "
               f"{args.trace_out}")
+    if args.profile_out and profile_doc is not None:
+        target = Path(args.profile_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(profile_doc, indent=1, sort_keys=True) + "\n"
+        )
+        inner = profile_doc.get("profile") or {}
+        print(f"profile ({inner.get('samples', 0)} samples) written to "
+              f"{args.profile_out}")
 
     bench_doc = loadgen_bench_doc(doc)
     if not args.no_history:
@@ -1143,6 +1298,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "infer:p99=5000,avail=99; repeatable "
                               "(default: built-in place/place_many/"
                               "infer objectives)")
+    p_serve.add_argument("--profile", action="store_true",
+                         help="run the continuous sampling profiler (the "
+                              "profile verb, per-verb/per-request "
+                              "flamegraphs; off by default)")
+    p_serve.add_argument("--profile-hz", type=float, default=100.0,
+                         help="profiler sampling rate (default 100)")
+    p_serve.add_argument("--profile-max-bytes", type=int,
+                         default=2_000_000,
+                         help="profile store byte budget; new stacks "
+                              "beyond it are dropped (default 2000000)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_fleet = sub.add_parser(
@@ -1330,6 +1495,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the run's slowest-request traces "
                                 "(from the daemon's latency exemplars) "
                                 "as JSON here")
+    p_loadgen.add_argument("--profile", action="store_true",
+                           help="self-hosted runs: start the daemon with "
+                                "the sampling profiler enabled")
+    p_loadgen.add_argument("--profile-hz", type=float, default=100.0,
+                           help="profiler sampling rate for --profile "
+                                "(default 100)")
+    p_loadgen.add_argument("--profile-out", metavar="PATH",
+                           help="write the run's profile snapshot as "
+                                "JSON here (implies --profile for "
+                                "self-hosted runs)")
     p_loadgen.add_argument("--history", default=None,
                            help="append a place_qps record to this "
                                 "JSONL history (default: "
@@ -1349,6 +1524,97 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fractional worsening tolerated before "
                                 "the gate fails (default 0.15 = 15%%)")
     p_loadgen.set_defaults(func=_cmd_loadgen)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="inspect a running mctopd's continuous sampling profiler "
+             "(per-verb / per-request flamegraphs; see "
+             "docs/OBSERVABILITY.md)",
+    )
+    profile_sub = p_profile.add_subparsers(dest="profile_command",
+                                           required=True)
+
+    def profile_common(p: argparse.ArgumentParser) -> None:
+        endpoint(p)
+        p.add_argument("--timeout", type=float, default=30.0,
+                       help="client-side socket timeout (seconds)")
+
+    p_pshow = profile_sub.add_parser(
+        "show",
+        help="dump the collapsed stacks (optionally filtered to one "
+             "verb or one request id, e.g. a /metrics exemplar)",
+    )
+    profile_common(p_pshow)
+    p_pshow.add_argument("--verb", default=None,
+                        help="only stacks sampled while this verb was "
+                             "dispatching")
+    p_pshow.add_argument("--request", default=None, metavar="REQUEST_ID",
+                        help="this request's samples only (ids from "
+                             "mctop top, /metrics exemplars or "
+                             "client.last_request_ids)")
+    p_pshow.add_argument("--limit", type=int, default=200,
+                        help="stack entries kept, heaviest first "
+                             "(default 200)")
+    p_pshow.add_argument("--json", action="store_true",
+                        help="print the raw profile document")
+    p_pshow.add_argument("--collapsed", metavar="PATH",
+                        help="write flamegraph.pl collapsed-stack "
+                             "input here")
+    p_pshow.add_argument("--speedscope", metavar="PATH",
+                        help="write a speedscope JSON profile here")
+    p_pshow.set_defaults(func=_cmd_profile)
+
+    p_ptop = profile_sub.add_parser(
+        "top",
+        help="the hottest leaf functions (the mctop top panel, "
+             "standalone)",
+    )
+    profile_common(p_ptop)
+    p_ptop.add_argument("--verb", default=None,
+                        help="only stacks sampled while this verb was "
+                             "dispatching")
+    p_ptop.add_argument("--request", default=None, metavar="REQUEST_ID",
+                        help="this request's samples only")
+    p_ptop.add_argument("--limit", type=int, default=15,
+                        help="rows shown (default 15)")
+    p_ptop.add_argument("--json", action="store_true",
+                        help="print the raw profile document")
+    p_ptop.set_defaults(func=_cmd_profile)
+
+    p_preset = profile_sub.add_parser(
+        "reset", help="clear the profiler's sample store",
+    )
+    profile_common(p_preset)
+    p_preset.set_defaults(func=_cmd_profile)
+
+    p_events = sub.add_parser(
+        "events",
+        help="inspect a rotating NDJSON event log (drift checks, SLO "
+             "burns, fleet membership) without jq",
+    )
+    events_sub = p_events.add_subparsers(dest="events_command",
+                                         required=True)
+    p_etail = events_sub.add_parser(
+        "tail",
+        help="print the last events (across rotated segments), "
+             "optionally filtered and followed",
+    )
+    p_etail.add_argument("path", help="event log path (the daemon's "
+                                      "--event-log value)")
+    p_etail.add_argument("--kind", default=None,
+                         help="only this event kind (e.g. drift.check, "
+                              "slo.alert, fleet.member_eject)")
+    p_etail.add_argument("--request", default=None, metavar="REQUEST_ID",
+                         help="only events stamped with this request id")
+    p_etail.add_argument("-n", "--lines", type=int, default=10,
+                         help="existing lines shown before following "
+                              "(default 10; 0 = all)")
+    p_etail.add_argument("--follow", action="store_true",
+                         help="keep printing new events until ^C "
+                              "(survives rotation)")
+    p_etail.add_argument("--json", action="store_true",
+                         help="print raw JSON records, one per line")
+    p_etail.set_defaults(func=_cmd_events_tail)
 
     return parser
 

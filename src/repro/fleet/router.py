@@ -55,6 +55,7 @@ from repro.obs.events import EventLog
 from repro.obs.merge import (
     merge_cache_stats,
     merge_drift_docs,
+    merge_profile_docs,
     merge_registry_snapshots,
     merge_slo_docs,
     merge_trace_summaries,
@@ -80,7 +81,7 @@ DIGEST_VERBS = ("infer", "show", "place", "place_many", "pool_switch",
                 "validate")
 
 #: Verbs that fan out to every member and merge.
-AGGREGATE_VERBS = ("metrics", "drift", "slo")
+AGGREGATE_VERBS = ("metrics", "drift", "slo", "profile")
 
 #: Transport failures that trigger failover to the next ring candidate.
 #: (``TimeoutError`` is an ``OSError`` subclass since 3.10, listed for
@@ -591,6 +592,46 @@ class FleetRouter:
         if verb == "slo":
             docs = await self._fan_out("slo", {}, rid)
             merged = merge_slo_docs(docs)
+            merged["protocol"] = PROTOCOL_VERSION
+            return merged
+        if verb == "profile":
+            # Validate up front: a bad filter should come back as
+            # invalid_params, not as every member refusing (which the
+            # fan-out would report as the fleet being unavailable).
+            action = params.get("action", "snapshot")
+            if action not in ("snapshot", "reset"):
+                raise ServiceError(
+                    "'action' must be 'snapshot' or 'reset'",
+                    code="invalid_params",
+                )
+            target = params.get("verb")
+            if target is not None and (
+                not isinstance(target, str) or not target
+            ):
+                raise ServiceError("'verb' must be a non-empty string",
+                                   code="invalid_params")
+            request_id = params.get("request_id")
+            if request_id is not None and (
+                not isinstance(request_id, str) or not request_id
+                or len(request_id) > 64
+            ):
+                raise ServiceError(
+                    "'request_id' must be a non-empty string of at most "
+                    "64 chars", code="invalid_params",
+                )
+            limit = params.get("limit", 200)
+            if not isinstance(limit, int) or isinstance(limit, bool) \
+                    or limit < 1 or limit > 5000:
+                raise ServiceError(
+                    "'limit' must be an integer in [1, 5000]",
+                    code="invalid_params",
+                )
+            fan_params = {}
+            for key in ("action", "verb", "request_id", "limit"):
+                if params.get(key) is not None:
+                    fan_params[key] = params[key]
+            docs = await self._fan_out("profile", fan_params, rid)
+            merged = merge_profile_docs(docs)
             merged["protocol"] = PROTOCOL_VERSION
             return merged
         assert verb == "drift", verb

@@ -28,9 +28,16 @@ from repro.obs.events import EventLog, RotatingNdjsonWriter
 from repro.obs.merge import (
     merge_cache_stats,
     merge_drift_docs,
+    merge_profile_docs,
     merge_registry_snapshots,
     merge_slo_docs,
     merge_trace_summaries,
+)
+from repro.obs.profiler import (
+    ProfileStore,
+    SamplingProfiler,
+    collapsed_stacks,
+    speedscope_doc,
 )
 from repro.obs.export import (
     render_report,
@@ -126,8 +133,10 @@ __all__ = [
     "Instant",
     "Objective",
     "Observability",
+    "ProfileStore",
     "Registry",
     "RotatingNdjsonWriter",
+    "SamplingProfiler",
     "SloEngine",
     "Span",
     "Timer",
@@ -135,9 +144,12 @@ __all__ = [
     "Tracer",
     "assemble_fleet_timeline",
     "check_loadgen_slo",
+    "collapsed_stacks",
     "compare_mctops",
+    "merge_profile_docs",
     "merge_slo_docs",
     "parse_objectives",
+    "speedscope_doc",
     "record_timeline",
     "render_prometheus",
     "render_report",

@@ -193,3 +193,114 @@ class EventLog:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# -------------------------------------------------------------- reading
+#
+# The read side of the rotating NDJSON contract (``mctop events tail``):
+# rotated generations are ``<path>.N`` with the *highest* N oldest, so
+# chronological order is ``path.N ... path.2, path.1, path``.
+
+
+def log_segments(path: str | Path) -> list[Path]:
+    """Every existing segment of a rotated NDJSON log, oldest first."""
+    path = Path(path)
+    numbered: list[tuple[int, Path]] = []
+    prefix = path.name + "."
+    if path.parent.exists():
+        for candidate in path.parent.iterdir():
+            if candidate.name.startswith(prefix):
+                suffix = candidate.name[len(prefix):]
+                if suffix.isdigit():
+                    numbered.append((int(suffix), candidate))
+    segments = [seg for _, seg in sorted(numbered, reverse=True)]
+    if path.exists():
+        segments.append(path)
+    return segments
+
+
+def _parse_line(line: str, kind: str | None, request_id: str | None):
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    if kind is not None and record.get("kind") != kind:
+        return None
+    if request_id is not None and record.get("request_id") != request_id:
+        return None
+    return record
+
+
+def iter_log_records(
+    path: str | Path,
+    kind: str | None = None,
+    request_id: str | None = None,
+):
+    """Parsed event records across all rotated segments, oldest first.
+
+    Malformed or non-object lines (a torn write at a rotation boundary)
+    are skipped, never raised — a tail over a live log must not die on
+    the one line being written.
+    """
+    for segment in log_segments(path):
+        try:
+            fh = open(segment, encoding="utf-8", errors="replace")
+        except OSError:
+            continue  # rotated away between listing and opening
+        with fh:
+            for line in fh:
+                record = _parse_line(line, kind, request_id)
+                if record is not None:
+                    yield record
+
+
+def follow_log_records(
+    path: str | Path,
+    kind: str | None = None,
+    request_id: str | None = None,
+    poll_interval: float = 0.2,
+    stop=None,
+):
+    """Yield new records appended to the *live* file, ``tail -f`` style.
+
+    Starts at the current end of file; survives rotation (inode change
+    or truncation restarts from the top of the new live file).  ``stop``
+    is an optional zero-argument callable checked each poll so tests
+    (and a SIGINT handler) can end the generator.
+    """
+    path = Path(path)
+    position = path.stat().st_size if path.exists() else 0
+    inode = path.stat().st_ino if path.exists() else None
+    pending = b""
+    while stop is None or not stop():
+        if path.exists():
+            st = path.stat()
+            rotated = (inode is not None and st.st_ino != inode) \
+                or st.st_size < position
+            if rotated:
+                position = 0
+                pending = b""
+            inode = st.st_ino
+            if st.st_size > position:
+                with open(path, "rb") as fh:
+                    fh.seek(position)
+                    chunk = fh.read()
+                position += len(chunk)
+                pending += chunk
+                # Only complete lines parse; a torn tail waits for the
+                # writer's next flush.
+                while True:
+                    newline = pending.find(b"\n")
+                    if newline < 0:
+                        break
+                    line = pending[:newline].decode("utf-8", "replace")
+                    pending = pending[newline + 1:]
+                    record = _parse_line(line, kind, request_id)
+                    if record is not None:
+                        yield record
+        time.sleep(poll_interval)

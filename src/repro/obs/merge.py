@@ -263,3 +263,76 @@ def merge_slo_docs(docs: "dict[str, dict]") -> dict:
         "objectives": objectives,
         "members": members,
     }
+
+
+def merge_profile_docs(docs: "dict[str, dict]") -> dict:
+    """Merge per-member ``profile`` verb documents (``{member: doc}``).
+
+    Stack counts sum across members per ``(verb, stack)`` pair and each
+    merged entry keeps a per-member breakdown keyed by member id;
+    sample/drop totals and per-verb totals sum.  A per-request lookup's
+    ``found`` is true when *any* member found the id (each member only
+    profiled its own share of a fleet-wide request).  Members answering
+    ``enabled: false`` are listed but contribute nothing, same contract
+    as :func:`merge_drift_docs`.
+    """
+    members: dict[str, dict] = {}
+    merged: dict[tuple, dict] = {}
+    verbs: dict[str, int] = {}
+    enabled = False
+    samples = 0
+    dropped = 0
+    request_id = None
+    found = None
+    for member_id, doc in sorted(docs.items()):
+        member_enabled = bool(doc.get("enabled"))
+        members[member_id] = {
+            "enabled": member_enabled,
+            "samples": doc.get("samples") if member_enabled else None,
+            "hz": doc.get("hz") if member_enabled else None,
+            "running": doc.get("running") if member_enabled else None,
+        }
+        if not member_enabled:
+            continue
+        enabled = True
+        samples += doc.get("samples") or 0
+        dropped += doc.get("dropped") or 0
+        for verb, count in (doc.get("verbs") or {}).items():
+            verbs[verb] = verbs.get(verb, 0) + count
+        if "request_id" in doc:
+            request_id = doc["request_id"]
+            found = bool(found) or bool(doc.get("found"))
+        for entry in doc.get("stacks") or []:
+            stack = tuple(entry.get("stack") or ())
+            if not stack:
+                continue
+            key = (entry.get("verb"), stack)
+            slot = merged.get(key)
+            if slot is None:
+                slot = merged[key] = {
+                    "stack": list(stack),
+                    "count": 0,
+                    "verb": entry.get("verb"),
+                    "members": {},
+                }
+            count = int(entry.get("count") or 0)
+            slot["count"] += count
+            slot["members"][member_id] = (
+                slot["members"].get(member_id, 0) + count
+            )
+    stacks = sorted(
+        merged.values(), key=lambda e: (-e["count"], e["stack"])
+    )
+    out = {
+        "enabled": enabled,
+        "samples": samples,
+        "dropped": dropped,
+        "distinct_stacks": len(stacks),
+        "verbs": dict(sorted(verbs.items())),
+        "stacks": stacks,
+        "members": members,
+    }
+    if request_id is not None:
+        out["request_id"] = request_id
+        out["found"] = bool(found)
+    return out

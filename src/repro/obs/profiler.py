@@ -1,0 +1,463 @@
+"""Continuous in-process sampling profiler.
+
+A background thread walks :func:`sys._current_frames` at a configurable
+rate (default ~100 Hz) and folds every thread's stack into a bounded
+:class:`ProfileStore`.  Each sample is tagged with the verb and request
+id of the dispatch that owns the sampled thread, so per-verb and
+per-request flamegraphs fall out of a single sample stream:
+
+* the daemon calls :meth:`SamplingProfiler.begin_dispatch` /
+  :meth:`SamplingProfiler.end_dispatch` around handler execution on the
+  event-loop thread (the sampler cannot read the asyncio ContextVar from
+  another thread, so the dispatcher publishes the tag explicitly);
+* CPU-heavy work shipped to a worker thread wraps itself in
+  :meth:`SamplingProfiler.thread_tag`, which reads the request id from
+  the ``request_id_provider`` ContextVar *inside* the worker thread —
+  ``asyncio.to_thread`` copies the context, so the id resolves there.
+
+Output is a plain snapshot document that serialises to the wire
+unchanged; :func:`collapsed_stacks` and :func:`speedscope_doc` turn any
+snapshot (including a fleet-merged one) into flamegraph.pl collapsed
+text or a speedscope JSON profile.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from types import CodeType, FrameType
+from typing import Callable, Iterator
+
+__all__ = [
+    "ProfileStore",
+    "SamplingProfiler",
+    "collapsed_stacks",
+    "speedscope_doc",
+]
+
+#: Frames deeper than this are truncated (root kept, leaves dropped last).
+MAX_STACK_DEPTH = 64
+
+#: Per-request stack tables retained before the oldest request is evicted.
+MAX_TRACKED_REQUESTS = 256
+
+#: Fixed per-entry overhead charged against the byte budget, on top of
+#: the frame-label text itself.
+_ENTRY_OVERHEAD = 48
+
+
+class ProfileStore:
+    """Bounded aggregate of collapsed call stacks.
+
+    Samples are counted per ``(verb, stack)`` pair and, when the sample
+    carries a request id, per request as well.  The store enforces an
+    approximate byte budget: once admitting a *new* distinct stack would
+    exceed ``max_bytes``, further unseen stacks are dropped (and counted
+    in :attr:`dropped`) while already-admitted stacks keep counting — a
+    long-profiled process degrades to coarser data, never to unbounded
+    memory.  Thread-safe; the sampler and the wire verb race on it.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = 2_000_000,
+        max_requests: int = MAX_TRACKED_REQUESTS,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self.max_requests = int(max_requests)
+        self._lock = threading.Lock()
+        self.samples = 0
+        self.dropped = 0
+        self._bytes = 0
+        # (verb | None, stack tuple, root first) -> sample count
+        self._stacks: dict[tuple[str | None, tuple[str, ...]], int] = {}
+        # request id -> {stack tuple: count}, oldest request first
+        self._requests: OrderedDict[str, dict[tuple[str, ...], int]] = OrderedDict()
+        # fleet-wide (parent) request id -> local request id, like TraceStore
+        self._aliases: OrderedDict[str, str] = OrderedDict()
+
+    def record(
+        self,
+        stack: tuple[str, ...],
+        verb: str | None = None,
+        request_id: str | None = None,
+    ) -> None:
+        """Fold one sampled stack into the aggregate."""
+        if not stack:
+            return
+        with self._lock:
+            key = (verb, stack)
+            count = self._stacks.get(key)
+            if count is None:
+                cost = sum(len(frame) for frame in stack) + _ENTRY_OVERHEAD
+                if self._bytes + cost > self.max_bytes:
+                    self.dropped += 1
+                    return
+                self._stacks[key] = 1
+                self._bytes += cost
+            else:
+                self._stacks[key] = count + 1
+            self.samples += 1
+            if request_id:
+                per_request = self._requests.get(request_id)
+                if per_request is None:
+                    per_request = self._requests[request_id] = {}
+                    while len(self._requests) > self.max_requests:
+                        self._requests.popitem(last=False)
+                per_request[stack] = per_request.get(stack, 0) + 1
+
+    def alias(self, parent_request_id: str, request_id: str) -> None:
+        """Let a fleet-wide (router) id resolve the member-local profile."""
+        if parent_request_id == request_id:
+            return
+        with self._lock:
+            self._aliases[parent_request_id] = request_id
+            while len(self._aliases) > self.max_requests:
+                self._aliases.popitem(last=False)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.samples = 0
+            self.dropped = 0
+            self._bytes = 0
+            self._stacks.clear()
+            self._requests.clear()
+            self._aliases.clear()
+
+    def snapshot(
+        self,
+        verb: str | None = None,
+        request_id: str | None = None,
+        limit: int = 200,
+    ) -> dict:
+        """A JSON-ready view of the aggregate.
+
+        ``verb`` restricts the stack listing to one verb's samples;
+        ``request_id`` switches to the per-request table (resolving
+        fleet-wide alias ids) and reports ``found``.  ``limit`` caps the
+        number of stack entries, keeping the heaviest.
+        """
+        with self._lock:
+            verbs: dict[str, int] = {}
+            for (stack_verb, _), count in self._stacks.items():
+                name = stack_verb or "(untagged)"
+                verbs[name] = verbs.get(name, 0) + count
+            doc: dict = {
+                "enabled": True,
+                "samples": self.samples,
+                "dropped": self.dropped,
+                "distinct_stacks": len(self._stacks),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "requests_indexed": len(self._requests),
+                "verbs": dict(sorted(verbs.items())),
+            }
+            if request_id is not None:
+                resolved = self._aliases.get(request_id, request_id)
+                per_request = self._requests.get(resolved)
+                doc["request_id"] = request_id
+                doc["found"] = per_request is not None
+                entries = [
+                    {"stack": list(stack), "count": count}
+                    for stack, count in (per_request or {}).items()
+                ]
+            else:
+                entries = [
+                    {"stack": list(stack), "count": count, "verb": stack_verb}
+                    for (stack_verb, stack), count in self._stacks.items()
+                    if verb is None or stack_verb == verb
+                ]
+        entries.sort(key=lambda e: (-e["count"], e["stack"]))
+        doc["stacks"] = entries[: max(1, limit)]
+        return doc
+
+
+class SamplingProfiler:
+    """Background-thread sampling profiler over ``sys._current_frames``.
+
+    ``request_id_provider`` is a zero-argument callable (typically
+    ``current_request_id.get``) evaluated *inside* :meth:`thread_tag`
+    so worker threads entered via ``asyncio.to_thread`` inherit the
+    dispatching request's id through the copied context.
+    """
+
+    def __init__(
+        self,
+        obs=None,
+        hz: float = 100.0,
+        max_bytes: int = 2_000_000,
+        member_id: str | None = None,
+        request_id_provider: Callable[[], str | None] | None = None,
+        max_depth: int = MAX_STACK_DEPTH,
+    ) -> None:
+        if not hz > 0:
+            raise ValueError("hz must be positive")
+        self.hz = float(hz)
+        self.interval = 1.0 / self.hz
+        self.member_id = member_id
+        self.max_depth = int(max_depth)
+        self.store = ProfileStore(max_bytes=max_bytes)
+        self._request_id_provider = request_id_provider
+        self._label_cache: dict[CodeType, str] = {}
+        # thread ident -> token -> (verb, request id); the *last* entry
+        # is the most recently begun still-active dispatch and wins.
+        self._dispatches: dict[int, OrderedDict[int, tuple[str, str | None]]] = {}
+        self._dispatch_lock = threading.Lock()
+        self._next_token = 0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started_at: float | None = None
+        self._sample_seconds = 0.0
+        self._obs = obs
+        self._samples_counter = obs.counter("profiler.samples") if obs else None
+        self._dropped_counter = obs.counter("profiler.dropped") if obs else None
+        self._last_dropped_synced = 0
+
+    # ------------------------------------------------------------- tagging
+
+    def begin_dispatch(
+        self,
+        verb: str,
+        request_id: str | None = None,
+        parent_request_id: str | None = None,
+    ) -> tuple[int, int]:
+        """Tag the calling thread's samples with ``verb``/``request_id``
+        until the returned handle is passed to :meth:`end_dispatch`."""
+        if request_id is None and self._request_id_provider is not None:
+            request_id = self._request_id_provider()
+        if parent_request_id and request_id:
+            self.store.alias(parent_request_id, request_id)
+        ident = threading.get_ident()
+        with self._dispatch_lock:
+            token = self._next_token
+            self._next_token += 1
+            self._dispatches.setdefault(ident, OrderedDict())[token] = (
+                verb,
+                request_id,
+            )
+        return (ident, token)
+
+    def end_dispatch(self, handle: tuple[int, int]) -> None:
+        ident, token = handle
+        with self._dispatch_lock:
+            active = self._dispatches.get(ident)
+            if active is not None:
+                active.pop(token, None)
+                if not active:
+                    del self._dispatches[ident]
+
+    @contextmanager
+    def thread_tag(self, verb: str) -> Iterator[None]:
+        """Tag the current (worker) thread's samples for the duration of
+        the block, resolving the request id from the provider in-thread."""
+        handle = self.begin_dispatch(verb)
+        try:
+            yield
+        finally:
+            self.end_dispatch(handle)
+
+    # ------------------------------------------------------------ sampling
+
+    def _label(self, code: CodeType) -> str:
+        label = self._label_cache.get(code)
+        if label is None:
+            name = getattr(code, "co_qualname", None) or code.co_name
+            filename = code.co_filename
+            # module stem keeps labels short and stable across linenos
+            slash = max(filename.rfind("/"), filename.rfind("\\"))
+            stem = filename[slash + 1 :]
+            if stem.endswith(".py"):
+                stem = stem[:-3]
+            label = f"{stem}.{name}" if stem else name
+            self._label_cache[code] = label
+        return label
+
+    def _collapse(self, frame: FrameType) -> tuple[str, ...]:
+        frames: list[str] = []
+        while frame is not None and len(frames) < self.max_depth:
+            frames.append(self._label(frame.f_code))
+            frame = frame.f_back
+        frames.reverse()
+        return tuple(frames)
+
+    def sample(self) -> int:
+        """Take one sampling pass over every live thread (except the
+        caller's own) and fold the stacks into the store.  Public so
+        tests can sample deterministically without the thread running.
+        Returns the number of stacks recorded."""
+        started = time.perf_counter()
+        own = threading.get_ident()
+        frames = sys._current_frames()
+        with self._dispatch_lock:
+            tags = {
+                ident: next(reversed(active.values()))
+                for ident, active in self._dispatches.items()
+                if active
+            }
+        recorded = 0
+        for ident, frame in frames.items():
+            if ident == own:
+                continue
+            stack = self._collapse(frame)
+            if not stack:
+                continue
+            verb, request_id = tags.get(ident, (None, None))
+            self.store.record(stack, verb=verb, request_id=request_id)
+            recorded += 1
+        self._sample_seconds += time.perf_counter() - started
+        if self._samples_counter is not None:
+            if recorded:
+                self._samples_counter.inc(recorded)
+            dropped = self.store.dropped
+            delta = dropped - self._last_dropped_synced
+            if delta > 0:
+                self._dropped_counter.inc(delta)
+                self._last_dropped_synced = dropped
+        if self._obs is not None:
+            self._obs.gauge("profiler.distinct_stacks").set(len(self.store._stacks))
+            self._obs.gauge("profiler.overhead_fraction").set(
+                round(self.overhead_fraction(), 6)
+            )
+        return recorded
+
+    def overhead_fraction(self) -> float:
+        """Estimated fraction of wall-clock time spent sampling."""
+        if self._started_at is None:
+            return 0.0
+        elapsed = time.perf_counter() - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._sample_seconds / elapsed)
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="mctop-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+        self._thread = None
+
+    def _run(self) -> None:
+        next_at = time.perf_counter()
+        while not self._stop.is_set():
+            try:
+                self.sample()
+            except Exception:
+                # never let a sampling hiccup (e.g. a thread exiting
+                # mid-walk) kill the profiler thread
+                pass
+            next_at += self.interval
+            delay = next_at - time.perf_counter()
+            if delay <= 0:
+                # fell behind: skip the missed ticks instead of bursting
+                next_at = time.perf_counter()
+                continue
+            self._stop.wait(delay)
+
+    def reset(self) -> None:
+        self.store.reset()
+        self._sample_seconds = 0.0
+        if self._started_at is not None:
+            self._started_at = time.perf_counter()
+        self._last_dropped_synced = 0
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(
+        self,
+        verb: str | None = None,
+        request_id: str | None = None,
+        limit: int = 200,
+    ) -> dict:
+        doc = self.store.snapshot(verb=verb, request_id=request_id, limit=limit)
+        doc["hz"] = self.hz
+        doc["running"] = self.running
+        doc["overhead_fraction"] = round(self.overhead_fraction(), 6)
+        if self.member_id is not None:
+            doc["member"] = self.member_id
+        return doc
+
+
+# ----------------------------------------------------------------- exports
+
+
+def collapsed_stacks(doc: dict) -> str:
+    """Render a profile snapshot in flamegraph.pl collapsed format:
+    one ``root;child;leaf count`` line per distinct stack."""
+    totals: dict[str, int] = {}
+    for entry in doc.get("stacks") or []:
+        stack = entry.get("stack") or []
+        if not stack:
+            continue
+        line = ";".join(stack)
+        totals[line] = totals.get(line, 0) + int(entry.get("count") or 0)
+    lines = [
+        f"{line} {count}"
+        for line, count in sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def speedscope_doc(doc: dict, name: str = "mctop profile") -> dict:
+    """Render a profile snapshot as a speedscope ``sampled`` profile.
+
+    When the snapshot carries an ``hz`` rate, weights are seconds
+    (count / hz); otherwise raw sample counts with unit ``none``.
+    """
+    frame_index: dict[str, int] = {}
+    frames: list[dict] = []
+    samples: list[list[int]] = []
+    weights: list[float] = []
+    hz = doc.get("hz")
+    unit = "seconds" if hz else "none"
+    for entry in doc.get("stacks") or []:
+        stack = entry.get("stack") or []
+        if not stack:
+            continue
+        indexed = []
+        for label in stack:
+            index = frame_index.get(label)
+            if index is None:
+                index = frame_index[label] = len(frames)
+                frames.append({"name": label})
+            indexed.append(index)
+        count = int(entry.get("count") or 0)
+        samples.append(indexed)
+        weights.append(count / hz if hz else count)
+    total = sum(weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": unit,
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+        "exporter": "mctop",
+    }

@@ -48,6 +48,35 @@ def sanitize_metric_name(name: str, prefix: str = "") -> str:
     return full
 
 
+def _escape_label(value: str) -> str:
+    """A label value escaped per the text exposition format: backslash,
+    double quote and newline (anything else passes through verbatim)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label(value: str) -> str:
+    """Inverse of :func:`_escape_label` (exact round-trip)."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def _fmt(value: float | int | None) -> str:
     """One sample value, Prometheus style (+Inf/-Inf/NaN spelled out)."""
     if value is None:
@@ -123,7 +152,7 @@ def render_prometheus(
                 exemplar = exemplars.get(_bucket_le(raw_le))
                 if exemplar is not None:
                     value, label = exemplar
-                    line += (f' # {{request_id="{label}"}} '
+                    line += (f' # {{request_id="{_escape_label(label)}"}} '
                              f"{_fmt(float(value))}")
                 lines.append(line)
             lines.append(f"{metric}_sum {_fmt(snap['total'])}")
@@ -205,7 +234,7 @@ def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
                     raise ValueError(
                         f"line {lineno}: unquoted label value: {line!r}"
                     )
-                labels[key.strip()] = raw[1:-1]
+                labels[key.strip()] = _unescape_label(raw[1:-1])
         raw_value = m.group("value")
         if raw_value == "+Inf":
             value = math.inf

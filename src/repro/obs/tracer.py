@@ -124,7 +124,10 @@ class Tracer:
         #: it enters the ring.  The :class:`~repro.obs.trace_store
         #: .TraceStore` hangs off this to index spans by request id;
         #: the ring's capacity/drop accounting is unaffected by it.
+        #: A raising sink never fails the instrumented request: the
+        #: exception is swallowed and counted in :attr:`sink_errors`.
         self.sink = None
+        self.sink_errors = 0
 
     # ------------------------------------------------------------ clock
     def _now_us(self) -> float:
@@ -138,7 +141,10 @@ class Tracer:
                 self.dropped_spans += 1
         self.events.append(event)
         if self.sink is not None:
-            self.sink(event)
+            try:
+                self.sink(event)
+            except Exception:
+                self.sink_errors += 1
 
     # ----------------------------------------------------------- spans
     @contextmanager
@@ -259,6 +265,7 @@ class Tracer:
             "instants": self.instants,
             "dropped": self.dropped,
             "dropped_spans": self.dropped_spans,
+            "sink_errors": self.sink_errors,
             "by_name": by_name,
         }
 
@@ -266,6 +273,7 @@ class Tracer:
         self.events.clear()
         self.dropped = 0
         self.dropped_spans = 0
+        self.sink_errors = 0
         self.finished_spans = 0
         self.adopted_spans = 0
         self.instants = 0

@@ -209,8 +209,11 @@ class MctopClient:
         return conn.file if conn is not None else None
 
     # ------------------------------------------------------------- request
-    def request(self, verb: str, **params) -> dict:
+    def request(self, verb: str, /, **params) -> dict:
         """Send one request, block for its response, return the result.
+
+        ``verb`` is positional-only so wire params that are themselves
+        named ``verb`` (the ``profile`` filter) pass through ``params``.
 
         Raises :class:`ServiceError` (with ``.code``) on error
         responses, :class:`ProtocolError` on framing violations.  With
@@ -420,3 +423,27 @@ class MctopClient:
         """
         params = {} if machine is None else {"machine": machine}
         return self.request("drift", **params)
+
+    def profile(
+        self,
+        action: str | None = None,
+        verb: str | None = None,
+        request_id: str | None = None,
+        limit: int | None = None,
+    ) -> dict:
+        """The sampling profiler's snapshot (see the ``profile`` verb).
+
+        Keyword params pass through: ``verb=`` filters to one verb's
+        stacks, ``request_id=`` retrieves a per-request profile (fleet-
+        wide exemplar ids resolve through the alias index), ``limit=``
+        caps the stack entries, ``action="reset"`` clears the store.
+        Against a fleet router the result is the member-merged document.
+        ``enabled`` is false on daemons running without ``--profile``;
+        older daemons lacking the verb answer with an ``unknown_verb``
+        :class:`~repro.errors.ServiceError`.
+        """
+        params = {"action": action, "verb": verb,
+                  "request_id": request_id, "limit": limit}
+        return self.request(
+            "profile", **{k: v for k, v in params.items() if v is not None}
+        )

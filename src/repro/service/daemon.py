@@ -125,6 +125,15 @@ class ServeConfig:
     #: empty means :data:`repro.obs.slo.DEFAULT_OBJECTIVES`.
     slo: bool = True
     slo_objectives: tuple[str, ...] = ()
+    #: Continuous in-process sampling profiler (the ``profile`` verb):
+    #: a background thread walks ``sys._current_frames()`` at
+    #: ``profile_hz`` and folds collapsed stacks — tagged with the
+    #: dispatching verb and request id — into a store bounded by
+    #: ``profile_max_bytes``.  Off by default; cheap enough to leave on
+    #: under production load (the loadgen gate proves < 5% overhead).
+    profile: bool = False
+    profile_hz: float = 100.0
+    profile_max_bytes: int = 2_000_000
     #: Enable the hidden ``_sleep`` verb (tests only).
     debug_verbs: bool = False
 
@@ -193,6 +202,17 @@ class MctopDaemon:
             self.slo_engine = SloEngine(
                 objectives, obs=self.obs, events=self.event_log
             )
+        self.profiler = None
+        if config.profile:
+            from repro.obs.profiler import SamplingProfiler
+
+            self.profiler = SamplingProfiler(
+                obs=self.obs,
+                hz=config.profile_hz,
+                max_bytes=config.profile_max_bytes,
+                member_id=config.member_id,
+                request_id_provider=current_request_id.get,
+            )
         peer_specs: tuple = ()
         if config.peers:
             from repro.fleet.members import parse_members
@@ -212,6 +232,7 @@ class MctopDaemon:
             placement_index=config.placement_index,
             trace_store=self.trace_store,
             slo_engine=self.slo_engine,
+            profiler=self.profiler,
         )
         self._servers: list[asyncio.base_events.Server] = []
         # The metrics HTTP listener lives outside self._servers so the
@@ -257,6 +278,8 @@ class MctopDaemon:
             )
         if self.watcher is not None:
             self.watcher.start()
+        if self.profiler is not None:
+            self.profiler.start()
         self.obs.instant("service.started")
 
     @property
@@ -315,6 +338,8 @@ class MctopDaemon:
             await asyncio.gather(*pending, return_exceptions=True)
         if self._metrics_server is not None:
             await self._metrics_server.wait_closed()
+        if self.profiler is not None:
+            self.profiler.stop()
         if self.watcher is not None:
             await self.watcher.stop()
         # Flush-and-fsync both NDJSON logs: the final access line and
@@ -530,6 +555,15 @@ class MctopDaemon:
             self.obs.counter(f"service.requests.{verb}").inc()
             self.obs.gauge("service.queue_depth").set(self._inflight)
             timer = self.obs.timer(f"service.latency.{verb}")
+            # The sampler thread cannot read the asyncio ContextVar, so
+            # publish (verb, rid) for it explicitly around the handler.
+            profile_handle = None
+            if self.profiler is not None:
+                profile_handle = self.profiler.begin_dispatch(
+                    verb,
+                    request_id=rid,
+                    parent_request_id=meta.get("parent_request_id"),
+                )
             handler_start = time.perf_counter()
             try:
                 result = await asyncio.wait_for(
@@ -580,6 +614,8 @@ class MctopDaemon:
                 timer.record_exemplar(
                     elapsed, meta.get("parent_request_id") or rid
                 )
+                if profile_handle is not None:
+                    self.profiler.end_dispatch(profile_handle)
 
     def _resolve_verb(self, verb: str):
         if verb in VERBS:

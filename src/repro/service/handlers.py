@@ -135,6 +135,7 @@ def prometheus_text(obs: Observability,
         "trace.instants": trace["instants"],
         "trace.dropped_events": trace["dropped"],
         "trace.dropped_spans": trace["dropped_spans"],
+        "trace.sink_errors": trace.get("sink_errors", 0),
     }
     if cache is not None:
         extra["cache.memory_entries"] = len(cache)
@@ -189,6 +190,7 @@ class Handlers:
         placement_index: bool = True,
         trace_store=None,
         slo_engine=None,
+        profiler=None,
     ):
         self.cache = cache
         self.obs = obs
@@ -198,6 +200,8 @@ class Handlers:
         #: then answer ``{"enabled": false}``, the drift pattern.
         self.trace_store = trace_store
         self.slo_engine = slo_engine
+        #: Sampling profiler (``profile`` verb); same optional pattern.
+        self.profiler = profiler
         self.default_repetitions = default_repetitions
         self.debug_verbs = debug_verbs
         #: Serve ``place``/``place_many`` from the precomputed
@@ -321,10 +325,7 @@ class Handlers:
                 # tracer from a worker thread.
                 with self.obs.timer("service.inference.seconds").time():
                     mctop = await asyncio.to_thread(
-                        infer_topology,
-                        get_machine(machine),
-                        seed=seed,
-                        config=InferenceConfig(table=table),
+                        self._infer_sync, machine, seed, table
                     )
             self.obs.counter("service.inference.runs").inc()
             self.cache.put(key, mctop)
@@ -333,6 +334,26 @@ class Handlers:
 
         mctop = await self.singleflight.run(key, run_inference)
         return key, mctop, False
+
+    def _infer_sync(self, machine: str, seed: int,
+                    table: LatencyTableConfig) -> Mctop:
+        """The MCTOP-ALG run, on a worker thread.
+
+        Tagged in the sampling profiler so a cold inference's frames
+        attribute to the dispatching request — ``asyncio.to_thread``
+        copies the request context, so the profiler's request-id
+        provider still resolves the right id from this thread.
+        """
+        if self.profiler is not None:
+            with self.profiler.thread_tag("infer"):
+                return infer_topology(
+                    get_machine(machine), seed=seed,
+                    config=InferenceConfig(table=table),
+                )
+        return infer_topology(
+            get_machine(machine), seed=seed,
+            config=InferenceConfig(table=table),
+        )
 
     async def _precompute_index(self, key: str, mctop: Mctop) -> None:
         """Cache-insert-time placement-index build (worker thread).
@@ -624,6 +645,46 @@ class Handlers:
         if self.slo_engine is None:
             return {"protocol": PROTOCOL_VERSION, "enabled": False}
         doc = self.slo_engine.status_doc()
+        doc["protocol"] = PROTOCOL_VERSION
+        return doc
+
+    async def profile(self, params: dict, session: Session) -> dict:
+        """The sampling profiler's snapshot (or reset).
+
+        ``verb`` restricts the stack listing to one verb's samples;
+        ``request_id`` switches to the per-request table (resolving a
+        router's fleet-wide id through the ``parent_request_id`` alias)
+        and reports ``found``; ``limit`` caps the stack entries kept
+        (heaviest first); ``action: "reset"`` clears the store instead.
+        A daemon running without ``--profile`` answers
+        ``{"enabled": false}`` rather than erroring, the drift pattern.
+        """
+        action = params.get("action", "snapshot")
+        if action not in ("snapshot", "reset"):
+            raise _invalid("'action' must be 'snapshot' or 'reset'")
+        verb = params.get("verb")
+        if verb is not None and (not isinstance(verb, str) or not verb):
+            raise _invalid("'verb' must be a non-empty string")
+        request_id = params.get("request_id")
+        if request_id is not None and (
+            not isinstance(request_id, str) or not request_id
+            or len(request_id) > 64
+        ):
+            raise _invalid(
+                "'request_id' must be a non-empty string of at most 64 chars"
+            )
+        limit = _get_int(params, "limit", 200)
+        if limit is None or limit < 1 or limit > 5000:
+            raise _invalid("'limit' must be an integer in [1, 5000]")
+        if self.profiler is None:
+            return {"protocol": PROTOCOL_VERSION, "enabled": False}
+        if action == "reset":
+            self.profiler.reset()
+            return {"protocol": PROTOCOL_VERSION, "enabled": True,
+                    "reset": True}
+        doc = self.profiler.snapshot(
+            verb=verb, request_id=request_id, limit=limit
+        )
         doc["protocol"] = PROTOCOL_VERSION
         return doc
 

@@ -375,6 +375,23 @@ def collect_exemplar_traces(make_client, limit: int = 5) -> dict:
     }
 
 
+def collect_profile(make_client, limit: int = 500) -> dict:
+    """The daemon's profile snapshot after a run.
+
+    ``mctop loadgen --profile-out`` dumps this next to the bench
+    artifact (and the slowest-request traces), so a regressed run ships
+    *where the CPU time went* along with its latency percentiles.  A
+    daemon running without ``--profile`` (or predating the verb) yields
+    an ``enabled: false`` document rather than an error.
+    """
+    with make_client() as client:
+        try:
+            doc = client.request("profile", limit=limit)
+        except ServiceError:
+            doc = {"enabled": False, "error": "unsupported"}
+    return {"format": "mctop-loadgen-profile", "profile": doc}
+
+
 def render_loadgen_report(doc: dict) -> str:
     """The human-readable run summary ``mctop loadgen`` prints."""
     lines = [
@@ -405,9 +422,12 @@ class SelfHostedDaemon:
     the real wire path, and everything is torn down on exit.
     """
 
-    def __init__(self, repetitions: int = 31, store_dir=None):
+    def __init__(self, repetitions: int = 31, store_dir=None,
+                 profile: bool = False, profile_hz: float = 100.0):
         self.repetitions = repetitions
         self._store_dir = store_dir
+        self.profile = profile
+        self.profile_hz = profile_hz
         self._tmp = None
         self.unix_path: str | None = None
         self._thread: threading.Thread | None = None
@@ -446,6 +466,8 @@ class SelfHostedDaemon:
                 unix_path=self.unix_path,
                 store_dir=store,
                 default_repetitions=self.repetitions,
+                profile=self.profile,
+                profile_hz=self.profile_hz,
             ))
             await self._daemon.start()
             self._ready.set()

@@ -49,8 +49,9 @@ MAX_LINE_BYTES = 16 * 1024 * 1024
 #: cache probe by digest, never an inference trigger); ``trace``
 #: retrieves a retained per-request trace by request id (the router
 #: assembles a fleet-wide timeline from it); ``slo`` reports the SLO
-#: burn-rate engine's status; the rest mirror the CLI subcommands
-#: they are named after.
+#: burn-rate engine's status; ``profile`` snapshots (or resets) the
+#: in-process sampling profiler, filterable by verb or request id; the
+#: rest mirror the CLI subcommands they are named after.
 VERBS = (
     "ping",
     "infer",
@@ -64,6 +65,7 @@ VERBS = (
     "cache_fetch",
     "trace",
     "slo",
+    "profile",
 )
 
 #: Error codes a response may carry.

@@ -130,6 +130,44 @@ def render_slowest_lines(registry: dict) -> list[str]:
     return lines
 
 
+def render_profile_lines(profile: dict, top: int = 5) -> list[str]:
+    """The dashboard's hot-functions panel.
+
+    The ``top`` hottest *leaf* frames — where samples actually landed —
+    with their share of all samples, from a ``profile`` verb document
+    (single daemon or fleet-merged, same shape).  Empty when the
+    profiler is disabled or the daemon predates the verb, so the
+    section is simply omitted.
+    """
+    if not profile or not profile.get("enabled"):
+        return []
+    samples = int(profile.get("samples") or 0)
+    header = f"profile {samples} samples"
+    hz = profile.get("hz")
+    if hz:
+        header += f" @ {hz:g}Hz"
+    dropped = int(profile.get("dropped") or 0)
+    if dropped:
+        header += f"  dropped {dropped}"
+    overhead = profile.get("overhead_fraction")
+    if overhead is not None:
+        header += f"  overhead ~{overhead:.2%}"
+    lines = [header]
+    if not samples:
+        return lines
+    leaves: dict[str, int] = {}
+    for entry in profile.get("stacks") or []:
+        stack = entry.get("stack") or []
+        if not stack:
+            continue
+        count = int(entry.get("count") or 0)
+        leaves[stack[-1]] = leaves.get(stack[-1], 0) + count
+    hottest = sorted(leaves.items(), key=lambda kv: (-kv[1], kv[0]))
+    for name, count in hottest[:max(1, top)]:
+        lines.append(f"  {count / samples:>5.1%}  {name}")
+    return lines
+
+
 def render_fleet_lines(fleet: dict) -> list[str]:
     """The dashboard's fleet membership lines (``--fleet``).
 
@@ -194,7 +232,7 @@ def render_place_lines(registry: dict, prev_registry: dict | None,
 def render_dashboard(
     doc: dict, prev: dict | None = None, dt: float | None = None,
     drift: dict | None = None, fleet: dict | None = None,
-    slo: dict | None = None,
+    slo: dict | None = None, profile: dict | None = None,
 ) -> str:
     """One dashboard frame from a ``metrics`` verb document.
 
@@ -203,7 +241,8 @@ def render_dashboard(
     ``drift`` optionally adds the drift watcher's status section (a
     ``drift`` verb document); ``fleet`` the router's membership section
     (a ``fleet`` verb document); ``slo`` the burn-rate panel (an
-    ``slo`` verb document).  The slowest-requests list renders from the
+    ``slo`` verb document); ``profile`` the hot-functions panel (a
+    ``profile`` verb document).  The slowest-requests list renders from the
     metrics document's latency exemplars with no extra polling.  Pure:
     two fixed documents always render the same text, which is what the
     tests pin.
@@ -271,6 +310,10 @@ def render_dashboard(
     if slowest_lines:
         lines.append("")
         lines.extend(slowest_lines)
+    profile_lines = render_profile_lines(profile or {})
+    if profile_lines:
+        lines.append("")
+        lines.extend(profile_lines)
     slo_lines = render_slo_lines(slo or {})
     if slo_lines:
         lines.append("")
@@ -312,6 +355,7 @@ def run_top(
     prev_t: float | None = None
     drift_supported = True
     slo_supported = True
+    profile_supported = True
     fleet_supported = fleet
     frames = 0
     try:
@@ -334,6 +378,14 @@ def run_top(
                     # verb (or started --no-slo behind an old router)
                     # loses the panel, never the dashboard.
                     slo_supported = False
+            profile_doc: dict | None = None
+            if profile_supported:
+                try:
+                    profile_doc = client.profile(limit=500)
+                except (ServiceError, AttributeError):
+                    # Daemons predating the verb lose the hot-functions
+                    # panel, never the dashboard.
+                    profile_supported = False
             fleet_doc: dict | None = None
             if fleet_supported:
                 try:
@@ -343,7 +395,8 @@ def run_top(
             now = time.monotonic()
             dt = now - prev_t if prev_t is not None else None
             frame = render_dashboard(doc, prev, dt, drift=drift,
-                                     fleet=fleet_doc, slo=slo_doc)
+                                     fleet=fleet_doc, slo=slo_doc,
+                                     profile=profile_doc)
             write((CLEAR if clear else "") + frame)
             prev, prev_t = doc, now
             frames += 1

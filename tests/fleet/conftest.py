@@ -24,7 +24,8 @@ class FleetHarness:
 
     def __init__(self, tmp_path, n_members: int = 3, peering: bool = True,
                  fail_threshold: int = 1, health_interval: float = 30.0,
-                 router_overrides: dict | None = None):
+                 router_overrides: dict | None = None,
+                 member_overrides: dict | None = None):
         self.tmp_path = tmp_path
         endpoints = {
             f"m{i}": str(tmp_path / f"m{i}.sock")
@@ -45,6 +46,7 @@ class FleetHarness:
                 member_id=member_id,
                 peers=peers,
                 event_log=str(tmp_path / member_id / "events.ndjson"),
+                **(member_overrides or {}),
             )
         self.router_config = RouterConfig(
             unix_path=str(tmp_path / "router.sock"),

@@ -7,7 +7,13 @@ import os
 
 import pytest
 
-from repro.obs.events import EventLog, RotatingNdjsonWriter
+from repro.obs.events import (
+    EventLog,
+    RotatingNdjsonWriter,
+    follow_log_records,
+    iter_log_records,
+    log_segments,
+)
 
 
 def read_lines(path):
@@ -111,3 +117,109 @@ class TestEventLog:
         log.close()
         assert log.rotations > 0
         assert log.lines_written == 10
+
+
+class TestLogSegments:
+    def test_orders_rotated_segments_oldest_first(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        (tmp_path / "events.ndjson.2").write_text('{"n":0}\n')
+        (tmp_path / "events.ndjson.1").write_text('{"n":1}\n')
+        path.write_text('{"n":2}\n')
+        assert [p.name for p in log_segments(path)] == \
+            ["events.ndjson.2", "events.ndjson.1", "events.ndjson"]
+
+    def test_ignores_non_numeric_suffixes(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        path.write_text("")
+        (tmp_path / "events.ndjson.bak").write_text("")
+        assert [p.name for p in log_segments(path)] == ["events.ndjson"]
+
+    def test_missing_log_is_empty(self, tmp_path):
+        assert log_segments(tmp_path / "absent.ndjson") == []
+
+
+class TestIterLogRecords:
+    def _rotated_log(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        log = EventLog(path, max_bytes=120, backups=3,
+                       clock=lambda: 1.0)
+        for n in range(12):
+            log.emit("drift.check" if n % 2 else "place.req",
+                     request_id=f"r{n}", n=n)
+        log.close()
+        assert log.rotations > 0
+        return path
+
+    def test_reads_across_rotation_in_emit_order(self, tmp_path):
+        path = self._rotated_log(tmp_path)
+        records = list(iter_log_records(path))
+        assert [r["n"] for r in records] == sorted(r["n"] for r in records)
+
+    def test_kind_and_request_filters(self, tmp_path):
+        path = self._rotated_log(tmp_path)
+        kinds = {r["kind"] for r in iter_log_records(path,
+                                                     kind="drift.check")}
+        assert kinds == {"drift.check"}
+        (rec,) = iter_log_records(path, request_id="r7")
+        assert rec["n"] == 7
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        path.write_text('{"kind":"a","n":1}\n'
+                        'not json at all\n'
+                        '[1,2,3]\n'
+                        '\n'
+                        '{"kind":"b","n":2}\n')
+        assert [r["n"] for r in iter_log_records(path)] == [1, 2]
+
+
+class TestFollowLogRecords:
+    def test_yields_appended_records_and_stops(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        path.write_text('{"kind":"old"}\n')  # pre-existing: not replayed
+        state = {"step": 0}
+
+        def stop():
+            state["step"] += 1
+            if state["step"] == 1:
+                with open(path, "a") as fh:
+                    fh.write('{"kind":"new","n":1}\n')
+                    fh.write('{"kind":"new","n":2}\n')
+                return False
+            return state["step"] > 3
+
+        got = list(follow_log_records(path, poll_interval=0.01, stop=stop))
+        assert [r.get("n") for r in got] == [1, 2]
+
+    def test_partial_line_waits_for_newline(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        path.write_text("")
+        state = {"step": 0}
+
+        def stop():
+            state["step"] += 1
+            if state["step"] == 1:
+                with open(path, "a") as fh:
+                    fh.write('{"kind":"torn"')  # no newline yet
+            elif state["step"] == 2:
+                with open(path, "a") as fh:
+                    fh.write(',"n":9}\n')
+            return state["step"] > 4
+
+        got = list(follow_log_records(path, poll_interval=0.01, stop=stop))
+        assert got == [{"kind": "torn", "n": 9}]
+
+    def test_survives_truncation_rotation(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        path.write_text('{"kind":"old","n":0}\n' * 5)
+        state = {"step": 0}
+
+        def stop():
+            state["step"] += 1
+            if state["step"] == 1:
+                # a backups=0 rotation truncates the live file in place
+                path.write_text('{"kind":"fresh","n":1}\n')
+            return state["step"] > 3
+
+        got = list(follow_log_records(path, poll_interval=0.01, stop=stop))
+        assert {"kind": "fresh", "n": 1} in got

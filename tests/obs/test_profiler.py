@@ -1,0 +1,346 @@
+"""Unit tests for the continuous sampling profiler.
+
+The store and serializers are exercised deterministically (synthetic
+stacks, explicit ``sample()`` calls); only the lifecycle tests let the
+background thread actually run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextvars import ContextVar, copy_context
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.merge import merge_profile_docs
+from repro.obs.profiler import (
+    ProfileStore,
+    SamplingProfiler,
+    collapsed_stacks,
+    speedscope_doc,
+)
+
+
+class TestProfileStore:
+    def test_aggregates_by_verb_and_stack(self):
+        store = ProfileStore()
+        store.record(("a", "b"), verb="place")
+        store.record(("a", "b"), verb="place")
+        store.record(("a", "b"), verb="infer")
+        store.record(("a", "c"), verb="place")
+        snap = store.snapshot()
+        assert snap["samples"] == 4
+        assert snap["distinct_stacks"] == 3
+        assert snap["verbs"] == {"infer": 1, "place": 3}
+        top = snap["stacks"][0]
+        assert top == {"stack": ["a", "b"], "count": 2, "verb": "place"}
+
+    def test_verb_filter_and_limit(self):
+        store = ProfileStore()
+        for i in range(10):
+            store.record(("root", f"f{i}"), verb="place")
+        store.record(("root", "g"), verb="infer")
+        snap = store.snapshot(verb="place", limit=3)
+        assert len(snap["stacks"]) == 3
+        assert all(e["verb"] == "place" for e in snap["stacks"])
+
+    def test_per_request_lookup_and_alias(self):
+        store = ProfileStore()
+        store.record(("a", "b"), verb="infer", request_id="rid1")
+        store.record(("a", "b"), verb="infer", request_id="rid1")
+        store.record(("a", "c"), verb="place", request_id="rid2")
+        store.alias("fleet-rid", "rid1")
+
+        snap = store.snapshot(request_id="rid1")
+        assert snap["found"] is True
+        assert snap["stacks"] == [{"stack": ["a", "b"], "count": 2}]
+        # the fleet-wide (parent) id resolves the same profile
+        via_alias = store.snapshot(request_id="fleet-rid")
+        assert via_alias["found"] is True
+        assert via_alias["stacks"] == snap["stacks"]
+        missing = store.snapshot(request_id="nope")
+        assert missing["found"] is False
+        assert missing["stacks"] == []
+
+    def test_request_table_bounded(self):
+        store = ProfileStore(max_requests=4)
+        for i in range(10):
+            store.record(("f",), request_id=f"rid{i}")
+        assert store.snapshot()["requests_indexed"] <= 4
+        # oldest evicted, newest kept
+        assert store.snapshot(request_id="rid9")["found"] is True
+        assert store.snapshot(request_id="rid0")["found"] is False
+
+    def test_byte_budget_drops_new_stacks_not_old_counts(self):
+        store = ProfileStore(max_bytes=200)
+        store.record(("known", "stack"), verb="place")
+        # grow until the budget rejects a new distinct stack
+        for i in range(100):
+            store.record((f"frame_number_{i:04d}", "leaf"), verb="place")
+        assert store.dropped > 0
+        # an already-admitted stack still counts after saturation
+        before = store.snapshot()["verbs"]["place"]
+        store.record(("known", "stack"), verb="place")
+        assert store.snapshot()["verbs"]["place"] == before + 1
+        snap = store.snapshot()
+        assert snap["bytes"] <= snap["max_bytes"]
+        assert snap["dropped"] == store.dropped
+
+    def test_reset(self):
+        store = ProfileStore()
+        store.record(("a",), verb="x", request_id="r")
+        store.reset()
+        snap = store.snapshot()
+        assert snap["samples"] == 0
+        assert snap["distinct_stacks"] == 0
+        assert snap["bytes"] == 0
+        assert store.snapshot(request_id="r")["found"] is False
+
+
+def _busy_thread(stop: threading.Event):
+    """A worker with a recognizable frame, for the sampler to catch."""
+    def clearly_named_busy_loop():
+        while not stop.is_set():
+            time.sleep(0.001)
+    clearly_named_busy_loop()
+
+
+class TestSamplingProfiler:
+    def test_sample_catches_other_threads_not_caller(self):
+        profiler = SamplingProfiler(hz=100.0)
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_thread, args=(stop,))
+        worker.start()
+        try:
+            time.sleep(0.02)
+            recorded = profiler.sample()
+        finally:
+            stop.set()
+            worker.join()
+        assert recorded >= 1
+        snap = profiler.snapshot()
+        frames = [f for e in snap["stacks"] for f in e["stack"]]
+        assert any("clearly_named_busy_loop" in f for f in frames)
+        # the calling thread itself is never sampled
+        assert not any("test_sample_catches_other_threads" in f
+                       for f in frames)
+
+    def test_begin_end_dispatch_tags_thread(self):
+        profiler = SamplingProfiler(hz=100.0)
+        stop = threading.Event()
+        ready = threading.Event()
+        handle_box = {}
+
+        def tagged_worker():
+            handle_box["handle"] = profiler.begin_dispatch(
+                "place", request_id="rid42",
+                parent_request_id="fleet-rid",
+            )
+            ready.set()
+            _busy_thread(stop)
+
+        worker = threading.Thread(target=tagged_worker)
+        worker.start()
+        try:
+            assert ready.wait(2)
+            time.sleep(0.01)
+            profiler.sample()
+        finally:
+            stop.set()
+            worker.join()
+        profiler.end_dispatch(handle_box["handle"])
+
+        snap = profiler.snapshot()
+        assert snap["verbs"].get("place", 0) >= 1
+        assert profiler.snapshot(request_id="rid42")["found"] is True
+        # parent id registered as an alias at begin_dispatch time
+        assert profiler.snapshot(request_id="fleet-rid")["found"] is True
+        # after end_dispatch, new samples of that thread are untagged
+        profiler.sample()  # caller thread skipped; nothing tagged 'place'
+
+    def test_most_recent_dispatch_wins_on_one_thread(self):
+        profiler = SamplingProfiler(hz=100.0)
+        outer = profiler.begin_dispatch("outer", request_id="r-outer")
+        inner = profiler.begin_dispatch("inner", request_id="r-inner")
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_thread, args=(stop,))
+        worker.start()
+        try:
+            # sample from the worker's perspective: run sample() on a
+            # third thread so the tagged (main) thread is visible
+            time.sleep(0.01)
+            sampler = threading.Thread(target=profiler.sample)
+            sampler.start()
+            sampler.join()
+        finally:
+            stop.set()
+            worker.join()
+        snap = profiler.snapshot()
+        assert snap["verbs"].get("inner", 0) >= 1
+        assert "outer" not in snap["verbs"]
+        profiler.end_dispatch(inner)
+        profiler.end_dispatch(outer)
+
+    def test_thread_tag_reads_contextvar_provider(self):
+        rid_var: ContextVar[str | None] = ContextVar("rid", default=None)
+        profiler = SamplingProfiler(
+            hz=100.0, request_id_provider=rid_var.get
+        )
+        stop = threading.Event()
+        ready = threading.Event()
+
+        def worker_body():
+            with profiler.thread_tag("infer"):
+                ready.set()
+                _busy_thread(stop)
+
+        # simulate asyncio.to_thread: the dispatching context (with the
+        # request id set) is copied *here* and run in the worker thread
+        rid_var.set("ctx-rid")
+        ctx = copy_context()
+        worker_thread = threading.Thread(target=lambda: ctx.run(worker_body))
+        worker_thread.start()
+        try:
+            assert ready.wait(2)
+            time.sleep(0.01)
+            profiler.sample()
+        finally:
+            stop.set()
+            worker_thread.join()
+        assert profiler.snapshot(request_id="ctx-rid")["found"] is True
+        assert profiler.snapshot()["verbs"].get("infer", 0) >= 1
+
+    def test_lifecycle_and_obs_instruments(self):
+        obs = Observability()
+        profiler = SamplingProfiler(obs=obs, hz=250.0)
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_thread, args=(stop,))
+        worker.start()
+        profiler.start()
+        try:
+            assert profiler.running
+            deadline = time.time() + 5
+            while time.time() < deadline \
+                    and profiler.store.samples == 0:
+                time.sleep(0.01)
+        finally:
+            profiler.stop()
+            stop.set()
+            worker.join()
+        assert not profiler.running
+        assert profiler.store.samples > 0
+        assert obs.registry.value("profiler.samples", 0) > 0
+        snap = profiler.snapshot()
+        assert 0.0 <= snap["overhead_fraction"] <= 1.0
+        assert snap["hz"] == 250.0
+
+    def test_snapshot_carries_member_id(self):
+        profiler = SamplingProfiler(hz=10.0, member_id="m1")
+        assert profiler.snapshot()["member"] == "m1"
+
+    def test_rejects_bad_hz(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+    def test_reset_clears_samples(self):
+        profiler = SamplingProfiler(hz=10.0)
+        profiler.store.record(("a",), verb="x")
+        profiler.reset()
+        assert profiler.snapshot()["samples"] == 0
+
+
+class TestSerializers:
+    DOC = {
+        "hz": 100.0,
+        "stacks": [
+            {"stack": ["main", "place"], "count": 3, "verb": "place"},
+            {"stack": ["main", "infer", "cluster"], "count": 2,
+             "verb": "infer"},
+            {"stack": ["main", "place"], "count": 1, "verb": "infer"},
+        ],
+    }
+
+    def test_collapsed_format(self):
+        text = collapsed_stacks(self.DOC)
+        lines = text.strip().splitlines()
+        # same frame path merges across verbs; heaviest first
+        assert lines[0] == "main;place 4"
+        assert "main;infer;cluster 2" in lines
+        assert text.endswith("\n")
+
+    def test_collapsed_empty(self):
+        assert collapsed_stacks({"stacks": []}) == ""
+
+    def test_speedscope_shape(self):
+        doc = speedscope_doc(self.DOC, name="test profile")
+        assert doc["$schema"].endswith("file-format-schema.json")
+        profile = doc["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert profile["name"] == "test profile"
+        assert profile["unit"] == "seconds"  # hz known -> seconds
+        assert len(profile["samples"]) == len(profile["weights"]) == 3
+        frames = doc["shared"]["frames"]
+        for sample in profile["samples"]:
+            for index in sample:
+                assert 0 <= index < len(frames)
+        # weight = count / hz
+        assert profile["weights"][0] == pytest.approx(0.03)
+        assert profile["endValue"] == pytest.approx(sum(profile["weights"]))
+
+    def test_speedscope_without_hz_uses_counts(self):
+        doc = speedscope_doc({"stacks": self.DOC["stacks"]})
+        assert doc["profiles"][0]["unit"] == "none"
+        assert doc["profiles"][0]["weights"][0] == 3
+
+
+class TestMergeProfileDocs:
+    def test_merges_stacks_keyed_by_member(self):
+        docs = {
+            "m0": {"enabled": True, "samples": 5, "dropped": 1,
+                   "hz": 100.0, "running": True,
+                   "verbs": {"place": 5},
+                   "stacks": [{"stack": ["a", "b"], "count": 5,
+                               "verb": "place"}]},
+            "m1": {"enabled": True, "samples": 3, "dropped": 0,
+                   "hz": 100.0, "running": True,
+                   "verbs": {"place": 2, "infer": 1},
+                   "stacks": [
+                       {"stack": ["a", "b"], "count": 2, "verb": "place"},
+                       {"stack": ["c"], "count": 1, "verb": "infer"},
+                   ]},
+            "m2": {"enabled": False},
+        }
+        merged = merge_profile_docs(docs)
+        assert merged["enabled"] is True
+        assert merged["samples"] == 8
+        assert merged["dropped"] == 1
+        assert merged["verbs"] == {"infer": 1, "place": 7}
+        top = merged["stacks"][0]
+        assert top["stack"] == ["a", "b"]
+        assert top["count"] == 7
+        assert top["members"] == {"m0": 5, "m1": 2}
+        assert merged["members"]["m2"] == {
+            "enabled": False, "samples": None, "hz": None, "running": None,
+        }
+        assert merged["members"]["m0"]["samples"] == 5
+
+    def test_request_found_is_any_member(self):
+        docs = {
+            "m0": {"enabled": True, "samples": 0, "verbs": {},
+                   "stacks": [], "request_id": "rid", "found": False},
+            "m1": {"enabled": True, "samples": 2, "verbs": {"infer": 2},
+                   "stacks": [{"stack": ["x"], "count": 2}],
+                   "request_id": "rid", "found": True},
+        }
+        merged = merge_profile_docs(docs)
+        assert merged["request_id"] == "rid"
+        assert merged["found"] is True
+        assert merged["stacks"][0]["members"] == {"m1": 2}
+
+    def test_all_disabled(self):
+        merged = merge_profile_docs({"m0": {"enabled": False}})
+        assert merged["enabled"] is False
+        assert merged["samples"] == 0
+        assert merged["stacks"] == []

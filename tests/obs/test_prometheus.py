@@ -131,3 +131,102 @@ class TestExemplarSyntax:
             parse_exposition(
                 "# TYPE x counter\nx_total 1 # not-an-exemplar\n"
             )
+
+
+class TestExemplarEdgeCases:
+    def test_empty_exemplar_set_renders_plain_buckets(self):
+        reg = Registry()
+        h = reg.histogram("service.latency.place")
+        h.observe(0.123)
+        snap = reg.snapshot()
+        assert "exemplars" not in snap["service.latency.place"]
+        text = render_prometheus(snap)
+        assert " # {" not in text
+        parse_exposition(text)  # still parses clean
+
+    def test_explicit_empty_exemplar_list_is_no_op(self):
+        snap = {
+            "h": {
+                "kind": "histogram",
+                "buckets": [[0.5, 1], ["+Inf", 1]],
+                "total": 0.1,
+                "count": 1,
+                "exemplars": [],
+            }
+        }
+        text = render_prometheus(snap)
+        assert " # {" not in text
+        parse_exposition(text)
+
+    def test_label_escaping_round_trips(self):
+        weird = 'rid"with\\quotes\nand newline'
+        snap = {
+            "h": {
+                "kind": "histogram",
+                "buckets": [[0.5, 1], ["+Inf", 1]],
+                "total": 0.1,
+                "count": 1,
+                "exemplars": [[0.1, weird]],
+            }
+        }
+        text = render_prometheus(snap)
+        # the rendered exemplar stays on one physical line
+        (exemplar_line,) = [l for l in text.splitlines() if " # {" in l]
+        assert "\n" not in exemplar_line
+        parse_exposition(text)  # escaped quotes must not break the shape
+
+    def test_unescape_inverts_escape(self):
+        from repro.obs.prometheus import _escape_label, _unescape_label
+
+        for value in ('plain', 'q"uote', 'back\\slash', 'new\nline',
+                      '\\n literal', 'mix "\\\n end\\'):
+            assert _unescape_label(_escape_label(value)) == value
+
+    def test_escaped_label_value_parses_back(self):
+        text = ('# TYPE g gauge\n'
+                'g{name="a\\"b\\\\c\\nd"} 1\n')
+        samples = parse_exposition(text)
+        (labels, value) = samples["g"][0]
+        assert labels["name"] == 'a"b\\c\nd'
+        assert value == 1.0
+
+    def test_fleet_merged_timer_keeps_exemplars_renderable(self):
+        from repro.obs.merge import merge_registry_snapshots
+
+        def member(rid, latency):
+            reg = Registry()
+            t = reg.timer("service.latency.place")
+            t.observe(latency)
+            t.record_exemplar(latency, rid)
+            return reg.snapshot()
+
+        merged = merge_registry_snapshots(
+            [member("rid-m0", 0.010), member("rid-m1", 0.300)]
+        )
+        snap = merged["service.latency.place"]
+        # union of member exemplars, largest first
+        assert [label for _, label in snap["exemplars"]] == \
+            ["rid-m1", "rid-m0"]
+        text = render_prometheus(merged)
+        assert 'request_id="rid-m1"' in text
+        assert 'request_id="rid-m0"' in text
+        families = parse_exposition(text)
+        counts = [v for labels, v in
+                  families["mctop_service_latency_place_bucket"]
+                  if labels["le"] == "+Inf"]
+        assert counts == [2.0]
+
+    def test_round_trip_through_strict_parser(self):
+        reg = Registry()
+        t = reg.timer("service.latency.place")
+        for v in (0.002, 0.050):
+            t.observe(v)
+        t.record_exemplar(0.050, "slow-rid")
+        t.record_exemplar(0.002, "fast-rid")
+        text = render_prometheus(reg.snapshot(),
+                                 extra={"trace.sink_errors": 3})
+        families = parse_exposition(text)
+        assert families["mctop_trace_sink_errors"] == [({}, 3.0)]
+        buckets = families["mctop_service_latency_place_bucket"]
+        values = [v for _, v in buckets]
+        assert values == sorted(values)  # exemplars didn't corrupt counts

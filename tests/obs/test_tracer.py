@@ -218,6 +218,47 @@ class TestExport:
         assert "samples" in report and "42" in report
 
 
+class TestSinkHardening:
+    def test_raising_sink_never_fails_the_request(self):
+        tracer = Tracer(clock=make_clock())
+
+        def bad_sink(event):
+            raise RuntimeError("sink exploded")
+
+        tracer.sink = bad_sink
+        # neither spans nor instants propagate the sink's exception
+        with tracer.span("request"):
+            tracer.instant("marker")
+        assert tracer.sink_errors == 2
+        assert [e.name for e in tracer.events] == ["marker", "request"]
+        assert tracer.summary()["sink_errors"] == 2
+
+    def test_sink_errors_count_only_failures(self):
+        tracer = Tracer(clock=make_clock())
+        seen = []
+
+        def flaky_sink(event):
+            seen.append(event.name)
+            if event.name == "bad":
+                raise ValueError("nope")
+
+        tracer.sink = flaky_sink
+        tracer.instant("good")
+        tracer.instant("bad")
+        tracer.instant("good2")
+        assert seen == ["good", "bad", "good2"]
+        assert tracer.sink_errors == 1
+
+    def test_reset_zeroes_sink_errors(self):
+        tracer = Tracer(clock=make_clock())
+        tracer.sink = lambda event: 1 / 0
+        tracer.instant("x")
+        assert tracer.sink_errors == 1
+        tracer.reset()
+        assert tracer.sink_errors == 0
+        assert tracer.summary()["sink_errors"] == 0
+
+
 class TestObservability:
     def test_summary_is_deterministic_counts_only(self):
         obs = self._run()

@@ -1,0 +1,187 @@
+"""``mctop profile`` and ``mctop events tail`` — the CLI front ends."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def _profiled(daemon_factory):
+    return daemon_factory(profile=True, profile_hz=400.0)
+
+
+def _warm(harness, capsys, minimum: int = 1) -> str:
+    """One cold infer through the daemon; returns its request id after
+    the background sampler has demonstrably recorded samples."""
+    with harness.client() as client:
+        client.infer("testbox", seed=7, repetitions=101)
+        rid = client.last_request_id
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            if client.profile()["samples"] >= minimum:
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("sampler never recorded")
+    capsys.readouterr()
+    return rid
+
+
+class TestProfileCli:
+    def test_top_prints_hot_functions(self, capsys, daemon_factory):
+        harness = _profiled(daemon_factory)
+        _warm(harness, capsys)
+        code, out, _ = run_cli(capsys, "profile", "top",
+                               "--unix", str(harness.config.unix_path))
+        assert code == 0
+        assert "profile" in out and "samples" in out
+        assert "%" in out
+
+    def test_show_request_flamegraph_from_response_rid(
+        self, capsys, daemon_factory
+    ):
+        """The acceptance path: the rid a response (or ``mctop top``'s
+        exemplar panel) prints pastes into ``profile show --request``."""
+        harness = _profiled(daemon_factory)
+        rid = _warm(harness, capsys)
+        code, out, _ = run_cli(
+            capsys, "profile", "show", "--request", rid,
+            "--unix", str(harness.config.unix_path),
+        )
+        assert code == 0
+        assert rid in out
+        assert ";" in out  # at least one collapsed stack line
+
+    def test_unknown_request_exits_nonzero(self, capsys, daemon_factory):
+        harness = _profiled(daemon_factory)
+        _warm(harness, capsys)
+        code, out, _ = run_cli(
+            capsys, "profile", "show", "--request", "feedfacefeedface",
+            "--unix", str(harness.config.unix_path),
+        )
+        assert code == 1
+        assert "no profiled samples" in out
+
+    def test_collapsed_and_speedscope_exports(
+        self, capsys, tmp_path, daemon_factory
+    ):
+        harness = _profiled(daemon_factory)
+        _warm(harness, capsys)
+        collapsed = tmp_path / "out.txt"
+        speedscope = tmp_path / "out.json"
+        code, _, _ = run_cli(
+            capsys, "profile", "show",
+            "--unix", str(harness.config.unix_path),
+            "--collapsed", str(collapsed),
+            "--speedscope", str(speedscope),
+        )
+        assert code == 0
+        lines = collapsed.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) >= 1
+        doc = json.loads(speedscope.read_text())
+        assert doc["$schema"] == \
+            "https://www.speedscope.app/file-format-schema.json"
+        assert doc["profiles"][0]["type"] == "sampled"
+
+    def test_json_dump(self, capsys, daemon_factory):
+        harness = _profiled(daemon_factory)
+        _warm(harness, capsys)
+        code, out, _ = run_cli(
+            capsys, "profile", "show", "--json",
+            "--unix", str(harness.config.unix_path),
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["enabled"] is True and doc["samples"] >= 1
+
+    def test_reset(self, capsys, daemon_factory):
+        harness = _profiled(daemon_factory)
+        _warm(harness, capsys)
+        code, out, _ = run_cli(capsys, "profile", "reset",
+                               "--unix", str(harness.config.unix_path))
+        assert code == 0
+        assert "reset" in out
+
+    def test_disabled_daemon_exits_nonzero(self, capsys, harness):
+        code, out, _ = run_cli(capsys, "profile", "top",
+                               "--unix", str(harness.config.unix_path))
+        assert code == 1
+        assert "disabled" in out
+
+    def test_query_profile_verb_renders_panel(
+        self, capsys, daemon_factory
+    ):
+        harness = _profiled(daemon_factory)
+        _warm(harness, capsys)
+        code, out, _ = run_cli(capsys, "query", "profile",
+                               "--unix", str(harness.config.unix_path))
+        assert code == 0
+        assert "samples" in out
+
+
+class TestEventsTailCli:
+    def _event_log(self, tmp_path):
+        """A rotated daemon-shaped event log (same writer the daemon
+        uses), so the tail reads across segment boundaries."""
+        from repro.obs.events import EventLog
+
+        path = tmp_path / "events.ndjson"
+        log = EventLog(path, max_bytes=200, backups=2,
+                       clock=lambda: 1700000000.0)
+        for n in range(8):
+            log.emit("drift.check" if n % 2 else "cache.eviction",
+                     request_id=f"r{n}", machine="testbox", n=n)
+        log.close()
+        assert log.rotations > 0
+        return path
+
+    def test_tail_prints_recent_events(self, capsys, tmp_path):
+        path = self._event_log(tmp_path)
+        code, out, _ = run_cli(capsys, "events", "tail", str(path))
+        assert code == 0
+        assert "drift.check" in out
+
+    def test_kind_filter_and_json(self, capsys, tmp_path):
+        path = self._event_log(tmp_path)
+        code, out, _ = run_cli(capsys, "events", "tail", str(path),
+                               "--kind", "drift.check", "--json")
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines
+        for line in lines:
+            assert json.loads(line)["kind"] == "drift.check"
+
+    def test_request_filter(self, capsys, tmp_path):
+        path = self._event_log(tmp_path)
+        code, out, _ = run_cli(capsys, "events", "tail", str(path),
+                               "--request", "r3", "--json")
+        assert code == 0
+        (line,) = out.strip().splitlines()
+        assert json.loads(line)["n"] == 3
+
+    def test_lines_zero_means_everything(self, capsys, tmp_path):
+        path = self._event_log(tmp_path)
+        code_all, out_all, _ = run_cli(capsys, "events", "tail", str(path),
+                                       "--lines", "0", "--json")
+        code_one, out_one, _ = run_cli(capsys, "events", "tail", str(path),
+                                       "--lines", "1", "--json")
+        assert code_all == code_one == 0
+        assert len(out_all.splitlines()) >= len(out_one.splitlines())
+        assert len(out_one.strip().splitlines()) == 1
+
+    def test_missing_log_errors(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "events", "tail",
+                               str(tmp_path / "absent.ndjson"))
+        assert code == 2
+        assert "no event log" in err

@@ -9,6 +9,7 @@ from repro.service.top import (
     render_dashboard,
     render_drift_lines,
     render_place_lines,
+    render_profile_lines,
     render_slo_lines,
     render_slowest_lines,
     run_top,
@@ -336,3 +337,90 @@ class TestTopCli:
         code = main(["top"])
         assert code == 2
         assert "--unix" in capsys.readouterr().err
+
+
+def _profile_doc(samples=100, dropped=0):
+    return {
+        "enabled": True, "samples": samples, "dropped": dropped,
+        "hz": 100.0, "overhead_fraction": 0.0123,
+        "stacks": [
+            {"stack": ["main", "serve", "place"], "count": 60,
+             "verb": "place"},
+            {"stack": ["main", "serve", "infer"], "count": 30,
+             "verb": "infer"},
+            {"stack": ["main", "place"], "count": 10, "verb": "place"},
+        ],
+    }
+
+
+class TestProfilePanel:
+    def test_header_and_hot_leaves(self):
+        lines = render_profile_lines(_profile_doc())
+        assert lines[0] == "profile 100 samples @ 100Hz  overhead ~1.23%"
+        # leaf frames aggregate across stacks, hottest first
+        assert lines[1] == "  70.0%  place"
+        assert lines[2] == "  30.0%  infer"
+
+    def test_dropped_shown_only_when_nonzero(self):
+        assert "dropped" not in render_profile_lines(_profile_doc())[0]
+        header = render_profile_lines(_profile_doc(dropped=7))[0]
+        assert "dropped 7" in header
+
+    def test_top_caps_rows(self):
+        doc = _profile_doc()
+        doc["stacks"] = [
+            {"stack": [f"leaf{i}"], "count": 1} for i in range(10)
+        ]
+        assert len(render_profile_lines(doc, top=3)) == 4  # header + 3
+
+    def test_disabled_or_missing_renders_nothing(self):
+        assert render_profile_lines({}) == []
+        assert render_profile_lines({"enabled": False}) == []
+        text = render_dashboard(_metrics_doc(),
+                                profile={"enabled": False})
+        assert "profile" not in text
+
+    def test_no_samples_is_header_only(self):
+        doc = {"enabled": True, "samples": 0, "hz": 100.0, "stacks": []}
+        assert render_profile_lines(doc) == ["profile 0 samples @ 100Hz"]
+
+    def test_dashboard_includes_profile_section(self):
+        text = render_dashboard(_metrics_doc(), profile=_profile_doc())
+        assert "profile 100 samples" in text
+        assert "70.0%  place" in text
+
+
+class TestRunTopProfile:
+    def test_degrades_without_a_profile_verb(self):
+        # _FakeClient has no .profile: the panel drops, the loop lives.
+        frames = []
+        code = run_top(_FakeClient([_metrics_doc()] * 2), interval=0.0,
+                       count=2, clear=False, write=frames.append)
+        assert code == 0
+        assert all("profile" not in f for f in frames)
+
+    def test_profile_panel_from_a_capable_client(self):
+        class ProfileClient(_FakeClient):
+            def profile(self, **params):
+                return _profile_doc()
+
+        frames = []
+        run_top(ProfileClient([_metrics_doc()]), interval=0.0, count=1,
+                clear=False, write=frames.append)
+        assert "profile 100 samples" in frames[0]
+
+    def test_unknown_verb_error_disables_profile_polling(self):
+        class OldDaemonClient(_FakeClient):
+            def __init__(self, docs):
+                super().__init__(docs)
+                self.profile_calls = 0
+
+            def profile(self, **params):
+                self.profile_calls += 1
+                raise ServiceError("unknown verb", code="unknown_verb")
+
+        client = OldDaemonClient([_metrics_doc()] * 3)
+        code = run_top(client, interval=0.0, count=3, clear=False,
+                       write=lambda _: None)
+        assert code == 0
+        assert client.profile_calls == 1
